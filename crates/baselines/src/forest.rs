@@ -1,0 +1,161 @@
+//! Random forest regressor (RFR): bagged CART trees with feature
+//! subsampling, fitted in parallel.
+
+use crate::tree::DecisionTree;
+use crate::Regressor;
+use rayon::prelude::*;
+use tensor::Matrix;
+
+/// Random forest of regression trees.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Depth bound per tree.
+    pub max_depth: usize,
+    /// Features considered per split (`None` = sqrt of feature count).
+    pub max_features: Option<usize>,
+    /// Seed controlling bootstraps and feature subsampling.
+    pub seed: u64,
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// A forest with `n_trees` trees of depth `max_depth`.
+    pub fn new(n_trees: usize, max_depth: usize) -> Self {
+        Self { n_trees, max_depth, max_features: None, seed: 42, trees: Vec::new() }
+    }
+
+    /// Deterministic bootstrap sample of `n` indices for tree `t`.
+    fn bootstrap(n: usize, t: usize, seed: u64) -> Vec<usize> {
+        let mut state = seed
+            .wrapping_mul(0x2545_F491_4F6C_DD1D)
+            .wrapping_add(t as u64 + 1);
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % n as u64) as usize
+            })
+            .collect()
+    }
+
+    /// Number of fitted trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True before `fit`.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+impl Regressor for RandomForest {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        assert_eq!(x.rows(), y.len(), "row/target count mismatch");
+        assert!(x.rows() > 0, "empty dataset");
+        let mf = self
+            .max_features
+            .unwrap_or_else(|| (x.cols() as f64).sqrt().ceil() as usize)
+            .max(1);
+        self.trees = (0..self.n_trees)
+            .into_par_iter()
+            .map(|t| {
+                let mut tree = DecisionTree::new(self.max_depth);
+                tree.max_features = Some(mf);
+                tree.feature_seed = self.seed.wrapping_add(t as u64 * 7919);
+                let idx = Self::bootstrap(x.rows(), t, self.seed);
+                tree.fit_indices(x, y, &idx);
+                tree
+            })
+            .collect();
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        let mut acc = vec![0.0; x.rows()];
+        for tree in &self.trees {
+            for (a, p) in acc.iter_mut().zip(tree.predict(x)) {
+                *a += p;
+            }
+        }
+        for a in &mut acc {
+            *a /= self.trees.len() as f64;
+        }
+        acc
+    }
+
+    fn name(&self) -> &'static str {
+        "RFR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn nonlinear_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = tensor::init::uniform(n, 2, 0.0, 1.0, &mut rng);
+        let y: Vec<f64> = x.rows_iter().map(|r| (6.0 * r[0]).sin() + r[1] * r[1]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fits_nonlinear_function() {
+        let (x, y) = nonlinear_data(400, 1);
+        let mut f = RandomForest::new(30, 8);
+        f.fit(&x, &y);
+        let pred = f.predict(&x);
+        let mse: f64 =
+            pred.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len() as f64;
+        assert!(mse < 0.02, "training MSE {mse}");
+    }
+
+    #[test]
+    fn ensemble_beats_single_stump_out_of_sample() {
+        let (x, y) = nonlinear_data(400, 2);
+        let (xt, yt) = nonlinear_data(200, 3);
+        let mut forest = RandomForest::new(40, 8);
+        forest.fit(&x, &y);
+        let mut stump = crate::tree::DecisionTree::new(1);
+        stump.fit(&x, &y);
+        let mse = |p: Vec<f64>| -> f64 {
+            p.iter().zip(&yt).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / yt.len() as f64
+        };
+        assert!(mse(forest.predict(&xt)) < mse(stump.predict(&xt)));
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let (x, y) = nonlinear_data(150, 4);
+        let mut a = RandomForest::new(10, 6);
+        let mut b = RandomForest::new(10, 6);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_and_varied() {
+        let b1 = RandomForest::bootstrap(100, 0, 42);
+        let b2 = RandomForest::bootstrap(100, 0, 42);
+        let b3 = RandomForest::bootstrap(100, 1, 42);
+        assert_eq!(b1, b2);
+        assert_ne!(b1, b3);
+        assert!(b1.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn len_reports_tree_count() {
+        let (x, y) = nonlinear_data(50, 5);
+        let mut f = RandomForest::new(7, 3);
+        assert!(f.is_empty());
+        f.fit(&x, &y);
+        assert_eq!(f.len(), 7);
+    }
+}

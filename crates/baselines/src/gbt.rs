@@ -1,0 +1,160 @@
+//! Gradient-boosted regression trees (the paper's "XGBR" baseline).
+//!
+//! Squared-error gradient boosting: each round fits a shallow CART tree to
+//! the current residuals and adds it with a learning rate. This is the
+//! XGBoost objective without its regularization refinements — adequate for
+//! the Figure 11 accuracy comparison.
+
+use crate::tree::DecisionTree;
+use crate::Regressor;
+use tensor::Matrix;
+
+/// Gradient-boosting regressor.
+#[derive(Debug, Clone)]
+pub struct GradientBoosting {
+    /// Boosting rounds.
+    pub n_rounds: usize,
+    /// Depth of each weak tree.
+    pub max_depth: usize,
+    /// Shrinkage per round.
+    pub learning_rate: f64,
+    base: f64,
+    trees: Vec<DecisionTree>,
+}
+
+impl GradientBoosting {
+    /// A booster with the given rounds / depth / learning rate.
+    pub fn new(n_rounds: usize, max_depth: usize, learning_rate: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        Self { n_rounds, max_depth, learning_rate, base: 0.0, trees: Vec::new() }
+    }
+
+    /// Number of fitted rounds.
+    pub fn rounds_fitted(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Training MSE after each round (for monotonicity checks).
+    pub fn staged_mse(&self, x: &Matrix, y: &[f64]) -> Vec<f64> {
+        let mut pred = vec![self.base; x.rows()];
+        let mut out = Vec::with_capacity(self.trees.len());
+        for tree in &self.trees {
+            for (p, t) in pred.iter_mut().zip(tree.predict(x)) {
+                *p += self.learning_rate * t;
+            }
+            let mse = pred
+                .iter()
+                .zip(y)
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum::<f64>()
+                / y.len() as f64;
+            out.push(mse);
+        }
+        out
+    }
+}
+
+impl Regressor for GradientBoosting {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        assert_eq!(x.rows(), y.len(), "row/target count mismatch");
+        assert!(x.rows() > 0, "empty dataset");
+        self.base = y.iter().sum::<f64>() / y.len() as f64;
+        self.trees.clear();
+        let mut residual: Vec<f64> = y.iter().map(|&t| t - self.base).collect();
+        let idx: Vec<usize> = (0..x.rows()).collect();
+        for _ in 0..self.n_rounds {
+            let mut tree = DecisionTree::new(self.max_depth);
+            tree.min_leaf = 3;
+            tree.fit_indices(x, &residual, &idx);
+            let pred = tree.predict(x);
+            for (r, p) in residual.iter_mut().zip(&pred) {
+                *r -= self.learning_rate * p;
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        let mut acc = vec![self.base; x.rows()];
+        for tree in &self.trees {
+            for (a, p) in acc.iter_mut().zip(tree.predict(x)) {
+                *a += self.learning_rate * p;
+            }
+        }
+        acc
+    }
+
+    fn name(&self) -> &'static str {
+        "XGBR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = tensor::init::uniform(n, 2, 0.0, 1.0, &mut rng);
+        let y: Vec<f64> = x.rows_iter().map(|r| (5.0 * r[0]).sin() + 2.0 * r[1]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn training_error_decreases_with_rounds() {
+        let (x, y) = data(300, 1);
+        let mut g = GradientBoosting::new(50, 3, 0.2);
+        g.fit(&x, &y);
+        let staged = g.staged_mse(&x, &y);
+        assert!(staged.first().unwrap() > staged.last().unwrap());
+        // Non-strictly monotone decreasing overall trend.
+        assert!(staged.last().unwrap() < &0.01, "final MSE {}", staged.last().unwrap());
+    }
+
+    #[test]
+    fn zero_rounds_predicts_mean() {
+        let (x, y) = data(100, 2);
+        let mut g = GradientBoosting::new(1, 0, 1.0);
+        g.fit(&x, &y);
+        // Depth-0 trees are mean-of-residual leaves; after one round with
+        // lr 1.0 the prediction is the target mean + residual mean = mean.
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let pred = g.predict(&x);
+        for p in pred {
+            assert!((p - mean).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn boosting_beats_its_own_weak_learner() {
+        let (x, y) = data(300, 3);
+        let (xt, yt) = data(150, 4);
+        let mut weak = DecisionTree::new(2);
+        weak.fit(&x, &y);
+        let mut boosted = GradientBoosting::new(80, 2, 0.2);
+        boosted.fit(&x, &y);
+        let mse = |p: Vec<f64>| -> f64 {
+            p.iter().zip(&yt).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / yt.len() as f64
+        };
+        assert!(mse(boosted.predict(&xt)) < mse(weak.predict(&xt)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (x, y) = data(120, 5);
+        let mut a = GradientBoosting::new(20, 3, 0.3);
+        let mut b = GradientBoosting::new(20, 3, 0.3);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_learning_rate_rejected() {
+        let _ = GradientBoosting::new(10, 3, 0.0);
+    }
+}

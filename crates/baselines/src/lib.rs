@@ -1,0 +1,38 @@
+//! Multi-learner regression baselines (paper Figure 11).
+//!
+//! The paper compares its DNN against four "multi-learner" methods trained
+//! on the same data: Random Forest Regressor (RFR), eXtreme Gradient
+//! Boosting Regressor (XGBR), Support Vector Regressor (SVR) and Multiple
+//! Linear Regressor (MLR). All four are implemented here from scratch on
+//! top of the `tensor` crate, behind the common [`Regressor`] trait.
+
+pub mod forest;
+pub mod gbt;
+pub mod linreg;
+pub mod svr;
+pub mod tree;
+
+pub use forest::RandomForest;
+pub use gbt::GradientBoosting;
+pub use linreg::LinearRegression;
+pub use svr::LinearSvr;
+pub use tree::DecisionTree;
+
+use tensor::Matrix;
+
+/// A trainable regression model mapping feature rows to scalar targets.
+pub trait Regressor: Send + Sync {
+    /// Fits the model on `x` (rows = samples) and targets `y`.
+    ///
+    /// # Panics
+    /// Implementations panic if `x.rows() != y.len()` or the dataset is
+    /// empty — baseline training is driven by this codebase, so shape
+    /// violations are programming errors.
+    fn fit(&mut self, x: &Matrix, y: &[f64]);
+
+    /// Predicts one target per row of `x`.
+    fn predict(&self, x: &Matrix) -> Vec<f64>;
+
+    /// Short display name (e.g. "RFR").
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,185 @@
+//! Multiple linear regression (MLR) via ridge-stabilized normal equations.
+
+use crate::Regressor;
+use tensor::{matmul, Matrix};
+
+/// Ordinary least squares with an intercept and optional ridge penalty.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    /// L2 penalty on the (non-intercept) coefficients.
+    pub ridge: f64,
+    coef: Vec<f64>,
+    intercept: f64,
+}
+
+impl LinearRegression {
+    /// Plain OLS (tiny ridge term for numerical stability).
+    pub fn new() -> Self {
+        Self { ridge: 1e-9, coef: Vec::new(), intercept: 0.0 }
+    }
+
+    /// Ridge regression with penalty `lambda`.
+    pub fn ridge(lambda: f64) -> Self {
+        Self { ridge: lambda, coef: Vec::new(), intercept: 0.0 }
+    }
+
+    /// Fitted coefficients (empty before `fit`).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coef
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Solves the symmetric positive-definite system `A w = b` by Gaussian
+    /// elimination with partial pivoting.
+    fn solve(mut a: Matrix, mut b: Vec<f64>) -> Vec<f64> {
+        let n = b.len();
+        for k in 0..n {
+            let pivot_row = (k..n)
+                .max_by(|&r1, &r2| {
+                    a[(r1, k)].abs().partial_cmp(&a[(r2, k)].abs()).expect("finite")
+                })
+                .expect("non-empty");
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = a[(k, c)];
+                    a[(k, c)] = a[(pivot_row, c)];
+                    a[(pivot_row, c)] = tmp;
+                }
+                b.swap(k, pivot_row);
+            }
+            let pivot = a[(k, k)];
+            assert!(pivot.abs() > 1e-300, "singular normal equations");
+            for r in k + 1..n {
+                let f = a[(r, k)] / pivot;
+                for c in k..n {
+                    a[(r, c)] -= f * a[(k, c)];
+                }
+                b[r] -= f * b[k];
+            }
+        }
+        let mut x = vec![0.0; n];
+        for k in (0..n).rev() {
+            let mut acc = b[k];
+            for c in k + 1..n {
+                acc -= a[(k, c)] * x[c];
+            }
+            x[k] = acc / a[(k, k)];
+        }
+        x
+    }
+}
+
+impl Default for LinearRegression {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        assert_eq!(x.rows(), y.len(), "row/target count mismatch");
+        assert!(x.rows() > 0, "empty dataset");
+        let (n, d) = x.shape();
+        // Augment with an intercept column.
+        let mut xa = Matrix::zeros(n, d + 1);
+        for r in 0..n {
+            let row = xa.row_mut(r);
+            row[..d].copy_from_slice(x.row(r));
+            row[d] = 1.0;
+        }
+        // Normal equations: (X^T X + lambda I') w = X^T y, intercept
+        // unpenalized.
+        let xt = xa.transpose();
+        let mut xtx = matmul::matmul(&xt, &xa).expect("shapes chain");
+        for i in 0..d {
+            xtx[(i, i)] += self.ridge;
+        }
+        let xty = matmul::matvec(&xt, y).expect("target length checked");
+        let w = Self::solve(xtx, xty);
+        self.intercept = w[d];
+        self.coef = w[..d].to_vec();
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert_eq!(x.cols(), self.coef.len(), "feature count mismatch (fit first?)");
+        x.rows_iter()
+            .map(|row| {
+                self.intercept + row.iter().zip(&self.coef).map(|(&a, &b)| a * b).sum::<f64>()
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "MLR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = tensor::init::uniform(100, 3, -2.0, 2.0, &mut rng);
+        let y: Vec<f64> = x.rows_iter().map(|r| 2.0 * r[0] - r[1] + 0.5 * r[2] + 7.0).collect();
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y);
+        assert!((m.coefficients()[0] - 2.0).abs() < 1e-6);
+        assert!((m.coefficients()[1] + 1.0).abs() < 1e-6);
+        assert!((m.coefficients()[2] - 0.5).abs() < 1e-6);
+        assert!((m.intercept() - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prediction_matches_targets_on_training_data() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = tensor::init::uniform(50, 2, 0.0, 1.0, &mut rng);
+        let y: Vec<f64> = x.rows_iter().map(|r| 3.0 * r[0] + r[1]).collect();
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        for (p, t) in pred.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = tensor::init::uniform(60, 2, -1.0, 1.0, &mut rng);
+        let y: Vec<f64> = x.rows_iter().map(|r| 5.0 * r[0]).collect();
+        let mut ols = LinearRegression::new();
+        let mut ridge = LinearRegression::ridge(100.0);
+        ols.fit(&x, &y);
+        ridge.fit(&x, &y);
+        assert!(ridge.coefficients()[0].abs() < ols.coefficients()[0].abs());
+    }
+
+    #[test]
+    fn collinear_features_do_not_explode() {
+        // Two identical columns: ridge term keeps the solve well posed.
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, i as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..30).map(|i| 2.0 * i as f64).collect();
+        let mut m = LinearRegression::ridge(1e-6);
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        for (p, t) in pred.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn shape_mismatch_panics() {
+        let mut m = LinearRegression::new();
+        m.fit(&Matrix::zeros(3, 2), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Linear ε-insensitive support vector regression, trained by SGD.
+//!
+//! Minimizes `lambda/2 ||w||^2 + mean(max(0, |w·x + b - y| - epsilon))`
+//! by stochastic subgradient descent on standardized features. Linear SVR
+//! is the weakest baseline in the paper's Figure 11 next to MLR, which is
+//! exactly the role it plays here.
+
+use crate::Regressor;
+use tensor::stats::Standardizer;
+use tensor::Matrix;
+
+/// Linear ε-SVR.
+#[derive(Debug, Clone)]
+pub struct LinearSvr {
+    /// Insensitivity tube half-width.
+    pub epsilon: f64,
+    /// L2 regularization strength.
+    pub lambda: f64,
+    /// SGD epochs.
+    pub epochs: usize,
+    /// Initial learning rate (decays 1/sqrt(t)).
+    pub lr: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+    weights: Vec<f64>,
+    bias: f64,
+    scaler: Option<Standardizer>,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl LinearSvr {
+    /// SVR with scikit-learn-flavoured defaults.
+    pub fn new() -> Self {
+        Self {
+            epsilon: 0.05,
+            lambda: 1e-4,
+            epochs: 60,
+            lr: 0.05,
+            seed: 7,
+            weights: Vec::new(),
+            bias: 0.0,
+            scaler: None,
+            y_mean: 0.0,
+            y_std: 1.0,
+        }
+    }
+
+    /// Fitted weights in standardized feature space.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Default for LinearSvr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Regressor for LinearSvr {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        assert_eq!(x.rows(), y.len(), "row/target count mismatch");
+        assert!(x.rows() > 0, "empty dataset");
+        let scaler = Standardizer::fit(x);
+        let xs = scaler.transform(x).expect("fitted on same shape");
+        self.y_mean = y.iter().sum::<f64>() / y.len() as f64;
+        self.y_std = (y.iter().map(|&v| (v - self.y_mean).powi(2)).sum::<f64>()
+            / y.len() as f64)
+            .sqrt()
+            .max(1e-12);
+        let ys: Vec<f64> = y.iter().map(|&v| (v - self.y_mean) / self.y_std).collect();
+
+        let d = x.cols();
+        self.weights = vec![0.0; d];
+        self.bias = 0.0;
+
+        let n = xs.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut state = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut t = 0u64;
+        for _ in 0..self.epochs {
+            // Deterministic xorshift shuffle.
+            for i in (1..n).rev() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                order.swap(i, (state % (i as u64 + 1)) as usize);
+            }
+            for &i in &order {
+                t += 1;
+                let eta = self.lr / (1.0 + (t as f64).sqrt() * 0.01);
+                let row = xs.row(i);
+                let pred: f64 =
+                    self.bias + row.iter().zip(&self.weights).map(|(&a, &b)| a * b).sum::<f64>();
+                let err = pred - ys[i];
+                // L2 shrink.
+                for w in &mut self.weights {
+                    *w *= 1.0 - eta * self.lambda;
+                }
+                if err.abs() > self.epsilon {
+                    let sign = err.signum();
+                    for (w, &xi) in self.weights.iter_mut().zip(row) {
+                        *w -= eta * sign * xi;
+                    }
+                    self.bias -= eta * sign;
+                }
+            }
+        }
+        self.scaler = Some(scaler);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let scaler = self.scaler.as_ref().expect("predict before fit");
+        let xs = scaler.transform(x).expect("feature count matches fit");
+        xs.rows_iter()
+            .map(|row| {
+                let z: f64 =
+                    self.bias + row.iter().zip(&self.weights).map(|(&a, &b)| a * b).sum::<f64>();
+                z * self.y_std + self.y_mean
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "SVR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fits_linear_relation_approximately() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = tensor::init::uniform(400, 2, -1.0, 1.0, &mut rng);
+        let y: Vec<f64> = x.rows_iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 1.0).collect();
+        let mut m = LinearSvr::new();
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        let mape: f64 = pred
+            .iter()
+            .zip(&y)
+            .filter(|(_, &t)| t.abs() > 0.5)
+            .map(|(&p, &t)| ((p - t) / t).abs())
+            .sum::<f64>()
+            / y.len() as f64;
+        assert!(mape < 0.15, "relative error {mape}");
+    }
+
+    #[test]
+    fn robust_to_target_scale() {
+        // Internal standardization should handle kilowatt-scale targets.
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = tensor::init::uniform(300, 1, 0.0, 1.0, &mut rng);
+        let y: Vec<f64> = x.rows_iter().map(|r| 400.0 * r[0] + 100.0).collect();
+        let mut m = LinearSvr::new();
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        for (p, t) in pred.iter().zip(&y) {
+            assert!((p - t).abs() / t < 0.2, "{p} vs {t}");
+        }
+    }
+
+    #[test]
+    fn errors_inside_tube_do_not_move_weights() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![-1.0]]).unwrap();
+        let y = vec![0.0, 0.0];
+        let mut m = LinearSvr::new();
+        m.epsilon = 10.0; // everything inside the tube
+        m.fit(&x, &y);
+        assert!(m.weights()[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = tensor::init::uniform(100, 2, 0.0, 1.0, &mut rng);
+        let y: Vec<f64> = x.rows_iter().map(|r| r[0] + r[1]).collect();
+        let mut a = LinearSvr::new();
+        let mut b = LinearSvr::new();
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        let m = LinearSvr::new();
+        let _ = m.predict(&Matrix::zeros(1, 1));
+    }
+}

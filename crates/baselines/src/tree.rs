@@ -1,0 +1,317 @@
+//! CART regression tree (the base learner for RFR and XGBR).
+
+use crate::Regressor;
+use tensor::Matrix;
+
+/// A node of the regression tree.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// CART regression tree minimizing within-node variance.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required in each leaf.
+    pub min_leaf: usize,
+    /// Restrict each split search to this many features (for forests);
+    /// `None` uses all features.
+    pub max_features: Option<usize>,
+    /// Seed for the per-split feature subsampling.
+    pub feature_seed: u64,
+    root: Option<Node>,
+}
+
+impl DecisionTree {
+    /// A tree with the given depth bound, considering all features.
+    pub fn new(max_depth: usize) -> Self {
+        Self { max_depth, min_leaf: 2, max_features: None, feature_seed: 0, root: None }
+    }
+
+    fn mean(y: &[f64], idx: &[usize]) -> f64 {
+        idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64
+    }
+
+    fn sse(y: &[f64], idx: &[usize]) -> f64 {
+        let m = Self::mean(y, idx);
+        idx.iter().map(|&i| (y[i] - m) * (y[i] - m)).sum()
+    }
+
+    /// Chooses the candidate features for one split.
+    fn candidate_features(&self, d: usize, depth_salt: u64) -> Vec<usize> {
+        match self.max_features {
+            None => (0..d).collect(),
+            Some(k) if k >= d => (0..d).collect(),
+            Some(k) => {
+                // Deterministic Fisher-Yates prefix on a seeded permutation.
+                let mut order: Vec<usize> = (0..d).collect();
+                let mut state = self
+                    .feature_seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(depth_salt);
+                for i in (1..d).rev() {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let j = (state % (i as u64 + 1)) as usize;
+                    order.swap(i, j);
+                }
+                order.truncate(k);
+                order
+            }
+        }
+    }
+
+    fn build(&self, x: &Matrix, y: &[f64], idx: &[usize], depth: usize, salt: u64) -> Node {
+        let parent_sse = Self::sse(y, idx);
+        if depth >= self.max_depth || idx.len() < 2 * self.min_leaf || parent_sse <= 1e-12 {
+            return Node::Leaf { value: Self::mean(y, idx) };
+        }
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        for &f in &self.candidate_features(x.cols(), salt) {
+            // Sort sample indices by this feature once; scan split points.
+            let mut sorted: Vec<usize> = idx.to_vec();
+            sorted.sort_by(|&a, &b| x[(a, f)].partial_cmp(&x[(b, f)]).expect("finite"));
+            // Prefix sums for O(1) SSE of each split.
+            let total_sum: f64 = sorted.iter().map(|&i| y[i]).sum();
+            let total_sq: f64 = sorted.iter().map(|&i| y[i] * y[i]).sum();
+            let mut lsum = 0.0;
+            let mut lsq = 0.0;
+            for (pos, &i) in sorted.iter().enumerate() {
+                lsum += y[i];
+                lsq += y[i] * y[i];
+                let nl = pos + 1;
+                let nr = sorted.len() - nl;
+                if nl < self.min_leaf || nr < self.min_leaf {
+                    continue;
+                }
+                // Skip ties: can't split between equal feature values.
+                if x[(i, f)] == x[(sorted[pos + 1], f)] {
+                    continue;
+                }
+                let rsum = total_sum - lsum;
+                let rsq = total_sq - lsq;
+                let sse = (lsq - lsum * lsum / nl as f64) + (rsq - rsum * rsum / nr as f64);
+                if best.is_none_or(|(_, _, b)| sse < b) {
+                    let threshold = 0.5 * (x[(i, f)] + x[(sorted[pos + 1], f)]);
+                    best = Some((f, threshold, sse));
+                }
+            }
+        }
+
+        let Some((feature, threshold, split_sse)) = best else {
+            return Node::Leaf { value: Self::mean(y, idx) };
+        };
+        if split_sse >= parent_sse - 1e-12 {
+            return Node::Leaf { value: Self::mean(y, idx) };
+        }
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| x[(i, feature)] <= threshold);
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(self.build(x, y, &left_idx, depth + 1, salt.wrapping_mul(3) + 1)),
+            right: Box::new(self.build(x, y, &right_idx, depth + 1, salt.wrapping_mul(3) + 2)),
+        }
+    }
+
+    fn eval(node: &Node, row: &[f64]) -> f64 {
+        match node {
+            Node::Leaf { value } => *value,
+            Node::Split { feature, threshold, left, right } => {
+                if row[*feature] <= *threshold {
+                    Self::eval(left, row)
+                } else {
+                    Self::eval(right, row)
+                }
+            }
+        }
+    }
+
+    /// Fits on a subset of row indices (used by ensembles for bootstraps).
+    pub fn fit_indices(&mut self, x: &Matrix, y: &[f64], idx: &[usize]) {
+        assert!(!idx.is_empty(), "empty index set");
+        self.root = Some(self.build(x, y, idx, 0, 1));
+    }
+
+    /// Depth of the fitted tree (0 = single leaf).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        self.root.as_ref().map_or(0, d)
+    }
+}
+
+impl Regressor for DecisionTree {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        assert_eq!(x.rows(), y.len(), "row/target count mismatch");
+        assert!(x.rows() > 0, "empty dataset");
+        let idx: Vec<usize> = (0..x.rows()).collect();
+        self.fit_indices(x, y, &idx);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let root = self.root.as_ref().expect("predict before fit");
+        x.rows_iter().map(|row| Self::eval(root, row)).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "CART"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Matrix, Vec<f64>) {
+        // y = 1 for x < 0.5, y = 5 for x >= 0.5.
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let y: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn learns_a_step_function_exactly() {
+        let (x, y) = step_data();
+        let mut t = DecisionTree::new(3);
+        t.fit(&x, &y);
+        let pred = t.predict(&x);
+        for (p, t_) in pred.iter().zip(&y) {
+            assert!((p - t_).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn depth_zero_tree_predicts_mean() {
+        let (x, y) = step_data();
+        let mut t = DecisionTree::new(0);
+        t.fit(&x, &y);
+        let pred = t.predict(&x);
+        assert!((pred[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn splits_on_the_informative_feature() {
+        // Feature 0 is noise-free signal, feature 1 is constant.
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64, 1.0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..60).map(|i| if i < 30 { 0.0 } else { 10.0 }).collect();
+        let mut t = DecisionTree::new(2);
+        t.fit(&x, &y);
+        // Perfect fit is only possible by splitting feature 0.
+        let pred = t.predict(&x);
+        assert!(pred.iter().zip(&y).all(|(p, t_)| (p - t_).abs() < 1e-12));
+    }
+
+    #[test]
+    fn respects_min_leaf() {
+        let (x, y) = step_data();
+        let mut t = DecisionTree::new(10);
+        t.min_leaf = 40;
+        t.fit(&x, &y);
+        // With min_leaf 40, only the middle split is allowed; depth 1.
+        assert!(t.depth() <= 2);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let (x, _) = step_data();
+        let y = vec![3.5; x.rows()];
+        let mut t = DecisionTree::new(8);
+        t.fit(&x, &y);
+        assert_eq!(t.depth(), 0);
+        assert!((t.predict(&x)[0] - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_features_limits_split_candidates() {
+        let mut t = DecisionTree::new(4);
+        t.max_features = Some(1);
+        let cands = t.candidate_features(5, 1);
+        assert_eq!(cands.len(), 1);
+        assert!(cands[0] < 5);
+    }
+
+    #[test]
+    fn deeper_trees_fit_better() {
+        // Piecewise function with 4 levels needs depth 2.
+        let rows: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..80).map(|i| (i / 20) as f64).collect();
+        let mut shallow = DecisionTree::new(1);
+        let mut deep = DecisionTree::new(3);
+        shallow.fit(&x, &y);
+        deep.fit(&x, &y);
+        let err = |p: &[f64]| -> f64 {
+            p.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum()
+        };
+        assert!(err(&deep.predict(&x)) < err(&shallow.predict(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        let t = DecisionTree::new(2);
+        let _ = t.predict(&Matrix::zeros(1, 1));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Tree predictions are convex combinations of training targets:
+            /// they never leave the [min, max] target range.
+            #[test]
+            fn predictions_bounded_by_targets(
+                ys in proptest::collection::vec(-100.0..100.0f64, 8..60),
+                depth in 1usize..6,
+                queries in proptest::collection::vec(-2.0..2.0f64, 1..10),
+            ) {
+                let rows: Vec<Vec<f64>> = (0..ys.len())
+                    .map(|i| vec![i as f64 / ys.len() as f64])
+                    .collect();
+                let x = Matrix::from_rows(&rows).unwrap();
+                let mut t = DecisionTree::new(depth);
+                t.fit(&x, &ys);
+                let lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let q = Matrix::from_rows(
+                    &queries.iter().map(|&v| vec![v]).collect::<Vec<_>>(),
+                ).unwrap();
+                for p in t.predict(&q) {
+                    prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+                }
+            }
+
+            /// Depth never exceeds the configured bound.
+            #[test]
+            fn depth_respects_bound(
+                ys in proptest::collection::vec(-10.0..10.0f64, 8..60),
+                depth in 0usize..7,
+            ) {
+                let rows: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+                let x = Matrix::from_rows(&rows).unwrap();
+                let mut t = DecisionTree::new(depth);
+                t.fit(&x, &ys);
+                prop_assert!(t.depth() <= depth);
+            }
+        }
+    }
+}

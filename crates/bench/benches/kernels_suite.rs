@@ -1,0 +1,27 @@
+//! Criterion benches for a cross-section of the instrumented CPU kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kernels::accel::{Bfs, Fft, Spmv, Stencil};
+use kernels::micro::{Dgemm, Stream};
+use kernels::Kernel;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    let suite: Vec<Box<dyn Kernel>> = vec![
+        Box::new(Dgemm { n: 128 }),
+        Box::new(Stream { len: 1 << 18 }),
+        Box::new(Stencil { n: 32, iters: 2 }),
+        Box::new(Fft { len: 1024, batch: 16 }),
+        Box::new(Spmv { n: 10_000, nnz_per_row: 16 }),
+        Box::new(Bfs { nodes: 20_000, degree: 6 }),
+    ];
+    for k in suite {
+        group.bench_function(k.name(), |b| b.iter(|| black_box(k.run(1.0))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

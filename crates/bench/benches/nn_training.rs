@@ -1,0 +1,78 @@
+//! Criterion benches for model training and online prediction — the
+//! paper's Section 4.3 claims: ~6.5 s power-model training, ~2.6 s time
+//! model, ~0.2 s prediction across the DVFS space.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvfs_core::dataset::Dataset;
+use dvfs_core::models::{ModelConfig, PowerTimeModels};
+use gpu_model::{DeviceSpec, DvfsGrid, NoiseModel, SignatureBuilder};
+use std::hint::black_box;
+
+fn campaign_dataset() -> (DeviceSpec, Dataset) {
+    let spec = DeviceSpec::ga100();
+    let grid = DvfsGrid::for_spec(&spec);
+    let nm = NoiseModel::default_bench();
+    let sigs = [
+        SignatureBuilder::new("c").flops(2e13).bytes(2e11).kappa_compute(0.9).build(),
+        SignatureBuilder::new("m").flops(2e11).bytes(2e13).kappa_memory(0.85).build(),
+        SignatureBuilder::new("x").flops(8e12).bytes(3e12).build(),
+        SignatureBuilder::new("y").flops(3e12).bytes(1e12).kappa_compute(0.5).build(),
+    ];
+    let mut samples = Vec::new();
+    for sig in &sigs {
+        for &f in &grid.used() {
+            for run in 0..3 {
+                samples.push(gpu_model::sample::measure(&spec, sig, f, run, &nm));
+            }
+        }
+    }
+    let ds = Dataset::from_samples(&spec, &samples).unwrap();
+    (spec, ds)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (_, ds) = campaign_dataset();
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    group.bench_function("power_model_100_epochs", |b| {
+        b.iter(|| {
+            PowerTimeModels::train_with(
+                black_box(&ds),
+                ModelConfig::paper_power(),
+                // Train only the time model minimally: this bench targets
+                // the power model's 100-epoch cost.
+                ModelConfig { epochs: 1, ..ModelConfig::paper_time() },
+            )
+        })
+    });
+    group.bench_function("time_model_25_epochs", |b| {
+        b.iter(|| {
+            PowerTimeModels::train_with(
+                black_box(&ds),
+                ModelConfig { epochs: 1, ..ModelConfig::paper_power() },
+                ModelConfig::paper_time(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let (spec, ds) = campaign_dataset();
+    let models = PowerTimeModels::train(&ds);
+    let grid = DvfsGrid::for_spec(&spec);
+    let freqs = grid.used();
+    c.bench_function("predict_power_time_61_states", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &f in &freqs {
+                acc += models.predict_power_w(&spec, black_box(0.6), black_box(0.5), f);
+                acc += models.predict_time_ratio(&spec, black_box(0.6), black_box(0.5), f);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_training, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches for the tensor substrate: the three matmul kernels
+//! (naive / blocked / rayon-parallel) that everything else builds on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tensor::{init, matmul};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = init::uniform(n, n, -1.0, 1.0, &mut rng);
+        let b = init::uniform(n, n, -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| matmul::matmul_naive(black_box(&a), black_box(&b)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+            bench.iter(|| matmul::matmul_blocked(black_box(&a), black_box(&b)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |bench, _| {
+            bench.iter(|| matmul::matmul_parallel(black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = init::uniform(512, 512, -1.0, 1.0, &mut rng);
+    let x: Vec<f64> = (0..512).map(|i| i as f64 * 0.01).collect();
+    c.bench_function("matvec_512", |b| {
+        b.iter(|| matmul::matvec(black_box(&a), black_box(&x)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_matvec);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Ablation: network depth and width around the paper's 3x64 choice.
+
+use dvfs_core::dataset::Dataset;
+use dvfs_core::models::{ModelConfig, PowerTimeModels};
+
+fn main() {
+    let lab = bench::build_lab();
+    let ds: &Dataset = &lab.pipeline.dataset;
+
+    println!("== Ablation: hidden layers x width (power model) ==");
+    println!("{:<8} {:<8} {:>12} {:>14} {:>10}", "layers", "width", "params", "val loss", "wall (s)");
+    for layers in [1usize, 2, 3, 4] {
+        for width in [16usize, 64, 128] {
+            let cfg = ModelConfig {
+                hidden_layers: layers,
+                width,
+                ..ModelConfig::paper_power()
+            };
+            let net = cfg.build_network();
+            let params = net.num_params();
+            let models = PowerTimeModels::train_with(
+                ds,
+                cfg,
+                ModelConfig { hidden_layers: layers, width, ..ModelConfig::paper_time() },
+            );
+            println!(
+                "{:<8} {:<8} {:>12} {:>14.6} {:>10.2}",
+                layers,
+                width,
+                params,
+                models.power_history.val_loss.last().copied().unwrap_or(f64::NAN),
+                models.power_history.train_seconds
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Ablation: the multi-objective function.
+//!
+//! Compares EDP, ED²P, energy-only, time-only and a weighted E·T^1.5
+//! objective on measured data across the six applications — the paper's
+//! Section 7 discussion ("ultimately, the quality of the objective
+//! function determines the power-performance trade-off").
+
+use dvfs_core::evaluation::trade_off;
+use dvfs_core::objective::Objective;
+
+fn main() {
+    let lab = bench::build_lab();
+    let objectives = [
+        Objective::EnergyOnly,
+        Objective::Edp,
+        Objective::Weighted { time_weight: 1.5 },
+        Objective::Ed2p,
+        Objective::TimeOnly,
+    ];
+
+    println!("== Ablation: objective function (measured data, GA100) ==");
+    println!(
+        "{:<10} {:>12} {:>14} {:>12}",
+        "objective", "avg f (MHz)", "avg energy(%)", "avg time(%)"
+    );
+    for obj in objectives {
+        let mut f_sum = 0.0;
+        let mut e_sum = 0.0;
+        let mut t_sum = 0.0;
+        for app in &lab.apps {
+            let m = &lab.measured_ga100[&app.name];
+            let sel = m.select(obj, None);
+            let t = trade_off(m, sel.index);
+            f_sum += sel.frequency_mhz;
+            e_sum += t.energy_saving_pct;
+            t_sum += t.time_change_pct;
+        }
+        let n = lab.apps.len() as f64;
+        println!(
+            "{:<10} {:>12.0} {:>14.1} {:>12.1}",
+            obj.name(),
+            f_sum / n,
+            e_sum / n,
+            t_sum / n
+        );
+    }
+}

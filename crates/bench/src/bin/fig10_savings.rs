@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 10 (ED2P energy/time changes).
+
+use dvfs_core::experiments::fig10;
+
+fn main() {
+    let lab = bench::build_lab();
+    let report = fig10::run(&lab);
+    bench::emit("fig10_savings", &report.render(), &report);
+}

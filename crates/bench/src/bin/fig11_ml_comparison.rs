@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 11 (multi-learner comparison).
+
+use dvfs_core::experiments::fig11;
+
+fn main() {
+    let lab = bench::build_lab();
+    let report = fig11::run(&lab);
+    bench::emit("fig11_ml_comparison", &report.render(), &report);
+}

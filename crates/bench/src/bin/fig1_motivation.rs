@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 1 (motivation curves).
+
+use dvfs_core::experiments::fig1;
+
+fn main() {
+    let lab = bench::build_lab();
+    let report = fig1::run(&lab);
+    bench::emit("fig1_motivation", &report.render(), &report);
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 2 (methodology overview) as an executed
+//! pipeline walk.
+
+use dvfs_core::experiments::fig2;
+
+fn main() {
+    let lab = bench::build_lab();
+    let report = fig2::run(&lab);
+    bench::emit("fig2_methodology", &report.render(), &report);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 3 (feature MI ranking).
+
+use dvfs_core::experiments::fig3;
+
+fn main() {
+    let lab = bench::build_lab();
+    let report = fig3::run(&lab);
+    bench::emit("fig3_feature_mi", &report.render(), &report);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 4 (DVFS activity invariance).
+
+use dvfs_core::experiments::fig4;
+
+fn main() {
+    let lab = bench::build_lab();
+    let report = fig4::run(&lab);
+    bench::emit("fig4_dvfs_invariance", &report.render(), &report);
+}

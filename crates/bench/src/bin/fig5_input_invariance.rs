@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 5 (input-size activity invariance).
+
+use dvfs_core::experiments::fig5;
+
+fn main() {
+    let lab = bench::build_lab();
+    let report = fig5::run(&lab);
+    bench::emit("fig5_input_invariance", &report.render(), &report);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 6 (training loss curves).
+
+use dvfs_core::experiments::fig6;
+
+fn main() {
+    let lab = bench::build_lab();
+    let report = fig6::run(&lab);
+    bench::emit("fig6_training_loss", &report.render(), &report);
+}

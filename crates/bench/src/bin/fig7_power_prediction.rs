@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 7 (power prediction panels).
+
+use dvfs_core::experiments::fig7;
+
+fn main() {
+    let lab = bench::build_lab();
+    let report = fig7::run(&lab);
+    bench::emit("fig7_power_prediction", &report.render(), &report);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 8 (normalized time panels).
+
+use dvfs_core::experiments::fig8;
+
+fn main() {
+    let lab = bench::build_lab();
+    let report = fig8::run(&lab);
+    bench::emit("fig8_time_prediction", &report.render(), &report);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 9 (optimal DVFS selections).
+
+use dvfs_core::experiments::fig9;
+
+fn main() {
+    let lab = bench::build_lab();
+    let report = fig9::run(&lab);
+    bench::emit("fig9_optimal_selection", &report.render(), &report);
+}

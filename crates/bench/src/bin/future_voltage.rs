@@ -1,0 +1,83 @@
+//! Future-work extension: joint frequency + voltage optimization.
+//!
+//! The paper's conclusion proposes evaluating the *voltage* design space
+//! with the same methodology. This harness does that on the simulator:
+//! for each application it compares
+//!
+//! 1. the frequency-only ED²P optimum (the paper's method), and
+//! 2. the joint (frequency, undervolt) ED²P optimum, where each frequency
+//!    may additionally run at any stable voltage offset.
+//!
+//! Undervolting cuts power quadratically at zero performance cost, so the
+//! joint optimum always saves at least as much energy — the question is how
+//! much more, and whether it shifts the chosen frequency.
+
+use gpu_model::undervolt::{self, VoltageOffset};
+use telemetry::GpuBackend;
+
+fn main() {
+    let lab = bench::build_lab();
+    let spec = lab.ga100.spec().clone();
+    let offsets: Vec<VoltageOffset> = [0.0, 2.0, 4.0, 6.0, 8.0]
+        .iter()
+        .map(|&p| VoltageOffset::undervolt_pct(p))
+        .collect();
+
+    println!("== Future work: joint frequency + voltage ED2P optimization (GA100) ==");
+    println!(
+        "{:<10} {:>12} {:>10} | {:>9} {:>8} {:>10} | {:>8}",
+        "app", "f-only MHz", "E saved", "joint MHz", "UV (%)", "E saved", "extra"
+    );
+    for app in &lab.apps {
+        // Both searches run in the same (noise-free) analytical space so
+        // the joint optimum is guaranteed to dominate the f-only one.
+        let app_energy = |f: f64, off: VoltageOffset| -> Option<f64> {
+            let mut e = 0.0;
+            for phase in &app.phases {
+                e += phase.repeats * undervolt::energy(&spec, &phase.signature, f, off)?;
+            }
+            Some(e)
+        };
+
+        let freqs = lab.ga100.grid().used();
+        let f_max = *freqs.last().expect("non-empty grid");
+        let e_max = app_energy(f_max, VoltageOffset::nominal()).expect("nominal is stable");
+
+        let mut f_only: Option<(f64, f64)> = None; // (f, ed2p)
+        let mut joint: Option<(f64, f64, f64)> = None; // (f, uv_pct, ed2p)
+        for &f in &freqs {
+            let t = app.exec_time(&spec, f);
+            for off in &offsets {
+                let Some(e) = app_energy(f, *off) else { continue };
+                let score = e * t * t;
+                if off.scale == 1.0 && f_only.is_none_or(|(_, b)| score < b) {
+                    f_only = Some((f, score));
+                }
+                if joint.is_none_or(|(_, _, b)| score < b) {
+                    joint = Some((f, (1.0 - off.scale) * 100.0, score));
+                }
+            }
+        }
+        let (ff, _) = f_only.expect("nominal column is always stable");
+        let (jf, juv, _) = joint.expect("grid is non-empty");
+        let f_only_saving =
+            1.0 - app_energy(ff, VoltageOffset::nominal()).expect("stable") / e_max;
+        let joint_saving = 1.0
+            - app_energy(jf, VoltageOffset::undervolt_pct(juv)).expect("joint optimum is stable")
+                / e_max;
+        println!(
+            "{:<10} {:>12.0} {:>9.1}% | {:>9.0} {:>8.1} {:>9.1}% | {:>+7.1}%",
+            app.name,
+            ff,
+            100.0 * f_only_saving,
+            jf,
+            juv,
+            100.0 * joint_saving,
+            100.0 * (joint_saving - f_only_saving)
+        );
+    }
+    println!(
+        "\n(time cost of the joint optimum equals the frequency-only cost at the\n\
+         same frequency: voltage offsets do not move execution time)"
+    );
+}

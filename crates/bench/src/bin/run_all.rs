@@ -1,0 +1,42 @@
+//! Regenerates every table and figure of the paper in one pass, reusing a
+//! single trained lab. This is the one-shot reproduction entry point:
+//!
+//! ```text
+//! cargo run --release -p bench --bin run_all
+//! ```
+
+use dvfs_core::experiments::*;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let lab = bench::build_lab();
+    eprintln!("[run_all] lab ready in {:.1}s", t0.elapsed().as_secs_f64());
+
+    macro_rules! emit {
+        ($name:literal, $module:ident) => {{
+            let report = $module::run(&lab);
+            bench::emit($name, &report.render(), &report);
+        }};
+    }
+
+    emit!("table1_specs", table1);
+    emit!("table2_apps", table2);
+    emit!("fig2_methodology", fig2);
+    emit!("fig1_motivation", fig1);
+    emit!("fig3_feature_mi", fig3);
+    emit!("fig4_dvfs_invariance", fig4);
+    emit!("fig5_input_invariance", fig5);
+    emit!("fig6_training_loss", fig6);
+    emit!("fig7_power_prediction", fig7);
+    emit!("fig8_time_prediction", fig8);
+    emit!("fig9_optimal_selection", fig9);
+    emit!("fig10_savings", fig10);
+    emit!("fig11_ml_comparison", fig11);
+    emit!("table3_accuracy", table3);
+    emit!("table4_frequencies", table4);
+    emit!("table5_savings", table5);
+    emit!("table6_thresholds", table6);
+    emit!("training_fit", training_fit);
+
+    eprintln!("[run_all] total {:.1}s", t0.elapsed().as_secs_f64());
+}

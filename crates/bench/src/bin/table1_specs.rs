@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 1 (GPU specifications).
+
+use dvfs_core::experiments::table1;
+
+fn main() {
+    let lab = bench::build_lab();
+    let report = table1::run(&lab);
+    bench::emit("table1_specs", &report.render(), &report);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 2 (application list).
+
+use dvfs_core::experiments::table2;
+
+fn main() {
+    let lab = bench::build_lab();
+    let report = table2::run(&lab);
+    bench::emit("table2_apps", &report.render(), &report);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 3 (model accuracy incl. portability).
+
+use dvfs_core::experiments::table3;
+
+fn main() {
+    let lab = bench::build_lab();
+    let report = table3::run(&lab);
+    bench::emit("table3_accuracy", &report.render(), &report);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 4 (optimal frequencies).
+
+use dvfs_core::experiments::table4;
+
+fn main() {
+    let lab = bench::build_lab();
+    let report = table4::run(&lab);
+    bench::emit("table4_frequencies", &report.render(), &report);
+}

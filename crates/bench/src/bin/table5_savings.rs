@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 5 (energy/time trade-offs).
+
+use dvfs_core::experiments::table5;
+
+fn main() {
+    let lab = bench::build_lab();
+    let report = table5::run(&lab);
+    bench::emit("table5_savings", &report.render(), &report);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 6 (performance thresholds).
+
+use dvfs_core::experiments::table6;
+
+fn main() {
+    let lab = bench::build_lab();
+    let report = table6::run(&lab);
+    bench::emit("table6_thresholds", &report.render(), &report);
+}

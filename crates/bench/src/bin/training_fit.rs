@@ -1,0 +1,10 @@
+//! Scores the trained models on their own training benchmarks (the
+//! generalization-gap companion analysis).
+
+use dvfs_core::experiments::training_fit;
+
+fn main() {
+    let lab = bench::build_lab();
+    let report = training_fit::run(&lab);
+    bench::emit("training_fit", &report.render(), &report);
+}

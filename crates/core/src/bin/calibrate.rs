@@ -1,0 +1,45 @@
+//! Calibration scratch tool: trains the full paper pipeline and prints
+//! per-application accuracy plus selector outcomes.
+
+use dvfs_core::evaluation::{accuracy_row, four_way_selection, trade_off_row};
+use dvfs_core::pipeline::TrainedPipeline;
+use dvfs_core::predictor::measured_profile;
+use telemetry::SimulatorBackend;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let backend = SimulatorBackend::ga100();
+    let pipe = TrainedPipeline::train_on(&backend, 1);
+    println!("train: {:.1}s, rows {}", t0.elapsed().as_secs_f64(), pipe.dataset.len());
+    println!("power loss final {:.5}, time loss final {:.5}",
+        pipe.models.power_history.train_loss.last().unwrap(),
+        pipe.models.time_history.train_loss.last().unwrap());
+    let predictor = pipe.predictor(pipe.train_spec.clone());
+    for app in kernels::apps::evaluation_apps() {
+        let meas = measured_profile(&backend, &app);
+        let pred = predictor.predict_online(&backend, &app);
+        let acc = accuracy_row(&meas, &pred);
+        let sel = four_way_selection(&meas, &pred);
+        let tr = trade_off_row(&meas, &sel);
+        println!("{:<10} powerAcc {:5.1}% timeAcc {:5.1}% | M-ED2P {:4.0} P-ED2P {:4.0} M-EDP {:4.0} P-EDP {:4.0} | M-ED2P E {:5.1}% T {:5.1}% | P-ED2P E {:5.1}% T {:5.1}%",
+            acc.application, acc.power_accuracy, acc.time_accuracy,
+            sel.m_ed2p.frequency_mhz, sel.p_ed2p.frequency_mhz,
+            sel.m_edp.frequency_mhz, sel.p_edp.frequency_mhz,
+            tr.m_ed2p.energy_saving_pct, tr.m_ed2p.time_change_pct,
+            tr.p_ed2p.energy_saving_pct, tr.p_ed2p.time_change_pct);
+    }
+    // Detailed curve dump for LAMMPS.
+    let app = kernels::apps::lammps();
+    let meas = measured_profile(&backend, &app);
+    let pred = predictor.predict_online(&backend, &app);
+    let tn_m = meas.normalized_time();
+    let tn_p = pred.normalized_time();
+    for i in (0..meas.frequencies.len()).step_by(6) {
+        let f = meas.frequencies[i];
+        println!("f {:4.0}  T_m {:.3} T_p {:.3}  P_m {:5.1} P_p {:5.1}  ED2P_m {:.3} ED2P_p {:.3}",
+            f, tn_m[i], tn_p[i], meas.power_w[i], pred.power_w[i],
+            meas.energy_j[i]*meas.time_s[i].powi(2)/(meas.energy_j.last().unwrap()*meas.time_s.last().unwrap().powi(2)),
+            pred.energy_j[i]*pred.time_s[i].powi(2)/(pred.energy_j.last().unwrap()*pred.time_s.last().unwrap().powi(2)));
+    }
+    println!("total {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,181 @@
+//! Fleet power capping on top of predicted profiles.
+//!
+//! Once per-application power/time profiles exist (measured or predicted),
+//! node- or rack-level questions become cheap searches. This module solves
+//! the classic one: choose one frequency per GPU so the group stays under a
+//! power budget with the least performance damage. The planner is a greedy
+//! marginal-cost descent — at each step it downclocks the GPU whose next
+//! grid step costs the least *normalized slowdown per watt saved* — which
+//! is optimal for convex power/time trade-off curves and near-optimal for
+//! the mildly non-convex profiles real applications produce.
+
+use crate::predictor::PredictedProfile;
+use serde::{Deserialize, Serialize};
+
+/// One GPU's assignment in a cap plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Application name.
+    pub workload: String,
+    /// Chosen frequency (MHz).
+    pub frequency_mhz: f64,
+    /// Index into the profile's frequency list.
+    pub index: usize,
+    /// Power at the chosen point (W).
+    pub power_w: f64,
+    /// Predicted slowdown vs the default clock (fraction, >= 0).
+    pub slowdown: f64,
+}
+
+/// The result of planning a power cap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapPlan {
+    /// One assignment per input profile, in input order.
+    pub assignments: Vec<Assignment>,
+    /// Total power of the plan (W).
+    pub total_power_w: f64,
+    /// Whether the plan meets the requested cap (false only when every GPU
+    /// is already at its floor and the cap is still exceeded).
+    pub feasible: bool,
+}
+
+impl CapPlan {
+    /// Worst per-GPU slowdown in the plan.
+    pub fn worst_slowdown(&self) -> f64 {
+        self.assignments.iter().map(|a| a.slowdown).fold(0.0, f64::max)
+    }
+}
+
+/// Plans frequencies for a group of GPUs under a shared power cap.
+///
+/// # Panics
+/// Panics if `profiles` is empty or any profile has an empty grid.
+pub fn plan_under_cap(profiles: &[&PredictedProfile], cap_w: f64) -> CapPlan {
+    assert!(!profiles.is_empty(), "cannot plan an empty fleet");
+    for p in profiles {
+        assert!(!p.frequencies.is_empty(), "{}: empty profile", p.workload);
+    }
+    let mut idx: Vec<usize> = profiles.iter().map(|p| p.max_freq_index()).collect();
+
+    let draw = |idx: &[usize]| -> f64 {
+        idx.iter().zip(profiles).map(|(&i, p)| p.power_w[i]).sum()
+    };
+
+    let mut feasible = true;
+    while draw(&idx) > cap_w {
+        // Cheapest next downclock: least added slowdown per watt saved.
+        let mut best: Option<(usize, f64)> = None;
+        for (g, p) in profiles.iter().enumerate() {
+            let i = idx[g];
+            if i == 0 {
+                continue;
+            }
+            let d_power = p.power_w[i] - p.power_w[i - 1];
+            if d_power <= 0.0 {
+                continue;
+            }
+            let t_ref = p.time_s[p.max_freq_index()];
+            let d_time = (p.time_s[i - 1] - p.time_s[i]).max(0.0) / t_ref;
+            let cost = d_time / d_power;
+            if best.is_none_or(|(_, c)| cost < c) {
+                best = Some((g, cost));
+            }
+        }
+        match best {
+            Some((g, _)) => idx[g] -= 1,
+            None => {
+                feasible = false;
+                break;
+            }
+        }
+    }
+
+    let assignments = idx
+        .iter()
+        .zip(profiles)
+        .map(|(&i, p)| Assignment {
+            workload: p.workload.clone(),
+            frequency_mhz: p.frequencies[i],
+            index: i,
+            power_w: p.power_w[i],
+            slowdown: p.time_change_at(i).max(0.0),
+        })
+        .collect();
+    CapPlan { total_power_w: draw(&idx), assignments, feasible }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(name: &str, p_scale: f64, steep: f64) -> PredictedProfile {
+        let frequencies: Vec<f64> = (0..21).map(|i| 510.0 + 45.0 * i as f64).collect();
+        let fmax = *frequencies.last().unwrap();
+        let time_s: Vec<f64> = frequencies.iter().map(|&f| (fmax / f).powf(steep)).collect();
+        let power_w: Vec<f64> = frequencies
+            .iter()
+            .map(|&f| p_scale * (100.0 + 400.0 * (f / fmax).powi(2)))
+            .collect();
+        let energy_j: Vec<f64> = power_w.iter().zip(&time_s).map(|(&p, &t)| p * t).collect();
+        PredictedProfile { workload: name.into(), frequencies, power_w, time_s, energy_j }
+    }
+
+    #[test]
+    fn loose_cap_keeps_default_clocks() {
+        let a = profile("a", 1.0, 1.0);
+        let b = profile("b", 1.0, 0.2);
+        let plan = plan_under_cap(&[&a, &b], 10_000.0);
+        assert!(plan.feasible);
+        assert!(plan.assignments.iter().all(|x| x.frequency_mhz == 1410.0));
+        assert_eq!(plan.worst_slowdown(), 0.0);
+    }
+
+    #[test]
+    fn cap_is_respected_when_feasible() {
+        let a = profile("a", 1.0, 1.0);
+        let b = profile("b", 1.0, 0.2);
+        let cap = 700.0;
+        let plan = plan_under_cap(&[&a, &b], cap);
+        assert!(plan.feasible);
+        assert!(plan.total_power_w <= cap);
+    }
+
+    #[test]
+    fn dvfs_insensitive_gpu_is_downclocked_first() {
+        // b's time barely reacts to frequency (steep 0.1): the greedy
+        // planner should throttle it before the steep one.
+        let a = profile("steep", 1.0, 1.5);
+        let b = profile("flat", 1.0, 0.1);
+        let plan = plan_under_cap(&[&a, &b], 900.0);
+        assert!(plan.feasible);
+        assert!(
+            plan.assignments[1].frequency_mhz < plan.assignments[0].frequency_mhz,
+            "flat app should take the downclock: {:?}",
+            plan.assignments
+        );
+    }
+
+    #[test]
+    fn impossible_cap_reports_infeasible_at_floor() {
+        let a = profile("a", 1.0, 1.0);
+        let plan = plan_under_cap(&[&a], 10.0);
+        assert!(!plan.feasible);
+        assert_eq!(plan.assignments[0].index, 0);
+    }
+
+    #[test]
+    fn slowdowns_are_nonnegative_and_monotone_with_cap() {
+        let a = profile("a", 1.0, 1.0);
+        let b = profile("b", 2.0, 0.5);
+        let loose = plan_under_cap(&[&a, &b], 1400.0);
+        let tight = plan_under_cap(&[&a, &b], 900.0);
+        assert!(tight.worst_slowdown() >= loose.worst_slowdown());
+        assert!(loose.assignments.iter().all(|x| x.slowdown >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty fleet")]
+    fn empty_fleet_panics() {
+        let _ = plan_under_cap(&[], 100.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Evaluation utilities: MAPE-based accuracy and the four-way selector
+//! comparison (M-EDP / P-EDP / M-ED²P / P-ED²P) used by Tables 3–5.
+
+use crate::objective::{Objective, Selection};
+use crate::predictor::PredictedProfile;
+use nn::metrics;
+use serde::{Deserialize, Serialize};
+
+/// Model accuracy for one application on one device (a Table 3 row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyRow {
+    /// Application name.
+    pub application: String,
+    /// Power-model accuracy in percent (`100 - MAPE`).
+    pub power_accuracy: f64,
+    /// Time-model accuracy in percent.
+    pub time_accuracy: f64,
+}
+
+/// Computes the Table 3 accuracy row from a measured and a predicted
+/// profile over the same frequency grid.
+///
+/// # Panics
+/// Panics if the two profiles cover different frequency lists.
+pub fn accuracy_row(measured: &PredictedProfile, predicted: &PredictedProfile) -> AccuracyRow {
+    assert_eq!(
+        measured.frequencies, predicted.frequencies,
+        "profiles must cover the same grid"
+    );
+    AccuracyRow {
+        application: measured.workload.clone(),
+        power_accuracy: metrics::accuracy_from_mape(&predicted.power_w, &measured.power_w),
+        time_accuracy: metrics::accuracy_from_mape(
+            &predicted.normalized_time(),
+            &measured.normalized_time(),
+        ),
+    }
+}
+
+/// One application's four optimal frequencies (a Table 4 row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectionRow {
+    /// Application name.
+    pub application: String,
+    /// Measured-data ED²P selection.
+    pub m_ed2p: Selection,
+    /// Predicted-data ED²P selection.
+    pub p_ed2p: Selection,
+    /// Measured-data EDP selection.
+    pub m_edp: Selection,
+    /// Predicted-data EDP selection.
+    pub p_edp: Selection,
+}
+
+/// Runs all four selectors for one application.
+pub fn four_way_selection(
+    measured: &PredictedProfile,
+    predicted: &PredictedProfile,
+) -> SelectionRow {
+    SelectionRow {
+        application: measured.workload.clone(),
+        m_ed2p: measured.select(Objective::Ed2p, None),
+        p_ed2p: predicted.select(Objective::Ed2p, None),
+        m_edp: measured.select(Objective::Edp, None),
+        p_edp: predicted.select(Objective::Edp, None),
+    }
+}
+
+/// Energy/time change of one selector choice, *evaluated on measured
+/// data* (what actually happens if you deploy the chosen frequency),
+/// relative to the default clock. This is how the paper's Table 5 scores
+/// both M- and P- selections.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TradeOff {
+    /// Energy saving in percent (positive = saved energy).
+    pub energy_saving_pct: f64,
+    /// Execution-time change in percent (negative = performance loss,
+    /// matching the paper's sign convention in Table 5).
+    pub time_change_pct: f64,
+}
+
+/// Evaluates a chosen frequency index against the measured profile.
+pub fn trade_off(measured: &PredictedProfile, index: usize) -> TradeOff {
+    TradeOff {
+        energy_saving_pct: 100.0 * measured.energy_saving_at(index),
+        // Paper sign convention: negative values indicate performance loss.
+        time_change_pct: -100.0 * measured.time_change_at(index),
+    }
+}
+
+/// A full Table 5 row: the four selectors' trade-offs for one application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TradeOffRow {
+    /// Application name.
+    pub application: String,
+    /// Measured-ED²P outcome.
+    pub m_ed2p: TradeOff,
+    /// Predicted-ED²P outcome.
+    pub p_ed2p: TradeOff,
+    /// Measured-EDP outcome.
+    pub m_edp: TradeOff,
+    /// Predicted-EDP outcome.
+    pub p_edp: TradeOff,
+}
+
+/// Builds the Table 5 row for one application.
+pub fn trade_off_row(measured: &PredictedProfile, sel: &SelectionRow) -> TradeOffRow {
+    TradeOffRow {
+        application: sel.application.clone(),
+        m_ed2p: trade_off(measured, sel.m_ed2p.index),
+        p_ed2p: trade_off(measured, sel.p_ed2p.index),
+        m_edp: trade_off(measured, sel.m_edp.index),
+        p_edp: trade_off(measured, sel.p_edp.index),
+    }
+}
+
+/// Column-wise average of trade-off rows (Table 5's "Average" row).
+pub fn average_trade_offs(rows: &[TradeOffRow]) -> TradeOffRow {
+    assert!(!rows.is_empty(), "no rows to average");
+    let n = rows.len() as f64;
+    let avg = |f: &dyn Fn(&TradeOffRow) -> TradeOff| -> TradeOff {
+        TradeOff {
+            energy_saving_pct: rows.iter().map(|r| f(r).energy_saving_pct).sum::<f64>() / n,
+            time_change_pct: rows.iter().map(|r| f(r).time_change_pct).sum::<f64>() / n,
+        }
+    };
+    TradeOffRow {
+        application: "Average".into(),
+        m_ed2p: avg(&|r| r.m_ed2p),
+        p_ed2p: avg(&|r| r.p_ed2p),
+        m_edp: avg(&|r| r.m_edp),
+        p_edp: avg(&|r| r.p_edp),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(name: &str, scale: f64) -> PredictedProfile {
+        let frequencies: Vec<f64> = (0..10).map(|i| 510.0 + 100.0 * i as f64).collect();
+        let time_s: Vec<f64> = frequencies.iter().map(|&f| scale * 1410.0 / f).collect();
+        let power_w: Vec<f64> =
+            frequencies.iter().map(|&f| 100.0 + 300.0 * (f / 1410.0).powi(2)).collect();
+        let energy_j: Vec<f64> = power_w.iter().zip(&time_s).map(|(&p, &t)| p * t).collect();
+        PredictedProfile {
+            workload: name.into(),
+            frequencies,
+            power_w,
+            time_s,
+            energy_j,
+        }
+    }
+
+    #[test]
+    fn identical_profiles_have_perfect_accuracy() {
+        let m = profile("app", 1.0);
+        let row = accuracy_row(&m, &m);
+        assert_eq!(row.power_accuracy, 100.0);
+        assert_eq!(row.time_accuracy, 100.0);
+    }
+
+    #[test]
+    fn accuracy_reflects_prediction_error() {
+        let m = profile("app", 1.0);
+        let mut p = m.clone();
+        for v in &mut p.power_w {
+            *v *= 1.05; // uniform 5% over-prediction
+        }
+        let row = accuracy_row(&m, &p);
+        assert!((row.power_accuracy - 95.0).abs() < 1e-9);
+        assert_eq!(row.time_accuracy, 100.0);
+    }
+
+    #[test]
+    fn normalized_time_accuracy_ignores_absolute_scale() {
+        // Predicted absolute times off by 2x but correct shape: normalized
+        // accuracy stays perfect (Figure 8 is normalized).
+        let m = profile("app", 1.0);
+        let p = profile("app", 2.0);
+        let row = accuracy_row(&m, &p);
+        assert_eq!(row.time_accuracy, 100.0);
+    }
+
+    #[test]
+    fn four_way_selection_consistency() {
+        let m = profile("app", 1.0);
+        let sel = four_way_selection(&m, &m);
+        assert_eq!(sel.m_edp.frequency_mhz, sel.p_edp.frequency_mhz);
+        assert!(sel.m_ed2p.frequency_mhz >= sel.m_edp.frequency_mhz);
+    }
+
+    #[test]
+    fn trade_off_at_max_is_zero() {
+        let m = profile("app", 1.0);
+        let t = trade_off(&m, m.max_freq_index());
+        assert_eq!(t.energy_saving_pct, 0.0);
+        assert_eq!(t.time_change_pct, 0.0);
+    }
+
+    #[test]
+    fn slower_choice_reports_negative_time_change() {
+        let m = profile("app", 1.0);
+        let t = trade_off(&m, 0); // lowest frequency: slow but low energy?
+        assert!(t.time_change_pct < 0.0, "paper convention: loss is negative");
+    }
+
+    #[test]
+    fn average_is_columnwise_mean() {
+        let m = profile("a", 1.0);
+        let sel = four_way_selection(&m, &m);
+        let r1 = trade_off_row(&m, &sel);
+        let mut r2 = r1.clone();
+        r2.m_edp.energy_saving_pct += 10.0;
+        let avg = average_trade_offs(&[r1.clone(), r2.clone()]);
+        assert!(
+            (avg.m_edp.energy_saving_pct
+                - (r1.m_edp.energy_saving_pct + r2.m_edp.energy_saving_pct) / 2.0)
+                .abs()
+                < 1e-12
+        );
+        assert_eq!(avg.application, "Average");
+    }
+
+    #[test]
+    #[should_panic(expected = "same grid")]
+    fn mismatched_grids_rejected() {
+        let m = profile("a", 1.0);
+        let mut p = profile("a", 1.0);
+        p.frequencies.pop();
+        p.power_w.pop();
+        p.time_s.pop();
+        p.energy_j.pop();
+        let _ = accuracy_row(&m, &p);
+    }
+}

@@ -1,0 +1,167 @@
+//! Figure 1: power, execution time, energy, and FLOPS/bandwidth of DGEMM
+//! and STREAM across the 61 used GA100 DVFS configurations.
+
+use super::Lab;
+use gpu_model::model;
+use kernels::micro::{Dgemm, Stream};
+use kernels::Kernel;
+use telemetry::GpuBackend;
+use serde::{Deserialize, Serialize};
+
+/// One micro-benchmark's panels (one row of Figure 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MicroBenchCurves {
+    /// Benchmark name.
+    pub name: String,
+    /// Frequencies in MHz, ascending.
+    pub frequency_mhz: Vec<f64>,
+    /// Panel (a)/(e): power in watts.
+    pub power_w: Vec<f64>,
+    /// Panel (b)/(f): execution time in seconds.
+    pub time_s: Vec<f64>,
+    /// Panel (c)/(g): energy in joules.
+    pub energy_j: Vec<f64>,
+    /// Panel (d): achieved GFLOP/s (DGEMM) — or panel (h): achieved GB/s
+    /// (STREAM).
+    pub throughput: Vec<f64>,
+    /// Unit of `throughput` ("GFLOP/s" or "GB/s").
+    pub throughput_unit: String,
+    /// Frequency with minimal energy.
+    pub optimal_energy_mhz: f64,
+    /// Frequency with minimal execution time.
+    pub optimal_time_mhz: f64,
+}
+
+/// The full Figure 1 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Report {
+    /// Upper row: DGEMM (compute intensive).
+    pub dgemm: MicroBenchCurves,
+    /// Lower row: STREAM (memory intensive).
+    pub stream: MicroBenchCurves,
+}
+
+fn curves(lab: &Lab, sig: &gpu_model::WorkloadSignature, unit: &str, bandwidth: bool) -> MicroBenchCurves {
+    let spec = lab.ga100.spec();
+    let freqs = lab.ga100.grid().used();
+    let mut power_w = Vec::with_capacity(freqs.len());
+    let mut time_s = Vec::with_capacity(freqs.len());
+    let mut energy_j = Vec::with_capacity(freqs.len());
+    let mut throughput = Vec::with_capacity(freqs.len());
+    for &f in &freqs {
+        power_w.push(model::power(spec, sig, f));
+        time_s.push(model::exec_time(spec, sig, f));
+        energy_j.push(model::energy(spec, sig, f));
+        throughput.push(if bandwidth {
+            model::achieved_bandwidth_gbs(spec, sig, f)
+        } else {
+            model::achieved_gflops(spec, sig, f)
+        });
+    }
+    let e_idx = tensor::reduce::argmin(&energy_j).expect("non-empty grid");
+    let t_idx = tensor::reduce::argmin(&time_s).expect("non-empty grid");
+    MicroBenchCurves {
+        name: sig.name.clone(),
+        optimal_energy_mhz: freqs[e_idx],
+        optimal_time_mhz: freqs[t_idx],
+        frequency_mhz: freqs,
+        power_w,
+        time_s,
+        energy_j,
+        throughput,
+        throughput_unit: unit.to_string(),
+    }
+}
+
+/// Runs the Figure 1 experiment.
+pub fn run(lab: &Lab) -> Fig1Report {
+    let spec = lab.ga100.spec();
+    let dgemm_sig = Dgemm::default().signature(spec);
+    let stream_sig = Stream::default().signature(spec);
+    Fig1Report {
+        dgemm: curves(lab, &dgemm_sig, "GFLOP/s", false),
+        stream: curves(lab, &stream_sig, "GB/s", true),
+    }
+}
+
+impl Fig1Report {
+    /// Renders the eight panels as frequency series.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (bench, label) in [(&self.dgemm, "DGEMM (compute-intensive)"), (&self.stream, "STREAM (memory-intensive)")] {
+            out.push_str(&format!(
+                "== Figure 1: {label} on GA100 ==\n\
+                 optimal energy at {:.0} MHz, optimal run time at {:.0} MHz\n",
+                bench.optimal_energy_mhz, bench.optimal_time_mhz
+            ));
+            out.push_str(&format!(
+                "{:<10} {:>9} {:>9} {:>10} {:>12}\n",
+                "f (MHz)", "P (W)", "T (s)", "E (J)", bench.throughput_unit
+            ));
+            for i in (0..bench.frequency_mhz.len()).step_by(6) {
+                out.push_str(&format!(
+                    "{:<10.0} {:>9.1} {:>9.2} {:>10.0} {:>12.0}\n",
+                    bench.frequency_mhz[i],
+                    bench.power_w[i],
+                    bench.time_s[i],
+                    bench.energy_j[i],
+                    bench.throughput[i]
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testlab;
+    use super::*;
+
+    #[test]
+    fn dgemm_reaches_tdp_and_stream_half() {
+        let r = run(testlab::shared());
+        let tdp = 500.0;
+        assert!((r.dgemm.power_w.last().unwrap() - tdp).abs() / tdp < 0.08);
+        let frac = r.stream.power_w.last().unwrap() / tdp;
+        assert!((0.4..=0.6).contains(&frac));
+    }
+
+    #[test]
+    fn optimal_frequencies_are_interior_for_energy() {
+        let r = run(testlab::shared());
+        // Figure 1: DGEMM optimal energy ~1080 MHz, STREAM ~1005 MHz.
+        assert!((900.0..=1200.0).contains(&r.dgemm.optimal_energy_mhz));
+        assert!((870.0..=1100.0).contains(&r.stream.optimal_energy_mhz));
+        // Run time is optimal at (or extremely near) the maximum frequency.
+        assert!(r.dgemm.optimal_time_mhz >= 1395.0);
+    }
+
+    #[test]
+    fn dgemm_flops_scale_linearly_stream_bw_saturates() {
+        let r = run(testlab::shared());
+        let g = &r.dgemm.throughput;
+        let ratio = g.last().unwrap() / g[0];
+        let f_ratio = 1410.0 / 510.0;
+        assert!((ratio - f_ratio).abs() / f_ratio < 0.1, "FLOPS ratio {ratio:.2}");
+        // STREAM bandwidth at max is < 15% above its 900 MHz value.
+        let bw = &r.stream.throughput;
+        let idx_900 = r
+            .stream
+            .frequency_mhz
+            .iter()
+            .position(|&f| f == 900.0)
+            .expect("900 MHz on grid");
+        assert!(bw.last().unwrap() / bw[idx_900] < 1.15);
+    }
+
+    #[test]
+    fn render_contains_panel_headers() {
+        let r = run(testlab::shared());
+        let s = r.render();
+        assert!(s.contains("DGEMM"));
+        assert!(s.contains("STREAM"));
+        assert!(s.contains("GFLOP/s") && s.contains("GB/s"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 10: percentage change in energy (upper) and execution time
+//! (lower) under P-ED²P and M-ED²P for each application on GA100.
+
+use super::Lab;
+use crate::evaluation::{four_way_selection, trade_off, TradeOff};
+use serde::{Deserialize, Serialize};
+
+/// One application's ED²P outcomes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ed2pOutcome {
+    /// Application name.
+    pub application: String,
+    /// Measured-data ED²P outcome.
+    pub measured: TradeOff,
+    /// Predicted-data ED²P outcome (evaluated against measured data).
+    pub predicted: TradeOff,
+}
+
+/// The Figure 10 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10Report {
+    /// One outcome pair per application.
+    pub outcomes: Vec<Ed2pOutcome>,
+}
+
+/// Builds the ED²P energy/time change bars.
+pub fn run(lab: &Lab) -> Fig10Report {
+    let outcomes = lab
+        .app_names()
+        .into_iter()
+        .map(|name| {
+            let m = &lab.measured_ga100[&name];
+            let p = &lab.predicted_ga100[&name];
+            let sel = four_way_selection(m, p);
+            Ed2pOutcome {
+                application: name,
+                measured: trade_off(m, sel.m_ed2p.index),
+                predicted: trade_off(m, sel.p_ed2p.index),
+            }
+        })
+        .collect();
+    Fig10Report { outcomes }
+}
+
+impl Fig10Report {
+    /// Renders the two bar groups.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== Figure 10: ED2P energy/time change vs f_max (GA100) ==\n");
+        out.push_str(&format!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}\n",
+            "app", "M-E(%)", "P-E(%)", "M-T(%)", "P-T(%)"
+        ));
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "{:<10} {:>12.1} {:>12.1} {:>12.1} {:>12.1}\n",
+                o.application,
+                o.measured.energy_saving_pct,
+                o.predicted.energy_saving_pct,
+                o.measured.time_change_pct,
+                o.predicted.time_change_pct
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testlab;
+    use super::*;
+
+    #[test]
+    fn measured_ed2p_saves_energy_with_small_time_cost() {
+        let r = run(testlab::shared());
+        let avg_energy: f64 = r
+            .outcomes
+            .iter()
+            .map(|o| o.measured.energy_saving_pct)
+            .sum::<f64>()
+            / r.outcomes.len() as f64;
+        let avg_time: f64 = r
+            .outcomes
+            .iter()
+            .map(|o| o.measured.time_change_pct)
+            .sum::<f64>()
+            / r.outcomes.len() as f64;
+        // Paper: average 28.2% energy saving at -1.8% time. Shape target:
+        // double-digit savings, low single-digit average time cost.
+        assert!(avg_energy > 10.0, "avg M-ED2P saving {avg_energy:.1}%");
+        assert!(avg_time > -6.0, "avg M-ED2P time change {avg_time:.1}%");
+    }
+
+    #[test]
+    fn predicted_tracks_measured_direction() {
+        // Figure 10's claim: predicted changes closely match measured ones.
+        let r = run(testlab::shared());
+        for o in &r.outcomes {
+            let gap = (o.measured.energy_saving_pct - o.predicted.energy_saving_pct).abs();
+            assert!(gap < 25.0, "{}: energy gap {gap:.1} pts", o.application);
+        }
+    }
+
+    #[test]
+    fn no_selection_loses_energy_catastrophically() {
+        let r = run(testlab::shared());
+        for o in &r.outcomes {
+            assert!(o.predicted.energy_saving_pct > -5.0, "{}", o.application);
+            assert!(o.measured.energy_saving_pct >= 0.0, "{}", o.application);
+        }
+    }
+}

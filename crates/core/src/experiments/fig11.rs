@@ -1,0 +1,176 @@
+//! Figure 11: power-prediction accuracy of the DNN vs the multi-learner
+//! baselines (RFR, XGBR, SVR, MLR) on the real applications.
+
+use super::Lab;
+use baselines::{GradientBoosting, LinearSvr, LinearRegression, RandomForest, Regressor};
+use nn::metrics;
+use telemetry::GpuBackend;
+use serde::{Deserialize, Serialize};
+use tensor::Matrix;
+
+/// One learner's per-application power accuracy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LearnerAccuracy {
+    /// Learner name ("DNN", "RFR", "XGBR", "SVR", "MLR").
+    pub learner: String,
+    /// Accuracy per application, in the paper's application order.
+    pub per_app_accuracy_pct: Vec<f64>,
+    /// Mean accuracy across applications.
+    pub mean_accuracy_pct: f64,
+}
+
+/// The Figure 11 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11Report {
+    /// Application order used in the per-app columns.
+    pub applications: Vec<String>,
+    /// DNN first, then the four baselines.
+    pub learners: Vec<LearnerAccuracy>,
+}
+
+/// Trains the baselines on the same dataset as the DNN and scores power
+/// accuracy on the real applications.
+pub fn run(lab: &Lab) -> Fig11Report {
+    let spec = lab.ga100.spec();
+    let ds = &lab.pipeline.dataset;
+    let apps = lab.app_names();
+
+    // The DNN row comes straight from the lab's predicted profiles.
+    let mut learners = vec![dnn_row(lab, &apps)];
+
+    let mut baselines: Vec<Box<dyn Regressor>> = vec![
+        Box::new(RandomForest::new(60, 10)),
+        Box::new(GradientBoosting::new(120, 4, 0.15)),
+        Box::new(LinearSvr::new()),
+        Box::new(LinearRegression::new()),
+    ];
+    for model in &mut baselines {
+        model.fit(&ds.x, &ds.y_power);
+        let mut per_app = Vec::with_capacity(apps.len());
+        for name in &apps {
+            let measured = &lab.measured_ga100[name];
+            // Same online regime as the DNN: features from the default
+            // clock, swept over frequency.
+            let (fp, dram) = app_reference_features(lab, name);
+            let rows: Vec<Vec<f64>> = measured
+                .frequencies
+                .iter()
+                .map(|&f| vec![fp, dram, f / spec.max_core_mhz])
+                .collect();
+            let x = Matrix::from_rows(&rows).expect("rectangular features");
+            let pred_w: Vec<f64> =
+                model.predict(&x).into_iter().map(|frac| frac * spec.tdp_w).collect();
+            per_app.push(metrics::accuracy_from_mape(&pred_w, &measured.power_w));
+        }
+        let mean = per_app.iter().sum::<f64>() / per_app.len() as f64;
+        learners.push(LearnerAccuracy {
+            learner: model.name().to_string(),
+            per_app_accuracy_pct: per_app,
+            mean_accuracy_pct: mean,
+        });
+    }
+    Fig11Report { applications: apps, learners }
+}
+
+fn dnn_row(lab: &Lab, apps: &[String]) -> LearnerAccuracy {
+    let per_app: Vec<f64> = apps
+        .iter()
+        .map(|name| {
+            metrics::accuracy_from_mape(
+                &lab.predicted_ga100[name].power_w,
+                &lab.measured_ga100[name].power_w,
+            )
+        })
+        .collect();
+    let mean = per_app.iter().sum::<f64>() / per_app.len() as f64;
+    LearnerAccuracy {
+        learner: "DNN".to_string(),
+        per_app_accuracy_pct: per_app,
+        mean_accuracy_pct: mean,
+    }
+}
+
+/// The application's default-clock features as the online phase sees them.
+fn app_reference_features(lab: &Lab, name: &str) -> (f64, f64) {
+    let app = lab
+        .apps
+        .iter()
+        .find(|a| a.name == name)
+        .expect("app exists in lab");
+    app.activities(lab.ga100.spec(), lab.ga100.spec().max_core_mhz)
+}
+
+impl Fig11Report {
+    /// Renders the accuracy comparison.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("== Figure 11: power accuracy across ML algorithms (GA100) ==\n");
+        out.push_str(&format!("{:<8}", "learner"));
+        for a in &self.applications {
+            out.push_str(&format!(" {a:>9}"));
+        }
+        out.push_str("      mean\n");
+        for l in &self.learners {
+            out.push_str(&format!("{:<8}", l.learner));
+            for v in &l.per_app_accuracy_pct {
+                out.push_str(&format!(" {v:>9.1}"));
+            }
+            out.push_str(&format!(" {:>9.1}\n", l.mean_accuracy_pct));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testlab;
+    use super::*;
+
+    #[test]
+    fn dnn_beats_every_baseline_on_average() {
+        let r = run(testlab::shared());
+        let dnn = r.learners[0].mean_accuracy_pct;
+        assert_eq!(r.learners[0].learner, "DNN");
+        for l in &r.learners[1..] {
+            assert!(
+                dnn > l.mean_accuracy_pct,
+                "DNN {dnn:.1}% should beat {} {:.1}%",
+                l.learner,
+                l.mean_accuracy_pct
+            );
+        }
+    }
+
+    #[test]
+    fn all_five_learners_present() {
+        let r = run(testlab::shared());
+        let names: Vec<&str> = r.learners.iter().map(|l| l.learner.as_str()).collect();
+        assert_eq!(names, ["DNN", "RFR", "XGBR", "SVR", "MLR"]);
+    }
+
+    #[test]
+    fn linear_models_trail_tree_ensembles() {
+        // The paper's Figure 11 shows much lower accuracy for the simple
+        // learners; at minimum the linear ones must not win.
+        let r = run(testlab::shared());
+        let acc = |name: &str| {
+            r.learners
+                .iter()
+                .find(|l| l.learner == name)
+                .unwrap()
+                .mean_accuracy_pct
+        };
+        assert!(acc("MLR") < acc("DNN"));
+        assert!(acc("SVR") < acc("DNN"));
+    }
+
+    #[test]
+    fn accuracies_are_percentages() {
+        let r = run(testlab::shared());
+        for l in &r.learners {
+            for &v in &l.per_app_accuracy_pct {
+                assert!((0.0..=100.0).contains(&v), "{}: {v}", l.learner);
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Figure 2: the methodology overview — executed rather than drawn.
+//!
+//! The paper's Figure 2 is the two-phase pipeline diagram. This driver
+//! walks every box of that diagram against the live system and reports
+//! the artifact each stage produced, so the "figure" doubles as an
+//! end-to-end self-check of the reproduction.
+
+use super::Lab;
+use crate::objective::Objective;
+use serde::{Deserialize, Serialize};
+
+/// One stage of the Figure 2 pipeline and the artifact it produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Stage {
+    /// Phase label ("offline" / "online").
+    pub phase: String,
+    /// Box name as in the figure.
+    pub stage: String,
+    /// What the live system produced for it.
+    pub artifact: String,
+}
+
+/// The Figure 2 report: the executed pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Report {
+    /// Stages in diagram order.
+    pub stages: Vec<Stage>,
+}
+
+/// Walks the two phases of the methodology over the lab's artifacts.
+pub fn run(lab: &Lab) -> Fig2Report {
+    let mut stages = Vec::new();
+    let mut off = |stage: &str, artifact: String| {
+        stages.push(Stage { phase: "offline".into(), stage: stage.into(), artifact });
+    };
+
+    let n_workloads = {
+        let mut names: Vec<&str> =
+            lab.pipeline.samples.iter().map(|s| s.workload.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    };
+    off(
+        "run benchmarks across DVFS configs",
+        format!(
+            "{} samples: {} workloads x {} states x 3 runs",
+            lab.pipeline.samples.len(),
+            n_workloads,
+            lab.pipeline.samples.len() / (3 * n_workloads)
+        ),
+    );
+    off(
+        "feature analysis & selection",
+        "fp_active, dram_active, sm_app_clock (see Figure 3)".into(),
+    );
+    off(
+        "construct normalized dataset",
+        format!("{} rows x 3 features, 2 targets", lab.pipeline.dataset.len()),
+    );
+    off(
+        "train power model",
+        format!(
+            "3x64 SELU, RMSprop, {} epochs, final loss {:.5}",
+            lab.pipeline.models.power_history.train_loss.len(),
+            lab.pipeline.models.power_history.train_loss.last().unwrap()
+        ),
+    );
+    off(
+        "train performance model",
+        format!(
+            "3x64 SELU, RMSprop, {} epochs, final loss {:.5}",
+            lab.pipeline.models.time_history.train_loss.len(),
+            lab.pipeline.models.time_history.train_loss.last().unwrap()
+        ),
+    );
+
+    let mut on = |stage: &str, artifact: String| {
+        stages.push(Stage { phase: "online".into(), stage: stage.into(), artifact });
+    };
+    let app = &lab.apps[0];
+    let profile = &lab.predicted_ga100[&app.name];
+    on(
+        "run application at default frequency",
+        format!("{}: one reference run at 1410 MHz", app.name),
+    );
+    on(
+        "predict power & time across DVFS space",
+        format!("{} predicted (P, T) pairs", profile.frequencies.len()),
+    );
+    on(
+        "compute energy E(f) = P(f) x T(f)",
+        format!(
+            "E spans {:.0}..{:.0} J",
+            profile.energy_j.iter().cloned().fold(f64::INFINITY, f64::min),
+            profile.energy_j.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        ),
+    );
+    let sel = profile.select(Objective::Ed2p, None);
+    on(
+        "select optimal frequency (Algorithm 1)",
+        format!("ED2P optimum {:.0} MHz", sel.frequency_mhz),
+    );
+    Fig2Report { stages }
+}
+
+impl Fig2Report {
+    /// Renders the executed pipeline.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== Figure 2: methodology overview (executed) ==\n");
+        let mut last_phase = "";
+        for s in &self.stages {
+            if s.phase != last_phase {
+                out.push_str(&format!("[{} phase]\n", s.phase));
+                last_phase = &s.phase;
+            }
+            out.push_str(&format!("  {:<42} -> {}\n", s.stage, s.artifact));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testlab;
+    use super::*;
+
+    #[test]
+    fn all_nine_stages_execute() {
+        let r = run(testlab::shared());
+        assert_eq!(r.stages.len(), 9);
+        assert_eq!(r.stages.iter().filter(|s| s.phase == "offline").count(), 5);
+        assert_eq!(r.stages.iter().filter(|s| s.phase == "online").count(), 4);
+    }
+
+    #[test]
+    fn artifacts_reflect_live_data() {
+        let lab = testlab::shared();
+        let r = run(lab);
+        assert!(r.stages[2].artifact.contains(&lab.pipeline.dataset.len().to_string()));
+        assert!(r.render().contains("ED2P optimum"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Figure 4: impact of DVFS on fp_active and dram_active for DGEMM and
+//! STREAM.
+
+use super::Lab;
+use serde::{Deserialize, Serialize};
+
+/// Activity traces of one benchmark across the DVFS grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ActivityTrace {
+    /// Benchmark name.
+    pub name: String,
+    /// Frequencies in MHz.
+    pub frequency_mhz: Vec<f64>,
+    /// Measured fp_active per frequency (mean over runs).
+    pub fp_active: Vec<f64>,
+    /// Measured dram_active per frequency (mean over runs).
+    pub dram_active: Vec<f64>,
+}
+
+impl ActivityTrace {
+    /// Absolute peak-to-peak swing of fp_active.
+    pub fn fp_swing(&self) -> f64 {
+        swing(&self.fp_active)
+    }
+
+    /// Absolute peak-to-peak swing of dram_active.
+    pub fn dram_swing(&self) -> f64 {
+        swing(&self.dram_active)
+    }
+}
+
+fn swing(xs: &[f64]) -> f64 {
+    let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    hi - lo
+}
+
+/// The Figure 4 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Report {
+    /// DGEMM and STREAM traces.
+    pub traces: Vec<ActivityTrace>,
+}
+
+/// Extracts per-frequency mean activities from the campaign samples.
+pub fn run(lab: &Lab) -> Fig4Report {
+    let traces = ["DGEMM", "STREAM"]
+        .iter()
+        .map(|&name| {
+            let mut freqs: Vec<f64> = lab
+                .pipeline
+                .samples
+                .iter()
+                .filter(|s| s.workload == name)
+                .map(|s| s.sm_app_clock)
+                .collect();
+            freqs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            freqs.dedup();
+            let mean_at = |f: f64, getter: &dyn Fn(&gpu_model::MetricSample) -> f64| -> f64 {
+                let vals: Vec<f64> = lab
+                    .pipeline
+                    .samples
+                    .iter()
+                    .filter(|s| s.workload == name && s.sm_app_clock == f)
+                    .map(getter)
+                    .collect();
+                vals.iter().sum::<f64>() / vals.len() as f64
+            };
+            ActivityTrace {
+                name: name.to_string(),
+                fp_active: freqs.iter().map(|&f| mean_at(f, &|s| s.fp_active())).collect(),
+                dram_active: freqs.iter().map(|&f| mean_at(f, &|s| s.dram_active)).collect(),
+                frequency_mhz: freqs,
+            }
+        })
+        .collect();
+    Fig4Report { traces }
+}
+
+impl Fig4Report {
+    /// Renders the four activity series.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== Figure 4: DVFS impact on computational activities ==\n");
+        for t in &self.traces {
+            out.push_str(&format!(
+                "{}: fp_active swing {:.3}, dram_active swing {:.3} across {} states\n",
+                t.name,
+                t.fp_swing(),
+                t.dram_swing(),
+                t.frequency_mhz.len()
+            ));
+            for i in (0..t.frequency_mhz.len()).step_by(t.frequency_mhz.len().div_ceil(8)) {
+                out.push_str(&format!(
+                    "  {:>6.0} MHz  fp {:.3}  dram {:.3}\n",
+                    t.frequency_mhz[i], t.fp_active[i], t.dram_active[i]
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testlab;
+    use super::*;
+
+    #[test]
+    fn fp_activity_is_nearly_dvfs_invariant() {
+        let r = run(testlab::shared());
+        for t in &r.traces {
+            let mean = t.fp_active.iter().sum::<f64>() / t.fp_active.len() as f64;
+            assert!(
+                t.fp_swing() < f64::max(0.15 * mean, 0.02),
+                "{}: fp swing {:.3} around mean {:.3}",
+                t.name,
+                t.fp_swing(),
+                mean
+            );
+        }
+    }
+
+    #[test]
+    fn dgemm_dram_activity_varies_with_dvfs() {
+        let r = run(testlab::shared());
+        let dgemm = &r.traces[0];
+        assert_eq!(dgemm.name, "DGEMM");
+        // The paper: memory activity "shows variations to some extent".
+        assert!(dgemm.dram_swing() > 0.05, "swing {:.3}", dgemm.dram_swing());
+    }
+
+    #[test]
+    fn covers_both_microbenchmarks() {
+        let r = run(testlab::shared());
+        assert_eq!(r.traces.len(), 2);
+        assert!(r.traces.iter().all(|t| !t.frequency_mhz.is_empty()));
+    }
+
+    #[test]
+    fn render_mentions_swings() {
+        let r = run(testlab::shared());
+        assert!(r.render().contains("swing"));
+    }
+}

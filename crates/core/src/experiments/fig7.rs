@@ -1,0 +1,103 @@
+//! Figure 7: predicted vs measured power for the six real applications
+//! across the 61 GA100 DVFS configurations.
+
+use super::Lab;
+use nn::metrics;
+use serde::{Deserialize, Serialize};
+
+/// One application's power panel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerPanel {
+    /// Application name.
+    pub application: String,
+    /// Frequencies in MHz.
+    pub frequency_mhz: Vec<f64>,
+    /// Measured power in watts.
+    pub measured_w: Vec<f64>,
+    /// Predicted power in watts.
+    pub predicted_w: Vec<f64>,
+    /// Accuracy (100 − MAPE) in percent.
+    pub accuracy_pct: f64,
+}
+
+/// The Figure 7 report: six panels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Report {
+    /// One panel per application, in the paper's order.
+    pub panels: Vec<PowerPanel>,
+}
+
+/// Builds the six measured-vs-predicted power panels.
+pub fn run(lab: &Lab) -> Fig7Report {
+    let panels = lab
+        .app_names()
+        .into_iter()
+        .map(|name| {
+            let m = &lab.measured_ga100[&name];
+            let p = &lab.predicted_ga100[&name];
+            PowerPanel {
+                application: name,
+                frequency_mhz: m.frequencies.clone(),
+                accuracy_pct: metrics::accuracy_from_mape(&p.power_w, &m.power_w),
+                measured_w: m.power_w.clone(),
+                predicted_w: p.power_w.clone(),
+            }
+        })
+        .collect();
+    Fig7Report { panels }
+}
+
+impl Fig7Report {
+    /// Renders the panels with their accuracies.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "== Figure 7: predicted vs measured power, real applications on GA100 ==\n",
+        );
+        for p in &self.panels {
+            out.push_str(&format!("{:<10} accuracy {:.1}%\n", p.application, p.accuracy_pct));
+            for i in (0..p.frequency_mhz.len()).step_by(12) {
+                out.push_str(&format!(
+                    "  {:>6.0} MHz  measured {:>6.1} W  predicted {:>6.1} W\n",
+                    p.frequency_mhz[i], p.measured_w[i], p.predicted_w[i]
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testlab;
+    use super::*;
+
+    #[test]
+    fn power_accuracy_in_paper_band() {
+        // Paper Table 3: GA100 power accuracy > 95% for every application.
+        let r = run(testlab::shared());
+        for p in &r.panels {
+            assert!(
+                p.accuracy_pct > 92.0,
+                "{}: power accuracy {:.1}%",
+                p.application,
+                p.accuracy_pct
+            );
+        }
+    }
+
+    #[test]
+    fn both_series_increase_with_frequency() {
+        let r = run(testlab::shared());
+        for p in &r.panels {
+            assert!(p.measured_w.last().unwrap() > &p.measured_w[0]);
+            assert!(p.predicted_w.last().unwrap() > &p.predicted_w[0]);
+        }
+    }
+
+    #[test]
+    fn six_panels_in_paper_order() {
+        let r = run(testlab::shared());
+        let names: Vec<&str> = r.panels.iter().map(|p| p.application.as_str()).collect();
+        assert_eq!(names, ["LAMMPS", "NAMD", "GROMACS", "LSTM", "BERT", "ResNet50"]);
+    }
+}

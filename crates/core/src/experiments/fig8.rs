@@ -1,0 +1,125 @@
+//! Figure 8: normalized predicted vs measured execution time for the six
+//! real applications on GA100.
+
+use super::Lab;
+use nn::metrics;
+use serde::{Deserialize, Serialize};
+
+/// One application's normalized-time panel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimePanel {
+    /// Application name.
+    pub application: String,
+    /// Frequencies in MHz.
+    pub frequency_mhz: Vec<f64>,
+    /// Measured time normalized to the default clock.
+    pub measured_norm: Vec<f64>,
+    /// Predicted normalized time.
+    pub predicted_norm: Vec<f64>,
+    /// Accuracy (100 − MAPE) in percent.
+    pub accuracy_pct: f64,
+}
+
+/// The Figure 8 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8Report {
+    /// One panel per application.
+    pub panels: Vec<TimePanel>,
+}
+
+/// Builds the six normalized-time panels.
+pub fn run(lab: &Lab) -> Fig8Report {
+    let panels = lab
+        .app_names()
+        .into_iter()
+        .map(|name| {
+            let m = lab.measured_ga100[&name].normalized_time();
+            let p = lab.predicted_ga100[&name].normalized_time();
+            TimePanel {
+                application: name,
+                frequency_mhz: lab.measured_ga100.values().next().unwrap().frequencies.clone(),
+                accuracy_pct: metrics::accuracy_from_mape(&p, &m),
+                measured_norm: m,
+                predicted_norm: p,
+            }
+        })
+        .collect();
+    Fig8Report { panels }
+}
+
+impl Fig8Report {
+    /// Renders the panels.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "== Figure 8: normalized predicted vs measured time, GA100 ==\n",
+        );
+        for p in &self.panels {
+            out.push_str(&format!("{:<10} accuracy {:.1}%\n", p.application, p.accuracy_pct));
+            for i in (0..p.frequency_mhz.len()).step_by(12) {
+                out.push_str(&format!(
+                    "  {:>6.0} MHz  measured {:>6.3}  predicted {:>6.3}\n",
+                    p.frequency_mhz[i], p.measured_norm[i], p.predicted_norm[i]
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testlab;
+    use super::*;
+
+    #[test]
+    fn time_accuracy_in_paper_band() {
+        // Paper Table 3: GA100 performance accuracy >= 88.4%.
+        let r = run(testlab::shared());
+        for p in &r.panels {
+            assert!(
+                p.accuracy_pct > 84.0,
+                "{}: time accuracy {:.1}%",
+                p.application,
+                p.accuracy_pct
+            );
+        }
+    }
+
+    #[test]
+    fn gromacs_is_among_the_hardest() {
+        // The paper singles out GROMACS (88.7%) as the weak case because
+        // its time barely reacts to DVFS.
+        let r = run(testlab::shared());
+        let gromacs = r.panels.iter().find(|p| p.application == "GROMACS").unwrap();
+        let best = r.panels.iter().map(|p| p.accuracy_pct).fold(f64::NEG_INFINITY, f64::max);
+        assert!(gromacs.accuracy_pct < best - 2.0, "GROMACS should trail the best app");
+    }
+
+    #[test]
+    fn normalized_time_is_one_at_fmax_and_larger_below() {
+        let r = run(testlab::shared());
+        for p in &r.panels {
+            assert!((p.measured_norm.last().unwrap() - 1.0).abs() < 1e-9);
+            assert!(p.measured_norm[0] >= 1.0);
+            assert!(p.predicted_norm[0] > 0.8);
+        }
+    }
+
+    #[test]
+    fn resnet_has_the_steepest_measured_curve() {
+        let r = run(testlab::shared());
+        let slope = |p: &TimePanel| p.measured_norm[0];
+        let resnet = r.panels.iter().find(|p| p.application == "ResNet50").unwrap();
+        for p in &r.panels {
+            if p.application != "ResNet50" {
+                assert!(
+                    slope(resnet) >= slope(p),
+                    "ResNet50 should slow the most at 510 MHz ({:.2} vs {} {:.2})",
+                    slope(resnet),
+                    p.application,
+                    slope(p)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Table 1: specifications of the GPUs used in this study.
+
+use super::Lab;
+use gpu_model::DvfsGrid;
+use telemetry::GpuBackend;
+use serde::{Deserialize, Serialize};
+
+/// The Table 1 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Report {
+    /// Row labels.
+    pub rows: Vec<String>,
+    /// GA100 column.
+    pub ga100: Vec<String>,
+    /// GV100 column.
+    pub gv100: Vec<String>,
+}
+
+/// Builds the spec table, including the used/supported DVFS state counts.
+pub fn run(lab: &Lab) -> Table1Report {
+    let a = lab.ga100.spec();
+    let v = lab.gv100.spec();
+    let ga_grid = DvfsGrid::for_spec(a);
+    let gv_grid = DvfsGrid::for_spec(v);
+
+    let mut rows = Vec::new();
+    let mut ga100 = Vec::new();
+    let mut gv100 = Vec::new();
+    for ((label, va), (_, vv)) in a.table1_rows().into_iter().zip(v.table1_rows()) {
+        rows.push(label);
+        ga100.push(va);
+        gv100.push(vv);
+    }
+    rows.insert(2, "Used DVFS Configurations".to_string());
+    ga100.insert(2, format!("{} out of {}", ga_grid.num_used(), ga_grid.num_supported()));
+    gv100.insert(2, format!("{} out of {}", gv_grid.num_used(), gv_grid.num_supported()));
+
+    Table1Report { rows, ga100, gv100 }
+}
+
+impl Table1Report {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== Table 1: GPU specifications ==\n");
+        out.push_str(&format!("{:<34} {:>16} {:>16}\n", "", "GA100", "GV100"));
+        for i in 0..self.rows.len() {
+            out.push_str(&format!(
+                "{:<34} {:>16} {:>16}\n",
+                self.rows[i], self.ga100[i], self.gv100[i]
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testlab;
+    use super::*;
+
+    #[test]
+    fn matches_paper_table1() {
+        let r = run(testlab::shared());
+        let s = r.render();
+        assert!(s.contains("[210:1410]"));
+        assert!(s.contains("[135:1380]"));
+        assert!(s.contains("61 out of 81"));
+        assert!(s.contains("117 out of 167"));
+        assert!(s.contains("2039"));
+        assert!(s.contains("900"));
+        assert!(s.contains("500"));
+        assert!(s.contains("250"));
+    }
+
+    #[test]
+    fn columns_align_with_rows() {
+        let r = run(testlab::shared());
+        assert_eq!(r.rows.len(), r.ga100.len());
+        assert_eq!(r.rows.len(), r.gv100.len());
+        assert_eq!(r.rows.len(), 7);
+    }
+}

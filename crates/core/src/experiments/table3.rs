@@ -1,0 +1,116 @@
+//! Table 3: power and performance model accuracy for each application on
+//! GA100 and GV100 (the cross-architecture portability study).
+
+use super::Lab;
+use crate::evaluation::{accuracy_row, AccuracyRow};
+use serde::{Deserialize, Serialize};
+
+/// The Table 3 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Report {
+    /// Per-application accuracies on the training architecture (GA100).
+    pub ga100: Vec<AccuracyRow>,
+    /// Per-application accuracies on the transfer architecture (GV100) —
+    /// same models, never trained on Volta data.
+    pub gv100: Vec<AccuracyRow>,
+}
+
+/// Computes both halves of Table 3.
+pub fn run(lab: &Lab) -> Table3Report {
+    let rows = |measured: &std::collections::BTreeMap<String, crate::predictor::PredictedProfile>,
+                predicted: &std::collections::BTreeMap<String, crate::predictor::PredictedProfile>|
+     -> Vec<AccuracyRow> {
+        lab.app_names()
+            .into_iter()
+            .map(|name| accuracy_row(&measured[&name], &predicted[&name]))
+            .collect()
+    };
+    Table3Report {
+        ga100: rows(&lab.measured_ga100, &lab.predicted_ga100),
+        gv100: rows(&lab.measured_gv100, &lab.predicted_gv100),
+    }
+}
+
+impl Table3Report {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== Table 3: model accuracy per application ==\n");
+        out.push_str(&format!(
+            "{:<8} {:<12} {:>10} {:>13}\n",
+            "GPU", "Application", "Power", "Performance"
+        ));
+        for (gpu, rows) in [("GA100", &self.ga100), ("GV100", &self.gv100)] {
+            for r in rows {
+                out.push_str(&format!(
+                    "{:<8} {:<12} {:>9.1}% {:>12.1}%\n",
+                    gpu, r.application, r.power_accuracy, r.time_accuracy
+                ));
+            }
+        }
+        out
+    }
+
+    /// Minimum accuracy across both devices and both models.
+    pub fn min_accuracy(&self) -> f64 {
+        self.ga100
+            .iter()
+            .chain(&self.gv100)
+            .flat_map(|r| [r.power_accuracy, r.time_accuracy])
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testlab;
+    use super::*;
+
+    #[test]
+    fn accuracies_land_in_the_paper_band() {
+        // Paper: 88-98% across applications, models, and devices.
+        let r = run(testlab::shared());
+        assert!(r.min_accuracy() > 80.0, "minimum accuracy {:.1}%", r.min_accuracy());
+        let max = r
+            .ga100
+            .iter()
+            .chain(&r.gv100)
+            .flat_map(|x| [x.power_accuracy, x.time_accuracy])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(max <= 100.0);
+        assert!(max > 93.0, "best accuracy only {max:.1}%");
+    }
+
+    #[test]
+    fn models_port_to_volta() {
+        // The headline portability claim: >93% power accuracy on GV100
+        // without any Volta training data. Allow a small band below.
+        let r = run(testlab::shared());
+        for row in &r.gv100 {
+            assert!(
+                row.power_accuracy > 88.0,
+                "{} on GV100: {:.1}%",
+                row.application,
+                row.power_accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_costs_some_power_accuracy_on_average() {
+        let r = run(testlab::shared());
+        let mean = |rows: &[crate::evaluation::AccuracyRow]| {
+            rows.iter().map(|x| x.power_accuracy).sum::<f64>() / rows.len() as f64
+        };
+        // GA100 (same-device) should be at least roughly as good as the
+        // transfer; a small inversion is tolerated (paper: 96.5 vs 95.1
+        // style gaps, occasionally reversed per app).
+        assert!(mean(&r.ga100) > mean(&r.gv100) - 2.0);
+    }
+
+    #[test]
+    fn six_rows_per_device() {
+        let r = run(testlab::shared());
+        assert_eq!(r.ga100.len(), 6);
+        assert_eq!(r.gv100.len(), 6);
+    }
+}

@@ -1,0 +1,101 @@
+//! Table 4: the optimal frequencies selected by M-ED²P, P-ED²P, M-EDP and
+//! P-EDP for each application on GA100.
+
+use super::Lab;
+use crate::evaluation::{four_way_selection, SelectionRow};
+use serde::{Deserialize, Serialize};
+
+/// The Table 4 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4Report {
+    /// One selection row per application.
+    pub rows: Vec<SelectionRow>,
+}
+
+/// Runs the four selectors for every application.
+pub fn run(lab: &Lab) -> Table4Report {
+    let rows = lab
+        .app_names()
+        .into_iter()
+        .map(|name| four_way_selection(&lab.measured_ga100[&name], &lab.predicted_ga100[&name]))
+        .collect();
+    Table4Report { rows }
+}
+
+impl Table4Report {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("== Table 4: optimal frequencies (MHz) on GA100 ==\n");
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>8} {:>8} {:>8}\n",
+            "app", "M-ED2P", "P-ED2P", "M-EDP", "P-EDP"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<10} {:>8.0} {:>8.0} {:>8.0} {:>8.0}\n",
+                r.application,
+                r.m_ed2p.frequency_mhz,
+                r.p_ed2p.frequency_mhz,
+                r.m_edp.frequency_mhz,
+                r.p_edp.frequency_mhz
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testlab;
+    use super::*;
+    use telemetry::GpuBackend;
+
+    #[test]
+    fn frequencies_are_on_the_used_grid() {
+        let lab = testlab::shared();
+        let r = run(lab);
+        let used = lab.ga100.grid().used();
+        for row in &r.rows {
+            for f in [
+                row.m_ed2p.frequency_mhz,
+                row.p_ed2p.frequency_mhz,
+                row.m_edp.frequency_mhz,
+                row.p_edp.frequency_mhz,
+            ] {
+                assert!(used.contains(&f), "{}: {f} off grid", row.application);
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_and_measured_optima_are_close_for_most_apps() {
+        // The paper's P vs M gaps reach ~200 MHz (LSTM: 810 vs 1065);
+        // require the majority of apps within 300 MHz.
+        let r = run(testlab::shared());
+        let close = r
+            .rows
+            .iter()
+            .filter(|row| {
+                (row.m_edp.frequency_mhz - row.p_edp.frequency_mhz).abs() <= 300.0
+            })
+            .count();
+        assert!(close >= 4, "only {close}/6 apps have close M/P EDP optima");
+    }
+
+    #[test]
+    fn lstm_measured_optimum_is_the_lowest() {
+        // The paper's LSTM picks the deepest downclock (810 MHz M-ED2P).
+        let r = run(testlab::shared());
+        let lstm = r.rows.iter().find(|x| x.application == "LSTM").unwrap();
+        for row in &r.rows {
+            assert!(
+                lstm.m_ed2p.frequency_mhz <= row.m_ed2p.frequency_mhz,
+                "LSTM {} vs {} {}",
+                lstm.m_ed2p.frequency_mhz,
+                row.application,
+                row.m_ed2p.frequency_mhz
+            );
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Table 5: change in energy and execution time for each application under
+//! the four selectors, on GA100, with the column-wise average row.
+
+use super::Lab;
+use crate::evaluation::{
+    average_trade_offs, four_way_selection, trade_off_row, TradeOffRow,
+};
+use serde::{Deserialize, Serialize};
+
+/// The Table 5 report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table5Report {
+    /// One row per application.
+    pub rows: Vec<TradeOffRow>,
+    /// Column-wise average.
+    pub average: TradeOffRow,
+}
+
+/// Builds the trade-off table.
+pub fn run(lab: &Lab) -> Table5Report {
+    let rows: Vec<TradeOffRow> = lab
+        .app_names()
+        .into_iter()
+        .map(|name| {
+            let m = &lab.measured_ga100[&name];
+            let sel = four_way_selection(m, &lab.predicted_ga100[&name]);
+            trade_off_row(m, &sel)
+        })
+        .collect();
+    let average = average_trade_offs(&rows);
+    Table5Report { rows, average }
+}
+
+impl Table5Report {
+    /// Renders the table in the paper's layout (energy block, time block).
+    pub fn render(&self) -> String {
+        let mut out = String::from("== Table 5: energy / time change (%) on GA100 ==\n");
+        out.push_str(&format!(
+            "{:<10} | {:>7} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7}\n",
+            "", "M-ED2P", "P-ED2P", "M-EDP", "P-EDP", "M-ED2P", "P-ED2P", "M-EDP", "P-EDP"
+        ));
+        out.push_str(&format!(
+            "{:<10} | {:^31} | {:^31}\n",
+            "app", "Energy (%)", "Time (%)"
+        ));
+        for r in self.rows.iter().chain(std::iter::once(&self.average)) {
+            out.push_str(&format!(
+                "{:<10} | {:>7.1} {:>7.1} {:>7.1} {:>7.1} | {:>7.1} {:>7.1} {:>7.1} {:>7.1}\n",
+                r.application,
+                r.m_ed2p.energy_saving_pct,
+                r.p_ed2p.energy_saving_pct,
+                r.m_edp.energy_saving_pct,
+                r.p_edp.energy_saving_pct,
+                r.m_ed2p.time_change_pct,
+                r.p_ed2p.time_change_pct,
+                r.m_edp.time_change_pct,
+                r.p_edp.time_change_pct
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testlab;
+    use super::*;
+
+    #[test]
+    fn measured_ed2p_average_matches_paper_shape() {
+        // Paper: average M-ED2P = +28.2% energy at -1.8% time. Shape:
+        // substantial average savings at a small average time cost.
+        let r = run(testlab::shared());
+        assert!(
+            r.average.m_ed2p.energy_saving_pct > 10.0,
+            "avg M-ED2P energy {:.1}%",
+            r.average.m_ed2p.energy_saving_pct
+        );
+        assert!(
+            r.average.m_ed2p.time_change_pct > -6.0,
+            "avg M-ED2P time {:.1}%",
+            r.average.m_ed2p.time_change_pct
+        );
+    }
+
+    #[test]
+    fn edp_saves_at_least_as_much_as_ed2p_at_higher_time_cost() {
+        // Paper: EDP picks lower frequencies than ED2P -> more savings,
+        // more performance loss (on measured data, on average).
+        let r = run(testlab::shared());
+        assert!(
+            r.average.m_edp.energy_saving_pct >= r.average.m_ed2p.energy_saving_pct - 1.0
+        );
+        assert!(r.average.m_edp.time_change_pct <= r.average.m_ed2p.time_change_pct + 1.0);
+    }
+
+    #[test]
+    fn max_saving_reaches_paper_headline_neighbourhood() {
+        // Paper headline: >27% savings possible. Require >20% for at least
+        // one application under a measured selector.
+        let r = run(testlab::shared());
+        let best = r
+            .rows
+            .iter()
+            .flat_map(|x| [x.m_edp.energy_saving_pct, x.m_ed2p.energy_saving_pct])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(best > 20.0, "best measured saving {best:.1}%");
+    }
+
+    #[test]
+    fn average_row_is_labelled() {
+        let r = run(testlab::shared());
+        assert_eq!(r.average.application, "Average");
+        assert_eq!(r.rows.len(), 6);
+    }
+}

@@ -1,0 +1,140 @@
+//! Beyond the paper: the generalization gap between *seen* training
+//! benchmarks and *unseen* applications.
+//!
+//! The paper evaluates only on unseen applications. This companion
+//! experiment scores the same models on the 21 benchmarks they were
+//! trained on, quantifying how much of the (small) real-application error
+//! is generalization rather than capacity — the fit on seen workloads
+//! should be tighter than on the unseen apps, with both in the 90s.
+
+use super::Lab;
+use crate::evaluation::accuracy_row;
+use crate::predictor::{measured_profile, PredictedProfile};
+use kernels::suite::training_suite;
+use nn::metrics;
+use serde::{Deserialize, Serialize};
+use telemetry::GpuBackend;
+
+/// One workload's seen-data accuracy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FitRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Power accuracy (100 − MAPE) over the grid.
+    pub power_accuracy: f64,
+    /// Normalized-time accuracy.
+    pub time_accuracy: f64,
+}
+
+/// The training-fit report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingFitReport {
+    /// One row per training benchmark.
+    pub rows: Vec<FitRow>,
+    /// Mean power accuracy over the training benchmarks.
+    pub mean_power: f64,
+    /// Mean time accuracy over the training benchmarks.
+    pub mean_time: f64,
+    /// Mean power accuracy over the unseen applications (for the gap).
+    pub apps_mean_power: f64,
+    /// Mean time accuracy over the unseen applications.
+    pub apps_mean_time: f64,
+}
+
+/// Scores the trained models on their own training benchmarks.
+pub fn run(lab: &Lab) -> TrainingFitReport {
+    let spec = lab.ga100.spec().clone();
+    let predictor = lab.pipeline.predictor(spec);
+    let mut rows = Vec::new();
+    for k in training_suite() {
+        let workload = k.workload(lab.ga100.spec());
+        let measured = measured_profile(&lab.ga100, &workload);
+        let predicted: PredictedProfile = predictor.predict_online(&lab.ga100, &workload);
+        let acc = accuracy_row(&measured, &predicted);
+        rows.push(FitRow {
+            benchmark: k.name().to_string(),
+            power_accuracy: acc.power_accuracy,
+            time_accuracy: acc.time_accuracy,
+        });
+    }
+    let mean = |f: &dyn Fn(&FitRow) -> f64| -> f64 {
+        rows.iter().map(f).sum::<f64>() / rows.len() as f64
+    };
+    let app_acc: Vec<(f64, f64)> = lab
+        .app_names()
+        .iter()
+        .map(|name| {
+            let m = &lab.measured_ga100[name];
+            let p = &lab.predicted_ga100[name];
+            (
+                metrics::accuracy_from_mape(&p.power_w, &m.power_w),
+                metrics::accuracy_from_mape(&p.normalized_time(), &m.normalized_time()),
+            )
+        })
+        .collect();
+    TrainingFitReport {
+        mean_power: mean(&|r| r.power_accuracy),
+        mean_time: mean(&|r| r.time_accuracy),
+        apps_mean_power: app_acc.iter().map(|a| a.0).sum::<f64>() / app_acc.len() as f64,
+        apps_mean_time: app_acc.iter().map(|a| a.1).sum::<f64>() / app_acc.len() as f64,
+        rows,
+    }
+}
+
+impl TrainingFitReport {
+    /// Renders the fit table and the generalization gap.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== Training-set fit vs unseen-application accuracy ==\n");
+        out.push_str(&format!("{:<12} {:>9} {:>9}\n", "benchmark", "power", "time"));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<12} {:>8.1}% {:>8.1}%\n",
+                r.benchmark, r.power_accuracy, r.time_accuracy
+            ));
+        }
+        out.push_str(&format!(
+            "\nseen mean:   power {:>5.1}%  time {:>5.1}%\n\
+             unseen mean: power {:>5.1}%  time {:>5.1}%\n\
+             generalization gap: power {:+.1} pts, time {:+.1} pts\n",
+            self.mean_power,
+            self.mean_time,
+            self.apps_mean_power,
+            self.apps_mean_time,
+            self.apps_mean_power - self.mean_power,
+            self.apps_mean_time - self.mean_time
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testlab;
+    use super::*;
+
+    #[test]
+    fn covers_all_21_benchmarks() {
+        let r = run(testlab::shared());
+        assert_eq!(r.rows.len(), 21);
+    }
+
+    #[test]
+    fn seen_fit_is_strong() {
+        let r = run(testlab::shared());
+        assert!(r.mean_power > 93.0, "seen power fit {:.1}%", r.mean_power);
+        assert!(r.mean_time > 88.0, "seen time fit {:.1}%", r.mean_time);
+    }
+
+    #[test]
+    fn generalization_gap_is_bounded() {
+        // Unseen apps should not trail the seen benchmarks by a chasm:
+        // within ~8 points on power.
+        let r = run(testlab::shared());
+        assert!(
+            r.apps_mean_power > r.mean_power - 8.0,
+            "seen {:.1} vs unseen {:.1}",
+            r.mean_power,
+            r.apps_mean_power
+        );
+    }
+}

@@ -1,0 +1,312 @@
+//! Multi-objective scoring (EDP / ED²P) and optimal frequency selection
+//! (paper Section 4.4, Algorithm 1).
+
+use serde::{Deserialize, Serialize};
+
+/// The multi-objective function combining energy and delay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Energy-delay product `E * T`.
+    Edp,
+    /// Energy-delay-squared product `E * T^2` (more performance weight).
+    Ed2p,
+    /// Energy only (`E`): maximum savings, performance ignored.
+    EnergyOnly,
+    /// Time only (`T`): always selects the fastest configuration.
+    TimeOnly,
+    /// Weighted generalization `E * T^w` (the paper's framework lets the
+    /// user define the objective; EDP is `w = 1`, ED²P is `w = 2`).
+    Weighted {
+        /// Exponent on the delay term.
+        time_weight: f64,
+    },
+}
+
+impl Objective {
+    /// Scores one (energy, time) pair; lower is better.
+    pub fn score(&self, energy: f64, time: f64) -> f64 {
+        match *self {
+            Objective::Edp => energy * time,
+            Objective::Ed2p => energy * time * time,
+            Objective::EnergyOnly => energy,
+            Objective::TimeOnly => time,
+            Objective::Weighted { time_weight } => energy * time.powf(time_weight),
+        }
+    }
+
+    /// Display name as used in the paper's tables.
+    pub fn name(&self) -> String {
+        match self {
+            Objective::Edp => "EDP".to_string(),
+            Objective::Ed2p => "ED2P".to_string(),
+            Objective::EnergyOnly => "E".to_string(),
+            Objective::TimeOnly => "T".to_string(),
+            Objective::Weighted { time_weight } => format!("E*T^{time_weight}"),
+        }
+    }
+}
+
+/// Result of the optimal-frequency selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Selection {
+    /// The chosen frequency in MHz.
+    pub frequency_mhz: f64,
+    /// Index of the chosen frequency in the input lists.
+    pub index: usize,
+    /// The objective score at the chosen frequency.
+    pub score: f64,
+    /// Performance degradation at the chosen frequency relative to the
+    /// maximum-performance configuration (positive = slower).
+    pub perf_degradation: f64,
+    /// Whether the threshold forced a move above the unconstrained optimum.
+    pub threshold_applied: bool,
+}
+
+/// Algorithm 1: selects the optimal frequency from per-frequency energies
+/// and times.
+///
+/// `frequencies` must be ascending; `energies[i]`/`times[i]` correspond to
+/// `frequencies[i]`. With `threshold = None` the frequency with the lowest
+/// objective score wins outright. With a threshold `th` (fractional, e.g.
+/// `0.05` for the paper's 5 %), the algorithm walks *upward in frequency*
+/// from the unconstrained optimum until performance degradation relative
+/// to the fastest configuration drops below `th` — exactly the paper's
+/// "a higher frequency configuration is selected when the performance loss
+/// is greater than the threshold" step.
+///
+/// # Panics
+/// Panics if the slices are empty, have mismatched lengths, or
+/// `frequencies` is not ascending.
+pub fn select_optimal(
+    frequencies: &[f64],
+    energies: &[f64],
+    times: &[f64],
+    objective: Objective,
+    threshold: Option<f64>,
+) -> Selection {
+    assert!(!frequencies.is_empty(), "no frequencies to select from");
+    assert_eq!(frequencies.len(), energies.len(), "energy list length mismatch");
+    assert_eq!(frequencies.len(), times.len(), "time list length mismatch");
+    assert!(
+        frequencies.windows(2).all(|w| w[0] < w[1]),
+        "frequencies must be ascending"
+    );
+
+    // Performance = 1 / time; maxPerf is the best across configurations.
+    let perf: Vec<f64> = times.iter().map(|&t| 1.0 / t).collect();
+    let max_perf = perf.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let degradation = |i: usize| (max_perf - perf[i]) / max_perf;
+
+    // Step 1: unconstrained optimum by objective score.
+    let scores: Vec<f64> = energies
+        .iter()
+        .zip(times)
+        .map(|(&e, &t)| objective.score(e, t))
+        .collect();
+    let mut best = 0usize;
+    for (i, &s) in scores.iter().enumerate() {
+        if s < scores[best] {
+            best = i;
+        }
+    }
+
+    // Step 2: threshold walk to higher frequencies.
+    let mut index = best;
+    let mut threshold_applied = false;
+    if let Some(th) = threshold {
+        while degradation(index) > th && index + 1 < frequencies.len() {
+            index += 1;
+            threshold_applied = true;
+        }
+    }
+
+    Selection {
+        frequency_mhz: frequencies[index],
+        index,
+        score: scores[index],
+        perf_degradation: degradation(index),
+        threshold_applied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic profile: time falls with f, power rises superlinearly.
+    fn profile() -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let freqs: Vec<f64> = (0..61).map(|i| 510.0 + 15.0 * i as f64).collect();
+        let times: Vec<f64> = freqs.iter().map(|&f| 1410.0 / f).collect();
+        let powers: Vec<f64> = freqs.iter().map(|&f| 100.0 + 400.0 * (f / 1410.0).powi(3)).collect();
+        let energies: Vec<f64> = powers.iter().zip(&times).map(|(&p, &t)| p * t).collect();
+        (freqs, energies, times)
+    }
+
+    #[test]
+    fn edp_picks_interior_minimum() {
+        let (f, e, t) = profile();
+        let sel = select_optimal(&f, &e, &t, Objective::Edp, None);
+        assert!(sel.frequency_mhz > 510.0 && sel.frequency_mhz < 1410.0);
+        // Verify it really is the minimum score.
+        for i in 0..f.len() {
+            assert!(Objective::Edp.score(e[i], t[i]) >= sel.score - 1e-12);
+        }
+    }
+
+    #[test]
+    fn ed2p_selects_at_least_edp_frequency() {
+        let (f, e, t) = profile();
+        let edp = select_optimal(&f, &e, &t, Objective::Edp, None);
+        let ed2p = select_optimal(&f, &e, &t, Objective::Ed2p, None);
+        assert!(
+            ed2p.frequency_mhz >= edp.frequency_mhz,
+            "ED2P {} < EDP {}",
+            ed2p.frequency_mhz,
+            edp.frequency_mhz
+        );
+    }
+
+    #[test]
+    fn time_only_picks_max_frequency() {
+        let (f, e, t) = profile();
+        let sel = select_optimal(&f, &e, &t, Objective::TimeOnly, None);
+        assert_eq!(sel.frequency_mhz, 1410.0);
+        assert_eq!(sel.perf_degradation, 0.0);
+    }
+
+    #[test]
+    fn energy_only_picks_lower_than_edp() {
+        let (f, e, t) = profile();
+        let eo = select_optimal(&f, &e, &t, Objective::EnergyOnly, None);
+        let edp = select_optimal(&f, &e, &t, Objective::Edp, None);
+        assert!(eo.frequency_mhz <= edp.frequency_mhz);
+    }
+
+    #[test]
+    fn weighted_interpolates_between_edp_and_ed2p() {
+        let (f, e, t) = profile();
+        let w15 = select_optimal(&f, &e, &t, Objective::Weighted { time_weight: 1.5 }, None);
+        let edp = select_optimal(&f, &e, &t, Objective::Edp, None);
+        let ed2p = select_optimal(&f, &e, &t, Objective::Ed2p, None);
+        assert!(w15.frequency_mhz >= edp.frequency_mhz);
+        assert!(w15.frequency_mhz <= ed2p.frequency_mhz);
+    }
+
+    #[test]
+    fn threshold_forces_higher_frequency() {
+        let (f, e, t) = profile();
+        let unconstrained = select_optimal(&f, &e, &t, Objective::EnergyOnly, None);
+        let tight = select_optimal(&f, &e, &t, Objective::EnergyOnly, Some(0.01));
+        assert!(tight.frequency_mhz > unconstrained.frequency_mhz);
+        assert!(tight.threshold_applied);
+        assert!(tight.perf_degradation <= 0.01 + 1e-12);
+    }
+
+    #[test]
+    fn threshold_zero_reaches_max_frequency() {
+        let (f, e, t) = profile();
+        let sel = select_optimal(&f, &e, &t, Objective::Edp, Some(0.0));
+        assert_eq!(sel.frequency_mhz, 1410.0);
+    }
+
+    #[test]
+    fn satisfied_threshold_changes_nothing() {
+        let (f, e, t) = profile();
+        let loose = select_optimal(&f, &e, &t, Objective::Ed2p, Some(0.99));
+        let free = select_optimal(&f, &e, &t, Objective::Ed2p, None);
+        assert_eq!(loose.frequency_mhz, free.frequency_mhz);
+        assert!(!loose.threshold_applied);
+    }
+
+    #[test]
+    fn objective_scores_match_definitions() {
+        assert_eq!(Objective::Edp.score(2.0, 3.0), 6.0);
+        assert_eq!(Objective::Ed2p.score(2.0, 3.0), 18.0);
+        assert_eq!(Objective::EnergyOnly.score(2.0, 3.0), 2.0);
+        assert_eq!(Objective::TimeOnly.score(2.0, 3.0), 3.0);
+        assert_eq!(Objective::Weighted { time_weight: 2.0 }.score(2.0, 3.0), 18.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn descending_frequencies_rejected() {
+        let _ = select_optimal(&[2.0, 1.0], &[1.0, 1.0], &[1.0, 1.0], Objective::Edp, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no frequencies")]
+    fn empty_input_rejected() {
+        let _ = select_optimal(&[], &[], &[], Objective::Edp, None);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random but physically-shaped profiles: time decreasing in f,
+        /// power increasing in f.
+        fn arb_profile() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<f64>)> {
+            (4usize..40, 0.5..3.0f64, 50.0..200.0f64).prop_map(|(n, steep, p0)| {
+                let freqs: Vec<f64> = (0..n).map(|i| 510.0 + 15.0 * i as f64).collect();
+                let fmax = *freqs.last().unwrap();
+                let times: Vec<f64> = freqs.iter().map(|&f| (fmax / f).powf(steep / 2.0)).collect();
+                let energies: Vec<f64> = freqs
+                    .iter()
+                    .zip(&times)
+                    .map(|(&f, &t)| (p0 + 400.0 * (f / fmax).powf(steep)) * t)
+                    .collect();
+                (freqs, energies, times)
+            })
+        }
+
+        proptest! {
+            /// Tightening the threshold never lowers the chosen frequency
+            /// and never worsens the degradation bound.
+            #[test]
+            fn threshold_walk_is_monotone(
+                (f, e, t) in arb_profile(),
+                th1 in 0.0..0.5f64,
+                th2 in 0.0..0.5f64,
+            ) {
+                let (lo, hi) = if th1 <= th2 { (th1, th2) } else { (th2, th1) };
+                let tight = select_optimal(&f, &e, &t, Objective::Edp, Some(lo));
+                let loose = select_optimal(&f, &e, &t, Objective::Edp, Some(hi));
+                prop_assert!(tight.frequency_mhz >= loose.frequency_mhz);
+            }
+
+            /// The unconstrained selection really is the argmin of its score.
+            #[test]
+            fn selection_is_global_minimum((f, e, t) in arb_profile()) {
+                for obj in [Objective::Edp, Objective::Ed2p, Objective::EnergyOnly, Objective::TimeOnly] {
+                    let sel = select_optimal(&f, &e, &t, obj, None);
+                    for i in 0..f.len() {
+                        prop_assert!(obj.score(e[i], t[i]) >= sel.score - 1e-12);
+                    }
+                }
+            }
+
+            /// Raising the time weight never lowers the chosen frequency on
+            /// physically-shaped profiles.
+            #[test]
+            fn heavier_delay_weight_raises_frequency(
+                (f, e, t) in arb_profile(),
+                w1 in 0.0..3.0f64,
+                w2 in 0.0..3.0f64,
+            ) {
+                let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+                let a = select_optimal(&f, &e, &t, Objective::Weighted { time_weight: lo }, None);
+                let b = select_optimal(&f, &e, &t, Objective::Weighted { time_weight: hi }, None);
+                prop_assert!(b.frequency_mhz >= a.frequency_mhz);
+            }
+
+            /// Degradation reported is consistent with the time lists.
+            #[test]
+            fn degradation_matches_times((f, e, t) in arb_profile()) {
+                let sel = select_optimal(&f, &e, &t, Objective::Edp, None);
+                let t_best = t.iter().cloned().fold(f64::INFINITY, f64::min);
+                let expect = (1.0 / t_best - 1.0 / t[sel.index]) / (1.0 / t_best);
+                prop_assert!((sel.perf_degradation - expect).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! The online prediction phase (paper Figure 2, right half).
+//!
+//! An unseen application is executed **once, at the default (maximum)
+//! frequency**, to acquire its features and reference time. The trained
+//! models then predict its power and execution time at every DVFS state,
+//! energy follows as `E(f) = P(f) * T(f)` (Equation 8), and the objective
+//! function selects the optimal frequency.
+
+use crate::models::PowerTimeModels;
+use crate::objective::{select_optimal, Objective, Selection};
+use gpu_model::{DeviceSpec, MetricSample, PhasedWorkload};
+use serde::{Deserialize, Serialize};
+use telemetry::{GpuBackend, Profiler};
+
+/// Predicted (or measured) per-frequency profile of one application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictedProfile {
+    /// Application name.
+    pub workload: String,
+    /// The swept frequencies, ascending (MHz).
+    pub frequencies: Vec<f64>,
+    /// Power at each frequency, watts.
+    pub power_w: Vec<f64>,
+    /// Absolute execution time at each frequency, seconds.
+    pub time_s: Vec<f64>,
+    /// Energy at each frequency, joules.
+    pub energy_j: Vec<f64>,
+}
+
+impl PredictedProfile {
+    /// Normalized times `T(f) / T(f_max)` (Figure 8's y-axis).
+    pub fn normalized_time(&self) -> Vec<f64> {
+        let t_max = *self.time_s.last().expect("non-empty profile");
+        self.time_s.iter().map(|&t| t / t_max).collect()
+    }
+
+    /// Selects the optimal frequency under `objective` and `threshold`.
+    pub fn select(&self, objective: Objective, threshold: Option<f64>) -> Selection {
+        select_optimal(&self.frequencies, &self.energy_j, &self.time_s, objective, threshold)
+    }
+
+    /// Index of the maximum (default) frequency.
+    pub fn max_freq_index(&self) -> usize {
+        self.frequencies.len() - 1
+    }
+
+    /// Energy saving (fraction) at `index` relative to the default clock.
+    pub fn energy_saving_at(&self, index: usize) -> f64 {
+        let e_max = self.energy_j[self.max_freq_index()];
+        (e_max - self.energy_j[index]) / e_max
+    }
+
+    /// Execution-time change (fraction) at `index` relative to the default
+    /// clock; positive = slower.
+    pub fn time_change_at(&self, index: usize) -> f64 {
+        let t_max = self.time_s[self.max_freq_index()];
+        (self.time_s[index] - t_max) / t_max
+    }
+}
+
+/// The online predictor: trained models bound to a device spec.
+pub struct Predictor<'a> {
+    models: &'a PowerTimeModels,
+    spec: DeviceSpec,
+}
+
+impl<'a> Predictor<'a> {
+    /// Creates a predictor for `spec`.
+    pub fn new(models: &'a PowerTimeModels, spec: DeviceSpec) -> Self {
+        Self { models, spec }
+    }
+
+    /// Builds the predicted profile from a default-clock measurement.
+    ///
+    /// `reference` must have been taken at the device's maximum frequency —
+    /// this is the paper's single profiling run.
+    ///
+    /// # Panics
+    /// Panics if the reference sample was not taken at the default clock.
+    pub fn predict_from_reference(
+        &self,
+        reference: &MetricSample,
+        frequencies: &[f64],
+    ) -> PredictedProfile {
+        assert_eq!(
+            reference.sm_app_clock, self.spec.max_core_mhz,
+            "online phase requires a default-clock reference run"
+        );
+        let fp = reference.fp_active();
+        let dram = reference.dram_active;
+        // Anchor absolute time on the measured default-clock run; the model
+        // provides the relative scaling across frequencies.
+        let anchor = reference.exec_time
+            / self
+                .models
+                .predict_time_ratio(&self.spec, fp, dram, self.spec.max_core_mhz)
+                .max(1e-9);
+
+        let mut power_w = Vec::with_capacity(frequencies.len());
+        let mut time_s = Vec::with_capacity(frequencies.len());
+        let mut energy_j = Vec::with_capacity(frequencies.len());
+        for &f in frequencies {
+            let p = self.models.predict_power_w(&self.spec, fp, dram, f);
+            let t = anchor * self.models.predict_time_ratio(&self.spec, fp, dram, f);
+            power_w.push(p);
+            time_s.push(t);
+            energy_j.push(p * t);
+        }
+        PredictedProfile {
+            workload: reference.workload.clone(),
+            frequencies: frequencies.to_vec(),
+            power_w,
+            time_s,
+            energy_j,
+        }
+    }
+
+    /// Full online phase against a backend: profiles `workload` once at the
+    /// default clock, then predicts across the backend's used grid.
+    pub fn predict_online<B: GpuBackend + ?Sized>(
+        &self,
+        backend: &B,
+        workload: &PhasedWorkload,
+    ) -> PredictedProfile {
+        backend.reset_clock();
+        let profile = Profiler::new(backend).profile_run(workload, 0);
+        self.predict_from_reference(&profile.sample, &backend.grid().used())
+    }
+}
+
+/// Builds the *measured* profile of a workload by sweeping the grid on the
+/// backend (ground truth for evaluation; one run per frequency).
+pub fn measured_profile<B: GpuBackend + ?Sized>(
+    backend: &B,
+    workload: &PhasedWorkload,
+) -> PredictedProfile {
+    let freqs = backend.grid().used();
+    let profiler = Profiler::new(backend);
+    let mut power_w = Vec::with_capacity(freqs.len());
+    let mut time_s = Vec::with_capacity(freqs.len());
+    let mut energy_j = Vec::with_capacity(freqs.len());
+    for &f in &freqs {
+        backend
+            .set_app_clock(f)
+            .expect("used grid frequencies are supported");
+        let p = profiler.profile_run(workload, 0);
+        power_w.push(p.sample.power_usage);
+        time_s.push(p.sample.exec_time);
+        energy_j.push(p.sample.energy());
+    }
+    backend.reset_clock();
+    PredictedProfile {
+        workload: workload.name.clone(),
+        frequencies: freqs,
+        power_w,
+        time_s,
+        energy_j,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use gpu_model::{NoiseModel, SignatureBuilder};
+    use telemetry::SimulatorBackend;
+
+    fn trained_models(spec: &DeviceSpec) -> PowerTimeModels {
+        let nm = NoiseModel::default_bench();
+        let sigs = [
+            SignatureBuilder::new("c1").flops(2e13).bytes(2e11).kappa_compute(0.9).build(),
+            SignatureBuilder::new("m1").flops(2e11).bytes(2e13).kappa_memory(0.85).build(),
+            SignatureBuilder::new("x1").flops(8e12).bytes(3e12).build(),
+            SignatureBuilder::new("x2").flops(4e12).bytes(8e11).kappa_compute(0.5).build(),
+            SignatureBuilder::new("x3").flops(1e12).bytes(4e12).kappa_memory(0.6).build(),
+        ];
+        let grid = gpu_model::DvfsGrid::for_spec(spec);
+        let mut samples = Vec::new();
+        for sig in &sigs {
+            for &f in grid.used().iter().step_by(2) {
+                for run in 0..3 {
+                    samples.push(gpu_model::sample::measure(spec, sig, f, run, &nm));
+                }
+            }
+            samples.push(gpu_model::sample::measure(spec, sig, spec.max_core_mhz, 0, &nm));
+        }
+        PowerTimeModels::train(&Dataset::from_samples(spec, &samples).unwrap())
+    }
+
+    fn unseen_app() -> PhasedWorkload {
+        PhasedWorkload::single(
+            SignatureBuilder::new("unseen").flops(1.5e13).bytes(1.0e12).build(),
+        )
+    }
+
+    #[test]
+    fn online_prediction_tracks_measurement() {
+        let backend = SimulatorBackend::ga100();
+        let models = trained_models(backend.spec());
+        let predictor = Predictor::new(&models, backend.spec().clone());
+        let app = unseen_app();
+        let predicted = predictor.predict_online(&backend, &app);
+        let measured = measured_profile(&backend, &app);
+        assert_eq!(predicted.frequencies, measured.frequencies);
+        // Power MAPE across the sweep should be within the paper's band.
+        let mape = nn::metrics::mape(&predicted.power_w, &measured.power_w);
+        assert!(mape < 12.0, "power MAPE {mape:.1}%");
+        let t_mape = nn::metrics::mape(&predicted.time_s, &measured.time_s);
+        assert!(t_mape < 15.0, "time MAPE {t_mape:.1}%");
+    }
+
+    #[test]
+    fn profile_energy_is_power_times_time() {
+        let backend = SimulatorBackend::ga100();
+        let models = trained_models(backend.spec());
+        let predictor = Predictor::new(&models, backend.spec().clone());
+        let profile = predictor.predict_online(&backend, &unseen_app());
+        for i in 0..profile.frequencies.len() {
+            assert!((profile.energy_j[i] - profile.power_w[i] * profile.time_s[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalized_time_ends_at_one() {
+        let backend = SimulatorBackend::ga100();
+        let app = unseen_app();
+        let measured = measured_profile(&backend, &app);
+        let norm = measured.normalized_time();
+        assert!((norm.last().unwrap() - 1.0).abs() < 1e-12);
+        assert!(norm[0] > 1.0);
+    }
+
+    #[test]
+    fn savings_accounting_is_relative_to_max() {
+        let backend = SimulatorBackend::ga100();
+        let app = unseen_app();
+        let measured = measured_profile(&backend, &app);
+        let idx = measured.max_freq_index();
+        assert_eq!(measured.energy_saving_at(idx), 0.0);
+        assert_eq!(measured.time_change_at(idx), 0.0);
+        // Some interior frequency saves energy at a time cost.
+        let sel = measured.select(Objective::Edp, None);
+        assert!(measured.energy_saving_at(sel.index) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "default-clock reference")]
+    fn non_default_reference_rejected() {
+        let backend = SimulatorBackend::ga100();
+        let models = trained_models(backend.spec());
+        let predictor = Predictor::new(&models, backend.spec().clone());
+        let sig = SignatureBuilder::new("w").flops(1e12).bytes(1e10).build();
+        let bad = gpu_model::sample::measure(backend.spec(), &sig, 705.0, 0, &NoiseModel::none());
+        let _ = predictor.predict_from_reference(&bad, &[705.0, 1410.0]);
+    }
+}

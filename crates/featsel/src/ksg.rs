@@ -1,0 +1,235 @@
+//! KSG estimator (algorithm 1 of Kraskov et al. 2004) for I(X; Y) between
+//! two scalar variables.
+
+use crate::digamma::digamma;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for [`mutual_information`].
+#[derive(Debug, Clone, Copy)]
+pub struct KsgOptions {
+    /// Neighbour count `k` (scikit-learn defaults to 3).
+    pub k: usize,
+    /// Relative amplitude of the deterministic tie-breaking jitter added to
+    /// each variable (scikit-learn adds `1e-10 * scale` noise for the same
+    /// reason). Set to 0 to disable.
+    pub jitter: f64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for KsgOptions {
+    fn default() -> Self {
+        Self { k: 3, jitter: 1e-10, seed: 0x5EED }
+    }
+}
+
+/// Estimates the mutual information I(X; Y) in nats between two paired
+/// scalar samples using the KSG k-NN estimator. Returns 0 for degenerate
+/// inputs (fewer than `k + 1` points or a constant variable).
+///
+/// # Panics
+/// Panics if `x` and `y` lengths differ.
+pub fn mutual_information(x: &[f64], y: &[f64], opts: KsgOptions) -> f64 {
+    assert_eq!(x.len(), y.len(), "paired samples must have equal length");
+    let n = x.len();
+    if n <= opts.k + 1 {
+        return 0.0;
+    }
+
+    // Standardize each variable to unit scale so the max-norm in the joint
+    // space weighs both equally, and add tie-breaking jitter.
+    let xs = standardize_with_jitter(x, opts, 1);
+    let ys = standardize_with_jitter(y, opts, 2);
+    let (Some(xs), Some(ys)) = (xs, ys) else {
+        return 0.0; // constant variable carries no information
+    };
+
+    let k = opts.k;
+    let mut acc = 0.0;
+    // O(n^2) neighbour search — datasets here are a few thousand rows.
+    let mut dists: Vec<f64> = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        dists.clear();
+        for j in 0..n {
+            if j != i {
+                let d = (xs[i] - xs[j]).abs().max((ys[i] - ys[j]).abs());
+                dists.push(d);
+            }
+        }
+        // k-th smallest joint distance (Chebyshev norm).
+        let (_, eps, _) = dists
+            .select_nth_unstable_by(k - 1, |a, b| a.partial_cmp(b).expect("finite distances"));
+        let eps = *eps;
+
+        // Strict marginal counts within eps.
+        let nx = xs
+            .iter()
+            .enumerate()
+            .filter(|&(j, &v)| j != i && (v - xs[i]).abs() < eps)
+            .count();
+        let ny = ys
+            .iter()
+            .enumerate()
+            .filter(|&(j, &v)| j != i && (v - ys[i]).abs() < eps)
+            .count();
+        acc += digamma((nx + 1) as f64) + digamma((ny + 1) as f64);
+    }
+
+    let mi = digamma(k as f64) + digamma(n as f64) - acc / n as f64;
+    mi.max(0.0)
+}
+
+/// Standardizes to zero mean / unit variance and adds jitter; `None` if the
+/// variable is constant.
+fn standardize_with_jitter(v: &[f64], opts: KsgOptions, salt: u64) -> Option<Vec<f64>> {
+    let n = v.len() as f64;
+    let mean = v.iter().sum::<f64>() / n;
+    let var = v.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    if var <= 0.0 {
+        return None;
+    }
+    let std = var.sqrt();
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    Some(
+        v.iter()
+            .map(|&x| (x - mean) / std + opts.jitter * (rng.random::<f64>() - 0.5))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_pairs(n: usize, rho: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut normal = move || {
+            let u1: f64 = 1.0 - rng.random::<f64>();
+            let u2: f64 = rng.random();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = normal();
+            let b = normal();
+            x.push(a);
+            y.push(rho * a + (1.0 - rho * rho).sqrt() * b);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn independent_variables_have_near_zero_mi() {
+        let (x, y) = gaussian_pairs(800, 0.0, 1);
+        let mi = mutual_information(&x, &y, KsgOptions::default());
+        assert!(mi < 0.08, "MI of independent vars = {mi}");
+    }
+
+    #[test]
+    fn correlated_gaussians_match_analytic_mi() {
+        // I = -0.5 ln(1 - rho^2).
+        for &rho in &[0.5, 0.9] {
+            let (x, y) = gaussian_pairs(1500, rho, 2);
+            let mi = mutual_information(&x, &y, KsgOptions::default());
+            let expect = -0.5 * (1.0 - rho * rho).ln();
+            assert!(
+                (mi - expect).abs() < 0.12,
+                "rho {rho}: MI {mi:.3} vs analytic {expect:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn stronger_dependence_scores_higher() {
+        let (x1, y1) = gaussian_pairs(600, 0.3, 3);
+        let (x2, y2) = gaussian_pairs(600, 0.95, 3);
+        let lo = mutual_information(&x1, &y1, KsgOptions::default());
+        let hi = mutual_information(&x2, &y2, KsgOptions::default());
+        assert!(hi > lo + 0.3, "hi {hi} vs lo {lo}");
+    }
+
+    #[test]
+    fn nonlinear_dependence_is_detected() {
+        // y = x^2 is uncorrelated with x on a symmetric domain but highly
+        // dependent — the key reason MI beats Pearson for feature selection.
+        let (x, _) = gaussian_pairs(800, 0.0, 4);
+        let y: Vec<f64> = x.iter().map(|&v| v * v).collect();
+        let mi = mutual_information(&x, &y, KsgOptions::default());
+        assert!(mi > 0.5, "MI(x, x^2) = {mi}");
+    }
+
+    #[test]
+    fn invariant_under_affine_transforms() {
+        let (x, y) = gaussian_pairs(700, 0.7, 5);
+        let mi1 = mutual_information(&x, &y, KsgOptions::default());
+        let x2: Vec<f64> = x.iter().map(|&v| 1000.0 * v + 77.0).collect();
+        let y2: Vec<f64> = y.iter().map(|&v| -0.01 * v).collect();
+        let mi2 = mutual_information(&x2, &y2, KsgOptions::default());
+        assert!((mi1 - mi2).abs() < 0.05, "{mi1} vs {mi2}");
+    }
+
+    #[test]
+    fn constant_variable_gives_zero() {
+        let x = vec![5.0; 100];
+        let y: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(mutual_information(&x, &y, KsgOptions::default()), 0.0);
+    }
+
+    #[test]
+    fn tiny_sample_gives_zero() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![1.0, 2.0, 3.0];
+        assert_eq!(mutual_information(&x, &y, KsgOptions::default()), 0.0);
+    }
+
+    #[test]
+    fn duplicate_heavy_data_does_not_panic() {
+        // Discrete-ish data with heavy ties relies on the jitter.
+        let x: Vec<f64> = (0..500).map(|i| (i % 3) as f64).collect();
+        let y: Vec<f64> = (0..500).map(|i| (i % 3) as f64).collect();
+        let mi = mutual_information(&x, &y, KsgOptions::default());
+        assert!(mi > 0.5, "identical ternary vars should share information, got {mi}");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = mutual_information(&[1.0], &[1.0, 2.0], KsgOptions::default());
+    }
+
+    #[test]
+    fn deterministic_given_options() {
+        let (x, y) = gaussian_pairs(300, 0.6, 6);
+        let a = mutual_information(&x, &y, KsgOptions::default());
+        let b = mutual_information(&x, &y, KsgOptions::default());
+        assert_eq!(a, b);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// MI is non-negative for arbitrary data.
+            #[test]
+            fn nonnegative(seed in 0u64..500, rho in -0.95..0.95f64) {
+                let (x, y) = gaussian_pairs(120, rho, seed);
+                prop_assert!(mutual_information(&x, &y, KsgOptions::default()) >= 0.0);
+            }
+
+            /// MI is (approximately) symmetric in its arguments: the jitter
+            /// streams differ per argument slot, so allow estimator noise.
+            #[test]
+            fn symmetric(seed in 0u64..500) {
+                let (x, y) = gaussian_pairs(400, 0.7, seed);
+                let axy = mutual_information(&x, &y, KsgOptions::default());
+                let ayx = mutual_information(&y, &x, KsgOptions::default());
+                prop_assert!((axy - ayx).abs() < 0.15, "{axy} vs {ayx}");
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Mutual-information feature selection (paper Section 4.2, Figure 3).
+//!
+//! Implements the Kraskov–Stögbauer–Grassberger (KSG) k-nearest-neighbour
+//! estimator of mutual information between continuous variables — the same
+//! estimator behind scikit-learn's `mutual_info_regression`, which the
+//! paper uses to rank ten GPU utilization features against the two
+//! predictands (power and execution time) and select the top three
+//! (`fp_active`, `sm_app_clock`, `dram_active`).
+
+pub mod digamma;
+pub mod ksg;
+pub mod ranking;
+
+pub use ksg::mutual_information;
+pub use ranking::{rank_features, FeatureScore};

@@ -1,0 +1,104 @@
+//! Ranking candidate features by mutual information with a predictand.
+
+use crate::ksg::{mutual_information, KsgOptions};
+use serde::{Deserialize, Serialize};
+
+/// One feature's MI score against a predictand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureScore {
+    /// Feature name.
+    pub name: String,
+    /// Estimated mutual information in nats.
+    pub mi: f64,
+}
+
+/// Computes the MI of every feature column against `target` and returns the
+/// scores sorted descending (the paper's Figure 3, one panel per
+/// predictand).
+///
+/// `features` is column-major: `features[f]` is the f-th feature's samples.
+///
+/// # Panics
+/// Panics if `names` and `features` lengths differ, or any column length
+/// differs from `target`.
+pub fn rank_features(
+    names: &[&str],
+    features: &[Vec<f64>],
+    target: &[f64],
+    opts: KsgOptions,
+) -> Vec<FeatureScore> {
+    assert_eq!(names.len(), features.len(), "one name per feature column");
+    let mut scores: Vec<FeatureScore> = names
+        .iter()
+        .zip(features)
+        .map(|(&name, col)| FeatureScore {
+            name: name.to_string(),
+            mi: mutual_information(col, target, opts),
+        })
+        .collect();
+    scores.sort_by(|a, b| b.mi.partial_cmp(&a.mi).expect("MI is finite"));
+    scores
+}
+
+/// Returns the names of the top `n` features by MI.
+pub fn top_n(scores: &[FeatureScore], n: usize) -> Vec<&str> {
+    scores.iter().take(n).map(|s| s.name.as_str()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn informative_feature_ranks_first() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 500;
+        let target: Vec<f64> = (0..n).map(|_| rng.random::<f64>()).collect();
+        let informative: Vec<f64> = target.iter().map(|&t| 2.0 * t + 1.0).collect();
+        let noise: Vec<f64> = (0..n).map(|_| rng.random::<f64>()).collect();
+        let scores = rank_features(
+            &["noise", "informative"],
+            &[noise, informative],
+            &target,
+            KsgOptions::default(),
+        );
+        assert_eq!(scores[0].name, "informative");
+        assert!(scores[0].mi > scores[1].mi + 0.5);
+    }
+
+    #[test]
+    fn scores_are_sorted_descending() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 300;
+        let target: Vec<f64> = (0..n).map(|_| rng.random::<f64>()).collect();
+        let cols: Vec<Vec<f64>> = (0..4)
+            .map(|k| {
+                target
+                    .iter()
+                    .map(|&t| t * (k as f64 / 4.0) + rng.random::<f64>())
+                    .collect()
+            })
+            .collect();
+        let scores = rank_features(&["a", "b", "c", "d"], &cols, &target, KsgOptions::default());
+        assert!(scores.windows(2).all(|w| w[0].mi >= w[1].mi));
+    }
+
+    #[test]
+    fn top_n_selects_prefix() {
+        let scores = vec![
+            FeatureScore { name: "x".into(), mi: 2.0 },
+            FeatureScore { name: "y".into(), mi: 1.0 },
+            FeatureScore { name: "z".into(), mi: 0.5 },
+        ];
+        assert_eq!(top_n(&scores, 2), vec!["x", "y"]);
+        assert_eq!(top_n(&scores, 10).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one name per feature")]
+    fn name_count_mismatch_panics() {
+        let _ = rank_features(&["a"], &[vec![1.0], vec![2.0]], &[1.0], KsgOptions::default());
+    }
+}

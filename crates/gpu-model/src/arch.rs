@@ -1,0 +1,231 @@
+//! Device specifications for the simulated GPUs (paper Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// GPU architecture family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArchKind {
+    /// NVIDIA Ampere (A100 / GA100).
+    Ampere,
+    /// NVIDIA Volta (V100 / GV100).
+    Volta,
+}
+
+impl ArchKind {
+    /// Marketing name of the chip.
+    pub fn chip_name(&self) -> &'static str {
+        match self {
+            ArchKind::Ampere => "GA100",
+            ArchKind::Volta => "GV100",
+        }
+    }
+}
+
+/// Static specification of a simulated GPU.
+///
+/// The public fields mirror the paper's Table 1; the `pwr_*`/`volt_*`
+/// fields parameterize the analytical power and time models
+/// (see [`crate::model`]). Those are *per-architecture* calibration
+/// constants — they intentionally differ between GA100 and GV100 so that a
+/// model trained on one architecture carries a small systematic error onto
+/// the other, as the paper's cross-architecture evaluation observes
+/// (Table 3: GV100 accuracy is a few points below GA100).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Architecture family.
+    pub arch: ArchKind,
+    /// Lowest supported core frequency in MHz (below the *used* range).
+    pub min_core_mhz: f64,
+    /// Highest supported core frequency in MHz (also the default).
+    pub max_core_mhz: f64,
+    /// Lowest frequency actually used in experiments (the paper excludes
+    /// configurations below 510 MHz for their heavy performance loss).
+    pub min_used_mhz: f64,
+    /// Core frequency step in MHz between adjacent DVFS states.
+    pub step_mhz: f64,
+    /// Fixed memory clock in MHz (core DVFS does not move it).
+    pub memory_mhz: f64,
+    /// HBM2e capacity in GB.
+    pub memory_gb: f64,
+    /// Peak memory bandwidth in GB/s.
+    pub peak_bw_gbs: f64,
+    /// Peak FP64 throughput in GFLOP/s at the maximum core clock.
+    pub peak_fp64_gflops: f64,
+    /// Peak FP32 throughput in GFLOP/s at the maximum core clock.
+    pub peak_fp32_gflops: f64,
+    /// Thermal design power in watts.
+    pub tdp_w: f64,
+    /// Static (leakage + uncore) power floor in watts.
+    pub idle_w: f64,
+    /// Core frequency (MHz) where memory bandwidth saturates (Figure 1h).
+    pub bw_sat_mhz: f64,
+    /// Normalized supply voltage at the *lowest supported* frequency
+    /// (V at `max_core_mhz` is 1).
+    pub volt_min: f64,
+    /// Exponent of the voltage–frequency curve (1 = linear; >1 means most
+    /// of the voltage rise happens at the top of the range).
+    pub volt_exp: f64,
+    /// Weight of FP activity in the dynamic-power utilization blend.
+    pub pwr_w_fp: f64,
+    /// Weight of DRAM activity in the dynamic-power utilization blend.
+    pub pwr_w_dram: f64,
+}
+
+impl DeviceSpec {
+    /// The NVIDIA A100 (GA100) profile used throughout the paper.
+    pub fn ga100() -> Self {
+        Self {
+            arch: ArchKind::Ampere,
+            min_core_mhz: 210.0,
+            max_core_mhz: 1410.0,
+            min_used_mhz: 510.0,
+            step_mhz: 15.0,
+            memory_mhz: 1597.0,
+            memory_gb: 80.0,
+            peak_bw_gbs: 2039.0,
+            peak_fp64_gflops: 9_700.0,
+            peak_fp32_gflops: 19_500.0,
+            tdp_w: 500.0,
+            idle_w: 130.0,
+            bw_sat_mhz: 900.0,
+            // Steep top-end V-f curve (the A100 runs ~0.75 V at mid clocks
+            // and ~1.09 V at 1410 MHz): most of the voltage rise sits in
+            // the top third of the range, which is what makes moderate
+            // downclocks save 30%+ power.
+            volt_min: 0.64,
+            volt_exp: 2.5,
+            // Solves u(DGEMM: fp .95 / dram .30) = 1.0 and
+            // u(STREAM: fp .08 / dram .95) = 0.32 (so STREAM@fmax ~ TDP/2).
+            pwr_w_fp: 0.97,
+            pwr_w_dram: 0.26,
+        }
+    }
+
+    /// The NVIDIA V100 (GV100) profile (the paper's portability target).
+    pub fn gv100() -> Self {
+        Self {
+            arch: ArchKind::Volta,
+            min_core_mhz: 135.0,
+            max_core_mhz: 1380.0,
+            min_used_mhz: 510.0,
+            step_mhz: 7.5,
+            memory_mhz: 877.0,
+            memory_gb: 40.0,
+            peak_bw_gbs: 900.0,
+            peak_fp64_gflops: 7_800.0,
+            peak_fp32_gflops: 15_700.0,
+            tdp_w: 250.0,
+            idle_w: 62.0,
+            bw_sat_mhz: 820.0,
+            // Deliberately slightly different electrical constants: this is
+            // what creates the paper's small cross-architecture error.
+            volt_min: 0.60,
+            volt_exp: 2.2,
+            pwr_w_fp: 0.94,
+            pwr_w_dram: 0.30,
+        }
+    }
+
+    /// Looks up the spec for an architecture.
+    pub fn for_arch(arch: ArchKind) -> Self {
+        match arch {
+            ArchKind::Ampere => Self::ga100(),
+            ArchKind::Volta => Self::gv100(),
+        }
+    }
+
+    /// Peak FLOPs (GFLOP/s) for the given FP64 fraction of a workload's
+    /// floating-point mix, at the maximum clock.
+    pub fn peak_gflops_for_mix(&self, fp64_ratio: f64) -> f64 {
+        let r = fp64_ratio.clamp(0.0, 1.0);
+        // Harmonic blend: a mix of fp64/fp32 work is limited by each
+        // pipe proportionally to its share.
+        let inv = r / self.peak_fp64_gflops + (1.0 - r) / self.peak_fp32_gflops;
+        1.0 / inv
+    }
+
+    /// Default (maximum) core frequency in MHz.
+    pub fn default_core_mhz(&self) -> f64 {
+        self.max_core_mhz
+    }
+
+    /// Renders the paper's Table 1 column for this device.
+    pub fn table1_rows(&self) -> Vec<(String, String)> {
+        vec![
+            (
+                "Core Frequency Range (MHz)".into(),
+                format!("[{:.0}:{:.0}]", self.min_core_mhz, self.max_core_mhz),
+            ),
+            ("Default Core Frequency (MHz)".into(), format!("{:.0}", self.default_core_mhz())),
+            ("Memory Frequency (MHz)".into(), format!("{:.0}", self.memory_mhz)),
+            ("GPU Memory (HBM2e) (GB)".into(), format!("{:.0}", self.memory_gb)),
+            ("Peak Memory Bandwidth (GB/s)".into(), format!("{:.0}", self.peak_bw_gbs)),
+            ("TDP (W)".into(), format!("{:.0}", self.tdp_w)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_constants_match_paper() {
+        let a = DeviceSpec::ga100();
+        assert_eq!(a.min_core_mhz, 210.0);
+        assert_eq!(a.max_core_mhz, 1410.0);
+        assert_eq!(a.memory_mhz, 1597.0);
+        assert_eq!(a.memory_gb, 80.0);
+        assert_eq!(a.peak_bw_gbs, 2039.0);
+        assert_eq!(a.tdp_w, 500.0);
+
+        let v = DeviceSpec::gv100();
+        assert_eq!(v.min_core_mhz, 135.0);
+        assert_eq!(v.max_core_mhz, 1380.0);
+        assert_eq!(v.memory_mhz, 877.0);
+        assert_eq!(v.memory_gb, 40.0);
+        assert_eq!(v.peak_bw_gbs, 900.0);
+        assert_eq!(v.tdp_w, 250.0);
+    }
+
+    #[test]
+    fn default_frequency_is_max() {
+        assert_eq!(DeviceSpec::ga100().default_core_mhz(), 1410.0);
+        assert_eq!(DeviceSpec::gv100().default_core_mhz(), 1380.0);
+    }
+
+    #[test]
+    fn for_arch_round_trips() {
+        assert_eq!(DeviceSpec::for_arch(ArchKind::Ampere).arch, ArchKind::Ampere);
+        assert_eq!(DeviceSpec::for_arch(ArchKind::Volta).arch, ArchKind::Volta);
+    }
+
+    #[test]
+    fn peak_gflops_mix_interpolates() {
+        let a = DeviceSpec::ga100();
+        assert!((a.peak_gflops_for_mix(1.0) - a.peak_fp64_gflops).abs() < 1e-9);
+        assert!((a.peak_gflops_for_mix(0.0) - a.peak_fp32_gflops).abs() < 1e-9);
+        let mid = a.peak_gflops_for_mix(0.5);
+        assert!(mid > a.peak_fp64_gflops && mid < a.peak_fp32_gflops);
+    }
+
+    #[test]
+    fn peak_gflops_mix_clamps_out_of_range() {
+        let a = DeviceSpec::ga100();
+        assert_eq!(a.peak_gflops_for_mix(2.0), a.peak_gflops_for_mix(1.0));
+        assert_eq!(a.peak_gflops_for_mix(-1.0), a.peak_gflops_for_mix(0.0));
+    }
+
+    #[test]
+    fn chip_names() {
+        assert_eq!(ArchKind::Ampere.chip_name(), "GA100");
+        assert_eq!(ArchKind::Volta.chip_name(), "GV100");
+    }
+
+    #[test]
+    fn table1_rows_render() {
+        let rows = DeviceSpec::ga100().table1_rows();
+        assert_eq!(rows.len(), 6);
+        assert!(rows[0].1.contains("210") && rows[0].1.contains("1410"));
+    }
+}

@@ -1,0 +1,165 @@
+//! DVFS frequency grids (paper Table 1: "Used DVFS Configurations").
+
+use crate::arch::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// The discrete set of core frequencies a device supports, and the subset
+/// actually used in experiments.
+///
+/// The paper uses 61 of GA100's 81 supported states and 117 of GV100's 167,
+/// excluding everything below 510 MHz ("heavy performance degradation").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsGrid {
+    supported: Vec<f64>,
+    used_from: f64,
+}
+
+impl DvfsGrid {
+    /// Builds the grid for a device spec.
+    pub fn for_spec(spec: &DeviceSpec) -> Self {
+        let mut supported = Vec::new();
+        let n = ((spec.max_core_mhz - spec.min_core_mhz) / spec.step_mhz).round() as usize;
+        for i in 0..=n {
+            let f = spec.min_core_mhz + i as f64 * spec.step_mhz;
+            // Real clocks are integer MHz; GV100's 7.5 MHz mean step becomes
+            // an alternating 7/8 pattern after rounding.
+            supported.push(f.round());
+        }
+        Self { supported, used_from: spec.min_used_mhz }
+    }
+
+    /// All supported frequencies, ascending, in MHz.
+    pub fn supported(&self) -> &[f64] {
+        &self.supported
+    }
+
+    /// The frequencies used in experiments (>= the 510 MHz floor), ascending.
+    pub fn used(&self) -> Vec<f64> {
+        self.supported
+            .iter()
+            .copied()
+            .filter(|&f| f >= self.used_from)
+            .collect()
+    }
+
+    /// Number of supported states.
+    pub fn num_supported(&self) -> usize {
+        self.supported.len()
+    }
+
+    /// Number of used states.
+    pub fn num_used(&self) -> usize {
+        self.used().len()
+    }
+
+    /// The maximum (default) frequency.
+    pub fn max(&self) -> f64 {
+        *self.supported.last().expect("grid is never empty")
+    }
+
+    /// The nearest supported frequency to `mhz`.
+    pub fn nearest(&self, mhz: f64) -> f64 {
+        *self
+            .supported
+            .iter()
+            .min_by(|a, b| {
+                (*a - mhz)
+                    .abs()
+                    .partial_cmp(&(*b - mhz).abs())
+                    .expect("no NaN frequencies")
+            })
+            .expect("grid is never empty")
+    }
+
+    /// Whether `mhz` is exactly a supported state.
+    pub fn is_supported(&self, mhz: f64) -> bool {
+        self.supported.contains(&mhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::DeviceSpec;
+
+    #[test]
+    fn ga100_has_81_supported_61_used() {
+        let g = DvfsGrid::for_spec(&DeviceSpec::ga100());
+        assert_eq!(g.num_supported(), 81);
+        assert_eq!(g.num_used(), 61);
+        assert_eq!(g.max(), 1410.0);
+        assert_eq!(g.used()[0], 510.0);
+    }
+
+    #[test]
+    fn gv100_has_167_supported_117_used() {
+        let g = DvfsGrid::for_spec(&DeviceSpec::gv100());
+        assert_eq!(g.num_supported(), 167);
+        assert_eq!(g.num_used(), 117);
+        assert_eq!(g.max(), 1380.0);
+    }
+
+    #[test]
+    fn used_frequencies_ascend() {
+        let g = DvfsGrid::for_spec(&DeviceSpec::ga100());
+        let used = g.used();
+        assert!(used.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn nearest_snaps_to_grid() {
+        let g = DvfsGrid::for_spec(&DeviceSpec::ga100());
+        assert_eq!(g.nearest(1000.0), 1005.0);
+        assert_eq!(g.nearest(5000.0), 1410.0);
+        assert_eq!(g.nearest(0.0), 210.0);
+    }
+
+    #[test]
+    fn is_supported_checks_membership() {
+        let g = DvfsGrid::for_spec(&DeviceSpec::ga100());
+        assert!(g.is_supported(1410.0));
+        assert!(g.is_supported(510.0));
+        assert!(!g.is_supported(512.0));
+    }
+
+    #[test]
+    fn gv100_grid_is_integer_mhz() {
+        let g = DvfsGrid::for_spec(&DeviceSpec::gv100());
+        assert!(g.supported().iter().all(|f| f.fract() == 0.0));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// nearest() returns a supported state minimizing the distance.
+            #[test]
+            fn nearest_minimizes_distance(mhz in -100.0..2000.0f64) {
+                for spec in [DeviceSpec::ga100(), DeviceSpec::gv100()] {
+                    let g = DvfsGrid::for_spec(&spec);
+                    let n = g.nearest(mhz);
+                    prop_assert!(g.is_supported(n));
+                    for &f in g.supported() {
+                        prop_assert!((n - mhz).abs() <= (f - mhz).abs() + 1e-9);
+                    }
+                }
+            }
+
+            /// The used subset is exactly the supported states >= the floor.
+            #[test]
+            fn used_is_floor_filter(_x in 0..1i32) {
+                for spec in [DeviceSpec::ga100(), DeviceSpec::gv100()] {
+                    let g = DvfsGrid::for_spec(&spec);
+                    let expect: Vec<f64> = g
+                        .supported()
+                        .iter()
+                        .copied()
+                        .filter(|&f| f >= spec.min_used_mhz)
+                        .collect();
+                    prop_assert_eq!(g.used(), expect);
+                }
+            }
+        }
+    }
+}

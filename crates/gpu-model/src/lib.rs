@@ -1,0 +1,38 @@
+//! Analytical GPU DVFS power/performance simulator.
+//!
+//! This crate is the hardware substrate of the reproduction: it stands in
+//! for the NVIDIA GA100 (Ampere A100) and GV100 (Volta V100) GPUs of the
+//! paper. It models, per device:
+//!
+//! * the DVFS frequency grid ([`dvfs::DvfsGrid`], 81/167 supported states,
+//!   61/117 used, paper Table 1);
+//! * a voltage–frequency curve ([`model::voltage`]);
+//! * dynamic + static power as a function of workload activity and clock
+//!   ([`model::power`]) — calibrated so a compute-bound workload draws the
+//!   full TDP at f_max and a memory-bound one about half of it (Figure 1);
+//! * a roofline execution-time model with bandwidth saturation around
+//!   900 MHz ([`model::exec_time`], Figure 1 f/h);
+//! * synthesis of the twelve DCGM utilization metrics the paper collects,
+//!   with deterministic, seeded measurement noise ([`sample`]).
+//!
+//! The activity features the paper builds its models on — `fp_active` and
+//! `dram_active` — are *derived* quantities here (achieved FLOPs over
+//! available FLOPs, achieved bytes over peak bandwidth), so their
+//! DVFS-invariance and input-size-invariance (paper Figures 4 and 5)
+//! emerge from the physics instead of being postulated.
+
+pub mod arch;
+pub mod dvfs;
+pub mod mixture;
+pub mod model;
+pub mod noise;
+pub mod sample;
+pub mod signature;
+pub mod undervolt;
+
+pub use arch::{ArchKind, DeviceSpec};
+pub use dvfs::DvfsGrid;
+pub use mixture::{Phase, PhasedWorkload};
+pub use noise::NoiseModel;
+pub use sample::MetricSample;
+pub use signature::{SignatureBuilder, WorkloadSignature};

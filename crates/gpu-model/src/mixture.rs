@@ -1,0 +1,344 @@
+//! Multi-phase workloads (real applications).
+//!
+//! A real application like LAMMPS or BERT is not one kernel: it alternates
+//! compute-bound kernels, memory-bound kernels and host-side work. A
+//! [`PhasedWorkload`] is a weighted sequence of [`WorkloadSignature`]
+//! phases. Its aggregate behaviour is the exact time-weighted combination
+//! of its phases — which, crucially, is *not* representable as any single
+//! signature. That gap is what makes real applications genuinely harder for
+//! the paper's models than the single-kernel training benchmarks, and it
+//! reproduces the paper's observation that per-application accuracy drops
+//! from ~99 % (seen benchmarks) to 88–98 % (unseen applications).
+
+use crate::arch::DeviceSpec;
+use crate::model;
+use crate::noise::NoiseModel;
+use crate::sample::{measure_aggregate, MetricSample, SampleMeta};
+use crate::signature::WorkloadSignature;
+use serde::{Deserialize, Serialize};
+
+/// One phase of a multi-phase workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// The kernel signature executed in this phase.
+    pub signature: WorkloadSignature,
+    /// How many times this phase runs per application run.
+    pub repeats: f64,
+}
+
+/// A workload made of weighted phases (possibly just one).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasedWorkload {
+    /// Application name.
+    pub name: String,
+    /// The phases, executed `repeats` times each per run.
+    pub phases: Vec<Phase>,
+}
+
+impl PhasedWorkload {
+    /// Wraps a single signature as a one-phase workload.
+    pub fn single(sig: WorkloadSignature) -> Self {
+        Self { name: sig.name.clone(), phases: vec![Phase { signature: sig, repeats: 1.0 }] }
+    }
+
+    /// Builds a named multi-phase workload.
+    ///
+    /// # Panics
+    /// Panics if `phases` is empty or any repeat count is non-positive.
+    pub fn new(name: impl Into<String>, phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "workload needs at least one phase");
+        assert!(
+            phases.iter().all(|p| p.repeats > 0.0),
+            "phase repeat counts must be positive"
+        );
+        Self { name: name.into(), phases }
+    }
+
+    /// Total execution time at clock `mhz`, in seconds.
+    pub fn exec_time(&self, spec: &DeviceSpec, mhz: f64) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.repeats * model::exec_time(spec, &p.signature, mhz))
+            .sum()
+    }
+
+    /// Total energy at clock `mhz`, in joules.
+    pub fn energy(&self, spec: &DeviceSpec, mhz: f64) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.repeats * model::energy(spec, &p.signature, mhz))
+            .sum()
+    }
+
+    /// Time-averaged power at clock `mhz`, in watts.
+    pub fn power(&self, spec: &DeviceSpec, mhz: f64) -> f64 {
+        self.energy(spec, mhz) / self.exec_time(spec, mhz)
+    }
+
+    /// Time-weighted aggregate `(fp_active, dram_active)` at clock `mhz` —
+    /// what a DCGM average over the whole run would report.
+    pub fn activities(&self, spec: &DeviceSpec, mhz: f64) -> (f64, f64) {
+        let total_t = self.exec_time(spec, mhz);
+        let mut fp = 0.0;
+        let mut dram = 0.0;
+        for p in &self.phases {
+            let t = p.repeats * model::exec_time(spec, &p.signature, mhz);
+            let (f, d) = model::activities(spec, &p.signature, mhz);
+            fp += f * t;
+            dram += d * t;
+        }
+        (fp / total_t, dram / total_t)
+    }
+
+    /// Time-weighted [`SampleMeta`] for measurement synthesis.
+    pub fn sample_meta(&self, spec: &DeviceSpec, mhz: f64) -> SampleMeta {
+        let total_t = self.exec_time(spec, mhz);
+        let mut acc = SampleMeta {
+            name: self.name.clone(),
+            kappa_compute: 0.0,
+            kappa_memory: 0.0,
+            fp64_ratio: 0.0,
+            sm_occupancy: 0.0,
+            pcie_tx_mbs: 0.0,
+            pcie_rx_mbs: 0.0,
+        };
+        for p in &self.phases {
+            let w = p.repeats * model::exec_time(spec, &p.signature, mhz) / total_t;
+            acc.kappa_compute += w * p.signature.kappa_compute;
+            acc.kappa_memory += w * p.signature.kappa_memory;
+            acc.fp64_ratio += w * p.signature.fp64_ratio;
+            acc.sm_occupancy += w * p.signature.sm_occupancy;
+            acc.pcie_tx_mbs += w * p.signature.pcie_tx_mbs;
+            acc.pcie_rx_mbs += w * p.signature.pcie_rx_mbs;
+        }
+        acc
+    }
+
+    /// Simulates one measured run at clock `mhz` (deterministic noise).
+    pub fn measure(
+        &self,
+        spec: &DeviceSpec,
+        mhz: f64,
+        run: u32,
+        noise: &NoiseModel,
+    ) -> MetricSample {
+        let (fp, dram) = self.activities(spec, mhz);
+        let t = self.exec_time(spec, mhz);
+        let meta = self.sample_meta(spec, mhz);
+        measure_aggregate(spec, &meta, fp, dram, t, mhz, run, noise)
+    }
+
+    /// Fraction of execution time at `mhz` that is DVFS-insensitive
+    /// overhead.
+    pub fn overhead_fraction(&self, spec: &DeviceSpec, mhz: f64) -> f64 {
+        let oh: f64 = self.phases.iter().map(|p| p.repeats * p.signature.overhead_s).sum();
+        oh / self.exec_time(spec, mhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::SignatureBuilder;
+
+    fn compute_phase() -> WorkloadSignature {
+        SignatureBuilder::new("compute-phase")
+            .flops(2.0e12)
+            .bytes(2.0e10)
+            .kappa_compute(0.9)
+            .kappa_memory(0.6)
+            .build()
+    }
+
+    fn memory_phase() -> WorkloadSignature {
+        SignatureBuilder::new("memory-phase")
+            .flops(2.0e10)
+            .bytes(8.0e11)
+            .kappa_compute(0.5)
+            .kappa_memory(0.85)
+            .build()
+    }
+
+    fn app() -> PhasedWorkload {
+        PhasedWorkload::new(
+            "app",
+            vec![
+                Phase { signature: compute_phase(), repeats: 3.0 },
+                Phase { signature: memory_phase(), repeats: 2.0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn single_matches_model_functions() {
+        let spec = DeviceSpec::ga100();
+        let sig = compute_phase();
+        let w = PhasedWorkload::single(sig.clone());
+        for &f in &[510.0, 900.0, 1410.0] {
+            assert!((w.exec_time(&spec, f) - model::exec_time(&spec, &sig, f)).abs() < 1e-12);
+            assert!((w.power(&spec, f) - model::power(&spec, &sig, f)).abs() < 1e-9);
+            let (a, b) = w.activities(&spec, f);
+            let (c, d) = model::activities(&spec, &sig, f);
+            assert!((a - c).abs() < 1e-12 && (b - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mixture_time_is_sum_of_phases() {
+        let spec = DeviceSpec::ga100();
+        let w = app();
+        let t = w.exec_time(&spec, 1005.0);
+        let expect = 3.0 * model::exec_time(&spec, &compute_phase(), 1005.0)
+            + 2.0 * model::exec_time(&spec, &memory_phase(), 1005.0);
+        assert!((t - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_power_between_phase_powers() {
+        let spec = DeviceSpec::ga100();
+        let w = app();
+        let p = w.power(&spec, 1410.0);
+        let pc = model::power(&spec, &compute_phase(), 1410.0);
+        let pm = model::power(&spec, &memory_phase(), 1410.0);
+        assert!(p > pm.min(pc) && p < pm.max(pc), "{pm} <= {p} <= {pc} violated");
+    }
+
+    #[test]
+    fn aggregate_power_consistent_with_activities() {
+        // Power is affine in the activity blend, so the aggregate power
+        // must equal the power computed from aggregate activities.
+        let spec = DeviceSpec::ga100();
+        let w = app();
+        for &f in &[600.0, 1005.0, 1410.0] {
+            let (fp, dram) = w.activities(&spec, f);
+            let direct = model::power_from_activities(&spec, fp, dram, f);
+            assert!(
+                (direct - w.power(&spec, f)).abs() < 1.0,
+                "at {f} MHz: {direct} vs {}",
+                w.power(&spec, f)
+            );
+        }
+    }
+
+    #[test]
+    fn measure_is_deterministic() {
+        let spec = DeviceSpec::ga100();
+        let nm = NoiseModel::default_bench();
+        let a = app().measure(&spec, 1110.0, 0, &nm);
+        let b = app().measure(&spec, 1110.0, 0, &nm);
+        assert_eq!(a, b);
+        assert_eq!(a.workload, "app");
+    }
+
+    #[test]
+    fn overhead_fraction_rises_with_frequency() {
+        // Kernel time shrinks with f while overhead is fixed, so the
+        // overhead fraction grows with frequency.
+        let spec = DeviceSpec::ga100();
+        let sig = SignatureBuilder::new("oh")
+            .flops(1.0e12)
+            .bytes(1.0e10)
+            .overhead_s(0.05)
+            .build();
+        let w = PhasedWorkload::single(sig);
+        let lo = w.overhead_fraction(&spec, 510.0);
+        let hi = w.overhead_fraction(&spec, 1410.0);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_panic() {
+        let _ = PhasedWorkload::new("x", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_repeats_panic() {
+        let _ = PhasedWorkload::new(
+            "x",
+            vec![Phase { signature: compute_phase(), repeats: 0.0 }],
+        );
+    }
+
+    mod props {
+        use super::*;
+        use crate::signature::SignatureBuilder;
+        use proptest::prelude::*;
+
+        fn arb_phase() -> impl Strategy<Value = Phase> {
+            (
+                1.0e10..1.0e13f64,
+                1.0e9..1.0e12f64,
+                0.1..1.0f64,
+                0.1..1.0f64,
+                0.0..1.0f64,
+                1.0..5.0f64,
+            )
+                .prop_map(|(flops, bytes, kc, km, fp64, repeats)| Phase {
+                    signature: SignatureBuilder::new("p")
+                        .flops(flops)
+                        .bytes(bytes)
+                        .kappa_compute(kc)
+                        .kappa_memory(km)
+                        .fp64_ratio(fp64)
+                        .build(),
+                    repeats,
+                })
+        }
+
+        proptest! {
+            /// Mixture power is bounded by the min/max phase power.
+            #[test]
+            fn power_within_phase_envelope(
+                phases in proptest::collection::vec(arb_phase(), 1..5),
+                fidx in 0usize..61,
+            ) {
+                let spec = DeviceSpec::ga100();
+                let f = 510.0 + 15.0 * fidx as f64;
+                let w = PhasedWorkload::new("w", phases.clone());
+                let p = w.power(&spec, f);
+                let lo = phases
+                    .iter()
+                    .map(|ph| crate::model::power(&spec, &ph.signature, f))
+                    .fold(f64::INFINITY, f64::min);
+                let hi = phases
+                    .iter()
+                    .map(|ph| crate::model::power(&spec, &ph.signature, f))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{lo} <= {p} <= {hi}");
+            }
+
+            /// Energy is additive over phases and equals P*T for the mixture.
+            #[test]
+            fn energy_additivity(
+                phases in proptest::collection::vec(arb_phase(), 1..5),
+                fidx in 0usize..61,
+            ) {
+                let spec = DeviceSpec::ga100();
+                let f = 510.0 + 15.0 * fidx as f64;
+                let w = PhasedWorkload::new("w", phases.clone());
+                let direct: f64 = phases
+                    .iter()
+                    .map(|ph| ph.repeats * crate::model::energy(&spec, &ph.signature, f))
+                    .sum();
+                prop_assert!((w.energy(&spec, f) - direct).abs() <= 1e-6 * direct);
+                let pt = w.power(&spec, f) * w.exec_time(&spec, f);
+                prop_assert!((w.energy(&spec, f) - pt).abs() <= 1e-6 * pt);
+            }
+
+            /// Mixture time is non-increasing in frequency.
+            #[test]
+            fn time_monotone_in_frequency(phases in proptest::collection::vec(arb_phase(), 1..4)) {
+                let spec = DeviceSpec::ga100();
+                let w = PhasedWorkload::new("w", phases);
+                let mut prev = f64::INFINITY;
+                for i in 0..61 {
+                    let t = w.exec_time(&spec, 510.0 + 15.0 * i as f64);
+                    prop_assert!(t <= prev + 1e-12);
+                    prev = t;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! The analytical power and execution-time models.
+//!
+//! # Time (roofline)
+//!
+//! `T(f) = max(flops / C(f), bytes / B(f)) + overhead`
+//!
+//! where compute capability `C(f)` scales linearly with the core clock and
+//! bandwidth `B(f)` follows a soft-saturating curve that flattens around
+//! `bw_sat_mhz` (~900 MHz on GA100) — the paper's Figure 1 (f, h).
+//!
+//! # Power
+//!
+//! `P(f) = P_idle + (TDP - P_idle) * u * (f/f_max) * V(f)^2`
+//!
+//! with utilization blend `u = w_fp * fp_active + w_dram * dram_active` and
+//! a convex voltage curve `V(f)`. Calibrated so a compute-bound workload
+//! draws the TDP at f_max, a memory-bound one about half of it, and the
+//! energy minima of DGEMM/STREAM land near 1005–1080 MHz (Figure 1 a, c,
+//! e, g).
+//!
+//! # Derived activities
+//!
+//! `fp_active(f)` is achieved FLOP rate over the FLOP rate *available at
+//! that clock*; `dram_active(f)` is achieved traffic over peak bandwidth
+//! (memory clock is DVFS-independent). Compute-bound workloads therefore
+//! show a frequency-invariant `fp_active` and a mildly varying
+//! `dram_active`, which is exactly the invariance the paper reports in
+//! Figures 4 and 5.
+
+use crate::arch::DeviceSpec;
+use crate::signature::WorkloadSignature;
+
+/// Sharpness of the bandwidth-saturation knee (higher = sharper).
+const BW_KNEE_EXP: f64 = 6.0;
+
+/// Normalized supply voltage at core frequency `mhz` (1.0 at `max_core_mhz`).
+pub fn voltage(spec: &DeviceSpec, mhz: f64) -> f64 {
+    let x = ((mhz - spec.min_core_mhz) / (spec.max_core_mhz - spec.min_core_mhz)).clamp(0.0, 1.0);
+    spec.volt_min + (1.0 - spec.volt_min) * x.powf(spec.volt_exp)
+}
+
+/// Raw soft-saturation factor `r / (1 + r^k)^(1/k)` with `r = f / f_sat`.
+fn sat_raw(spec: &DeviceSpec, mhz: f64) -> f64 {
+    let r = mhz / spec.bw_sat_mhz;
+    r / (1.0 + r.powf(BW_KNEE_EXP)).powf(1.0 / BW_KNEE_EXP)
+}
+
+/// Bandwidth availability factor, normalized to 1.0 at `max_core_mhz`.
+pub fn bw_factor(spec: &DeviceSpec, mhz: f64) -> f64 {
+    sat_raw(spec, mhz) / sat_raw(spec, spec.max_core_mhz)
+}
+
+/// FLOP rate available to `sig` at clock `mhz`, in FLOP/s.
+pub fn avail_flops_per_s(spec: &DeviceSpec, sig: &WorkloadSignature, mhz: f64) -> f64 {
+    spec.peak_gflops_for_mix(sig.fp64_ratio) * 1e9 * sig.kappa_compute * (mhz / spec.max_core_mhz)
+}
+
+/// DRAM bandwidth available to `sig` at clock `mhz`, in byte/s.
+pub fn avail_bytes_per_s(spec: &DeviceSpec, sig: &WorkloadSignature, mhz: f64) -> f64 {
+    spec.peak_bw_gbs * 1e9 * sig.kappa_memory * bw_factor(spec, mhz)
+}
+
+/// Execution time of one run of `sig` at clock `mhz`, in seconds.
+pub fn exec_time(spec: &DeviceSpec, sig: &WorkloadSignature, mhz: f64) -> f64 {
+    let t_compute = if sig.flops > 0.0 {
+        sig.flops / avail_flops_per_s(spec, sig, mhz)
+    } else {
+        0.0
+    };
+    let t_memory = if sig.bytes > 0.0 {
+        sig.bytes / avail_bytes_per_s(spec, sig, mhz)
+    } else {
+        0.0
+    };
+    t_compute.max(t_memory) + sig.overhead_s
+}
+
+/// Noise-free activity pair `(fp_active, dram_active)` as DCGM would report
+/// them, averaged over the whole run at clock `mhz`.
+pub fn activities(spec: &DeviceSpec, sig: &WorkloadSignature, mhz: f64) -> (f64, f64) {
+    let t = exec_time(spec, sig, mhz);
+    let fp_avail = spec.peak_gflops_for_mix(sig.fp64_ratio) * 1e9 * (mhz / spec.max_core_mhz);
+    let fp_active = if sig.flops > 0.0 { (sig.flops / t) / fp_avail } else { 0.0 };
+    let dram_active = if sig.bytes > 0.0 {
+        (sig.bytes / t) / (spec.peak_bw_gbs * 1e9)
+    } else {
+        0.0
+    };
+    (fp_active.clamp(0.0, 1.0), dram_active.clamp(0.0, 1.0))
+}
+
+/// Power draw (watts) given explicit activity readings.
+///
+/// Exposed separately so measured (noisy) activities can drive the power
+/// calculation — measurement noise then correlates between activity and
+/// power samples, as it does on real hardware.
+pub fn power_from_activities(
+    spec: &DeviceSpec,
+    fp_active: f64,
+    dram_active: f64,
+    mhz: f64,
+) -> f64 {
+    let u = (spec.pwr_w_fp * fp_active + spec.pwr_w_dram * dram_active).clamp(0.0, 1.0);
+    let v = voltage(spec, mhz);
+    spec.idle_w + (spec.tdp_w - spec.idle_w) * u * (mhz / spec.max_core_mhz) * v * v
+}
+
+/// Noise-free power draw of `sig` at clock `mhz`, in watts.
+pub fn power(spec: &DeviceSpec, sig: &WorkloadSignature, mhz: f64) -> f64 {
+    let (fp, dram) = activities(spec, sig, mhz);
+    power_from_activities(spec, fp, dram, mhz)
+}
+
+/// Noise-free energy of one run at clock `mhz`, in joules.
+pub fn energy(spec: &DeviceSpec, sig: &WorkloadSignature, mhz: f64) -> f64 {
+    power(spec, sig, mhz) * exec_time(spec, sig, mhz)
+}
+
+/// Achieved FLOP rate at `mhz` in GFLOP/s (paper Figure 1d).
+pub fn achieved_gflops(spec: &DeviceSpec, sig: &WorkloadSignature, mhz: f64) -> f64 {
+    sig.flops / exec_time(spec, sig, mhz) / 1e9
+}
+
+/// Achieved DRAM bandwidth at `mhz` in GB/s (paper Figure 1h).
+pub fn achieved_bandwidth_gbs(spec: &DeviceSpec, sig: &WorkloadSignature, mhz: f64) -> f64 {
+    sig.bytes / exec_time(spec, sig, mhz) / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dvfs::DvfsGrid;
+    use crate::signature::SignatureBuilder;
+
+    /// DGEMM-like: heavily compute bound, FP64, near-peak efficiency.
+    fn dgemm() -> WorkloadSignature {
+        SignatureBuilder::new("dgemm")
+            .flops(4.0e12)
+            .bytes(6.0e10)
+            .kappa_compute(0.95)
+            .kappa_memory(0.60)
+            .fp64_ratio(1.0)
+            .overhead_s(0.005)
+            .build()
+    }
+
+    /// STREAM-like: memory bound, negligible FP work per byte.
+    fn stream() -> WorkloadSignature {
+        SignatureBuilder::new("stream")
+            .flops(4.0e10)
+            .bytes(1.6e12)
+            .kappa_compute(0.50)
+            .kappa_memory(0.88)
+            .fp64_ratio(1.0)
+            .overhead_s(0.005)
+            .build()
+    }
+
+    fn ga100() -> DeviceSpec {
+        DeviceSpec::ga100()
+    }
+
+    #[test]
+    fn voltage_curve_endpoints() {
+        let s = ga100();
+        assert!((voltage(&s, s.min_core_mhz) - s.volt_min).abs() < 1e-12);
+        assert!((voltage(&s, s.max_core_mhz) - 1.0).abs() < 1e-12);
+        assert!(voltage(&s, 0.0) >= s.volt_min); // clamped below range
+    }
+
+    #[test]
+    fn voltage_is_monotonic() {
+        let s = ga100();
+        let grid = DvfsGrid::for_spec(&s);
+        let vs: Vec<f64> = grid.supported().iter().map(|&f| voltage(&s, f)).collect();
+        assert!(vs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn dgemm_draws_tdp_at_max_frequency() {
+        let s = ga100();
+        let p = power(&s, &dgemm(), s.max_core_mhz);
+        assert!(
+            (p - s.tdp_w).abs() / s.tdp_w < 0.08,
+            "DGEMM at fmax should draw ~TDP, got {p:.0} W"
+        );
+    }
+
+    #[test]
+    fn stream_draws_half_tdp_at_max_frequency() {
+        let s = ga100();
+        let p = power(&s, &stream(), s.max_core_mhz);
+        let frac = p / s.tdp_w;
+        assert!(
+            (0.40..=0.60).contains(&frac),
+            "STREAM at fmax should draw ~TDP/2, got {:.0} W ({frac:.2} TDP)",
+            p
+        );
+    }
+
+    #[test]
+    fn power_is_monotonic_in_frequency() {
+        let s = ga100();
+        let grid = DvfsGrid::for_spec(&s);
+        for sig in [dgemm(), stream()] {
+            let ps: Vec<f64> = grid.used().iter().map(|&f| power(&s, &sig, f)).collect();
+            assert!(
+                ps.windows(2).all(|w| w[0] < w[1]),
+                "{} power not increasing",
+                sig.name
+            );
+        }
+    }
+
+    #[test]
+    fn time_is_nonincreasing_in_frequency() {
+        let s = ga100();
+        let grid = DvfsGrid::for_spec(&s);
+        for sig in [dgemm(), stream()] {
+            let ts: Vec<f64> = grid.used().iter().map(|&f| exec_time(&s, &sig, f)).collect();
+            assert!(
+                ts.windows(2).all(|w| w[0] >= w[1]),
+                "{} time not non-increasing",
+                sig.name
+            );
+        }
+    }
+
+    /// Figure 1c: DGEMM's optimal-energy frequency is ~1080 MHz.
+    #[test]
+    fn dgemm_energy_minimum_near_1080() {
+        let s = ga100();
+        let grid = DvfsGrid::for_spec(&s);
+        let used = grid.used();
+        let es: Vec<f64> = used.iter().map(|&f| energy(&s, &dgemm(), f)).collect();
+        let f_opt = used[tensor_argmin(&es)];
+        assert!(
+            (930.0..=1200.0).contains(&f_opt),
+            "DGEMM energy minimum at {f_opt} MHz, expected near 1080"
+        );
+    }
+
+    /// Figure 1g: STREAM's optimal-energy frequency is ~1005 MHz.
+    #[test]
+    fn stream_energy_minimum_near_1005() {
+        let s = ga100();
+        let grid = DvfsGrid::for_spec(&s);
+        let used = grid.used();
+        let es: Vec<f64> = used.iter().map(|&f| energy(&s, &stream(), f)).collect();
+        let f_opt = used[tensor_argmin(&es)];
+        assert!(
+            (870.0..=1100.0).contains(&f_opt),
+            "STREAM energy minimum at {f_opt} MHz, expected near 1005"
+        );
+    }
+
+    /// Figure 1d: FLOPS of a compute-bound kernel scale linearly with f.
+    #[test]
+    fn dgemm_flops_linear_in_frequency() {
+        let s = ga100();
+        let sig = {
+            // No overhead for the linearity check.
+            let mut d = dgemm();
+            d.overhead_s = 0.0;
+            d
+        };
+        let g1 = achieved_gflops(&s, &sig, 705.0);
+        let g2 = achieved_gflops(&s, &sig, 1410.0);
+        assert!((g2 / g1 - 2.0).abs() < 0.02, "ratio {:.3}", g2 / g1);
+    }
+
+    /// Figure 1h: STREAM bandwidth flattens above ~900 MHz.
+    #[test]
+    fn stream_bandwidth_saturates() {
+        let s = ga100();
+        let sig = stream();
+        let b900 = achieved_bandwidth_gbs(&s, &sig, 900.0);
+        let b1410 = achieved_bandwidth_gbs(&s, &sig, 1410.0);
+        let b510 = achieved_bandwidth_gbs(&s, &sig, 510.0);
+        // Less than 15% improvement from 900 to 1410...
+        assert!(b1410 / b900 < 1.15, "900->1410 gained {:.2}x", b1410 / b900);
+        // ...but strong improvement from 510 to 900.
+        assert!(b900 / b510 > 1.4, "510->900 gained only {:.2}x", b900 / b510);
+    }
+
+    /// Figure 4: fp_active of both workloads is nearly DVFS-invariant.
+    #[test]
+    fn fp_active_is_dvfs_invariant() {
+        let s = ga100();
+        for sig in [dgemm(), stream()] {
+            let grid = DvfsGrid::for_spec(&s);
+            let acts: Vec<f64> = grid
+                .used()
+                .iter()
+                .map(|&f| activities(&s, &sig, f).0)
+                .collect();
+            let lo = acts.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = acts.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            // Invariance in the paper's sense: the *absolute* swing is
+            // small (Figure 4 plots activity on a 0..1 axis).
+            assert!(
+                hi - lo < f64::max(0.12 * hi, 0.01),
+                "{}: fp_active varies {lo:.3}..{hi:.3} across DVFS",
+                sig.name
+            );
+        }
+    }
+
+    /// Figure 4: dram_active of a compute-bound workload *does* vary.
+    #[test]
+    fn dgemm_dram_active_varies_with_dvfs() {
+        let s = ga100();
+        let (_, d_low) = activities(&s, &dgemm(), 510.0);
+        let (_, d_high) = activities(&s, &dgemm(), 1410.0);
+        assert!(d_high > d_low * 1.5, "dram_active {d_low:.3} -> {d_high:.3}");
+    }
+
+    /// Figure 5: activities are input-size invariant.
+    #[test]
+    fn activities_are_input_size_invariant() {
+        let s = ga100();
+        let base = dgemm();
+        let (fp1, _) = activities(&s, &base, 1410.0);
+        let (fp8, _) = activities(&s, &base.scaled(8.0), 1410.0);
+        assert!((fp1 - fp8).abs() / fp1 < 0.05);
+    }
+
+    #[test]
+    fn memory_bound_kernel_ignores_high_frequencies() {
+        let s = ga100();
+        let t_1410 = exec_time(&s, &stream(), 1410.0);
+        let t_1005 = exec_time(&s, &stream(), 1005.0);
+        // Clocking down 1410 -> 1005 costs STREAM < 10% runtime.
+        assert!(t_1005 / t_1410 < 1.10, "ratio {:.3}", t_1005 / t_1410);
+        // But costs DGEMM ~1410/1005 = 40%.
+        let d_1410 = exec_time(&s, &dgemm(), 1410.0);
+        let d_1005 = exec_time(&s, &dgemm(), 1005.0);
+        assert!(d_1005 / d_1410 > 1.30, "ratio {:.3}", d_1005 / d_1410);
+    }
+
+    #[test]
+    fn energy_u_shape_has_higher_ends() {
+        let s = ga100();
+        let grid = DvfsGrid::for_spec(&s);
+        let used = grid.used();
+        for sig in [dgemm(), stream()] {
+            let es: Vec<f64> = used.iter().map(|&f| energy(&s, &sig, f)).collect();
+            let min = es.iter().copied().fold(f64::INFINITY, f64::min);
+            assert!(es[0] > min * 1.05, "{}: low-end energy not elevated", sig.name);
+            assert!(
+                *es.last().unwrap() > min * 1.02,
+                "{}: high-end energy not elevated",
+                sig.name
+            );
+        }
+    }
+
+    #[test]
+    fn gv100_models_are_sane_too() {
+        let s = DeviceSpec::gv100();
+        let p = power(&s, &dgemm(), s.max_core_mhz);
+        assert!((p - s.tdp_w).abs() / s.tdp_w < 0.12, "GV100 DGEMM {p:.0} W");
+        let grid = DvfsGrid::for_spec(&s);
+        let ts: Vec<f64> = grid.used().iter().map(|&f| exec_time(&s, &dgemm(), f)).collect();
+        assert!(ts.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn pure_compute_workload_has_zero_dram_active() {
+        let s = ga100();
+        let sig = SignatureBuilder::new("pure").flops(1e12).bytes(0.0).build();
+        let (fp, dram) = activities(&s, &sig, 1410.0);
+        assert!(fp > 0.0);
+        assert_eq!(dram, 0.0);
+    }
+
+    fn tensor_argmin(xs: &[f64]) -> usize {
+        xs.iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap()
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Power stays within [idle, ~TDP] for any valid signature and
+            /// any used frequency.
+            #[test]
+            fn power_bounded(
+                flops in 1.0e9..1.0e13f64,
+                bytes in 1.0e8..1.0e12f64,
+                kc in 0.1..1.0f64,
+                km in 0.1..1.0f64,
+                fidx in 0usize..61,
+            ) {
+                let s = ga100();
+                let grid = DvfsGrid::for_spec(&s);
+                let f = grid.used()[fidx];
+                let sig = SignatureBuilder::new("w")
+                    .flops(flops).bytes(bytes)
+                    .kappa_compute(kc).kappa_memory(km)
+                    .build();
+                let p = power(&s, &sig, f);
+                prop_assert!(p >= s.idle_w - 1e-9);
+                prop_assert!(p <= s.tdp_w * 1.01);
+            }
+
+            /// Activities are valid fractions everywhere.
+            #[test]
+            fn activities_are_fractions(
+                flops in 1.0e9..1.0e13f64,
+                bytes in 1.0e8..1.0e12f64,
+                fidx in 0usize..61,
+            ) {
+                let s = ga100();
+                let grid = DvfsGrid::for_spec(&s);
+                let f = grid.used()[fidx];
+                let sig = SignatureBuilder::new("w").flops(flops).bytes(bytes).build();
+                let (fp, dram) = activities(&s, &sig, f);
+                prop_assert!((0.0..=1.0).contains(&fp));
+                prop_assert!((0.0..=1.0).contains(&dram));
+            }
+
+            /// Energy equals power times time by construction.
+            #[test]
+            fn energy_identity(flops in 1.0e9..1.0e13f64, bytes in 1.0e8..1.0e12f64) {
+                let s = ga100();
+                let sig = SignatureBuilder::new("w").flops(flops).bytes(bytes).build();
+                let f = 1005.0;
+                let e = energy(&s, &sig, f);
+                let pt = power(&s, &sig, f) * exec_time(&s, &sig, f);
+                prop_assert!((e - pt).abs() <= 1e-9 * pt.abs());
+            }
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Synthesis of the paper's twelve DCGM utilization metrics.
+
+use crate::arch::DeviceSpec;
+use crate::model;
+use crate::noise::{measurement_rng, NoiseModel};
+use crate::signature::WorkloadSignature;
+use serde::{Deserialize, Serialize};
+
+/// DCGM sampling interval used by the paper (20 ms).
+pub const SAMPLING_INTERVAL_S: f64 = 0.020;
+
+/// One measurement of a workload at one DVFS state: the paper's twelve
+/// metrics (Section 4.1) plus identifying metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Workload name.
+    pub workload: String,
+    /// Run index (the paper executes each workload three times).
+    pub run: u32,
+    /// (1) FP64 pipe activity, [0, 1].
+    pub fp64_active: f64,
+    /// (2) FP32 pipe activity, [0, 1].
+    pub fp32_active: f64,
+    /// (3) SM application clock in MHz.
+    pub sm_app_clock: f64,
+    /// (4) DRAM activity (achieved / peak bandwidth), [0, 1].
+    pub dram_active: f64,
+    /// (5) Graphics-engine activity, [0, 1].
+    pub gr_engine_active: f64,
+    /// (6) Coarse GPU utilization, [0, 1].
+    pub gpu_utilization: f64,
+    /// (7) Board power draw in watts.
+    pub power_usage: f64,
+    /// (8) SM busy fraction, [0, 1].
+    pub sm_active: f64,
+    /// (9) SM occupancy, [0, 1].
+    pub sm_occupancy: f64,
+    /// (10) PCIe transmitted bytes over one sampling interval.
+    pub pcie_tx_bytes: f64,
+    /// (11) PCIe received bytes over one sampling interval.
+    pub pcie_rx_bytes: f64,
+    /// (12) Execution time of the run in seconds.
+    pub exec_time: f64,
+}
+
+impl MetricSample {
+    /// The paper's combined FP activity feature (`fp_active`).
+    pub fn fp_active(&self) -> f64 {
+        (self.fp64_active + self.fp32_active).clamp(0.0, 1.0)
+    }
+
+    /// Measured energy of the run in joules.
+    pub fn energy(&self) -> f64 {
+        self.power_usage * self.exec_time
+    }
+
+    /// CSV header matching [`MetricSample::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "workload,run,fp64_active,fp32_active,sm_app_clock,dram_active,gr_engine_active,\
+         gpu_utilization,power_usage,sm_active,sm_occupancy,pcie_tx_bytes,pcie_rx_bytes,exec_time"
+    }
+
+    /// Renders the sample as one CSV row.
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{:.6},{:.6},{:.1},{:.6},{:.6},{:.6},{:.3},{:.6},{:.6},{:.0},{:.0},{:.6}",
+            self.workload,
+            self.run,
+            self.fp64_active,
+            self.fp32_active,
+            self.sm_app_clock,
+            self.dram_active,
+            self.gr_engine_active,
+            self.gpu_utilization,
+            self.power_usage,
+            self.sm_active,
+            self.sm_occupancy,
+            self.pcie_tx_bytes,
+            self.pcie_rx_bytes,
+            self.exec_time
+        )
+    }
+
+    /// The ten candidate *features* in the fixed order used by the
+    /// feature-characterization experiment (everything except the two
+    /// predictands `power_usage` and `exec_time`).
+    pub fn feature_vector(&self) -> [f64; 10] {
+        [
+            self.fp64_active,
+            self.fp32_active,
+            self.sm_app_clock,
+            self.dram_active,
+            self.gr_engine_active,
+            self.gpu_utilization,
+            self.sm_active,
+            self.sm_occupancy,
+            self.pcie_tx_bytes,
+            self.pcie_rx_bytes,
+        ]
+    }
+
+    /// Names aligned with [`MetricSample::feature_vector`].
+    pub fn feature_names() -> [&'static str; 10] {
+        [
+            "fp64_active",
+            "fp32_active",
+            "sm_app_clock",
+            "dram_active",
+            "gr_engine_active",
+            "gpu_utilization",
+            "sm_active",
+            "sm_occupancy",
+            "pcie_tx_bytes",
+            "pcie_rx_bytes",
+        ]
+    }
+}
+
+/// Workload-level constants needed to synthesize a full metric sample from
+/// aggregate clean readings. For single-phase workloads these come straight
+/// from the [`WorkloadSignature`]; for phase mixtures they are time-weighted
+/// averages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleMeta {
+    /// Workload name (noise-seeding key and report label).
+    pub name: String,
+    /// Effective compute-roofline efficiency (for the SM-busy estimate).
+    pub kappa_compute: f64,
+    /// Effective memory-roofline efficiency.
+    pub kappa_memory: f64,
+    /// FP64 fraction of FP work.
+    pub fp64_ratio: f64,
+    /// SM occupancy.
+    pub sm_occupancy: f64,
+    /// PCIe transmit rate MB/s.
+    pub pcie_tx_mbs: f64,
+    /// PCIe receive rate MB/s.
+    pub pcie_rx_mbs: f64,
+}
+
+impl From<&WorkloadSignature> for SampleMeta {
+    fn from(sig: &WorkloadSignature) -> Self {
+        Self {
+            name: sig.name.clone(),
+            kappa_compute: sig.kappa_compute,
+            kappa_memory: sig.kappa_memory,
+            fp64_ratio: sig.fp64_ratio,
+            sm_occupancy: sig.sm_occupancy,
+            pcie_tx_mbs: sig.pcie_tx_mbs,
+            pcie_rx_mbs: sig.pcie_rx_mbs,
+        }
+    }
+}
+
+/// Simulates one measured run of `sig` on `spec` at clock `mhz`.
+///
+/// Noise is deterministic in `(workload, mhz, run, arch)`. Activity noise
+/// feeds the power computation, so power and activity errors correlate as
+/// they do on real hardware.
+pub fn measure(
+    spec: &DeviceSpec,
+    sig: &WorkloadSignature,
+    mhz: f64,
+    run: u32,
+    noise: &NoiseModel,
+) -> MetricSample {
+    let (fp_clean, dram_clean) = model::activities(spec, sig, mhz);
+    let t_clean = model::exec_time(spec, sig, mhz);
+    measure_aggregate(
+        spec,
+        &SampleMeta::from(sig),
+        fp_clean,
+        dram_clean,
+        t_clean,
+        mhz,
+        run,
+        noise,
+    )
+}
+
+/// Synthesizes a noisy [`MetricSample`] from clean aggregate readings.
+///
+/// This is the shared measurement path for both single-phase workloads
+/// ([`measure`]) and phase mixtures (`mixture::PhasedWorkload::measure`).
+#[allow(clippy::too_many_arguments)]
+pub fn measure_aggregate(
+    spec: &DeviceSpec,
+    meta: &SampleMeta,
+    fp_clean: f64,
+    dram_clean: f64,
+    t_clean: f64,
+    mhz: f64,
+    run: u32,
+    noise: &NoiseModel,
+) -> MetricSample {
+    let salt = match spec.arch {
+        crate::arch::ArchKind::Ampere => 0xA100,
+        crate::arch::ArchKind::Volta => 0x100,
+    };
+    let mut rng = measurement_rng(&meta.name, mhz, run, salt);
+
+    let fp = (fp_clean * NoiseModel::factor(noise.activity_sigma, &mut rng)).clamp(0.0, 1.0);
+    let dram = (dram_clean * NoiseModel::factor(noise.activity_sigma, &mut rng)).clamp(0.0, 1.0);
+
+    let power = model::power_from_activities(spec, fp, dram, mhz)
+        * NoiseModel::factor(noise.power_sigma, &mut rng);
+    let exec = t_clean * NoiseModel::factor(noise.time_sigma, &mut rng);
+
+    // Secondary metrics: plausible DCGM readings that carry little or no
+    // information beyond the primary three (they are what Figure 3 ranks
+    // *below* fp_active / sm_app_clock / dram_active). sm_active counts a
+    // cycle as active when any warp is resident — memory stalls included —
+    // so it sits high for every saturated kernel regardless of clock.
+    let sm_active = ((0.86 + 0.10 * meta.sm_occupancy)
+        * NoiseModel::factor(noise.activity_sigma, &mut rng))
+    .clamp(0.0, 1.0);
+    let gr_engine_active =
+        (0.99 * sm_active * NoiseModel::factor(noise.activity_sigma, &mut rng)).clamp(0.0, 1.0);
+    let gpu_utilization =
+        ((0.90 + 0.10 * sm_active) * NoiseModel::factor(0.01, &mut rng)).clamp(0.0, 1.0);
+    let sm_occupancy =
+        (meta.sm_occupancy * NoiseModel::factor(noise.activity_sigma, &mut rng)).clamp(0.0, 1.0);
+    let pcie_tx = meta.pcie_tx_mbs * 1e6 * SAMPLING_INTERVAL_S
+        * NoiseModel::factor(noise.pcie_sigma, &mut rng).max(0.0);
+    let pcie_rx = meta.pcie_rx_mbs * 1e6 * SAMPLING_INTERVAL_S
+        * NoiseModel::factor(noise.pcie_sigma, &mut rng).max(0.0);
+
+    MetricSample {
+        workload: meta.name.clone(),
+        run,
+        fp64_active: fp * meta.fp64_ratio,
+        fp32_active: fp * (1.0 - meta.fp64_ratio),
+        sm_app_clock: mhz,
+        dram_active: dram,
+        gr_engine_active,
+        gpu_utilization,
+        power_usage: power,
+        sm_active,
+        sm_occupancy,
+        pcie_tx_bytes: pcie_tx,
+        pcie_rx_bytes: pcie_rx,
+        exec_time: exec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::SignatureBuilder;
+
+    fn sig() -> WorkloadSignature {
+        SignatureBuilder::new("dgemm")
+            .flops(4.0e12)
+            .bytes(6.0e10)
+            .kappa_compute(0.95)
+            .kappa_memory(0.60)
+            .sm_occupancy(0.45)
+            .build()
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let spec = DeviceSpec::ga100();
+        let nm = NoiseModel::default_bench();
+        let a = measure(&spec, &sig(), 1005.0, 0, &nm);
+        let b = measure(&spec, &sig(), 1005.0, 0, &nm);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn runs_differ() {
+        let spec = DeviceSpec::ga100();
+        let nm = NoiseModel::default_bench();
+        let a = measure(&spec, &sig(), 1005.0, 0, &nm);
+        let b = measure(&spec, &sig(), 1005.0, 1, &nm);
+        assert_ne!(a.power_usage, b.power_usage);
+        assert_ne!(a.exec_time, b.exec_time);
+    }
+
+    #[test]
+    fn archs_get_different_noise() {
+        let nm = NoiseModel::default_bench();
+        let a = measure(&DeviceSpec::ga100(), &sig(), 1005.0, 0, &nm);
+        let v = measure(&DeviceSpec::gv100(), &sig(), 1005.0, 0, &nm);
+        assert_ne!(a.power_usage, v.power_usage);
+    }
+
+    #[test]
+    fn noiseless_sample_matches_model() {
+        let spec = DeviceSpec::ga100();
+        let s = sig();
+        let m = measure(&spec, &s, 1200.0, 0, &NoiseModel::none());
+        assert!((m.power_usage - model::power(&spec, &s, 1200.0)).abs() < 1e-9);
+        assert!((m.exec_time - model::exec_time(&spec, &s, 1200.0)).abs() < 1e-12);
+        let (fp, dram) = model::activities(&spec, &s, 1200.0);
+        assert!((m.fp_active() - fp).abs() < 1e-12);
+        assert!((m.dram_active - dram).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fp64_fp32_split_respects_ratio() {
+        let spec = DeviceSpec::ga100();
+        let mut s = sig();
+        s.fp64_ratio = 0.25;
+        let m = measure(&spec, &s, 1410.0, 0, &NoiseModel::none());
+        assert!((m.fp64_active / (m.fp64_active + m.fp32_active) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_fractions_in_unit_interval() {
+        let spec = DeviceSpec::ga100();
+        let nm = NoiseModel::default_bench();
+        for run in 0..3 {
+            for &f in &[510.0, 900.0, 1410.0] {
+                let m = measure(&spec, &sig(), f, run, &nm);
+                for v in [
+                    m.fp64_active,
+                    m.fp32_active,
+                    m.dram_active,
+                    m.gr_engine_active,
+                    m.gpu_utilization,
+                    m.sm_active,
+                    m.sm_occupancy,
+                ] {
+                    assert!((0.0..=1.0).contains(&v), "metric {v} out of range");
+                }
+                assert!(m.power_usage > 0.0 && m.exec_time > 0.0);
+                assert!(m.pcie_tx_bytes >= 0.0 && m.pcie_rx_bytes >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn csv_row_has_header_arity() {
+        let spec = DeviceSpec::ga100();
+        let m = measure(&spec, &sig(), 1410.0, 0, &NoiseModel::default_bench());
+        let header_cols = MetricSample::csv_header().split(',').count();
+        let row_cols = m.to_csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+    }
+
+    #[test]
+    fn feature_vector_matches_names() {
+        assert_eq!(MetricSample::feature_names().len(), 10);
+        let spec = DeviceSpec::ga100();
+        let m = measure(&spec, &sig(), 1410.0, 0, &NoiseModel::none());
+        let fv = m.feature_vector();
+        assert_eq!(fv[2], 1410.0); // sm_app_clock position
+        assert_eq!(fv[3], m.dram_active);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let spec = DeviceSpec::ga100();
+        let m = measure(&spec, &sig(), 1100.0, 0, &NoiseModel::default_bench());
+        assert!((m.energy() - m.power_usage * m.exec_time).abs() < 1e-9);
+    }
+}

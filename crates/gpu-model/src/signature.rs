@@ -1,0 +1,250 @@
+//! Workload signatures: the simulator-facing description of a workload.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything the simulator needs to know about one workload (one kernel,
+/// one benchmark run, or one phase of a real application).
+///
+/// A signature is *device independent*: it captures how much work the
+/// workload does (`flops`, `bytes`), how efficiently it can use the two
+/// rooflines (`kappa_compute`, `kappa_memory`), its FP64/FP32 mix, and its
+/// DVFS-insensitive host-side overhead. The `kernels` crate produces these
+/// from instrumented CPU mini-kernel runs; the simulator turns them into
+/// power/time/metrics on a particular [`crate::DeviceSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSignature {
+    /// Workload name (used in reports and seeding).
+    pub name: String,
+    /// Total floating-point operations per run.
+    pub flops: f64,
+    /// Total DRAM traffic per run, in bytes.
+    pub bytes: f64,
+    /// Host-side / launch overhead per run in seconds; this part of the
+    /// execution time does not scale with GPU core frequency.
+    pub overhead_s: f64,
+    /// Fraction of the device's peak FLOP rate this workload can achieve
+    /// when compute bound (0, 1].
+    pub kappa_compute: f64,
+    /// Fraction of the device's saturated bandwidth this workload can
+    /// achieve when memory bound (0, 1].
+    pub kappa_memory: f64,
+    /// Fraction of floating-point work executed in FP64 (rest is FP32).
+    pub fp64_ratio: f64,
+    /// Achieved SM occupancy (constant per workload, one of the paper's
+    /// low-MI features).
+    pub sm_occupancy: f64,
+    /// Mean PCIe transmit rate in MB/s (host to device).
+    pub pcie_tx_mbs: f64,
+    /// Mean PCIe receive rate in MB/s (device to host).
+    pub pcie_rx_mbs: f64,
+}
+
+impl WorkloadSignature {
+    /// Arithmetic intensity in FLOP/byte.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.bytes == 0.0 {
+            return f64::INFINITY;
+        }
+        self.flops / self.bytes
+    }
+
+    /// Validates that the signature is physically sensible.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("signature needs a name".into());
+        }
+        if !(self.flops >= 0.0 && self.bytes >= 0.0) {
+            return Err(format!("{}: negative work volume", self.name));
+        }
+        if self.flops == 0.0 && self.bytes == 0.0 {
+            return Err(format!("{}: does no work", self.name));
+        }
+        if !(0.0 < self.kappa_compute && self.kappa_compute <= 1.0) {
+            return Err(format!("{}: kappa_compute out of (0,1]", self.name));
+        }
+        if !(0.0 < self.kappa_memory && self.kappa_memory <= 1.0) {
+            return Err(format!("{}: kappa_memory out of (0,1]", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.fp64_ratio) {
+            return Err(format!("{}: fp64_ratio out of [0,1]", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.sm_occupancy) {
+            return Err(format!("{}: sm_occupancy out of [0,1]", self.name));
+        }
+        if self.overhead_s < 0.0 {
+            return Err(format!("{}: negative overhead", self.name));
+        }
+        Ok(())
+    }
+
+    /// Scales the work volume (flops, bytes, overhead) by `factor`,
+    /// modelling a change of input size. Activity ratios are untouched —
+    /// this is precisely the input-size invariance of paper Figure 5.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            name: self.name.clone(),
+            flops: self.flops * factor,
+            bytes: self.bytes * factor,
+            overhead_s: self.overhead_s * factor.sqrt(),
+            ..self.clone()
+        }
+    }
+}
+
+/// Builder for [`WorkloadSignature`] with reasonable defaults.
+#[derive(Debug, Clone)]
+pub struct SignatureBuilder {
+    sig: WorkloadSignature,
+}
+
+impl SignatureBuilder {
+    /// Starts a builder for workload `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            sig: WorkloadSignature {
+                name: name.into(),
+                flops: 0.0,
+                bytes: 0.0,
+                overhead_s: 0.0,
+                kappa_compute: 0.7,
+                kappa_memory: 0.8,
+                fp64_ratio: 1.0,
+                sm_occupancy: 0.5,
+                pcie_tx_mbs: 50.0,
+                pcie_rx_mbs: 20.0,
+            },
+        }
+    }
+
+    /// Sets the total FLOPs.
+    pub fn flops(mut self, v: f64) -> Self {
+        self.sig.flops = v;
+        self
+    }
+
+    /// Sets the total DRAM bytes.
+    pub fn bytes(mut self, v: f64) -> Self {
+        self.sig.bytes = v;
+        self
+    }
+
+    /// Sets the DVFS-insensitive overhead in seconds.
+    pub fn overhead_s(mut self, v: f64) -> Self {
+        self.sig.overhead_s = v;
+        self
+    }
+
+    /// Sets the compute-roofline efficiency.
+    pub fn kappa_compute(mut self, v: f64) -> Self {
+        self.sig.kappa_compute = v;
+        self
+    }
+
+    /// Sets the memory-roofline efficiency.
+    pub fn kappa_memory(mut self, v: f64) -> Self {
+        self.sig.kappa_memory = v;
+        self
+    }
+
+    /// Sets the FP64 fraction of FP work.
+    pub fn fp64_ratio(mut self, v: f64) -> Self {
+        self.sig.fp64_ratio = v;
+        self
+    }
+
+    /// Sets the SM occupancy.
+    pub fn sm_occupancy(mut self, v: f64) -> Self {
+        self.sig.sm_occupancy = v;
+        self
+    }
+
+    /// Sets the PCIe tx/rx rates in MB/s.
+    pub fn pcie_mbs(mut self, tx: f64, rx: f64) -> Self {
+        self.sig.pcie_tx_mbs = tx;
+        self.sig.pcie_rx_mbs = rx;
+        self
+    }
+
+    /// Finalizes and validates the signature.
+    ///
+    /// # Panics
+    /// Panics if the signature is invalid — builder misuse is a programming
+    /// error in this codebase, not an input condition.
+    pub fn build(self) -> WorkloadSignature {
+        if let Err(e) = self.sig.validate() {
+            panic!("invalid workload signature: {e}");
+        }
+        self.sig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dgemm_like() -> WorkloadSignature {
+        SignatureBuilder::new("dgemm")
+            .flops(2.0e12)
+            .bytes(5.0e10)
+            .kappa_compute(0.9)
+            .kappa_memory(0.6)
+            .build()
+    }
+
+    #[test]
+    fn builder_produces_valid_signature() {
+        let s = dgemm_like();
+        assert!(s.validate().is_ok());
+        assert_eq!(s.name, "dgemm");
+    }
+
+    #[test]
+    fn arithmetic_intensity() {
+        let s = dgemm_like();
+        assert!((s.arithmetic_intensity() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intensity_infinite_without_bytes() {
+        let s = SignatureBuilder::new("pure-compute").flops(1.0e9).bytes(0.0).build();
+        assert!(s.arithmetic_intensity().is_infinite());
+    }
+
+    #[test]
+    fn scaled_preserves_intensity() {
+        let s = dgemm_like();
+        let big = s.scaled(8.0);
+        assert!((big.arithmetic_intensity() - s.arithmetic_intensity()).abs() < 1e-9);
+        assert_eq!(big.flops, s.flops * 8.0);
+        assert_eq!(big.kappa_compute, s.kappa_compute);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload signature")]
+    fn builder_panics_on_zero_work() {
+        let _ = SignatureBuilder::new("noop").build();
+    }
+
+    #[test]
+    fn validate_rejects_bad_kappa() {
+        let mut s = dgemm_like();
+        s.kappa_compute = 0.0;
+        assert!(s.validate().is_err());
+        s.kappa_compute = 1.5;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_fp64_ratio() {
+        let mut s = dgemm_like();
+        s.fp64_ratio = -0.1;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_name() {
+        let mut s = dgemm_like();
+        s.name = String::new();
+        assert!(s.validate().is_err());
+    }
+}

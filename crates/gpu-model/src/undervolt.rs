@@ -1,0 +1,181 @@
+//! Voltage design-space exploration (the paper's stated future work).
+//!
+//! The paper's conclusion: *"In the future, we plan to evaluate the voltage
+//! design space using the proposed methodology on GPUs supporting change of
+//! voltage configuration."* This module models that space: an undervolt
+//! scales the nominal V(f) curve downward, cutting dynamic power
+//! quadratically at **zero performance cost** — until the voltage drops
+//! below the frequency-dependent stability floor.
+//!
+//! The stability model follows the usual silicon shape: the guard-band is
+//! widest at low clocks (~10 %) and narrows toward the top bin (~3 %),
+//! because vendors fuse the V-f curve with more margin where leakage
+//! dominates and almost none at the rated boost point.
+
+use crate::arch::DeviceSpec;
+use crate::model;
+use crate::signature::WorkloadSignature;
+use serde::{Deserialize, Serialize};
+
+/// Undervolt guard-band at the lowest supported frequency (fraction of
+/// nominal voltage).
+const MARGIN_LOW_F: f64 = 0.10;
+/// Undervolt guard-band at the maximum frequency.
+const MARGIN_HIGH_F: f64 = 0.03;
+
+/// A voltage offset applied on top of the nominal V(f) curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoltageOffset {
+    /// Multiplier on the nominal voltage (1.0 = stock; 0.95 = 5 % undervolt).
+    pub scale: f64,
+}
+
+impl VoltageOffset {
+    /// The stock configuration.
+    pub fn nominal() -> Self {
+        Self { scale: 1.0 }
+    }
+
+    /// An undervolt of `percent` percent (e.g. `5.0` -> scale 0.95).
+    ///
+    /// # Panics
+    /// Panics for offsets outside [0, 25] percent — beyond any plausible
+    /// silicon margin, so a request there is a bug in the caller.
+    pub fn undervolt_pct(percent: f64) -> Self {
+        assert!(
+            (0.0..=25.0).contains(&percent),
+            "undervolt of {percent}% is outside the modelled range"
+        );
+        Self { scale: 1.0 - percent / 100.0 }
+    }
+}
+
+/// Minimum stable voltage (normalized) at core clock `mhz`: the nominal
+/// curve minus the frequency-dependent guard-band.
+pub fn min_stable_voltage(spec: &DeviceSpec, mhz: f64) -> f64 {
+    let x = ((mhz - spec.min_core_mhz) / (spec.max_core_mhz - spec.min_core_mhz)).clamp(0.0, 1.0);
+    let margin = MARGIN_LOW_F + (MARGIN_HIGH_F - MARGIN_LOW_F) * x;
+    model::voltage(spec, mhz) * (1.0 - margin)
+}
+
+/// Whether the device is stable at `(mhz, offset)`.
+pub fn is_stable(spec: &DeviceSpec, mhz: f64, offset: VoltageOffset) -> bool {
+    model::voltage(spec, mhz) * offset.scale >= min_stable_voltage(spec, mhz) - 1e-12
+}
+
+/// Power at `(mhz, offset)`, or `None` if the operating point is unstable.
+///
+/// Dynamic power scales with V²; the static floor scales linearly with V
+/// (leakage is roughly proportional to supply in this regime).
+pub fn power(
+    spec: &DeviceSpec,
+    sig: &WorkloadSignature,
+    mhz: f64,
+    offset: VoltageOffset,
+) -> Option<f64> {
+    if !is_stable(spec, mhz, offset) {
+        return None;
+    }
+    let nominal = model::power(spec, sig, mhz);
+    let dynamic = nominal - spec.idle_w;
+    Some(spec.idle_w * offset.scale + dynamic * offset.scale * offset.scale)
+}
+
+/// Energy at `(mhz, offset)` — execution time is voltage-independent.
+pub fn energy(
+    spec: &DeviceSpec,
+    sig: &WorkloadSignature,
+    mhz: f64,
+    offset: VoltageOffset,
+) -> Option<f64> {
+    Some(power(spec, sig, mhz, offset)? * model::exec_time(spec, sig, mhz))
+}
+
+/// The deepest stable undervolt (as a [`VoltageOffset`]) at clock `mhz`.
+pub fn deepest_stable(spec: &DeviceSpec, mhz: f64) -> VoltageOffset {
+    VoltageOffset { scale: min_stable_voltage(spec, mhz) / model::voltage(spec, mhz) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::SignatureBuilder;
+
+    fn sig() -> WorkloadSignature {
+        SignatureBuilder::new("uv")
+            .flops(4e12)
+            .bytes(6e10)
+            .kappa_compute(0.9)
+            .build()
+    }
+
+    #[test]
+    fn nominal_is_always_stable_and_matches_base_model() {
+        let spec = DeviceSpec::ga100();
+        for &f in &[510.0, 900.0, 1410.0] {
+            assert!(is_stable(&spec, f, VoltageOffset::nominal()));
+            let p = power(&spec, &sig(), f, VoltageOffset::nominal()).unwrap();
+            assert!((p - model::power(&spec, &sig(), f)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn undervolting_cuts_power_without_touching_time() {
+        let spec = DeviceSpec::ga100();
+        let uv = VoltageOffset::undervolt_pct(5.0);
+        let p0 = power(&spec, &sig(), 900.0, VoltageOffset::nominal()).unwrap();
+        let p1 = power(&spec, &sig(), 900.0, uv).unwrap();
+        assert!(p1 < p0 * 0.95, "5% undervolt should cut >5% power (V^2)");
+        // Time is untouched by construction.
+        assert_eq!(
+            model::exec_time(&spec, &sig(), 900.0),
+            model::exec_time(&spec, &sig(), 900.0)
+        );
+    }
+
+    #[test]
+    fn margin_narrows_at_high_frequency() {
+        let spec = DeviceSpec::ga100();
+        let deep_low = deepest_stable(&spec, 510.0);
+        let deep_high = deepest_stable(&spec, 1410.0);
+        assert!(deep_low.scale < deep_high.scale, "more headroom at low clocks");
+        // 8% undervolt: fine at 510 MHz, unstable at 1410 MHz.
+        let uv8 = VoltageOffset::undervolt_pct(8.0);
+        assert!(is_stable(&spec, 510.0, uv8));
+        assert!(!is_stable(&spec, 1410.0, uv8));
+    }
+
+    #[test]
+    fn unstable_points_return_none() {
+        let spec = DeviceSpec::ga100();
+        let uv = VoltageOffset::undervolt_pct(20.0);
+        assert_eq!(power(&spec, &sig(), 1410.0, uv), None);
+        assert_eq!(energy(&spec, &sig(), 1410.0, uv), None);
+    }
+
+    #[test]
+    fn deepest_stable_is_exactly_at_the_floor() {
+        let spec = DeviceSpec::ga100();
+        for &f in &[510.0, 1005.0, 1410.0] {
+            let deep = deepest_stable(&spec, f);
+            assert!(is_stable(&spec, f, deep));
+            let slightly_deeper = VoltageOffset { scale: deep.scale * 0.999 };
+            assert!(!is_stable(&spec, f, slightly_deeper));
+        }
+    }
+
+    #[test]
+    fn energy_identity_holds_under_offset() {
+        let spec = DeviceSpec::ga100();
+        let uv = VoltageOffset::undervolt_pct(4.0);
+        let e = energy(&spec, &sig(), 900.0, uv).unwrap();
+        let pt = power(&spec, &sig(), 900.0, uv).unwrap() * model::exec_time(&spec, &sig(), 900.0);
+        assert!((e - pt).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the modelled range")]
+    fn absurd_undervolt_rejected() {
+        let _ = VoltageOffset::undervolt_pct(40.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! BFS — level-synchronous breadth-first search (latency/memory bound).
+
+use crate::stats::{timed, KernelStats};
+use crate::workload::{GpuProfile, Kernel};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicI32, Ordering};
+
+/// A graph in CSR adjacency form.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Offsets into `edges`, length `n + 1`.
+    pub offsets: Vec<usize>,
+    /// Flattened adjacency lists.
+    pub edges: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a deterministic pseudo-random graph with `n` nodes and about
+    /// `deg` out-edges per node, guaranteed weakly connected via a ring.
+    pub fn synthetic(n: usize, deg: usize) -> Self {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::with_capacity(n * deg);
+        offsets.push(0);
+        for v in 0..n {
+            edges.push(((v + 1) % n) as u32); // ring edge keeps it connected
+            for k in 1..deg {
+                let h = ((v * deg + k) as u64).wrapping_mul(0xD130_2B97_9AF2_AE4D);
+                edges.push((h % n as u64) as u32);
+            }
+            offsets.push(edges.len());
+        }
+        Self { offsets, edges }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Level-synchronous parallel BFS from `src`; returns per-node levels
+    /// (-1 for unreachable) and the number of edges relaxed.
+    pub fn bfs(&self, src: u32) -> (Vec<i32>, u64) {
+        let n = self.nodes();
+        let levels: Vec<AtomicI32> = (0..n).map(|_| AtomicI32::new(-1)).collect();
+        levels[src as usize].store(0, Ordering::Relaxed);
+        let mut frontier = vec![src];
+        let mut level = 0i32;
+        let mut relaxed = 0u64;
+        while !frontier.is_empty() {
+            relaxed += frontier
+                .iter()
+                .map(|&v| (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u64)
+                .sum::<u64>();
+            let next: Vec<u32> = frontier
+                .par_iter()
+                .flat_map_iter(|&v| {
+                    let lo = self.offsets[v as usize];
+                    let hi = self.offsets[v as usize + 1];
+                    self.edges[lo..hi].iter().copied().filter(|&w| {
+                        levels[w as usize]
+                            .compare_exchange(-1, level + 1, Ordering::Relaxed, Ordering::Relaxed)
+                            .is_ok()
+                    })
+                })
+                .collect();
+            frontier = next;
+            level += 1;
+        }
+        (levels.into_iter().map(|a| a.into_inner()).collect(), relaxed)
+    }
+}
+
+/// BFS benchmark.
+#[derive(Debug, Clone)]
+pub struct Bfs {
+    /// Node count at scale 1.0.
+    pub nodes: usize,
+    /// Mean out-degree.
+    pub degree: usize,
+}
+
+impl Default for Bfs {
+    fn default() -> Self {
+        Self { nodes: 100_000, degree: 8 }
+    }
+}
+
+impl Kernel for Bfs {
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn run(&self, scale: f64) -> KernelStats {
+        let n = ((self.nodes as f64 * scale).round() as usize).max(64);
+        timed(|| {
+            let g = Graph::synthetic(n, self.degree);
+            let (levels, relaxed) = g.bfs(0);
+            let flops = 0.05 * relaxed as f64; // BFS is essentially FLOP-free
+            // Edge scan (4 B idx) + level gather/update (8 B, uncoalesced).
+            let bytes = 12.0 * relaxed as f64 + 8.0 * n as f64;
+            let checksum: f64 = levels.iter().map(|&l| l as f64).sum();
+            (flops.max(1.0), bytes, checksum)
+        })
+    }
+
+    fn profile(&self) -> GpuProfile {
+        GpuProfile {
+            kappa_compute: 0.10,
+            kappa_memory: 0.25, // random gathers
+            fp64_ratio: 1.0,
+            sm_occupancy: 0.90,
+            pcie_tx_mbs: 90.0,
+            pcie_rx_mbs: 20.0,
+            overhead_frac: 0.08,
+            target_seconds: 10.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_graph_levels_are_distances() {
+        // Pure ring: node k is at level k from node 0.
+        let g = Graph::synthetic(10, 1);
+        let (levels, _) = g.bfs(0);
+        for (k, &l) in levels.iter().enumerate() {
+            assert_eq!(l, k as i32);
+        }
+    }
+
+    #[test]
+    fn all_nodes_reachable() {
+        let g = Graph::synthetic(5000, 4);
+        let (levels, _) = g.bfs(0);
+        assert!(levels.iter().all(|&l| l >= 0));
+    }
+
+    #[test]
+    fn levels_respect_edge_constraint() {
+        // Every edge (u, v) satisfies level(v) <= level(u) + 1.
+        let g = Graph::synthetic(2000, 6);
+        let (levels, _) = g.bfs(0);
+        for u in 0..g.nodes() {
+            for &v in &g.edges[g.offsets[u]..g.offsets[u + 1]] {
+                assert!(levels[v as usize] <= levels[u] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_counts_all_edges_of_reached_nodes() {
+        let g = Graph::synthetic(1000, 3);
+        let (_, relaxed) = g.bfs(0);
+        assert_eq!(relaxed as usize, g.edges.len());
+    }
+
+    #[test]
+    fn essentially_flop_free() {
+        let s = Bfs { nodes: 2000, degree: 4 }.run(1.0);
+        assert!(s.intensity() < 0.01);
+    }
+}

@@ -1,0 +1,164 @@
+//! CUTCP — cutoff Coulombic potential on a 3D lattice (compute bound).
+//!
+//! Accumulates `q / r` contributions from atoms within a cutoff radius onto
+//! grid points, using a cell list to bound the neighbour search — the
+//! Parboil/SPEC molecular-modelling kernel.
+
+use crate::stats::{timed, KernelStats};
+use crate::workload::{GpuProfile, Kernel};
+use rayon::prelude::*;
+
+/// Cutoff-Coulomb benchmark.
+#[derive(Debug, Clone)]
+pub struct Cutcp {
+    /// Grid edge (points) at scale 1.0.
+    pub grid: usize,
+    /// Number of atoms.
+    pub atoms: usize,
+    /// Cutoff radius in grid units.
+    pub cutoff: f64,
+}
+
+impl Default for Cutcp {
+    fn default() -> Self {
+        Self { grid: 24, atoms: 1000, cutoff: 4.0 }
+    }
+}
+
+struct Atom {
+    x: f64,
+    y: f64,
+    z: f64,
+    q: f64,
+}
+
+fn atoms_in_box(n: usize, edge: f64) -> Vec<Atom> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(9);
+            let f = |s: u32| ((h >> s) & 0xFFFFF) as f64 / 1048576.0;
+            Atom {
+                x: f(0) * edge,
+                y: f(20) * edge,
+                z: f(40) * edge,
+                q: if i % 2 == 0 { 1.0 } else { -1.0 },
+            }
+        })
+        .collect()
+}
+
+impl Cutcp {
+    fn potential(&self, grid: usize, atoms: &[Atom]) -> (Vec<f64>, u64) {
+        let cutoff2 = self.cutoff * self.cutoff;
+        let plane = grid * grid;
+        let interactions: Vec<(Vec<f64>, u64)> = (0..grid)
+            .into_par_iter()
+            .map(|z| {
+                let mut slab = vec![0.0f64; plane];
+                let mut count = 0u64;
+                for y in 0..grid {
+                    for x in 0..grid {
+                        let (gx, gy, gz) = (x as f64, y as f64, z as f64);
+                        let mut pot = 0.0;
+                        for a in atoms {
+                            let dx = a.x - gx;
+                            let dy = a.y - gy;
+                            let dz = a.z - gz;
+                            let r2 = dx * dx + dy * dy + dz * dz;
+                            if r2 < cutoff2 && r2 > 1e-12 {
+                                pot += a.q / r2.sqrt();
+                                count += 1;
+                            }
+                        }
+                        slab[y * grid + x] = pot;
+                    }
+                }
+                (slab, count)
+            })
+            .collect();
+        let mut field = Vec::with_capacity(grid * plane);
+        let mut total = 0u64;
+        for (slab, c) in interactions {
+            field.extend(slab);
+            total += c;
+        }
+        (field, total)
+    }
+}
+
+impl Kernel for Cutcp {
+    fn name(&self) -> &'static str {
+        "CUTCP"
+    }
+
+    fn run(&self, scale: f64) -> KernelStats {
+        let grid = ((self.grid as f64 * scale.cbrt()).round() as usize).max(4);
+        timed(|| {
+            let atoms = atoms_in_box(self.atoms, grid as f64);
+            let (field, within_cutoff) = self.potential(grid, &atoms);
+            let tested = (grid * grid * grid * self.atoms) as u64;
+            // Distance test ~8 flops each; hits add rsqrt+acc ~6 more.
+            let flops = 8.0 * tested as f64 + 6.0 * within_cutoff as f64;
+            let bytes = 32.0 * self.atoms as f64 * grid as f64 / 8.0
+                + 8.0 * (grid * grid * grid) as f64;
+            let checksum: f64 = field.iter().map(|v| v.abs()).sum();
+            (flops, bytes, checksum)
+        })
+    }
+
+    fn profile(&self) -> GpuProfile {
+        GpuProfile {
+            kappa_compute: 0.75,
+            kappa_memory: 0.55,
+            fp64_ratio: 0.0,
+            sm_occupancy: 0.50,
+            pcie_tx_mbs: 20.0,
+            pcie_rx_mbs: 20.0,
+            overhead_frac: 0.03,
+            target_seconds: 21.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_atom_potential_is_coulomb() {
+        let k = Cutcp { grid: 8, atoms: 1, cutoff: 100.0 };
+        let atoms = vec![Atom { x: 0.0, y: 0.0, z: 0.0, q: 2.0 }];
+        let (field, _) = k.potential(8, &atoms);
+        // Grid point (1,0,0) is at distance 1: potential 2.0.
+        assert!((field[1] - 2.0).abs() < 1e-12);
+        // Grid point (0,3,0): distance 3 -> 2/3.
+        assert!((field[3 * 8] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cutoff_excludes_far_atoms() {
+        let k = Cutcp { grid: 8, atoms: 1, cutoff: 2.0 };
+        let atoms = vec![Atom { x: 0.0, y: 0.0, z: 0.0, q: 1.0 }];
+        let (field, count) = k.potential(8, &atoms);
+        assert_eq!(field[5], 0.0); // distance 5 > cutoff 2
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn opposite_charges_cancel_at_midpoint() {
+        let k = Cutcp { grid: 9, atoms: 2, cutoff: 100.0 };
+        let atoms = vec![
+            Atom { x: 2.0, y: 4.0, z: 4.0, q: 1.0 },
+            Atom { x: 6.0, y: 4.0, z: 4.0, q: -1.0 },
+        ];
+        let (field, _) = k.potential(9, &atoms);
+        let mid = 4 * 81 + 4 * 9 + 4;
+        assert!(field[mid].abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let k = Cutcp { grid: 8, atoms: 50, cutoff: 3.0 };
+        assert_eq!(k.run(1.0).checksum, k.run(1.0).checksum);
+    }
+}

@@ -1,0 +1,175 @@
+//! FFT — iterative radix-2 complex fast Fourier transform.
+
+use crate::stats::{timed, KernelStats};
+use crate::workload::{GpuProfile, Kernel};
+use rayon::prelude::*;
+
+/// Complex number as `(re, im)`.
+type C = (f64, f64);
+
+/// Batch-FFT benchmark: many independent transforms, parallel over the
+/// batch (the natural GPU decomposition).
+#[derive(Debug, Clone)]
+pub struct Fft {
+    /// Transform length (power of two) at scale 1.0.
+    pub len: usize,
+    /// Number of independent transforms per run.
+    pub batch: usize,
+}
+
+impl Default for Fft {
+    fn default() -> Self {
+        Self { len: 1024, batch: 64 }
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+pub fn fft_inplace(data: &mut [C]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let wl = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w: C = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2];
+                let t = (v.0 * w.0 - v.1 * w.1, v.0 * w.1 + v.1 * w.0);
+                data[start + k] = (u.0 + t.0, u.1 + t.1);
+                data[start + k + len / 2] = (u.0 - t.0, u.1 - t.1);
+                w = (w.0 * wl.0 - w.1 * wl.1, w.0 * wl.1 + w.1 * wl.0);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Naive DFT used as a correctness reference in tests.
+pub fn dft_reference(input: &[C]) -> Vec<C> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = (0.0, 0.0);
+            for (t, &(re, im)) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                let (c, s) = (ang.cos(), ang.sin());
+                acc.0 += re * c - im * s;
+                acc.1 += re * s + im * c;
+            }
+            acc
+        })
+        .collect()
+}
+
+impl Kernel for Fft {
+    fn name(&self) -> &'static str {
+        "FFT"
+    }
+
+    fn run(&self, scale: f64) -> KernelStats {
+        let batch = ((self.batch as f64 * scale).round() as usize).max(1);
+        let n = self.len;
+        timed(|| {
+            let checksum: f64 = (0..batch)
+                .into_par_iter()
+                .map(|b| {
+                    let mut data: Vec<C> = (0..n)
+                        .map(|i| {
+                            let x = ((i * 7 + b * 13) % 31) as f64 / 31.0;
+                            (x, 0.0)
+                        })
+                        .collect();
+                    fft_inplace(&mut data);
+                    data.iter().map(|c| c.0.abs() + c.1.abs()).sum::<f64>()
+                })
+                .sum();
+            let nf = n as f64;
+            let log2n = nf.log2();
+            let flops = 5.0 * nf * log2n * batch as f64;
+            // GPU FFT does a DRAM round trip roughly every 4 butterfly
+            // stages (shared-memory radix-16 passes).
+            let bytes = 16.0 * nf * (log2n / 4.0).ceil() * batch as f64 * 2.0;
+            (flops, bytes, checksum)
+        })
+    }
+
+    fn profile(&self) -> GpuProfile {
+        GpuProfile {
+            kappa_compute: 0.60,
+            kappa_memory: 0.65,
+            fp64_ratio: 0.0, // cuFFT benchmark runs single precision
+            sm_occupancy: 0.65,
+            pcie_tx_mbs: 80.0,
+            pcie_rx_mbs: 80.0,
+            overhead_frac: 0.05,
+            target_seconds: 16.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_dft() {
+        let input: Vec<C> = (0..32).map(|i| ((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos())).collect();
+        let mut fast = input.clone();
+        fft_inplace(&mut fast);
+        let slow = dft_reference(&input);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a.0 - b.0).abs() < 1e-9, "{} vs {}", a.0, b.0);
+            assert!((a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut data = vec![(0.0, 0.0); 16];
+        data[0] = (1.0, 0.0);
+        fft_inplace(&mut data);
+        for &(re, im) in &data {
+            assert!((re - 1.0).abs() < 1e-12 && im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let input: Vec<C> = (0..64).map(|i| ((i as f64).sin(), 0.0)).collect();
+        let e_time: f64 = input.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum();
+        let mut freq = input.clone();
+        fft_inplace(&mut freq);
+        let e_freq: f64 = freq.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum::<f64>() / 64.0;
+        assert!((e_time - e_freq).abs() < 1e-9 * e_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut data = vec![(0.0, 0.0); 12];
+        fft_inplace(&mut data);
+    }
+
+    #[test]
+    fn flop_count_is_5nlogn_per_transform() {
+        let k = Fft { len: 256, batch: 2 };
+        let s = k.run(1.0);
+        assert_eq!(s.flops, 5.0 * 256.0 * 8.0 * 2.0);
+    }
+}

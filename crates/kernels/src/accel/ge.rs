@@ -1,0 +1,176 @@
+//! GE — Gaussian elimination to upper-triangular form (with row pivoting).
+
+use crate::stats::{timed, KernelStats};
+use crate::workload::{GpuProfile, Kernel};
+use rayon::prelude::*;
+
+/// Gaussian-elimination benchmark.
+#[derive(Debug, Clone)]
+pub struct Ge {
+    /// System size at scale 1.0.
+    pub n: usize,
+}
+
+impl Default for Ge {
+    fn default() -> Self {
+        Self { n: 160 }
+    }
+}
+
+impl Ge {
+    fn system(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let a: Vec<f64> = (0..n * n)
+            .map(|i| {
+                let (r, c) = (i / n, i % n);
+                let h = (i as u64).wrapping_mul(0x8CB9_2BA7_2F3D_8DD7);
+                let v = ((h >> 40) as f64 / (1u64 << 24) as f64) - 0.5;
+                if r == c {
+                    v + n as f64
+                } else {
+                    v
+                }
+            })
+            .collect();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+        (a, b)
+    }
+
+    /// Forward elimination with partial pivoting; returns FLOPs.
+    fn eliminate(a: &mut [f64], b: &mut [f64], n: usize) -> f64 {
+        let mut flops = 0.0;
+        for k in 0..n {
+            // Partial pivot.
+            let pivot_row = (k..n)
+                .max_by(|&r1, &r2| {
+                    a[r1 * n + k]
+                        .abs()
+                        .partial_cmp(&a[r2 * n + k].abs())
+                        .expect("finite")
+                })
+                .expect("non-empty range");
+            if pivot_row != k {
+                for c in 0..n {
+                    a.swap(k * n + c, pivot_row * n + c);
+                }
+                b.swap(k, pivot_row);
+            }
+            let pivot = a[k * n + k];
+            assert!(pivot.abs() > 1e-12, "singular system at {k}");
+            let (upper, lower) = a.split_at_mut((k + 1) * n);
+            let prow = &upper[k * n..(k + 1) * n];
+            let bk = b[k];
+            let b_tail = &mut b[k + 1..];
+            lower
+                .par_chunks_mut(n)
+                .zip(b_tail.par_iter_mut())
+                .for_each(|(row, brow)| {
+                    let factor = row[k] / pivot;
+                    for c in k..n {
+                        row[c] -= factor * prow[c];
+                    }
+                    *brow -= factor * bk;
+                });
+            flops += ((n - k - 1) * (2 * (n - k) + 3)) as f64;
+        }
+        flops
+    }
+
+    /// Back substitution for the solution vector.
+    fn back_substitute(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+        let mut x = vec![0.0; n];
+        for k in (0..n).rev() {
+            let mut acc = b[k];
+            for c in k + 1..n {
+                acc -= a[k * n + c] * x[c];
+            }
+            x[k] = acc / a[k * n + k];
+        }
+        x
+    }
+}
+
+impl Kernel for Ge {
+    fn name(&self) -> &'static str {
+        "GE"
+    }
+
+    fn run(&self, scale: f64) -> KernelStats {
+        let n = ((self.n as f64 * scale.cbrt()).round() as usize).max(8);
+        timed(|| {
+            let (mut a, mut b) = Self::system(n);
+            let flops = Self::eliminate(&mut a, &mut b, n);
+            let x = Self::back_substitute(&a, &b, n);
+            let nf = n as f64;
+            let bytes = 8.0 * nf * nf * (nf / 32.0) / 3.0;
+            let checksum: f64 = x.iter().sum();
+            (flops, bytes, checksum)
+        })
+    }
+
+    fn profile(&self) -> GpuProfile {
+        GpuProfile {
+            kappa_compute: 0.55,
+            kappa_memory: 0.60,
+            fp64_ratio: 1.0,
+            sm_occupancy: 0.55,
+            pcie_tx_mbs: 40.0,
+            pcie_rx_mbs: 40.0,
+            overhead_frac: 0.05,
+            target_seconds: 16.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_2x2_system() {
+        // x + y = 3; 2x - y = 0 => x = 1, y = 2.
+        let mut a = vec![1.0, 1.0, 2.0, -1.0];
+        let mut b = vec![3.0, 0.0];
+        Ge::eliminate(&mut a, &mut b, 2);
+        let x = Ge::back_substitute(&a, &b, 2);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_is_small_for_random_system() {
+        let n = 40;
+        let (a0, b0) = Ge::system(n);
+        let mut a = a0.clone();
+        let mut b = b0.clone();
+        Ge::eliminate(&mut a, &mut b, n);
+        let x = Ge::back_substitute(&a, &b, n);
+        // Check A0 x = b0.
+        for r in 0..n {
+            let ax: f64 = (0..n).map(|c| a0[r * n + c] * x[c]).sum();
+            assert!((ax - b0[r]).abs() < 1e-8, "row {r}: {ax} vs {}", b0[r]);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // Without pivoting this system would divide by zero.
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let mut b = vec![2.0, 3.0];
+        Ge::eliminate(&mut a, &mut b, 2);
+        let x = Ge::back_substitute(&a, &b, 2);
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elimination_produces_upper_triangular() {
+        let n = 10;
+        let (mut a, mut b) = Ge::system(n);
+        Ge::eliminate(&mut a, &mut b, n);
+        for r in 1..n {
+            for c in 0..r {
+                assert!(a[r * n + c].abs() < 1e-9, "a[{r}][{c}] = {}", a[r * n + c]);
+            }
+        }
+    }
+}

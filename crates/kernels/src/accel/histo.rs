@@ -1,0 +1,133 @@
+//! HISTO — saturating histogram (memory bound, atomic-update limited).
+
+use crate::stats::{timed, KernelStats};
+use crate::workload::{GpuProfile, Kernel};
+use rayon::prelude::*;
+
+/// Histogram bin count (SPEC ACCEL's histo uses a 256-wide colour space).
+const BINS: usize = 256;
+/// Saturation value (histo saturates bins at 255).
+const SAT: u32 = 255;
+
+/// Saturating-histogram benchmark.
+#[derive(Debug, Clone)]
+pub struct Histo {
+    /// Input elements at scale 1.0.
+    pub len: usize,
+}
+
+impl Default for Histo {
+    fn default() -> Self {
+        Self { len: 1 << 21 }
+    }
+}
+
+impl Histo {
+    /// Computes the saturating histogram with per-thread private bins merged
+    /// at the end (the standard GPU strategy).
+    fn compute(data: &[u8]) -> Vec<u32> {
+        let merged = data
+            .par_chunks(64 * 1024)
+            .map(|chunk| {
+                let mut local = vec![0u32; BINS];
+                for &v in chunk {
+                    local[v as usize] += 1;
+                }
+                local
+            })
+            .reduce(
+                || vec![0u32; BINS],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x = x.saturating_add(*y);
+                    }
+                    a
+                },
+            );
+        merged.into_iter().map(|c| c.min(SAT)).collect()
+    }
+}
+
+impl Kernel for Histo {
+    fn name(&self) -> &'static str {
+        "HISTO"
+    }
+
+    fn run(&self, scale: f64) -> KernelStats {
+        let n = ((self.len as f64 * scale).round() as usize).max(256);
+        timed(|| {
+            // Skewed input: many values land in a hot region, as in the
+            // benchmark's silicon-wafer images.
+            let data: Vec<u8> = (0..n)
+                .map(|i| {
+                    let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let u = (h >> 40) as u32 % 1000;
+                    if u < 700 {
+                        (u % 32) as u8 // hot bins
+                    } else {
+                        (h >> 8) as u8
+                    }
+                })
+                .collect();
+            let hist = Self::compute(&data);
+            let flops = n as f64; // bin index arithmetic
+            let bytes = n as f64 + 8.0 * BINS as f64; // one byte read/elem
+            let checksum = hist.iter().map(|&c| c as f64).sum::<f64>();
+            (flops, bytes, checksum)
+        })
+    }
+
+    fn profile(&self) -> GpuProfile {
+        GpuProfile {
+            kappa_compute: 0.20,
+            kappa_memory: 0.35, // atomic contention wastes bandwidth
+            fp64_ratio: 0.0,
+            sm_occupancy: 0.70,
+            pcie_tx_mbs: 150.0,
+            pcie_rx_mbs: 10.0,
+            overhead_frac: 0.06,
+            target_seconds: 12.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_correct_without_saturation() {
+        let data: Vec<u8> = vec![3, 3, 5, 255, 0];
+        let h = Histo::compute(&data);
+        assert_eq!(h[3], 2);
+        assert_eq!(h[5], 1);
+        assert_eq!(h[255], 1);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[7], 0);
+    }
+
+    #[test]
+    fn bins_saturate_at_255() {
+        let data: Vec<u8> = vec![9; 1000];
+        let h = Histo::compute(&data);
+        assert_eq!(h[9], SAT);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let data: Vec<u8> = (0..100_000).map(|i| (i % 251) as u8).collect();
+        let par = Histo::compute(&data);
+        let mut ser = vec![0u32; BINS];
+        for &v in &data {
+            ser[v as usize] += 1;
+        }
+        let ser: Vec<u32> = ser.into_iter().map(|c| c.min(SAT)).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn strongly_memory_bound() {
+        let s = Histo { len: 10_000 }.run(1.0);
+        assert!(s.intensity() <= 1.0);
+    }
+}

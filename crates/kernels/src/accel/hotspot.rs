@@ -1,0 +1,130 @@
+//! HOTSPOT — chip thermal simulation, 2D stencil with power sources.
+
+use crate::stats::{timed, KernelStats};
+use crate::workload::{GpuProfile, Kernel};
+use rayon::prelude::*;
+
+/// HotSpot benchmark.
+#[derive(Debug, Clone)]
+pub struct Hotspot {
+    /// Grid edge at scale 1.0.
+    pub n: usize,
+    /// Simulation steps.
+    pub steps: usize,
+}
+
+impl Default for Hotspot {
+    fn default() -> Self {
+        Self { n: 256, steps: 4 }
+    }
+}
+
+impl Hotspot {
+    /// One explicit thermal step:
+    /// `t' = t + k*(laplacian) + c*power - l*(t - t_amb)`.
+    fn step(temp: &[f64], power: &[f64], n: usize) -> Vec<f64> {
+        const K: f64 = 0.1;
+        const C: f64 = 0.05;
+        const L: f64 = 0.01;
+        const T_AMB: f64 = 80.0;
+        (0..n * n)
+            .into_par_iter()
+            .map(|idx| {
+                let (y, x) = (idx / n, idx % n);
+                let t = temp[idx];
+                let up = if y > 0 { temp[idx - n] } else { t };
+                let down = if y + 1 < n { temp[idx + n] } else { t };
+                let left = if x > 0 { temp[idx - 1] } else { t };
+                let right = if x + 1 < n { temp[idx + 1] } else { t };
+                t + K * (up + down + left + right - 4.0 * t) + C * power[idx] - L * (t - T_AMB)
+            })
+            .collect()
+    }
+}
+
+impl Kernel for Hotspot {
+    fn name(&self) -> &'static str {
+        "HOTSPOT"
+    }
+
+    fn run(&self, scale: f64) -> KernelStats {
+        let n = ((self.n as f64 * scale.sqrt()).round() as usize).max(8);
+        timed(|| {
+            let power: Vec<f64> = (0..n * n)
+                .map(|i| if (i / n + i % n).is_multiple_of(7) { 2.0 } else { 0.1 })
+                .collect();
+            let mut temp = vec![80.0f64; n * n];
+            for _ in 0..self.steps {
+                temp = Self::step(&temp, &power, n);
+            }
+            let cells = (n * n * self.steps) as f64;
+            let flops = 12.0 * cells;
+            let bytes = 24.0 * cells; // temp read+write, power read
+            let checksum: f64 = temp.par_iter().sum();
+            (flops, bytes, checksum)
+        })
+    }
+
+    fn profile(&self) -> GpuProfile {
+        GpuProfile {
+            kappa_compute: 0.50,
+            kappa_memory: 0.70,
+            fp64_ratio: 0.0,
+            sm_occupancy: 0.85,
+            pcie_tx_mbs: 70.0,
+            pcie_rx_mbs: 35.0,
+            overhead_frac: 0.05,
+            target_seconds: 13.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ambient_equilibrium_without_power() {
+        // With zero power at ambient temperature, nothing changes.
+        let n = 8;
+        let temp = vec![80.0; n * n];
+        let power = vec![0.0; n * n];
+        let t1 = Hotspot::step(&temp, &power, n);
+        for &t in &t1 {
+            assert!((t - 80.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn heat_source_warms_its_cell() {
+        let n = 8;
+        let temp = vec![80.0; n * n];
+        let mut power = vec![0.0; n * n];
+        let hot = 3 * n + 3;
+        power[hot] = 5.0;
+        let t1 = Hotspot::step(&temp, &power, n);
+        assert!(t1[hot] > 80.0);
+        assert!((t1[0] - 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heat_diffuses_to_neighbours() {
+        let n = 8;
+        let mut temp = vec![80.0; n * n];
+        let hot = 3 * n + 3;
+        temp[hot] = 100.0;
+        let power = vec![0.0; n * n];
+        let t1 = Hotspot::step(&temp, &power, n);
+        assert!(t1[hot] < 100.0, "hot cell cools");
+        assert!(t1[hot - 1] > 80.0, "neighbour warms");
+    }
+
+    #[test]
+    fn temperatures_stay_bounded() {
+        let s = Hotspot { n: 32, steps: 50 }.run(1.0);
+        // checksum = sum of temps; with leakage it converges near
+        // ambient + C/L * mean power: stays well below 32*32*1000.
+        assert!(s.checksum < 32.0 * 32.0 * 1000.0);
+        assert!(s.checksum > 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! KMEANS — Lloyd's k-means clustering iterations.
+
+use crate::stats::{timed, KernelStats};
+use crate::workload::{GpuProfile, Kernel};
+use rayon::prelude::*;
+
+/// K-means benchmark.
+#[derive(Debug, Clone)]
+pub struct Kmeans {
+    /// Points at scale 1.0.
+    pub points: usize,
+    /// Dimensions per point.
+    pub dims: usize,
+    /// Cluster count.
+    pub k: usize,
+    /// Lloyd iterations.
+    pub iters: usize,
+}
+
+impl Default for Kmeans {
+    fn default() -> Self {
+        Self { points: 20_000, dims: 16, k: 12, iters: 4 }
+    }
+}
+
+impl Kmeans {
+    fn data(n: usize, d: usize, k: usize) -> Vec<f64> {
+        // Points around k well-separated centres.
+        (0..n * d)
+            .map(|i| {
+                let point = i / d;
+                let dim = i % d;
+                let cluster = point % k;
+                let centre = (cluster * 10 + dim) as f64;
+                let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                centre + ((h >> 40) as f64 / (1u64 << 24) as f64 - 0.5)
+            })
+            .collect()
+    }
+
+    /// One Lloyd iteration: assignment + centroid update. Returns
+    /// `(assignments, new_centroids)`.
+    fn lloyd_step(data: &[f64], cents: &[f64], n: usize, d: usize, k: usize) -> (Vec<u32>, Vec<f64>) {
+        let assign: Vec<u32> = (0..n)
+            .into_par_iter()
+            .map(|p| {
+                let pt = &data[p * d..(p + 1) * d];
+                let mut best = 0u32;
+                let mut best_d = f64::INFINITY;
+                for c in 0..k {
+                    let ct = &cents[c * d..(c + 1) * d];
+                    let dist: f64 = pt.iter().zip(ct).map(|(&a, &b)| (a - b) * (a - b)).sum();
+                    if dist < best_d {
+                        best_d = dist;
+                        best = c as u32;
+                    }
+                }
+                best
+            })
+            .collect();
+        let mut sums = vec![0.0f64; k * d];
+        let mut counts = vec![0usize; k];
+        for p in 0..n {
+            let c = assign[p] as usize;
+            counts[c] += 1;
+            for j in 0..d {
+                sums[c * d + j] += data[p * d + j];
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for j in 0..d {
+                    sums[c * d + j] /= counts[c] as f64;
+                }
+            } else {
+                sums[c * d..(c + 1) * d].copy_from_slice(&cents[c * d..(c + 1) * d]);
+            }
+        }
+        (assign, sums)
+    }
+}
+
+impl Kernel for Kmeans {
+    fn name(&self) -> &'static str {
+        "KMEANS"
+    }
+
+    fn run(&self, scale: f64) -> KernelStats {
+        let n = ((self.points as f64 * scale).round() as usize).max(self.k * 4);
+        let (d, k) = (self.dims, self.k);
+        timed(|| {
+            let data = Self::data(n, d, k);
+            // Init centroids from the first k points.
+            let mut cents = data[..k * d].to_vec();
+            let mut assign = Vec::new();
+            for _ in 0..self.iters {
+                let (a, c) = Self::lloyd_step(&data, &cents, n, d, k);
+                assign = a;
+                cents = c;
+            }
+            let it = self.iters as f64;
+            let flops = 3.0 * (n * d * k) as f64 * it + (n * d) as f64 * it;
+            let bytes = 8.0 * (n * d) as f64 * it + 8.0 * (k * d) as f64 * it + 4.0 * n as f64 * it;
+            let checksum: f64 = assign.iter().map(|&a| a as f64).sum::<f64>()
+                + cents.iter().sum::<f64>();
+            (flops, bytes, checksum)
+        })
+    }
+
+    fn profile(&self) -> GpuProfile {
+        GpuProfile {
+            // Distance kernel sits near the fp32 ridge: crossover around
+            // 1230 MHz on the A100.
+            kappa_compute: 0.35,
+            kappa_memory: 0.65,
+            fp64_ratio: 0.0,
+            sm_occupancy: 0.70,
+            pcie_tx_mbs: 100.0,
+            pcie_rx_mbs: 15.0,
+            overhead_frac: 0.05,
+            target_seconds: 14.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_separated_clusters_recovered() {
+        let (n, d, k) = (300, 4, 3);
+        let data = Kmeans::data(n, d, k);
+        let mut cents = data[..k * d].to_vec();
+        let mut assign = Vec::new();
+        for _ in 0..10 {
+            let (a, c) = Kmeans::lloyd_step(&data, &cents, n, d, k);
+            assign = a;
+            cents = c;
+        }
+        // Points generated as point%k share a cluster; check consistency.
+        for p in 0..n {
+            assert_eq!(
+                assign[p],
+                assign[p % k],
+                "point {p} split from its generator cluster"
+            );
+        }
+    }
+
+    #[test]
+    fn assignment_picks_nearest_centroid() {
+        let data = vec![0.0, 0.0, 10.0, 10.0];
+        let cents = vec![0.0, 0.0, 10.0, 10.0];
+        let (assign, _) = Kmeans::lloyd_step(&data, &cents, 2, 2, 2);
+        assert_eq!(assign, vec![0, 1]);
+    }
+
+    #[test]
+    fn centroid_is_mean_of_members() {
+        let data = vec![0.0, 2.0, 4.0, 100.0]; // 1-D points
+        let cents = vec![1.0, 90.0];
+        let (_, new_cents) = Kmeans::lloyd_step(&data, &cents, 4, 1, 2);
+        assert!((new_cents[0] - 2.0).abs() < 1e-12); // mean(0,2,4)
+        assert!((new_cents[1] - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cluster_keeps_old_centroid() {
+        let data = vec![0.0, 0.1];
+        let cents = vec![0.0, 50.0];
+        let (_, new_cents) = Kmeans::lloyd_step(&data, &cents, 2, 1, 2);
+        assert_eq!(new_cents[1], 50.0);
+    }
+
+    #[test]
+    fn flops_scale_with_ndk() {
+        let s = Kmeans { points: 100, dims: 2, k: 5, iters: 1 }.run(1.0);
+        assert_eq!(s.flops, 3.0 * 1000.0 + 200.0);
+    }
+}

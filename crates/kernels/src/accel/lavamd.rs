@@ -1,0 +1,190 @@
+//! LAVAMD — particle potentials within neighbouring 3D boxes (compute bound).
+//!
+//! Particles live in a lattice of boxes; each particle interacts with all
+//! particles in its own and the 26 adjacent boxes through a short-range
+//! exponential potential — the Rodinia/SPEC molecular-dynamics kernel.
+
+use crate::stats::{timed, KernelStats};
+use crate::workload::{GpuProfile, Kernel};
+use rayon::prelude::*;
+
+/// LavaMD benchmark.
+#[derive(Debug, Clone)]
+pub struct Lavamd {
+    /// Boxes per edge at scale 1.0.
+    pub boxes: usize,
+    /// Particles per box.
+    pub per_box: usize,
+}
+
+impl Default for Lavamd {
+    fn default() -> Self {
+        Self { boxes: 4, per_box: 32 }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct P {
+    x: f64,
+    y: f64,
+    z: f64,
+    q: f64,
+}
+
+impl Lavamd {
+    fn particles(boxes: usize, per_box: usize) -> Vec<Vec<P>> {
+        let mut all = Vec::with_capacity(boxes * boxes * boxes);
+        for b in 0..boxes * boxes * boxes {
+            let bx = (b % boxes) as f64;
+            let by = ((b / boxes) % boxes) as f64;
+            let bz = (b / (boxes * boxes)) as f64;
+            let ps = (0..per_box)
+                .map(|i| {
+                    let h = ((b * per_box + i) as u64).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    let f = |s: u32| ((h >> s) & 0xFFFF) as f64 / 65536.0;
+                    P {
+                        x: bx + f(0),
+                        y: by + f(16),
+                        z: bz + f(32),
+                        q: f(48) - 0.5,
+                    }
+                })
+                .collect();
+            all.push(ps);
+        }
+        all
+    }
+
+    /// Computes per-particle potential energy; returns (potentials, pairs).
+    fn energy(boxes: usize, cells: &[Vec<P>], a2: f64) -> (Vec<f64>, u64) {
+        let idx = |x: i64, y: i64, z: i64| -> Option<usize> {
+            let b = boxes as i64;
+            if x < 0 || y < 0 || z < 0 || x >= b || y >= b || z >= b {
+                None
+            } else {
+                Some((z * b * b + y * b + x) as usize)
+            }
+        };
+        let results: Vec<(Vec<f64>, u64)> = (0..cells.len())
+            .into_par_iter()
+            .map(|home| {
+                let hx = (home % boxes) as i64;
+                let hy = ((home / boxes) % boxes) as i64;
+                let hz = (home / (boxes * boxes)) as i64;
+                let mut pots = vec![0.0f64; cells[home].len()];
+                let mut pairs = 0u64;
+                for dz in -1..=1 {
+                    for dy in -1..=1 {
+                        for dx in -1..=1 {
+                            let Some(nb) = idx(hx + dx, hy + dy, hz + dz) else {
+                                continue;
+                            };
+                            for (i, pi) in cells[home].iter().enumerate() {
+                                for pj in &cells[nb] {
+                                    let rx = pi.x - pj.x;
+                                    let ry = pi.y - pj.y;
+                                    let rz = pi.z - pj.z;
+                                    let r2 = rx * rx + ry * ry + rz * rz;
+                                    if r2 > 1e-12 {
+                                        pots[i] += pi.q * pj.q * (-a2 * r2).exp();
+                                        pairs += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                (pots, pairs)
+            })
+            .collect();
+        let mut pots = Vec::new();
+        let mut pairs = 0;
+        for (p, c) in results {
+            pots.extend(p);
+            pairs += c;
+        }
+        (pots, pairs)
+    }
+}
+
+impl Kernel for Lavamd {
+    fn name(&self) -> &'static str {
+        "LAVAMD"
+    }
+
+    fn run(&self, scale: f64) -> KernelStats {
+        let boxes = ((self.boxes as f64 * scale.cbrt()).round() as usize).max(2);
+        timed(|| {
+            let cells = Self::particles(boxes, self.per_box);
+            let (pots, pairs) = Self::energy(boxes, &cells, 0.5);
+            let flops = 14.0 * pairs as f64;
+            // GPU traffic model: home box lives in shared memory, the 26
+            // neighbour boxes stream from DRAM each outer tile -> intensity
+            // sits just above the fp64 ridge (~5.2 FLOP/byte).
+            let bytes = flops / 5.2;
+            let checksum: f64 = pots.iter().map(|v| v.abs()).sum();
+            (flops, bytes, checksum)
+        })
+    }
+
+    fn profile(&self) -> GpuProfile {
+        GpuProfile {
+            kappa_compute: 0.65,
+            kappa_memory: 0.60,
+            fp64_ratio: 1.0,
+            sm_occupancy: 0.40,
+            pcie_tx_mbs: 15.0,
+            pcie_rx_mbs: 15.0,
+            overhead_frac: 0.04,
+            target_seconds: 23.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_particle_potential_is_symmetric() {
+        let cells = vec![vec![
+            P { x: 0.0, y: 0.0, z: 0.0, q: 1.0 },
+            P { x: 0.5, y: 0.0, z: 0.0, q: 2.0 },
+        ]];
+        let (pots, pairs) = Lavamd::energy(1, &cells, 0.5);
+        assert_eq!(pairs, 2); // each sees the other
+        let expect = 2.0 * (-0.5f64 * 0.25).exp();
+        assert!((pots[0] - expect).abs() < 1e-12);
+        assert!((pots[1] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interaction_decays_with_distance() {
+        let near = vec![vec![
+            P { x: 0.0, y: 0.0, z: 0.0, q: 1.0 },
+            P { x: 0.1, y: 0.0, z: 0.0, q: 1.0 },
+        ]];
+        let far = vec![vec![
+            P { x: 0.0, y: 0.0, z: 0.0, q: 1.0 },
+            P { x: 0.9, y: 0.0, z: 0.0, q: 1.0 },
+        ]];
+        let (pn, _) = Lavamd::energy(1, &near, 0.5);
+        let (pf, _) = Lavamd::energy(1, &far, 0.5);
+        assert!(pn[0] > pf[0]);
+    }
+
+    #[test]
+    fn pair_count_includes_neighbour_boxes() {
+        let cells = Lavamd::particles(2, 4);
+        let (_, pairs) = Lavamd::energy(2, &cells, 0.5);
+        // 8 boxes, all mutually adjacent in a 2^3 lattice: every particle
+        // pairs with all 31 others.
+        assert_eq!(pairs, 32 * 31);
+    }
+
+    #[test]
+    fn deterministic() {
+        let k = Lavamd { boxes: 2, per_box: 8 };
+        assert_eq!(k.run(1.0).checksum, k.run(1.0).checksum);
+    }
+}

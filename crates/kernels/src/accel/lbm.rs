@@ -1,0 +1,164 @@
+//! LBM — D2Q9 lattice-Boltzmann collision + streaming step.
+
+use crate::stats::{timed, KernelStats};
+use crate::workload::{GpuProfile, Kernel};
+use rayon::prelude::*;
+
+/// D2Q9 lattice velocities.
+const VEL: [(i32, i32); 9] =
+    [(0, 0), (1, 0), (0, 1), (-1, 0), (0, -1), (1, 1), (-1, 1), (-1, -1), (1, -1)];
+/// D2Q9 lattice weights.
+const W: [f64; 9] = [
+    4.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+];
+
+/// Lattice-Boltzmann benchmark on an `n x n` periodic grid.
+#[derive(Debug, Clone)]
+pub struct Lbm {
+    /// Grid edge at scale 1.0.
+    pub n: usize,
+    /// Time steps per run.
+    pub steps: usize,
+}
+
+impl Default for Lbm {
+    fn default() -> Self {
+        Self { n: 96, steps: 4 }
+    }
+}
+
+impl Lbm {
+    /// One BGK collision + streaming step over distribution field `f`
+    /// (layout: `[cell][direction]`). Returns the new field.
+    fn step(f: &[f64], n: usize, omega: f64) -> Vec<f64> {
+        // Collision (per-cell, parallel).
+        let post: Vec<f64> = f
+            .par_chunks(9)
+            .flat_map_iter(|cell| {
+                let rho: f64 = cell.iter().sum();
+                let ux: f64 = cell
+                    .iter()
+                    .zip(&VEL)
+                    .map(|(&fi, &(cx, _))| fi * cx as f64)
+                    .sum::<f64>()
+                    / rho;
+                let uy: f64 = cell
+                    .iter()
+                    .zip(&VEL)
+                    .map(|(&fi, &(_, cy))| fi * cy as f64)
+                    .sum::<f64>()
+                    / rho;
+                let usq = ux * ux + uy * uy;
+                (0..9).map(move |q| {
+                    let (cx, cy) = VEL[q];
+                    let cu = cx as f64 * ux + cy as f64 * uy;
+                    let feq = W[q] * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu - 1.5 * usq);
+                    cell[q] + omega * (feq - cell[q])
+                })
+            })
+            .collect();
+        // Streaming (gather from upwind neighbour, periodic).
+        let mut out = vec![0.0; f.len()];
+        out.par_chunks_mut(9).enumerate().for_each(|(idx, cell)| {
+            let (x, y) = ((idx % n) as i32, (idx / n) as i32);
+            for q in 0..9 {
+                let (cx, cy) = VEL[q];
+                let sx = (x - cx).rem_euclid(n as i32) as usize;
+                let sy = (y - cy).rem_euclid(n as i32) as usize;
+                cell[q] = post[(sy * n + sx) * 9 + q];
+            }
+        });
+        out
+    }
+}
+
+impl Kernel for Lbm {
+    fn name(&self) -> &'static str {
+        "LBM"
+    }
+
+    fn run(&self, scale: f64) -> KernelStats {
+        let n = ((self.n as f64 * scale.sqrt()).round() as usize).max(8);
+        timed(|| {
+            // Initial state: small density perturbation.
+            let mut f: Vec<f64> = (0..n * n)
+                .flat_map(|i| {
+                    let rho = 1.0 + 0.01 * ((i % 17) as f64 / 17.0);
+                    W.iter().map(move |&w| w * rho).collect::<Vec<_>>()
+                })
+                .collect();
+            for _ in 0..self.steps {
+                f = Self::step(&f, n, 1.2);
+            }
+            let cells = (n * n) as f64;
+            let flops = (9.0 * 12.0 + 15.0) * cells * self.steps as f64;
+            let bytes = 9.0 * 8.0 * 2.0 * cells * self.steps as f64 * 2.0;
+            let checksum: f64 = f.par_iter().sum();
+            (flops, bytes, checksum)
+        })
+    }
+
+    fn profile(&self) -> GpuProfile {
+        GpuProfile {
+            kappa_compute: 0.55,
+            kappa_memory: 0.70,
+            fp64_ratio: 1.0,
+            sm_occupancy: 0.75,
+            pcie_tx_mbs: 50.0,
+            pcie_rx_mbs: 25.0,
+            overhead_frac: 0.04,
+            target_seconds: 24.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mass_is_conserved() {
+        let n = 16;
+        let f0: Vec<f64> = (0..n * n)
+            .flat_map(|i| {
+                let rho = 1.0 + 0.05 * ((i % 7) as f64 / 7.0);
+                W.iter().map(move |&w| w * rho).collect::<Vec<_>>()
+            })
+            .collect();
+        let total0: f64 = f0.iter().sum();
+        let f1 = Lbm::step(&f0, n, 1.2);
+        let total1: f64 = f1.iter().sum();
+        assert!((total0 - total1).abs() < 1e-9 * total0);
+    }
+
+    #[test]
+    fn uniform_rest_state_is_stationary() {
+        let n = 8;
+        let f0: Vec<f64> = (0..n * n).flat_map(|_| W.to_vec()).collect();
+        let f1 = Lbm::step(&f0, n, 1.0);
+        for (a, b) in f0.iter().zip(&f1) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        assert!((W.iter().sum::<f64>() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn run_produces_finite_state() {
+        let k = Lbm { n: 24, steps: 3 };
+        let s = k.run(1.0);
+        assert!(s.checksum.is_finite());
+        assert!(s.flops > 0.0 && s.bytes > 0.0);
+    }
+}

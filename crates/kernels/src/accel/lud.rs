@@ -1,0 +1,165 @@
+//! LUD — dense LU decomposition without pivoting (Rodinia/SPEC lud).
+
+use crate::stats::{timed, KernelStats};
+use crate::workload::{GpuProfile, Kernel};
+use rayon::prelude::*;
+
+/// LU-decomposition benchmark.
+#[derive(Debug, Clone)]
+pub struct Lud {
+    /// Matrix edge at scale 1.0.
+    pub n: usize,
+}
+
+impl Default for Lud {
+    fn default() -> Self {
+        Self { n: 192 }
+    }
+}
+
+impl Lud {
+    /// Diagonally dominant test matrix (guarantees pivot-free stability).
+    fn matrix(n: usize) -> Vec<f64> {
+        (0..n * n)
+            .map(|i| {
+                let (r, c) = (i / n, i % n);
+                if r == c {
+                    n as f64 + 1.0
+                } else {
+                    let h = (i as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+                    ((h >> 40) as f64 / (1u64 << 24) as f64) - 0.5
+                }
+            })
+            .collect()
+    }
+
+    /// In-place right-looking LU (Doolittle, unit lower diagonal), trailing
+    /// updates parallel over rows. Returns FLOPs performed.
+    fn decompose(a: &mut [f64], n: usize) -> f64 {
+        let mut flops = 0.0;
+        for k in 0..n {
+            let pivot = a[k * n + k];
+            assert!(pivot.abs() > 1e-12, "zero pivot at {k}");
+            // Column scale below the pivot.
+            for r in k + 1..n {
+                a[r * n + k] /= pivot;
+            }
+            flops += (n - k - 1) as f64;
+            // Trailing submatrix update, parallel over rows.
+            let (pivot_rows, trailing) = a.split_at_mut((k + 1) * n);
+            let pivot_row = &pivot_rows[k * n..(k + 1) * n];
+            trailing.par_chunks_mut(n).for_each(|row| {
+                let l = row[k];
+                for c in k + 1..n {
+                    row[c] -= l * pivot_row[c];
+                }
+            });
+            flops += 2.0 * ((n - k - 1) * (n - k - 1)) as f64;
+        }
+        flops
+    }
+}
+
+impl Kernel for Lud {
+    fn name(&self) -> &'static str {
+        "LUD"
+    }
+
+    fn run(&self, scale: f64) -> KernelStats {
+        let n = ((self.n as f64 * scale.cbrt()).round() as usize).max(8);
+        timed(|| {
+            let mut a = Self::matrix(n);
+            let flops = Self::decompose(&mut a, n);
+            let nf = n as f64;
+            // Blocked GPU LU streams the trailing matrix once per panel of
+            // width 32.
+            let bytes = 8.0 * nf * nf * (nf / 32.0) / 3.0;
+            let checksum: f64 = a.iter().map(|v| v.abs()).sum();
+            (flops, bytes, checksum)
+        })
+    }
+
+    fn profile(&self) -> GpuProfile {
+        GpuProfile {
+            kappa_compute: 0.50, // panel factorization limits utilization
+            kappa_memory: 0.55,
+            fp64_ratio: 1.0,
+            sm_occupancy: 0.50,
+            pcie_tx_mbs: 45.0,
+            pcie_rx_mbs: 45.0,
+            overhead_frac: 0.06,
+            target_seconds: 17.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rebuilds A from the packed LU factors and compares.
+    fn reconstruct(lu: &[f64], n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                let mut acc = 0.0;
+                for k in 0..=r.min(c) {
+                    let l = if k == r { 1.0 } else { lu[r * n + k] };
+                    let u = if k <= c { lu[k * n + c] } else { 0.0 };
+                    if k < r && k > c {
+                        continue;
+                    }
+                    acc += l * u;
+                }
+                out[r * n + c] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lu_reconstructs_original() {
+        let n = 24;
+        let orig = Lud::matrix(n);
+        let mut lu = orig.clone();
+        Lud::decompose(&mut lu, n);
+        let rebuilt = reconstruct(&lu, n);
+        for (a, b) in orig.iter().zip(&rebuilt) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn identity_decomposes_to_identity() {
+        let n = 8;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        Lud::decompose(&mut a, n);
+        for r in 0..n {
+            for c in 0..n {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((a[r * n + c] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn flop_count_is_two_thirds_n_cubed() {
+        let n = 64;
+        let mut a = Lud::matrix(n);
+        let flops = Lud::decompose(&mut a, n);
+        let expect = 2.0 / 3.0 * (n as f64).powi(3);
+        assert!((flops - expect).abs() / expect < 0.1, "{flops} vs {expect}");
+    }
+
+    #[test]
+    fn known_2x2_factors() {
+        // A = [[4, 3], [6, 3]] => L21 = 1.5, U = [[4, 3], [0, -1.5]].
+        let mut a = vec![4.0, 3.0, 6.0, 3.0];
+        Lud::decompose(&mut a, 2);
+        assert!((a[2] - 1.5).abs() < 1e-12);
+        assert!((a[3] + 1.5).abs() < 1e-12);
+    }
+}

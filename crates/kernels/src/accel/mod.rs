@@ -1,0 +1,46 @@
+//! The 19 SPEC-ACCEL-analogue benchmark kernels (paper Table 2).
+//!
+//! Each module implements a real, parallel, instrumented CPU kernel with a
+//! correctness test, plus a calibrated GPU efficiency profile. Together
+//! they span the activity plane from strongly compute bound (MRIQ, CUTCP)
+//! to strongly memory/latency bound (BFS, BPLUSTREE).
+
+pub mod bfs;
+pub mod bplustree;
+pub mod cfd;
+pub mod cutcp;
+pub mod fft;
+pub mod ge;
+pub mod heartwall;
+pub mod histo;
+pub mod hotspot;
+pub mod kmeans;
+pub mod lavamd;
+pub mod lbm;
+pub mod lud;
+pub mod mriq;
+pub mod nw;
+pub mod spmv;
+pub mod srad;
+pub mod stencil;
+pub mod tpacf;
+
+pub use bfs::Bfs;
+pub use bplustree::Bplustree;
+pub use cfd::Cfd;
+pub use cutcp::Cutcp;
+pub use fft::Fft;
+pub use ge::Ge;
+pub use heartwall::Heartwall;
+pub use histo::Histo;
+pub use hotspot::Hotspot;
+pub use kmeans::Kmeans;
+pub use lavamd::Lavamd;
+pub use lbm::Lbm;
+pub use lud::Lud;
+pub use mriq::Mriq;
+pub use nw::Nw;
+pub use spmv::Spmv;
+pub use srad::Srad;
+pub use stencil::Stencil;
+pub use tpacf::Tpacf;

@@ -1,0 +1,170 @@
+//! NW — Needleman-Wunsch global sequence alignment (DP, memory bound).
+//!
+//! Classic wavefront dynamic program. Parallelism comes from processing
+//! anti-diagonals concurrently (the GPU strategy); floating-point content
+//! is negligible, making this one of the paper's low-activity workloads.
+
+use crate::stats::{timed, KernelStats};
+use crate::workload::{GpuProfile, Kernel};
+use rayon::prelude::*;
+
+/// Needleman-Wunsch benchmark.
+#[derive(Debug, Clone)]
+pub struct Nw {
+    /// Sequence length at scale 1.0.
+    pub len: usize,
+    /// Gap penalty (positive).
+    pub gap: i32,
+}
+
+impl Default for Nw {
+    fn default() -> Self {
+        Self { len: 1024, gap: 2 }
+    }
+}
+
+impl Nw {
+    fn sequence(n: usize, salt: u64) -> Vec<u8> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0xFF51_AFD7_ED55_8CCD).wrapping_add(salt);
+                ((h >> 33) % 4) as u8 // ACGT alphabet
+            })
+            .collect()
+    }
+
+    /// Fills the DP matrix by anti-diagonals; returns the final row.
+    fn align(a: &[u8], b: &[u8], gap: i32) -> Vec<i32> {
+        let (n, m) = (a.len(), b.len());
+        // score[i][j] laid out row-major, (n+1) x (m+1).
+        let mut score = vec![0i32; (n + 1) * (m + 1)];
+        for (j, s) in score[..=m].iter_mut().enumerate() {
+            *s = -(j as i32) * gap;
+        }
+        for i in 0..=n {
+            score[i * (m + 1)] = -(i as i32) * gap;
+        }
+        // Anti-diagonal d contains cells (i, j) with i + j = d.
+        for d in 2..=(n + m) {
+            let lo = d.saturating_sub(m).max(1);
+            let hi = d.saturating_sub(1).min(n);
+            if lo > hi {
+                continue;
+            }
+            // Compute the diagonal in parallel, then write it back.
+            let vals: Vec<(usize, i32)> = (lo..=hi)
+                .into_par_iter()
+                .map(|i| {
+                    let j = d - i;
+                    let m1 = m + 1;
+                    let sub = if a[i - 1] == b[j - 1] { 3 } else { -1 };
+                    let diag = score[(i - 1) * m1 + (j - 1)] + sub;
+                    let up = score[(i - 1) * m1 + j] - gap;
+                    let left = score[i * m1 + (j - 1)] - gap;
+                    (i, diag.max(up).max(left))
+                })
+                .collect();
+            for (i, v) in vals {
+                score[i * (m + 1) + (d - i)] = v;
+            }
+        }
+        score[n * (m + 1)..].to_vec()
+    }
+}
+
+impl Kernel for Nw {
+    fn name(&self) -> &'static str {
+        "NW"
+    }
+
+    fn run(&self, scale: f64) -> KernelStats {
+        let n = ((self.len as f64 * scale.sqrt()).round() as usize).max(16);
+        timed(|| {
+            let a = Self::sequence(n, 1);
+            let b = Self::sequence(n, 2);
+            let last = Self::align(&a, &b, self.gap);
+            let cells = (n * n) as f64;
+            let flops = 0.5 * cells; // DP is integer max/add; tiny FP share
+            let bytes = 16.0 * cells; // 3 reads + 1 write of 4 B scores
+            let checksum: f64 = last.iter().map(|&v| v as f64).sum();
+            (flops, bytes, checksum)
+        })
+    }
+
+    fn profile(&self) -> GpuProfile {
+        GpuProfile {
+            kappa_compute: 0.10,
+            kappa_memory: 0.40,
+            fp64_ratio: 1.0,
+            sm_occupancy: 0.35,
+            pcie_tx_mbs: 40.0,
+            pcie_rx_mbs: 40.0,
+            overhead_frac: 0.10,
+            target_seconds: 11.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_score_perfect_match() {
+        let a = vec![0u8, 1, 2, 3, 0];
+        let last = Nw::align(&a, &a, 2);
+        // All matches: 5 * 3.
+        assert_eq!(*last.last().unwrap(), 15);
+    }
+
+    #[test]
+    fn empty_vs_sequence_pays_gaps() {
+        let a: Vec<u8> = vec![];
+        let b = vec![0u8, 1, 2];
+        let last = Nw::align(&a, &b, 2);
+        assert_eq!(*last.last().unwrap(), -6);
+    }
+
+    #[test]
+    fn single_mismatch_scores_substitution() {
+        let a = vec![0u8];
+        let b = vec![1u8];
+        let last = Nw::align(&a, &b, 2);
+        // Substitution (-1) beats two gaps (-4).
+        assert_eq!(*last.last().unwrap(), -1);
+    }
+
+    #[test]
+    fn score_is_symmetric() {
+        let a = Nw::sequence(40, 1);
+        let b = Nw::sequence(40, 2);
+        let ab = Nw::align(&a, &b, 2);
+        let ba = Nw::align(&b, &a, 2);
+        assert_eq!(ab.last(), ba.last());
+    }
+
+    #[test]
+    fn wavefront_matches_serial_reference() {
+        let a = Nw::sequence(30, 3);
+        let b = Nw::sequence(25, 4);
+        let par = Nw::align(&a, &b, 2);
+        // Serial reference.
+        let (n, m) = (a.len(), b.len());
+        let mut dp = vec![vec![0i32; m + 1]; n + 1];
+        for (j, cell) in dp[0].iter_mut().enumerate() {
+            *cell = -(j as i32) * 2;
+        }
+        for (i, row) in dp.iter_mut().enumerate() {
+            row[0] = -(i as i32) * 2;
+        }
+        for i in 1..=n {
+            for j in 1..=m {
+                let sub = if a[i - 1] == b[j - 1] { 3 } else { -1 };
+                dp[i][j] = (dp[i - 1][j - 1] + sub)
+                    .max(dp[i - 1][j] - 2)
+                    .max(dp[i][j - 1] - 2);
+            }
+        }
+        assert_eq!(par, dp[n]);
+    }
+}

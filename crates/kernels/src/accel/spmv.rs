@@ -1,0 +1,175 @@
+//! SPMV — sparse matrix-vector product in CSR format (memory bound).
+
+use crate::stats::{timed, KernelStats};
+use crate::workload::{GpuProfile, Kernel};
+use rayon::prelude::*;
+
+/// A CSR sparse matrix.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Row pointers, length `rows + 1`.
+    pub row_ptr: Vec<usize>,
+    /// Column indices, length `nnz`.
+    pub col_idx: Vec<u32>,
+    /// Non-zero values, length `nnz`.
+    pub values: Vec<f64>,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Csr {
+    /// Builds a banded pseudo-random sparse matrix with ~`nnz_per_row`
+    /// non-zeros per row.
+    pub fn synthetic(n: usize, nnz_per_row: usize) -> Self {
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..n {
+            for k in 0..nnz_per_row {
+                // Deterministic scatter around the diagonal.
+                let off = ((r * 31 + k * 17 + 7) % (4 * nnz_per_row + 1)) as i64
+                    - (2 * nnz_per_row) as i64;
+                let c = (r as i64 + off).rem_euclid(n as i64) as u32;
+                col_idx.push(c);
+                values.push(1.0 / (1.0 + (r + k) as f64));
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self { row_ptr, col_idx, values, cols: n }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Parallel `y = A x`.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "vector length mismatch");
+        (0..self.rows())
+            .into_par_iter()
+            .map(|r| {
+                let lo = self.row_ptr[r];
+                let hi = self.row_ptr[r + 1];
+                self.col_idx[lo..hi]
+                    .iter()
+                    .zip(&self.values[lo..hi])
+                    .map(|(&c, &v)| v * x[c as usize])
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// SpMV benchmark.
+#[derive(Debug, Clone)]
+pub struct Spmv {
+    /// Matrix dimension at scale 1.0.
+    pub n: usize,
+    /// Non-zeros per row.
+    pub nnz_per_row: usize,
+}
+
+impl Default for Spmv {
+    fn default() -> Self {
+        Self { n: 40_000, nnz_per_row: 24 }
+    }
+}
+
+impl Kernel for Spmv {
+    fn name(&self) -> &'static str {
+        "SPMV"
+    }
+
+    fn run(&self, scale: f64) -> KernelStats {
+        let n = ((self.n as f64 * scale).round() as usize).max(64);
+        timed(|| {
+            let a = Csr::synthetic(n, self.nnz_per_row);
+            let x: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) * 0.1 + 1.0).collect();
+            let y = a.spmv(&x);
+            let nnz = a.nnz() as f64;
+            let flops = 2.0 * nnz;
+            // value (8) + column index (4) + gathered x (8, poor reuse) per
+            // nnz, plus y write.
+            let bytes = 20.0 * nnz + 8.0 * n as f64;
+            let checksum: f64 = y.iter().sum();
+            (flops, bytes, checksum)
+        })
+    }
+
+    fn profile(&self) -> GpuProfile {
+        GpuProfile {
+            kappa_compute: 0.35,
+            kappa_memory: 0.55, // gathers waste bandwidth
+            fp64_ratio: 1.0,
+            sm_occupancy: 0.85,
+            pcie_tx_mbs: 70.0,
+            pcie_rx_mbs: 30.0,
+            overhead_frac: 0.03,
+            target_seconds: 15.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_vector() {
+        let a = Csr {
+            row_ptr: vec![0, 1, 2, 3],
+            col_idx: vec![0, 1, 2],
+            values: vec![1.0, 1.0, 1.0],
+            cols: 3,
+        };
+        let y = a.spmv(&[4.0, 5.0, 6.0]);
+        assert_eq!(y, vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        let n = 50;
+        let a = Csr::synthetic(n, 5);
+        let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.01).collect();
+        let y = a.spmv(&x);
+        // Dense reference.
+        let mut dense = vec![vec![0.0; n]; n];
+        for (r, dense_row) in dense.iter_mut().enumerate() {
+            for k in a.row_ptr[r]..a.row_ptr[r + 1] {
+                dense_row[a.col_idx[k] as usize] += a.values[k];
+            }
+        }
+        for r in 0..n {
+            let expect: f64 = dense[r].iter().zip(&x).map(|(&m, &v)| m * v).sum();
+            assert!((y[r] - expect).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn synthetic_has_requested_nnz() {
+        let a = Csr::synthetic(100, 7);
+        assert_eq!(a.nnz(), 700);
+        assert_eq!(a.rows(), 100);
+        assert!(a.col_idx.iter().all(|&c| (c as usize) < 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn wrong_vector_length_panics() {
+        let a = Csr::synthetic(10, 3);
+        let _ = a.spmv(&[1.0; 5]);
+    }
+
+    #[test]
+    fn is_memory_bound() {
+        let s = Spmv { n: 1000, nnz_per_row: 8 }.run(1.0);
+        assert!(s.intensity() < 0.2);
+    }
+}

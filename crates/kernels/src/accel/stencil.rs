@@ -1,0 +1,143 @@
+//! STENCIL — 3D 7-point Jacobi iteration (memory bound).
+
+use crate::stats::{timed, KernelStats};
+use crate::workload::{GpuProfile, Kernel};
+use rayon::prelude::*;
+
+/// 3D Jacobi stencil benchmark.
+#[derive(Debug, Clone)]
+pub struct Stencil {
+    /// Grid edge at scale 1.0.
+    pub n: usize,
+    /// Jacobi sweeps per run.
+    pub iters: usize,
+}
+
+impl Default for Stencil {
+    fn default() -> Self {
+        Self { n: 48, iters: 4 }
+    }
+}
+
+impl Stencil {
+    /// One Jacobi sweep: `dst = c0*src + c1*sum(6 neighbours)`, interior only.
+    fn sweep(src: &[f64], dst: &mut [f64], n: usize) {
+        let (c0, c1) = (0.5, 1.0 / 12.0);
+        let plane = n * n;
+        dst.par_chunks_mut(plane)
+            .enumerate()
+            .for_each(|(z, out_plane)| {
+                if z == 0 || z == n - 1 {
+                    out_plane.copy_from_slice(&src[z * plane..(z + 1) * plane]);
+                    return;
+                }
+                for y in 1..n - 1 {
+                    for x in 1..n - 1 {
+                        let i = z * plane + y * n + x;
+                        out_plane[y * n + x] = c0 * src[i]
+                            + c1 * (src[i - 1]
+                                + src[i + 1]
+                                + src[i - n]
+                                + src[i + n]
+                                + src[i - plane]
+                                + src[i + plane]);
+                    }
+                }
+                // boundary rows/cols keep src values
+                for x in 0..n {
+                    out_plane[x] = src[z * plane + x];
+                    out_plane[(n - 1) * n + x] = src[z * plane + (n - 1) * n + x];
+                }
+                for y in 0..n {
+                    out_plane[y * n] = src[z * plane + y * n];
+                    out_plane[y * n + n - 1] = src[z * plane + y * n + n - 1];
+                }
+            });
+    }
+}
+
+impl Kernel for Stencil {
+    fn name(&self) -> &'static str {
+        "STENCIL"
+    }
+
+    fn run(&self, scale: f64) -> KernelStats {
+        let n = ((self.n as f64 * scale.cbrt()).round() as usize).max(8);
+        timed(|| {
+            let mut a: Vec<f64> = (0..n * n * n).map(|i| ((i % 13) as f64) * 0.1).collect();
+            let mut b = vec![0.0; n * n * n];
+            for _ in 0..self.iters {
+                Self::sweep(&a, &mut b, n);
+                std::mem::swap(&mut a, &mut b);
+            }
+            let interior = ((n - 2) * (n - 2) * (n - 2)) as f64;
+            let flops = 8.0 * interior * self.iters as f64;
+            let bytes = 16.0 * (n * n * n) as f64 * self.iters as f64;
+            let checksum: f64 = a.par_iter().sum();
+            (flops, bytes, checksum)
+        })
+    }
+
+    fn profile(&self) -> GpuProfile {
+        GpuProfile {
+            kappa_compute: 0.60,
+            kappa_memory: 0.75,
+            fp64_ratio: 1.0,
+            sm_occupancy: 0.80,
+            pcie_tx_mbs: 60.0,
+            pcie_rx_mbs: 30.0,
+            overhead_frac: 0.03,
+            target_seconds: 18.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_field_is_fixed_point() {
+        // c0 + 6*c1 = 1, so a constant field maps to itself.
+        let n = 8;
+        let src = vec![2.0; n * n * n];
+        let mut dst = vec![0.0; n * n * n];
+        Stencil::sweep(&src, &mut dst, n);
+        for &v in &dst {
+            assert!((v - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sweep_smooths_an_impulse() {
+        let n = 9;
+        let mut src = vec![0.0; n * n * n];
+        let centre = (n / 2) * n * n + (n / 2) * n + n / 2;
+        src[centre] = 1.0;
+        let mut dst = vec![0.0; n * n * n];
+        Stencil::sweep(&src, &mut dst, n);
+        assert!((dst[centre] - 0.5).abs() < 1e-12);
+        assert!((dst[centre + 1] - 1.0 / 12.0).abs() < 1e-12);
+        // Total mass is conserved by this stencil (c0 + 6 c1 = 1).
+        let sum: f64 = dst.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundaries_are_preserved() {
+        let n = 8;
+        let src: Vec<f64> = (0..n * n * n).map(|i| i as f64).collect();
+        let mut dst = vec![0.0; n * n * n];
+        Stencil::sweep(&src, &mut dst, n);
+        assert_eq!(dst[0], src[0]);
+        assert_eq!(dst[n * n * n - 1], src[n * n * n - 1]);
+    }
+
+    #[test]
+    fn stats_count_interior_work() {
+        let k = Stencil { n: 10, iters: 2 };
+        let s = k.run(1.0);
+        assert_eq!(s.flops, 8.0 * 512.0 * 2.0);
+        assert!(s.intensity() < 1.0); // memory bound
+    }
+}

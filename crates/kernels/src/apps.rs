@@ -1,0 +1,342 @@
+//! The six real evaluation applications (paper Table 2, "Real-world").
+//!
+//! Each application is a multi-phase [`PhasedWorkload`] calibrated against
+//! the behaviour the paper reports on the A100. The central modelling
+//! device is the **roofline crossover**: a kernel whose arithmetic
+//! intensity sits just below the device ridge point is memory bound at the
+//! default clock but becomes compute bound once the core clock drops below
+//! its crossover ("knee") frequency. Above the knee its runtime barely
+//! reacts to DVFS while power falls steeply — which is exactly why the
+//! paper's EDP/ED²P optima sit at app-specific interior frequencies
+//! (Table 4):
+//!
+//! * **LAMMPS** / **NAMD** — force kernels with knees near 1200 MHz: a few
+//!   percent performance loss buys ~30 % energy (paper Table 5).
+//! * **GROMACS** — low knee plus a large DVFS-insensitive host/constraint
+//!   fraction: its time barely reacts to frequency, which is what trips up
+//!   the time model (88.7 % accuracy, Figure 8c).
+//! * **LSTM** — low-utilization TensorFlow layers with a knee near
+//!   800 MHz: deep savings at very low frequency (M-ED²P 810 MHz).
+//! * **BERT** — attention GEMMs with a knee near 1150 MHz.
+//! * **ResNet50** — convolutions far above the ridge: compute bound at
+//!   every frequency, the paper's outlier where ED²P keeps f_max while
+//!   EDP pays > 30 % performance for its savings.
+//!
+//! Work volumes are sized against A100 peak rates so runtimes land in the
+//! tens of seconds; the same signatures run (slower) on the GV100 profile,
+//! as in the paper's portability study.
+
+use gpu_model::{DeviceSpec, Phase, PhasedWorkload, SignatureBuilder, WorkloadSignature};
+
+/// Compute-roofline efficiency assumed for app kernels. Real applications
+/// run far below peak when compute bound (divergence, mixed instruction
+/// mix); this also places their activity signatures inside the region the
+/// training suite covers.
+const APP_KAPPA_C: f64 = 0.45;
+
+/// Builds a phase whose compute/memory crossover sits at `knee_mhz` on the
+/// A100 and which runs for `seconds` at the default clock.
+///
+/// Above the knee the phase is memory bound (time ~flat in f); below it,
+/// compute bound (time ~1/f).
+fn ridge_phase(
+    name: &str,
+    seconds: f64,
+    knee_mhz: f64,
+    fp64_ratio: f64,
+    kappa_m: f64,
+    occupancy: f64,
+) -> WorkloadSignature {
+    let a100 = DeviceSpec::ga100();
+    // Memory side fixes the runtime at the default clock.
+    let bytes = seconds * kappa_m * a100.peak_bw_gbs * 1e9;
+    // Compute side pins the crossover: t_comp(knee) == t_mem(knee).
+    let bw_at_knee = kappa_m * a100.peak_bw_gbs * 1e9 * gpu_model::model::bw_factor(&a100, knee_mhz);
+    let flops_rate_at_knee =
+        a100.peak_gflops_for_mix(fp64_ratio) * 1e9 * APP_KAPPA_C * (knee_mhz / a100.max_core_mhz);
+    let ai = flops_rate_at_knee / bw_at_knee;
+    SignatureBuilder::new(name)
+        .flops(bytes * ai)
+        .bytes(bytes)
+        .kappa_compute(APP_KAPPA_C)
+        .kappa_memory(kappa_m)
+        .fp64_ratio(fp64_ratio)
+        .sm_occupancy(occupancy)
+        .build()
+}
+
+/// Builds a strongly compute-bound phase (`ai` far above the ridge) sized
+/// to run `seconds` at the A100 default clock.
+fn compute_phase(
+    name: &str,
+    seconds: f64,
+    kappa_c: f64,
+    fp64_ratio: f64,
+    ai: f64,
+    occupancy: f64,
+) -> WorkloadSignature {
+    let a100 = DeviceSpec::ga100();
+    let flops = seconds * kappa_c * a100.peak_gflops_for_mix(fp64_ratio) * 1e9;
+    SignatureBuilder::new(name)
+        .flops(flops)
+        .bytes(flops / ai)
+        .kappa_compute(kappa_c)
+        .kappa_memory(0.70)
+        .fp64_ratio(fp64_ratio)
+        .sm_occupancy(occupancy)
+        .build()
+}
+
+/// Builds a pure host-side phase of `seconds` (DVFS insensitive).
+fn host_phase(name: &str, seconds: f64) -> WorkloadSignature {
+    SignatureBuilder::new(name)
+        .flops(1.0)
+        .bytes(1.0)
+        .overhead_s(seconds)
+        .kappa_compute(0.5)
+        .kappa_memory(0.5)
+        .sm_occupancy(0.05)
+        .build()
+}
+
+fn phases(list: Vec<WorkloadSignature>) -> Vec<Phase> {
+    list.into_iter().map(|signature| Phase { signature, repeats: 1.0 }).collect()
+}
+
+/// LAMMPS — Lennard-Jones 3D melt (paper Section 5).
+pub fn lammps() -> PhasedWorkload {
+    PhasedWorkload::new(
+        "LAMMPS",
+        phases(vec![
+            ridge_phase("lammps/pair_lj", 18.0, 1220.0, 1.0, 0.78, 0.55),
+            compute_phase("lammps/ewald", 3.0, 0.70, 1.0, 40.0, 0.50),
+            host_phase("lammps/comm", 1.2),
+        ]),
+    )
+}
+
+/// NAMD — ApoA1 92k-atom biomolecular simulation.
+pub fn namd() -> PhasedWorkload {
+    PhasedWorkload::new(
+        "NAMD",
+        phases(vec![
+            ridge_phase("namd/nonbonded", 16.0, 1230.0, 1.0, 0.75, 0.55),
+            compute_phase("namd/bonded", 2.5, 0.65, 1.0, 35.0, 0.45),
+            host_phase("namd/integrate", 1.8),
+        ]),
+    )
+}
+
+/// GROMACS — lysozyme-in-water simulation; time is largely DVFS
+/// insensitive (paper Figure 8c discussion).
+pub fn gromacs() -> PhasedWorkload {
+    PhasedWorkload::new(
+        "GROMACS",
+        phases(vec![
+            ridge_phase("gromacs/nb_kernel", 8.0, 1080.0, 0.0, 0.74, 0.60),
+            ridge_phase("gromacs/pme_spread", 4.0, 950.0, 0.0, 0.75, 0.70),
+            host_phase("gromacs/constraints", 10.0),
+        ]),
+    )
+}
+
+/// LSTM — TensorFlow sentiment classifier; low GPU utilization.
+pub fn lstm() -> PhasedWorkload {
+    PhasedWorkload::new(
+        "LSTM",
+        phases(vec![
+            ridge_phase("lstm/recurrent", 12.0, 850.0, 0.0, 0.45, 0.25),
+            host_phase("lstm/input_pipeline", 4.0),
+        ]),
+    )
+}
+
+/// BERT — transformer fine-tuning on the movie-review dataset.
+pub fn bert() -> PhasedWorkload {
+    PhasedWorkload::new(
+        "BERT",
+        phases(vec![
+            ridge_phase("bert/attention_gemm", 16.0, 1160.0, 0.0, 0.70, 0.60),
+            compute_phase("bert/ffn", 2.5, 0.70, 0.0, 90.0, 0.60),
+            host_phase("bert/tokenize", 1.8),
+        ]),
+    )
+}
+
+/// ResNet50 — CIFAR-10 training; convolution dominated, the paper's
+/// frequency-sensitive outlier.
+pub fn resnet50() -> PhasedWorkload {
+    PhasedWorkload::new(
+        "ResNet50",
+        phases(vec![
+            compute_phase("resnet/conv", 20.0, 0.85, 0.0, 100.0, 0.65),
+            ridge_phase("resnet/bn_relu", 2.0, 1300.0, 0.0, 0.70, 0.70),
+            host_phase("resnet/dataloader", 0.6),
+        ]),
+    )
+}
+
+/// All six evaluation applications in the paper's order.
+pub fn evaluation_apps() -> Vec<PhasedWorkload> {
+    vec![lammps(), namd(), gromacs(), lstm(), bert(), resnet50()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_apps_with_paper_names() {
+        let apps = evaluation_apps();
+        let names: Vec<&str> = apps.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, ["LAMMPS", "NAMD", "GROMACS", "LSTM", "BERT", "ResNet50"]);
+    }
+
+    #[test]
+    fn runtimes_are_tens_of_seconds_on_a100() {
+        let spec = DeviceSpec::ga100();
+        for app in evaluation_apps() {
+            let t = app.exec_time(&spec, spec.max_core_mhz);
+            assert!((10.0..=60.0).contains(&t), "{}: {t:.1}s", app.name);
+        }
+    }
+
+    #[test]
+    fn ridge_phase_knee_is_where_requested() {
+        let spec = DeviceSpec::ga100();
+        let sig = ridge_phase("knee-test", 10.0, 1100.0, 1.0, 0.8, 0.5);
+        // Just above the knee: memory bound, mild slowdown from fmax.
+        let t_max = gpu_model::model::exec_time(&spec, &sig, 1410.0);
+        let t_above = gpu_model::model::exec_time(&spec, &sig, 1170.0);
+        assert!(t_above / t_max < 1.04, "above knee: {:.3}", t_above / t_max);
+        // Well below the knee: compute bound, ~1/f scaling.
+        let t_900 = gpu_model::model::exec_time(&spec, &sig, 900.0);
+        let t_700 = gpu_model::model::exec_time(&spec, &sig, 700.0);
+        assert!(
+            (t_700 / t_900 - 900.0 / 700.0).abs() < 0.05,
+            "below knee: {:.3}",
+            t_700 / t_900
+        );
+    }
+
+    #[test]
+    fn lammps_time_mildly_sensitive_at_its_knee() {
+        let spec = DeviceSpec::ga100();
+        let l = lammps();
+        let t_max = l.exec_time(&spec, 1410.0);
+        let t_1215 = l.exec_time(&spec, 1215.0);
+        let slowdown = t_1215 / t_max - 1.0;
+        assert!(
+            (0.0..=0.08).contains(&slowdown),
+            "LAMMPS at 1215 MHz slowed {:.1}%",
+            slowdown * 100.0
+        );
+    }
+
+    #[test]
+    fn gromacs_time_is_dvfs_insensitive() {
+        let spec = DeviceSpec::ga100();
+        let g = gromacs();
+        let t_max = g.exec_time(&spec, 1410.0);
+        let t_mid = g.exec_time(&spec, 1110.0);
+        assert!(
+            t_mid / t_max < 1.05,
+            "GROMACS slowed {:.1}% from 1410 to 1110 MHz",
+            (t_mid / t_max - 1.0) * 100.0
+        );
+    }
+
+    #[test]
+    fn resnet_time_is_steeply_dvfs_sensitive() {
+        let spec = DeviceSpec::ga100();
+        let r = resnet50();
+        let t_max = r.exec_time(&spec, 1410.0);
+        let t_low = r.exec_time(&spec, 795.0);
+        assert!(
+            t_low / t_max > 1.5,
+            "ResNet50 only slowed {:.2}x at 795 MHz",
+            t_low / t_max
+        );
+    }
+
+    #[test]
+    fn lstm_draws_low_power() {
+        let spec = DeviceSpec::ga100();
+        let p = lstm().power(&spec, spec.max_core_mhz);
+        assert!(
+            p / spec.tdp_w < 0.5,
+            "LSTM draws {:.2} of TDP, expected low utilization",
+            p / spec.tdp_w
+        );
+    }
+
+    #[test]
+    fn md_apps_draw_substantial_power() {
+        let spec = DeviceSpec::ga100();
+        for app in [lammps(), namd()] {
+            let p = app.power(&spec, spec.max_core_mhz);
+            assert!(
+                p / spec.tdp_w > 0.55,
+                "{} draws only {:.2} of TDP",
+                app.name,
+                p / spec.tdp_w
+            );
+        }
+    }
+
+    #[test]
+    fn gromacs_has_large_overhead_fraction() {
+        let spec = DeviceSpec::ga100();
+        let frac = gromacs().overhead_fraction(&spec, spec.max_core_mhz);
+        assert!(frac > 0.35, "GROMACS overhead fraction {frac:.2}");
+    }
+
+    #[test]
+    fn resnet_has_tiny_overhead_fraction() {
+        let spec = DeviceSpec::ga100();
+        let frac = resnet50().overhead_fraction(&spec, spec.max_core_mhz);
+        assert!(frac < 0.05, "ResNet50 overhead fraction {frac:.2}");
+    }
+
+    #[test]
+    fn apps_also_run_on_gv100() {
+        let spec = DeviceSpec::gv100();
+        for app in evaluation_apps() {
+            let t = app.exec_time(&spec, spec.max_core_mhz);
+            // Slower than on the A100 but still finite and sensible.
+            assert!(t.is_finite() && t > 5.0, "{}: {t}", app.name);
+            let p = app.power(&spec, spec.max_core_mhz);
+            assert!(p > spec.idle_w && p <= spec.tdp_w * 1.01, "{}: {p} W", app.name);
+        }
+    }
+
+    #[test]
+    fn energy_at_knee_saves_substantially() {
+        // The headline behaviour: dropping to each MD app's knee saves
+        // 20%+ energy for a small time cost.
+        let spec = DeviceSpec::ga100();
+        for (app, knee) in [(lammps(), 1215.0), (namd(), 1230.0), (bert(), 1155.0)] {
+            let e_max = app.energy(&spec, spec.max_core_mhz);
+            let e_knee = app.energy(&spec, knee);
+            let saving = 1.0 - e_knee / e_max;
+            assert!(
+                saving > 0.12,
+                "{}: only {:.1}% energy saved at its knee",
+                app.name,
+                saving * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn low_frequencies_are_never_optimal() {
+        let spec = DeviceSpec::ga100();
+        let grid = gpu_model::DvfsGrid::for_spec(&spec);
+        for app in evaluation_apps() {
+            let used = grid.used();
+            let energies: Vec<f64> = used.iter().map(|&f| app.energy(&spec, f)).collect();
+            let min = energies.iter().copied().fold(f64::INFINITY, f64::min);
+            assert!(energies[0] > min, "{}: 510 MHz should not be optimal", app.name);
+        }
+    }
+}

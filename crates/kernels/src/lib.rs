@@ -1,0 +1,32 @@
+//! Instrumented parallel mini-kernels and workload models.
+//!
+//! The paper trains on 21 GPU benchmarks (DGEMM, STREAM and the 19-workload
+//! SPEC ACCEL suite) and evaluates on six real applications. We obviously
+//! cannot run CUDA binaries here, but a workload enters the paper's
+//! methodology only through (a) its *work volume* — FLOPs and DRAM bytes —
+//! and (b) its *efficiency profile* on the GPU rooflines. So this crate:
+//!
+//! 1. implements each benchmark as a **real, multi-threaded CPU kernel**
+//!    (rayon) instrumented with exact FLOP/byte counts and a correctness
+//!    check — [`micro`] (DGEMM, STREAM) and [`accel`] (the 19 SPEC-ACCEL
+//!    analogues, one module each);
+//! 2. attaches to each kernel a [`workload::GpuProfile`] — the calibrated
+//!    roofline efficiencies it achieves on an A100-class GPU — and derives
+//!    a [`gpu_model::WorkloadSignature`] from an actual instrumented run
+//!    ([`workload::Kernel::signature_for`]);
+//! 3. models the six real evaluation applications (LAMMPS, NAMD, GROMACS,
+//!    LSTM, BERT, ResNet50) as multi-phase workloads ([`apps`]) with the
+//!    pathologies the paper reports (e.g. GROMACS's DVFS-insensitive time).
+//!
+//! [`suite::training_suite`] returns the 21 training benchmarks,
+//! [`apps::evaluation_apps`] the six evaluation applications (Table 2).
+
+pub mod accel;
+pub mod apps;
+pub mod micro;
+pub mod stats;
+pub mod suite;
+pub mod workload;
+
+pub use stats::KernelStats;
+pub use workload::{GpuProfile, Kernel};

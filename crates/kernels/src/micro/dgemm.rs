@@ -1,0 +1,125 @@
+//! DGEMM — dense double-precision matrix multiply (compute bound).
+//!
+//! The canonical compute-intensive workload of the paper's motivation
+//! section. The CPU run uses the `tensor` crate's blocked parallel matmul;
+//! FLOPs are the exact `2 n^3` of the triple loop and the byte count models
+//! a tiled GPU implementation that re-reads each operand once per tile
+//! sweep.
+
+use crate::stats::{timed, KernelStats};
+use crate::workload::{GpuProfile, Kernel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::{init, matmul};
+
+/// Tile edge assumed for the GPU DRAM-traffic model (cuBLAS-class blocking
+/// including L2 reuse).
+const GPU_TILE: f64 = 256.0;
+
+/// DGEMM benchmark with a configurable base matrix size.
+#[derive(Debug, Clone)]
+pub struct Dgemm {
+    /// Matrix edge at scale 1.0.
+    pub n: usize,
+}
+
+impl Default for Dgemm {
+    fn default() -> Self {
+        Self { n: 192 }
+    }
+}
+
+impl Kernel for Dgemm {
+    fn name(&self) -> &'static str {
+        "DGEMM"
+    }
+
+    fn run(&self, scale: f64) -> KernelStats {
+        let n = ((self.n as f64 * scale.cbrt()).round() as usize).max(8);
+        timed(|| {
+            let mut rng = StdRng::seed_from_u64(0xD6E3);
+            let a = init::uniform(n, n, -1.0, 1.0, &mut rng);
+            let b = init::uniform(n, n, -1.0, 1.0, &mut rng);
+            let c = matmul::matmul(&a, &b).expect("square operands");
+            let checksum: f64 = c.as_slice().iter().sum();
+            let nf = n as f64;
+            let flops = 2.0 * nf * nf * nf;
+            // Tiled GPU traffic: each of A and B is streamed once per tile
+            // sweep (at least once), C is written once.
+            let bytes = 8.0 * (2.0 * nf * nf * (nf / GPU_TILE).max(1.0) + nf * nf);
+            (flops, bytes, checksum)
+        })
+    }
+
+    fn profile(&self) -> GpuProfile {
+        GpuProfile {
+            kappa_compute: 0.95, // cuBLAS runs near peak
+            kappa_memory: 0.60,
+            fp64_ratio: 1.0,
+            sm_occupancy: 0.45,
+            pcie_tx_mbs: 120.0,
+            pcie_rx_mbs: 60.0,
+            overhead_frac: 0.02,
+            target_seconds: 25.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_model::DeviceSpec;
+
+    #[test]
+    fn result_matches_naive_reference() {
+        // The kernel's correctness is the tensor crate's, but verify the
+        // checksum path end to end on a tiny instance.
+        let mut rng = StdRng::seed_from_u64(0xD6E3);
+        let n = 16;
+        let a = init::uniform(n, n, -1.0, 1.0, &mut rng);
+        let b = init::uniform(n, n, -1.0, 1.0, &mut rng);
+        let fast = matmul::matmul(&a, &b).unwrap();
+        let slow = matmul::matmul_naive(&a, &b).unwrap();
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn flop_count_is_2n3() {
+        let k = Dgemm { n: 32 };
+        let s = k.run(1.0);
+        assert_eq!(s.flops, 2.0 * 32.0f64.powi(3));
+    }
+
+    #[test]
+    fn is_compute_bound_on_ga100() {
+        let spec = DeviceSpec::ga100();
+        let sig = Dgemm::default().signature(&spec);
+        // High arithmetic intensity: well past the A100 ridge point
+        // (~4.8 FLOP/byte fp64).
+        assert!(sig.arithmetic_intensity() > 10.0);
+    }
+
+    #[test]
+    fn scale_grows_work_cubically_in_edge() {
+        let k = Dgemm { n: 64 };
+        let s1 = k.run(1.0);
+        let s8 = k.run(8.0); // edge doubles
+        assert!((s8.flops / s1.flops - 8.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn deterministic_checksum() {
+        let k = Dgemm { n: 48 };
+        assert_eq!(k.run(1.0).checksum, k.run(1.0).checksum);
+    }
+
+    #[test]
+    fn signature_draws_near_tdp_at_max_clock() {
+        let spec = DeviceSpec::ga100();
+        let sig = Dgemm::default().signature(&spec);
+        let p = gpu_model::model::power(&spec, &sig, spec.max_core_mhz);
+        assert!(p > 0.85 * spec.tdp_w, "DGEMM at fmax draws {p:.0} W");
+    }
+}

@@ -1,0 +1,7 @@
+//! Micro-benchmarks: DGEMM (compute bound) and STREAM (memory bound).
+
+pub mod dgemm;
+pub mod stream;
+
+pub use dgemm::Dgemm;
+pub use stream::Stream;

@@ -1,0 +1,136 @@
+//! STREAM — the McCalpin memory-bandwidth benchmark (memory bound).
+//!
+//! Implements the four canonical STREAM kernels (copy, scale, add, triad)
+//! over parallel slices. Byte counts follow STREAM's own accounting:
+//! 16 B/elem for copy and scale, 24 B/elem for add and triad.
+
+use crate::stats::{timed, KernelStats};
+use crate::workload::{GpuProfile, Kernel};
+use rayon::prelude::*;
+
+/// STREAM benchmark with a configurable base vector length.
+#[derive(Debug, Clone)]
+pub struct Stream {
+    /// Elements per array at scale 1.0.
+    pub len: usize,
+}
+
+impl Default for Stream {
+    fn default() -> Self {
+        Self { len: 1 << 20 }
+    }
+}
+
+impl Stream {
+    /// Runs one sweep of copy/scale/add/triad, returning
+    /// `(flops, bytes, checksum)`.
+    fn sweep(n: usize) -> (f64, f64, f64) {
+        let scalar = 3.0f64;
+        let b: Vec<f64> = (0..n).map(|i| (i % 97) as f64 * 0.5 + 1.0).collect();
+        let c: Vec<f64> = (0..n).map(|i| (i % 89) as f64 * 0.25 + 2.0).collect();
+        let mut a = vec![0.0f64; n];
+
+        // copy: a = c
+        a.par_iter_mut().zip(c.par_iter()).for_each(|(x, &y)| *x = y);
+        // scale: a = scalar * b  (STREAM scale writes b from c; the traffic
+        // accounting is what matters)
+        a.par_iter_mut().zip(b.par_iter()).for_each(|(x, &y)| *x = scalar * y);
+        // add: a = b + c
+        a.par_iter_mut()
+            .zip(b.par_iter().zip(c.par_iter()))
+            .for_each(|(x, (&y, &z))| *x = y + z);
+        // triad: a = b + scalar * c
+        a.par_iter_mut()
+            .zip(b.par_iter().zip(c.par_iter()))
+            .for_each(|(x, (&y, &z))| *x = y + scalar * z);
+
+        let checksum: f64 = a.par_iter().sum();
+        let nf = n as f64;
+        let flops = nf + 2.0 * nf + nf; // scale 1, add 1, triad 2 per elem
+        let bytes = (16.0 + 16.0 + 24.0 + 24.0) * nf;
+        (flops, bytes, checksum)
+    }
+}
+
+impl Kernel for Stream {
+    fn name(&self) -> &'static str {
+        "STREAM"
+    }
+
+    fn run(&self, scale: f64) -> KernelStats {
+        let n = ((self.len as f64 * scale).round() as usize).max(64);
+        timed(|| Self::sweep(n))
+    }
+
+    fn profile(&self) -> GpuProfile {
+        GpuProfile {
+            kappa_compute: 0.50,
+            kappa_memory: 0.88, // GPU-STREAM reaches ~88% of peak HBM bw
+            fp64_ratio: 1.0,
+            sm_occupancy: 0.90,
+            pcie_tx_mbs: 40.0,
+            pcie_rx_mbs: 20.0,
+            overhead_frac: 0.03,
+            target_seconds: 20.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_model::DeviceSpec;
+
+    #[test]
+    fn triad_result_is_correct() {
+        // After the full sweep, a = b + 3 c elementwise.
+        let n = 1000;
+        let (_, _, checksum) = Stream::sweep(n);
+        let expect: f64 = (0..n)
+            .map(|i| ((i % 97) as f64 * 0.5 + 1.0) + 3.0 * ((i % 89) as f64 * 0.25 + 2.0))
+            .sum();
+        assert!((checksum - expect).abs() < 1e-6 * expect.abs());
+    }
+
+    #[test]
+    fn byte_count_follows_stream_accounting() {
+        let k = Stream { len: 1024 };
+        let s = k.run(1.0);
+        assert_eq!(s.bytes, 80.0 * 1024.0);
+        assert_eq!(s.flops, 4.0 * 1024.0);
+    }
+
+    #[test]
+    fn is_memory_bound_on_ga100() {
+        let spec = DeviceSpec::ga100();
+        let sig = Stream::default().signature(&spec);
+        // Far below the A100 fp64 ridge point.
+        assert!(sig.arithmetic_intensity() < 0.5);
+    }
+
+    #[test]
+    fn draws_about_half_tdp_at_max_clock() {
+        let spec = DeviceSpec::ga100();
+        let sig = Stream::default().signature(&spec);
+        let p = gpu_model::model::power(&spec, &sig, spec.max_core_mhz);
+        let frac = p / spec.tdp_w;
+        assert!((0.40..=0.60).contains(&frac), "STREAM draws {frac:.2} TDP");
+    }
+
+    #[test]
+    fn insensitive_to_downclocking() {
+        let spec = DeviceSpec::ga100();
+        let sig = Stream::default().signature(&spec);
+        let t_hi = gpu_model::model::exec_time(&spec, &sig, 1410.0);
+        let t_mid = gpu_model::model::exec_time(&spec, &sig, 1005.0);
+        assert!(t_mid / t_hi < 1.10);
+    }
+
+    #[test]
+    fn scale_is_linear() {
+        let k = Stream { len: 4096 };
+        let s1 = k.run(1.0);
+        let s2 = k.run(2.0);
+        assert!((s2.bytes / s1.bytes - 2.0).abs() < 0.01);
+    }
+}

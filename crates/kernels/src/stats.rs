@@ -1,0 +1,92 @@
+//! Exact operation counts from an instrumented kernel run.
+
+use serde::{Deserialize, Serialize};
+
+/// The result of executing one instrumented kernel run.
+///
+/// `flops` and `bytes` are exact analytic counts derived from the loop trip
+/// counts the kernel actually executed (not estimates); `checksum` is a
+/// kernel-specific reduction over the output used by correctness tests, and
+/// `elapsed_s` is host wall-clock (informational only — GPU-side timing
+/// comes from the simulator).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Floating-point operations performed.
+    pub flops: f64,
+    /// Bytes of main-memory traffic the algorithm implies.
+    pub bytes: f64,
+    /// Checksum of the output for correctness verification.
+    pub checksum: f64,
+    /// Host wall-clock seconds for the run.
+    pub elapsed_s: f64,
+}
+
+impl KernelStats {
+    /// Creates stats with the given counts and checksum.
+    pub fn new(flops: f64, bytes: f64, checksum: f64, elapsed_s: f64) -> Self {
+        Self { flops, bytes, checksum, elapsed_s }
+    }
+
+    /// Arithmetic intensity, FLOP/byte.
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.bytes
+        }
+    }
+
+    /// Merges counts from another run (summing work, keeping the later
+    /// checksum).
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.flops += other.flops;
+        self.bytes += other.bytes;
+        self.checksum = other.checksum;
+        self.elapsed_s += other.elapsed_s;
+    }
+}
+
+/// Measures wall-clock around `f`, producing [`KernelStats`] from the
+/// returned `(flops, bytes, checksum)` triple.
+pub fn timed(f: impl FnOnce() -> (f64, f64, f64)) -> KernelStats {
+    let start = std::time::Instant::now();
+    let (flops, bytes, checksum) = f();
+    KernelStats::new(flops, bytes, checksum, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_computes_ratio() {
+        let s = KernelStats::new(100.0, 50.0, 0.0, 0.1);
+        assert_eq!(s.intensity(), 2.0);
+    }
+
+    #[test]
+    fn intensity_infinite_for_zero_bytes() {
+        let s = KernelStats::new(100.0, 0.0, 0.0, 0.1);
+        assert!(s.intensity().is_infinite());
+    }
+
+    #[test]
+    fn merge_sums_work() {
+        let mut a = KernelStats::new(10.0, 20.0, 1.0, 0.5);
+        a.merge(&KernelStats::new(5.0, 5.0, 2.0, 0.5));
+        assert_eq!(a.flops, 15.0);
+        assert_eq!(a.bytes, 25.0);
+        assert_eq!(a.checksum, 2.0);
+        assert_eq!(a.elapsed_s, 1.0);
+    }
+
+    #[test]
+    fn timed_captures_elapsed() {
+        let s = timed(|| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            (1.0, 2.0, 3.0)
+        });
+        assert!(s.elapsed_s >= 0.004);
+        assert_eq!(s.flops, 1.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! The training benchmark suite (paper Table 2).
+
+use crate::accel::*;
+use crate::micro::{Dgemm, Stream};
+use crate::workload::Kernel;
+use gpu_model::{DeviceSpec, WorkloadSignature};
+use rayon::prelude::*;
+
+/// The 21 training benchmarks: DGEMM, STREAM and the 19 SPEC ACCEL
+/// analogues, in the paper's Table 2 order.
+pub fn training_suite() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(Tpacf::default()),
+        Box::new(Stencil::default()),
+        Box::new(Lbm::default()),
+        Box::new(Fft::default()),
+        Box::new(Spmv::default()),
+        Box::new(Mriq::default()),
+        Box::new(Histo::default()),
+        Box::new(Bfs::default()),
+        Box::new(Cutcp::default()),
+        Box::new(Kmeans::default()),
+        Box::new(Lavamd::default()),
+        Box::new(Cfd::default()),
+        Box::new(Nw::default()),
+        Box::new(Hotspot::default()),
+        Box::new(Lud::default()),
+        Box::new(Ge::default()),
+        Box::new(Srad::default()),
+        Box::new(Heartwall::default()),
+        Box::new(Bplustree::default()),
+        Box::new(Dgemm::default()),
+        Box::new(Stream::default()),
+    ]
+}
+
+/// Names of the SPEC ACCEL members of the suite (Table 2, first row).
+pub fn spec_accel_names() -> Vec<&'static str> {
+    vec![
+        "TPACF", "STENCIL", "LBM", "FFT", "SPMV", "MRIQ", "HISTO", "BFS", "CUTCP", "KMEANS",
+        "LAVAMD", "CFD", "NW", "HOTSPOT", "LUD", "GE", "SRAD", "HEARTWALL", "BPLUSTREE",
+    ]
+}
+
+/// Derives the signatures of the whole suite on `spec`, running every
+/// instrumented kernel (in parallel across benchmarks).
+pub fn training_signatures(spec: &DeviceSpec) -> Vec<WorkloadSignature> {
+    let suite = training_suite();
+    suite.par_iter().map(|k| k.signature(spec)).collect()
+}
+
+/// Renders the paper's Table 2 rows.
+pub fn table2_rows() -> Vec<(&'static str, String)> {
+    vec![
+        ("SPEC ACCEL [Training]", spec_accel_names().join(", ")),
+        ("Micro-Benchmarks [Training]", "DGEMM, STREAM".to_string()),
+        (
+            "Real-world [Evaluation]",
+            "LAMMPS, NAMD, GROMACS, LSTM, BERT, ResNet50".to_string(),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_21_benchmarks() {
+        assert_eq!(training_suite().len(), 21);
+        assert_eq!(spec_accel_names().len(), 19);
+    }
+
+    #[test]
+    fn suite_names_are_unique() {
+        let mut names: Vec<&str> = training_suite().iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 21);
+    }
+
+    #[test]
+    fn all_profiles_validate() {
+        for k in training_suite() {
+            k.profile()
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+        }
+    }
+
+    #[test]
+    fn signatures_span_the_activity_plane() {
+        let spec = DeviceSpec::ga100();
+        let sigs = training_signatures(&spec);
+        assert_eq!(sigs.len(), 21);
+        let mut fp_lo = f64::INFINITY;
+        let mut fp_hi: f64 = 0.0;
+        let mut dram_lo = f64::INFINITY;
+        let mut dram_hi: f64 = 0.0;
+        for sig in &sigs {
+            let (fp, dram) = gpu_model::model::activities(&spec, sig, spec.max_core_mhz);
+            fp_lo = fp_lo.min(fp);
+            fp_hi = fp_hi.max(fp);
+            dram_lo = dram_lo.min(dram);
+            dram_hi = dram_hi.max(dram);
+        }
+        // The suite must cover low and high activity in both dimensions for
+        // the models to interpolate unseen applications.
+        assert!(fp_lo < 0.15 && fp_hi > 0.7, "fp coverage {fp_lo:.2}..{fp_hi:.2}");
+        assert!(dram_lo < 0.2 && dram_hi > 0.6, "dram coverage {dram_lo:.2}..{dram_hi:.2}");
+    }
+
+    #[test]
+    fn signature_runtimes_match_profile_targets() {
+        let spec = DeviceSpec::ga100();
+        for k in training_suite() {
+            let sig = k.signature(&spec);
+            let t = gpu_model::model::exec_time(&spec, &sig, spec.max_core_mhz);
+            let target = k.profile().target_seconds;
+            assert!(
+                (t - target).abs() / target < 0.25,
+                "{}: runtime {t:.1}s vs target {target}s",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn table2_lists_all_categories() {
+        let rows = table2_rows();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].1.contains("TPACF"));
+        assert!(rows[2].1.contains("ResNet50"));
+    }
+}

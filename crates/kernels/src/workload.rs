@@ -1,0 +1,208 @@
+//! The [`Kernel`] trait: a real CPU kernel plus its GPU efficiency profile.
+
+use crate::stats::KernelStats;
+use gpu_model::{DeviceSpec, PhasedWorkload, SignatureBuilder, WorkloadSignature};
+use serde::{Deserialize, Serialize};
+
+/// How a kernel behaves on an A100-class GPU: its roofline efficiencies and
+/// run-shape constants.
+///
+/// These are *calibration* constants (the CUDA implementations of the SPEC
+/// ACCEL workloads achieve characteristic fractions of peak); the work
+/// volume itself comes from the instrumented CPU run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuProfile {
+    /// Fraction of peak FLOP rate achieved when compute bound.
+    pub kappa_compute: f64,
+    /// Fraction of saturated bandwidth achieved when memory bound.
+    pub kappa_memory: f64,
+    /// FP64 fraction of floating-point work (FP32 otherwise).
+    pub fp64_ratio: f64,
+    /// Achieved SM occupancy.
+    pub sm_occupancy: f64,
+    /// PCIe transmit rate, MB/s.
+    pub pcie_tx_mbs: f64,
+    /// PCIe receive rate, MB/s.
+    pub pcie_rx_mbs: f64,
+    /// Fraction of wall time at the default clock that is DVFS-insensitive
+    /// (host work, kernel launches).
+    pub overhead_frac: f64,
+    /// Wall time the benchmark targets at the default clock, seconds. The
+    /// benchmark repeats its kernel to fill this (SPEC ACCEL workloads run
+    /// for tens of seconds).
+    pub target_seconds: f64,
+}
+
+impl GpuProfile {
+    /// Validates profile invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        for (v, name) in [
+            (self.kappa_compute, "kappa_compute"),
+            (self.kappa_memory, "kappa_memory"),
+        ] {
+            if !(0.0 < v && v <= 1.0) {
+                return Err(format!("{name} must be in (0,1], got {v}"));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.fp64_ratio) {
+            return Err(format!("fp64_ratio out of range: {}", self.fp64_ratio));
+        }
+        if !(0.0..=1.0).contains(&self.sm_occupancy) {
+            return Err(format!("sm_occupancy out of range: {}", self.sm_occupancy));
+        }
+        if !(0.0..=0.95).contains(&self.overhead_frac) {
+            return Err(format!("overhead_frac out of range: {}", self.overhead_frac));
+        }
+        if self.target_seconds <= 0.0 {
+            return Err("target_seconds must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// A benchmark kernel: a real CPU computation with exact operation counts,
+/// plus the profile describing its GPU-side behaviour.
+pub trait Kernel: Send + Sync {
+    /// Benchmark name as it appears in the paper's Table 2.
+    fn name(&self) -> &'static str;
+
+    /// Executes the kernel once at `scale` (a linear problem-size knob with
+    /// 1.0 = the default size) and returns exact operation counts.
+    fn run(&self, scale: f64) -> KernelStats;
+
+    /// The kernel's GPU efficiency profile.
+    fn profile(&self) -> GpuProfile;
+
+    /// Derives the GPU workload signature for this benchmark on `spec`:
+    /// runs the instrumented kernel, then scales the per-iteration work so
+    /// the benchmark fills `profile().target_seconds` at the default clock
+    /// (benchmarks loop their kernel; SPEC ACCEL runs for tens of seconds).
+    fn signature_for(&self, spec: &DeviceSpec, scale: f64) -> WorkloadSignature {
+        let profile = self.profile();
+        profile
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: invalid GPU profile: {e}", self.name()));
+        let stats = self.run(scale);
+        assert!(
+            stats.flops > 0.0 || stats.bytes > 0.0,
+            "{}: kernel did no measurable work",
+            self.name()
+        );
+
+        // Single-iteration GPU time at the default clock, from the rooflines.
+        let peak_flops = spec.peak_gflops_for_mix(profile.fp64_ratio) * 1e9;
+        let t_compute = stats.flops / (peak_flops * profile.kappa_compute);
+        let t_memory = stats.bytes / (spec.peak_bw_gbs * 1e9 * profile.kappa_memory);
+        let t_iter = t_compute.max(t_memory).max(1e-9);
+
+        let kernel_budget = profile.target_seconds * (1.0 - profile.overhead_frac);
+        let repeats = (kernel_budget / t_iter).max(1.0);
+
+        SignatureBuilder::new(self.name())
+            .flops(stats.flops * repeats)
+            .bytes(stats.bytes * repeats)
+            .overhead_s(profile.target_seconds * profile.overhead_frac)
+            .kappa_compute(profile.kappa_compute)
+            .kappa_memory(profile.kappa_memory)
+            .fp64_ratio(profile.fp64_ratio)
+            .sm_occupancy(profile.sm_occupancy)
+            .pcie_mbs(profile.pcie_tx_mbs, profile.pcie_rx_mbs)
+            .build()
+    }
+
+    /// Convenience: the signature at the default problem size.
+    fn signature(&self, spec: &DeviceSpec) -> WorkloadSignature {
+        self.signature_for(spec, 1.0)
+    }
+
+    /// The benchmark as a single-phase [`PhasedWorkload`].
+    fn workload(&self, spec: &DeviceSpec) -> PhasedWorkload {
+        PhasedWorkload::single(self.signature(spec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake;
+
+    impl Kernel for Fake {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+        fn run(&self, scale: f64) -> KernelStats {
+            KernelStats::new(1.0e9 * scale, 1.0e8 * scale, 42.0, 0.001)
+        }
+        fn profile(&self) -> GpuProfile {
+            GpuProfile {
+                kappa_compute: 0.8,
+                kappa_memory: 0.8,
+                fp64_ratio: 1.0,
+                sm_occupancy: 0.5,
+                pcie_tx_mbs: 10.0,
+                pcie_rx_mbs: 10.0,
+                overhead_frac: 0.05,
+                target_seconds: 20.0,
+            }
+        }
+    }
+
+    #[test]
+    fn signature_hits_target_runtime_at_default_clock() {
+        let spec = DeviceSpec::ga100();
+        let k = Fake;
+        let sig = k.signature(&spec);
+        let t = gpu_model::model::exec_time(&spec, &sig, spec.max_core_mhz);
+        let target = k.profile().target_seconds;
+        assert!(
+            (t - target).abs() / target < 0.05,
+            "runtime {t:.2}s vs target {target}s"
+        );
+    }
+
+    #[test]
+    fn signature_preserves_intensity() {
+        let spec = DeviceSpec::ga100();
+        let k = Fake;
+        let stats = k.run(1.0);
+        let sig = k.signature(&spec);
+        assert!((sig.arithmetic_intensity() - stats.intensity()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_changes_counts_not_intensity() {
+        let k = Fake;
+        let s1 = k.run(1.0);
+        let s4 = k.run(4.0);
+        assert_eq!(s4.flops, 4.0 * s1.flops);
+        assert!((s4.intensity() - s1.intensity()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_matches_profile_fraction() {
+        let spec = DeviceSpec::ga100();
+        let k = Fake;
+        let sig = k.signature(&spec);
+        let p = k.profile();
+        assert!((sig.overhead_s - p.target_seconds * p.overhead_frac).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_validation_catches_bad_kappa() {
+        let mut p = Fake.profile();
+        p.kappa_compute = 0.0;
+        assert!(p.validate().is_err());
+        p.kappa_compute = 0.5;
+        p.overhead_frac = 0.99;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn workload_is_single_phase() {
+        let spec = DeviceSpec::ga100();
+        let w = Fake.workload(&spec);
+        assert_eq!(w.phases.len(), 1);
+        assert_eq!(w.name, "fake");
+    }
+}

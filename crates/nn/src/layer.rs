@@ -1,0 +1,317 @@
+//! Fully-connected (dense) layer with cached forward state for backprop.
+
+use crate::activation::Activation;
+use serde::{Deserialize, Serialize};
+use tensor::{matmul, ops, Matrix};
+
+/// A dense layer computing `a = act(x @ W + b)`.
+///
+/// `W` is `(in_dim x out_dim)`, `b` is `(1 x out_dim)`. The layer caches the
+/// input and pre-activation of the most recent [`Dense::forward`] call so
+/// [`Dense::backward`] can compute gradients without recomputation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    weights: Matrix,
+    bias: Matrix,
+    activation: Activation,
+    #[serde(skip)]
+    cache: Option<ForwardCache>,
+}
+
+#[derive(Debug, Clone)]
+struct ForwardCache {
+    input: Matrix,
+    pre_activation: Matrix,
+    output: Matrix,
+}
+
+/// Gradients produced by one backward pass through a layer.
+#[derive(Debug, Clone)]
+pub struct LayerGrads {
+    /// Gradient of the loss w.r.t. the weight matrix (same shape as `W`).
+    pub weights: Matrix,
+    /// Gradient of the loss w.r.t. the bias (same shape as `b`).
+    pub bias: Matrix,
+}
+
+impl Dense {
+    /// Creates a layer from explicit parameters.
+    ///
+    /// # Panics
+    /// Panics if `bias` is not `1 x weights.cols()`.
+    pub fn new(weights: Matrix, bias: Matrix, activation: Activation) -> Self {
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), weights.cols(), "bias width must match weights");
+        Self { weights, bias, activation, cache: None }
+    }
+
+    /// Creates a layer with LeCun-normal weights and zero bias — the
+    /// initialization required for SELU self-normalization and a sound
+    /// default for the other activations at these widths.
+    pub fn init(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut impl rand::Rng) -> Self {
+        let weights = tensor::init::lecun_normal(in_dim, out_dim, rng);
+        let bias = Matrix::zeros(1, out_dim);
+        Self::new(weights, bias, activation)
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Immutable access to the weights.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Immutable access to the bias.
+    pub fn bias(&self) -> &Matrix {
+        &self.bias
+    }
+
+    /// Mutable access to the weights (used by optimizers).
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.weights
+    }
+
+    /// Mutable access to the bias (used by optimizers).
+    pub fn bias_mut(&mut self) -> &mut Matrix {
+        &mut self.bias
+    }
+
+    /// Forward pass for a `(batch x in_dim)` input, caching state for
+    /// [`Dense::backward`]. Returns the `(batch x out_dim)` activations.
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        self.forward_cached(input)
+    }
+
+    /// Forward pass without mutating the cache — for inference.
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let z = self.affine(input);
+        let mut a = z;
+        for r in 0..a.rows() {
+            self.activation.apply_row(a.row_mut(r));
+        }
+        a
+    }
+
+    fn affine(&self, input: &Matrix) -> Matrix {
+        let z = matmul::matmul(input, &self.weights).expect("layer/input width mismatch");
+        ops::add_row_broadcast(&z, &self.bias).expect("bias shape verified at construction")
+    }
+
+    fn forward_cached(&mut self, input: &Matrix) -> Matrix {
+        let pre = self.affine(input);
+        let mut out = pre.clone();
+        for r in 0..out.rows() {
+            self.activation.apply_row(out.row_mut(r));
+        }
+        self.cache = Some(ForwardCache {
+            input: input.clone(),
+            pre_activation: pre,
+            output: out.clone(),
+        });
+        out
+    }
+
+    /// Backward pass. `upstream` is `dL/da` for this layer's output
+    /// (`batch x out_dim`). Returns the parameter gradients (already averaged
+    /// over the batch) and `dL/dx` to propagate to the previous layer.
+    ///
+    /// # Panics
+    /// Panics if called before [`Dense::forward`].
+    pub fn backward(&mut self, upstream: &Matrix) -> (LayerGrads, Matrix) {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("backward called before forward");
+        let batch = upstream.rows().max(1);
+
+        // delta = dL/dz, via the activation's backward rule per row.
+        let mut delta = Matrix::zeros(upstream.rows(), upstream.cols());
+        for r in 0..upstream.rows() {
+            self.activation.backward_row(
+                cache.pre_activation.row(r),
+                cache.output.row(r),
+                upstream.row(r),
+                delta.row_mut(r),
+            );
+        }
+
+        // dL/dW = x^T delta / batch ; dL/db = column sums of delta / batch.
+        let grad_w = ops::scale(
+            &matmul::matmul(&cache.input.transpose(), &delta).expect("shapes from cache"),
+            1.0 / batch as f64,
+        );
+        let grad_b = ops::scale(&ops::sum_rows(&delta), 1.0 / batch as f64);
+
+        // dL/dx = delta W^T.
+        let downstream =
+            matmul::matmul(&delta, &self.weights.transpose()).expect("shapes from cache");
+
+        (LayerGrads { weights: grad_w, bias: grad_b }, downstream)
+    }
+
+    /// Drops the cached forward state (e.g. before serialization).
+    pub fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer_2x3() -> Dense {
+        let w = Matrix::from_vec(2, 3, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]).unwrap();
+        let b = Matrix::from_vec(1, 3, vec![0.01, 0.02, 0.03]).unwrap();
+        Dense::new(w, b, Activation::Linear)
+    }
+
+    #[test]
+    fn forward_computes_affine_for_linear() {
+        let mut l = layer_2x3();
+        let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]).unwrap();
+        let y = l.forward(&x);
+        // [1,2] @ W + b = [0.1+0.8, 0.2+1.0, 0.3+1.2] + b
+        assert!((y[(0, 0)] - 0.91).abs() < 1e-12);
+        assert!((y[(0, 1)] - 1.22).abs() < 1e-12);
+        assert!((y[(0, 2)] - 1.53).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Dense::init(4, 5, Activation::Selu, &mut rng);
+        let x = tensor::init::uniform(3, 4, -1.0, 1.0, &mut rng);
+        let a = l.forward(&x);
+        let b = l.infer(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_requires_forward() {
+        let mut l = layer_2x3();
+        let up = Matrix::zeros(1, 3);
+        let _ = l.backward(&up);
+    }
+
+    /// Finite-difference check of all gradients through a SELU layer.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = tensor::init::uniform(5, 3, -1.0, 1.0, &mut rng);
+        let target = tensor::init::uniform(5, 2, -1.0, 1.0, &mut rng);
+
+        let loss = |l: &Dense, x: &Matrix| -> f64 {
+            let y = l.infer(x);
+            let mut acc = 0.0;
+            for (p, t) in y.as_slice().iter().zip(target.as_slice()) {
+                acc += (p - t) * (p - t);
+            }
+            acc / (2.0 * y.rows() as f64)
+        };
+
+        let mut l = Dense::init(3, 2, Activation::Selu, &mut rng);
+        let y = l.forward(&x);
+        // dL/da for L = sum((a-t)^2) / (2 batch)
+        let mut upstream = Matrix::zeros(5, 2);
+        for i in 0..y.len() {
+            upstream.as_mut_slice()[i] = y.as_slice()[i] - target.as_slice()[i];
+        }
+        let (grads, _) = l.backward(&upstream);
+
+        let h = 1e-6;
+        for idx in 0..l.weights().len() {
+            let mut lp = l.clone();
+            lp.weights_mut().as_mut_slice()[idx] += h;
+            let mut lm = l.clone();
+            lm.weights_mut().as_mut_slice()[idx] -= h;
+            let numeric = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * h);
+            let analytic = grads.weights.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-5,
+                "weight {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        for idx in 0..l.bias().len() {
+            let mut lp = l.clone();
+            lp.bias_mut().as_mut_slice()[idx] += h;
+            let mut lm = l.clone();
+            lm.bias_mut().as_mut_slice()[idx] -= h;
+            let numeric = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * h);
+            let analytic = grads.bias.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-5,
+                "bias {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    /// Check dL/dx against finite differences.
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut l = Dense::init(3, 2, Activation::Tanh, &mut rng);
+        let x = tensor::init::uniform(2, 3, -1.0, 1.0, &mut rng);
+        let target = tensor::init::uniform(2, 2, -1.0, 1.0, &mut rng);
+
+        let loss = |l: &Dense, x: &Matrix| -> f64 {
+            let y = l.infer(x);
+            y.as_slice()
+                .iter()
+                .zip(target.as_slice())
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum::<f64>()
+                / (2.0 * y.rows() as f64)
+        };
+
+        let y = l.forward(&x);
+        let mut upstream = Matrix::zeros(2, 2);
+        for i in 0..y.len() {
+            upstream.as_mut_slice()[i] = (y.as_slice()[i] - target.as_slice()[i]) / 1.0;
+        }
+        let (_, dx) = l.backward(&upstream);
+
+        let h = 1e-6;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += h;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= h;
+            // Batch averaging: backward emits dL/dx for the *summed-over-batch
+            // /batch* loss, matching `loss` above.
+            let numeric = (loss(&l, &xp) - loss(&l, &xm)) / (2.0 * h);
+            let analytic = dx.as_slice()[idx] / y.rows() as f64;
+            assert!(
+                (numeric - analytic).abs() < 1e-5,
+                "input {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_drops_cache() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut l = Dense::init(2, 2, Activation::Relu, &mut rng);
+        let x = Matrix::zeros(1, 2);
+        l.forward(&x);
+        let json = serde_json::to_string(&l).unwrap();
+        let back: Dense = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.weights(), l.weights());
+        assert_eq!(back.bias(), l.bias());
+    }
+}

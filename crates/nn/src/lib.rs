@@ -1,0 +1,48 @@
+//! From-scratch feedforward neural network (FNN) used for the paper's power
+//! and performance models.
+//!
+//! The paper's configuration — three hidden layers of 64 neurons, SELU
+//! activation (Klambauer et al. 2017), RMSprop optimizer, MSE loss, batch
+//! size 64 — is expressible directly:
+//!
+//! ```
+//! use nn::{Activation, NetworkBuilder, OptimizerKind, TrainConfig};
+//! use tensor::Matrix;
+//!
+//! let net = NetworkBuilder::new(3)
+//!     .hidden(64, Activation::Selu)
+//!     .hidden(64, Activation::Selu)
+//!     .hidden(64, Activation::Selu)
+//!     .output(1, Activation::Linear)
+//!     .seed(42)
+//!     .build();
+//!
+//! let x = Matrix::from_rows(&[vec![0.9, 0.1, 1.0], vec![0.1, 0.8, 0.5]]).unwrap();
+//! let y = Matrix::col_vector(&[1.0, 0.3]);
+//! let mut trainer = nn::Trainer::new(net, TrainConfig {
+//!     epochs: 5,
+//!     batch_size: 2,
+//!     optimizer: OptimizerKind::RmsProp { lr: 1e-3, rho: 0.9, eps: 1e-7 },
+//!     ..TrainConfig::default()
+//! });
+//! let history = trainer.fit(&x, &y).unwrap();
+//! assert_eq!(history.train_loss.len(), 5);
+//! ```
+//!
+//! Everything is deterministic under an explicit seed; there is no global
+//! RNG anywhere in the training path.
+
+pub mod activation;
+pub mod layer;
+pub mod loss;
+pub mod metrics;
+pub mod network;
+pub mod optimizer;
+pub mod train;
+
+pub use activation::Activation;
+pub use layer::Dense;
+pub use loss::Loss;
+pub use network::{Network, NetworkBuilder};
+pub use optimizer::{Optimizer, OptimizerKind};
+pub use train::{TrainConfig, Trainer, TrainingHistory};

@@ -1,0 +1,150 @@
+//! Loss functions: value and gradient with respect to predictions.
+
+use serde::{Deserialize, Serialize};
+use tensor::Matrix;
+
+/// A differentiable training loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error, `mean((pred - target)^2)` — the paper's choice.
+    Mse,
+    /// Mean absolute error, `mean(|pred - target|)`.
+    Mae,
+    /// Huber loss with delta = 1 (quadratic near zero, linear in the tails).
+    Huber,
+}
+
+impl Loss {
+    /// Scalar loss over a whole batch.
+    ///
+    /// # Panics
+    /// Panics if shapes differ or the batch is empty.
+    pub fn value(&self, pred: &Matrix, target: &Matrix) -> f64 {
+        assert_eq!(pred.shape(), target.shape(), "loss operand shapes differ");
+        let n = pred.len();
+        assert!(n > 0, "loss of empty batch");
+        let acc: f64 = pred
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&p, &t)| self.point(p, t))
+            .sum();
+        acc / n as f64
+    }
+
+    /// Gradient `dL/dpred`, same shape as `pred`.
+    ///
+    /// The gradient is for the *mean* over the batch: each element is
+    /// divided by the element count, matching [`Loss::value`]. Layer
+    /// backward passes must therefore *not* divide by the batch size again —
+    /// see `Network::backward`, which multiplies it back out.
+    pub fn gradient(&self, pred: &Matrix, target: &Matrix) -> Matrix {
+        assert_eq!(pred.shape(), target.shape(), "loss operand shapes differ");
+        let n = pred.len().max(1) as f64;
+        let data = pred
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&p, &t)| self.point_grad(p, t) / n)
+            .collect();
+        Matrix::from_vec(pred.rows(), pred.cols(), data).expect("same shape as pred")
+    }
+
+    fn point(&self, p: f64, t: f64) -> f64 {
+        let d = p - t;
+        match self {
+            Loss::Mse => d * d,
+            Loss::Mae => d.abs(),
+            Loss::Huber => {
+                if d.abs() <= 1.0 {
+                    0.5 * d * d
+                } else {
+                    d.abs() - 0.5
+                }
+            }
+        }
+    }
+
+    fn point_grad(&self, p: f64, t: f64) -> f64 {
+        let d = p - t;
+        match self {
+            Loss::Mse => 2.0 * d,
+            Loss::Mae => {
+                if d > 0.0 {
+                    1.0
+                } else if d < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            Loss::Huber => d.clamp(-1.0, 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: &[f64]) -> Matrix {
+        Matrix::row_vector(v)
+    }
+
+    #[test]
+    fn mse_of_exact_prediction_is_zero() {
+        let p = m(&[1.0, 2.0]);
+        assert_eq!(Loss::Mse.value(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = m(&[1.0, 3.0]);
+        let t = m(&[0.0, 1.0]);
+        // (1 + 4) / 2
+        assert_eq!(Loss::Mse.value(&p, &t), 2.5);
+    }
+
+    #[test]
+    fn mae_known_value() {
+        let p = m(&[1.0, -3.0]);
+        let t = m(&[0.0, 1.0]);
+        assert_eq!(Loss::Mae.value(&p, &t), 2.5);
+    }
+
+    #[test]
+    fn huber_transitions_at_one() {
+        let small = Loss::Huber.value(&m(&[0.5]), &m(&[0.0]));
+        assert!((small - 0.125).abs() < 1e-12);
+        let large = Loss::Huber.value(&m(&[3.0]), &m(&[0.0]));
+        assert!((large - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let t = m(&[0.3, -0.7, 1.5]);
+        let p = m(&[0.5, 0.5, 0.5]);
+        let h = 1e-6;
+        for loss in [Loss::Mse, Loss::Mae, Loss::Huber] {
+            let g = loss.gradient(&p, &t);
+            for i in 0..3 {
+                let mut pp = p.clone();
+                pp.as_mut_slice()[i] += h;
+                let mut pm = p.clone();
+                pm.as_mut_slice()[i] -= h;
+                let numeric = (loss.value(&pp, &t) - loss.value(&pm, &t)) / (2.0 * h);
+                assert!(
+                    (numeric - g.as_slice()[i]).abs() < 1e-5,
+                    "{loss:?} idx {i}: {numeric} vs {}",
+                    g.as_slice()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes differ")]
+    fn mismatched_shapes_panic() {
+        let _ = Loss::Mse.value(&Matrix::zeros(1, 2), &Matrix::zeros(2, 1));
+    }
+}

@@ -1,0 +1,135 @@
+//! Regression quality metrics.
+//!
+//! The paper reports model quality as *accuracy* derived from the mean
+//! absolute percentage error: `accuracy = 100 - MAPE` (Section 5.1,
+//! Table 3). [`mape`] and [`accuracy_from_mape`] implement exactly that.
+
+/// Mean squared error between two equal-length slices.
+pub fn mse(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len());
+    if pred.is_empty() {
+        return f64::NAN;
+    }
+    pred.iter()
+        .zip(actual)
+        .map(|(&p, &a)| (p - a) * (p - a))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(pred: &[f64], actual: &[f64]) -> f64 {
+    mse(pred, actual).sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len());
+    if pred.is_empty() {
+        return f64::NAN;
+    }
+    pred.iter().zip(actual).map(|(&p, &a)| (p - a).abs()).sum::<f64>() / pred.len() as f64
+}
+
+/// Mean absolute percentage error, in percent.
+///
+/// Points where `actual == 0` are skipped (standard scikit-learn-adjacent
+/// behaviour for MAPE on strictly positive targets like watts and seconds).
+pub fn mape(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len());
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (&p, &a) in pred.iter().zip(actual) {
+        if a != 0.0 {
+            acc += ((p - a) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return f64::NAN;
+    }
+    100.0 * acc / n as f64
+}
+
+/// The paper's accuracy figure: `100 - MAPE`, clamped below at 0.
+pub fn accuracy_from_mape(pred: &[f64], actual: &[f64]) -> f64 {
+    (100.0 - mape(pred, actual)).max(0.0)
+}
+
+/// Coefficient of determination R².
+pub fn r2(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len());
+    if actual.is_empty() {
+        return f64::NAN;
+    }
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_res: f64 = pred.iter().zip(actual).map(|(&p, &a)| (a - p) * (a - p)).sum();
+    let ss_tot: f64 = actual.iter().map(|&a| (a - mean) * (a - mean)).sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { f64::NEG_INFINITY };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(mse(&y, &y), 0.0);
+        assert_eq!(mae(&y, &y), 0.0);
+        assert_eq!(mape(&y, &y), 0.0);
+        assert_eq!(accuracy_from_mape(&y, &y), 100.0);
+        assert_eq!(r2(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn mape_known_value() {
+        let pred = [110.0, 90.0];
+        let actual = [100.0, 100.0];
+        assert!((mape(&pred, &actual) - 10.0).abs() < 1e-12);
+        assert!((accuracy_from_mape(&pred, &actual) - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let pred = [5.0, 110.0];
+        let actual = [0.0, 100.0];
+        assert!((mape(&pred, &actual) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_all_zero_actuals_is_nan() {
+        assert!(mape(&[1.0], &[0.0]).is_nan());
+    }
+
+    #[test]
+    fn accuracy_clamped_at_zero() {
+        let pred = [500.0];
+        let actual = [100.0];
+        assert_eq!(accuracy_from_mape(&pred, &actual), 0.0);
+    }
+
+    #[test]
+    fn rmse_is_sqrt_of_mse() {
+        let pred = [2.0, 0.0];
+        let actual = [0.0, 0.0];
+        assert!((rmse(&pred, &actual) - (2.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let actual = [1.0, 2.0, 3.0];
+        let pred = [2.0, 2.0, 2.0];
+        assert!(r2(&pred, &actual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_constant_target() {
+        let actual = [2.0, 2.0];
+        assert_eq!(r2(&[2.0, 2.0], &actual), 1.0);
+        assert_eq!(r2(&[3.0, 1.0], &actual), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,285 @@
+//! A feedforward network: a stack of dense layers with backprop.
+
+use crate::activation::Activation;
+use crate::layer::Dense;
+use crate::loss::Loss;
+use crate::optimizer::Optimizer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tensor::Matrix;
+
+/// A feedforward neural network (multi-layer perceptron).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Network {
+    layers: Vec<Dense>,
+}
+
+impl Network {
+    /// Builds a network from explicit layers.
+    ///
+    /// # Panics
+    /// Panics if consecutive layer dimensions do not chain.
+    pub fn new(layers: Vec<Dense>) -> Self {
+        for w in layers.windows(2) {
+            assert_eq!(
+                w[0].out_dim(),
+                w[1].in_dim(),
+                "layer output {} does not feed next layer input {}",
+                w[0].out_dim(),
+                w[1].in_dim()
+            );
+        }
+        Self { layers }
+    }
+
+    /// The layers of the network.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Input feature count.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().map_or(0, Dense::in_dim)
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().map_or(0, Dense::out_dim)
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weights().len() + l.bias().len())
+            .sum()
+    }
+
+    /// Inference forward pass (no caches touched).
+    pub fn predict(&self, x: &Matrix) -> Matrix {
+        let mut a = x.clone();
+        for l in &self.layers {
+            a = l.infer(&a);
+        }
+        a
+    }
+
+    /// Convenience: predict a single feature vector, returning the outputs.
+    pub fn predict_one(&self, features: &[f64]) -> Vec<f64> {
+        self.predict(&Matrix::row_vector(features)).into_vec()
+    }
+
+    /// Training forward pass: caches per-layer state for [`Network::backward`].
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut a = x.clone();
+        for l in &mut self.layers {
+            a = l.forward(&a);
+        }
+        a
+    }
+
+    /// Runs backprop from `loss` at (`pred`, `target`) and applies one
+    /// optimizer step to every parameter tensor. Returns the batch loss.
+    ///
+    /// Must follow a [`Network::forward`] call on the same batch.
+    pub fn backward(&mut self, pred: &Matrix, target: &Matrix, loss: Loss, opt: &mut Optimizer) -> f64 {
+        let value = loss.value(pred, target);
+        // Loss::gradient averages over elements; layer backward averages
+        // over rows again. Compensate so the effective gradient is the
+        // gradient of the *mean over elements* exactly once.
+        let mut upstream = loss.gradient(pred, target);
+        let batch = pred.rows().max(1) as f64;
+        for v in upstream.as_mut_slice() {
+            *v *= batch;
+        }
+
+        opt.begin_step();
+        let mut grads_rev = Vec::with_capacity(self.layers.len());
+        for l in self.layers.iter_mut().rev() {
+            let (g, down) = l.backward(&upstream);
+            grads_rev.push(g);
+            upstream = down;
+        }
+        grads_rev.reverse();
+        for (i, (l, g)) in self.layers.iter_mut().zip(&grads_rev).enumerate() {
+            opt.update(2 * i, l.weights_mut(), &g.weights);
+            opt.update(2 * i + 1, l.bias_mut(), &g.bias);
+        }
+        value
+    }
+
+    /// Clears all cached forward state.
+    pub fn clear_caches(&mut self) {
+        for l in &mut self.layers {
+            l.clear_cache();
+        }
+    }
+
+    /// Serializes the network to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("network serializes")
+    }
+
+    /// Deserializes a network from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Fluent builder for [`Network`] with seeded initialization.
+///
+/// See the crate-level docs for the paper's 3x64 SELU configuration.
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    in_dim: usize,
+    specs: Vec<(usize, Activation)>,
+    seed: u64,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for a network with `in_dim` input features.
+    pub fn new(in_dim: usize) -> Self {
+        Self { in_dim, specs: Vec::new(), seed: 0 }
+    }
+
+    /// Appends a hidden layer of `width` neurons.
+    pub fn hidden(mut self, width: usize, activation: Activation) -> Self {
+        self.specs.push((width, activation));
+        self
+    }
+
+    /// Appends the output layer (call last).
+    pub fn output(mut self, width: usize, activation: Activation) -> Self {
+        self.specs.push((width, activation));
+        self
+    }
+
+    /// Sets the RNG seed used for weight initialization.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Initializes the network.
+    ///
+    /// # Panics
+    /// Panics if no layers were specified.
+    pub fn build(self) -> Network {
+        assert!(!self.specs.is_empty(), "network needs at least one layer");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut layers = Vec::with_capacity(self.specs.len());
+        let mut fan_in = self.in_dim;
+        for (width, act) in self.specs {
+            layers.push(Dense::init(fan_in, width, act, &mut rng));
+            fan_in = width;
+        }
+        Network::new(layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::OptimizerKind;
+
+    fn tiny_net(seed: u64) -> Network {
+        NetworkBuilder::new(2)
+            .hidden(8, Activation::Selu)
+            .hidden(8, Activation::Selu)
+            .output(1, Activation::Linear)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn builder_chains_dimensions() {
+        let net = tiny_net(0);
+        assert_eq!(net.in_dim(), 2);
+        assert_eq!(net.out_dim(), 1);
+        assert_eq!(net.layers().len(), 3);
+        assert_eq!(net.num_params(), 2 * 8 + 8 + 8 * 8 + 8 + 8 + 1);
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let a = tiny_net(7);
+        let b = tiny_net(7);
+        let c = tiny_net(8);
+        let x = Matrix::row_vector(&[0.3, -0.4]);
+        assert_eq!(a.predict(&x), b.predict(&x));
+        assert_ne!(a.predict(&x), c.predict(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not feed")]
+    fn mismatched_layers_panic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l1 = Dense::init(2, 4, Activation::Relu, &mut rng);
+        let l2 = Dense::init(5, 1, Activation::Linear, &mut rng);
+        let _ = Network::new(vec![l1, l2]);
+    }
+
+    /// End-to-end: a small net must fit y = x0 + 2*x1 almost exactly.
+    #[test]
+    fn learns_linear_function() {
+        let mut net = tiny_net(1);
+        let mut opt = OptimizerKind::Adam { lr: 0.01, beta1: 0.9, beta2: 0.999, eps: 1e-8 }.build();
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = tensor::init::uniform(256, 2, -1.0, 1.0, &mut rng);
+        let y_vals: Vec<f64> = x.rows_iter().map(|r| r[0] + 2.0 * r[1]).collect();
+        let y = Matrix::col_vector(&y_vals);
+
+        let mut last = f64::INFINITY;
+        for _ in 0..400 {
+            let pred = net.forward(&x);
+            last = net.backward(&pred, &y, Loss::Mse, &mut opt);
+        }
+        assert!(last < 1e-3, "final loss {last}");
+    }
+
+    /// SELU + RMSprop (the paper's recipe) learns a nonlinear target.
+    #[test]
+    fn learns_nonlinear_function_with_paper_recipe() {
+        let mut net = NetworkBuilder::new(2)
+            .hidden(16, Activation::Selu)
+            .hidden(16, Activation::Selu)
+            .output(1, Activation::Linear)
+            .seed(3)
+            .build();
+        let mut opt = OptimizerKind::paper_default().build();
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = tensor::init::uniform(512, 2, -1.0, 1.0, &mut rng);
+        let y_vals: Vec<f64> = x.rows_iter().map(|r| (r[0] * r[1]).tanh() + 0.5 * r[0]).collect();
+        let y = Matrix::col_vector(&y_vals);
+
+        let first = {
+            let pred = net.predict(&x);
+            Loss::Mse.value(&pred, &y)
+        };
+        let mut last = f64::INFINITY;
+        for _ in 0..600 {
+            let pred = net.forward(&x);
+            last = net.backward(&pred, &y, Loss::Mse, &mut opt);
+        }
+        assert!(last < first / 10.0, "loss went {first} -> {last}");
+    }
+
+    #[test]
+    fn predict_one_matches_predict() {
+        let net = tiny_net(5);
+        let f = [0.25, -0.75];
+        let a = net.predict_one(&f);
+        let b = net.predict(&Matrix::row_vector(&f));
+        assert_eq!(a, b.into_vec());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_predictions() {
+        let net = tiny_net(6);
+        let x = Matrix::row_vector(&[0.1, 0.9]);
+        let json = net.to_json();
+        let back = Network::from_json(&json).unwrap();
+        assert_eq!(net.predict(&x), back.predict(&x));
+    }
+}

@@ -1,0 +1,295 @@
+//! First-order optimizers.
+//!
+//! The paper swept Adam, Adamax, Nadam, RMSprop and AdaDelta before
+//! selecting RMSprop; all five (plus plain SGD with momentum) are
+//! implemented so the ablation benches can reproduce the sweep.
+//!
+//! Optimizers keep per-parameter-tensor state (first/second moment
+//! accumulators) keyed by a caller-supplied slot id — the network assigns
+//! one slot per weight matrix and one per bias vector.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tensor::Matrix;
+
+/// Serializable optimizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Stochastic gradient descent with optional momentum.
+    Sgd {
+        /// Learning rate.
+        lr: f64,
+        /// Momentum coefficient (0 disables momentum).
+        momentum: f64,
+    },
+    /// RMSprop (Tieleman & Hinton 2012) — the paper's optimizer.
+    RmsProp {
+        /// Learning rate.
+        lr: f64,
+        /// Decay rate of the squared-gradient moving average.
+        rho: f64,
+        /// Numerical-stability epsilon.
+        eps: f64,
+    },
+    /// Adam (Kingma & Ba 2015).
+    Adam {
+        /// Learning rate.
+        lr: f64,
+        /// First-moment decay.
+        beta1: f64,
+        /// Second-moment decay.
+        beta2: f64,
+        /// Numerical-stability epsilon.
+        eps: f64,
+    },
+    /// Adamax — Adam with an infinity-norm second moment.
+    Adamax {
+        /// Learning rate.
+        lr: f64,
+        /// First-moment decay.
+        beta1: f64,
+        /// Infinity-norm decay.
+        beta2: f64,
+        /// Numerical-stability epsilon.
+        eps: f64,
+    },
+    /// Nadam — Adam with Nesterov momentum.
+    Nadam {
+        /// Learning rate.
+        lr: f64,
+        /// First-moment decay.
+        beta1: f64,
+        /// Second-moment decay.
+        beta2: f64,
+        /// Numerical-stability epsilon.
+        eps: f64,
+    },
+    /// AdaDelta (Zeiler 2012); learning-rate free apart from `lr` scaling.
+    AdaDelta {
+        /// Output scaling (1.0 in the original formulation).
+        lr: f64,
+        /// Accumulator decay.
+        rho: f64,
+        /// Numerical-stability epsilon.
+        eps: f64,
+    },
+}
+
+impl OptimizerKind {
+    /// The paper's RMSprop configuration with Keras-default hyperparameters.
+    pub fn paper_default() -> Self {
+        OptimizerKind::RmsProp { lr: 1e-3, rho: 0.9, eps: 1e-7 }
+    }
+
+    /// Instantiates the stateful optimizer.
+    pub fn build(self) -> Optimizer {
+        Optimizer { kind: self, state: HashMap::new(), step: 0 }
+    }
+
+    /// Name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OptimizerKind::Sgd { .. } => "sgd",
+            OptimizerKind::RmsProp { .. } => "rmsprop",
+            OptimizerKind::Adam { .. } => "adam",
+            OptimizerKind::Adamax { .. } => "adamax",
+            OptimizerKind::Nadam { .. } => "nadam",
+            OptimizerKind::AdaDelta { .. } => "adadelta",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct SlotState {
+    /// First moment / momentum / squared-grad accumulator (by algorithm).
+    m: Vec<f64>,
+    /// Second moment / squared-update accumulator (by algorithm).
+    v: Vec<f64>,
+}
+
+/// Stateful optimizer that applies updates to parameter tensors.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    kind: OptimizerKind,
+    state: HashMap<usize, SlotState>,
+    step: u64,
+}
+
+impl Optimizer {
+    /// The configuration this optimizer was built from.
+    pub fn kind(&self) -> OptimizerKind {
+        self.kind
+    }
+
+    /// Number of completed optimization steps (batches).
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Advances the global step counter. Call once per batch, before
+    /// updating the slots of that batch (Adam-family bias correction uses
+    /// the step count).
+    pub fn begin_step(&mut self) {
+        self.step += 1;
+    }
+
+    /// Applies one update to the parameter tensor registered under `slot`.
+    ///
+    /// # Panics
+    /// Panics if `params` and `grads` shapes differ, or if a slot is reused
+    /// with a different tensor size.
+    pub fn update(&mut self, slot: usize, params: &mut Matrix, grads: &Matrix) {
+        assert_eq!(params.shape(), grads.shape(), "param/grad shape mismatch");
+        let n = params.len();
+        let st = self.state.entry(slot).or_default();
+        if st.m.is_empty() {
+            st.m = vec![0.0; n];
+            st.v = vec![0.0; n];
+        }
+        assert_eq!(st.m.len(), n, "slot {slot} reused with different size");
+
+        let p = params.as_mut_slice();
+        let g = grads.as_slice();
+        let t = self.step.max(1) as i32;
+
+        match self.kind {
+            OptimizerKind::Sgd { lr, momentum } => {
+                for i in 0..n {
+                    st.m[i] = momentum * st.m[i] - lr * g[i];
+                    p[i] += st.m[i];
+                }
+            }
+            OptimizerKind::RmsProp { lr, rho, eps } => {
+                for i in 0..n {
+                    st.v[i] = rho * st.v[i] + (1.0 - rho) * g[i] * g[i];
+                    p[i] -= lr * g[i] / (st.v[i].sqrt() + eps);
+                }
+            }
+            OptimizerKind::Adam { lr, beta1, beta2, eps } => {
+                let bc1 = 1.0 - beta1.powi(t);
+                let bc2 = 1.0 - beta2.powi(t);
+                for i in 0..n {
+                    st.m[i] = beta1 * st.m[i] + (1.0 - beta1) * g[i];
+                    st.v[i] = beta2 * st.v[i] + (1.0 - beta2) * g[i] * g[i];
+                    let mhat = st.m[i] / bc1;
+                    let vhat = st.v[i] / bc2;
+                    p[i] -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            }
+            OptimizerKind::Adamax { lr, beta1, beta2, eps } => {
+                let bc1 = 1.0 - beta1.powi(t);
+                for i in 0..n {
+                    st.m[i] = beta1 * st.m[i] + (1.0 - beta1) * g[i];
+                    st.v[i] = (beta2 * st.v[i]).max(g[i].abs());
+                    p[i] -= lr * (st.m[i] / bc1) / (st.v[i] + eps);
+                }
+            }
+            OptimizerKind::Nadam { lr, beta1, beta2, eps } => {
+                let bc1 = 1.0 - beta1.powi(t);
+                let bc1_next = 1.0 - beta1.powi(t + 1);
+                let bc2 = 1.0 - beta2.powi(t);
+                for i in 0..n {
+                    st.m[i] = beta1 * st.m[i] + (1.0 - beta1) * g[i];
+                    st.v[i] = beta2 * st.v[i] + (1.0 - beta2) * g[i] * g[i];
+                    let mhat = beta1 * st.m[i] / bc1_next + (1.0 - beta1) * g[i] / bc1;
+                    let vhat = st.v[i] / bc2;
+                    p[i] -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            }
+            OptimizerKind::AdaDelta { lr, rho, eps } => {
+                for i in 0..n {
+                    st.v[i] = rho * st.v[i] + (1.0 - rho) * g[i] * g[i];
+                    let update = -((st.m[i] + eps).sqrt() / (st.v[i] + eps).sqrt()) * g[i];
+                    st.m[i] = rho * st.m[i] + (1.0 - rho) * update * update;
+                    p[i] += lr * update;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All optimizers should make progress on a 1-D quadratic f(x) = x².
+    #[test]
+    fn all_optimizers_descend_quadratic() {
+        let kinds = [
+            OptimizerKind::Sgd { lr: 0.1, momentum: 0.9 },
+            OptimizerKind::RmsProp { lr: 0.05, rho: 0.9, eps: 1e-7 },
+            OptimizerKind::Adam { lr: 0.1, beta1: 0.9, beta2: 0.999, eps: 1e-8 },
+            OptimizerKind::Adamax { lr: 0.1, beta1: 0.9, beta2: 0.999, eps: 1e-8 },
+            OptimizerKind::Nadam { lr: 0.1, beta1: 0.9, beta2: 0.999, eps: 1e-8 },
+            OptimizerKind::AdaDelta { lr: 1.0, rho: 0.95, eps: 1e-6 },
+        ];
+        for kind in kinds {
+            let mut opt = kind.build();
+            let mut x = Matrix::from_vec(1, 1, vec![5.0]).unwrap();
+            // AdaDelta's effective step starts near sqrt(eps) and grows
+            // slowly, so the budget is generous for all algorithms.
+            for _ in 0..3000 {
+                opt.begin_step();
+                let g = Matrix::from_vec(1, 1, vec![2.0 * x[(0, 0)]]).unwrap();
+                opt.update(0, &mut x, &g);
+            }
+            assert!(
+                x[(0, 0)].abs() < 1.0,
+                "{} failed to descend: ended at {}",
+                kind.name(),
+                x[(0, 0)]
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_without_momentum_is_plain_descent() {
+        let mut opt = OptimizerKind::Sgd { lr: 0.5, momentum: 0.0 }.build();
+        let mut x = Matrix::from_vec(1, 1, vec![2.0]).unwrap();
+        opt.begin_step();
+        let g = Matrix::from_vec(1, 1, vec![1.0]).unwrap();
+        opt.update(0, &mut x, &g);
+        assert!((x[(0, 0)] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmsprop_first_step_is_lr_over_sqrt_one_minus_rho() {
+        let (lr, rho, eps) = (0.01, 0.9, 0.0);
+        let mut opt = OptimizerKind::RmsProp { lr, rho, eps }.build();
+        let mut x = Matrix::from_vec(1, 1, vec![0.0]).unwrap();
+        opt.begin_step();
+        let g = Matrix::from_vec(1, 1, vec![3.0]).unwrap();
+        opt.update(0, &mut x, &g);
+        // v = 0.1 * 9 = 0.9; step = lr * 3 / sqrt(0.9)
+        let expect = -lr * 3.0 / (0.9f64).sqrt();
+        assert!((x[(0, 0)] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slots_keep_independent_state() {
+        let mut opt = OptimizerKind::Adam { lr: 0.1, beta1: 0.9, beta2: 0.999, eps: 1e-8 }.build();
+        let mut a = Matrix::from_vec(1, 1, vec![1.0]).unwrap();
+        let mut b = Matrix::from_vec(1, 2, vec![1.0, 1.0]).unwrap();
+        opt.begin_step();
+        opt.update(0, &mut a, &Matrix::from_vec(1, 1, vec![1.0]).unwrap());
+        opt.update(1, &mut b, &Matrix::from_vec(1, 2, vec![1.0, 1.0]).unwrap());
+        // No panic: different sizes in different slots are fine.
+        assert!(a[(0, 0)] < 1.0 && b[(0, 0)] < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different size")]
+    fn reusing_slot_with_different_size_panics() {
+        let mut opt = OptimizerKind::paper_default().build();
+        let mut a = Matrix::zeros(1, 1);
+        let mut b = Matrix::zeros(1, 2);
+        opt.begin_step();
+        opt.update(0, &mut a, &Matrix::zeros(1, 1));
+        opt.update(0, &mut b, &Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn paper_default_is_rmsprop() {
+        assert_eq!(OptimizerKind::paper_default().name(), "rmsprop");
+    }
+}

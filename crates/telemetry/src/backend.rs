@@ -1,0 +1,173 @@
+//! The hardware abstraction: clock control + profiled execution.
+
+use gpu_model::{DeviceSpec, DvfsGrid, MetricSample, NoiseModel, PhasedWorkload};
+use parking_lot::Mutex;
+
+/// Errors from backend operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendError {
+    /// Requested clock is not a supported DVFS state.
+    UnsupportedClock {
+        /// The requested frequency in MHz.
+        requested: f64,
+        /// The closest supported state.
+        nearest: f64,
+    },
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::UnsupportedClock { requested, nearest } => write!(
+                f,
+                "clock {requested} MHz is not a supported DVFS state (nearest: {nearest} MHz)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// A GPU that can have its application clock set and run profiled
+/// workloads. Implemented by [`SimulatorBackend`]; a DCGM/NVML-backed
+/// implementation would satisfy the same contract on real hardware.
+pub trait GpuBackend: Send + Sync {
+    /// Static device description.
+    fn spec(&self) -> &DeviceSpec;
+
+    /// The device's DVFS grid.
+    fn grid(&self) -> &DvfsGrid;
+
+    /// Sets the SM application clock. Fails for off-grid frequencies.
+    fn set_app_clock(&self, mhz: f64) -> Result<(), BackendError>;
+
+    /// Currently applied SM application clock.
+    fn app_clock(&self) -> f64;
+
+    /// Resets the clock to the device default (max frequency).
+    fn reset_clock(&self) {
+        self.set_app_clock(self.spec().max_core_mhz)
+            .expect("default clock is always supported");
+    }
+
+    /// Executes `workload` once at the current clock, returning the
+    /// aggregate metric sample for run index `run`.
+    fn run_profiled(&self, workload: &PhasedWorkload, run: u32) -> MetricSample;
+}
+
+/// Simulated GPU device over the `gpu-model` crate.
+#[derive(Debug)]
+pub struct SimulatorBackend {
+    spec: DeviceSpec,
+    grid: DvfsGrid,
+    noise: NoiseModel,
+    clock: Mutex<f64>,
+}
+
+impl SimulatorBackend {
+    /// Creates a simulated device with the given noise model.
+    pub fn new(spec: DeviceSpec, noise: NoiseModel) -> Self {
+        let grid = DvfsGrid::for_spec(&spec);
+        let clock = Mutex::new(spec.max_core_mhz);
+        Self { spec, grid, noise, clock }
+    }
+
+    /// A GA100 device with benchmark-calibrated noise.
+    pub fn ga100() -> Self {
+        Self::new(DeviceSpec::ga100(), NoiseModel::default_bench())
+    }
+
+    /// A GV100 device with benchmark-calibrated noise.
+    pub fn gv100() -> Self {
+        Self::new(DeviceSpec::gv100(), NoiseModel::default_bench())
+    }
+}
+
+impl GpuBackend for SimulatorBackend {
+    fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    fn grid(&self) -> &DvfsGrid {
+        &self.grid
+    }
+
+    fn set_app_clock(&self, mhz: f64) -> Result<(), BackendError> {
+        if !self.grid.is_supported(mhz) {
+            return Err(BackendError::UnsupportedClock {
+                requested: mhz,
+                nearest: self.grid.nearest(mhz),
+            });
+        }
+        *self.clock.lock() = mhz;
+        Ok(())
+    }
+
+    fn app_clock(&self) -> f64 {
+        *self.clock.lock()
+    }
+
+    fn run_profiled(&self, workload: &PhasedWorkload, run: u32) -> MetricSample {
+        let mhz = self.app_clock();
+        workload.measure(&self.spec, mhz, run, &self.noise)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_model::SignatureBuilder;
+
+    fn workload() -> PhasedWorkload {
+        PhasedWorkload::single(
+            SignatureBuilder::new("w").flops(1.0e13).bytes(1.0e11).build(),
+        )
+    }
+
+    #[test]
+    fn default_clock_is_max() {
+        let b = SimulatorBackend::ga100();
+        assert_eq!(b.app_clock(), 1410.0);
+    }
+
+    #[test]
+    fn set_clock_round_trips() {
+        let b = SimulatorBackend::ga100();
+        b.set_app_clock(1005.0).unwrap();
+        assert_eq!(b.app_clock(), 1005.0);
+        b.reset_clock();
+        assert_eq!(b.app_clock(), 1410.0);
+    }
+
+    #[test]
+    fn off_grid_clock_rejected_with_nearest_hint() {
+        let b = SimulatorBackend::ga100();
+        let err = b.set_app_clock(1000.0).unwrap_err();
+        assert_eq!(
+            err,
+            BackendError::UnsupportedClock { requested: 1000.0, nearest: 1005.0 }
+        );
+        // Clock unchanged after the failed set.
+        assert_eq!(b.app_clock(), 1410.0);
+    }
+
+    #[test]
+    fn profiled_run_reflects_current_clock() {
+        let b = SimulatorBackend::ga100();
+        let w = workload();
+        b.set_app_clock(705.0).unwrap();
+        let low = b.run_profiled(&w, 0);
+        b.set_app_clock(1410.0).unwrap();
+        let high = b.run_profiled(&w, 0);
+        assert_eq!(low.sm_app_clock, 705.0);
+        assert!(low.exec_time > high.exec_time);
+        assert!(low.power_usage < high.power_usage);
+    }
+
+    #[test]
+    fn gv100_backend_uses_volta_grid() {
+        let b = SimulatorBackend::gv100();
+        assert_eq!(b.grid().num_used(), 117);
+        assert_eq!(b.app_clock(), 1380.0);
+    }
+}

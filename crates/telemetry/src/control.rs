@@ -1,0 +1,80 @@
+//! Control module: applies DVFS configurations (paper Section 4.1).
+
+use crate::backend::{BackendError, GpuBackend};
+
+/// Wraps a backend with validated clock control and an RAII reset guard.
+pub struct ClockController<'a, B: GpuBackend + ?Sized> {
+    backend: &'a B,
+}
+
+impl<'a, B: GpuBackend + ?Sized> ClockController<'a, B> {
+    /// Creates a controller over `backend`.
+    pub fn new(backend: &'a B) -> Self {
+        Self { backend }
+    }
+
+    /// Applies a clock, snapping to the nearest supported state first.
+    pub fn apply_nearest(&self, mhz: f64) -> f64 {
+        let snapped = self.backend.grid().nearest(mhz);
+        self.backend
+            .set_app_clock(snapped)
+            .expect("nearest() returns a supported state");
+        snapped
+    }
+
+    /// Applies an exact clock; errors if off grid.
+    pub fn apply(&self, mhz: f64) -> Result<(), BackendError> {
+        self.backend.set_app_clock(mhz)
+    }
+
+    /// Returns a guard that restores the default clock when dropped.
+    pub fn scoped(&self, mhz: f64) -> Result<ClockGuard<'_, B>, BackendError> {
+        self.backend.set_app_clock(mhz)?;
+        Ok(ClockGuard { backend: self.backend })
+    }
+}
+
+/// Restores the default (maximum) clock on drop.
+pub struct ClockGuard<'a, B: GpuBackend + ?Sized> {
+    backend: &'a B,
+}
+
+impl<B: GpuBackend + ?Sized> Drop for ClockGuard<'_, B> {
+    fn drop(&mut self) {
+        self.backend.reset_clock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SimulatorBackend;
+
+    #[test]
+    fn apply_nearest_snaps() {
+        let b = SimulatorBackend::ga100();
+        let c = ClockController::new(&b);
+        let applied = c.apply_nearest(1001.0);
+        assert_eq!(applied, 1005.0);
+        assert_eq!(b.app_clock(), 1005.0);
+    }
+
+    #[test]
+    fn apply_exact_errors_off_grid() {
+        let b = SimulatorBackend::ga100();
+        let c = ClockController::new(&b);
+        assert!(c.apply(1002.0).is_err());
+        assert!(c.apply(1005.0).is_ok());
+    }
+
+    #[test]
+    fn scoped_guard_restores_default() {
+        let b = SimulatorBackend::ga100();
+        let c = ClockController::new(&b);
+        {
+            let _guard = c.scoped(510.0).unwrap();
+            assert_eq!(b.app_clock(), 510.0);
+        }
+        assert_eq!(b.app_clock(), 1410.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! CSV persistence for collected metric samples (the launch module's
+//! output format).
+
+use gpu_model::MetricSample;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes samples to `path` as CSV with the standard header.
+pub fn write_samples(path: &Path, samples: &[MetricSample]) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut out = BufWriter::new(file);
+    writeln!(out, "{}", MetricSample::csv_header().replace(' ', ""))?;
+    for s in samples {
+        writeln!(out, "{}", s.to_csv_row())?;
+    }
+    out.flush()
+}
+
+/// Reads samples back from a CSV file written by [`write_samples`].
+pub fn read_samples(path: &Path) -> std::io::Result<Vec<MetricSample>> {
+    let file = std::fs::File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if lineno == 0 || line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_row(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?);
+    }
+    Ok(out)
+}
+
+fn parse_row(line: &str) -> Result<MetricSample, String> {
+    let cols: Vec<&str> = line.split(',').collect();
+    if cols.len() != 14 {
+        return Err(format!("expected 14 columns, got {}", cols.len()));
+    }
+    let f = |i: usize| -> Result<f64, String> {
+        cols[i]
+            .trim()
+            .parse::<f64>()
+            .map_err(|e| format!("column {i} ({:?}): {e}", cols[i]))
+    };
+    Ok(MetricSample {
+        workload: cols[0].to_string(),
+        run: cols[1].trim().parse::<u32>().map_err(|e| e.to_string())?,
+        fp64_active: f(2)?,
+        fp32_active: f(3)?,
+        sm_app_clock: f(4)?,
+        dram_active: f(5)?,
+        gr_engine_active: f(6)?,
+        gpu_utilization: f(7)?,
+        power_usage: f(8)?,
+        sm_active: f(9)?,
+        sm_occupancy: f(10)?,
+        pcie_tx_bytes: f(11)?,
+        pcie_rx_bytes: f(12)?,
+        exec_time: f(13)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_model::{DeviceSpec, NoiseModel, SignatureBuilder};
+
+    fn samples() -> Vec<MetricSample> {
+        let spec = DeviceSpec::ga100();
+        let sig = SignatureBuilder::new("csvtest").flops(1e12).bytes(1e10).build();
+        (0..3)
+            .map(|r| gpu_model::sample::measure(&spec, &sig, 1410.0, r, &NoiseModel::default_bench()))
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_key_fields() {
+        let dir = std::env::temp_dir().join("gpu_dvfs_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        let orig = samples();
+        write_samples(&path, &orig).unwrap();
+        let back = read_samples(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        for (a, b) in orig.iter().zip(&back) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.run, b.run);
+            assert_eq!(a.sm_app_clock, b.sm_app_clock);
+            // Values are printed with 6 decimals; compare loosely.
+            assert!((a.power_usage - b.power_usage).abs() < 1e-2);
+            assert!((a.fp64_active - b.fp64_active).abs() < 1e-5);
+            assert!((a.exec_time - b.exec_time).abs() < 1e-5);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_has_14_columns() {
+        assert_eq!(
+            MetricSample::csv_header().replace(' ', "").split(',').count(),
+            14
+        );
+    }
+
+    #[test]
+    fn malformed_row_is_reported_with_line_number() {
+        let dir = std::env::temp_dir().join("gpu_dvfs_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "header\nnot,enough,columns\n").unwrap();
+        let err = read_samples(&path).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_reads_empty() {
+        let dir = std::env::temp_dir().join("gpu_dvfs_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.csv");
+        write_samples(&path, &[]).unwrap();
+        assert!(read_samples(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

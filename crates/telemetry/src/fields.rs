@@ -1,0 +1,144 @@
+//! Field identifiers for the collected metrics, mirroring DCGM's
+//! `DCGM_FI_*` identifier scheme.
+
+use serde::{Deserialize, Serialize};
+
+/// The twelve metrics the paper collects (Section 4.1), tagged with
+/// DCGM-style numeric field ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FieldId {
+    /// FP64 engine activity (DCGM 1006).
+    Fp64Active,
+    /// FP32 engine activity (DCGM 1007).
+    Fp32Active,
+    /// SM application clock (DCGM 100).
+    SmAppClock,
+    /// DRAM activity (DCGM 1005).
+    DramActive,
+    /// Graphics engine activity (DCGM 1001).
+    GrEngineActive,
+    /// Coarse GPU utilization (DCGM 203).
+    GpuUtilization,
+    /// Board power draw (DCGM 155).
+    PowerUsage,
+    /// SM active fraction (DCGM 1002).
+    SmActive,
+    /// SM occupancy (DCGM 1003).
+    SmOccupancy,
+    /// PCIe transmitted bytes (DCGM 1009).
+    PcieTxBytes,
+    /// PCIe received bytes (DCGM 1010).
+    PcieRxBytes,
+    /// Wall-clock execution time of the profiled run (framework-side).
+    ExecTime,
+}
+
+impl FieldId {
+    /// All twelve fields in the paper's listing order.
+    pub fn all() -> [FieldId; 12] {
+        [
+            FieldId::Fp64Active,
+            FieldId::Fp32Active,
+            FieldId::SmAppClock,
+            FieldId::DramActive,
+            FieldId::GrEngineActive,
+            FieldId::GpuUtilization,
+            FieldId::PowerUsage,
+            FieldId::SmActive,
+            FieldId::SmOccupancy,
+            FieldId::PcieTxBytes,
+            FieldId::PcieRxBytes,
+            FieldId::ExecTime,
+        ]
+    }
+
+    /// DCGM-style numeric id.
+    pub fn dcgm_id(&self) -> u16 {
+        match self {
+            FieldId::Fp64Active => 1006,
+            FieldId::Fp32Active => 1007,
+            FieldId::SmAppClock => 100,
+            FieldId::DramActive => 1005,
+            FieldId::GrEngineActive => 1001,
+            FieldId::GpuUtilization => 203,
+            FieldId::PowerUsage => 155,
+            FieldId::SmActive => 1002,
+            FieldId::SmOccupancy => 1003,
+            FieldId::PcieTxBytes => 1009,
+            FieldId::PcieRxBytes => 1010,
+            FieldId::ExecTime => 0,
+        }
+    }
+
+    /// Snake-case metric name as used in the paper and the CSV header.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FieldId::Fp64Active => "fp64_active",
+            FieldId::Fp32Active => "fp32_active",
+            FieldId::SmAppClock => "sm_app_clock",
+            FieldId::DramActive => "dram_active",
+            FieldId::GrEngineActive => "gr_engine_active",
+            FieldId::GpuUtilization => "gpu_utilization",
+            FieldId::PowerUsage => "power_usage",
+            FieldId::SmActive => "sm_active",
+            FieldId::SmOccupancy => "sm_occupancy",
+            FieldId::PcieTxBytes => "pcie_tx_bytes",
+            FieldId::PcieRxBytes => "pcie_rx_bytes",
+            FieldId::ExecTime => "exec_time",
+        }
+    }
+
+    /// Extracts this field's value from a metric sample.
+    pub fn extract(&self, s: &gpu_model::MetricSample) -> f64 {
+        match self {
+            FieldId::Fp64Active => s.fp64_active,
+            FieldId::Fp32Active => s.fp32_active,
+            FieldId::SmAppClock => s.sm_app_clock,
+            FieldId::DramActive => s.dram_active,
+            FieldId::GrEngineActive => s.gr_engine_active,
+            FieldId::GpuUtilization => s.gpu_utilization,
+            FieldId::PowerUsage => s.power_usage,
+            FieldId::SmActive => s.sm_active,
+            FieldId::SmOccupancy => s.sm_occupancy,
+            FieldId::PcieTxBytes => s.pcie_tx_bytes,
+            FieldId::PcieRxBytes => s.pcie_rx_bytes,
+            FieldId::ExecTime => s.exec_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_fields_listed() {
+        assert_eq!(FieldId::all().len(), 12);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = FieldId::all().iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn dcgm_ids_match_documented_values() {
+        assert_eq!(FieldId::PowerUsage.dcgm_id(), 155);
+        assert_eq!(FieldId::GrEngineActive.dcgm_id(), 1001);
+        assert_eq!(FieldId::SmAppClock.dcgm_id(), 100);
+    }
+
+    #[test]
+    fn extract_pulls_matching_field() {
+        use gpu_model::{DeviceSpec, NoiseModel, SignatureBuilder};
+        let spec = DeviceSpec::ga100();
+        let sig = SignatureBuilder::new("t").flops(1e12).bytes(1e10).build();
+        let s = gpu_model::sample::measure(&spec, &sig, 1200.0, 0, &NoiseModel::none());
+        assert_eq!(FieldId::SmAppClock.extract(&s), 1200.0);
+        assert_eq!(FieldId::PowerUsage.extract(&s), s.power_usage);
+        assert_eq!(FieldId::ExecTime.extract(&s), s.exec_time);
+    }
+}

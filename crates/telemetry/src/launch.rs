@@ -1,0 +1,162 @@
+//! Launch module: orchestrates a data-collection campaign
+//! (paper Section 4.1).
+//!
+//! A campaign specifies the DVFS configurations, the workloads, the number
+//! of repeated runs and the output path. Samples are streamed from the
+//! collection loop to the CSV writer over a crossbeam channel, so results
+//! land on disk as they are produced — the shape a long-running collection
+//! framework needs when a campaign takes hours on real hardware.
+
+use crate::backend::GpuBackend;
+use crate::control::ClockController;
+use crate::csv;
+use crate::profiler::Profiler;
+use crossbeam::channel;
+use gpu_model::{MetricSample, PhasedWorkload};
+use std::path::PathBuf;
+
+/// Configuration of one collection campaign.
+#[derive(Debug, Clone)]
+pub struct LaunchConfig {
+    /// DVFS configurations to sweep (MHz); empty = all used grid states.
+    pub frequencies: Vec<f64>,
+    /// Repeated runs per (workload, frequency) pair; the paper uses 3.
+    pub runs: u32,
+    /// Optional CSV output path.
+    pub output: Option<PathBuf>,
+}
+
+impl Default for LaunchConfig {
+    fn default() -> Self {
+        Self { frequencies: Vec::new(), runs: 3, output: None }
+    }
+}
+
+/// A campaign bound to a backend.
+pub struct CollectionCampaign<'a, B: GpuBackend + ?Sized> {
+    backend: &'a B,
+    config: LaunchConfig,
+}
+
+impl<'a, B: GpuBackend + ?Sized> CollectionCampaign<'a, B> {
+    /// Creates a campaign on `backend`.
+    pub fn new(backend: &'a B, config: LaunchConfig) -> Self {
+        Self { backend, config }
+    }
+
+    /// The frequencies this campaign will sweep.
+    pub fn frequencies(&self) -> Vec<f64> {
+        if self.config.frequencies.is_empty() {
+            self.backend.grid().used()
+        } else {
+            self.config.frequencies.clone()
+        }
+    }
+
+    /// Runs the campaign: for every workload × frequency × run, applies the
+    /// clock, profiles the execution, and streams the sample out. Returns
+    /// all samples; also writes the CSV if configured.
+    pub fn collect(&self, workloads: &[PhasedWorkload]) -> std::io::Result<Vec<MetricSample>> {
+        let freqs = self.frequencies();
+        let controller = ClockController::new(self.backend);
+        let profiler = Profiler::new(self.backend);
+
+        let (tx, rx) = channel::unbounded::<MetricSample>();
+        let collector = std::thread::spawn(move || {
+            let mut all = Vec::new();
+            while let Ok(s) = rx.recv() {
+                all.push(s);
+            }
+            all
+        });
+
+        for workload in workloads {
+            for &f in &freqs {
+                let applied = controller.apply_nearest(f);
+                debug_assert_eq!(applied, f, "campaign frequencies must be on grid");
+                for run in 0..self.config.runs {
+                    let profile = profiler.profile_run(workload, run);
+                    tx.send(profile.sample).expect("collector thread alive");
+                }
+            }
+        }
+        drop(tx);
+        let samples = collector.join().expect("collector thread panicked");
+
+        // Leave the device at its default clock, as the paper's framework
+        // does after a campaign.
+        self.backend.reset_clock();
+
+        if let Some(path) = &self.config.output {
+            csv::write_samples(path, &samples)?;
+        }
+        Ok(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SimulatorBackend;
+    use gpu_model::SignatureBuilder;
+
+    fn workloads() -> Vec<PhasedWorkload> {
+        vec![
+            PhasedWorkload::single(SignatureBuilder::new("wa").flops(1e13).bytes(1e11).build()),
+            PhasedWorkload::single(SignatureBuilder::new("wb").flops(1e11).bytes(1e12).build()),
+        ]
+    }
+
+    #[test]
+    fn sweeps_all_used_frequencies_by_default() {
+        let b = SimulatorBackend::ga100();
+        let c = CollectionCampaign::new(&b, LaunchConfig { runs: 1, ..Default::default() });
+        let samples = c.collect(&workloads()).unwrap();
+        assert_eq!(samples.len(), 2 * 61);
+    }
+
+    #[test]
+    fn respects_explicit_frequency_list_and_runs() {
+        let b = SimulatorBackend::ga100();
+        let cfg = LaunchConfig { frequencies: vec![510.0, 1410.0], runs: 3, output: None };
+        let c = CollectionCampaign::new(&b, cfg);
+        let samples = c.collect(&workloads()).unwrap();
+        assert_eq!(samples.len(), 2 * 2 * 3);
+        assert!(samples.iter().all(|s| s.sm_app_clock == 510.0 || s.sm_app_clock == 1410.0));
+    }
+
+    #[test]
+    fn resets_clock_after_campaign() {
+        let b = SimulatorBackend::ga100();
+        let cfg = LaunchConfig { frequencies: vec![510.0], runs: 1, output: None };
+        CollectionCampaign::new(&b, cfg).collect(&workloads()).unwrap();
+        assert_eq!(b.app_clock(), 1410.0);
+    }
+
+    #[test]
+    fn writes_csv_when_configured() {
+        let dir = std::env::temp_dir().join("gpu_dvfs_launch_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.csv");
+        let b = SimulatorBackend::ga100();
+        let cfg = LaunchConfig {
+            frequencies: vec![1410.0],
+            runs: 2,
+            output: Some(path.clone()),
+        };
+        let samples = CollectionCampaign::new(&b, cfg).collect(&workloads()).unwrap();
+        let back = crate::csv::read_samples(&path).unwrap();
+        assert_eq!(back.len(), samples.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn samples_are_grouped_by_workload_then_frequency() {
+        let b = SimulatorBackend::ga100();
+        let cfg = LaunchConfig { frequencies: vec![510.0, 1410.0], runs: 1, output: None };
+        let samples = CollectionCampaign::new(&b, cfg).collect(&workloads()).unwrap();
+        assert_eq!(samples[0].workload, "wa");
+        assert_eq!(samples[1].workload, "wa");
+        assert_eq!(samples[2].workload, "wb");
+    }
+}

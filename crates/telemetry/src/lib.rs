@@ -1,0 +1,32 @@
+//! DCGM-like GPU data-collection framework (paper Section 4.1).
+//!
+//! The paper's framework is "transparent and extensible (no compiling or
+//! linking needed)" and consists of three modules, reproduced here one to
+//! one:
+//!
+//! * the **launch module** ([`launch`]) orchestrates a collection campaign:
+//!   which DVFS configurations, which workloads, how many runs, where the
+//!   CSV results go;
+//! * the **control module** ([`control`]) applies core-clock settings
+//!   through the backend (DCGM's `dcgmi config --set` equivalent);
+//! * the **profile module** ([`profiler`]) runs a workload and samples the
+//!   twelve utilization metrics over its execution.
+//!
+//! The hardware is abstracted behind [`backend::GpuBackend`]; this
+//! repository ships the [`backend::SimulatorBackend`] over the `gpu-model`
+//! crate, and a real NVML/DCGM backend could be slotted in without touching
+//! the pipeline.
+
+pub mod backend;
+pub mod control;
+pub mod csv;
+pub mod fields;
+pub mod launch;
+pub mod profiler;
+pub mod replay;
+
+pub use backend::{GpuBackend, SimulatorBackend};
+pub use replay::ReplayBackend;
+pub use control::ClockController;
+pub use launch::{CollectionCampaign, LaunchConfig};
+pub use profiler::Profiler;

@@ -1,0 +1,209 @@
+//! Profile module: runs workloads and collects metrics (paper Section 4.1).
+
+use crate::backend::GpuBackend;
+use gpu_model::sample::SAMPLING_INTERVAL_S;
+use gpu_model::{MetricSample, PhasedWorkload};
+use serde::{Deserialize, Serialize};
+
+/// One profiled execution: the aggregate sample plus collection metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunProfile {
+    /// Aggregate metrics over the run.
+    pub sample: MetricSample,
+    /// Number of 20 ms sampling intervals the run spanned.
+    pub intervals: u64,
+    /// Sampling interval used, seconds.
+    pub interval_s: f64,
+}
+
+/// Runs workloads on a backend and gathers their metric samples.
+pub struct Profiler<'a, B: GpuBackend + ?Sized> {
+    backend: &'a B,
+    interval_s: f64,
+}
+
+impl<'a, B: GpuBackend + ?Sized> Profiler<'a, B> {
+    /// Profiler with the paper's 20 ms sampling interval.
+    pub fn new(backend: &'a B) -> Self {
+        Self { backend, interval_s: SAMPLING_INTERVAL_S }
+    }
+
+    /// Overrides the sampling interval (seconds).
+    pub fn with_interval(mut self, interval_s: f64) -> Self {
+        assert!(interval_s > 0.0, "interval must be positive");
+        self.interval_s = interval_s;
+        self
+    }
+
+    /// Profiles a single run at the backend's current clock.
+    pub fn profile_run(&self, workload: &PhasedWorkload, run: u32) -> RunProfile {
+        let sample = self.backend.run_profiled(workload, run);
+        let intervals = (sample.exec_time / self.interval_s).ceil().max(1.0) as u64;
+        RunProfile { sample, intervals, interval_s: self.interval_s }
+    }
+
+    /// Profiles `runs` repeated executions (the paper uses three).
+    pub fn profile_runs(&self, workload: &PhasedWorkload, runs: u32) -> Vec<RunProfile> {
+        (0..runs).map(|r| self.profile_run(workload, r)).collect()
+    }
+
+    /// Collects the per-interval time series of one run: one
+    /// [`MetricSample`] per 20 ms sampling window, as DCGM would stream
+    /// them. This is the paper's mechanism for getting a "statistically
+    /// significant dataset" out of short workloads — every interval is an
+    /// independent observation of the same operating point.
+    ///
+    /// Interval samples share the run's clock and workload but carry
+    /// independent measurement noise (their run index encodes the interval),
+    /// and their `exec_time` field holds the *interval* length, except the
+    /// final partial interval.
+    pub fn profile_series(&self, workload: &PhasedWorkload, run: u32) -> Vec<MetricSample> {
+        let base = self.backend.run_profiled(workload, run);
+        let n = (base.exec_time / self.interval_s).ceil().max(1.0) as u64;
+        (0..n)
+            .map(|i| {
+                // Derive an interval-unique measurement via the run-index
+                // channel: run * 65536 + interval keeps streams disjoint.
+                let mut s = self
+                    .backend
+                    .run_profiled(workload, run.wrapping_mul(65_536).wrapping_add(i as u32));
+                s.run = run;
+                s.exec_time = if i + 1 == n {
+                    base.exec_time - self.interval_s * (n - 1) as f64
+                } else {
+                    self.interval_s
+                };
+                s
+            })
+            .collect()
+    }
+}
+
+/// Averages the metric samples of repeated runs into one sample
+/// (run index taken from the first).
+pub fn average_runs(profiles: &[RunProfile]) -> MetricSample {
+    assert!(!profiles.is_empty(), "cannot average zero runs");
+    let n = profiles.len() as f64;
+    let mut acc = profiles[0].sample.clone();
+    macro_rules! avg {
+        ($($field:ident),*) => {
+            $(acc.$field = profiles.iter().map(|p| p.sample.$field).sum::<f64>() / n;)*
+        };
+    }
+    avg!(
+        fp64_active,
+        fp32_active,
+        dram_active,
+        gr_engine_active,
+        gpu_utilization,
+        power_usage,
+        sm_active,
+        sm_occupancy,
+        pcie_tx_bytes,
+        pcie_rx_bytes,
+        exec_time
+    );
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SimulatorBackend;
+    use gpu_model::SignatureBuilder;
+
+    fn workload() -> PhasedWorkload {
+        PhasedWorkload::single(
+            SignatureBuilder::new("w").flops(5.0e13).bytes(5.0e11).build(),
+        )
+    }
+
+    #[test]
+    fn profile_counts_sampling_intervals() {
+        let b = SimulatorBackend::ga100();
+        let p = Profiler::new(&b);
+        let prof = p.profile_run(&workload(), 0);
+        let expect = (prof.sample.exec_time / 0.02).ceil() as u64;
+        assert_eq!(prof.intervals, expect);
+        assert!(prof.intervals > 10, "multi-second run spans many intervals");
+    }
+
+    #[test]
+    fn three_runs_differ_by_noise_only() {
+        let b = SimulatorBackend::ga100();
+        let p = Profiler::new(&b);
+        let runs = p.profile_runs(&workload(), 3);
+        assert_eq!(runs.len(), 3);
+        let times: Vec<f64> = runs.iter().map(|r| r.sample.exec_time).collect();
+        assert!(times[0] != times[1] || times[1] != times[2]);
+        let spread = (times.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - times.iter().cloned().fold(f64::INFINITY, f64::min))
+            / times[0];
+        assert!(spread < 0.15, "run-to-run spread {spread}");
+    }
+
+    #[test]
+    fn average_runs_is_midway() {
+        let b = SimulatorBackend::ga100();
+        let p = Profiler::new(&b);
+        let runs = p.profile_runs(&workload(), 3);
+        let avg = average_runs(&runs);
+        let lo = runs.iter().map(|r| r.sample.power_usage).fold(f64::INFINITY, f64::min);
+        let hi = runs.iter().map(|r| r.sample.power_usage).fold(f64::NEG_INFINITY, f64::max);
+        assert!(avg.power_usage >= lo && avg.power_usage <= hi);
+    }
+
+    #[test]
+    fn custom_interval_changes_counts() {
+        let b = SimulatorBackend::ga100();
+        let fine = Profiler::new(&b).with_interval(0.001);
+        let coarse = Profiler::new(&b).with_interval(1.0);
+        let w = workload();
+        assert!(fine.profile_run(&w, 0).intervals > coarse.profile_run(&w, 0).intervals);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero runs")]
+    fn average_of_nothing_panics() {
+        let _ = average_runs(&[]);
+    }
+
+    #[test]
+    fn series_intervals_sum_to_run_time() {
+        let b = SimulatorBackend::ga100();
+        let p = Profiler::new(&b);
+        let w = workload();
+        let series = p.profile_series(&w, 0);
+        let total: f64 = series.iter().map(|s| s.exec_time).sum();
+        let run = p.profile_run(&w, 0);
+        assert!((total - run.sample.exec_time).abs() < 1e-9);
+        assert_eq!(series.len() as u64, run.intervals);
+    }
+
+    #[test]
+    fn series_samples_carry_independent_noise() {
+        let b = SimulatorBackend::ga100();
+        let p = Profiler::new(&b);
+        let series = p.profile_series(&workload(), 0);
+        assert!(series.len() > 10);
+        // Power readings jitter between intervals but stay near the mean.
+        let mean: f64 = series.iter().map(|s| s.power_usage).sum::<f64>() / series.len() as f64;
+        let distinct = series
+            .windows(2)
+            .filter(|w| w[0].power_usage != w[1].power_usage)
+            .count();
+        assert!(distinct > series.len() / 2);
+        for s in &series {
+            assert!((s.power_usage - mean).abs() / mean < 0.10);
+        }
+    }
+
+    #[test]
+    fn series_is_deterministic_per_run() {
+        let b = SimulatorBackend::ga100();
+        let p = Profiler::new(&b);
+        let a = p.profile_series(&workload(), 1);
+        let c = p.profile_series(&workload(), 1);
+        assert_eq!(a, c);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error types for shape-checked tensor operations.
+
+use std::fmt;
+
+/// A mismatch between the shapes two operands of a tensor operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Human-readable name of the operation that failed.
+    pub op: &'static str,
+    /// Shape of the left-hand operand, `(rows, cols)`.
+    pub lhs: (usize, usize),
+    /// Shape of the right-hand operand, `(rows, cols)`.
+    pub rhs: (usize, usize),
+}
+
+impl ShapeError {
+    /// Creates a new shape error for operation `op` with the two offending
+    /// operand shapes.
+    pub fn new(op: &'static str, lhs: (usize, usize), rhs: (usize, usize)) -> Self {
+        Self { op, lhs, rhs }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in `{}`: lhs is {}x{}, rhs is {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Convenience alias for results of shape-checked operations.
+pub type TensorResult<T> = Result<T, ShapeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_op_and_shapes() {
+        let e = ShapeError::new("matmul", (2, 3), (4, 5));
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ShapeError::new("add", (1, 1), (2, 2)));
+    }
+}

@@ -1,0 +1,24 @@
+//! Dense matrix and vector math used throughout the GPU-DVFS stack.
+//!
+//! The crate provides a small, dependency-light linear-algebra layer:
+//!
+//! * [`Matrix`] — a row-major dense `f64` matrix with shape-checked ops.
+//! * Blocked and rayon-parallel matrix multiplication ([`matmul`]).
+//! * Column statistics and feature scaling ([`stats`]).
+//! * Deterministic random initialization ([`init`]).
+//!
+//! The neural-network crate (`nn`) and the multi-learner baselines
+//! (`baselines`) are built on top of these primitives. Everything is `f64`:
+//! the datasets in this project are small (tens of thousands of rows), so
+//! numerical robustness is worth more than the memory savings of `f32`.
+
+pub mod error;
+pub mod init;
+pub mod matmul;
+pub mod matrix;
+pub mod ops;
+pub mod reduce;
+pub mod stats;
+
+pub use error::{ShapeError, TensorResult};
+pub use matrix::Matrix;

@@ -1,0 +1,267 @@
+//! Matrix multiplication kernels: naive, cache-blocked, and parallel.
+//!
+//! The blocked kernel tiles the `k` and `j` loops so the working set of the
+//! inner loops stays in cache; the parallel kernel splits output rows across
+//! the rayon thread pool. Both produce bitwise-identical results to the
+//! naive kernel (same accumulation order within a row), which the property
+//! tests rely on.
+
+use crate::error::{ShapeError, TensorResult};
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Tile edge (elements) used by the blocked kernels. 64 doubles = 512 B per
+/// row tile, which keeps a `BLOCK x BLOCK` tile comfortably inside L1.
+const BLOCK: usize = 64;
+
+/// Minimum number of output rows before [`matmul`] bothers going parallel.
+const PAR_ROW_THRESHOLD: usize = 64;
+
+/// Computes `a @ b`, choosing the parallel kernel for large outputs and the
+/// blocked serial kernel otherwise.
+pub fn matmul(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
+    check(a, b)?;
+    if a.rows() >= PAR_ROW_THRESHOLD {
+        Ok(matmul_parallel_unchecked(a, b))
+    } else {
+        Ok(matmul_blocked_unchecked(a, b))
+    }
+}
+
+/// Reference triple-loop implementation. Slow; kept for testing.
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
+    check(a, b)?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[(i, p)];
+            let brow = b.row(p);
+            let orow = out.row_mut(i);
+            for j in 0..n {
+                orow[j] += aip * brow[j];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Cache-blocked serial implementation.
+pub fn matmul_blocked(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
+    check(a, b)?;
+    Ok(matmul_blocked_unchecked(a, b))
+}
+
+/// Row-parallel implementation on the rayon pool.
+pub fn matmul_parallel(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
+    check(a, b)?;
+    Ok(matmul_parallel_unchecked(a, b))
+}
+
+/// Computes `a @ x` where `x` is a length-`cols` vector, returning a vector.
+pub fn matvec(a: &Matrix, x: &[f64]) -> TensorResult<Vec<f64>> {
+    if a.cols() != x.len() {
+        return Err(ShapeError::new("matvec", a.shape(), (x.len(), 1)));
+    }
+    Ok(a.rows_iter()
+        .map(|row| row.iter().zip(x).map(|(&p, &q)| p * q).sum())
+        .collect())
+}
+
+fn check(a: &Matrix, b: &Matrix) -> TensorResult<()> {
+    if a.cols() != b.rows() {
+        return Err(ShapeError::new("matmul", a.shape(), b.shape()));
+    }
+    Ok(())
+}
+
+fn matmul_blocked_unchecked(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    block_rows_into(a, b, out.as_mut_slice(), 0, m, k, n);
+    out
+}
+
+fn matmul_parallel_unchecked(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    if m == 0 || n == 0 || k == 0 {
+        return out;
+    }
+    // Split the output into contiguous row bands, one rayon task per band.
+    let band = (m / rayon::current_num_threads().max(1)).max(1);
+    out.as_mut_slice()
+        .par_chunks_mut(band * n)
+        .enumerate()
+        .for_each(|(chunk_idx, out_chunk)| {
+            let i0 = chunk_idx * band;
+            let rows_here = out_chunk.len() / n;
+            block_rows_into(a, b, out_chunk, i0, rows_here, k, n);
+        });
+    out
+}
+
+/// Computes rows `[i0, i0 + rows_here)` of `a @ b` into `out_chunk`
+/// (row-major, `rows_here * n` elements, pre-zeroed).
+fn block_rows_into(
+    a: &Matrix,
+    b: &Matrix,
+    out_chunk: &mut [f64],
+    i0: usize,
+    rows_here: usize,
+    k: usize,
+    n: usize,
+) {
+    for pb in (0..k).step_by(BLOCK) {
+        let pend = (pb + BLOCK).min(k);
+        for jb in (0..n).step_by(BLOCK) {
+            let jend = (jb + BLOCK).min(n);
+            for local_i in 0..rows_here {
+                let arow = a.row(i0 + local_i);
+                let orow = &mut out_chunk[local_i * n..(local_i + 1) * n];
+                for (p, &aip) in arow.iter().enumerate().take(pend).skip(pb) {
+                    if aip == 0.0 {
+                        continue;
+                    }
+                    let brow = b.row(p);
+                    for j in jb..jend {
+                        orow[j] += aip * brow[j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn m(rows: usize, cols: usize, v: &[f64]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec()).unwrap()
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = init::uniform(5, 5, -1.0, 1.0, &mut rng);
+        let i = Matrix::identity(5);
+        assert_close(&matmul(&a, &i).unwrap(), &a, 0.0);
+        assert_close(&matmul(&i, &a).unwrap(), &a, 0.0);
+    }
+
+    #[test]
+    fn kernels_agree_on_odd_sizes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(m_, k_, n_) in &[(1, 1, 1), (3, 5, 7), (65, 70, 33), (130, 64, 65)] {
+            let a = init::uniform(m_, k_, -1.0, 1.0, &mut rng);
+            let b = init::uniform(k_, n_, -1.0, 1.0, &mut rng);
+            let naive = matmul_naive(&a, &b).unwrap();
+            let blocked = matmul_blocked(&a, &b).unwrap();
+            let parallel = matmul_parallel(&a, &b).unwrap();
+            assert_close(&naive, &blocked, 1e-10);
+            assert_close(&naive, &parallel, 1e-10);
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = [1.0, 0.5, 2.0];
+        let v = matvec(&a, &x).unwrap();
+        assert_eq!(v, vec![8.0, 18.5]);
+    }
+
+    #[test]
+    fn matvec_shape_check() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matvec(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn empty_product() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 2);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), (0, 2));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+            proptest::collection::vec(-10.0..10.0f64, rows * cols)
+                .prop_map(move |v| Matrix::from_vec(rows, cols, v).unwrap())
+        }
+
+        proptest! {
+            #[test]
+            fn blocked_equals_naive(
+                (m_, k_, n_) in (1usize..20, 1usize..20, 1usize..20),
+                seed in 0u64..1000,
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let a = init::uniform(m_, k_, -5.0, 5.0, &mut rng);
+                let b = init::uniform(k_, n_, -5.0, 5.0, &mut rng);
+                let x = matmul_naive(&a, &b).unwrap();
+                let y = matmul_blocked(&a, &b).unwrap();
+                for (p, q) in x.as_slice().iter().zip(y.as_slice()) {
+                    prop_assert!((p - q).abs() < 1e-9);
+                }
+            }
+
+            #[test]
+            fn distributes_over_addition(a in arb_matrix(4, 3), b in arb_matrix(4, 3), c in arb_matrix(3, 5)) {
+                // (A + B) C == A C + B C
+                let sum = crate::ops::add(&a, &b).unwrap();
+                let lhs = matmul(&sum, &c).unwrap();
+                let rhs = crate::ops::add(
+                    &matmul(&a, &c).unwrap(),
+                    &matmul(&b, &c).unwrap(),
+                ).unwrap();
+                for (p, q) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                    prop_assert!((p - q).abs() < 1e-8);
+                }
+            }
+
+            #[test]
+            fn transpose_reverses_product(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+                // (A B)^T == B^T A^T
+                let lhs = matmul(&a, &b).unwrap().transpose();
+                let rhs = matmul(&b.transpose(), &a.transpose()).unwrap();
+                for (p, q) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                    prop_assert!((p - q).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

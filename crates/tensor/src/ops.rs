@@ -1,0 +1,163 @@
+//! Elementwise and BLAS-1 style operations.
+
+use crate::error::{ShapeError, TensorResult};
+use crate::matrix::Matrix;
+
+/// Returns `a + b` elementwise.
+pub fn add(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
+    zip_with("add", a, b, |x, y| x + y)
+}
+
+/// Returns `a - b` elementwise.
+pub fn sub(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
+    zip_with("sub", a, b, |x, y| x - y)
+}
+
+/// Returns the Hadamard (elementwise) product `a ⊙ b`.
+pub fn hadamard(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
+    zip_with("hadamard", a, b, |x, y| x * y)
+}
+
+/// Returns `a * s` for a scalar `s`.
+pub fn scale(a: &Matrix, s: f64) -> Matrix {
+    a.map(|x| x * s)
+}
+
+/// In-place `a += alpha * b` (the classic axpy), shape checked.
+pub fn axpy(alpha: f64, b: &Matrix, a: &mut Matrix) -> TensorResult<()> {
+    if a.shape() != b.shape() {
+        return Err(ShapeError::new("axpy", a.shape(), b.shape()));
+    }
+    for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += alpha * y;
+    }
+    Ok(())
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Adds a `1 x cols` row-vector `bias` to every row of `a` (broadcast).
+pub fn add_row_broadcast(a: &Matrix, bias: &Matrix) -> TensorResult<Matrix> {
+    if bias.rows() != 1 || bias.cols() != a.cols() {
+        return Err(ShapeError::new("add_row_broadcast", a.shape(), bias.shape()));
+    }
+    let mut out = a.clone();
+    let b = bias.as_slice();
+    let cols = a.cols();
+    for r in 0..a.rows() {
+        let row = out.row_mut(r);
+        for c in 0..cols {
+            row[c] += b[c];
+        }
+    }
+    Ok(out)
+}
+
+/// Sums the rows of `a` into a `1 x cols` row vector.
+pub fn sum_rows(a: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(1, a.cols());
+    for r in 0..a.rows() {
+        let row = a.row(r);
+        let acc = out.row_mut(0);
+        for c in 0..a.cols() {
+            acc[c] += row[c];
+        }
+    }
+    out
+}
+
+fn zip_with(
+    op: &'static str,
+    a: &Matrix,
+    b: &Matrix,
+    f: impl Fn(f64, f64) -> f64,
+) -> TensorResult<Matrix> {
+    if a.shape() != b.shape() {
+        return Err(ShapeError::new(op, a.shape(), b.shape()));
+    }
+    let data: Vec<f64> = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| f(x, y))
+        .collect();
+    Matrix::from_vec(a.rows(), a.cols(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f64]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(2, 2, &[0.5, 0.5, 0.5, 0.5]);
+        let s = add(&a, &b).unwrap();
+        let back = sub(&s, &b).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        assert!(add(&a, &b).is_err());
+        assert!(hadamard(&a, &b).is_err());
+    }
+
+    #[test]
+    fn hadamard_multiplies_elementwise() {
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[4.0, 5.0, 6.0]);
+        assert_eq!(hadamard(&a, &b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn scale_multiplies_scalar() {
+        let a = m(1, 2, &[1.5, -2.0]);
+        assert_eq!(scale(&a, 2.0).as_slice(), &[3.0, -4.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = m(1, 2, &[1.0, 1.0]);
+        let b = m(1, 2, &[2.0, 3.0]);
+        axpy(0.5, &b, &mut a).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 2.5]);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn broadcast_adds_bias_to_each_row() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(1, 2, &[10.0, 20.0]);
+        let out = add_row_broadcast(&a, &b).unwrap();
+        assert_eq!(out.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn broadcast_rejects_bad_bias_shape() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 2);
+        assert!(add_row_broadcast(&a, &b).is_err());
+    }
+
+    #[test]
+    fn sum_rows_collapses() {
+        let a = m(3, 2, &[1.0, 10.0, 2.0, 20.0, 3.0, 30.0]);
+        assert_eq!(sum_rows(&a).as_slice(), &[6.0, 60.0]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Reductions over slices and matrices.
+
+/// Sum of a slice (empty slices sum to 0).
+pub fn sum(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+/// Arithmetic mean; returns `NaN` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    sum(xs) / xs.len() as f64
+}
+
+/// Population variance; returns `NaN` for an empty slice.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; returns `NaN` for an empty slice.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Minimum value; `None` for an empty slice. NaNs are ignored.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().filter(|x| !x.is_nan()).reduce(f64::min)
+}
+
+/// Maximum value; `None` for an empty slice. NaNs are ignored.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().filter(|x| !x.is_nan()).reduce(f64::max)
+}
+
+/// Index of the minimum value; `None` for an empty slice.
+pub fn argmin(xs: &[f64]) -> Option<usize> {
+    xs.iter()
+        .enumerate()
+        .filter(|(_, x)| !x.is_nan())
+        .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("NaN filtered"))
+        .map(|(i, _)| i)
+}
+
+/// Index of the maximum value; `None` for an empty slice.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    xs.iter()
+        .enumerate()
+        .filter(|(_, x)| !x.is_nan())
+        .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("NaN filtered"))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_reductions() {
+        let xs = [2.0, 4.0, 6.0];
+        assert_eq!(sum(&xs), 12.0);
+        assert_eq!(mean(&xs), 4.0);
+        assert!((variance(&xs) - 8.0 / 3.0).abs() < 1e-12);
+        assert_eq!(min(&xs), Some(2.0));
+        assert_eq!(max(&xs), Some(6.0));
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        assert_eq!(sum(&[]), 0.0);
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[]).is_nan());
+        assert_eq!(min(&[]), None);
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn arg_reductions() {
+        let xs = [3.0, 1.0, 2.0, 1.0];
+        assert_eq!(argmin(&xs), Some(1)); // first minimum wins
+        assert_eq!(argmax(&xs), Some(0));
+    }
+
+    #[test]
+    fn nan_is_skipped() {
+        let xs = [f64::NAN, 2.0, 1.0];
+        assert_eq!(min(&xs), Some(1.0));
+        assert_eq!(argmin(&xs), Some(2));
+    }
+
+    #[test]
+    fn constant_slice_has_zero_variance() {
+        let xs = [5.0; 10];
+        assert_eq!(variance(&xs), 0.0);
+        assert_eq!(std_dev(&xs), 0.0);
+    }
+}

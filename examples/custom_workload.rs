@@ -1,0 +1,115 @@
+//! Bring your own kernel: implement [`Kernel`] for a custom computation,
+//! characterize it with a real instrumented run, and let the pipeline pick
+//! its frequency.
+//!
+//! The kernel below is a parallel Monte-Carlo option pricer — a workload
+//! that appears nowhere in the training suite.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use gpu_dvfs::kernels::stats::{timed, KernelStats};
+use gpu_dvfs::prelude::*;
+use rayon::prelude::*;
+
+/// Parallel Monte-Carlo pricer for a European call option.
+struct MonteCarloPricer {
+    paths: usize,
+    steps: usize,
+}
+
+impl Kernel for MonteCarloPricer {
+    fn name(&self) -> &'static str {
+        "MC-PRICER"
+    }
+
+    fn run(&self, scale: f64) -> KernelStats {
+        let paths = ((self.paths as f64 * scale) as usize).max(64);
+        let steps = self.steps;
+        timed(|| {
+            let (s0, r, sigma, k, dt) = (100.0f64, 0.03, 0.2, 105.0, 1.0 / steps as f64);
+            let payoff_sum: f64 = (0..paths)
+                .into_par_iter()
+                .map(|p| {
+                    // Deterministic per-path Gaussian stream (Box-Muller over
+                    // a splitmix-hashed counter).
+                    let mut state = (p as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                    let mut next_gauss = move || {
+                        let mut rnd = || {
+                            state ^= state << 13;
+                            state ^= state >> 7;
+                            state ^= state << 17;
+                            (state >> 11) as f64 / (1u64 << 53) as f64
+                        };
+                        let u1: f64 = (1.0 - rnd()).max(1e-16);
+                        let u2: f64 = rnd();
+                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+                    };
+                    let mut s = s0;
+                    for _ in 0..steps {
+                        let z = next_gauss();
+                        s *= ((r - 0.5 * sigma * sigma) * dt + sigma * dt.sqrt() * z).exp();
+                    }
+                    (s - k).max(0.0)
+                })
+                .sum();
+            let price = (payoff_sum / paths as f64) * (-r * 1.0f64).exp();
+            // ~25 flops per step (two exps amortized, gaussian gen, update).
+            let flops = 25.0 * (paths * steps) as f64;
+            // Path state lives in registers; only results hit memory.
+            let bytes = 16.0 * paths as f64;
+            (flops, bytes, price)
+        })
+    }
+
+    fn profile(&self) -> GpuProfile {
+        GpuProfile {
+            kappa_compute: 0.70, // transcendental heavy but regular
+            kappa_memory: 0.50,
+            fp64_ratio: 1.0,
+            sm_occupancy: 0.75,
+            pcie_tx_mbs: 5.0,
+            pcie_rx_mbs: 5.0,
+            overhead_frac: 0.02,
+            target_seconds: 12.0,
+        }
+    }
+}
+
+fn main() {
+    let backend = SimulatorBackend::ga100();
+    println!("training models...");
+    let pipeline = TrainedPipeline::train_on(&backend, 1);
+
+    let pricer = MonteCarloPricer { paths: 200_000, steps: 64 };
+    let stats = pricer.run(1.0);
+    println!(
+        "\ninstrumented run: {:.2e} FLOPs, {:.2e} bytes, price {:.4}, {:.0} ms host",
+        stats.flops,
+        stats.bytes,
+        stats.checksum,
+        stats.elapsed_s * 1e3
+    );
+    println!("arithmetic intensity: {:.1} FLOP/byte (compute bound on A100)", stats.intensity());
+
+    let workload = pricer.workload(backend.spec());
+    let predictor = pipeline.predictor(pipeline.train_spec.clone());
+    let profile = predictor.predict_online(&backend, &workload);
+
+    for (label, obj) in [
+        ("EDP", Objective::Edp),
+        ("ED2P", Objective::Ed2p),
+        // Compute-bound kernels keep f_max under delay-weighted objectives;
+        // an energy-only policy shows the other end of the trade space.
+        ("Energy-only", Objective::EnergyOnly),
+    ] {
+        let sel = profile.select(obj, None);
+        println!(
+            "{label}: {:.0} MHz (predicted {:.1}% energy saved, {:.1}% slower)",
+            sel.frequency_mhz,
+            100.0 * profile.energy_saving_at(sel.index),
+            100.0 * profile.time_change_at(sel.index)
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Datacenter tuning: build a per-application frequency plan for a fleet.
+//!
+//! The paper's motivating scenario: an HPC centre wants to cap GPU power
+//! with little or no performance impact. This example trains the models
+//! once, then produces a frequency plan for all six production
+//! applications under three policies, and reports the fleet-level effect.
+//!
+//! ```text
+//! cargo run --release --example datacenter_tuning
+//! ```
+
+use gpu_dvfs::prelude::*;
+
+fn main() {
+    let backend = SimulatorBackend::ga100();
+    println!("training models on the benchmark campaign...");
+    let pipeline = TrainedPipeline::train_on(&backend, 1);
+    let predictor = pipeline.predictor(pipeline.train_spec.clone());
+
+    let apps = gpu_dvfs::kernels::apps::evaluation_apps();
+    let policies: [(&str, Objective, Option<f64>); 3] = [
+        ("max-savings (EDP)", Objective::Edp, None),
+        ("balanced (ED2P)", Objective::Ed2p, None),
+        ("perf-guarded (EDP, 1% cap)", Objective::Edp, Some(0.01)),
+    ];
+
+    for (label, objective, threshold) in policies {
+        println!("\n=== policy: {label} ===");
+        println!(
+            "{:<10} {:>9} {:>14} {:>12}",
+            "app", "f (MHz)", "energy", "time"
+        );
+        let mut fleet_e = 0.0;
+        let mut fleet_e_tuned = 0.0;
+        let mut worst_slowdown: f64 = 0.0;
+        for app in &apps {
+            // Online phase per app: one default-clock profiling run.
+            let profile = predictor.predict_online(&backend, app);
+            let sel = profile.select(objective, threshold);
+            // Ground-truth outcome of deploying the chosen frequency.
+            let measured = measured_profile(&backend, app);
+            let idx = measured
+                .frequencies
+                .iter()
+                .position(|&f| f == sel.frequency_mhz)
+                .expect("selection is on the grid");
+            let e_saving = measured.energy_saving_at(idx);
+            let t_change = measured.time_change_at(idx);
+            fleet_e += measured.energy_j[measured.max_freq_index()];
+            fleet_e_tuned += measured.energy_j[idx];
+            worst_slowdown = worst_slowdown.max(t_change);
+            println!(
+                "{:<10} {:>9.0} {:>13.1}% {:>11.1}%",
+                app.name,
+                sel.frequency_mhz,
+                100.0 * e_saving,
+                -100.0 * t_change
+            );
+        }
+        println!(
+            "fleet: {:.1}% energy saved, worst-case slowdown {:.1}%",
+            100.0 * (1.0 - fleet_e_tuned / fleet_e),
+            100.0 * worst_slowdown
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Fleet power capping: use the predicted profiles to pick per-application
+//! frequencies that keep a multi-GPU node under a power budget with the
+//! least total slowdown.
+//!
+//! This goes one step beyond the paper's per-application EDP/ED²P policies:
+//! once the models exist, any operating-point optimization becomes a cheap
+//! search over predicted profiles — here, a greedy marginal-slowdown
+//! descent under a cap.
+//!
+//! ```text
+//! cargo run --release --example power_capping
+//! ```
+
+use gpu_dvfs::core::capping::plan_under_cap;
+use gpu_dvfs::prelude::*;
+
+fn main() {
+    let backend = SimulatorBackend::ga100();
+    println!("training models...");
+    let pipeline = TrainedPipeline::train_on(&backend, 1);
+    let predictor = pipeline.predictor(pipeline.train_spec.clone());
+
+    // One GPU per application, all in one node.
+    let apps = gpu_dvfs::kernels::apps::evaluation_apps();
+    let profiles: Vec<PredictedProfile> = apps
+        .iter()
+        .map(|a| predictor.predict_online(&backend, a))
+        .collect();
+
+    let uncapped: f64 = profiles.iter().map(|p| *p.power_w.last().unwrap()).sum();
+    println!(
+        "\nnode draw at default clocks: {uncapped:.0} W across {} GPUs",
+        profiles.len()
+    );
+
+    let refs: Vec<&PredictedProfile> = profiles.iter().collect();
+    for cap in [uncapped * 0.9, uncapped * 0.75, uncapped * 0.6] {
+        let plan = plan_under_cap(&refs, cap);
+        println!(
+            "\n=== cap {cap:.0} W -> plan draws {:.0} W{} ===",
+            plan.total_power_w,
+            if plan.feasible { "" } else { " (cap unreachable)" }
+        );
+        for a in &plan.assignments {
+            println!(
+                "  {:<10} {:>6.0} MHz  {:>6.1} W  {:>5.1}% slower",
+                a.workload,
+                a.frequency_mhz,
+                a.power_w,
+                100.0 * a.slowdown
+            );
+        }
+        println!("  worst-case predicted slowdown: {:.1}%", 100.0 * plan.worst_slowdown());
+    }
+}
+

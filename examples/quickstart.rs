@@ -1,0 +1,62 @@
+//! Quickstart: train the models, profile an unseen application once, and
+//! pick its energy-optimal frequency.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gpu_dvfs::prelude::*;
+
+fn main() {
+    // ---- Offline phase (done once per GPU model) -------------------------
+    // Sweep the 21 training benchmarks (DGEMM, STREAM, 19x SPEC-ACCEL
+    // analogues) across all 61 used DVFS states of the simulated A100,
+    // three runs each, and train the power + time DNNs.
+    println!("training on the 21-benchmark campaign...");
+    let backend = SimulatorBackend::ga100();
+    let pipeline = TrainedPipeline::train_on(&backend, 1);
+    println!(
+        "  dataset: {} rows; power loss {:.5}, time loss {:.5}",
+        pipeline.dataset.len(),
+        pipeline.models.power_history.train_loss.last().unwrap(),
+        pipeline.models.time_history.train_loss.last().unwrap()
+    );
+
+    // ---- Online phase (per application) ----------------------------------
+    // One profiling run at the default clock is all the models need.
+    let app = gpu_dvfs::kernels::apps::lammps();
+    let predictor = pipeline.predictor(pipeline.train_spec.clone());
+    let profile = predictor.predict_online(&backend, &app);
+
+    println!("\npredicted profile for {} across {} DVFS states:", app.name, profile.frequencies.len());
+    for i in (0..profile.frequencies.len()).step_by(10) {
+        println!(
+            "  {:>6.0} MHz  {:>6.1} W  {:>6.1} s  {:>8.0} J",
+            profile.frequencies[i], profile.power_w[i], profile.time_s[i], profile.energy_j[i]
+        );
+    }
+
+    // ---- Frequency selection ---------------------------------------------
+    for (label, objective, threshold) in [
+        ("ED2P (paper's HPC recommendation)", Objective::Ed2p, None),
+        ("EDP", Objective::Edp, None),
+        ("EDP with a 5% performance guardrail", Objective::Edp, Some(0.05)),
+    ] {
+        let sel = profile.select(objective, threshold);
+        println!(
+            "\n{label}:\n  -> {:.0} MHz (predicted saving {:.1}% energy, {:.1}% slower)",
+            sel.frequency_mhz,
+            100.0 * profile.energy_saving_at(sel.index),
+            100.0 * profile.time_change_at(sel.index)
+        );
+    }
+
+    // Sanity: compare with ground truth from a full measured sweep.
+    let measured = measured_profile(&backend, &app);
+    let sel = measured.select(Objective::Ed2p, None);
+    println!(
+        "\nground truth (full measured sweep): ED2P optimum {:.0} MHz, {:.1}% energy saved",
+        sel.frequency_mhz,
+        100.0 * measured.energy_saving_at(sel.index)
+    );
+}

@@ -1,0 +1,312 @@
+//! `dvfs` — command-line front end to the GPU-DVFS pipeline.
+//!
+//! ```text
+//! dvfs train    [--arch ga100|gv100] [--stride N] [--out models.json]
+//! dvfs campaign [--arch ga100|gv100] [--stride N] --out samples.csv
+//! dvfs predict  --models models.json --app NAME [--arch ga100|gv100]
+//! dvfs select   --models models.json --app NAME [--objective edp|ed2p|energy|time]
+//!               [--threshold PCT] [--arch ga100|gv100]
+//! dvfs cap      --models models.json --watts W [--arch ga100|gv100]
+//! dvfs apps
+//! ```
+//!
+//! The tool drives the simulated devices; pointing it at real hardware only
+//! requires a `GpuBackend` implementation backed by NVML/DCGM.
+
+use gpu_dvfs::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "train" => cmd_train(&opts),
+        "campaign" => cmd_campaign(&opts),
+        "predict" => cmd_predict(&opts),
+        "select" => cmd_select(&opts),
+        "cap" => cmd_cap(&opts),
+        "apps" => cmd_apps(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+dvfs — performance-aware energy-efficient GPU frequency selection
+
+USAGE:
+  dvfs train    [--arch ga100|gv100] [--stride N] [--out models.json]
+  dvfs campaign [--arch ga100|gv100] [--stride N] --out samples.csv
+  dvfs predict  --models models.json --app NAME [--arch ga100|gv100]
+  dvfs select   --models models.json --app NAME [--objective edp|ed2p|energy|time]
+                [--threshold PCT] [--arch ga100|gv100]
+  dvfs cap      --models models.json --watts W [--arch ga100|gv100]
+                plan per-app frequencies for one GPU per app under a cap
+  dvfs apps     list the built-in application models";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{flag}`"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        out.insert(name.to_string(), value.clone());
+    }
+    Ok(out)
+}
+
+fn backend_for(opts: &HashMap<String, String>) -> Result<SimulatorBackend, String> {
+    match opts.get("arch").map(String::as_str).unwrap_or("ga100") {
+        "ga100" => Ok(SimulatorBackend::ga100()),
+        "gv100" => Ok(SimulatorBackend::gv100()),
+        other => Err(format!("unknown --arch `{other}` (expected ga100 or gv100)")),
+    }
+}
+
+fn stride_for(opts: &HashMap<String, String>) -> Result<usize, String> {
+    match opts.get("stride") {
+        None => Ok(1),
+        Some(s) => s
+            .parse::<usize>()
+            .map_err(|e| format!("--stride: {e}"))
+            .and_then(|v| if v == 0 { Err("--stride must be >= 1".into()) } else { Ok(v) }),
+    }
+}
+
+fn app_for(opts: &HashMap<String, String>) -> Result<PhasedWorkload, String> {
+    let name = opts.get("app").ok_or("--app NAME is required")?;
+    gpu_dvfs::kernels::apps::evaluation_apps()
+        .into_iter()
+        .find(|a| a.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown app `{name}` — run `dvfs apps` to list them"))
+}
+
+fn load_models(opts: &HashMap<String, String>) -> Result<PowerTimeModels, String> {
+    let path = opts.get("models").ok_or("--models models.json is required")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    PowerTimeModels::from_json(&json).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
+    let backend = backend_for(opts)?;
+    let stride = stride_for(opts)?;
+    eprintln!(
+        "training on {} ({} used DVFS states, stride {stride})...",
+        backend.spec().arch.chip_name(),
+        backend.grid().num_used()
+    );
+    let pipeline = TrainedPipeline::train_on(&backend, stride);
+    eprintln!(
+        "dataset {} rows; final losses: power {:.5}, time {:.5}",
+        pipeline.dataset.len(),
+        pipeline.models.power_history.train_loss.last().unwrap(),
+        pipeline.models.time_history.train_loss.last().unwrap()
+    );
+    let out = opts.get("out").map(String::as_str).unwrap_or("models.json");
+    std::fs::write(out, pipeline.models.to_json()).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_campaign(opts: &HashMap<String, String>) -> Result<(), String> {
+    let backend = backend_for(opts)?;
+    let stride = stride_for(opts)?;
+    let out = opts.get("out").ok_or("--out samples.csv is required")?;
+    let workloads: Vec<PhasedWorkload> = gpu_dvfs::kernels::suite::training_suite()
+        .iter()
+        .map(|k| k.workload(backend.spec()))
+        .collect();
+    let freqs: Vec<f64> = backend.grid().used().into_iter().step_by(stride).collect();
+    let cfg = gpu_dvfs::telemetry::LaunchConfig {
+        frequencies: freqs,
+        runs: 3,
+        output: Some(out.into()),
+    };
+    let samples = gpu_dvfs::telemetry::CollectionCampaign::new(&backend, cfg)
+        .collect(&workloads)
+        .map_err(|e| e.to_string())?;
+    println!("collected {} samples -> {out}", samples.len());
+    Ok(())
+}
+
+fn cmd_predict(opts: &HashMap<String, String>) -> Result<(), String> {
+    let backend = backend_for(opts)?;
+    let models = load_models(opts)?;
+    let app = app_for(opts)?;
+    let predictor = Predictor::new(&models, backend.spec().clone());
+    let profile = predictor.predict_online(&backend, &app);
+    println!(
+        "{:<10} {:>10} {:>10} {:>12}",
+        "f (MHz)", "P (W)", "T (s)", "E (J)"
+    );
+    for i in 0..profile.frequencies.len() {
+        println!(
+            "{:<10.0} {:>10.1} {:>10.2} {:>12.0}",
+            profile.frequencies[i], profile.power_w[i], profile.time_s[i], profile.energy_j[i]
+        );
+    }
+    Ok(())
+}
+
+fn cmd_select(opts: &HashMap<String, String>) -> Result<(), String> {
+    let backend = backend_for(opts)?;
+    let models = load_models(opts)?;
+    let app = app_for(opts)?;
+    let objective = match opts.get("objective").map(String::as_str).unwrap_or("ed2p") {
+        "edp" => Objective::Edp,
+        "ed2p" => Objective::Ed2p,
+        "energy" => Objective::EnergyOnly,
+        "time" => Objective::TimeOnly,
+        other => return Err(format!("unknown --objective `{other}`")),
+    };
+    let threshold = opts
+        .get("threshold")
+        .map(|t| t.parse::<f64>().map(|v| v / 100.0))
+        .transpose()
+        .map_err(|e| format!("--threshold: {e}"))?;
+
+    let predictor = Predictor::new(&models, backend.spec().clone());
+    let profile = predictor.predict_online(&backend, &app);
+    let sel = profile.select(objective, threshold);
+    println!(
+        "{} on {}: {} optimum = {:.0} MHz",
+        app.name,
+        backend.spec().arch.chip_name(),
+        objective.name(),
+        sel.frequency_mhz
+    );
+    println!(
+        "predicted: {:.1}% energy saved, {:.1}% slower than f_max{}",
+        100.0 * profile.energy_saving_at(sel.index),
+        100.0 * profile.time_change_at(sel.index),
+        if sel.threshold_applied { " (threshold applied)" } else { "" }
+    );
+    println!(
+        "apply with: nvidia-smi -lgc {0},{0}  # or dcgmi config --set -a {0}",
+        sel.frequency_mhz
+    );
+    Ok(())
+}
+
+fn cmd_cap(opts: &HashMap<String, String>) -> Result<(), String> {
+    let backend = backend_for(opts)?;
+    let models = load_models(opts)?;
+    let cap: f64 = opts
+        .get("watts")
+        .ok_or("--watts W is required")?
+        .parse()
+        .map_err(|e| format!("--watts: {e}"))?;
+    let predictor = Predictor::new(&models, backend.spec().clone());
+    let profiles: Vec<PredictedProfile> = gpu_dvfs::kernels::apps::evaluation_apps()
+        .iter()
+        .map(|a| predictor.predict_online(&backend, a))
+        .collect();
+    let refs: Vec<&PredictedProfile> = profiles.iter().collect();
+    let plan = gpu_dvfs::core::capping::plan_under_cap(&refs, cap);
+    println!(
+        "plan draws {:.0} W under a {cap:.0} W cap{}:",
+        plan.total_power_w,
+        if plan.feasible { "" } else { " — CAP UNREACHABLE (all GPUs at floor)" }
+    );
+    for a in &plan.assignments {
+        println!(
+            "  {:<10} {:>6.0} MHz  {:>7.1} W  {:>5.1}% slower",
+            a.workload, a.frequency_mhz, a.power_w, 100.0 * a.slowdown
+        );
+    }
+    println!("worst-case predicted slowdown: {:.1}%", 100.0 * plan.worst_slowdown());
+    Ok(())
+}
+
+fn cmd_apps() -> Result<(), String> {
+    println!("built-in application models (paper Table 2, evaluation set):");
+    let spec = DeviceSpec::ga100();
+    for app in gpu_dvfs::kernels::apps::evaluation_apps() {
+        let t = app.exec_time(&spec, spec.max_core_mhz);
+        let p = app.power(&spec, spec.max_core_mhz);
+        println!(
+            "  {:<10} {:>5.1}s @ f_max, {:>5.0} W, {} phases",
+            app.name,
+            t,
+            p,
+            app.phases.len()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flags_builds_map() {
+        let args: Vec<String> = ["--arch", "gv100", "--stride", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let m = parse_flags(&args).unwrap();
+        assert_eq!(m["arch"], "gv100");
+        assert_eq!(m["stride"], "3");
+    }
+
+    #[test]
+    fn parse_flags_rejects_bare_values_and_missing_values() {
+        assert!(parse_flags(&["oops".to_string()]).is_err());
+        assert!(parse_flags(&["--arch".to_string()]).is_err());
+    }
+
+    #[test]
+    fn backend_selection() {
+        let mut m = HashMap::new();
+        assert_eq!(backend_for(&m).unwrap().spec().tdp_w, 500.0);
+        m.insert("arch".to_string(), "gv100".to_string());
+        assert_eq!(backend_for(&m).unwrap().spec().tdp_w, 250.0);
+        m.insert("arch".to_string(), "h100".to_string());
+        assert!(backend_for(&m).is_err());
+    }
+
+    #[test]
+    fn stride_validation() {
+        let mut m = HashMap::new();
+        assert_eq!(stride_for(&m).unwrap(), 1);
+        m.insert("stride".to_string(), "0".to_string());
+        assert!(stride_for(&m).is_err());
+        m.insert("stride".to_string(), "abc".to_string());
+        assert!(stride_for(&m).is_err());
+    }
+
+    #[test]
+    fn app_lookup_is_case_insensitive() {
+        let mut m = HashMap::new();
+        m.insert("app".to_string(), "resnet50".to_string());
+        assert_eq!(app_for(&m).unwrap().name, "ResNet50");
+        m.insert("app".to_string(), "nonesuch".to_string());
+        assert!(app_for(&m).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Reproducibility: the whole stack is deterministic under fixed seeds.
+
+use gpu_dvfs::prelude::*;
+
+#[test]
+fn full_pipeline_is_bitwise_reproducible() {
+    let run = || {
+        let backend = SimulatorBackend::ga100();
+        let pipeline = TrainedPipeline::train_on(&backend, 4);
+        let predictor = pipeline.predictor(pipeline.train_spec.clone());
+        let profile = predictor.predict_online(&backend, &gpu_dvfs::kernels::apps::namd());
+        let chosen = profile.select(Objective::Ed2p, None).frequency_mhz;
+        (
+            pipeline.models.power_history.train_loss.clone(),
+            profile.power_w,
+            profile.time_s,
+            chosen,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "training losses differ between runs");
+    assert_eq!(a.1, b.1, "predicted power differs between runs");
+    assert_eq!(a.2, b.2, "predicted time differs between runs");
+    assert_eq!(a.3, b.3, "selected frequency differs between runs");
+}
+
+#[test]
+fn measurements_are_deterministic_but_distinct_per_run_index() {
+    let spec = DeviceSpec::ga100();
+    let sig = gpu_dvfs::gpu::SignatureBuilder::new("d").flops(1e13).bytes(1e12).build();
+    let nm = NoiseModel::default_bench();
+    let a = gpu_dvfs::gpu::sample::measure(&spec, &sig, 1005.0, 0, &nm);
+    let b = gpu_dvfs::gpu::sample::measure(&spec, &sig, 1005.0, 0, &nm);
+    let c = gpu_dvfs::gpu::sample::measure(&spec, &sig, 1005.0, 1, &nm);
+    assert_eq!(a, b);
+    assert_ne!(a.power_usage, c.power_usage);
+}
+
+#[test]
+fn instrumented_kernels_are_deterministic() {
+    for k in gpu_dvfs::kernels::suite::training_suite() {
+        let s1 = k.run(0.25);
+        let s2 = k.run(0.25);
+        assert_eq!(s1.checksum, s2.checksum, "{} checksum varies", k.name());
+        assert_eq!(s1.flops, s2.flops, "{} flop count varies", k.name());
+    }
+}
