@@ -1,0 +1,78 @@
+//! Hermetic stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module is provided, implemented over
+//! `std::sync::mpsc`. That covers this workspace's usage: an unbounded
+//! producer/consumer channel between the telemetry collection loop and
+//! its writer thread.
+
+pub mod channel {
+    use std::sync::mpsc::{Receiver as StdReceiver, Sender as StdSender};
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(StdSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value; errors if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(StdReceiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Drains whatever is currently available without blocking.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.try_iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = std::sync::mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn values_cross_threads_in_order() {
+            let (tx, rx) = unbounded::<usize>();
+            let producer = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).expect("receiver alive");
+                }
+            });
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            producer.join().expect("producer finished");
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+    }
+}

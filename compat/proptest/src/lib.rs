@@ -1,0 +1,325 @@
+//! Hermetic stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro over
+//! `#[test]` functions with `pat in strategy` arguments, range and tuple
+//! strategies, `prop_map`, `collection::vec`, `Just`, the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Simplifications relative to upstream: no shrinking — each case is an
+//! independent deterministic sample (seeded from the test's module path
+//! and case index), and assertion failures report the sampled values via
+//! the normal panic message rather than a minimized counterexample.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod test_runner {
+    /// Per-test configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the workspace suite fast
+            // while still exercising the property broadly.
+            Self { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::*;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value from this strategy.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            self.start + rng.random::<f64>() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+
+        fn sample(&self, rng: &mut StdRng) -> f32 {
+            self.start + rng.random::<f64>() as f32 * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.random::<u64>() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A: 0, B: 1);
+        (A: 0, B: 1, C: 2);
+        (A: 0, B: 1, C: 2, D: 3);
+        (A: 0, B: 1, C: 2, D: 3, E: 4);
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// A length specification: a fixed size or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s of `element` samples with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.hi - self.size.lo <= 1 {
+                self.size.lo
+            } else {
+                self.size.lo + (rng.random::<u64>() as usize) % (self.size.hi - self.size.lo)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-(test, case) RNG used by the `proptest!` expansion.
+#[doc(hidden)]
+pub fn __rng(test_path: &str, case: u32) -> StdRng {
+    // FNV-1a over the fully-qualified test name, mixed with the case
+    // index, so every property gets an independent reproducible stream.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Defines property tests. Each `#[test] fn name(pat in strategy, ...)`
+/// item runs its body over `cases` deterministic random samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident(
+        $($pat:pat in $strat:expr),* $(,)?
+    ) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::__rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts two expressions are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// The common glob import used by property-test modules.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// Range strategies stay in bounds and tuples compose.
+        #[test]
+        fn ranges_in_bounds(
+            x in -2.5..7.5f64,
+            n in 3usize..10,
+            (a, b) in (0u64..100, 10i32..20),
+        ) {
+            prop_assert!((-2.5..7.5).contains(&x));
+            prop_assert!((3..10).contains(&n));
+            prop_assert!(a < 100);
+            prop_assert!((10..20).contains(&b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// `collection::vec` honors both fixed and ranged sizes, and
+        /// `prop_map` transforms samples.
+        #[test]
+        fn vec_and_map(
+            fixed in crate::collection::vec(0.0..1.0f64, 5),
+            ranged in crate::collection::vec(0u64..10, 2..6),
+            doubled in (1usize..50).prop_map(|v| v * 2),
+        ) {
+            prop_assert_eq!(fixed.len(), 5);
+            prop_assert!((2..6).contains(&ranged.len()));
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assume!(doubled > 2);
+            prop_assert!(doubled >= 4);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        use crate::strategy::Strategy;
+        let a = (0.0..1.0f64).sample(&mut crate::__rng("t", 3));
+        let b = (0.0..1.0f64).sample(&mut crate::__rng("t", 3));
+        let c = (0.0..1.0f64).sample(&mut crate::__rng("t", 4));
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_ne!(a.to_bits(), c.to_bits());
+    }
+}

@@ -1,0 +1,291 @@
+//! Hermetic stand-in for the `rayon` crate.
+//!
+//! Provides the parallel-iterator API subset this workspace uses, backed
+//! by `std::thread::scope` instead of a work-stealing pool. The model is
+//! eager: each *transforming* adaptor (`map`, `flat_map_iter`,
+//! `for_each`) materializes its input, splits it into contiguous
+//! per-thread chunks, and runs the closure on scoped worker threads,
+//! preserving input order. Cheap pairing adaptors (`enumerate`, `zip`)
+//! and terminal folds (`sum`, `collect`) run sequentially — by the time
+//! they execute, the expensive closure work has already happened in
+//! parallel upstream.
+//!
+//! Inputs shorter than two elements, or machines reporting one CPU, run
+//! inline with no thread overhead.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of worker threads parallel operations fan out across.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` over `items` on scoped threads, preserving order.
+fn pmap<T: Send, U: Send, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 || n < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut iter = items.into_iter();
+    loop {
+        let chunk: Vec<T> = iter.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon compat worker panicked"))
+            .collect()
+    })
+}
+
+/// An eager parallel iterator over an owned buffer of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<U: Send, F>(self, f: F) -> ParIter<U>
+    where
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter {
+            items: pmap(self.items, f),
+        }
+    }
+
+    /// Applies `f` in parallel and flattens the per-item iterators in
+    /// input order.
+    pub fn flat_map_iter<U: Send, I, F>(self, f: F) -> ParIter<U>
+    where
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested = pmap(self.items, |item| f(item).into_iter().collect::<Vec<U>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        pmap(self.items, f);
+    }
+
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Pairs items element-wise with another parallel iterator,
+    /// truncating to the shorter side.
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> ParIter<(T, Z::Item)> {
+        ParIter {
+            items: self
+                .items
+                .into_iter()
+                .zip(other.into_par_iter().items)
+                .collect(),
+        }
+    }
+
+    /// Folds the items pairwise with `op`, starting from `identity()`.
+    /// The expensive work happened in upstream adaptors; the fold itself
+    /// is sequential, which keeps it deterministic (left-to-right).
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> T
+    where
+        Id: Fn() -> T + Sync,
+        Op: Fn(T, T) -> T + Sync,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Sums the items. The expensive work happened in upstream adaptors;
+    /// the fold itself is sequential.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    /// Collects the items into any `FromIterator` container.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<T>,
+    {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into a [`ParIter`].
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Converts `self` into an eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+
+        impl IntoParallelIterator for RangeInclusive<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_par_iter!(usize, u64, u32, i64, i32);
+
+/// Borrowing parallel iteration over slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over shared references.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Parallel iterator over non-overlapping chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// Mutably-borrowing parallel iteration over slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over exclusive references.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    /// Parallel iterator over non-overlapping exclusive chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// The traits rayon callers conventionally glob-import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let total: u64 = (1..=100u64).into_par_iter().map(|x| x * x).sum();
+        assert_eq!(total, (1..=100u64).map(|x| x * x).sum::<u64>());
+    }
+
+    #[test]
+    fn par_iter_mut_updates_in_place() {
+        let mut data = vec![1.0f64; 64];
+        data.par_iter_mut().for_each(|x| *x += 1.0);
+        assert!(data.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_zip() {
+        let mut data = [0usize; 12];
+        let tail = [100usize, 200, 300];
+        data.par_chunks_mut(4)
+            .zip(tail.par_iter())
+            .enumerate()
+            .for_each(|(i, (chunk, &t))| {
+                for slot in chunk.iter_mut() {
+                    *slot = i + t;
+                }
+            });
+        assert_eq!(data[0], 100);
+        assert_eq!(data[4], 201);
+        assert_eq!(data[8], 302);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let out: Vec<usize> = vec![1usize, 2, 3]
+            .into_par_iter()
+            .flat_map_iter(|x| (0..x).map(move |y| x * 10 + y))
+            .collect();
+        assert_eq!(out, vec![10, 20, 21, 30, 31, 32]);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let out: Vec<usize> = Vec::<usize>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<usize> = vec![7usize].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

@@ -1,0 +1,383 @@
+//! Derive macros for the in-tree `serde` stand-in.
+//!
+//! Implemented with hand-rolled `proc_macro::TokenStream` parsing (the
+//! build environment has no `syn`/`quote`), covering the shapes this
+//! workspace derives on:
+//!
+//! * structs with named fields (with optional `#[serde(skip)]` fields,
+//!   which are omitted on serialize and default-initialized on
+//!   deserialize);
+//! * enums with unit variants (serialized as the variant-name string)
+//!   and struct variants (serialized externally tagged:
+//!   `{"Variant": {...}}`) — the same JSON layout upstream serde uses.
+//!
+//! Tuple structs, tuple variants, and generic types are intentionally
+//! unsupported and produce a compile error naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (doc comments, other derives' leftovers) and
+    // visibility until the `struct` / `enum` keyword.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub` (possibly `pub(crate)` — the paren group is a
+                // separate token and is skipped on the next iteration).
+            }
+            Some(_) => {}
+            None => panic!("serde derive: no struct or enum found"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected a type name, got {other:?}"),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde derive: generic type {name} is unsupported")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("serde derive: unit/tuple struct {name} is unsupported")
+            }
+            Some(_) => {}
+            None => panic!("serde derive: {name} has no braced body"),
+        }
+    };
+    if kind == "struct" {
+        Item::Struct {
+            name,
+            fields: parse_fields(body),
+        }
+    } else {
+        Item::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    }
+}
+
+/// Skips one run of `#[...]` attributes, returning whether any of them
+/// was `#[serde(skip)]`.
+fn skip_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        if let Some(TokenTree::Group(g)) = tokens.next() {
+            skip |= attr_is_serde_skip(g.stream());
+        }
+    }
+    skip
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let mut toks = stream.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let mut tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = skip_attrs(&mut tokens);
+        // Visibility: `pub` plus an optional restriction group.
+        if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            tokens.next();
+            if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                tokens.next();
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected a field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field {name}, got {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket
+        // depth zero. Groups are atomic tokens, so commas inside
+        // parens/brackets never surface here.
+        let mut angle_depth = 0i32;
+        for t in tokens.by_ref() {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected a variant name, got {other:?}"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                tokens.next();
+                Some(parse_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde derive: tuple variant {name} is unsupported")
+            }
+            _ => None,
+        };
+        // Consume up to and including the trailing comma.
+        for t in tokens.by_ref() {
+            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn object_literal(entries: &[(String, String)]) -> String {
+    let mut s = String::from("::serde::value::Value::Object(::std::vec![");
+    for (key, value_expr) in entries {
+        s.push_str(&format!(
+            "(::std::string::String::from(\"{key}\"), {value_expr}),"
+        ));
+    }
+    s.push_str("])");
+    s
+}
+
+fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
+    let entries: Vec<(String, String)> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            (
+                f.name.clone(),
+                format!("::serde::Serialize::to_value(&self.{})", f.name),
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n\
+         {}\n\
+         }}\n\
+         }}",
+        object_literal(&entries)
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!("{}: ::std::default::Default::default(),", f.name));
+        } else {
+            inits.push_str(&format!(
+                "{0}: ::serde::__private::field(__v, \"{name}\", \"{0}\")?,",
+                f.name
+            ));
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::value::Value) \
+         -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        match &v.fields {
+            None => {
+                arms.push_str(&format!(
+                    "{name}::{0} => ::serde::value::Value::Str(\
+                     ::std::string::String::from(\"{0}\")),\n",
+                    v.name
+                ));
+            }
+            Some(fields) => {
+                let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let inner: Vec<(String, String)> = fields
+                    .iter()
+                    .filter(|f| !f.skip)
+                    .map(|f| {
+                        (
+                            f.name.clone(),
+                            format!("::serde::Serialize::to_value({})", f.name),
+                        )
+                    })
+                    .collect();
+                let payload = object_literal(&inner);
+                let entry = vec![(v.name.clone(), payload)];
+                arms.push_str(&format!(
+                    "{name}::{} {{ {} }} => {},\n",
+                    v.name,
+                    bindings.join(", "),
+                    object_literal(&entry)
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n\
+         match self {{\n{arms}\n}}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> = variants.iter().filter(|v| v.fields.is_none()).collect();
+    let tagged: Vec<&Variant> = variants.iter().filter(|v| v.fields.is_some()).collect();
+
+    // Unit variants arrive as plain strings.
+    let mut string_block = String::new();
+    if !unit.is_empty() {
+        let mut arms = String::new();
+        for v in &unit {
+            arms.push_str(&format!(
+                "\"{0}\" => ::std::result::Result::Ok({name}::{0}),\n",
+                v.name
+            ));
+        }
+        string_block = format!(
+            "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+             return match __s {{\n{arms}\
+             __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+             ::std::format!(\"unknown {name} variant {{__other}}\"))),\n\
+             }};\n}}\n"
+        );
+    }
+
+    // Struct variants arrive externally tagged.
+    let tagged_block = if tagged.is_empty() {
+        format!(
+            "::std::result::Result::Err(::serde::de::Error::custom(\
+             \"expected a {name} variant name\"))"
+        )
+    } else {
+        let mut arms = String::new();
+        for v in &tagged {
+            let mut inits = String::new();
+            for f in v.fields.as_ref().expect("tagged variant has fields") {
+                if f.skip {
+                    inits.push_str(&format!("{}: ::std::default::Default::default(),", f.name));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::__private::field(__payload, \"{name}::{1}\", \"{0}\")?,",
+                        f.name, v.name
+                    ));
+                }
+            }
+            arms.push_str(&format!(
+                "\"{0}\" => ::std::result::Result::Ok({name}::{0} {{ {inits} }}),\n",
+                v.name
+            ));
+        }
+        format!(
+            "let (__tag, __payload) = ::serde::__private::variant(__v, \"{name}\")?;\n\
+             match __tag {{\n{arms}\
+             __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+             ::std::format!(\"unknown {name} variant {{__other}}\"))),\n\
+             }}"
+        )
+    };
+
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::value::Value) \
+         -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+         {string_block}\
+         {tagged_block}\n\
+         }}\n\
+         }}"
+    )
+}

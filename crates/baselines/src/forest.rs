@@ -23,7 +23,13 @@ pub struct RandomForest {
 impl RandomForest {
     /// A forest with `n_trees` trees of depth `max_depth`.
     pub fn new(n_trees: usize, max_depth: usize) -> Self {
-        Self { n_trees, max_depth, max_features: None, seed: 42, trees: Vec::new() }
+        Self {
+            n_trees,
+            max_depth,
+            max_features: None,
+            seed: 42,
+            trees: Vec::new(),
+        }
     }
 
     /// Deterministic bootstrap sample of `n` indices for tree `t`.
@@ -101,7 +107,10 @@ mod tests {
     fn nonlinear_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let x = tensor::init::uniform(n, 2, 0.0, 1.0, &mut rng);
-        let y: Vec<f64> = x.rows_iter().map(|r| (6.0 * r[0]).sin() + r[1] * r[1]).collect();
+        let y: Vec<f64> = x
+            .rows_iter()
+            .map(|r| (6.0 * r[0]).sin() + r[1] * r[1])
+            .collect();
         (x, y)
     }
 
@@ -111,8 +120,12 @@ mod tests {
         let mut f = RandomForest::new(30, 8);
         f.fit(&x, &y);
         let pred = f.predict(&x);
-        let mse: f64 =
-            pred.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len() as f64;
+        let mse: f64 = pred
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / y.len() as f64;
         assert!(mse < 0.02, "training MSE {mse}");
     }
 
@@ -125,7 +138,11 @@ mod tests {
         let mut stump = crate::tree::DecisionTree::new(1);
         stump.fit(&x, &y);
         let mse = |p: Vec<f64>| -> f64 {
-            p.iter().zip(&yt).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / yt.len() as f64
+            p.iter()
+                .zip(&yt)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                / yt.len() as f64
         };
         assert!(mse(forest.predict(&xt)) < mse(stump.predict(&xt)));
     }

@@ -26,7 +26,13 @@ impl GradientBoosting {
     /// A booster with the given rounds / depth / learning rate.
     pub fn new(n_rounds: usize, max_depth: usize, learning_rate: f64) -> Self {
         assert!(learning_rate > 0.0, "learning rate must be positive");
-        Self { n_rounds, max_depth, learning_rate, base: 0.0, trees: Vec::new() }
+        Self {
+            n_rounds,
+            max_depth,
+            learning_rate,
+            base: 0.0,
+            trees: Vec::new(),
+        }
     }
 
     /// Number of fitted rounds.
@@ -99,7 +105,10 @@ mod tests {
     fn data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let x = tensor::init::uniform(n, 2, 0.0, 1.0, &mut rng);
-        let y: Vec<f64> = x.rows_iter().map(|r| (5.0 * r[0]).sin() + 2.0 * r[1]).collect();
+        let y: Vec<f64> = x
+            .rows_iter()
+            .map(|r| (5.0 * r[0]).sin() + 2.0 * r[1])
+            .collect();
         (x, y)
     }
 
@@ -111,7 +120,11 @@ mod tests {
         let staged = g.staged_mse(&x, &y);
         assert!(staged.first().unwrap() > staged.last().unwrap());
         // Non-strictly monotone decreasing overall trend.
-        assert!(staged.last().unwrap() < &0.01, "final MSE {}", staged.last().unwrap());
+        assert!(
+            staged.last().unwrap() < &0.01,
+            "final MSE {}",
+            staged.last().unwrap()
+        );
     }
 
     #[test]
@@ -137,7 +150,11 @@ mod tests {
         let mut boosted = GradientBoosting::new(80, 2, 0.2);
         boosted.fit(&x, &y);
         let mse = |p: Vec<f64>| -> f64 {
-            p.iter().zip(&yt).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / yt.len() as f64
+            p.iter()
+                .zip(&yt)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                / yt.len() as f64
         };
         assert!(mse(boosted.predict(&xt)) < mse(weak.predict(&xt)));
     }

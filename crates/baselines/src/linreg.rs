@@ -15,12 +15,20 @@ pub struct LinearRegression {
 impl LinearRegression {
     /// Plain OLS (tiny ridge term for numerical stability).
     pub fn new() -> Self {
-        Self { ridge: 1e-9, coef: Vec::new(), intercept: 0.0 }
+        Self {
+            ridge: 1e-9,
+            coef: Vec::new(),
+            intercept: 0.0,
+        }
     }
 
     /// Ridge regression with penalty `lambda`.
     pub fn ridge(lambda: f64) -> Self {
-        Self { ridge: lambda, coef: Vec::new(), intercept: 0.0 }
+        Self {
+            ridge: lambda,
+            coef: Vec::new(),
+            intercept: 0.0,
+        }
     }
 
     /// Fitted coefficients (empty before `fit`).
@@ -40,7 +48,10 @@ impl LinearRegression {
         for k in 0..n {
             let pivot_row = (k..n)
                 .max_by(|&r1, &r2| {
-                    a[(r1, k)].abs().partial_cmp(&a[(r2, k)].abs()).expect("finite")
+                    a[(r1, k)]
+                        .abs()
+                        .partial_cmp(&a[(r2, k)].abs())
+                        .expect("finite")
                 })
                 .expect("non-empty");
             if pivot_row != k {
@@ -105,10 +116,19 @@ impl Regressor for LinearRegression {
     }
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
-        assert_eq!(x.cols(), self.coef.len(), "feature count mismatch (fit first?)");
+        assert_eq!(
+            x.cols(),
+            self.coef.len(),
+            "feature count mismatch (fit first?)"
+        );
         x.rows_iter()
             .map(|row| {
-                self.intercept + row.iter().zip(&self.coef).map(|(&a, &b)| a * b).sum::<f64>()
+                self.intercept
+                    + row
+                        .iter()
+                        .zip(&self.coef)
+                        .map(|(&a, &b)| a * b)
+                        .sum::<f64>()
             })
             .collect()
     }
@@ -128,7 +148,10 @@ mod tests {
     fn recovers_exact_linear_relation() {
         let mut rng = StdRng::seed_from_u64(1);
         let x = tensor::init::uniform(100, 3, -2.0, 2.0, &mut rng);
-        let y: Vec<f64> = x.rows_iter().map(|r| 2.0 * r[0] - r[1] + 0.5 * r[2] + 7.0).collect();
+        let y: Vec<f64> = x
+            .rows_iter()
+            .map(|r| 2.0 * r[0] - r[1] + 0.5 * r[2] + 7.0)
+            .collect();
         let mut m = LinearRegression::new();
         m.fit(&x, &y);
         assert!((m.coefficients()[0] - 2.0).abs() < 1e-6);

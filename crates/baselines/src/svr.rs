@@ -65,8 +65,7 @@ impl Regressor for LinearSvr {
         let scaler = Standardizer::fit(x);
         let xs = scaler.transform(x).expect("fitted on same shape");
         self.y_mean = y.iter().sum::<f64>() / y.len() as f64;
-        self.y_std = (y.iter().map(|&v| (v - self.y_mean).powi(2)).sum::<f64>()
-            / y.len() as f64)
+        self.y_std = (y.iter().map(|&v| (v - self.y_mean).powi(2)).sum::<f64>() / y.len() as f64)
             .sqrt()
             .max(1e-12);
         let ys: Vec<f64> = y.iter().map(|&v| (v - self.y_mean) / self.y_std).collect();
@@ -91,8 +90,12 @@ impl Regressor for LinearSvr {
                 t += 1;
                 let eta = self.lr / (1.0 + (t as f64).sqrt() * 0.01);
                 let row = xs.row(i);
-                let pred: f64 =
-                    self.bias + row.iter().zip(&self.weights).map(|(&a, &b)| a * b).sum::<f64>();
+                let pred: f64 = self.bias
+                    + row
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(&a, &b)| a * b)
+                        .sum::<f64>();
                 let err = pred - ys[i];
                 // L2 shrink.
                 for w in &mut self.weights {
@@ -115,8 +118,12 @@ impl Regressor for LinearSvr {
         let xs = scaler.transform(x).expect("feature count matches fit");
         xs.rows_iter()
             .map(|row| {
-                let z: f64 =
-                    self.bias + row.iter().zip(&self.weights).map(|(&a, &b)| a * b).sum::<f64>();
+                let z: f64 = self.bias
+                    + row
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(&a, &b)| a * b)
+                        .sum::<f64>();
                 z * self.y_std + self.y_mean
             })
             .collect()
@@ -137,7 +144,10 @@ mod tests {
     fn fits_linear_relation_approximately() {
         let mut rng = StdRng::seed_from_u64(1);
         let x = tensor::init::uniform(400, 2, -1.0, 1.0, &mut rng);
-        let y: Vec<f64> = x.rows_iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 1.0).collect();
+        let y: Vec<f64> = x
+            .rows_iter()
+            .map(|r| 3.0 * r[0] - 2.0 * r[1] + 1.0)
+            .collect();
         let mut m = LinearSvr::new();
         m.fit(&x, &y);
         let pred = m.predict(&x);

@@ -35,7 +35,13 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// A tree with the given depth bound, considering all features.
     pub fn new(max_depth: usize) -> Self {
-        Self { max_depth, min_leaf: 2, max_features: None, feature_seed: 0, root: None }
+        Self {
+            max_depth,
+            min_leaf: 2,
+            max_features: None,
+            feature_seed: 0,
+            root: None,
+        }
     }
 
     fn mean(y: &[f64], idx: &[usize]) -> f64 {
@@ -75,7 +81,9 @@ impl DecisionTree {
     fn build(&self, x: &Matrix, y: &[f64], idx: &[usize], depth: usize, salt: u64) -> Node {
         let parent_sse = Self::sse(y, idx);
         if depth >= self.max_depth || idx.len() < 2 * self.min_leaf || parent_sse <= 1e-12 {
-            return Node::Leaf { value: Self::mean(y, idx) };
+            return Node::Leaf {
+                value: Self::mean(y, idx),
+            };
         }
 
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
@@ -111,10 +119,14 @@ impl DecisionTree {
         }
 
         let Some((feature, threshold, split_sse)) = best else {
-            return Node::Leaf { value: Self::mean(y, idx) };
+            return Node::Leaf {
+                value: Self::mean(y, idx),
+            };
         };
         if split_sse >= parent_sse - 1e-12 {
-            return Node::Leaf { value: Self::mean(y, idx) };
+            return Node::Leaf {
+                value: Self::mean(y, idx),
+            };
         }
         let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
             idx.iter().partition(|&&i| x[(i, feature)] <= threshold);
@@ -129,7 +141,12 @@ impl DecisionTree {
     fn eval(node: &Node, row: &[f64]) -> f64 {
         match node {
             Node::Leaf { value } => *value,
-            Node::Split { feature, threshold, left, right } => {
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 if row[*feature] <= *threshold {
                     Self::eval(left, row)
                 } else {
@@ -258,9 +275,7 @@ mod tests {
         let mut deep = DecisionTree::new(3);
         shallow.fit(&x, &y);
         deep.fit(&x, &y);
-        let err = |p: &[f64]| -> f64 {
-            p.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum()
-        };
+        let err = |p: &[f64]| -> f64 { p.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum() };
         assert!(err(&deep.predict(&x)) < err(&shallow.predict(&x)));
     }
 

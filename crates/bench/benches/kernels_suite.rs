@@ -13,9 +13,18 @@ fn bench_kernels(c: &mut Criterion) {
         Box::new(Dgemm { n: 128 }),
         Box::new(Stream { len: 1 << 18 }),
         Box::new(Stencil { n: 32, iters: 2 }),
-        Box::new(Fft { len: 1024, batch: 16 }),
-        Box::new(Spmv { n: 10_000, nnz_per_row: 16 }),
-        Box::new(Bfs { nodes: 20_000, degree: 6 }),
+        Box::new(Fft {
+            len: 1024,
+            batch: 16,
+        }),
+        Box::new(Spmv {
+            n: 10_000,
+            nnz_per_row: 16,
+        }),
+        Box::new(Bfs {
+            nodes: 20_000,
+            degree: 6,
+        }),
     ];
     for k in suite {
         group.bench_function(k.name(), |b| b.iter(|| black_box(k.run(1.0))));

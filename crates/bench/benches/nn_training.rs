@@ -13,10 +13,22 @@ fn campaign_dataset() -> (DeviceSpec, Dataset) {
     let grid = DvfsGrid::for_spec(&spec);
     let nm = NoiseModel::default_bench();
     let sigs = [
-        SignatureBuilder::new("c").flops(2e13).bytes(2e11).kappa_compute(0.9).build(),
-        SignatureBuilder::new("m").flops(2e11).bytes(2e13).kappa_memory(0.85).build(),
+        SignatureBuilder::new("c")
+            .flops(2e13)
+            .bytes(2e11)
+            .kappa_compute(0.9)
+            .build(),
+        SignatureBuilder::new("m")
+            .flops(2e11)
+            .bytes(2e13)
+            .kappa_memory(0.85)
+            .build(),
         SignatureBuilder::new("x").flops(8e12).bytes(3e12).build(),
-        SignatureBuilder::new("y").flops(3e12).bytes(1e12).kappa_compute(0.5).build(),
+        SignatureBuilder::new("y")
+            .flops(3e12)
+            .bytes(1e12)
+            .kappa_compute(0.5)
+            .build(),
     ];
     let mut samples = Vec::new();
     for sig in &sigs {
@@ -41,7 +53,10 @@ fn bench_training(c: &mut Criterion) {
                 ModelConfig::paper_power(),
                 // Train only the time model minimally: this bench targets
                 // the power model's 100-epoch cost.
-                ModelConfig { epochs: 1, ..ModelConfig::paper_time() },
+                ModelConfig {
+                    epochs: 1,
+                    ..ModelConfig::paper_time()
+                },
             )
         })
     });
@@ -49,7 +64,10 @@ fn bench_training(c: &mut Criterion) {
         b.iter(|| {
             PowerTimeModels::train_with(
                 black_box(&ds),
-                ModelConfig { epochs: 1, ..ModelConfig::paper_power() },
+                ModelConfig {
+                    epochs: 1,
+                    ..ModelConfig::paper_power()
+                },
                 ModelConfig::paper_time(),
             )
         })

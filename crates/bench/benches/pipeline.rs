@@ -32,7 +32,10 @@ fn bench_selection(c: &mut Criterion) {
 
 fn bench_mi(c: &mut Criterion) {
     let x: Vec<f64> = (0..800).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
-    let y: Vec<f64> = x.iter().map(|&v| v * v + 0.1 * ((v * 50.0).sin())).collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|&v| v * v + 0.1 * ((v * 50.0).sin()))
+        .collect();
     c.bench_function("ksg_mi_800_points", |b| {
         b.iter(|| featsel::mutual_information(black_box(&x), black_box(&y), KsgOptions::default()))
     });
@@ -41,7 +44,10 @@ fn bench_mi(c: &mut Criterion) {
 fn bench_measurement_sweep(c: &mut Criterion) {
     let spec = DeviceSpec::ga100();
     let grid = DvfsGrid::for_spec(&spec);
-    let sig = SignatureBuilder::new("sweep").flops(1e13).bytes(1e12).build();
+    let sig = SignatureBuilder::new("sweep")
+        .flops(1e13)
+        .bytes(1e12)
+        .build();
     let nm = NoiseModel::default_bench();
     c.bench_function("measure_61_states", |b| {
         b.iter(|| {

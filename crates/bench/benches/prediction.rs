@@ -1,0 +1,116 @@
+//! Criterion benches for the online prediction phase: scalar per-frequency
+//! forward passes vs the batched sweep vs the cache-aware path, each over
+//! the full 61-state GA100 DVFS grid (the headline comparison for the
+//! batch-first online phase).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvfs_core::cache::ProfileCache;
+use dvfs_core::dataset::Dataset;
+use dvfs_core::models::PowerTimeModels;
+use dvfs_core::predictor::{PredictedProfile, Predictor};
+use gpu_model::{DeviceSpec, DvfsGrid, MetricSample, NoiseModel, SignatureBuilder};
+use std::hint::black_box;
+
+/// A small but representative training campaign: enough coverage that the
+/// trained networks behave like the real ones, cheap enough that the bench
+/// binary starts in seconds.
+fn trained_models(spec: &DeviceSpec) -> PowerTimeModels {
+    let nm = NoiseModel::default_bench();
+    let sigs = [
+        SignatureBuilder::new("c1")
+            .flops(2e13)
+            .bytes(2e11)
+            .kappa_compute(0.9)
+            .build(),
+        SignatureBuilder::new("m1")
+            .flops(2e11)
+            .bytes(2e13)
+            .kappa_memory(0.85)
+            .build(),
+        SignatureBuilder::new("x1").flops(8e12).bytes(3e12).build(),
+        SignatureBuilder::new("x2")
+            .flops(4e12)
+            .bytes(8e11)
+            .kappa_compute(0.5)
+            .build(),
+    ];
+    let grid = DvfsGrid::for_spec(spec);
+    let mut samples = Vec::new();
+    for sig in &sigs {
+        for &f in grid.used().iter().step_by(4) {
+            samples.push(gpu_model::sample::measure(spec, sig, f, 0, &nm));
+        }
+        samples.push(gpu_model::sample::measure(
+            spec,
+            sig,
+            spec.max_core_mhz,
+            0,
+            &nm,
+        ));
+    }
+    PowerTimeModels::train(&Dataset::from_samples(spec, &samples).unwrap())
+}
+
+fn reference_sample(spec: &DeviceSpec) -> MetricSample {
+    let sig = SignatureBuilder::new("unseen")
+        .flops(1.5e13)
+        .bytes(1.0e12)
+        .build();
+    gpu_model::sample::measure(spec, &sig, spec.max_core_mhz, 0, &NoiseModel::none())
+}
+
+/// The pre-batching online phase: two scalar forward passes per frequency
+/// (2F single-row network evaluations for an F-state sweep).
+fn scalar_profile(
+    models: &PowerTimeModels,
+    spec: &DeviceSpec,
+    reference: &MetricSample,
+    freqs: &[f64],
+) -> PredictedProfile {
+    let fp = reference.fp_active();
+    let dram = reference.dram_active;
+    let ratio_at_max = models.predict_time_ratio(spec, fp, dram, spec.max_core_mhz);
+    let anchor = reference.exec_time / ratio_at_max.max(1e-9);
+    let power_w: Vec<f64> = freqs
+        .iter()
+        .map(|&f| models.predict_power_w(spec, fp, dram, f))
+        .collect();
+    let time_s: Vec<f64> = freqs
+        .iter()
+        .map(|&f| anchor * models.predict_time_ratio(spec, fp, dram, f))
+        .collect();
+    PredictedProfile::new(reference.workload.clone(), freqs.to_vec(), power_w, time_s)
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let spec = DeviceSpec::ga100();
+    let models = trained_models(&spec);
+    let predictor = Predictor::new(&models, spec.clone());
+    let freqs = DvfsGrid::for_spec(&spec).used();
+    assert_eq!(freqs.len(), 61);
+    let reference = reference_sample(&spec);
+
+    let mut group = c.benchmark_group("predict_61_states");
+    group.bench_function("scalar_loop", |b| {
+        b.iter(|| scalar_profile(&models, &spec, black_box(&reference), black_box(&freqs)))
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| predictor.predict_from_reference(black_box(&reference), black_box(&freqs)))
+    });
+    let cache = ProfileCache::new(16);
+    // Warm the single entry so the steady-state (hit) path is measured.
+    let _ = predictor.predict_from_reference_cached(&cache, &reference, &freqs);
+    group.bench_function("cached_hit", |b| {
+        b.iter(|| {
+            predictor.predict_from_reference_cached(
+                &cache,
+                black_box(&reference),
+                black_box(&freqs),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

@@ -25,11 +25,29 @@ fn main() {
     ];
 
     println!("== Ablation: activation function (power model) ==");
-    println!("{:<12} {:>12} {:>16}", "activation", "val loss", "app accuracy(%)");
+    println!(
+        "{:<12} {:>12} {:>16}",
+        "activation", "val loss", "app accuracy(%)"
+    );
     for act in candidates {
-        let cfg = ModelConfig { activation: act, ..ModelConfig::paper_power() };
-        let models = PowerTimeModels::train_with(ds, cfg, ModelConfig { activation: act, ..ModelConfig::paper_time() });
-        let val = models.power_history.val_loss.last().copied().unwrap_or(f64::NAN);
+        let cfg = ModelConfig {
+            activation: act,
+            ..ModelConfig::paper_power()
+        };
+        let models = PowerTimeModels::train_with(
+            ds,
+            cfg,
+            ModelConfig {
+                activation: act,
+                ..ModelConfig::paper_time()
+            },
+        );
+        let val = models
+            .power_history
+            .val_loss
+            .last()
+            .copied()
+            .unwrap_or(f64::NAN);
 
         // Mean power accuracy over the six applications under this model.
         let mut acc_sum = 0.0;

@@ -8,7 +8,10 @@ fn main() {
     let ds: &Dataset = &lab.pipeline.dataset;
 
     println!("== Ablation: hidden layers x width (power model) ==");
-    println!("{:<8} {:<8} {:>12} {:>14} {:>10}", "layers", "width", "params", "val loss", "wall (s)");
+    println!(
+        "{:<8} {:<8} {:>12} {:>14} {:>10}",
+        "layers", "width", "params", "val loss", "wall (s)"
+    );
     for layers in [1usize, 2, 3, 4] {
         for width in [16usize, 64, 128] {
             let cfg = ModelConfig {
@@ -21,14 +24,23 @@ fn main() {
             let models = PowerTimeModels::train_with(
                 ds,
                 cfg,
-                ModelConfig { hidden_layers: layers, width, ..ModelConfig::paper_time() },
+                ModelConfig {
+                    hidden_layers: layers,
+                    width,
+                    ..ModelConfig::paper_time()
+                },
             );
             println!(
                 "{:<8} {:<8} {:>12} {:>14.6} {:>10.2}",
                 layers,
                 width,
                 params,
-                models.power_history.val_loss.last().copied().unwrap_or(f64::NAN),
+                models
+                    .power_history
+                    .val_loss
+                    .last()
+                    .copied()
+                    .unwrap_or(f64::NAN),
                 models.power_history.train_seconds
             );
         }

@@ -55,7 +55,13 @@ fn main() {
             power_history: history,
             time_history: lab.pipeline.models.time_history.clone(),
         };
-        report(&lab, &spec, &format!("early stop (p={patience})"), &models, epochs);
+        report(
+            &lab,
+            &spec,
+            &format!("early stop (p={patience})"),
+            &models,
+            epochs,
+        );
     }
 }
 
@@ -81,7 +87,12 @@ fn report(
         "{:<22} {:>8} {:>14.6} {:>16.1}",
         label,
         epochs,
-        models.power_history.val_loss.last().copied().unwrap_or(f64::NAN),
+        models
+            .power_history
+            .val_loss
+            .last()
+            .copied()
+            .unwrap_or(f64::NAN),
         acc / lab.apps.len() as f64
     );
 }

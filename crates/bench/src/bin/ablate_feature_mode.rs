@@ -47,6 +47,12 @@ fn main() {
             t_acc += nn::metrics::accuracy_from_mape(&pred_t_norm, &measured.normalized_time());
         }
         let n = lab.apps.len() as f64;
-        println!("{:<14} {:>8} {:>18.1} {:>17.1}", name, ds.len(), p_acc / n, t_acc / n);
+        println!(
+            "{:<14} {:>8} {:>18.1} {:>17.1}",
+            name,
+            ds.len(),
+            p_acc / n,
+            t_acc / n
+        );
     }
 }

@@ -6,8 +6,8 @@
 use dvfs_core::dataset::Dataset;
 use dvfs_core::models::BATCH_SIZE;
 use nn::{Activation, Loss, NetworkBuilder, OptimizerKind, TrainConfig, Trainer};
-use tensor::Matrix;
 use telemetry::GpuBackend;
+use tensor::Matrix;
 
 /// Column subsets of (fp_active, dram_active, f_norm).
 const SUBSETS: [(&str, &[usize]); 6] = [
@@ -35,7 +35,10 @@ fn main() {
     let spec = lab.ga100.spec().clone();
 
     println!("== Ablation: feature subsets (power model) ==");
-    println!("{:<12} {:>12} {:>16}", "features", "val loss", "app accuracy(%)");
+    println!(
+        "{:<12} {:>12} {:>16}",
+        "features", "val loss", "app accuracy(%)"
+    );
     for (name, cols) in SUBSETS {
         let x = select_columns(&ds.x, cols);
         let y = Matrix::col_vector(&ds.y_power);

@@ -13,28 +13,68 @@ fn main() {
     let ds: &Dataset = &lab.pipeline.dataset;
 
     let candidates = [
-        OptimizerKind::RmsProp { lr: 1e-3, rho: 0.9, eps: 1e-7 },
-        OptimizerKind::Adam { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8 },
-        OptimizerKind::Adamax { lr: 2e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8 },
-        OptimizerKind::Nadam { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8 },
-        OptimizerKind::AdaDelta { lr: 1.0, rho: 0.95, eps: 1e-7 },
-        OptimizerKind::Sgd { lr: 1e-2, momentum: 0.9 },
+        OptimizerKind::RmsProp {
+            lr: 1e-3,
+            rho: 0.9,
+            eps: 1e-7,
+        },
+        OptimizerKind::Adam {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        },
+        OptimizerKind::Adamax {
+            lr: 2e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        },
+        OptimizerKind::Nadam {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        },
+        OptimizerKind::AdaDelta {
+            lr: 1.0,
+            rho: 0.95,
+            eps: 1e-7,
+        },
+        OptimizerKind::Sgd {
+            lr: 1e-2,
+            momentum: 0.9,
+        },
     ];
 
     println!("== Ablation: optimizer (power model, 100 epochs) ==");
-    println!("{:<10} {:>14} {:>14} {:>10}", "optimizer", "train loss", "val loss", "wall (s)");
+    println!(
+        "{:<10} {:>14} {:>14} {:>10}",
+        "optimizer", "train loss", "val loss", "wall (s)"
+    );
     for opt in candidates {
-        let cfg = ModelConfig { optimizer: opt, ..ModelConfig::paper_power() };
+        let cfg = ModelConfig {
+            optimizer: opt,
+            ..ModelConfig::paper_power()
+        };
         let models = PowerTimeModels::train_with(
             ds,
             cfg,
-            ModelConfig { optimizer: opt, ..ModelConfig::paper_time() },
+            ModelConfig {
+                optimizer: opt,
+                ..ModelConfig::paper_time()
+            },
         );
         println!(
             "{:<10} {:>14.6} {:>14.6} {:>10.2}",
             opt.name(),
             models.power_history.train_loss.last().unwrap(),
-            models.power_history.val_loss.last().copied().unwrap_or(f64::NAN),
+            models
+                .power_history
+                .val_loss
+                .last()
+                .copied()
+                .unwrap_or(f64::NAN),
             models.power_history.train_seconds
         );
     }

@@ -48,7 +48,9 @@ fn main() {
         for &f in &freqs {
             let t = app.exec_time(&spec, f);
             for off in &offsets {
-                let Some(e) = app_energy(f, *off) else { continue };
+                let Some(e) = app_energy(f, *off) else {
+                    continue;
+                };
                 let score = e * t * t;
                 if off.scale == 1.0 && f_only.is_none_or(|(_, b)| score < b) {
                     f_only = Some((f, score));
@@ -60,8 +62,7 @@ fn main() {
         }
         let (ff, _) = f_only.expect("nominal column is always stable");
         let (jf, juv, _) = joint.expect("grid is non-empty");
-        let f_only_saving =
-            1.0 - app_energy(ff, VoltageOffset::nominal()).expect("stable") / e_max;
+        let f_only_saving = 1.0 - app_energy(ff, VoltageOffset::nominal()).expect("stable") / e_max;
         let joint_saving = 1.0
             - app_energy(jf, VoltageOffset::undervolt_pct(juv)).expect("joint optimum is stable")
                 / e_max;

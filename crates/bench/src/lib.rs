@@ -13,7 +13,9 @@ use serde::Serialize;
 /// training grid (stride 4) for fast smoke runs; the default is the
 /// paper's full 61-state campaign.
 pub fn build_lab() -> Lab {
-    let quick = std::env::var("DVFS_QUICK").map(|v| v == "1").unwrap_or(false);
+    let quick = std::env::var("DVFS_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     if quick {
         eprintln!("[harness] DVFS_QUICK=1: subsampled training grid");
         Lab::with_stride(4)

@@ -10,10 +10,16 @@ fn main() {
     let t0 = std::time::Instant::now();
     let backend = SimulatorBackend::ga100();
     let pipe = TrainedPipeline::train_on(&backend, 1);
-    println!("train: {:.1}s, rows {}", t0.elapsed().as_secs_f64(), pipe.dataset.len());
-    println!("power loss final {:.5}, time loss final {:.5}",
+    println!(
+        "train: {:.1}s, rows {}",
+        t0.elapsed().as_secs_f64(),
+        pipe.dataset.len()
+    );
+    println!(
+        "power loss final {:.5}, time loss final {:.5}",
         pipe.models.power_history.train_loss.last().unwrap(),
-        pipe.models.time_history.train_loss.last().unwrap());
+        pipe.models.time_history.train_loss.last().unwrap()
+    );
     let predictor = pipe.predictor(pipe.train_spec.clone());
     for app in kernels::apps::evaluation_apps() {
         let meas = measured_profile(&backend, &app);
@@ -36,10 +42,18 @@ fn main() {
     let tn_p = pred.normalized_time();
     for i in (0..meas.frequencies.len()).step_by(6) {
         let f = meas.frequencies[i];
-        println!("f {:4.0}  T_m {:.3} T_p {:.3}  P_m {:5.1} P_p {:5.1}  ED2P_m {:.3} ED2P_p {:.3}",
-            f, tn_m[i], tn_p[i], meas.power_w[i], pred.power_w[i],
-            meas.energy_j[i]*meas.time_s[i].powi(2)/(meas.energy_j.last().unwrap()*meas.time_s.last().unwrap().powi(2)),
-            pred.energy_j[i]*pred.time_s[i].powi(2)/(pred.energy_j.last().unwrap()*pred.time_s.last().unwrap().powi(2)));
+        println!(
+            "f {:4.0}  T_m {:.3} T_p {:.3}  P_m {:5.1} P_p {:5.1}  ED2P_m {:.3} ED2P_p {:.3}",
+            f,
+            tn_m[i],
+            tn_p[i],
+            meas.power_w[i],
+            pred.power_w[i],
+            meas.energy_j[i] * meas.time_s[i].powi(2)
+                / (meas.energy_j.last().unwrap() * meas.time_s.last().unwrap().powi(2)),
+            pred.energy_j[i] * pred.time_s[i].powi(2)
+                / (pred.energy_j.last().unwrap() * pred.time_s.last().unwrap().powi(2))
+        );
     }
     println!("total {:.1}s", t0.elapsed().as_secs_f64());
 }

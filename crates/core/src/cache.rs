@@ -1,0 +1,325 @@
+//! A bounded LRU cache for online-phase prediction results.
+//!
+//! The online phase predicts a *normalized* profile — power per
+//! frequency, `T(f)/T(f_max)` per frequency, and the time ratio at the
+//! default clock — from the profiled activities alone. Those activities
+//! are DVFS-invariant application fingerprints, so two reference runs
+//! with (nearly) the same `fp_active`/`dram_active` on the same device
+//! and grid produce the same normalized profile; only the absolute-time
+//! anchor differs per request. That makes the normalized profile an
+//! ideal cache value: a hit skips both network forward passes and pays
+//! only the per-request anchor rescale.
+//!
+//! Keys quantize the two activities to a configurable step (default
+//! [`ProfileCache::DEFAULT_QUANTUM`]) and fingerprint the device spec
+//! and frequency grid, so near-identical requests share an entry while
+//! different devices or sweeps never collide. Entries computed on a miss
+//! use the *bucket-center* activities, so the cached value is
+//! independent of which request inside a bucket arrived first —
+//! concurrent and reordered request streams stay deterministic.
+
+use gpu_model::DeviceSpec;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Cache key: quantized activities plus a device/grid fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    fp_bucket: i64,
+    dram_bucket: i64,
+    context_hash: u64,
+}
+
+/// The frequency-invariant part of a predicted profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedProfile {
+    /// Predicted power in watts at each grid frequency.
+    pub power_w: Vec<f64>,
+    /// Predicted `T(f)/T(f_max)` at each grid frequency.
+    pub time_ratio: Vec<f64>,
+    /// Predicted time ratio at the default clock (the anchor divisor).
+    pub ratio_at_max: f64,
+}
+
+/// Hit/miss/eviction counters, readable at any time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute and insert.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Slot {
+    value: NormalizedProfile,
+    last_used: u64,
+}
+
+struct CacheState {
+    entries: HashMap<CacheKey, Slot>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// A bounded, thread-safe LRU cache of [`NormalizedProfile`]s.
+pub struct ProfileCache {
+    state: Mutex<CacheState>,
+    capacity: usize,
+    quantum: f64,
+}
+
+impl ProfileCache {
+    /// Default activity quantization step. Activities live in `[0, 1]`,
+    /// so 1e-3 gives ~a thousand buckets per axis — fine enough that
+    /// bucket-center predictions track the exact ones, coarse enough
+    /// that repeated runs of the same application collapse onto one
+    /// entry despite measurement noise.
+    pub const DEFAULT_QUANTUM: f64 = 1e-3;
+
+    /// Creates a cache holding at most `capacity` profiles.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_quantum(capacity, Self::DEFAULT_QUANTUM)
+    }
+
+    /// Creates a cache with an explicit activity quantization step.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero or `quantum` is not positive.
+    pub fn with_quantum(capacity: usize, quantum: f64) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        assert!(quantum > 0.0, "activity quantum must be positive");
+        Self {
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                tick: 0,
+                stats: CacheStats::default(),
+            }),
+            capacity,
+            quantum,
+        }
+    }
+
+    fn bucket(&self, activity: f64) -> i64 {
+        (activity / self.quantum).round() as i64
+    }
+
+    /// Snaps an activity to the center of its quantization bucket — the
+    /// value predictions are computed from on a miss.
+    pub fn quantize(&self, activity: f64) -> f64 {
+        self.bucket(activity) as f64 * self.quantum
+    }
+
+    /// Builds the key for a (device, activities, frequency-grid) request.
+    pub fn key(
+        &self,
+        spec: &DeviceSpec,
+        fp_active: f64,
+        dram_active: f64,
+        frequencies: &[f64],
+    ) -> CacheKey {
+        // FNV-1a over the spec identity and the exact grid bits: a
+        // different chip, TDP, default clock, or sweep must never share
+        // an entry.
+        fn fnv(h: u64, byte: u8) -> u64 {
+            (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3)
+        }
+        fn mix(h: u64, word: u64) -> u64 {
+            word.to_le_bytes().into_iter().fold(h, fnv)
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h = spec.arch.chip_name().bytes().fold(h, fnv);
+        h = mix(h, spec.max_core_mhz.to_bits());
+        h = mix(h, spec.tdp_w.to_bits());
+        h = mix(h, frequencies.len() as u64);
+        for &f in frequencies {
+            h = mix(h, f.to_bits());
+        }
+        CacheKey {
+            fp_bucket: self.bucket(fp_active),
+            dram_bucket: self.bucket(dram_active),
+            context_hash: h,
+        }
+    }
+
+    /// Returns the cached profile for `key`, computing it with `fill` and
+    /// inserting (evicting the least-recently-used entry if full) on a
+    /// miss.
+    pub fn get_or_insert_with(
+        &self,
+        key: CacheKey,
+        fill: impl FnOnce() -> NormalizedProfile,
+    ) -> NormalizedProfile {
+        {
+            let mut state = self.state.lock();
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some(slot) = state.entries.get_mut(&key) {
+                slot.last_used = tick;
+                let value = slot.value.clone();
+                state.stats.hits += 1;
+                return value;
+            }
+            state.stats.misses += 1;
+        }
+        // Compute outside the lock so concurrent misses on different keys
+        // don't serialize the (relatively expensive) forward passes.
+        let value = fill();
+        let mut state = self.state.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        if state.entries.len() >= self.capacity && !state.entries.contains_key(&key) {
+            // Evict the least-recently-used entry. `last_used` ticks are
+            // unique, so the victim is deterministic.
+            if let Some(victim) = state
+                .entries
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| *k)
+            {
+                state.entries.remove(&victim);
+                state.stats.evictions += 1;
+            }
+        }
+        state
+            .entries
+            .entry(key)
+            .or_insert(Slot {
+                value: value.clone(),
+                last_used: tick,
+            })
+            .last_used = tick;
+        value
+    }
+
+    /// Current hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().stats
+    }
+
+    /// Number of cached profiles.
+    pub fn len(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    /// Whether the cache holds no profiles.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries (counters are kept).
+    pub fn clear(&self) {
+        self.state.lock().entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(tag: f64) -> NormalizedProfile {
+        NormalizedProfile {
+            power_w: vec![tag; 3],
+            time_ratio: vec![1.0, 1.0, 1.0],
+            ratio_at_max: 1.0,
+        }
+    }
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::ga100()
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_lookups() {
+        let cache = ProfileCache::new(4);
+        let grid = [510.0, 960.0, 1410.0];
+        let key = cache.key(&spec(), 0.5, 0.5, &grid);
+        let a = cache.get_or_insert_with(key, || profile(1.0));
+        let b = cache.get_or_insert_with(key, || profile(2.0));
+        // Second lookup must return the first value, not recompute.
+        assert_eq!(a, b);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ProfileCache::new(2);
+        let grid = [510.0, 1410.0];
+        let s = spec();
+        let k1 = cache.key(&s, 0.1, 0.1, &grid);
+        let k2 = cache.key(&s, 0.2, 0.2, &grid);
+        let k3 = cache.key(&s, 0.3, 0.3, &grid);
+        cache.get_or_insert_with(k1, || profile(1.0));
+        cache.get_or_insert_with(k2, || profile(2.0));
+        // Touch k1 so k2 becomes the LRU victim.
+        cache.get_or_insert_with(k1, || profile(-1.0));
+        cache.get_or_insert_with(k3, || profile(3.0));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // k1 survived (hit), k2 was evicted (recomputes).
+        let v1 = cache.get_or_insert_with(k1, || profile(-1.0));
+        assert_eq!(v1.power_w[0], 1.0);
+        let v2 = cache.get_or_insert_with(k2, || profile(20.0));
+        assert_eq!(v2.power_w[0], 20.0);
+    }
+
+    #[test]
+    fn quantization_merges_nearby_activities_only() {
+        let cache = ProfileCache::with_quantum(8, 1e-3);
+        let grid = [510.0, 1410.0];
+        let s = spec();
+        // Same bucket: within half a quantum of the center.
+        assert_eq!(
+            cache.key(&s, 0.5000, 0.25, &grid),
+            cache.key(&s, 0.5004, 0.25, &grid)
+        );
+        // Across the bucket boundary: different keys.
+        assert_ne!(
+            cache.key(&s, 0.5004, 0.25, &grid),
+            cache.key(&s, 0.5006, 0.25, &grid)
+        );
+        // Quantize returns the shared bucket center.
+        assert!((cache.quantize(0.5004) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn device_and_grid_changes_never_collide() {
+        let cache = ProfileCache::new(8);
+        let ga = DeviceSpec::ga100();
+        let gv = DeviceSpec::gv100();
+        let grid_a = [510.0, 1410.0];
+        let grid_b = [510.0, 960.0, 1410.0];
+        assert_ne!(
+            cache.key(&ga, 0.5, 0.5, &grid_a),
+            cache.key(&gv, 0.5, 0.5, &grid_a)
+        );
+        assert_ne!(
+            cache.key(&ga, 0.5, 0.5, &grid_a),
+            cache.key(&ga, 0.5, 0.5, &grid_b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ProfileCache::new(0);
+    }
+}

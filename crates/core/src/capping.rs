@@ -42,7 +42,10 @@ pub struct CapPlan {
 impl CapPlan {
     /// Worst per-GPU slowdown in the plan.
     pub fn worst_slowdown(&self) -> f64 {
-        self.assignments.iter().map(|a| a.slowdown).fold(0.0, f64::max)
+        self.assignments
+            .iter()
+            .map(|a| a.slowdown)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -57,9 +60,8 @@ pub fn plan_under_cap(profiles: &[&PredictedProfile], cap_w: f64) -> CapPlan {
     }
     let mut idx: Vec<usize> = profiles.iter().map(|p| p.max_freq_index()).collect();
 
-    let draw = |idx: &[usize]| -> f64 {
-        idx.iter().zip(profiles).map(|(&i, p)| p.power_w[i]).sum()
-    };
+    let draw =
+        |idx: &[usize]| -> f64 { idx.iter().zip(profiles).map(|(&i, p)| p.power_w[i]).sum() };
 
     let mut feasible = true;
     while draw(&idx) > cap_w {
@@ -101,7 +103,11 @@ pub fn plan_under_cap(profiles: &[&PredictedProfile], cap_w: f64) -> CapPlan {
             slowdown: p.time_change_at(i).max(0.0),
         })
         .collect();
-    CapPlan { total_power_w: draw(&idx), assignments, feasible }
+    CapPlan {
+        total_power_w: draw(&idx),
+        assignments,
+        feasible,
+    }
 }
 
 #[cfg(test)]
@@ -111,13 +117,22 @@ mod tests {
     fn profile(name: &str, p_scale: f64, steep: f64) -> PredictedProfile {
         let frequencies: Vec<f64> = (0..21).map(|i| 510.0 + 45.0 * i as f64).collect();
         let fmax = *frequencies.last().unwrap();
-        let time_s: Vec<f64> = frequencies.iter().map(|&f| (fmax / f).powf(steep)).collect();
+        let time_s: Vec<f64> = frequencies
+            .iter()
+            .map(|&f| (fmax / f).powf(steep))
+            .collect();
         let power_w: Vec<f64> = frequencies
             .iter()
             .map(|&f| p_scale * (100.0 + 400.0 * (f / fmax).powi(2)))
             .collect();
         let energy_j: Vec<f64> = power_w.iter().zip(&time_s).map(|(&p, &t)| p * t).collect();
-        PredictedProfile { workload: name.into(), frequencies, power_w, time_s, energy_j }
+        PredictedProfile {
+            workload: name.into(),
+            frequencies,
+            power_w,
+            time_s,
+            energy_j,
+        }
     }
 
     #[test]

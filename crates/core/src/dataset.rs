@@ -88,7 +88,9 @@ pub fn default_references(
     let mut acc: BTreeMap<String, (f64, f64, f64, f64, usize)> = BTreeMap::new();
     for s in samples {
         if s.sm_app_clock == spec.max_core_mhz {
-            let e = acc.entry(s.workload.clone()).or_insert((0.0, 0.0, 0.0, 0.0, 0));
+            let e = acc
+                .entry(s.workload.clone())
+                .or_insert((0.0, 0.0, 0.0, 0.0, 0));
             e.0 += s.fp_active();
             e.1 += s.dram_active;
             e.2 += s.exec_time;
@@ -99,7 +101,9 @@ pub fn default_references(
     let mut out = BTreeMap::new();
     for s in samples {
         if !acc.contains_key(&s.workload) {
-            return Err(DatasetError::MissingDefaultClock { workload: s.workload.clone() });
+            return Err(DatasetError::MissingDefaultClock {
+                workload: s.workload.clone(),
+            });
         }
     }
     for (w, (fp, dram, t, p, n)) in acc {
@@ -173,7 +177,12 @@ impl Dataset {
                 push(r.fp_active, r.dram_active);
             }
         }
-        Ok(Self { x, y_power, y_time, workload })
+        Ok(Self {
+            x,
+            y_power,
+            y_time,
+            workload,
+        })
     }
 
     /// Number of rows.
@@ -198,7 +207,10 @@ mod tests {
     use gpu_model::{NoiseModel, SignatureBuilder, WorkloadSignature};
 
     fn sig(name: &str) -> WorkloadSignature {
-        SignatureBuilder::new(name).flops(1.0e13).bytes(2.0e11).build()
+        SignatureBuilder::new(name)
+            .flops(1.0e13)
+            .bytes(2.0e11)
+            .build()
     }
 
     fn samples_for(spec: &DeviceSpec, names: &[&str], freqs: &[f64]) -> Vec<MetricSample> {
@@ -256,8 +268,7 @@ mod tests {
         // Figure 4).
         let spec = DeviceSpec::ga100();
         let samples = samples_for(&spec, &["a"], &[510.0, 900.0, 1410.0]);
-        let ds =
-            Dataset::from_samples_with(&spec, &samples, FeatureMode::PerSample).unwrap();
+        let ds = Dataset::from_samples_with(&spec, &samples, FeatureMode::PerSample).unwrap();
         for (i, s) in samples.iter().enumerate() {
             assert_eq!(ds.x[(i, 0)], s.fp_active());
             assert_eq!(ds.x[(i, 1)], s.dram_active);
@@ -286,13 +297,21 @@ mod tests {
         let spec = DeviceSpec::ga100();
         let samples = samples_for(&spec, &["a"], &[510.0, 705.0]);
         let err = Dataset::from_samples(&spec, &samples).unwrap_err();
-        assert_eq!(err, DatasetError::MissingDefaultClock { workload: "a".into() });
+        assert_eq!(
+            err,
+            DatasetError::MissingDefaultClock {
+                workload: "a".into()
+            }
+        );
     }
 
     #[test]
     fn empty_input_is_error() {
         let spec = DeviceSpec::ga100();
-        assert_eq!(Dataset::from_samples(&spec, &[]).unwrap_err(), DatasetError::Empty);
+        assert_eq!(
+            Dataset::from_samples(&spec, &[]).unwrap_err(),
+            DatasetError::Empty
+        );
     }
 
     #[test]
@@ -301,8 +320,7 @@ mod tests {
         let samples = samples_for(&spec, &["a"], &[1410.0]);
         let refs = default_references(&spec, &samples).unwrap();
         let r = &refs["a"];
-        let mean_p: f64 =
-            samples.iter().map(|s| s.power_usage).sum::<f64>() / samples.len() as f64;
+        let mean_p: f64 = samples.iter().map(|s| s.power_usage).sum::<f64>() / samples.len() as f64;
         assert!((r.power_w - mean_p).abs() < 1e-9);
     }
 }

@@ -140,8 +140,10 @@ mod tests {
     fn profile(name: &str, scale: f64) -> PredictedProfile {
         let frequencies: Vec<f64> = (0..10).map(|i| 510.0 + 100.0 * i as f64).collect();
         let time_s: Vec<f64> = frequencies.iter().map(|&f| scale * 1410.0 / f).collect();
-        let power_w: Vec<f64> =
-            frequencies.iter().map(|&f| 100.0 + 300.0 * (f / 1410.0).powi(2)).collect();
+        let power_w: Vec<f64> = frequencies
+            .iter()
+            .map(|&f| 100.0 + 300.0 * (f / 1410.0).powi(2))
+            .collect();
         let energy_j: Vec<f64> = power_w.iter().zip(&time_s).map(|(&p, &t)| p * t).collect();
         PredictedProfile {
             workload: name.into(),
@@ -202,7 +204,10 @@ mod tests {
     fn slower_choice_reports_negative_time_change() {
         let m = profile("app", 1.0);
         let t = trade_off(&m, 0); // lowest frequency: slow but low energy?
-        assert!(t.time_change_pct < 0.0, "paper convention: loss is negative");
+        assert!(
+            t.time_change_pct < 0.0,
+            "paper convention: loss is negative"
+        );
     }
 
     #[test]

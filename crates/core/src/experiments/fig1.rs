@@ -5,8 +5,8 @@ use super::Lab;
 use gpu_model::model;
 use kernels::micro::{Dgemm, Stream};
 use kernels::Kernel;
-use telemetry::GpuBackend;
 use serde::{Deserialize, Serialize};
+use telemetry::GpuBackend;
 
 /// One micro-benchmark's panels (one row of Figure 1).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -41,7 +41,12 @@ pub struct Fig1Report {
     pub stream: MicroBenchCurves,
 }
 
-fn curves(lab: &Lab, sig: &gpu_model::WorkloadSignature, unit: &str, bandwidth: bool) -> MicroBenchCurves {
+fn curves(
+    lab: &Lab,
+    sig: &gpu_model::WorkloadSignature,
+    unit: &str,
+    bandwidth: bool,
+) -> MicroBenchCurves {
     let spec = lab.ga100.spec();
     let freqs = lab.ga100.grid().used();
     let mut power_w = Vec::with_capacity(freqs.len());
@@ -88,7 +93,10 @@ impl Fig1Report {
     /// Renders the eight panels as frequency series.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for (bench, label) in [(&self.dgemm, "DGEMM (compute-intensive)"), (&self.stream, "STREAM (memory-intensive)")] {
+        for (bench, label) in [
+            (&self.dgemm, "DGEMM (compute-intensive)"),
+            (&self.stream, "STREAM (memory-intensive)"),
+        ] {
             out.push_str(&format!(
                 "== Figure 1: {label} on GA100 ==\n\
                  optimal energy at {:.0} MHz, optimal run time at {:.0} MHz\n",
@@ -144,7 +152,10 @@ mod tests {
         let g = &r.dgemm.throughput;
         let ratio = g.last().unwrap() / g[0];
         let f_ratio = 1410.0 / 510.0;
-        assert!((ratio - f_ratio).abs() / f_ratio < 0.1, "FLOPS ratio {ratio:.2}");
+        assert!(
+            (ratio - f_ratio).abs() / f_ratio < 0.1,
+            "FLOPS ratio {ratio:.2}"
+        );
         // STREAM bandwidth at max is < 15% above its 900 MHz value.
         let bw = &r.stream.throughput;
         let idx_900 = r

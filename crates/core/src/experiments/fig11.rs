@@ -2,10 +2,10 @@
 //! baselines (RFR, XGBR, SVR, MLR) on the real applications.
 
 use super::Lab;
-use baselines::{GradientBoosting, LinearSvr, LinearRegression, RandomForest, Regressor};
+use baselines::{GradientBoosting, LinearRegression, LinearSvr, RandomForest, Regressor};
 use nn::metrics;
-use telemetry::GpuBackend;
 use serde::{Deserialize, Serialize};
+use telemetry::GpuBackend;
 use tensor::Matrix;
 
 /// One learner's per-application power accuracy.
@@ -58,8 +58,11 @@ pub fn run(lab: &Lab) -> Fig11Report {
                 .map(|&f| vec![fp, dram, f / spec.max_core_mhz])
                 .collect();
             let x = Matrix::from_rows(&rows).expect("rectangular features");
-            let pred_w: Vec<f64> =
-                model.predict(&x).into_iter().map(|frac| frac * spec.tdp_w).collect();
+            let pred_w: Vec<f64> = model
+                .predict(&x)
+                .into_iter()
+                .map(|frac| frac * spec.tdp_w)
+                .collect();
             per_app.push(metrics::accuracy_from_mape(&pred_w, &measured.power_w));
         }
         let mean = per_app.iter().sum::<f64>() / per_app.len() as f64;
@@ -69,7 +72,10 @@ pub fn run(lab: &Lab) -> Fig11Report {
             mean_accuracy_pct: mean,
         });
     }
-    Fig11Report { applications: apps, learners }
+    Fig11Report {
+        applications: apps,
+        learners,
+    }
 }
 
 fn dnn_row(lab: &Lab, apps: &[String]) -> LearnerAccuracy {

@@ -31,12 +31,20 @@ pub struct Fig2Report {
 pub fn run(lab: &Lab) -> Fig2Report {
     let mut stages = Vec::new();
     let mut off = |stage: &str, artifact: String| {
-        stages.push(Stage { phase: "offline".into(), stage: stage.into(), artifact });
+        stages.push(Stage {
+            phase: "offline".into(),
+            stage: stage.into(),
+            artifact,
+        });
     };
 
     let n_workloads = {
-        let mut names: Vec<&str> =
-            lab.pipeline.samples.iter().map(|s| s.workload.as_str()).collect();
+        let mut names: Vec<&str> = lab
+            .pipeline
+            .samples
+            .iter()
+            .map(|s| s.workload.as_str())
+            .collect();
         names.sort_unstable();
         names.dedup();
         names.len()
@@ -56,7 +64,10 @@ pub fn run(lab: &Lab) -> Fig2Report {
     );
     off(
         "construct normalized dataset",
-        format!("{} rows x 3 features, 2 targets", lab.pipeline.dataset.len()),
+        format!(
+            "{} rows x 3 features, 2 targets",
+            lab.pipeline.dataset.len()
+        ),
     );
     off(
         "train power model",
@@ -76,7 +87,11 @@ pub fn run(lab: &Lab) -> Fig2Report {
     );
 
     let mut on = |stage: &str, artifact: String| {
-        stages.push(Stage { phase: "online".into(), stage: stage.into(), artifact });
+        stages.push(Stage {
+            phase: "online".into(),
+            stage: stage.into(),
+            artifact,
+        });
     };
     let app = &lab.apps[0];
     let profile = &lab.predicted_ga100[&app.name];
@@ -92,8 +107,16 @@ pub fn run(lab: &Lab) -> Fig2Report {
         "compute energy E(f) = P(f) x T(f)",
         format!(
             "E spans {:.0}..{:.0} J",
-            profile.energy_j.iter().cloned().fold(f64::INFINITY, f64::min),
-            profile.energy_j.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            profile
+                .energy_j
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min),
+            profile
+                .energy_j
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max)
         ),
     );
     let sel = profile.select(Objective::Ed2p, None);
@@ -137,7 +160,9 @@ mod tests {
     fn artifacts_reflect_live_data() {
         let lab = testlab::shared();
         let r = run(lab);
-        assert!(r.stages[2].artifact.contains(&lab.pipeline.dataset.len().to_string()));
+        assert!(r.stages[2]
+            .artifact
+            .contains(&lab.pipeline.dataset.len().to_string()));
         assert!(r.render().contains("ED2P optimum"));
     }
 }

@@ -27,7 +27,10 @@ pub fn run(lab: &Lab) -> Fig3Report {
         .iter()
         .filter(|s| s.workload == "DGEMM" || s.workload == "STREAM")
         .collect();
-    assert!(!samples.is_empty(), "campaign must include DGEMM and STREAM");
+    assert!(
+        !samples.is_empty(),
+        "campaign must include DGEMM and STREAM"
+    );
 
     // Columns for the 10 candidate features; fp64+fp32 are merged into the
     // paper's combined fp_active (it plots "fp_active" as one bar).
@@ -49,7 +52,11 @@ pub fn run(lab: &Lab) -> Fig3Report {
     let time: Vec<f64> = samples
         .iter()
         .map(|s| {
-            let t_ref = if s.workload == "DGEMM" { tmax_dgemm } else { tmax_stream };
+            let t_ref = if s.workload == "DGEMM" {
+                tmax_dgemm
+            } else {
+                tmax_stream
+            };
             s.exec_time / t_ref
         })
         .collect();
@@ -60,8 +67,15 @@ pub fn run(lab: &Lab) -> Fig3Report {
 
     // Paper procedure: union of top-3 per predictand collapses to the same
     // trio; report the power panel's top three.
-    let selected = top_n(&power_scores, 3).iter().map(|s| s.to_string()).collect();
-    Fig3Report { power_scores, time_scores, selected }
+    let selected = top_n(&power_scores, 3)
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    Fig3Report {
+        power_scores,
+        time_scores,
+        selected,
+    }
 }
 
 fn max_freq_time(samples: &[&MetricSample], workload: &str) -> f64 {
@@ -81,14 +95,20 @@ impl Fig3Report {
     /// Renders the two MI panels.
     pub fn render(&self) -> String {
         let mut out = String::from("== Figure 3: feature dependency (KSG mutual information) ==\n");
-        for (panel, scores) in [("power_usage", &self.power_scores), ("execution_time", &self.time_scores)] {
+        for (panel, scores) in [
+            ("power_usage", &self.power_scores),
+            ("execution_time", &self.time_scores),
+        ] {
             out.push_str(&format!("-- MI vs {panel} --\n"));
             for s in scores {
                 let bar = "#".repeat((s.mi * 20.0).min(60.0) as usize);
                 out.push_str(&format!("{:<18} {:>6.3}  {bar}\n", s.name, s.mi));
             }
         }
-        out.push_str(&format!("selected features: {}\n", self.selected.join(", ")));
+        out.push_str(&format!(
+            "selected features: {}\n",
+            self.selected.join(", ")
+        ));
         out
     }
 }
@@ -110,7 +130,11 @@ mod tests {
     fn weak_features_rank_below_selected() {
         let r = run(testlab::shared());
         let mi_of = |name: &str, scores: &[FeatureScore]| -> f64 {
-            scores.iter().find(|s| s.name == name).expect("feature present").mi
+            scores
+                .iter()
+                .find(|s| s.name == name)
+                .expect("feature present")
+                .mi
         };
         for scores in [&r.power_scores, &r.time_scores] {
             let weakest_selected = r

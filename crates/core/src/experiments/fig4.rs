@@ -68,8 +68,14 @@ pub fn run(lab: &Lab) -> Fig4Report {
             };
             ActivityTrace {
                 name: name.to_string(),
-                fp_active: freqs.iter().map(|&f| mean_at(f, &|s| s.fp_active())).collect(),
-                dram_active: freqs.iter().map(|&f| mean_at(f, &|s| s.dram_active)).collect(),
+                fp_active: freqs
+                    .iter()
+                    .map(|&f| mean_at(f, &|s| s.fp_active()))
+                    .collect(),
+                dram_active: freqs
+                    .iter()
+                    .map(|&f| mean_at(f, &|s| s.dram_active))
+                    .collect(),
                 frequency_mhz: freqs,
             }
         })

@@ -10,8 +10,8 @@ use super::Lab;
 use gpu_model::NoiseModel;
 use kernels::micro::{Dgemm, Stream};
 use kernels::Kernel;
-use telemetry::GpuBackend;
 use serde::{Deserialize, Serialize};
+use telemetry::GpuBackend;
 
 /// Activities of one benchmark across input scales at f_max.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -111,7 +111,11 @@ mod tests {
             // (DGEMM's dram_active is small and falls slowly with size;
             // the paper notes this has "little effect" on prediction).
             let lo = s.dram_active.iter().copied().fold(f64::INFINITY, f64::min);
-            let hi = s.dram_active.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let hi = s
+                .dram_active
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max);
             assert!(
                 hi - lo < 0.12 || (hi - lo) / hi < 0.20,
                 "{}: dram varies {lo:.3}..{hi:.3}",

@@ -93,7 +93,10 @@ mod tests {
         let last_val = *r.power_val.last().unwrap();
         // Validation close to training at convergence (Figure 6a shows the
         // two curves coinciding).
-        assert!(last_val < 6.0 * last_train + 1e-4, "val {last_val} vs train {last_train}");
+        assert!(
+            last_val < 6.0 * last_train + 1e-4,
+            "val {last_val} vs train {last_train}"
+        );
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl Fig7Report {
             "== Figure 7: predicted vs measured power, real applications on GA100 ==\n",
         );
         for p in &self.panels {
-            out.push_str(&format!("{:<10} accuracy {:.1}%\n", p.application, p.accuracy_pct));
+            out.push_str(&format!(
+                "{:<10} accuracy {:.1}%\n",
+                p.application, p.accuracy_pct
+            ));
             for i in (0..p.frequency_mhz.len()).step_by(12) {
                 out.push_str(&format!(
                     "  {:>6.0} MHz  measured {:>6.1} W  predicted {:>6.1} W\n",
@@ -98,6 +101,9 @@ mod tests {
     fn six_panels_in_paper_order() {
         let r = run(testlab::shared());
         let names: Vec<&str> = r.panels.iter().map(|p| p.application.as_str()).collect();
-        assert_eq!(names, ["LAMMPS", "NAMD", "GROMACS", "LSTM", "BERT", "ResNet50"]);
+        assert_eq!(
+            names,
+            ["LAMMPS", "NAMD", "GROMACS", "LSTM", "BERT", "ResNet50"]
+        );
     }
 }

@@ -37,7 +37,13 @@ pub fn run(lab: &Lab) -> Fig8Report {
             let p = lab.predicted_ga100[&name].normalized_time();
             TimePanel {
                 application: name,
-                frequency_mhz: lab.measured_ga100.values().next().unwrap().frequencies.clone(),
+                frequency_mhz: lab
+                    .measured_ga100
+                    .values()
+                    .next()
+                    .unwrap()
+                    .frequencies
+                    .clone(),
                 accuracy_pct: metrics::accuracy_from_mape(&p, &m),
                 measured_norm: m,
                 predicted_norm: p,
@@ -50,11 +56,13 @@ pub fn run(lab: &Lab) -> Fig8Report {
 impl Fig8Report {
     /// Renders the panels.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "== Figure 8: normalized predicted vs measured time, GA100 ==\n",
-        );
+        let mut out =
+            String::from("== Figure 8: normalized predicted vs measured time, GA100 ==\n");
         for p in &self.panels {
-            out.push_str(&format!("{:<10} accuracy {:.1}%\n", p.application, p.accuracy_pct));
+            out.push_str(&format!(
+                "{:<10} accuracy {:.1}%\n",
+                p.application, p.accuracy_pct
+            ));
             for i in (0..p.frequency_mhz.len()).step_by(12) {
                 out.push_str(&format!(
                     "  {:>6.0} MHz  measured {:>6.3}  predicted {:>6.3}\n",
@@ -90,9 +98,20 @@ mod tests {
         // The paper singles out GROMACS (88.7%) as the weak case because
         // its time barely reacts to DVFS.
         let r = run(testlab::shared());
-        let gromacs = r.panels.iter().find(|p| p.application == "GROMACS").unwrap();
-        let best = r.panels.iter().map(|p| p.accuracy_pct).fold(f64::NEG_INFINITY, f64::max);
-        assert!(gromacs.accuracy_pct < best - 2.0, "GROMACS should trail the best app");
+        let gromacs = r
+            .panels
+            .iter()
+            .find(|p| p.application == "GROMACS")
+            .unwrap();
+        let best = r
+            .panels
+            .iter()
+            .map(|p| p.accuracy_pct)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            gromacs.accuracy_pct < best - 2.0,
+            "GROMACS should trail the best app"
+        );
     }
 
     #[test]
@@ -109,7 +128,11 @@ mod tests {
     fn resnet_has_the_steepest_measured_curve() {
         let r = run(testlab::shared());
         let slope = |p: &TimePanel| p.measured_norm[0];
-        let resnet = r.panels.iter().find(|p| p.application == "ResNet50").unwrap();
+        let resnet = r
+            .panels
+            .iter()
+            .find(|p| p.application == "ResNet50")
+            .unwrap();
         for p in &r.panels {
             if p.application != "ResNet50" {
                 assert!(

@@ -117,7 +117,11 @@ mod tests {
         // allow one ED²P at the top bin.
         let r = run(testlab::shared());
         for p in &r.panels {
-            assert!(p.selections.m_edp.frequency_mhz < 1410.0, "{}", p.application);
+            assert!(
+                p.selections.m_edp.frequency_mhz < 1410.0,
+                "{}",
+                p.application
+            );
         }
         let below = r
             .panels

@@ -7,8 +7,8 @@
 
 pub mod fig1;
 pub mod fig10;
-pub mod fig2;
 pub mod fig11;
+pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
@@ -126,5 +126,4 @@ mod tests {
             assert_eq!(lab.predicted_gv100[&name].frequencies.len(), 117);
         }
     }
-
 }

@@ -2,8 +2,8 @@
 
 use super::Lab;
 use gpu_model::DvfsGrid;
-use telemetry::GpuBackend;
 use serde::{Deserialize, Serialize};
+use telemetry::GpuBackend;
 
 /// The Table 1 report.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -32,8 +32,14 @@ pub fn run(lab: &Lab) -> Table1Report {
         gv100.push(vv);
     }
     rows.insert(2, "Used DVFS Configurations".to_string());
-    ga100.insert(2, format!("{} out of {}", ga_grid.num_used(), ga_grid.num_supported()));
-    gv100.insert(2, format!("{} out of {}", gv_grid.num_used(), gv_grid.num_supported()));
+    ga100.insert(
+        2,
+        format!("{} out of {}", ga_grid.num_used(), ga_grid.num_supported()),
+    );
+    gv100.insert(
+        2,
+        format!("{} out of {}", gv_grid.num_used(), gv_grid.num_supported()),
+    );
 
     Table1Report { rows, ga100, gv100 }
 }

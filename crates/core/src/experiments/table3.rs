@@ -17,14 +17,15 @@ pub struct Table3Report {
 
 /// Computes both halves of Table 3.
 pub fn run(lab: &Lab) -> Table3Report {
-    let rows = |measured: &std::collections::BTreeMap<String, crate::predictor::PredictedProfile>,
-                predicted: &std::collections::BTreeMap<String, crate::predictor::PredictedProfile>|
-     -> Vec<AccuracyRow> {
-        lab.app_names()
-            .into_iter()
-            .map(|name| accuracy_row(&measured[&name], &predicted[&name]))
-            .collect()
-    };
+    let rows =
+        |measured: &std::collections::BTreeMap<String, crate::predictor::PredictedProfile>,
+         predicted: &std::collections::BTreeMap<String, crate::predictor::PredictedProfile>|
+         -> Vec<AccuracyRow> {
+            lab.app_names()
+                .into_iter()
+                .map(|name| accuracy_row(&measured[&name], &predicted[&name]))
+                .collect()
+        };
     Table3Report {
         ga100: rows(&lab.measured_ga100, &lab.predicted_ga100),
         gv100: rows(&lab.measured_gv100, &lab.predicted_gv100),
@@ -69,7 +70,11 @@ mod tests {
     fn accuracies_land_in_the_paper_band() {
         // Paper: 88-98% across applications, models, and devices.
         let r = run(testlab::shared());
-        assert!(r.min_accuracy() > 80.0, "minimum accuracy {:.1}%", r.min_accuracy());
+        assert!(
+            r.min_accuracy() > 80.0,
+            "minimum accuracy {:.1}%",
+            r.min_accuracy()
+        );
         let max = r
             .ga100
             .iter()

@@ -25,8 +25,7 @@ pub fn run(lab: &Lab) -> Table4Report {
 impl Table4Report {
     /// Renders the table.
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("== Table 4: optimal frequencies (MHz) on GA100 ==\n");
+        let mut out = String::from("== Table 4: optimal frequencies (MHz) on GA100 ==\n");
         out.push_str(&format!(
             "{:<10} {:>8} {:>8} {:>8} {:>8}\n",
             "app", "M-ED2P", "P-ED2P", "M-EDP", "P-EDP"
@@ -76,9 +75,7 @@ mod tests {
         let close = r
             .rows
             .iter()
-            .filter(|row| {
-                (row.m_edp.frequency_mhz - row.p_edp.frequency_mhz).abs() <= 300.0
-            })
+            .filter(|row| (row.m_edp.frequency_mhz - row.p_edp.frequency_mhz).abs() <= 300.0)
             .count();
         assert!(close >= 4, "only {close}/6 apps have close M/P EDP optima");
     }

@@ -2,9 +2,7 @@
 //! the four selectors, on GA100, with the column-wise average row.
 
 use super::Lab;
-use crate::evaluation::{
-    average_trade_offs, four_way_selection, trade_off_row, TradeOffRow,
-};
+use crate::evaluation::{average_trade_offs, four_way_selection, trade_off_row, TradeOffRow};
 use serde::{Deserialize, Serialize};
 
 /// The Table 5 report.
@@ -88,9 +86,7 @@ mod tests {
         // Paper: EDP picks lower frequencies than ED2P -> more savings,
         // more performance loss (on measured data, on average).
         let r = run(testlab::shared());
-        assert!(
-            r.average.m_edp.energy_saving_pct >= r.average.m_ed2p.energy_saving_pct - 1.0
-        );
+        assert!(r.average.m_edp.energy_saving_pct >= r.average.m_ed2p.energy_saving_pct - 1.0);
         assert!(r.average.m_edp.time_change_pct <= r.average.m_ed2p.time_change_pct + 1.0);
     }
 

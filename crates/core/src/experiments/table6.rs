@@ -55,9 +55,8 @@ pub fn run(lab: &Lab) -> Table6Report {
 impl Table6Report {
     /// Renders the table.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "== Table 6: EDP selection under performance thresholds (GA100) ==\n",
-        );
+        let mut out =
+            String::from("== Table 6: EDP selection under performance thresholds (GA100) ==\n");
         out.push_str(&format!(
             "{:<10} {:>11} {:>8} {:>9} {:>10}\n",
             "app", "threshold", "f (MHz)", "Time (%)", "Energy (%)"

@@ -57,9 +57,8 @@ pub fn run(lab: &Lab) -> TrainingFitReport {
             time_accuracy: acc.time_accuracy,
         });
     }
-    let mean = |f: &dyn Fn(&FitRow) -> f64| -> f64 {
-        rows.iter().map(f).sum::<f64>() / rows.len() as f64
-    };
+    let mean =
+        |f: &dyn Fn(&FitRow) -> f64| -> f64 { rows.iter().map(f).sum::<f64>() / rows.len() as f64 };
     let app_acc: Vec<(f64, f64)> = lab
         .app_names()
         .iter()
@@ -85,7 +84,10 @@ impl TrainingFitReport {
     /// Renders the fit table and the generalization gap.
     pub fn render(&self) -> String {
         let mut out = String::from("== Training-set fit vs unseen-application accuracy ==\n");
-        out.push_str(&format!("{:<12} {:>9} {:>9}\n", "benchmark", "power", "time"));
+        out.push_str(&format!(
+            "{:<12} {:>9} {:>9}\n",
+            "benchmark", "power", "time"
+        ));
         for r in &self.rows {
             out.push_str(&format!(
                 "{:<12} {:>8.1}% {:>8.1}%\n",

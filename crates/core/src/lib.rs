@@ -10,7 +10,12 @@
 //!   trained with RMSprop on MSE, plus JSON persistence;
 //! * [`predictor`] — the online phase: profile an *unseen* application
 //!   once at the default clock, predict its power/time/energy at every
-//!   DVFS state (paper Figure 2, right half);
+//!   DVFS state (paper Figure 2, right half) — batch-first (one forward
+//!   pass per model for the whole sweep) with a rayon fan-out for many
+//!   concurrent requests;
+//! * [`cache`] — a bounded LRU over normalized profiles keyed on
+//!   quantized activities + device/grid identity, so repeated
+//!   applications skip the forward passes entirely;
 //! * [`objective`] — EDP / ED²P multi-objective scoring and the optimal
 //!   frequency selection of Algorithm 1, including performance-degradation
 //!   thresholds;
@@ -22,6 +27,7 @@
 //!   (a downstream use the models enable beyond the paper);
 //! * [`experiments`] — one driver per paper table/figure.
 
+pub mod cache;
 pub mod capping;
 pub mod dataset;
 pub mod evaluation;
@@ -31,6 +37,7 @@ pub mod objective;
 pub mod pipeline;
 pub mod predictor;
 
+pub use cache::{CacheStats, ProfileCache};
 pub use capping::{plan_under_cap, CapPlan};
 pub use dataset::Dataset;
 pub use models::PowerTimeModels;

@@ -2,7 +2,9 @@
 
 use crate::dataset::{Dataset, NUM_FEATURES};
 use gpu_model::DeviceSpec;
-use nn::{Activation, Loss, Network, NetworkBuilder, OptimizerKind, TrainConfig, Trainer, TrainingHistory};
+use nn::{
+    Activation, Loss, Network, NetworkBuilder, OptimizerKind, TrainConfig, Trainer, TrainingHistory,
+};
 use serde::{Deserialize, Serialize};
 
 /// Epochs for the power model (paper: losses converge at 100, Figure 6a).
@@ -45,7 +47,11 @@ impl ModelConfig {
 
     /// The paper's time-model configuration.
     pub fn paper_time() -> Self {
-        Self { epochs: TIME_EPOCHS, seed: 0x000A_1002, ..Self::paper_power() }
+        Self {
+            epochs: TIME_EPOCHS,
+            seed: 0x000A_1002,
+            ..Self::paper_power()
+        }
     }
 
     /// Builds the (untrained) network.
@@ -86,7 +92,11 @@ pub struct PowerTimeModels {
 impl PowerTimeModels {
     /// Trains both models on a dataset with the paper's configurations.
     pub fn train(dataset: &Dataset) -> Self {
-        Self::train_with(dataset, ModelConfig::paper_power(), ModelConfig::paper_time())
+        Self::train_with(
+            dataset,
+            ModelConfig::paper_power(),
+            ModelConfig::paper_time(),
+        )
     }
 
     /// Trains both models with explicit configurations (ablations).
@@ -112,6 +122,62 @@ impl PowerTimeModels {
         }
     }
 
+    /// Assembles the F x 3 feature matrix for one application (fixed
+    /// activities, one row per frequency) and runs a single forward pass
+    /// through `network`.
+    fn batch_forward(
+        network: &nn::Network,
+        spec: &DeviceSpec,
+        fp_active: f64,
+        dram_active: f64,
+        frequencies: &[f64],
+    ) -> Vec<f64> {
+        let mut data = Vec::with_capacity(frequencies.len() * NUM_FEATURES);
+        for &mhz in frequencies {
+            data.extend_from_slice(&Dataset::feature_row(
+                fp_active,
+                dram_active,
+                mhz / spec.max_core_mhz,
+            ));
+        }
+        let x = tensor::Matrix::from_vec(frequencies.len(), NUM_FEATURES, data)
+            .expect("feature matrix dimensions are consistent by construction");
+        network.predict(&x).into_vec()
+    }
+
+    /// Predicted power in watts at every frequency in `frequencies`, with
+    /// one network forward pass for the whole sweep.
+    ///
+    /// Each output row depends only on its own input row, so this matches
+    /// [`PowerTimeModels::predict_power_w`] bit-for-bit per frequency.
+    pub fn predict_power_w_batch(
+        &self,
+        spec: &DeviceSpec,
+        fp_active: f64,
+        dram_active: f64,
+        frequencies: &[f64],
+    ) -> Vec<f64> {
+        Self::batch_forward(&self.power, spec, fp_active, dram_active, frequencies)
+            .into_iter()
+            .map(|frac| (frac * spec.tdp_w).max(0.0))
+            .collect()
+    }
+
+    /// Predicted normalized times `T(f)/T(f_max)` at every frequency in
+    /// `frequencies`, with one network forward pass for the whole sweep.
+    pub fn predict_time_ratio_batch(
+        &self,
+        spec: &DeviceSpec,
+        fp_active: f64,
+        dram_active: f64,
+        frequencies: &[f64],
+    ) -> Vec<f64> {
+        Self::batch_forward(&self.time, spec, fp_active, dram_active, frequencies)
+            .into_iter()
+            .map(|ratio| ratio.max(0.0))
+            .collect()
+    }
+
     /// Predicted power in watts for `spec` at the given features/clock.
     pub fn predict_power_w(
         &self,
@@ -120,9 +186,7 @@ impl PowerTimeModels {
         dram_active: f64,
         mhz: f64,
     ) -> f64 {
-        let row = Dataset::feature_row(fp_active, dram_active, mhz / spec.max_core_mhz);
-        let frac = self.power.predict_one(&row)[0];
-        (frac * spec.tdp_w).max(0.0)
+        self.predict_power_w_batch(spec, fp_active, dram_active, std::slice::from_ref(&mhz))[0]
     }
 
     /// Predicted normalized time `T(f)/T(f_max)` at the given
@@ -134,8 +198,7 @@ impl PowerTimeModels {
         dram_active: f64,
         mhz: f64,
     ) -> f64 {
-        let row = Dataset::feature_row(fp_active, dram_active, mhz / spec.max_core_mhz);
-        self.time.predict_one(&row)[0].max(0.0)
+        self.predict_time_ratio_batch(spec, fp_active, dram_active, std::slice::from_ref(&mhz))[0]
     }
 
     /// Serializes both models to JSON.
@@ -158,10 +221,22 @@ mod tests {
     fn small_dataset(spec: &DeviceSpec) -> Dataset {
         let nm = NoiseModel::default_bench();
         let sigs = [
-            SignatureBuilder::new("comp").flops(2e13).bytes(2e11).kappa_compute(0.9).build(),
-            SignatureBuilder::new("mem").flops(2e11).bytes(2e13).kappa_memory(0.85).build(),
+            SignatureBuilder::new("comp")
+                .flops(2e13)
+                .bytes(2e11)
+                .kappa_compute(0.9)
+                .build(),
+            SignatureBuilder::new("mem")
+                .flops(2e11)
+                .bytes(2e13)
+                .kappa_memory(0.85)
+                .build(),
             SignatureBuilder::new("mix").flops(8e12).bytes(3e12).build(),
-            SignatureBuilder::new("idlish").flops(4e11).bytes(9e11).kappa_compute(0.3).build(),
+            SignatureBuilder::new("idlish")
+                .flops(4e11)
+                .bytes(9e11)
+                .kappa_compute(0.3)
+                .build(),
         ];
         let mut samples: Vec<MetricSample> = Vec::new();
         let grid = gpu_model::DvfsGrid::for_spec(spec);
@@ -173,7 +248,13 @@ mod tests {
             }
             // Ensure the exact default clock is present.
             for run in 0..2 {
-                samples.push(gpu_model::sample::measure(spec, sig, spec.max_core_mhz, run, &nm));
+                samples.push(gpu_model::sample::measure(
+                    spec,
+                    sig,
+                    spec.max_core_mhz,
+                    run,
+                    &nm,
+                ));
             }
         }
         Dataset::from_samples(spec, &samples).unwrap()
@@ -220,7 +301,10 @@ mod tests {
         // The small test campaign gives the paper's 25 time-epochs too few
         // SGD steps; give the time model a fuller budget here (the trend
         // check is about the learned physics, not the epoch count).
-        let time_cfg = ModelConfig { epochs: 120, ..ModelConfig::paper_time() };
+        let time_cfg = ModelConfig {
+            epochs: 120,
+            ..ModelConfig::paper_time()
+        };
         let models = PowerTimeModels::train_with(&ds, ModelConfig::paper_power(), time_cfg);
         // Use the compute-bound training workload's own default-clock
         // features (the regime the online phase operates in).
@@ -236,7 +320,10 @@ mod tests {
         let t_low = models.predict_time_ratio(&spec, fp, dram, 510.0);
         let t_high = models.predict_time_ratio(&spec, fp, dram, 1410.0);
         assert!(t_low > 1.5 * t_high, "{t_low} -> {t_high}");
-        assert!((t_high - 1.0).abs() < 0.15, "time ratio at fmax ~ 1, got {t_high}");
+        assert!(
+            (t_high - 1.0).abs() < 0.15,
+            "time ratio at fmax ~ 1, got {t_high}"
+        );
     }
 
     #[test]
@@ -248,6 +335,51 @@ mod tests {
         let a = models.predict_power_w(&spec, 0.5, 0.5, 1005.0);
         let b = back.predict_power_w(&spec, 0.5, 0.5, 1005.0);
         assert_eq!(a, b);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        /// Trains once and shares across all property cases — the property
+        /// is about the prediction paths, not training.
+        fn shared() -> &'static (DeviceSpec, PowerTimeModels) {
+            static SHARED: OnceLock<(DeviceSpec, PowerTimeModels)> = OnceLock::new();
+            SHARED.get_or_init(|| {
+                let spec = DeviceSpec::ga100();
+                let models = PowerTimeModels::train(&small_dataset(&spec));
+                (spec, models)
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+            /// The batched sweep must be *bitwise* identical to the scalar
+            /// per-frequency path — including grids larger than the matmul
+            /// parallel-dispatch threshold (64 rows), where the blocked
+            /// kernel hands rows to worker threads.
+            #[test]
+            fn batch_matches_scalar_bitwise(
+                fp in 0.0..1.0f64,
+                dram in 0.0..1.0f64,
+                n in 1usize..100,
+            ) {
+                let (spec, models) = shared();
+                let freqs: Vec<f64> =
+                    (0..n).map(|i| 510.0 + 900.0 * i as f64 / n as f64).collect();
+                let batch_p = models.predict_power_w_batch(spec, fp, dram, &freqs);
+                let batch_t = models.predict_time_ratio_batch(spec, fp, dram, &freqs);
+                prop_assert_eq!(batch_p.len(), n);
+                prop_assert_eq!(batch_t.len(), n);
+                for (i, &f) in freqs.iter().enumerate() {
+                    let p = models.predict_power_w(spec, fp, dram, f);
+                    let t = models.predict_time_ratio(spec, fp, dram, f);
+                    prop_assert_eq!(batch_p[i].to_bits(), p.to_bits());
+                    prop_assert_eq!(batch_t[i].to_bits(), t.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -85,7 +85,11 @@ pub fn select_optimal(
     threshold: Option<f64>,
 ) -> Selection {
     assert!(!frequencies.is_empty(), "no frequencies to select from");
-    assert_eq!(frequencies.len(), energies.len(), "energy list length mismatch");
+    assert_eq!(
+        frequencies.len(),
+        energies.len(),
+        "energy list length mismatch"
+    );
     assert_eq!(frequencies.len(), times.len(), "time list length mismatch");
     assert!(
         frequencies.windows(2).all(|w| w[0] < w[1]),
@@ -137,7 +141,10 @@ mod tests {
     fn profile() -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         let freqs: Vec<f64> = (0..61).map(|i| 510.0 + 15.0 * i as f64).collect();
         let times: Vec<f64> = freqs.iter().map(|&f| 1410.0 / f).collect();
-        let powers: Vec<f64> = freqs.iter().map(|&f| 100.0 + 400.0 * (f / 1410.0).powi(3)).collect();
+        let powers: Vec<f64> = freqs
+            .iter()
+            .map(|&f| 100.0 + 400.0 * (f / 1410.0).powi(3))
+            .collect();
         let energies: Vec<f64> = powers.iter().zip(&times).map(|(&p, &t)| p * t).collect();
         (freqs, energies, times)
     }
@@ -224,7 +231,10 @@ mod tests {
         assert_eq!(Objective::Ed2p.score(2.0, 3.0), 18.0);
         assert_eq!(Objective::EnergyOnly.score(2.0, 3.0), 2.0);
         assert_eq!(Objective::TimeOnly.score(2.0, 3.0), 3.0);
-        assert_eq!(Objective::Weighted { time_weight: 2.0 }.score(2.0, 3.0), 18.0);
+        assert_eq!(
+            Objective::Weighted { time_weight: 2.0 }.score(2.0, 3.0),
+            18.0
+        );
     }
 
     #[test]
@@ -249,7 +259,10 @@ mod tests {
             (4usize..40, 0.5..3.0f64, 50.0..200.0f64).prop_map(|(n, steep, p0)| {
                 let freqs: Vec<f64> = (0..n).map(|i| 510.0 + 15.0 * i as f64).collect();
                 let fmax = *freqs.last().unwrap();
-                let times: Vec<f64> = freqs.iter().map(|&f| (fmax / f).powf(steep / 2.0)).collect();
+                let times: Vec<f64> = freqs
+                    .iter()
+                    .map(|&f| (fmax / f).powf(steep / 2.0))
+                    .collect();
                 let energies: Vec<f64> = freqs
                     .iter()
                     .zip(&times)

@@ -32,10 +32,8 @@ impl TrainedPipeline {
     /// speed up tests).
     pub fn train_on<B: GpuBackend + ?Sized>(backend: &B, stride: usize) -> Self {
         let spec = backend.spec().clone();
-        let workloads: Vec<PhasedWorkload> = training_suite()
-            .iter()
-            .map(|k| k.workload(&spec))
-            .collect();
+        let workloads: Vec<PhasedWorkload> =
+            training_suite().iter().map(|k| k.workload(&spec)).collect();
         Self::train_on_workloads(backend, &workloads, stride)
     }
 
@@ -52,17 +50,32 @@ impl TrainedPipeline {
             .into_iter()
             .step_by(stride.max(1))
             .collect();
-        // The default clock must be present for normalization.
-        if freqs.last() != Some(&spec.max_core_mhz) {
-            freqs.push(spec.max_core_mhz);
-        }
-        let config = LaunchConfig { frequencies: freqs, runs: RUNS_PER_POINT, output: None };
+        // The default clock must be present (exactly — `Dataset` matches
+        // `sm_app_clock == max_core_mhz` for normalization). Comparing the
+        // last stride-subsampled frequency with exact `!=` would duplicate
+        // the point whenever accumulated grid arithmetic leaves it within
+        // float error of the maximum, so dedup with a tolerance well below
+        // the grid step before appending the exact value.
+        let tol = spec.step_mhz.max(1.0) * 1e-6;
+        freqs.retain(|&f| (f - spec.max_core_mhz).abs() > tol);
+        freqs.push(spec.max_core_mhz);
+        let config = LaunchConfig {
+            frequencies: freqs,
+            runs: RUNS_PER_POINT,
+            output: None,
+        };
         let samples = CollectionCampaign::new(backend, config)
             .collect(workloads)
             .expect("in-memory campaign cannot fail on IO");
-        let dataset = Dataset::from_samples(&spec, &samples).expect("campaign covers the default clock");
+        let dataset =
+            Dataset::from_samples(&spec, &samples).expect("campaign covers the default clock");
         let models = PowerTimeModels::train(&dataset);
-        Self { models, train_spec: spec, samples, dataset }
+        Self {
+            models,
+            train_spec: spec,
+            samples,
+            dataset,
+        }
     }
 
     /// Convenience: the paper's full GA100 offline phase.
@@ -89,14 +102,26 @@ mod tests {
         // frequency range.
         let workloads: Vec<PhasedWorkload> = vec![
             PhasedWorkload::single(
-                SignatureBuilder::new("c").flops(2e13).bytes(2e11).kappa_compute(0.9).build(),
+                SignatureBuilder::new("c")
+                    .flops(2e13)
+                    .bytes(2e11)
+                    .kappa_compute(0.9)
+                    .build(),
             ),
             PhasedWorkload::single(
-                SignatureBuilder::new("m").flops(2e11).bytes(2e13).kappa_memory(0.85).build(),
+                SignatureBuilder::new("m")
+                    .flops(2e11)
+                    .bytes(2e13)
+                    .kappa_memory(0.85)
+                    .build(),
             ),
             PhasedWorkload::single(SignatureBuilder::new("x").flops(8e12).bytes(3e12).build()),
             PhasedWorkload::single(
-                SignatureBuilder::new("y").flops(3e12).bytes(1e12).kappa_compute(0.5).build(),
+                SignatureBuilder::new("y")
+                    .flops(3e12)
+                    .bytes(1e12)
+                    .kappa_compute(0.5)
+                    .build(),
             ),
         ];
         let p = TrainedPipeline::train_on_workloads(&backend, &workloads, 3);
@@ -116,7 +141,10 @@ mod tests {
     fn trained_pipeline_predicts_unseen_app() {
         let (backend, p) = quick_pipeline();
         let app = PhasedWorkload::single(
-            SignatureBuilder::new("unseen").flops(1e13).bytes(1e12).build(),
+            SignatureBuilder::new("unseen")
+                .flops(1e13)
+                .bytes(1e12)
+                .build(),
         );
         let predictor = p.predictor(p.train_spec.clone());
         let profile = predictor.predict_online(&backend, &app);

@@ -6,9 +6,11 @@
 //! energy follows as `E(f) = P(f) * T(f)` (Equation 8), and the objective
 //! function selects the optimal frequency.
 
+use crate::cache::{NormalizedProfile, ProfileCache};
 use crate::models::PowerTimeModels;
 use crate::objective::{select_optimal, Objective, Selection};
 use gpu_model::{DeviceSpec, MetricSample, PhasedWorkload};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use telemetry::{GpuBackend, Profiler};
 
@@ -28,6 +30,49 @@ pub struct PredictedProfile {
 }
 
 impl PredictedProfile {
+    /// Builds a profile from per-frequency power and time, deriving
+    /// energy as `E(f) = P(f) * T(f)` (Equation 8).
+    ///
+    /// # Panics
+    /// Panics unless `frequencies` is non-empty and strictly ascending
+    /// (so the last entry really is the default clock that
+    /// [`PredictedProfile::max_freq_index`], normalized times, and the
+    /// savings accounting all key off), and all three vectors have the
+    /// same length.
+    pub fn new(
+        workload: String,
+        frequencies: Vec<f64>,
+        power_w: Vec<f64>,
+        time_s: Vec<f64>,
+    ) -> Self {
+        assert!(
+            !frequencies.is_empty(),
+            "profile requires at least one frequency"
+        );
+        assert!(
+            frequencies.windows(2).all(|w| w[0] < w[1]),
+            "profile frequencies must be strictly ascending (last = default clock)"
+        );
+        assert_eq!(
+            frequencies.len(),
+            power_w.len(),
+            "one power value per frequency"
+        );
+        assert_eq!(
+            frequencies.len(),
+            time_s.len(),
+            "one time value per frequency"
+        );
+        let energy_j = power_w.iter().zip(&time_s).map(|(&p, &t)| p * t).collect();
+        Self {
+            workload,
+            frequencies,
+            power_w,
+            time_s,
+            energy_j,
+        }
+    }
+
     /// Normalized times `T(f) / T(f_max)` (Figure 8's y-axis).
     pub fn normalized_time(&self) -> Vec<f64> {
         let t_max = *self.time_s.last().expect("non-empty profile");
@@ -36,7 +81,13 @@ impl PredictedProfile {
 
     /// Selects the optimal frequency under `objective` and `threshold`.
     pub fn select(&self, objective: Objective, threshold: Option<f64>) -> Selection {
-        select_optimal(&self.frequencies, &self.energy_j, &self.time_s, objective, threshold)
+        select_optimal(
+            &self.frequencies,
+            &self.energy_j,
+            &self.time_s,
+            objective,
+            threshold,
+        )
     }
 
     /// Index of the maximum (default) frequency.
@@ -88,31 +139,127 @@ impl<'a> Predictor<'a> {
         );
         let fp = reference.fp_active();
         let dram = reference.dram_active;
-        // Anchor absolute time on the measured default-clock run; the model
-        // provides the relative scaling across frequencies.
-        let anchor = reference.exec_time
-            / self
-                .models
-                .predict_time_ratio(&self.spec, fp, dram, self.spec.max_core_mhz)
-                .max(1e-9);
+        let normalized = self.normalized_profile(fp, dram, frequencies);
+        self.anchor_profile(&normalized, reference, frequencies)
+    }
 
-        let mut power_w = Vec::with_capacity(frequencies.len());
-        let mut time_s = Vec::with_capacity(frequencies.len());
-        let mut energy_j = Vec::with_capacity(frequencies.len());
-        for &f in frequencies {
-            let p = self.models.predict_power_w(&self.spec, fp, dram, f);
-            let t = anchor * self.models.predict_time_ratio(&self.spec, fp, dram, f);
-            power_w.push(p);
-            time_s.push(t);
-            energy_j.push(p * t);
+    /// Runs both models once each over the whole sweep: one `F x 3`
+    /// feature matrix and one forward pass per model, instead of `2F`
+    /// single-row passes. Per-row results are bitwise identical to the
+    /// scalar path (the matmul kernels accumulate per row in a fixed
+    /// order regardless of batch size).
+    fn normalized_profile(
+        &self,
+        fp_active: f64,
+        dram_active: f64,
+        frequencies: &[f64],
+    ) -> NormalizedProfile {
+        NormalizedProfile {
+            power_w: self.models.predict_power_w_batch(
+                &self.spec,
+                fp_active,
+                dram_active,
+                frequencies,
+            ),
+            time_ratio: self.models.predict_time_ratio_batch(
+                &self.spec,
+                fp_active,
+                dram_active,
+                frequencies,
+            ),
+            ratio_at_max: self.models.predict_time_ratio(
+                &self.spec,
+                fp_active,
+                dram_active,
+                self.spec.max_core_mhz,
+            ),
         }
-        PredictedProfile {
-            workload: reference.workload.clone(),
-            frequencies: frequencies.to_vec(),
-            power_w,
+    }
+
+    /// Converts a normalized profile to absolute time/energy, anchoring
+    /// on the reference run's measured default-clock time.
+    fn anchor_profile(
+        &self,
+        normalized: &NormalizedProfile,
+        reference: &MetricSample,
+        frequencies: &[f64],
+    ) -> PredictedProfile {
+        let anchor = reference.exec_time / normalized.ratio_at_max.max(1e-9);
+        let time_s = normalized.time_ratio.iter().map(|&r| anchor * r).collect();
+        PredictedProfile::new(
+            reference.workload.clone(),
+            frequencies.to_vec(),
+            normalized.power_w.clone(),
             time_s,
-            energy_j,
-        }
+        )
+    }
+
+    /// Predicts profiles for many reference samples, fanning the
+    /// (independent) per-sample batch predictions across the rayon pool.
+    /// Output order matches `references`, and each profile is bitwise
+    /// identical to a sequential [`Predictor::predict_from_reference`]
+    /// call.
+    ///
+    /// # Panics
+    /// Panics if any reference was not taken at the default clock.
+    pub fn predict_many(
+        &self,
+        references: &[MetricSample],
+        frequencies: &[f64],
+    ) -> Vec<PredictedProfile> {
+        references
+            .par_iter()
+            .map(|reference| self.predict_from_reference(reference, frequencies))
+            .collect()
+    }
+
+    /// Like [`Predictor::predict_from_reference`], but consults `cache`
+    /// first. On a hit the two forward passes are skipped entirely and
+    /// only the per-request time anchor is recomputed. On a miss the
+    /// profile is predicted from the *quantized* activities (so the
+    /// cached entry is independent of request order) and inserted.
+    ///
+    /// # Panics
+    /// Panics if the reference sample was not taken at the default clock.
+    pub fn predict_from_reference_cached(
+        &self,
+        cache: &ProfileCache,
+        reference: &MetricSample,
+        frequencies: &[f64],
+    ) -> PredictedProfile {
+        assert_eq!(
+            reference.sm_app_clock, self.spec.max_core_mhz,
+            "online phase requires a default-clock reference run"
+        );
+        let key = cache.key(
+            &self.spec,
+            reference.fp_active(),
+            reference.dram_active,
+            frequencies,
+        );
+        let fp = cache.quantize(reference.fp_active());
+        let dram = cache.quantize(reference.dram_active);
+        let normalized =
+            cache.get_or_insert_with(key, || self.normalized_profile(fp, dram, frequencies));
+        self.anchor_profile(&normalized, reference, frequencies)
+    }
+
+    /// Cache-aware [`Predictor::predict_many`]: concurrent requests share
+    /// `cache`, so repeated applications in the stream hit after their
+    /// first prediction.
+    ///
+    /// # Panics
+    /// Panics if any reference was not taken at the default clock.
+    pub fn predict_many_cached(
+        &self,
+        cache: &ProfileCache,
+        references: &[MetricSample],
+        frequencies: &[f64],
+    ) -> Vec<PredictedProfile> {
+        references
+            .par_iter()
+            .map(|reference| self.predict_from_reference_cached(cache, reference, frequencies))
+            .collect()
     }
 
     /// Full online phase against a backend: profiles `workload` once at the
@@ -136,26 +283,18 @@ pub fn measured_profile<B: GpuBackend + ?Sized>(
 ) -> PredictedProfile {
     let freqs = backend.grid().used();
     let profiler = Profiler::new(backend);
-    let mut power_w = Vec::with_capacity(freqs.len());
-    let mut time_s = Vec::with_capacity(freqs.len());
-    let mut energy_j = Vec::with_capacity(freqs.len());
-    for &f in &freqs {
-        backend
-            .set_app_clock(f)
-            .expect("used grid frequencies are supported");
-        let p = profiler.profile_run(workload, 0);
-        power_w.push(p.sample.power_usage);
-        time_s.push(p.sample.exec_time);
-        energy_j.push(p.sample.energy());
-    }
+    let (power_w, time_s) = freqs
+        .iter()
+        .map(|&f| {
+            backend
+                .set_app_clock(f)
+                .expect("used grid frequencies are supported");
+            let p = profiler.profile_run(workload, 0);
+            (p.sample.power_usage, p.sample.exec_time)
+        })
+        .unzip();
     backend.reset_clock();
-    PredictedProfile {
-        workload: workload.name.clone(),
-        frequencies: freqs,
-        power_w,
-        time_s,
-        energy_j,
-    }
+    PredictedProfile::new(workload.name.clone(), freqs, power_w, time_s)
 }
 
 #[cfg(test)]
@@ -168,11 +307,27 @@ mod tests {
     fn trained_models(spec: &DeviceSpec) -> PowerTimeModels {
         let nm = NoiseModel::default_bench();
         let sigs = [
-            SignatureBuilder::new("c1").flops(2e13).bytes(2e11).kappa_compute(0.9).build(),
-            SignatureBuilder::new("m1").flops(2e11).bytes(2e13).kappa_memory(0.85).build(),
+            SignatureBuilder::new("c1")
+                .flops(2e13)
+                .bytes(2e11)
+                .kappa_compute(0.9)
+                .build(),
+            SignatureBuilder::new("m1")
+                .flops(2e11)
+                .bytes(2e13)
+                .kappa_memory(0.85)
+                .build(),
             SignatureBuilder::new("x1").flops(8e12).bytes(3e12).build(),
-            SignatureBuilder::new("x2").flops(4e12).bytes(8e11).kappa_compute(0.5).build(),
-            SignatureBuilder::new("x3").flops(1e12).bytes(4e12).kappa_memory(0.6).build(),
+            SignatureBuilder::new("x2")
+                .flops(4e12)
+                .bytes(8e11)
+                .kappa_compute(0.5)
+                .build(),
+            SignatureBuilder::new("x3")
+                .flops(1e12)
+                .bytes(4e12)
+                .kappa_memory(0.6)
+                .build(),
         ];
         let grid = gpu_model::DvfsGrid::for_spec(spec);
         let mut samples = Vec::new();
@@ -182,14 +337,23 @@ mod tests {
                     samples.push(gpu_model::sample::measure(spec, sig, f, run, &nm));
                 }
             }
-            samples.push(gpu_model::sample::measure(spec, sig, spec.max_core_mhz, 0, &nm));
+            samples.push(gpu_model::sample::measure(
+                spec,
+                sig,
+                spec.max_core_mhz,
+                0,
+                &nm,
+            ));
         }
         PowerTimeModels::train(&Dataset::from_samples(spec, &samples).unwrap())
     }
 
     fn unseen_app() -> PhasedWorkload {
         PhasedWorkload::single(
-            SignatureBuilder::new("unseen").flops(1.5e13).bytes(1.0e12).build(),
+            SignatureBuilder::new("unseen")
+                .flops(1.5e13)
+                .bytes(1.0e12)
+                .build(),
         )
     }
 
@@ -241,6 +405,106 @@ mod tests {
         // Some interior frequency saves energy at a time cost.
         let sel = measured.select(Objective::Edp, None);
         assert!(measured.energy_saving_at(sel.index) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn non_ascending_frequencies_rejected() {
+        // A descending grid would silently mislabel the anchor entry; the
+        // constructor must refuse it.
+        let _ = PredictedProfile::new(
+            "w".into(),
+            vec![1410.0, 705.0],
+            vec![300.0, 200.0],
+            vec![1.0, 1.6],
+        );
+    }
+
+    fn reference_for(spec: &DeviceSpec, name: &str, flops: f64, bytes: f64) -> MetricSample {
+        let sig = SignatureBuilder::new(name)
+            .flops(flops)
+            .bytes(bytes)
+            .build();
+        gpu_model::sample::measure(spec, &sig, spec.max_core_mhz, 0, &NoiseModel::none())
+    }
+
+    #[test]
+    fn predict_many_matches_sequential_bitwise() {
+        let backend = SimulatorBackend::ga100();
+        let spec = backend.spec().clone();
+        let models = trained_models(&spec);
+        let predictor = Predictor::new(&models, spec.clone());
+        let freqs = backend.grid().used();
+        let refs: Vec<MetricSample> = [
+            ("a", 1.5e13, 1.0e12),
+            ("b", 2.0e11, 1.8e13),
+            ("c", 6.0e12, 4.0e12),
+            ("d", 9.0e12, 7.0e11),
+        ]
+        .iter()
+        .map(|&(n, fl, by)| reference_for(&spec, n, fl, by))
+        .collect();
+        let fanned = predictor.predict_many(&refs, &freqs);
+        assert_eq!(fanned.len(), refs.len());
+        for (reference, parallel) in refs.iter().zip(&fanned) {
+            let sequential = predictor.predict_from_reference(reference, &freqs);
+            // PartialEq on the profile compares every f64 exactly.
+            assert_eq!(&sequential, parallel);
+        }
+        // And a second fan-out is deterministic.
+        assert_eq!(fanned, predictor.predict_many(&refs, &freqs));
+    }
+
+    #[test]
+    fn cached_prediction_hits_and_stays_close_to_uncached() {
+        let backend = SimulatorBackend::ga100();
+        let spec = backend.spec().clone();
+        let models = trained_models(&spec);
+        let predictor = Predictor::new(&models, spec.clone());
+        let freqs = backend.grid().used();
+        let reference = reference_for(&spec, "app", 1.5e13, 1.0e12);
+        let cache = ProfileCache::new(8);
+        let first = predictor.predict_from_reference_cached(&cache, &reference, &freqs);
+        let second = predictor.predict_from_reference_cached(&cache, &reference, &freqs);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // The hit reuses the cached normalized profile and the same anchor,
+        // so the result is exactly reproduced.
+        assert_eq!(first, second);
+        // Quantizing the activities to 1e-3 moves the prediction only
+        // marginally relative to the exact (uncached) path.
+        let exact = predictor.predict_from_reference(&reference, &freqs);
+        for (i, &f) in freqs.iter().enumerate() {
+            let dp = (first.power_w[i] - exact.power_w[i]).abs() / exact.power_w[i];
+            let dt = (first.time_s[i] - exact.time_s[i]).abs() / exact.time_s[i];
+            assert!(dp < 0.02, "power drifted {:.3}% at {f} MHz", 100.0 * dp);
+            assert!(dt < 0.02, "time drifted {:.3}% at {f} MHz", 100.0 * dt);
+        }
+    }
+
+    #[test]
+    fn predict_many_cached_shares_entries_across_requests() {
+        let backend = SimulatorBackend::ga100();
+        let spec = backend.spec().clone();
+        let models = trained_models(&spec);
+        let predictor = Predictor::new(&models, spec.clone());
+        let freqs = backend.grid().used();
+        let pool = [
+            reference_for(&spec, "a", 1.5e13, 1.0e12),
+            reference_for(&spec, "b", 2.0e11, 1.8e13),
+        ];
+        // 6 requests over 2 distinct applications.
+        let stream: Vec<MetricSample> = (0..6).map(|i| pool[i % pool.len()].clone()).collect();
+        let cache = ProfileCache::new(8);
+        let profiles = predictor.predict_many_cached(&cache, &stream, &freqs);
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 6);
+        assert_eq!(cache.len(), 2);
+        // Requests for the same app are identical regardless of arrival
+        // order (entries are computed from bucket centers).
+        assert_eq!(profiles[0], profiles[2]);
+        assert_eq!(profiles[1], profiles[3]);
+        assert_eq!(profiles[0], profiles[4]);
     }
 
     #[test]

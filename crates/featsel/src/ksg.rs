@@ -20,7 +20,11 @@ pub struct KsgOptions {
 
 impl Default for KsgOptions {
     fn default() -> Self {
-        Self { k: 3, jitter: 1e-10, seed: 0x5EED }
+        Self {
+            k: 3,
+            jitter: 1e-10,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -58,8 +62,8 @@ pub fn mutual_information(x: &[f64], y: &[f64], opts: KsgOptions) -> f64 {
             }
         }
         // k-th smallest joint distance (Chebyshev norm).
-        let (_, eps, _) = dists
-            .select_nth_unstable_by(k - 1, |a, b| a.partial_cmp(b).expect("finite distances"));
+        let (_, eps, _) =
+            dists.select_nth_unstable_by(k - 1, |a, b| a.partial_cmp(b).expect("finite distances"));
         let eps = *eps;
 
         // Strict marginal counts within eps.
@@ -190,7 +194,10 @@ mod tests {
         let x: Vec<f64> = (0..500).map(|i| (i % 3) as f64).collect();
         let y: Vec<f64> = (0..500).map(|i| (i % 3) as f64).collect();
         let mi = mutual_information(&x, &y, KsgOptions::default());
-        assert!(mi > 0.5, "identical ternary vars should share information, got {mi}");
+        assert!(
+            mi > 0.5,
+            "identical ternary vars should share information, got {mi}"
+        );
     }
 
     #[test]

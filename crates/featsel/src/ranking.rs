@@ -88,9 +88,18 @@ mod tests {
     #[test]
     fn top_n_selects_prefix() {
         let scores = vec![
-            FeatureScore { name: "x".into(), mi: 2.0 },
-            FeatureScore { name: "y".into(), mi: 1.0 },
-            FeatureScore { name: "z".into(), mi: 0.5 },
+            FeatureScore {
+                name: "x".into(),
+                mi: 2.0,
+            },
+            FeatureScore {
+                name: "y".into(),
+                mi: 1.0,
+            },
+            FeatureScore {
+                name: "z".into(),
+                mi: 0.5,
+            },
         ];
         assert_eq!(top_n(&scores, 2), vec!["x", "y"]);
         assert_eq!(top_n(&scores, 10).len(), 3);
@@ -99,6 +108,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "one name per feature")]
     fn name_count_mismatch_panics() {
-        let _ = rank_features(&["a"], &[vec![1.0], vec![2.0]], &[1.0], KsgOptions::default());
+        let _ = rank_features(
+            &["a"],
+            &[vec![1.0], vec![2.0]],
+            &[1.0],
+            KsgOptions::default(),
+        );
     }
 }

@@ -156,10 +156,22 @@ impl DeviceSpec {
                 "Core Frequency Range (MHz)".into(),
                 format!("[{:.0}:{:.0}]", self.min_core_mhz, self.max_core_mhz),
             ),
-            ("Default Core Frequency (MHz)".into(), format!("{:.0}", self.default_core_mhz())),
-            ("Memory Frequency (MHz)".into(), format!("{:.0}", self.memory_mhz)),
-            ("GPU Memory (HBM2e) (GB)".into(), format!("{:.0}", self.memory_gb)),
-            ("Peak Memory Bandwidth (GB/s)".into(), format!("{:.0}", self.peak_bw_gbs)),
+            (
+                "Default Core Frequency (MHz)".into(),
+                format!("{:.0}", self.default_core_mhz()),
+            ),
+            (
+                "Memory Frequency (MHz)".into(),
+                format!("{:.0}", self.memory_mhz),
+            ),
+            (
+                "GPU Memory (HBM2e) (GB)".into(),
+                format!("{:.0}", self.memory_gb),
+            ),
+            (
+                "Peak Memory Bandwidth (GB/s)".into(),
+                format!("{:.0}", self.peak_bw_gbs),
+            ),
             ("TDP (W)".into(), format!("{:.0}", self.tdp_w)),
         ]
     }
@@ -196,7 +208,10 @@ mod tests {
 
     #[test]
     fn for_arch_round_trips() {
-        assert_eq!(DeviceSpec::for_arch(ArchKind::Ampere).arch, ArchKind::Ampere);
+        assert_eq!(
+            DeviceSpec::for_arch(ArchKind::Ampere).arch,
+            ArchKind::Ampere
+        );
         assert_eq!(DeviceSpec::for_arch(ArchKind::Volta).arch, ArchKind::Volta);
     }
 

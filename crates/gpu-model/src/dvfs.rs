@@ -25,7 +25,10 @@ impl DvfsGrid {
             // an alternating 7/8 pattern after rounding.
             supported.push(f.round());
         }
-        Self { supported, used_from: spec.min_used_mhz }
+        Self {
+            supported,
+            used_from: spec.min_used_mhz,
+        }
     }
 
     /// All supported frequencies, ascending, in MHz.

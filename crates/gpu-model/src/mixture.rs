@@ -38,7 +38,13 @@ pub struct PhasedWorkload {
 impl PhasedWorkload {
     /// Wraps a single signature as a one-phase workload.
     pub fn single(sig: WorkloadSignature) -> Self {
-        Self { name: sig.name.clone(), phases: vec![Phase { signature: sig, repeats: 1.0 }] }
+        Self {
+            name: sig.name.clone(),
+            phases: vec![Phase {
+                signature: sig,
+                repeats: 1.0,
+            }],
+        }
     }
 
     /// Builds a named multi-phase workload.
@@ -51,7 +57,10 @@ impl PhasedWorkload {
             phases.iter().all(|p| p.repeats > 0.0),
             "phase repeat counts must be positive"
         );
-        Self { name: name.into(), phases }
+        Self {
+            name: name.into(),
+            phases,
+        }
     }
 
     /// Total execution time at clock `mhz`, in seconds.
@@ -131,7 +140,11 @@ impl PhasedWorkload {
     /// Fraction of execution time at `mhz` that is DVFS-insensitive
     /// overhead.
     pub fn overhead_fraction(&self, spec: &DeviceSpec, mhz: f64) -> f64 {
-        let oh: f64 = self.phases.iter().map(|p| p.repeats * p.signature.overhead_s).sum();
+        let oh: f64 = self
+            .phases
+            .iter()
+            .map(|p| p.repeats * p.signature.overhead_s)
+            .sum();
         oh / self.exec_time(spec, mhz)
     }
 }
@@ -163,8 +176,14 @@ mod tests {
         PhasedWorkload::new(
             "app",
             vec![
-                Phase { signature: compute_phase(), repeats: 3.0 },
-                Phase { signature: memory_phase(), repeats: 2.0 },
+                Phase {
+                    signature: compute_phase(),
+                    repeats: 3.0,
+                },
+                Phase {
+                    signature: memory_phase(),
+                    repeats: 2.0,
+                },
             ],
         )
     }
@@ -200,7 +219,10 @@ mod tests {
         let p = w.power(&spec, 1410.0);
         let pc = model::power(&spec, &compute_phase(), 1410.0);
         let pm = model::power(&spec, &memory_phase(), 1410.0);
-        assert!(p > pm.min(pc) && p < pm.max(pc), "{pm} <= {p} <= {pc} violated");
+        assert!(
+            p > pm.min(pc) && p < pm.max(pc),
+            "{pm} <= {p} <= {pc} violated"
+        );
     }
 
     #[test]
@@ -257,7 +279,10 @@ mod tests {
     fn zero_repeats_panic() {
         let _ = PhasedWorkload::new(
             "x",
-            vec![Phase { signature: compute_phase(), repeats: 0.0 }],
+            vec![Phase {
+                signature: compute_phase(),
+                repeats: 0.0,
+            }],
         );
     }
 

@@ -80,7 +80,11 @@ pub fn exec_time(spec: &DeviceSpec, sig: &WorkloadSignature, mhz: f64) -> f64 {
 pub fn activities(spec: &DeviceSpec, sig: &WorkloadSignature, mhz: f64) -> (f64, f64) {
     let t = exec_time(spec, sig, mhz);
     let fp_avail = spec.peak_gflops_for_mix(sig.fp64_ratio) * 1e9 * (mhz / spec.max_core_mhz);
-    let fp_active = if sig.flops > 0.0 { (sig.flops / t) / fp_avail } else { 0.0 };
+    let fp_active = if sig.flops > 0.0 {
+        (sig.flops / t) / fp_avail
+    } else {
+        0.0
+    };
     let dram_active = if sig.bytes > 0.0 {
         (sig.bytes / t) / (spec.peak_bw_gbs * 1e9)
     } else {
@@ -94,12 +98,7 @@ pub fn activities(spec: &DeviceSpec, sig: &WorkloadSignature, mhz: f64) -> (f64,
 /// Exposed separately so measured (noisy) activities can drive the power
 /// calculation — measurement noise then correlates between activity and
 /// power samples, as it does on real hardware.
-pub fn power_from_activities(
-    spec: &DeviceSpec,
-    fp_active: f64,
-    dram_active: f64,
-    mhz: f64,
-) -> f64 {
+pub fn power_from_activities(spec: &DeviceSpec, fp_active: f64, dram_active: f64, mhz: f64) -> f64 {
     let u = (spec.pwr_w_fp * fp_active + spec.pwr_w_dram * dram_active).clamp(0.0, 1.0);
     let v = voltage(spec, mhz);
     spec.idle_w + (spec.tdp_w - spec.idle_w) * u * (mhz / spec.max_core_mhz) * v * v
@@ -217,7 +216,11 @@ mod tests {
         let s = ga100();
         let grid = DvfsGrid::for_spec(&s);
         for sig in [dgemm(), stream()] {
-            let ts: Vec<f64> = grid.used().iter().map(|&f| exec_time(&s, &sig, f)).collect();
+            let ts: Vec<f64> = grid
+                .used()
+                .iter()
+                .map(|&f| exec_time(&s, &sig, f))
+                .collect();
             assert!(
                 ts.windows(2).all(|w| w[0] >= w[1]),
                 "{} time not non-increasing",
@@ -280,7 +283,11 @@ mod tests {
         // Less than 15% improvement from 900 to 1410...
         assert!(b1410 / b900 < 1.15, "900->1410 gained {:.2}x", b1410 / b900);
         // ...but strong improvement from 510 to 900.
-        assert!(b900 / b510 > 1.4, "510->900 gained only {:.2}x", b900 / b510);
+        assert!(
+            b900 / b510 > 1.4,
+            "510->900 gained only {:.2}x",
+            b900 / b510
+        );
     }
 
     /// Figure 4: fp_active of both workloads is nearly DVFS-invariant.
@@ -312,7 +319,10 @@ mod tests {
         let s = ga100();
         let (_, d_low) = activities(&s, &dgemm(), 510.0);
         let (_, d_high) = activities(&s, &dgemm(), 1410.0);
-        assert!(d_high > d_low * 1.5, "dram_active {d_low:.3} -> {d_high:.3}");
+        assert!(
+            d_high > d_low * 1.5,
+            "dram_active {d_low:.3} -> {d_high:.3}"
+        );
     }
 
     /// Figure 5: activities are input-size invariant.
@@ -346,7 +356,11 @@ mod tests {
         for sig in [dgemm(), stream()] {
             let es: Vec<f64> = used.iter().map(|&f| energy(&s, &sig, f)).collect();
             let min = es.iter().copied().fold(f64::INFINITY, f64::min);
-            assert!(es[0] > min * 1.05, "{}: low-end energy not elevated", sig.name);
+            assert!(
+                es[0] > min * 1.05,
+                "{}: low-end energy not elevated",
+                sig.name
+            );
             assert!(
                 *es.last().unwrap() > min * 1.02,
                 "{}: high-end energy not elevated",
@@ -361,7 +375,11 @@ mod tests {
         let p = power(&s, &dgemm(), s.max_core_mhz);
         assert!((p - s.tdp_w).abs() / s.tdp_w < 0.12, "GV100 DGEMM {p:.0} W");
         let grid = DvfsGrid::for_spec(&s);
-        let ts: Vec<f64> = grid.used().iter().map(|&f| exec_time(&s, &dgemm(), f)).collect();
+        let ts: Vec<f64> = grid
+            .used()
+            .iter()
+            .map(|&f| exec_time(&s, &dgemm(), f))
+            .collect();
         assert!(ts.windows(2).all(|w| w[0] >= w[1]));
     }
 

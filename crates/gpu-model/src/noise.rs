@@ -36,7 +36,12 @@ impl NoiseModel {
 
     /// No noise at all (for model-calibration tests).
     pub fn none() -> Self {
-        Self { power_sigma: 0.0, time_sigma: 0.0, activity_sigma: 0.0, pcie_sigma: 0.0 }
+        Self {
+            power_sigma: 0.0,
+            time_sigma: 0.0,
+            activity_sigma: 0.0,
+            pcie_sigma: 0.0,
+        }
     }
 
     /// Multiplicative factor `1 + sigma * z` with `z ~ N(0,1)` truncated to
@@ -120,7 +125,10 @@ mod tests {
     fn noise_mean_is_unbiased() {
         let mut rng = measurement_rng("bias", 1.0, 0, 0);
         let n = 20_000;
-        let mean: f64 = (0..n).map(|_| NoiseModel::factor(0.05, &mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| NoiseModel::factor(0.05, &mut rng))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 1.0).abs() < 0.002, "mean {mean}");
     }
 

@@ -220,9 +220,13 @@ pub fn measure_aggregate(
         ((0.90 + 0.10 * sm_active) * NoiseModel::factor(0.01, &mut rng)).clamp(0.0, 1.0);
     let sm_occupancy =
         (meta.sm_occupancy * NoiseModel::factor(noise.activity_sigma, &mut rng)).clamp(0.0, 1.0);
-    let pcie_tx = meta.pcie_tx_mbs * 1e6 * SAMPLING_INTERVAL_S
+    let pcie_tx = meta.pcie_tx_mbs
+        * 1e6
+        * SAMPLING_INTERVAL_S
         * NoiseModel::factor(noise.pcie_sigma, &mut rng).max(0.0);
-    let pcie_rx = meta.pcie_rx_mbs * 1e6 * SAMPLING_INTERVAL_S
+    let pcie_rx = meta.pcie_rx_mbs
+        * 1e6
+        * SAMPLING_INTERVAL_S
         * NoiseModel::factor(noise.pcie_sigma, &mut rng).max(0.0);
 
     MetricSample {

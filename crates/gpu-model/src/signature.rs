@@ -206,7 +206,10 @@ mod tests {
 
     #[test]
     fn intensity_infinite_without_bytes() {
-        let s = SignatureBuilder::new("pure-compute").flops(1.0e9).bytes(0.0).build();
+        let s = SignatureBuilder::new("pure-compute")
+            .flops(1.0e9)
+            .bytes(0.0)
+            .build();
         assert!(s.arithmetic_intensity().is_infinite());
     }
 

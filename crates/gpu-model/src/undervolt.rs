@@ -46,7 +46,9 @@ impl VoltageOffset {
             (0.0..=25.0).contains(&percent),
             "undervolt of {percent}% is outside the modelled range"
         );
-        Self { scale: 1.0 - percent / 100.0 }
+        Self {
+            scale: 1.0 - percent / 100.0,
+        }
     }
 }
 
@@ -93,7 +95,9 @@ pub fn energy(
 
 /// The deepest stable undervolt (as a [`VoltageOffset`]) at clock `mhz`.
 pub fn deepest_stable(spec: &DeviceSpec, mhz: f64) -> VoltageOffset {
-    VoltageOffset { scale: min_stable_voltage(spec, mhz) / model::voltage(spec, mhz) }
+    VoltageOffset {
+        scale: min_stable_voltage(spec, mhz) / model::voltage(spec, mhz),
+    }
 }
 
 #[cfg(test)]
@@ -138,7 +142,10 @@ mod tests {
         let spec = DeviceSpec::ga100();
         let deep_low = deepest_stable(&spec, 510.0);
         let deep_high = deepest_stable(&spec, 1410.0);
-        assert!(deep_low.scale < deep_high.scale, "more headroom at low clocks");
+        assert!(
+            deep_low.scale < deep_high.scale,
+            "more headroom at low clocks"
+        );
         // 8% undervolt: fine at 510 MHz, unstable at 1410 MHz.
         let uv8 = VoltageOffset::undervolt_pct(8.0);
         assert!(is_stable(&spec, 510.0, uv8));
@@ -159,7 +166,9 @@ mod tests {
         for &f in &[510.0, 1005.0, 1410.0] {
             let deep = deepest_stable(&spec, f);
             assert!(is_stable(&spec, f, deep));
-            let slightly_deeper = VoltageOffset { scale: deep.scale * 0.999 };
+            let slightly_deeper = VoltageOffset {
+                scale: deep.scale * 0.999,
+            };
             assert!(!is_stable(&spec, f, slightly_deeper));
         }
     }

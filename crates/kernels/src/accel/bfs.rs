@@ -66,7 +66,10 @@ impl Graph {
             frontier = next;
             level += 1;
         }
-        (levels.into_iter().map(|a| a.into_inner()).collect(), relaxed)
+        (
+            levels.into_iter().map(|a| a.into_inner()).collect(),
+            relaxed,
+        )
     }
 }
 
@@ -81,7 +84,10 @@ pub struct Bfs {
 
 impl Default for Bfs {
     fn default() -> Self {
-        Self { nodes: 100_000, degree: 8 }
+        Self {
+            nodes: 100_000,
+            degree: 8,
+        }
     }
 }
 
@@ -96,7 +102,7 @@ impl Kernel for Bfs {
             let g = Graph::synthetic(n, self.degree);
             let (levels, relaxed) = g.bfs(0);
             let flops = 0.05 * relaxed as f64; // BFS is essentially FLOP-free
-            // Edge scan (4 B idx) + level gather/update (8 B, uncoalesced).
+                                               // Edge scan (4 B idx) + level gather/update (8 B, uncoalesced).
             let bytes = 12.0 * relaxed as f64 + 8.0 * n as f64;
             let checksum: f64 = levels.iter().map(|&l| l as f64).sum();
             (flops.max(1.0), bytes, checksum)
@@ -159,7 +165,11 @@ mod tests {
 
     #[test]
     fn essentially_flop_free() {
-        let s = Bfs { nodes: 2000, degree: 4 }.run(1.0);
+        let s = Bfs {
+            nodes: 2000,
+            degree: 4,
+        }
+        .run(1.0);
         assert!(s.intensity() < 0.01);
     }
 }

@@ -20,7 +20,10 @@ pub struct BpTree {
 impl BpTree {
     /// Bulk loads a tree from sorted unique keys.
     pub fn build(keys: Vec<u64>) -> Self {
-        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted unique");
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys must be sorted unique"
+        );
         let mut levels = Vec::new();
         let mut current: Vec<u64> = keys.chunks(FANOUT).map(|c| c[0]).collect();
         while current.len() > 1 {
@@ -28,7 +31,10 @@ impl BpTree {
             current = current.chunks(FANOUT).map(|c| c[0]).collect();
         }
         levels.push(current);
-        Self { levels, leaves: keys }
+        Self {
+            levels,
+            leaves: keys,
+        }
     }
 
     /// Number of tree levels above the leaves.
@@ -70,7 +76,10 @@ pub struct Bplustree {
 
 impl Default for Bplustree {
     fn default() -> Self {
-        Self { keys: 1 << 18, queries: 20_000 }
+        Self {
+            keys: 1 << 18,
+            queries: 20_000,
+        }
     }
 }
 
@@ -123,7 +132,13 @@ mod tests {
     fn range_count_matches_linear_scan() {
         let keys: Vec<u64> = (0..1000u64).map(|i| i * 7).collect();
         let tree = BpTree::build(keys.clone());
-        for &(lo, hi) in &[(0u64, 70u64), (35, 36), (500, 500), (6900, 10_000), (0, 7000)] {
+        for &(lo, hi) in &[
+            (0u64, 70u64),
+            (35, 36),
+            (500, 500),
+            (6900, 10_000),
+            (0, 7000),
+        ] {
             let expect = keys.iter().filter(|&&k| k >= lo && k < hi).count();
             let (got, _) = tree.range_count(lo, hi);
             assert_eq!(got, expect, "range [{lo}, {hi})");

@@ -23,7 +23,10 @@ pub struct Cfd {
 
 impl Default for Cfd {
     fn default() -> Self {
-        Self { cells: 30_000, steps: 3 }
+        Self {
+            cells: 30_000,
+            steps: 3,
+        }
     }
 }
 
@@ -56,8 +59,8 @@ impl Cfd {
                     // Lax-Friedrichs-style flux difference with simple
                     // pressure coupling.
                     let p_me = 0.4 * (me[3] - 0.5 * (me[1] * me[1] + me[2] * me[2]) / me[0]);
-                    let p_nb =
-                        0.4 * (other[3] - 0.5 * (other[1] * other[1] + other[2] * other[2]) / other[0]);
+                    let p_nb = 0.4
+                        * (other[3] - 0.5 * (other[1] * other[1] + other[2] * other[2]) / other[0]);
                     for v in 0..NVAR {
                         acc[v] += other[v] - me[v];
                     }
@@ -130,7 +133,10 @@ mod tests {
 
     #[test]
     fn density_stays_positive_for_small_dt() {
-        let k = Cfd { cells: 500, steps: 5 };
+        let k = Cfd {
+            cells: 500,
+            steps: 5,
+        };
         let s = k.run(1.0);
         assert!(s.checksum.is_finite());
     }

@@ -21,7 +21,11 @@ pub struct Cutcp {
 
 impl Default for Cutcp {
     fn default() -> Self {
-        Self { grid: 24, atoms: 1000, cutoff: 4.0 }
+        Self {
+            grid: 24,
+            atoms: 1000,
+            cutoff: 4.0,
+        }
     }
 }
 
@@ -35,7 +39,9 @@ struct Atom {
 fn atoms_in_box(n: usize, edge: f64) -> Vec<Atom> {
     (0..n)
         .map(|i| {
-            let h = (i as u64).wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(9);
+            let h = (i as u64)
+                .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                .wrapping_add(9);
             let f = |s: u32| ((h >> s) & 0xFFFFF) as f64 / 1048576.0;
             Atom {
                 x: f(0) * edge,
@@ -99,8 +105,8 @@ impl Kernel for Cutcp {
             let tested = (grid * grid * grid * self.atoms) as u64;
             // Distance test ~8 flops each; hits add rsqrt+acc ~6 more.
             let flops = 8.0 * tested as f64 + 6.0 * within_cutoff as f64;
-            let bytes = 32.0 * self.atoms as f64 * grid as f64 / 8.0
-                + 8.0 * (grid * grid * grid) as f64;
+            let bytes =
+                32.0 * self.atoms as f64 * grid as f64 / 8.0 + 8.0 * (grid * grid * grid) as f64;
             let checksum: f64 = field.iter().map(|v| v.abs()).sum();
             (flops, bytes, checksum)
         })
@@ -126,8 +132,17 @@ mod tests {
 
     #[test]
     fn single_atom_potential_is_coulomb() {
-        let k = Cutcp { grid: 8, atoms: 1, cutoff: 100.0 };
-        let atoms = vec![Atom { x: 0.0, y: 0.0, z: 0.0, q: 2.0 }];
+        let k = Cutcp {
+            grid: 8,
+            atoms: 1,
+            cutoff: 100.0,
+        };
+        let atoms = vec![Atom {
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+            q: 2.0,
+        }];
         let (field, _) = k.potential(8, &atoms);
         // Grid point (1,0,0) is at distance 1: potential 2.0.
         assert!((field[1] - 2.0).abs() < 1e-12);
@@ -137,8 +152,17 @@ mod tests {
 
     #[test]
     fn cutoff_excludes_far_atoms() {
-        let k = Cutcp { grid: 8, atoms: 1, cutoff: 2.0 };
-        let atoms = vec![Atom { x: 0.0, y: 0.0, z: 0.0, q: 1.0 }];
+        let k = Cutcp {
+            grid: 8,
+            atoms: 1,
+            cutoff: 2.0,
+        };
+        let atoms = vec![Atom {
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+            q: 1.0,
+        }];
         let (field, count) = k.potential(8, &atoms);
         assert_eq!(field[5], 0.0); // distance 5 > cutoff 2
         assert!(count > 0);
@@ -146,10 +170,24 @@ mod tests {
 
     #[test]
     fn opposite_charges_cancel_at_midpoint() {
-        let k = Cutcp { grid: 9, atoms: 2, cutoff: 100.0 };
+        let k = Cutcp {
+            grid: 9,
+            atoms: 2,
+            cutoff: 100.0,
+        };
         let atoms = vec![
-            Atom { x: 2.0, y: 4.0, z: 4.0, q: 1.0 },
-            Atom { x: 6.0, y: 4.0, z: 4.0, q: -1.0 },
+            Atom {
+                x: 2.0,
+                y: 4.0,
+                z: 4.0,
+                q: 1.0,
+            },
+            Atom {
+                x: 6.0,
+                y: 4.0,
+                z: 4.0,
+                q: -1.0,
+            },
         ];
         let (field, _) = k.potential(9, &atoms);
         let mid = 4 * 81 + 4 * 9 + 4;
@@ -158,7 +196,11 @@ mod tests {
 
     #[test]
     fn run_is_deterministic() {
-        let k = Cutcp { grid: 8, atoms: 50, cutoff: 3.0 };
+        let k = Cutcp {
+            grid: 8,
+            atoms: 50,
+            cutoff: 3.0,
+        };
         assert_eq!(k.run(1.0).checksum, k.run(1.0).checksum);
     }
 }

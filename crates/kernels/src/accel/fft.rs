@@ -19,7 +19,10 @@ pub struct Fft {
 
 impl Default for Fft {
     fn default() -> Self {
-        Self { len: 1024, batch: 64 }
+        Self {
+            len: 1024,
+            batch: 64,
+        }
     }
 }
 
@@ -129,7 +132,9 @@ mod tests {
 
     #[test]
     fn matches_naive_dft() {
-        let input: Vec<C> = (0..32).map(|i| ((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos())).collect();
+        let input: Vec<C> = (0..32)
+            .map(|i| ((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
         let mut fast = input.clone();
         fft_inplace(&mut fast);
         let slow = dft_reference(&input);

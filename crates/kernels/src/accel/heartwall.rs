@@ -24,7 +24,10 @@ pub struct Heartwall {
 
 impl Default for Heartwall {
     fn default() -> Self {
-        Self { n: 160, landmarks: 24 }
+        Self {
+            n: 160,
+            landmarks: 24,
+        }
     }
 }
 
@@ -68,7 +71,11 @@ impl Heartwall {
 
     /// Finds the best match position for each landmark; returns positions
     /// and the number of correlation evaluations.
-    fn track(img: &[f64], n: usize, templates: &[(usize, usize, Vec<f64>)]) -> (Vec<(usize, usize)>, u64) {
+    fn track(
+        img: &[f64],
+        n: usize,
+        templates: &[(usize, usize, Vec<f64>)],
+    ) -> (Vec<(usize, usize)>, u64) {
         let evals = std::sync::atomic::AtomicU64::new(0);
         let positions: Vec<(usize, usize)> = templates
             .par_iter()
@@ -108,7 +115,7 @@ impl Kernel for Heartwall {
         timed(|| {
             let frame0 = Self::image(n, 0);
             let frame1 = Self::image(n, 2); // scene shifted 2 px right
-            // Cut templates from frame 0 at spread positions.
+                                            // Cut templates from frame 0 at spread positions.
             let templates: Vec<(usize, usize, Vec<f64>)> = (0..self.landmarks)
                 .map(|l| {
                     let cy = WIN + (l * 13) % (n - TPL - 2 * WIN);

@@ -51,7 +51,13 @@ impl Kernel for Hotspot {
         let n = ((self.n as f64 * scale.sqrt()).round() as usize).max(8);
         timed(|| {
             let power: Vec<f64> = (0..n * n)
-                .map(|i| if (i / n + i % n).is_multiple_of(7) { 2.0 } else { 0.1 })
+                .map(|i| {
+                    if (i / n + i % n).is_multiple_of(7) {
+                        2.0
+                    } else {
+                        0.1
+                    }
+                })
                 .collect();
             let mut temp = vec![80.0f64; n * n];
             for _ in 0..self.steps {

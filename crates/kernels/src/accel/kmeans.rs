@@ -19,7 +19,12 @@ pub struct Kmeans {
 
 impl Default for Kmeans {
     fn default() -> Self {
-        Self { points: 20_000, dims: 16, k: 12, iters: 4 }
+        Self {
+            points: 20_000,
+            dims: 16,
+            k: 12,
+            iters: 4,
+        }
     }
 }
 
@@ -40,7 +45,13 @@ impl Kmeans {
 
     /// One Lloyd iteration: assignment + centroid update. Returns
     /// `(assignments, new_centroids)`.
-    fn lloyd_step(data: &[f64], cents: &[f64], n: usize, d: usize, k: usize) -> (Vec<u32>, Vec<f64>) {
+    fn lloyd_step(
+        data: &[f64],
+        cents: &[f64],
+        n: usize,
+        d: usize,
+        k: usize,
+    ) -> (Vec<u32>, Vec<f64>) {
         let assign: Vec<u32> = (0..n)
             .into_par_iter()
             .map(|p| {
@@ -101,8 +112,8 @@ impl Kernel for Kmeans {
             let it = self.iters as f64;
             let flops = 3.0 * (n * d * k) as f64 * it + (n * d) as f64 * it;
             let bytes = 8.0 * (n * d) as f64 * it + 8.0 * (k * d) as f64 * it + 4.0 * n as f64 * it;
-            let checksum: f64 = assign.iter().map(|&a| a as f64).sum::<f64>()
-                + cents.iter().sum::<f64>();
+            let checksum: f64 =
+                assign.iter().map(|&a| a as f64).sum::<f64>() + cents.iter().sum::<f64>();
             (flops, bytes, checksum)
         })
     }
@@ -175,7 +186,13 @@ mod tests {
 
     #[test]
     fn flops_scale_with_ndk() {
-        let s = Kmeans { points: 100, dims: 2, k: 5, iters: 1 }.run(1.0);
+        let s = Kmeans {
+            points: 100,
+            dims: 2,
+            k: 5,
+            iters: 1,
+        }
+        .run(1.0);
         assert_eq!(s.flops, 3.0 * 1000.0 + 200.0);
     }
 }

@@ -19,7 +19,10 @@ pub struct Lavamd {
 
 impl Default for Lavamd {
     fn default() -> Self {
-        Self { boxes: 4, per_box: 32 }
+        Self {
+            boxes: 4,
+            per_box: 32,
+        }
     }
 }
 
@@ -148,8 +151,18 @@ mod tests {
     #[test]
     fn two_particle_potential_is_symmetric() {
         let cells = vec![vec![
-            P { x: 0.0, y: 0.0, z: 0.0, q: 1.0 },
-            P { x: 0.5, y: 0.0, z: 0.0, q: 2.0 },
+            P {
+                x: 0.0,
+                y: 0.0,
+                z: 0.0,
+                q: 1.0,
+            },
+            P {
+                x: 0.5,
+                y: 0.0,
+                z: 0.0,
+                q: 2.0,
+            },
         ]];
         let (pots, pairs) = Lavamd::energy(1, &cells, 0.5);
         assert_eq!(pairs, 2); // each sees the other
@@ -161,12 +174,32 @@ mod tests {
     #[test]
     fn interaction_decays_with_distance() {
         let near = vec![vec![
-            P { x: 0.0, y: 0.0, z: 0.0, q: 1.0 },
-            P { x: 0.1, y: 0.0, z: 0.0, q: 1.0 },
+            P {
+                x: 0.0,
+                y: 0.0,
+                z: 0.0,
+                q: 1.0,
+            },
+            P {
+                x: 0.1,
+                y: 0.0,
+                z: 0.0,
+                q: 1.0,
+            },
         ]];
         let far = vec![vec![
-            P { x: 0.0, y: 0.0, z: 0.0, q: 1.0 },
-            P { x: 0.9, y: 0.0, z: 0.0, q: 1.0 },
+            P {
+                x: 0.0,
+                y: 0.0,
+                z: 0.0,
+                q: 1.0,
+            },
+            P {
+                x: 0.9,
+                y: 0.0,
+                z: 0.0,
+                q: 1.0,
+            },
         ]];
         let (pn, _) = Lavamd::energy(1, &near, 0.5);
         let (pf, _) = Lavamd::energy(1, &far, 0.5);
@@ -184,7 +217,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let k = Lavamd { boxes: 2, per_box: 8 };
+        let k = Lavamd {
+            boxes: 2,
+            per_box: 8,
+        };
         assert_eq!(k.run(1.0).checksum, k.run(1.0).checksum);
     }
 }

@@ -5,8 +5,17 @@ use crate::workload::{GpuProfile, Kernel};
 use rayon::prelude::*;
 
 /// D2Q9 lattice velocities.
-const VEL: [(i32, i32); 9] =
-    [(0, 0), (1, 0), (0, 1), (-1, 0), (0, -1), (1, 1), (-1, 1), (-1, -1), (1, -1)];
+const VEL: [(i32, i32); 9] = [
+    (0, 0),
+    (1, 0),
+    (0, 1),
+    (-1, 0),
+    (0, -1),
+    (1, 1),
+    (-1, 1),
+    (-1, -1),
+    (1, -1),
+];
 /// D2Q9 lattice weights.
 const W: [f64; 9] = [
     4.0 / 9.0,

@@ -19,14 +19,19 @@ pub struct Mriq {
 
 impl Default for Mriq {
     fn default() -> Self {
-        Self { voxels: 4096, ksamples: 256 }
+        Self {
+            voxels: 4096,
+            ksamples: 256,
+        }
     }
 }
 
 fn coords(n: usize, salt: u64) -> Vec<[f64; 3]> {
     (0..n)
         .map(|i| {
-            let h = (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(salt);
+            let h = (i as u64)
+                .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                .wrapping_add(salt);
             let f = |shift: u32| ((h >> shift) & 0xFFFF) as f64 / 65536.0 - 0.5;
             [f(0), f(16), f(32)]
         })
@@ -91,7 +96,10 @@ mod tests {
     #[test]
     fn accumulation_magnitude_bounded_by_phi_sum() {
         // |Q(x)| <= sum(phi) pointwise.
-        let k = Mriq { voxels: 64, ksamples: 32 };
+        let k = Mriq {
+            voxels: 64,
+            ksamples: 32,
+        };
         let s = k.run(1.0);
         let phi_sum: f64 = (0..32).map(|i| 1.0 + (i % 5) as f64 * 0.1).sum();
         // checksum = sum over voxels of |re|+|im| <= 2 * voxels * phi_sum
@@ -116,7 +124,11 @@ mod tests {
 
     #[test]
     fn flops_scale_with_voxels_times_samples() {
-        let s = Mriq { voxels: 100, ksamples: 50 }.run(1.0);
+        let s = Mriq {
+            voxels: 100,
+            ksamples: 50,
+        }
+        .run(1.0);
         assert_eq!(s.flops, 11.0 * 5000.0);
     }
 

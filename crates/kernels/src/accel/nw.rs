@@ -27,7 +27,9 @@ impl Nw {
     fn sequence(n: usize, salt: u64) -> Vec<u8> {
         (0..n)
             .map(|i| {
-                let h = (i as u64).wrapping_mul(0xFF51_AFD7_ED55_8CCD).wrapping_add(salt);
+                let h = (i as u64)
+                    .wrapping_mul(0xFF51_AFD7_ED55_8CCD)
+                    .wrapping_add(salt);
                 ((h >> 33) % 4) as u8 // ACGT alphabet
             })
             .collect()

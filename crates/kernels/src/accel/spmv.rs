@@ -36,7 +36,12 @@ impl Csr {
             }
             row_ptr.push(col_idx.len());
         }
-        Self { row_ptr, col_idx, values, cols: n }
+        Self {
+            row_ptr,
+            col_idx,
+            values,
+            cols: n,
+        }
     }
 
     /// Number of rows.
@@ -78,7 +83,10 @@ pub struct Spmv {
 
 impl Default for Spmv {
     fn default() -> Self {
-        Self { n: 40_000, nnz_per_row: 24 }
+        Self {
+            n: 40_000,
+            nnz_per_row: 24,
+        }
     }
 }
 
@@ -169,7 +177,11 @@ mod tests {
 
     #[test]
     fn is_memory_bound() {
-        let s = Spmv { n: 1000, nnz_per_row: 8 }.run(1.0);
+        let s = Spmv {
+            n: 1000,
+            nnz_per_row: 8,
+        }
+        .run(1.0);
         assert!(s.intensity() < 0.2);
     }
 }

@@ -17,7 +17,11 @@ pub struct Srad {
 
 impl Default for Srad {
     fn default() -> Self {
-        Self { n: 192, iters: 3, lambda: 0.1 }
+        Self {
+            n: 192,
+            iters: 3,
+            lambda: 0.1,
+        }
     }
 }
 
@@ -26,7 +30,11 @@ impl Srad {
         (0..n * n)
             .map(|i| {
                 let (y, x) = (i / n, i % n);
-                let base = if (x / 16 + y / 16) % 2 == 0 { 60.0 } else { 120.0 };
+                let base = if (x / 16 + y / 16) % 2 == 0 {
+                    60.0
+                } else {
+                    120.0
+                };
                 let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
                 let speckle = 1.0 + 0.2 * (((h >> 40) as f64 / (1u64 << 24) as f64) - 0.5);
                 base * speckle
@@ -78,7 +86,8 @@ impl Srad {
                 let down = if y + 1 < n { img[i + n] } else { c };
                 let left = if x > 0 { img[i - 1] } else { c };
                 let right = if x + 1 < n { img[i + 1] } else { c };
-                let div = c_down * (down - c) + cc * (up - c) + c_right * (right - c) + cc * (left - c);
+                let div =
+                    c_down * (down - c) + cc * (up - c) + c_right * (right - c) + cc * (left - c);
                 c + 0.25 * lambda * div
             })
             .collect()
@@ -160,7 +169,11 @@ mod tests {
 
     #[test]
     fn output_stays_finite_and_positive() {
-        let k = Srad { n: 48, iters: 8, lambda: 0.1 };
+        let k = Srad {
+            n: 48,
+            iters: 8,
+            lambda: 0.1,
+        };
         let s = k.run(1.0);
         assert!(s.checksum.is_finite() && s.checksum > 0.0);
     }

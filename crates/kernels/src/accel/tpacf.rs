@@ -28,7 +28,9 @@ impl Default for Tpacf {
 fn unit_vectors(n: usize) -> Vec<[f64; 3]> {
     (0..n)
         .map(|i| {
-            let mut z = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            let mut z = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(1);
             let mut next = || {
                 z ^= z >> 30;
                 z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -51,7 +51,8 @@ fn ridge_phase(
     // Memory side fixes the runtime at the default clock.
     let bytes = seconds * kappa_m * a100.peak_bw_gbs * 1e9;
     // Compute side pins the crossover: t_comp(knee) == t_mem(knee).
-    let bw_at_knee = kappa_m * a100.peak_bw_gbs * 1e9 * gpu_model::model::bw_factor(&a100, knee_mhz);
+    let bw_at_knee =
+        kappa_m * a100.peak_bw_gbs * 1e9 * gpu_model::model::bw_factor(&a100, knee_mhz);
     let flops_rate_at_knee =
         a100.peak_gflops_for_mix(fp64_ratio) * 1e9 * APP_KAPPA_C * (knee_mhz / a100.max_core_mhz);
     let ai = flops_rate_at_knee / bw_at_knee;
@@ -100,7 +101,12 @@ fn host_phase(name: &str, seconds: f64) -> WorkloadSignature {
 }
 
 fn phases(list: Vec<WorkloadSignature>) -> Vec<Phase> {
-    list.into_iter().map(|signature| Phase { signature, repeats: 1.0 }).collect()
+    list.into_iter()
+        .map(|signature| Phase {
+            signature,
+            repeats: 1.0,
+        })
+        .collect()
 }
 
 /// LAMMPS — Lennard-Jones 3D melt (paper Section 5).
@@ -189,7 +195,10 @@ mod tests {
     fn six_apps_with_paper_names() {
         let apps = evaluation_apps();
         let names: Vec<&str> = apps.iter().map(|a| a.name.as_str()).collect();
-        assert_eq!(names, ["LAMMPS", "NAMD", "GROMACS", "LSTM", "BERT", "ResNet50"]);
+        assert_eq!(
+            names,
+            ["LAMMPS", "NAMD", "GROMACS", "LSTM", "BERT", "ResNet50"]
+        );
     }
 
     #[test]
@@ -306,7 +315,11 @@ mod tests {
             // Slower than on the A100 but still finite and sensible.
             assert!(t.is_finite() && t > 5.0, "{}: {t}", app.name);
             let p = app.power(&spec, spec.max_core_mhz);
-            assert!(p > spec.idle_w && p <= spec.tdp_w * 1.01, "{}: {p} W", app.name);
+            assert!(
+                p > spec.idle_w && p <= spec.tdp_w * 1.01,
+                "{}: {p} W",
+                app.name
+            );
         }
     }
 
@@ -336,7 +349,11 @@ mod tests {
             let used = grid.used();
             let energies: Vec<f64> = used.iter().map(|&f| app.energy(&spec, f)).collect();
             let min = energies.iter().copied().fold(f64::INFINITY, f64::min);
-            assert!(energies[0] > min, "{}: 510 MHz should not be optimal", app.name);
+            assert!(
+                energies[0] > min,
+                "{}: 510 MHz should not be optimal",
+                app.name
+            );
         }
     }
 }

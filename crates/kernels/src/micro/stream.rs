@@ -31,10 +31,14 @@ impl Stream {
         let mut a = vec![0.0f64; n];
 
         // copy: a = c
-        a.par_iter_mut().zip(c.par_iter()).for_each(|(x, &y)| *x = y);
+        a.par_iter_mut()
+            .zip(c.par_iter())
+            .for_each(|(x, &y)| *x = y);
         // scale: a = scalar * b  (STREAM scale writes b from c; the traffic
         // accounting is what matters)
-        a.par_iter_mut().zip(b.par_iter()).for_each(|(x, &y)| *x = scalar * y);
+        a.par_iter_mut()
+            .zip(b.par_iter())
+            .for_each(|(x, &y)| *x = scalar * y);
         // add: a = b + c
         a.par_iter_mut()
             .zip(b.par_iter().zip(c.par_iter()))

@@ -24,7 +24,12 @@ pub struct KernelStats {
 impl KernelStats {
     /// Creates stats with the given counts and checksum.
     pub fn new(flops: f64, bytes: f64, checksum: f64, elapsed_s: f64) -> Self {
-        Self { flops, bytes, checksum, elapsed_s }
+        Self {
+            flops,
+            bytes,
+            checksum,
+            elapsed_s,
+        }
     }
 
     /// Arithmetic intensity, FLOP/byte.

@@ -37,8 +37,25 @@ pub fn training_suite() -> Vec<Box<dyn Kernel>> {
 /// Names of the SPEC ACCEL members of the suite (Table 2, first row).
 pub fn spec_accel_names() -> Vec<&'static str> {
     vec![
-        "TPACF", "STENCIL", "LBM", "FFT", "SPMV", "MRIQ", "HISTO", "BFS", "CUTCP", "KMEANS",
-        "LAVAMD", "CFD", "NW", "HOTSPOT", "LUD", "GE", "SRAD", "HEARTWALL", "BPLUSTREE",
+        "TPACF",
+        "STENCIL",
+        "LBM",
+        "FFT",
+        "SPMV",
+        "MRIQ",
+        "HISTO",
+        "BFS",
+        "CUTCP",
+        "KMEANS",
+        "LAVAMD",
+        "CFD",
+        "NW",
+        "HOTSPOT",
+        "LUD",
+        "GE",
+        "SRAD",
+        "HEARTWALL",
+        "BPLUSTREE",
     ]
 }
 
@@ -106,8 +123,14 @@ mod tests {
         }
         // The suite must cover low and high activity in both dimensions for
         // the models to interpolate unseen applications.
-        assert!(fp_lo < 0.15 && fp_hi > 0.7, "fp coverage {fp_lo:.2}..{fp_hi:.2}");
-        assert!(dram_lo < 0.2 && dram_hi > 0.6, "dram coverage {dram_lo:.2}..{dram_hi:.2}");
+        assert!(
+            fp_lo < 0.15 && fp_hi > 0.7,
+            "fp coverage {fp_lo:.2}..{fp_hi:.2}"
+        );
+        assert!(
+            dram_lo < 0.2 && dram_hi > 0.6,
+            "dram coverage {dram_lo:.2}..{dram_hi:.2}"
+        );
     }
 
     #[test]

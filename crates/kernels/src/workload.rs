@@ -51,7 +51,10 @@ impl GpuProfile {
             return Err(format!("sm_occupancy out of range: {}", self.sm_occupancy));
         }
         if !(0.0..=0.95).contains(&self.overhead_frac) {
-            return Err(format!("overhead_frac out of range: {}", self.overhead_frac));
+            return Err(format!(
+                "overhead_frac out of range: {}",
+                self.overhead_frac
+            ));
         }
         if self.target_seconds <= 0.0 {
             return Err("target_seconds must be positive".into());

@@ -42,13 +42,23 @@ impl Dense {
     pub fn new(weights: Matrix, bias: Matrix, activation: Activation) -> Self {
         assert_eq!(bias.rows(), 1, "bias must be a row vector");
         assert_eq!(bias.cols(), weights.cols(), "bias width must match weights");
-        Self { weights, bias, activation, cache: None }
+        Self {
+            weights,
+            bias,
+            activation,
+            cache: None,
+        }
     }
 
     /// Creates a layer with LeCun-normal weights and zero bias — the
     /// initialization required for SELU self-normalization and a sound
     /// default for the other activations at these widths.
-    pub fn init(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut impl rand::Rng) -> Self {
+    pub fn init(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut impl rand::Rng,
+    ) -> Self {
         let weights = tensor::init::lecun_normal(in_dim, out_dim, rng);
         let bias = Matrix::zeros(1, out_dim);
         Self::new(weights, bias, activation)
@@ -131,10 +141,7 @@ impl Dense {
     /// # Panics
     /// Panics if called before [`Dense::forward`].
     pub fn backward(&mut self, upstream: &Matrix) -> (LayerGrads, Matrix) {
-        let cache = self
-            .cache
-            .as_ref()
-            .expect("backward called before forward");
+        let cache = self.cache.as_ref().expect("backward called before forward");
         let batch = upstream.rows().max(1);
 
         // delta = dL/dz, via the activation's backward rule per row.
@@ -159,7 +166,13 @@ impl Dense {
         let downstream =
             matmul::matmul(&delta, &self.weights.transpose()).expect("shapes from cache");
 
-        (LayerGrads { weights: grad_w, bias: grad_b }, downstream)
+        (
+            LayerGrads {
+                weights: grad_w,
+                bias: grad_b,
+            },
+            downstream,
+        )
     }
 
     /// Drops the cached forward state (e.g. before serialization).

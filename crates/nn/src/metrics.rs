@@ -28,7 +28,11 @@ pub fn mae(pred: &[f64], actual: &[f64]) -> f64 {
     if pred.is_empty() {
         return f64::NAN;
     }
-    pred.iter().zip(actual).map(|(&p, &a)| (p - a).abs()).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(actual)
+        .map(|(&p, &a)| (p - a).abs())
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Mean absolute percentage error, in percent.
@@ -63,10 +67,18 @@ pub fn r2(pred: &[f64], actual: &[f64]) -> f64 {
         return f64::NAN;
     }
     let mean = actual.iter().sum::<f64>() / actual.len() as f64;
-    let ss_res: f64 = pred.iter().zip(actual).map(|(&p, &a)| (a - p) * (a - p)).sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(actual)
+        .map(|(&p, &a)| (a - p) * (a - p))
+        .sum();
     let ss_tot: f64 = actual.iter().map(|&a| (a - mean) * (a - mean)).sum();
     if ss_tot == 0.0 {
-        return if ss_res == 0.0 { 1.0 } else { f64::NEG_INFINITY };
+        return if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        };
     }
     1.0 - ss_res / ss_tot
 }

@@ -83,7 +83,13 @@ impl Network {
     /// optimizer step to every parameter tensor. Returns the batch loss.
     ///
     /// Must follow a [`Network::forward`] call on the same batch.
-    pub fn backward(&mut self, pred: &Matrix, target: &Matrix, loss: Loss, opt: &mut Optimizer) -> f64 {
+    pub fn backward(
+        &mut self,
+        pred: &Matrix,
+        target: &Matrix,
+        loss: Loss,
+        opt: &mut Optimizer,
+    ) -> f64 {
         let value = loss.value(pred, target);
         // Loss::gradient averages over elements; layer backward averages
         // over rows again. Compensate so the effective gradient is the
@@ -140,7 +146,11 @@ pub struct NetworkBuilder {
 impl NetworkBuilder {
     /// Starts a builder for a network with `in_dim` input features.
     pub fn new(in_dim: usize) -> Self {
-        Self { in_dim, specs: Vec::new(), seed: 0 }
+        Self {
+            in_dim,
+            specs: Vec::new(),
+            seed: 0,
+        }
     }
 
     /// Appends a hidden layer of `width` neurons.
@@ -224,7 +234,13 @@ mod tests {
     #[test]
     fn learns_linear_function() {
         let mut net = tiny_net(1);
-        let mut opt = OptimizerKind::Adam { lr: 0.01, beta1: 0.9, beta2: 0.999, eps: 1e-8 }.build();
+        let mut opt = OptimizerKind::Adam {
+            lr: 0.01,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+        .build();
         let mut rng = StdRng::seed_from_u64(2);
         let x = tensor::init::uniform(256, 2, -1.0, 1.0, &mut rng);
         let y_vals: Vec<f64> = x.rows_iter().map(|r| r[0] + 2.0 * r[1]).collect();
@@ -250,7 +266,10 @@ mod tests {
         let mut opt = OptimizerKind::paper_default().build();
         let mut rng = StdRng::seed_from_u64(4);
         let x = tensor::init::uniform(512, 2, -1.0, 1.0, &mut rng);
-        let y_vals: Vec<f64> = x.rows_iter().map(|r| (r[0] * r[1]).tanh() + 0.5 * r[0]).collect();
+        let y_vals: Vec<f64> = x
+            .rows_iter()
+            .map(|r| (r[0] * r[1]).tanh() + 0.5 * r[0])
+            .collect();
         let y = Matrix::col_vector(&y_vals);
 
         let first = {

@@ -78,12 +78,20 @@ pub enum OptimizerKind {
 impl OptimizerKind {
     /// The paper's RMSprop configuration with Keras-default hyperparameters.
     pub fn paper_default() -> Self {
-        OptimizerKind::RmsProp { lr: 1e-3, rho: 0.9, eps: 1e-7 }
+        OptimizerKind::RmsProp {
+            lr: 1e-3,
+            rho: 0.9,
+            eps: 1e-7,
+        }
     }
 
     /// Instantiates the stateful optimizer.
     pub fn build(self) -> Optimizer {
-        Optimizer { kind: self, state: HashMap::new(), step: 0 }
+        Optimizer {
+            kind: self,
+            state: HashMap::new(),
+            step: 0,
+        }
     }
 
     /// Name used in reports.
@@ -165,7 +173,12 @@ impl Optimizer {
                     p[i] -= lr * g[i] / (st.v[i].sqrt() + eps);
                 }
             }
-            OptimizerKind::Adam { lr, beta1, beta2, eps } => {
+            OptimizerKind::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
                 let bc1 = 1.0 - beta1.powi(t);
                 let bc2 = 1.0 - beta2.powi(t);
                 for i in 0..n {
@@ -176,7 +189,12 @@ impl Optimizer {
                     p[i] -= lr * mhat / (vhat.sqrt() + eps);
                 }
             }
-            OptimizerKind::Adamax { lr, beta1, beta2, eps } => {
+            OptimizerKind::Adamax {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
                 let bc1 = 1.0 - beta1.powi(t);
                 for i in 0..n {
                     st.m[i] = beta1 * st.m[i] + (1.0 - beta1) * g[i];
@@ -184,7 +202,12 @@ impl Optimizer {
                     p[i] -= lr * (st.m[i] / bc1) / (st.v[i] + eps);
                 }
             }
-            OptimizerKind::Nadam { lr, beta1, beta2, eps } => {
+            OptimizerKind::Nadam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
                 let bc1 = 1.0 - beta1.powi(t);
                 let bc1_next = 1.0 - beta1.powi(t + 1);
                 let bc2 = 1.0 - beta2.powi(t);
@@ -216,12 +239,38 @@ mod tests {
     #[test]
     fn all_optimizers_descend_quadratic() {
         let kinds = [
-            OptimizerKind::Sgd { lr: 0.1, momentum: 0.9 },
-            OptimizerKind::RmsProp { lr: 0.05, rho: 0.9, eps: 1e-7 },
-            OptimizerKind::Adam { lr: 0.1, beta1: 0.9, beta2: 0.999, eps: 1e-8 },
-            OptimizerKind::Adamax { lr: 0.1, beta1: 0.9, beta2: 0.999, eps: 1e-8 },
-            OptimizerKind::Nadam { lr: 0.1, beta1: 0.9, beta2: 0.999, eps: 1e-8 },
-            OptimizerKind::AdaDelta { lr: 1.0, rho: 0.95, eps: 1e-6 },
+            OptimizerKind::Sgd {
+                lr: 0.1,
+                momentum: 0.9,
+            },
+            OptimizerKind::RmsProp {
+                lr: 0.05,
+                rho: 0.9,
+                eps: 1e-7,
+            },
+            OptimizerKind::Adam {
+                lr: 0.1,
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+            },
+            OptimizerKind::Adamax {
+                lr: 0.1,
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+            },
+            OptimizerKind::Nadam {
+                lr: 0.1,
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+            },
+            OptimizerKind::AdaDelta {
+                lr: 1.0,
+                rho: 0.95,
+                eps: 1e-6,
+            },
         ];
         for kind in kinds {
             let mut opt = kind.build();
@@ -244,7 +293,11 @@ mod tests {
 
     #[test]
     fn sgd_without_momentum_is_plain_descent() {
-        let mut opt = OptimizerKind::Sgd { lr: 0.5, momentum: 0.0 }.build();
+        let mut opt = OptimizerKind::Sgd {
+            lr: 0.5,
+            momentum: 0.0,
+        }
+        .build();
         let mut x = Matrix::from_vec(1, 1, vec![2.0]).unwrap();
         opt.begin_step();
         let g = Matrix::from_vec(1, 1, vec![1.0]).unwrap();
@@ -267,7 +320,13 @@ mod tests {
 
     #[test]
     fn slots_keep_independent_state() {
-        let mut opt = OptimizerKind::Adam { lr: 0.1, beta1: 0.9, beta2: 0.999, eps: 1e-8 }.build();
+        let mut opt = OptimizerKind::Adam {
+            lr: 0.1,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+        .build();
         let mut a = Matrix::from_vec(1, 1, vec![1.0]).unwrap();
         let mut b = Matrix::from_vec(1, 2, vec![1.0, 1.0]).unwrap();
         opt.begin_step();

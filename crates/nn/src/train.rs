@@ -121,7 +121,10 @@ impl Trainer {
     /// Trains on `(x, y)` and returns the loss history.
     pub fn fit(&mut self, x: &Matrix, y: &Matrix) -> Result<TrainingHistory, TrainError> {
         if x.rows() != y.rows() {
-            return Err(TrainError::RowMismatch { x_rows: x.rows(), y_rows: y.rows() });
+            return Err(TrainError::RowMismatch {
+                x_rows: x.rows(),
+                y_rows: y.rows(),
+            });
         }
         if x.rows() == 0 {
             return Err(TrainError::EmptyDataset);
@@ -162,7 +165,9 @@ impl Trainer {
                 let xb = x_train.select_rows(chunk);
                 let yb = y_train.select_rows(chunk);
                 let pred = self.network.forward(&xb);
-                epoch_loss += self.network.backward(&pred, &yb, self.config.loss, &mut opt);
+                epoch_loss += self
+                    .network
+                    .backward(&pred, &yb, self.config.loss, &mut opt);
                 batches += 1;
             }
             history.train_loss.push(epoch_loss / batches.max(1) as f64);
@@ -220,7 +225,10 @@ mod tests {
         let (x, y) = dataset(200, 1);
         let mut t = Trainer::new(
             paper_net(1),
-            TrainConfig { epochs: 5, ..TrainConfig::default() },
+            TrainConfig {
+                epochs: 5,
+                ..TrainConfig::default()
+            },
         );
         let h = t.fit(&x, &y).unwrap();
         assert_eq!(h.train_loss.len(), 5);
@@ -233,7 +241,10 @@ mod tests {
         let (x, y) = dataset(500, 2);
         let mut t = Trainer::new(
             paper_net(2),
-            TrainConfig { epochs: 30, ..TrainConfig::default() },
+            TrainConfig {
+                epochs: 30,
+                ..TrainConfig::default()
+            },
         );
         let h = t.fit(&x, &y).unwrap();
         let first = h.train_loss[0];
@@ -250,7 +261,10 @@ mod tests {
         let mut t = Trainer::new(paper_net(3), TrainConfig::default());
         assert_eq!(
             t.fit(&x, &y),
-            Err(TrainError::RowMismatch { x_rows: 10, y_rows: 5 })
+            Err(TrainError::RowMismatch {
+                x_rows: 10,
+                y_rows: 5
+            })
         );
     }
 
@@ -267,7 +281,11 @@ mod tests {
         let (x, y) = dataset(50, 5);
         let mut t = Trainer::new(
             paper_net(5),
-            TrainConfig { epochs: 2, validation_split: 0.0, ..TrainConfig::default() },
+            TrainConfig {
+                epochs: 2,
+                validation_split: 0.0,
+                ..TrainConfig::default()
+            },
         );
         let h = t.fit(&x, &y).unwrap();
         assert!(h.val_loss.is_empty());
@@ -276,7 +294,10 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let (x, y) = dataset(100, 6);
-        let cfg = TrainConfig { epochs: 3, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        };
         let mut t1 = Trainer::new(paper_net(6), cfg);
         let mut t2 = Trainer::new(paper_net(6), cfg);
         let h1 = t1.fit(&x, &y).unwrap();
@@ -298,7 +319,11 @@ mod tests {
             },
         );
         let h = t.fit(&x, &y).unwrap();
-        assert!(h.train_loss.len() < 200, "ran all {} epochs", h.train_loss.len());
+        assert!(
+            h.train_loss.len() < 200,
+            "ran all {} epochs",
+            h.train_loss.len()
+        );
         // The history still records one validation loss per executed epoch.
         assert_eq!(h.train_loss.len(), h.val_loss.len());
     }
@@ -336,7 +361,10 @@ mod tests {
         let y = Matrix::col_vector(&[1.0]);
         let mut t = Trainer::new(
             paper_net(7),
-            TrainConfig { epochs: 2, ..TrainConfig::default() },
+            TrainConfig {
+                epochs: 2,
+                ..TrainConfig::default()
+            },
         );
         // Validation split rounds to 0 held-out rows (min keeps 1 train row).
         let h = t.fit(&x, &y).unwrap();

@@ -69,7 +69,12 @@ impl SimulatorBackend {
     pub fn new(spec: DeviceSpec, noise: NoiseModel) -> Self {
         let grid = DvfsGrid::for_spec(&spec);
         let clock = Mutex::new(spec.max_core_mhz);
-        Self { spec, grid, noise, clock }
+        Self {
+            spec,
+            grid,
+            noise,
+            clock,
+        }
     }
 
     /// A GA100 device with benchmark-calibrated noise.
@@ -120,7 +125,10 @@ mod tests {
 
     fn workload() -> PhasedWorkload {
         PhasedWorkload::single(
-            SignatureBuilder::new("w").flops(1.0e13).bytes(1.0e11).build(),
+            SignatureBuilder::new("w")
+                .flops(1.0e13)
+                .bytes(1.0e11)
+                .build(),
         )
     }
 
@@ -145,7 +153,10 @@ mod tests {
         let err = b.set_app_clock(1000.0).unwrap_err();
         assert_eq!(
             err,
-            BackendError::UnsupportedClock { requested: 1000.0, nearest: 1005.0 }
+            BackendError::UnsupportedClock {
+                requested: 1000.0,
+                nearest: 1005.0
+            }
         );
         // Clock unchanged after the failed set.
         assert_eq!(b.app_clock(), 1410.0);

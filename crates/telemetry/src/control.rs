@@ -30,7 +30,9 @@ impl<'a, B: GpuBackend + ?Sized> ClockController<'a, B> {
     /// Returns a guard that restores the default clock when dropped.
     pub fn scoped(&self, mhz: f64) -> Result<ClockGuard<'_, B>, BackendError> {
         self.backend.set_app_clock(mhz)?;
-        Ok(ClockGuard { backend: self.backend })
+        Ok(ClockGuard {
+            backend: self.backend,
+        })
     }
 }
 

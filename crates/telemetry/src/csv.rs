@@ -72,9 +72,14 @@ mod tests {
 
     fn samples() -> Vec<MetricSample> {
         let spec = DeviceSpec::ga100();
-        let sig = SignatureBuilder::new("csvtest").flops(1e12).bytes(1e10).build();
+        let sig = SignatureBuilder::new("csvtest")
+            .flops(1e12)
+            .bytes(1e10)
+            .build();
         (0..3)
-            .map(|r| gpu_model::sample::measure(&spec, &sig, 1410.0, r, &NoiseModel::default_bench()))
+            .map(|r| {
+                gpu_model::sample::measure(&spec, &sig, 1410.0, r, &NoiseModel::default_bench())
+            })
             .collect()
     }
 
@@ -102,7 +107,10 @@ mod tests {
     #[test]
     fn header_has_14_columns() {
         assert_eq!(
-            MetricSample::csv_header().replace(' ', "").split(',').count(),
+            MetricSample::csv_header()
+                .replace(' ', "")
+                .split(',')
+                .count(),
             14
         );
     }

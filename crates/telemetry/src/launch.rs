@@ -28,7 +28,11 @@ pub struct LaunchConfig {
 
 impl Default for LaunchConfig {
     fn default() -> Self {
-        Self { frequencies: Vec::new(), runs: 3, output: None }
+        Self {
+            frequencies: Vec::new(),
+            runs: 3,
+            output: None,
+        }
     }
 }
 
@@ -110,7 +114,13 @@ mod tests {
     #[test]
     fn sweeps_all_used_frequencies_by_default() {
         let b = SimulatorBackend::ga100();
-        let c = CollectionCampaign::new(&b, LaunchConfig { runs: 1, ..Default::default() });
+        let c = CollectionCampaign::new(
+            &b,
+            LaunchConfig {
+                runs: 1,
+                ..Default::default()
+            },
+        );
         let samples = c.collect(&workloads()).unwrap();
         assert_eq!(samples.len(), 2 * 61);
     }
@@ -118,18 +128,30 @@ mod tests {
     #[test]
     fn respects_explicit_frequency_list_and_runs() {
         let b = SimulatorBackend::ga100();
-        let cfg = LaunchConfig { frequencies: vec![510.0, 1410.0], runs: 3, output: None };
+        let cfg = LaunchConfig {
+            frequencies: vec![510.0, 1410.0],
+            runs: 3,
+            output: None,
+        };
         let c = CollectionCampaign::new(&b, cfg);
         let samples = c.collect(&workloads()).unwrap();
         assert_eq!(samples.len(), 2 * 2 * 3);
-        assert!(samples.iter().all(|s| s.sm_app_clock == 510.0 || s.sm_app_clock == 1410.0));
+        assert!(samples
+            .iter()
+            .all(|s| s.sm_app_clock == 510.0 || s.sm_app_clock == 1410.0));
     }
 
     #[test]
     fn resets_clock_after_campaign() {
         let b = SimulatorBackend::ga100();
-        let cfg = LaunchConfig { frequencies: vec![510.0], runs: 1, output: None };
-        CollectionCampaign::new(&b, cfg).collect(&workloads()).unwrap();
+        let cfg = LaunchConfig {
+            frequencies: vec![510.0],
+            runs: 1,
+            output: None,
+        };
+        CollectionCampaign::new(&b, cfg)
+            .collect(&workloads())
+            .unwrap();
         assert_eq!(b.app_clock(), 1410.0);
     }
 
@@ -144,7 +166,9 @@ mod tests {
             runs: 2,
             output: Some(path.clone()),
         };
-        let samples = CollectionCampaign::new(&b, cfg).collect(&workloads()).unwrap();
+        let samples = CollectionCampaign::new(&b, cfg)
+            .collect(&workloads())
+            .unwrap();
         let back = crate::csv::read_samples(&path).unwrap();
         assert_eq!(back.len(), samples.len());
         std::fs::remove_file(&path).ok();
@@ -153,8 +177,14 @@ mod tests {
     #[test]
     fn samples_are_grouped_by_workload_then_frequency() {
         let b = SimulatorBackend::ga100();
-        let cfg = LaunchConfig { frequencies: vec![510.0, 1410.0], runs: 1, output: None };
-        let samples = CollectionCampaign::new(&b, cfg).collect(&workloads()).unwrap();
+        let cfg = LaunchConfig {
+            frequencies: vec![510.0, 1410.0],
+            runs: 1,
+            output: None,
+        };
+        let samples = CollectionCampaign::new(&b, cfg)
+            .collect(&workloads())
+            .unwrap();
         assert_eq!(samples[0].workload, "wa");
         assert_eq!(samples[1].workload, "wa");
         assert_eq!(samples[2].workload, "wb");

@@ -26,7 +26,7 @@ pub mod profiler;
 pub mod replay;
 
 pub use backend::{GpuBackend, SimulatorBackend};
-pub use replay::ReplayBackend;
 pub use control::ClockController;
 pub use launch::{CollectionCampaign, LaunchConfig};
 pub use profiler::Profiler;
+pub use replay::ReplayBackend;

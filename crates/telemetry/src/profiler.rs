@@ -25,7 +25,10 @@ pub struct Profiler<'a, B: GpuBackend + ?Sized> {
 impl<'a, B: GpuBackend + ?Sized> Profiler<'a, B> {
     /// Profiler with the paper's 20 ms sampling interval.
     pub fn new(backend: &'a B) -> Self {
-        Self { backend, interval_s: SAMPLING_INTERVAL_S }
+        Self {
+            backend,
+            interval_s: SAMPLING_INTERVAL_S,
+        }
     }
 
     /// Overrides the sampling interval (seconds).
@@ -39,7 +42,11 @@ impl<'a, B: GpuBackend + ?Sized> Profiler<'a, B> {
     pub fn profile_run(&self, workload: &PhasedWorkload, run: u32) -> RunProfile {
         let sample = self.backend.run_profiled(workload, run);
         let intervals = (sample.exec_time / self.interval_s).ceil().max(1.0) as u64;
-        RunProfile { sample, intervals, interval_s: self.interval_s }
+        RunProfile {
+            sample,
+            intervals,
+            interval_s: self.interval_s,
+        }
     }
 
     /// Profiles `runs` repeated executions (the paper uses three).
@@ -114,7 +121,10 @@ mod tests {
 
     fn workload() -> PhasedWorkload {
         PhasedWorkload::single(
-            SignatureBuilder::new("w").flops(5.0e13).bytes(5.0e11).build(),
+            SignatureBuilder::new("w")
+                .flops(5.0e13)
+                .bytes(5.0e11)
+                .build(),
         )
     }
 
@@ -148,8 +158,14 @@ mod tests {
         let p = Profiler::new(&b);
         let runs = p.profile_runs(&workload(), 3);
         let avg = average_runs(&runs);
-        let lo = runs.iter().map(|r| r.sample.power_usage).fold(f64::INFINITY, f64::min);
-        let hi = runs.iter().map(|r| r.sample.power_usage).fold(f64::NEG_INFINITY, f64::max);
+        let lo = runs
+            .iter()
+            .map(|r| r.sample.power_usage)
+            .fold(f64::INFINITY, f64::min);
+        let hi = runs
+            .iter()
+            .map(|r| r.sample.power_usage)
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(avg.power_usage >= lo && avg.power_usage <= hi);
     }
 

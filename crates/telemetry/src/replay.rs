@@ -44,7 +44,10 @@ impl std::fmt::Display for ReplayError {
             ReplayError::Io(e) => write!(f, "reading recording: {e}"),
             ReplayError::Empty => write!(f, "recording contains no samples"),
             ReplayError::OffGridSample { workload, mhz } => {
-                write!(f, "sample for {workload} at {mhz} MHz is not on the device grid")
+                write!(
+                    f,
+                    "sample for {workload} at {mhz} MHz is not on the device grid"
+                )
             }
         }
     }
@@ -71,10 +74,18 @@ impl ReplayBackend {
                     mhz: s.sm_app_clock,
                 });
             }
-            recordings.entry(key(&s.workload, s.sm_app_clock)).or_default().push(s);
+            recordings
+                .entry(key(&s.workload, s.sm_app_clock))
+                .or_default()
+                .push(s);
         }
         let clock = Mutex::new(spec.max_core_mhz);
-        Ok(Self { spec, grid, clock, recordings })
+        Ok(Self {
+            spec,
+            grid,
+            clock,
+            recordings,
+        })
     }
 
     /// Builds a replay device from a campaign CSV (see [`crate::csv`]).
@@ -85,8 +96,7 @@ impl ReplayBackend {
 
     /// Workloads present in the recording.
     pub fn workloads(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.recordings.keys().map(|(w, _)| w.clone()).collect();
+        let mut names: Vec<String> = self.recordings.keys().map(|(w, _)| w.clone()).collect();
         names.dedup();
         names
     }
@@ -133,10 +143,7 @@ impl GpuBackend for ReplayBackend {
             .recordings
             .get(&key(&workload.name, mhz))
             .unwrap_or_else(|| {
-                panic!(
-                    "recording has no sample for {} at {mhz} MHz",
-                    workload.name
-                )
+                panic!("recording has no sample for {} at {mhz} MHz", workload.name)
             });
         runs[run as usize % runs.len()].clone()
     }
@@ -152,15 +159,27 @@ mod tests {
     fn record_campaign() -> (DeviceSpec, Vec<MetricSample>, Vec<PhasedWorkload>) {
         let sim = SimulatorBackend::ga100();
         let workloads = vec![
-            PhasedWorkload::single(SignatureBuilder::new("rec-a").flops(1e13).bytes(1e11).build()),
-            PhasedWorkload::single(SignatureBuilder::new("rec-b").flops(1e11).bytes(1e13).build()),
+            PhasedWorkload::single(
+                SignatureBuilder::new("rec-a")
+                    .flops(1e13)
+                    .bytes(1e11)
+                    .build(),
+            ),
+            PhasedWorkload::single(
+                SignatureBuilder::new("rec-b")
+                    .flops(1e11)
+                    .bytes(1e13)
+                    .build(),
+            ),
         ];
         let cfg = LaunchConfig {
             frequencies: vec![510.0, 1005.0, 1410.0],
             runs: 2,
             output: None,
         };
-        let samples = CollectionCampaign::new(&sim, cfg).collect(&workloads).unwrap();
+        let samples = CollectionCampaign::new(&sim, cfg)
+            .collect(&workloads)
+            .unwrap();
         (sim.spec().clone(), samples, workloads)
     }
 

@@ -19,12 +19,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix where every element is `value`.
     pub fn full(rows: usize, cols: usize, value: f64) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -55,21 +63,37 @@ impl Matrix {
         let mut data = Vec::with_capacity(rows.len() * cols);
         for r in rows {
             if r.len() != cols {
-                return Err(ShapeError::new("from_rows", (rows.len(), cols), (1, r.len())));
+                return Err(ShapeError::new(
+                    "from_rows",
+                    (rows.len(), cols),
+                    (1, r.len()),
+                ));
             }
             data.extend_from_slice(r);
         }
-        Ok(Self { rows: rows.len(), cols, data })
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Builds an `n x 1` column vector from a slice.
     pub fn col_vector(values: &[f64]) -> Self {
-        Self { rows: values.len(), cols: 1, data: values.to_vec() }
+        Self {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
     }
 
     /// Builds a `1 x n` row vector from a slice.
     pub fn row_vector(values: &[f64]) -> Self {
-        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -125,7 +149,11 @@ impl Matrix {
     /// Panics if `r >= rows`.
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -135,7 +163,11 @@ impl Matrix {
     /// Panics if `r >= rows`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -144,8 +176,14 @@ impl Matrix {
     /// # Panics
     /// Panics if `c >= cols`.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "col {c} out of bounds for {} cols", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        assert!(
+            c < self.cols,
+            "col {c} out of bounds for {} cols",
+            self.cols
+        );
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Returns the transpose as a new matrix.
@@ -169,7 +207,11 @@ impl Matrix {
         for &i in indices {
             data.extend_from_slice(self.row(i));
         }
-        Self { rows: indices.len(), cols: self.cols, data }
+        Self {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Vertically stacks `self` on top of `other`.
@@ -180,7 +222,11 @@ impl Matrix {
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Ok(Self { rows: self.rows + other.rows, cols: self.cols, data })
+        Ok(Self {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Applies `f` to every element, returning a new matrix.
@@ -210,7 +256,10 @@ impl Index<(usize, usize)> for Matrix {
 
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -218,7 +267,10 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -44,7 +44,11 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// Adds a `1 x cols` row-vector `bias` to every row of `a` (broadcast).
 pub fn add_row_broadcast(a: &Matrix, bias: &Matrix) -> TensorResult<Matrix> {
     if bias.rows() != 1 || bias.cols() != a.cols() {
-        return Err(ShapeError::new("add_row_broadcast", a.shape(), bias.shape()));
+        return Err(ShapeError::new(
+            "add_row_broadcast",
+            a.shape(),
+            bias.shape(),
+        ));
     }
     let mut out = a.clone();
     let b = bias.as_slice();

@@ -49,7 +49,11 @@ impl Standardizer {
     /// Transforms `m` using the fitted statistics.
     pub fn transform(&self, m: &Matrix) -> TensorResult<Matrix> {
         if m.cols() != self.means.len() {
-            return Err(ShapeError::new("standardize", m.shape(), (1, self.means.len())));
+            return Err(ShapeError::new(
+                "standardize",
+                m.shape(),
+                (1, self.means.len()),
+            ));
         }
         let mut out = m.clone();
         for r in 0..out.rows() {
@@ -64,7 +68,11 @@ impl Standardizer {
     /// Inverse transform: maps scaled values back to the original units.
     pub fn inverse_transform(&self, m: &Matrix) -> TensorResult<Matrix> {
         if m.cols() != self.means.len() {
-            return Err(ShapeError::new("unstandardize", m.shape(), (1, self.means.len())));
+            return Err(ShapeError::new(
+                "unstandardize",
+                m.shape(),
+                (1, self.means.len()),
+            ));
         }
         let mut out = m.clone();
         for r in 0..out.rows() {

@@ -36,10 +36,8 @@ fn main() {
         let measured = measured_profile(&volta, &app);
         let predicted = predictor.predict_online(&volta, &app);
         let p_acc = metrics::accuracy_from_mape(&predicted.power_w, &measured.power_w);
-        let t_acc = metrics::accuracy_from_mape(
-            &predicted.normalized_time(),
-            &measured.normalized_time(),
-        );
+        let t_acc =
+            metrics::accuracy_from_mape(&predicted.normalized_time(), &measured.normalized_time());
         let sel = predicted.select(Objective::Ed2p, None);
         println!(
             "{:<10} {:>16.1} {:>16.1} {:>18.0}",

@@ -82,7 +82,10 @@ fn main() {
     println!("training models...");
     let pipeline = TrainedPipeline::train_on(&backend, 1);
 
-    let pricer = MonteCarloPricer { paths: 200_000, steps: 64 };
+    let pricer = MonteCarloPricer {
+        paths: 200_000,
+        steps: 64,
+    };
     let stats = pricer.run(1.0);
     println!(
         "\ninstrumented run: {:.2e} FLOPs, {:.2e} bytes, price {:.4}, {:.0} ms host",
@@ -91,7 +94,10 @@ fn main() {
         stats.checksum,
         stats.elapsed_s * 1e3
     );
-    println!("arithmetic intensity: {:.1} FLOP/byte (compute bound on A100)", stats.intensity());
+    println!(
+        "arithmetic intensity: {:.1} FLOP/byte (compute bound on A100)",
+        stats.intensity()
+    );
 
     let workload = pricer.workload(backend.spec());
     let predictor = pipeline.predictor(pipeline.train_spec.clone());

@@ -39,7 +39,11 @@ fn main() {
         println!(
             "\n=== cap {cap:.0} W -> plan draws {:.0} W{} ===",
             plan.total_power_w,
-            if plan.feasible { "" } else { " (cap unreachable)" }
+            if plan.feasible {
+                ""
+            } else {
+                " (cap unreachable)"
+            }
         );
         for a in &plan.assignments {
             println!(
@@ -50,7 +54,9 @@ fn main() {
                 100.0 * a.slowdown
             );
         }
-        println!("  worst-case predicted slowdown: {:.1}%", 100.0 * plan.worst_slowdown());
+        println!(
+            "  worst-case predicted slowdown: {:.1}%",
+            100.0 * plan.worst_slowdown()
+        );
     }
 }
-

@@ -28,7 +28,11 @@ fn main() {
     let predictor = pipeline.predictor(pipeline.train_spec.clone());
     let profile = predictor.predict_online(&backend, &app);
 
-    println!("\npredicted profile for {} across {} DVFS states:", app.name, profile.frequencies.len());
+    println!(
+        "\npredicted profile for {} across {} DVFS states:",
+        app.name,
+        profile.frequencies.len()
+    );
     for i in (0..profile.frequencies.len()).step_by(10) {
         println!(
             "  {:>6.0} MHz  {:>6.1} W  {:>6.1} s  {:>8.0} J",
@@ -40,7 +44,11 @@ fn main() {
     for (label, objective, threshold) in [
         ("ED2P (paper's HPC recommendation)", Objective::Ed2p, None),
         ("EDP", Objective::Edp, None),
-        ("EDP with a 5% performance guardrail", Objective::Edp, Some(0.05)),
+        (
+            "EDP with a 5% performance guardrail",
+            Objective::Edp,
+            Some(0.05),
+        ),
     ] {
         let sel = profile.select(objective, threshold);
         println!(

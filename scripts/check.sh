@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, tests. Run from anywhere; exits non-zero
+# on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test -q"
+cargo test --workspace --offline -q
+
+echo "==> all checks passed"

@@ -7,6 +7,9 @@
 //! dvfs select   --models models.json --app NAME [--objective edp|ed2p|energy|time]
 //!               [--threshold PCT] [--arch ga100|gv100]
 //! dvfs cap      --models models.json --watts W [--arch ga100|gv100]
+//! dvfs batch    --models models.json [--requests N] [--capacity C]
+//!               [--input samples.csv] [--objective edp|ed2p|energy|time]
+//!               [--threshold PCT] [--arch ga100|gv100]
 //! dvfs apps
 //! ```
 //!
@@ -36,6 +39,7 @@ fn main() -> ExitCode {
         "predict" => cmd_predict(&opts),
         "select" => cmd_select(&opts),
         "cap" => cmd_cap(&opts),
+        "batch" => cmd_batch(&opts),
         "apps" => cmd_apps(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -63,6 +67,11 @@ USAGE:
                 [--threshold PCT] [--arch ga100|gv100]
   dvfs cap      --models models.json --watts W [--arch ga100|gv100]
                 plan per-app frequencies for one GPU per app under a cap
+  dvfs batch    --models models.json [--requests N] [--capacity C]
+                [--input samples.csv] [--objective edp|ed2p|energy|time]
+                [--threshold PCT] [--arch ga100|gv100]
+                serve a stream of prediction+selection requests through
+                the profile cache, reporting latency and hit rates
   dvfs apps     list the built-in application models";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -72,9 +81,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{flag}`"));
         };
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{name} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         out.insert(name.to_string(), value.clone());
     }
     Ok(out)
@@ -84,7 +91,9 @@ fn backend_for(opts: &HashMap<String, String>) -> Result<SimulatorBackend, Strin
     match opts.get("arch").map(String::as_str).unwrap_or("ga100") {
         "ga100" => Ok(SimulatorBackend::ga100()),
         "gv100" => Ok(SimulatorBackend::gv100()),
-        other => Err(format!("unknown --arch `{other}` (expected ga100 or gv100)")),
+        other => Err(format!(
+            "unknown --arch `{other}` (expected ga100 or gv100)"
+        )),
     }
 }
 
@@ -94,7 +103,13 @@ fn stride_for(opts: &HashMap<String, String>) -> Result<usize, String> {
         Some(s) => s
             .parse::<usize>()
             .map_err(|e| format!("--stride: {e}"))
-            .and_then(|v| if v == 0 { Err("--stride must be >= 1".into()) } else { Ok(v) }),
+            .and_then(|v| {
+                if v == 0 {
+                    Err("--stride must be >= 1".into())
+                } else {
+                    Ok(v)
+                }
+            }),
     }
 }
 
@@ -107,7 +122,9 @@ fn app_for(opts: &HashMap<String, String>) -> Result<PhasedWorkload, String> {
 }
 
 fn load_models(opts: &HashMap<String, String>) -> Result<PowerTimeModels, String> {
-    let path = opts.get("models").ok_or("--models models.json is required")?;
+    let path = opts
+        .get("models")
+        .ok_or("--models models.json is required")?;
     let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     PowerTimeModels::from_json(&json).map_err(|e| format!("{path}: {e}"))
 }
@@ -173,22 +190,29 @@ fn cmd_predict(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn objective_for(opts: &HashMap<String, String>) -> Result<Objective, String> {
+    match opts.get("objective").map(String::as_str).unwrap_or("ed2p") {
+        "edp" => Ok(Objective::Edp),
+        "ed2p" => Ok(Objective::Ed2p),
+        "energy" => Ok(Objective::EnergyOnly),
+        "time" => Ok(Objective::TimeOnly),
+        other => Err(format!("unknown --objective `{other}`")),
+    }
+}
+
+fn threshold_for(opts: &HashMap<String, String>) -> Result<Option<f64>, String> {
+    opts.get("threshold")
+        .map(|t| t.parse::<f64>().map(|v| v / 100.0))
+        .transpose()
+        .map_err(|e| format!("--threshold: {e}"))
+}
+
 fn cmd_select(opts: &HashMap<String, String>) -> Result<(), String> {
     let backend = backend_for(opts)?;
     let models = load_models(opts)?;
     let app = app_for(opts)?;
-    let objective = match opts.get("objective").map(String::as_str).unwrap_or("ed2p") {
-        "edp" => Objective::Edp,
-        "ed2p" => Objective::Ed2p,
-        "energy" => Objective::EnergyOnly,
-        "time" => Objective::TimeOnly,
-        other => return Err(format!("unknown --objective `{other}`")),
-    };
-    let threshold = opts
-        .get("threshold")
-        .map(|t| t.parse::<f64>().map(|v| v / 100.0))
-        .transpose()
-        .map_err(|e| format!("--threshold: {e}"))?;
+    let objective = objective_for(opts)?;
+    let threshold = threshold_for(opts)?;
 
     let predictor = Predictor::new(&models, backend.spec().clone());
     let profile = predictor.predict_online(&backend, &app);
@@ -204,7 +228,11 @@ fn cmd_select(opts: &HashMap<String, String>) -> Result<(), String> {
         "predicted: {:.1}% energy saved, {:.1}% slower than f_max{}",
         100.0 * profile.energy_saving_at(sel.index),
         100.0 * profile.time_change_at(sel.index),
-        if sel.threshold_applied { " (threshold applied)" } else { "" }
+        if sel.threshold_applied {
+            " (threshold applied)"
+        } else {
+            ""
+        }
     );
     println!(
         "apply with: nvidia-smi -lgc {0},{0}  # or dcgmi config --set -a {0}",
@@ -231,15 +259,163 @@ fn cmd_cap(opts: &HashMap<String, String>) -> Result<(), String> {
     println!(
         "plan draws {:.0} W under a {cap:.0} W cap{}:",
         plan.total_power_w,
-        if plan.feasible { "" } else { " — CAP UNREACHABLE (all GPUs at floor)" }
+        if plan.feasible {
+            ""
+        } else {
+            " — CAP UNREACHABLE (all GPUs at floor)"
+        }
     );
     for a in &plan.assignments {
         println!(
             "  {:<10} {:>6.0} MHz  {:>7.1} W  {:>5.1}% slower",
-            a.workload, a.frequency_mhz, a.power_w, 100.0 * a.slowdown
+            a.workload,
+            a.frequency_mhz,
+            a.power_w,
+            100.0 * a.slowdown
         );
     }
-    println!("worst-case predicted slowdown: {:.1}%", 100.0 * plan.worst_slowdown());
+    println!(
+        "worst-case predicted slowdown: {:.1}%",
+        100.0 * plan.worst_slowdown()
+    );
+    Ok(())
+}
+
+fn cmd_batch(opts: &HashMap<String, String>) -> Result<(), String> {
+    use gpu_dvfs::gpu::MetricSample;
+    use gpu_dvfs::telemetry::Profiler;
+    use rayon::prelude::*;
+    use std::time::Instant;
+
+    let backend = backend_for(opts)?;
+    let models = load_models(opts)?;
+    let objective = objective_for(opts)?;
+    let threshold = threshold_for(opts)?;
+    let requests: usize = match opts.get("requests") {
+        None => 64,
+        Some(s) => s
+            .parse()
+            .map_err(|e| format!("--requests: {e}"))
+            .and_then(|v| {
+                if v == 0 {
+                    Err("--requests must be >= 1".to_string())
+                } else {
+                    Ok(v)
+                }
+            })?,
+    };
+    let capacity: usize = match opts.get("capacity") {
+        None => 128,
+        Some(s) => s
+            .parse()
+            .map_err(|e| format!("--capacity: {e}"))
+            .and_then(|v| {
+                if v == 0 {
+                    Err("--capacity must be >= 1".to_string())
+                } else {
+                    Ok(v)
+                }
+            })?,
+    };
+
+    let spec = backend.spec().clone();
+    // The reference pool: default-clock profiling runs, either replayed
+    // from a campaign CSV or taken once per built-in evaluation app.
+    let pool: Vec<MetricSample> = match opts.get("input") {
+        Some(path) => {
+            let all = gpu_dvfs::telemetry::csv::read_samples(std::path::Path::new(path))
+                .map_err(|e| format!("{path}: {e}"))?;
+            let total = all.len();
+            let refs: Vec<MetricSample> = all
+                .into_iter()
+                .filter(|s| s.sm_app_clock == spec.max_core_mhz)
+                .collect();
+            if refs.is_empty() {
+                return Err(format!(
+                    "{path}: none of the {total} samples were taken at the default clock \
+                     ({} MHz)",
+                    spec.max_core_mhz
+                ));
+            }
+            refs
+        }
+        None => {
+            backend.reset_clock();
+            let profiler = Profiler::new(&backend);
+            gpu_dvfs::kernels::apps::evaluation_apps()
+                .iter()
+                .map(|app| profiler.profile_run(app, 0).sample)
+                .collect()
+        }
+    };
+
+    // Round-robin the pool into the request stream, modelling repeated
+    // submissions of the same applications (the case the cache serves).
+    let stream: Vec<&MetricSample> = (0..requests).map(|i| &pool[i % pool.len()]).collect();
+    let freqs = backend.grid().used();
+    let predictor = Predictor::new(&models, spec.clone());
+    let cache = ProfileCache::new(capacity);
+
+    let wall = Instant::now();
+    let mut results: Vec<(usize, String, f64, f64, f64)> = stream
+        .par_iter()
+        .enumerate()
+        .map(|(i, reference)| {
+            let t0 = Instant::now();
+            let profile = predictor.predict_from_reference_cached(&cache, reference, &freqs);
+            let sel = profile.select(objective, threshold);
+            let micros = t0.elapsed().as_secs_f64() * 1e6;
+            (
+                i,
+                reference.workload.clone(),
+                sel.frequency_mhz,
+                100.0 * profile.energy_saving_at(sel.index),
+                micros,
+            )
+        })
+        .collect();
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    results.sort_by_key(|r| r.0);
+
+    println!(
+        "{requests} requests over {} apps on {} ({} DVFS states, {} objective)",
+        pool.len(),
+        spec.arch.chip_name(),
+        freqs.len(),
+        objective.name()
+    );
+    let shown = results.len().min(pool.len());
+    for (_, workload, mhz, saving, micros) in results.iter().take(shown) {
+        println!(
+            "  {workload:<12} -> {mhz:>5.0} MHz  {saving:>5.1}% energy saved  {micros:>9.1} µs"
+        );
+    }
+    if results.len() > shown {
+        println!(
+            "  ... {} more requests (repeats of the apps above)",
+            results.len() - shown
+        );
+    }
+
+    let mut lat: Vec<f64> = results.iter().map(|r| r.4).collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p = |q: f64| lat[((lat.len() - 1) as f64 * q) as usize];
+    let mean = lat.iter().sum::<f64>() / lat.len() as f64;
+    println!(
+        "latency: mean {mean:.1} µs, p50 {:.1} µs, p95 {:.1} µs, max {:.1} µs; wall {wall_ms:.1} ms",
+        p(0.50),
+        p(0.95),
+        p(1.0)
+    );
+    let stats = cache.stats();
+    println!(
+        "cache: {} hits / {} misses ({:.0}% hit rate), {} evictions, {} resident of {capacity}",
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_rate(),
+        stats.evictions,
+        cache.len()
+    );
     Ok(())
 }
 

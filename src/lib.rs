@@ -50,6 +50,7 @@ pub use tensor;
 
 /// The most common imports for downstream users.
 pub mod prelude {
+    pub use dvfs_core::cache::{CacheStats, ProfileCache};
     pub use dvfs_core::dataset::Dataset;
     pub use dvfs_core::models::PowerTimeModels;
     pub use dvfs_core::objective::{select_optimal, Objective};

@@ -28,7 +28,10 @@ fn full_pipeline_is_bitwise_reproducible() {
 #[test]
 fn measurements_are_deterministic_but_distinct_per_run_index() {
     let spec = DeviceSpec::ga100();
-    let sig = gpu_dvfs::gpu::SignatureBuilder::new("d").flops(1e13).bytes(1e12).build();
+    let sig = gpu_dvfs::gpu::SignatureBuilder::new("d")
+        .flops(1e13)
+        .bytes(1e12)
+        .build();
     let nm = NoiseModel::default_bench();
     let a = gpu_dvfs::gpu::sample::measure(&spec, &sig, 1005.0, 0, &nm);
     let b = gpu_dvfs::gpu::sample::measure(&spec, &sig, 1005.0, 0, &nm);

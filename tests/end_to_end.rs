@@ -45,10 +45,8 @@ fn prediction_accuracy_spans_the_paper_band_for_unseen_apps() {
     for app in gpu_dvfs::kernels::apps::evaluation_apps() {
         let measured = measured_profile(&backend, &app);
         let predicted = predictor.predict_online(&backend, &app);
-        let p_acc = gpu_dvfs::nn::metrics::accuracy_from_mape(
-            &predicted.power_w,
-            &measured.power_w,
-        );
+        let p_acc =
+            gpu_dvfs::nn::metrics::accuracy_from_mape(&predicted.power_w, &measured.power_w);
         assert!(p_acc > 88.0, "{}: power accuracy {p_acc:.1}%", app.name);
     }
 }

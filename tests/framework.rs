@@ -18,9 +18,21 @@ fn campaign_csv_round_trip_feeds_training() {
         .collect();
 
     // Sweep a coarse grid including the default clock, streaming to CSV.
-    let freqs: Vec<f64> = backend.grid().used().into_iter().step_by(10).chain([1410.0]).collect();
-    let cfg = LaunchConfig { frequencies: freqs, runs: 2, output: Some(path.clone()) };
-    let samples = CollectionCampaign::new(&backend, cfg).collect(&workloads).unwrap();
+    let freqs: Vec<f64> = backend
+        .grid()
+        .used()
+        .into_iter()
+        .step_by(10)
+        .chain([1410.0])
+        .collect();
+    let cfg = LaunchConfig {
+        frequencies: freqs,
+        runs: 2,
+        output: Some(path.clone()),
+    };
+    let samples = CollectionCampaign::new(&backend, cfg)
+        .collect(&workloads)
+        .unwrap();
 
     // Read back from disk and train from the persisted data.
     let restored = csv::read_samples(&path).unwrap();
@@ -37,9 +49,18 @@ fn campaign_csv_round_trip_feeds_training() {
 fn campaign_leaves_device_at_default_clock() {
     let backend = SimulatorBackend::ga100();
     let workloads = vec![PhasedWorkload::single(
-        gpu_dvfs::gpu::SignatureBuilder::new("w").flops(1e12).bytes(1e11).build(),
+        gpu_dvfs::gpu::SignatureBuilder::new("w")
+            .flops(1e12)
+            .bytes(1e11)
+            .build(),
     )];
-    let cfg = LaunchConfig { frequencies: vec![510.0, 750.0], runs: 1, output: None };
-    CollectionCampaign::new(&backend, cfg).collect(&workloads).unwrap();
+    let cfg = LaunchConfig {
+        frequencies: vec![510.0, 750.0],
+        runs: 1,
+        output: None,
+    };
+    CollectionCampaign::new(&backend, cfg)
+        .collect(&workloads)
+        .unwrap();
     assert_eq!(backend.app_clock(), 1410.0);
 }

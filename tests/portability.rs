@@ -10,16 +10,35 @@ fn ampere_models_transfer_to_volta() {
     let pipeline = TrainedPipeline::train_on(&ampere, 3);
     let predictor = pipeline.predictor(volta.spec().clone());
 
-    for app in [gpu_dvfs::kernels::apps::lammps(), gpu_dvfs::kernels::apps::lstm()] {
+    for app in [
+        gpu_dvfs::kernels::apps::lammps(),
+        gpu_dvfs::kernels::apps::lstm(),
+    ] {
         let measured = measured_profile(&volta, &app);
         let predicted = predictor.predict_online(&volta, &app);
-        assert_eq!(predicted.frequencies.len(), 117, "Volta grid has 117 used states");
+        assert_eq!(
+            predicted.frequencies.len(),
+            117,
+            "Volta grid has 117 used states"
+        );
         let p_acc = metrics::accuracy_from_mape(&predicted.power_w, &measured.power_w);
-        assert!(p_acc > 85.0, "{} on GV100: power accuracy {p_acc:.1}%", app.name);
+        assert!(
+            p_acc > 85.0,
+            "{} on GV100: power accuracy {p_acc:.1}%",
+            app.name
+        );
         // Predicted absolute power is in Volta's envelope, not Ampere's:
         // the 250 W TDP renormalization worked.
-        let max_pred = predicted.power_w.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(max_pred < 265.0, "{}: predicted {max_pred:.0} W exceeds Volta TDP", app.name);
+        let max_pred = predicted
+            .power_w
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            max_pred < 265.0,
+            "{}: predicted {max_pred:.0} W exceeds Volta TDP",
+            app.name
+        );
     }
 }
 
