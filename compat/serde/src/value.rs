@@ -66,3 +66,19 @@ impl Value {
             .map(|(_, v)| v)
     }
 }
+
+impl crate::Serialize for Value {
+    /// A value tree serializes as itself, so pre-built trees (e.g. the
+    /// `obs` metrics exporter's) can pass through `serde_json` directly.
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl crate::Deserialize for Value {
+    /// Deserializing into `Value` captures the raw tree — the JSON
+    /// analogue of `serde_json::Value` round-tripping upstream.
+    fn from_value(v: &Value) -> Result<Self, crate::de::Error> {
+        Ok(v.clone())
+    }
+}

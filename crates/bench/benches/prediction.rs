@@ -112,5 +112,27 @@ fn bench_prediction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_prediction);
+/// Guards the self-instrumentation budget: the cached-hit request path adds
+/// one `Instant` pair plus one histogram record, which must stay well under
+/// 10% of the ~1 µs cached lookup it wraps (i.e. double-digit nanoseconds).
+fn bench_obs_overhead(c: &mut Criterion) {
+    let hist = obs::global().histogram("bench.overhead_ns");
+    let mut group = c.benchmark_group("obs_overhead");
+    group.bench_function("instant_pair_plus_record", |b| {
+        b.iter(|| {
+            let t0 = std::time::Instant::now();
+            hist.record_duration(black_box(t0.elapsed()));
+        })
+    });
+    group.bench_function("counter_inc", |b| {
+        let requests = obs::global().counter("bench.requests");
+        b.iter(|| requests.inc())
+    });
+    group.bench_function("span_enter_exit", |b| {
+        b.iter(|| obs::span::Span::enter(black_box("bench-span")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction, bench_obs_overhead);
 criterion_main!(benches);

@@ -10,12 +10,29 @@ use dvfs_core::experiments::*;
 fn main() {
     let t0 = std::time::Instant::now();
     let lab = bench::build_lab();
-    eprintln!("[run_all] lab ready in {:.1}s", t0.elapsed().as_secs_f64());
+    obs::log!(
+        Info,
+        "[run_all] lab ready in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 
+    // Each figure runs under its own span, so `DVFS_LOG=debug` plus the
+    // span table gives a per-figure timing breakdown of the full pass.
     macro_rules! emit {
         ($name:literal, $module:ident) => {{
-            let report = $module::run(&lab);
+            let report = {
+                obs::span!(concat!("figure/", $name));
+                $module::run(&lab)
+            };
             bench::emit($name, &report.render(), &report);
+            if let Some(stat) = obs::span::stat(concat!("figure/", $name)) {
+                obs::log!(
+                    Debug,
+                    "[run_all] {} took {}",
+                    $name,
+                    obs::fmt_ns(stat.total_ns as f64)
+                );
+            }
         }};
     }
 
@@ -38,5 +55,5 @@ fn main() {
     emit!("table6_thresholds", table6);
     emit!("training_fit", training_fit);
 
-    eprintln!("[run_all] total {:.1}s", t0.elapsed().as_secs_f64());
+    obs::log!(Info, "[run_all] total {:.1}s", t0.elapsed().as_secs_f64());
 }

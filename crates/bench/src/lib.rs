@@ -17,10 +17,13 @@ pub fn build_lab() -> Lab {
         .map(|v| v == "1")
         .unwrap_or(false);
     if quick {
-        eprintln!("[harness] DVFS_QUICK=1: subsampled training grid");
+        obs::log!(Info, "[harness] DVFS_QUICK=1: subsampled training grid");
         Lab::with_stride(4)
     } else {
-        eprintln!("[harness] building full paper lab (21 benchmarks x 61 states x 3 runs)...");
+        obs::log!(
+            Info,
+            "[harness] building full paper lab (21 benchmarks x 61 states x 3 runs)..."
+        );
         Lab::paper()
     }
 }
@@ -36,12 +39,12 @@ pub fn emit<T: Serialize>(name: &str, rendered: &str, report: &T) {
         match serde_json::to_string_pretty(report) {
             Ok(json) => {
                 if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("[harness] failed to write {}: {e}", path.display());
+                    obs::log!(Error, "[harness] failed to write {}: {e}", path.display());
                 } else {
-                    eprintln!("[harness] wrote {}", path.display());
+                    obs::log!(Info, "[harness] wrote {}", path.display());
                 }
             }
-            Err(e) => eprintln!("[harness] failed to serialize {name}: {e}"),
+            Err(e) => obs::log!(Error, "[harness] failed to serialize {name}: {e}"),
         }
     }
 }

@@ -213,6 +213,26 @@ impl ProfileCache {
         self.state.lock().stats
     }
 
+    /// Bridges the cache's counters into the global metrics registry:
+    /// `cache.hits` / `cache.misses` / `cache.evictions` counters plus
+    /// `cache.hit_rate` (zero-total guarded by [`CacheStats::hit_rate`]),
+    /// `cache.evictions_per_capacity`, `cache.resident`, and
+    /// `cache.capacity` gauges. Absolute values are published (the cache
+    /// keeps its own counters under its existing lock), so call this
+    /// once per reporting point, e.g. after a batch completes.
+    pub fn publish_stats(&self) {
+        let stats = self.stats();
+        let reg = obs::global();
+        reg.counter("cache.hits").set(stats.hits);
+        reg.counter("cache.misses").set(stats.misses);
+        reg.counter("cache.evictions").set(stats.evictions);
+        reg.gauge("cache.hit_rate").set(stats.hit_rate());
+        reg.gauge("cache.evictions_per_capacity")
+            .set(stats.evictions as f64 / self.capacity as f64);
+        reg.gauge("cache.resident").set(self.len() as f64);
+        reg.gauge("cache.capacity").set(self.capacity as f64);
+    }
+
     /// Number of cached profiles.
     pub fn len(&self) -> usize {
         self.state.lock().entries.len()
@@ -321,5 +341,32 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = ProfileCache::new(0);
+    }
+
+    #[test]
+    fn publish_stats_bridges_into_the_global_registry() {
+        let cache = ProfileCache::new(2);
+        let grid = [510.0, 1410.0];
+        let s = spec();
+        // Idle cache: the hit-rate gauge must guard the zero-total case.
+        cache.publish_stats();
+        assert_eq!(obs::global().gauge("cache.hit_rate").get(), 0.0);
+        // 1 miss + 1 hit per key, third key evicts.
+        for (fp, repeat) in [(0.1, true), (0.2, true), (0.3, false)] {
+            let k = cache.key(&s, fp, fp, &grid);
+            cache.get_or_insert_with(k, || profile(fp));
+            if repeat {
+                cache.get_or_insert_with(k, || profile(-fp));
+            }
+        }
+        cache.publish_stats();
+        let reg = obs::global();
+        assert_eq!(reg.counter("cache.hits").get(), 2);
+        assert_eq!(reg.counter("cache.misses").get(), 3);
+        assert_eq!(reg.counter("cache.evictions").get(), 1);
+        assert_eq!(reg.gauge("cache.hit_rate").get(), 2.0 / 5.0);
+        assert_eq!(reg.gauge("cache.evictions_per_capacity").get(), 0.5);
+        assert_eq!(reg.gauge("cache.resident").get(), 2.0);
+        assert_eq!(reg.gauge("cache.capacity").get(), 2.0);
     }
 }

@@ -63,11 +63,13 @@ impl Lab {
     /// Builds a reduced setup that subsamples the training grid — same
     /// code paths, faster; used by tests.
     pub fn with_stride(stride: usize) -> Self {
+        obs::span!("lab");
         let ga100 = SimulatorBackend::ga100();
         let gv100 = SimulatorBackend::gv100();
         let pipeline = TrainedPipeline::train_on(&ga100, stride);
         let apps = kernels::apps::evaluation_apps();
 
+        obs::span!("evaluation");
         let predictor_ga = pipeline.predictor(ga100.spec().clone());
         let predictor_gv = pipeline.predictor(gv100.spec().clone());
         let mut measured_ga100 = BTreeMap::new();

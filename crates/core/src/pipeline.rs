@@ -43,6 +43,7 @@ impl TrainedPipeline {
         workloads: &[PhasedWorkload],
         stride: usize,
     ) -> Self {
+        obs::span!("pipeline");
         let spec = backend.spec().clone();
         let mut freqs: Vec<f64> = backend
             .grid()
@@ -64,12 +65,20 @@ impl TrainedPipeline {
             runs: RUNS_PER_POINT,
             output: None,
         };
-        let samples = CollectionCampaign::new(backend, config)
-            .collect(workloads)
-            .expect("in-memory campaign cannot fail on IO");
-        let dataset =
-            Dataset::from_samples(&spec, &samples).expect("campaign covers the default clock");
-        let models = PowerTimeModels::train(&dataset);
+        let samples = {
+            obs::span!("campaign");
+            CollectionCampaign::new(backend, config)
+                .collect(workloads)
+                .expect("in-memory campaign cannot fail on IO")
+        };
+        let dataset = {
+            obs::span!("dataset");
+            Dataset::from_samples(&spec, &samples).expect("campaign covers the default clock")
+        };
+        let models = {
+            obs::span!("train");
+            PowerTimeModels::train(&dataset)
+        };
         Self {
             models,
             train_spec: spec,
@@ -152,6 +161,20 @@ mod tests {
         let measured = crate::predictor::measured_profile(&backend, &app);
         let mape = nn::metrics::mape(&profile.power_w, &measured.power_w);
         assert!(mape < 12.0, "power MAPE {mape:.1}%");
+    }
+
+    #[test]
+    fn pipeline_phases_record_spans() {
+        let (_, _p) = quick_pipeline();
+        for path in [
+            "pipeline",
+            "pipeline/campaign",
+            "pipeline/dataset",
+            "pipeline/train",
+            "pipeline/train/fit/epoch",
+        ] {
+            assert!(obs::span::stat(path).is_some(), "missing span `{path}`");
+        }
     }
 
     #[test]

@@ -113,12 +113,22 @@ impl PredictedProfile {
 pub struct Predictor<'a> {
     models: &'a PowerTimeModels,
     spec: DeviceSpec,
+    /// Request-latency histogram (`predict.request_ns` in the global
+    /// registry). The handle is fetched once here so the per-request
+    /// record is a few relaxed atomics — no registry lock on the hot
+    /// path, keeping instrumentation overhead well under the cached-hit
+    /// microsecond budget.
+    latency: obs::Histogram,
 }
 
 impl<'a> Predictor<'a> {
     /// Creates a predictor for `spec`.
     pub fn new(models: &'a PowerTimeModels, spec: DeviceSpec) -> Self {
-        Self { models, spec }
+        Self {
+            models,
+            spec,
+            latency: obs::global().histogram("predict.request_ns"),
+        }
     }
 
     /// Builds the predicted profile from a default-clock measurement.
@@ -137,10 +147,13 @@ impl<'a> Predictor<'a> {
             reference.sm_app_clock, self.spec.max_core_mhz,
             "online phase requires a default-clock reference run"
         );
+        let t0 = std::time::Instant::now();
         let fp = reference.fp_active();
         let dram = reference.dram_active;
         let normalized = self.normalized_profile(fp, dram, frequencies);
-        self.anchor_profile(&normalized, reference, frequencies)
+        let profile = self.anchor_profile(&normalized, reference, frequencies);
+        self.latency.record_duration(t0.elapsed());
+        profile
     }
 
     /// Runs both models once each over the whole sweep: one `F x 3`
@@ -231,6 +244,7 @@ impl<'a> Predictor<'a> {
             reference.sm_app_clock, self.spec.max_core_mhz,
             "online phase requires a default-clock reference run"
         );
+        let t0 = std::time::Instant::now();
         let key = cache.key(
             &self.spec,
             reference.fp_active(),
@@ -241,7 +255,9 @@ impl<'a> Predictor<'a> {
         let dram = cache.quantize(reference.dram_active);
         let normalized =
             cache.get_or_insert_with(key, || self.normalized_profile(fp, dram, frequencies));
-        self.anchor_profile(&normalized, reference, frequencies)
+        let profile = self.anchor_profile(&normalized, reference, frequencies);
+        self.latency.record_duration(t0.elapsed());
+        profile
     }
 
     /// Cache-aware [`Predictor::predict_many`]: concurrent requests share
@@ -505,6 +521,31 @@ mod tests {
         assert_eq!(profiles[0], profiles[2]);
         assert_eq!(profiles[1], profiles[3]);
         assert_eq!(profiles[0], profiles[4]);
+    }
+
+    #[test]
+    fn predictions_record_request_latency() {
+        let backend = SimulatorBackend::ga100();
+        let spec = backend.spec().clone();
+        let models = trained_models(&spec);
+        let predictor = Predictor::new(&models, spec.clone());
+        let freqs = backend.grid().used();
+        let reference = reference_for(&spec, "app", 1.5e13, 1.0e12);
+        // The histogram is global and shared with concurrently-running
+        // tests, so assert on growth, not absolute counts.
+        let hist = obs::global().histogram("predict.request_ns");
+        let before = hist.count();
+        let cache = ProfileCache::new(4);
+        let _ = predictor.predict_from_reference(&reference, &freqs);
+        let _ = predictor.predict_from_reference_cached(&cache, &reference, &freqs);
+        let _ = predictor.predict_from_reference_cached(&cache, &reference, &freqs);
+        assert!(
+            hist.count() >= before + 3,
+            "latency histogram did not grow: {} -> {}",
+            before,
+            hist.count()
+        );
+        assert!(hist.max() > 0, "recorded latencies are nonzero");
     }
 
     #[test]

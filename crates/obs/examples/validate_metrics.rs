@@ -1,0 +1,81 @@
+//! Validates a `--metrics-out` JSON file with the compat JSON parser.
+//!
+//! Used by `scripts/check.sh` as the smoke gate for
+//! `dvfs batch --metrics=json --metrics-out <path>`: the file must parse
+//! and contain cache hit/miss/eviction counters, a request-latency
+//! histogram with p50/p90/p99, and per-phase span timings.
+//!
+//! ```text
+//! cargo run -p obs --example validate_metrics -- metrics.json
+//! ```
+
+use serde::value::Value;
+use std::process::ExitCode;
+
+fn check(parsed: &Value) -> Result<(), String> {
+    let counters = parsed.get("counters").ok_or("missing `counters` section")?;
+    for key in ["cache.hits", "cache.misses", "cache.evictions"] {
+        counters
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or(format!("missing counter `{key}`"))?;
+    }
+    let gauges = parsed.get("gauges").ok_or("missing `gauges` section")?;
+    for key in ["cache.hit_rate", "cache.evictions_per_capacity"] {
+        gauges
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or(format!("missing gauge `{key}`"))?;
+    }
+    let hist = parsed
+        .get("histograms")
+        .and_then(|h| h.get("batch.request_ns"))
+        .ok_or("missing histogram `batch.request_ns`")?;
+    for key in ["count", "p50", "p90", "p99", "max"] {
+        hist.get(key)
+            .and_then(Value::as_f64)
+            .ok_or(format!("histogram missing `{key}`"))?;
+    }
+    if hist.get("count").and_then(Value::as_f64) == Some(0.0) {
+        return Err("request-latency histogram is empty".into());
+    }
+    let spans = parsed
+        .get("spans")
+        .and_then(Value::as_object)
+        .ok_or("missing `spans` section")?;
+    if spans.is_empty() {
+        return Err("no span timings recorded".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: validate_metrics <metrics.json>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_metrics: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed: Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("validate_metrics: {path}: invalid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&parsed) {
+        Ok(()) => {
+            println!("validate_metrics: {path} ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("validate_metrics: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Exporters: human-readable table (for stderr) and machine-readable
+//! JSON (via the compat `serde_json`).
+//!
+//! A [`MetricsSnapshot`] combines a registry snapshot with the span
+//! call-tree and any *extra* JSON sections commands attached (e.g. the
+//! CLI `train` path attaches its loss curves), so one export call
+//! captures everything observable about the process.
+
+use crate::hist::HistogramSnapshot;
+use crate::metrics::{global, MetricsRegistry};
+use crate::span::{self, SpanStat};
+use parking_lot::Mutex;
+use serde::value::Value;
+use std::fmt::Write as _;
+
+static EXTRAS: Mutex<Vec<(String, Value)>> = Mutex::new(Vec::new());
+
+/// Attaches an extra top-level JSON section to subsequent exports,
+/// replacing any previous section with the same name. Used for
+/// structured payloads that aren't scalar metrics (loss curves,
+/// per-request tables).
+pub fn attach_json(name: &str, value: Value) {
+    let mut extras = EXTRAS.lock();
+    if let Some(slot) = extras.iter_mut().find(|(n, _)| n == name) {
+        slot.1 = value;
+    } else {
+        extras.push((name.to_string(), value));
+    }
+}
+
+/// Drops all attached extra sections. For tests.
+pub fn clear_extras() {
+    EXTRAS.lock().clear();
+}
+
+/// Everything observable at one point in time: metrics, span call-tree,
+/// attached extras.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counters, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, summary)` histograms, name-sorted.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `(path, stats)` span aggregates, path-sorted (parents group
+    /// directly above their children).
+    pub spans: Vec<(String, SpanStat)>,
+    /// Extra JSON sections attached via [`attach_json`].
+    pub extras: Vec<(String, Value)>,
+}
+
+impl MetricsSnapshot {
+    /// Snapshot of one registry only — no spans, no extras. For tests
+    /// and embedders with their own registries.
+    pub fn of_registry(registry: &MetricsRegistry) -> Self {
+        let reg = registry.snapshot();
+        Self {
+            counters: reg.counters,
+            gauges: reg.gauges,
+            histograms: reg.histograms,
+            spans: Vec::new(),
+            extras: Vec::new(),
+        }
+    }
+
+    /// Snapshot of the global registry plus the span table and extras —
+    /// what `--metrics` exports.
+    pub fn global() -> Self {
+        let mut snap = Self::of_registry(global());
+        snap.spans = span::snapshot();
+        snap.extras = EXTRAS.lock().clone();
+        snap
+    }
+
+    /// The snapshot as a JSON value tree.
+    pub fn to_json_value(&self) -> Value {
+        let obj = Value::Object;
+        let num = Value::Num;
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), num(*v as f64)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), num(*v)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    obj(vec![
+                        ("count".into(), num(h.count as f64)),
+                        ("mean".into(), num(h.mean)),
+                        ("min".into(), num(h.min as f64)),
+                        ("max".into(), num(h.max as f64)),
+                        ("p50".into(), num(h.p50 as f64)),
+                        ("p90".into(), num(h.p90 as f64)),
+                        ("p99".into(), num(h.p99 as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|(path, s)| {
+                (
+                    path.clone(),
+                    obj(vec![
+                        ("count".into(), num(s.count as f64)),
+                        ("total_ns".into(), num(s.total_ns as f64)),
+                        ("mean_ns".into(), num(s.mean_ns())),
+                        ("max_ns".into(), num(s.max_ns as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        let mut root = vec![
+            ("counters".to_string(), obj(counters)),
+            ("gauges".to_string(), obj(gauges)),
+            ("histograms".to_string(), obj(histograms)),
+            ("spans".to_string(), obj(spans)),
+        ];
+        root.extend(self.extras.iter().cloned());
+        Value::Object(root)
+    }
+
+    /// The snapshot as pretty-printed JSON text.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json_value()).expect("value trees always serialize")
+    }
+
+    /// The snapshot as an aligned human-readable table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== metrics ==");
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<40} {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<40} {v:>12.4}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms:");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<40} n={:<8} mean={:<10} p50={:<10} p90={:<10} p99={:<10} max={}",
+                    h.count,
+                    fmt_ns(h.mean),
+                    fmt_ns(h.p50 as f64),
+                    fmt_ns(h.p90 as f64),
+                    fmt_ns(h.p99 as f64),
+                    fmt_ns(h.max as f64),
+                );
+            }
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "spans:");
+            for (path, s) in &self.spans {
+                // Indent by call-tree depth so nesting reads at a glance.
+                let depth = path.matches('/').count();
+                let name = path.rsplit('/').next().unwrap_or(path);
+                let _ = writeln!(
+                    out,
+                    "  {:indent$}{name:<width$} n={:<6} total={:<10} mean={:<10} max={}",
+                    "",
+                    s.count,
+                    fmt_ns(s.total_ns as f64),
+                    fmt_ns(s.mean_ns()),
+                    fmt_ns(s.max_ns as f64),
+                    indent = depth * 2,
+                    width = 40usize.saturating_sub(depth * 2),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Formats a nanosecond quantity with a human-readable unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1}µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.1}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let reg = MetricsRegistry::new();
+        reg.counter("cache.hits").add(24);
+        reg.counter("cache.misses").add(8);
+        reg.gauge("cache.hit_rate").set(0.75);
+        let h = reg.histogram("request_ns");
+        for v in [800u64, 900, 1_000, 1_500, 40_000] {
+            h.record(v);
+        }
+        let mut snap = MetricsSnapshot::of_registry(&reg);
+        snap.spans = vec![(
+            "batch/serve".to_string(),
+            SpanStat {
+                count: 1,
+                total_ns: 5_000_000,
+                max_ns: 5_000_000,
+            },
+        )];
+        snap
+    }
+
+    #[test]
+    fn json_round_trips_through_compat_serde_json() {
+        let snap = sample_snapshot();
+        let json = snap.to_json();
+        let parsed: Value = serde_json::from_str(&json).expect("exporter emits valid JSON");
+        let counters = parsed.get("counters").expect("counters section");
+        assert_eq!(counters.get("cache.hits").unwrap().as_f64(), Some(24.0));
+        assert_eq!(counters.get("cache.misses").unwrap().as_f64(), Some(8.0));
+        assert_eq!(
+            parsed
+                .get("gauges")
+                .and_then(|g| g.get("cache.hit_rate"))
+                .and_then(Value::as_f64),
+            Some(0.75)
+        );
+        let hist = parsed
+            .get("histograms")
+            .and_then(|h| h.get("request_ns"))
+            .expect("histogram section");
+        assert_eq!(hist.get("count").unwrap().as_f64(), Some(5.0));
+        for key in ["p50", "p90", "p99", "max", "mean", "min"] {
+            assert!(hist.get(key).unwrap().as_f64().is_some(), "missing {key}");
+        }
+        let span = parsed
+            .get("spans")
+            .and_then(|s| s.get("batch/serve"))
+            .expect("span section");
+        assert_eq!(span.get("total_ns").unwrap().as_f64(), Some(5_000_000.0));
+        // And the whole tree survives a second round-trip bit-for-bit.
+        let reparsed: Value =
+            serde_json::from_str(&serde_json::to_string(&parsed).unwrap()).unwrap();
+        assert_eq!(parsed, reparsed);
+    }
+
+    #[test]
+    fn extras_merge_into_the_export_and_replace_by_name() {
+        clear_extras();
+        attach_json("training", Value::Num(1.0));
+        attach_json("training", Value::Num(2.0));
+        let mut snap = sample_snapshot();
+        snap.extras = vec![("training".to_string(), Value::Num(2.0))];
+        let parsed: Value = serde_json::from_str(&snap.to_json()).unwrap();
+        assert_eq!(parsed.get("training").unwrap().as_f64(), Some(2.0));
+        clear_extras();
+    }
+
+    #[test]
+    fn table_renders_every_section() {
+        let table = sample_snapshot().render_table();
+        for needle in [
+            "counters:",
+            "cache.hits",
+            "gauges:",
+            "histograms:",
+            "request_ns",
+            "spans:",
+            "serve",
+        ] {
+            assert!(table.contains(needle), "table missing {needle}:\n{table}");
+        }
+    }
+
+    #[test]
+    fn fmt_ns_picks_sensible_units() {
+        assert_eq!(fmt_ns(12.0), "12ns");
+        assert_eq!(fmt_ns(1_500.0), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.5ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.00s");
+    }
+}

@@ -1,0 +1,298 @@
+//! Log-linear ("HDR-style") histogram over `u64` values.
+//!
+//! Values are unit-agnostic; the stack records latencies in nanoseconds.
+//! Every value below [`SUBBUCKETS`] gets an exact bucket of width 1, and
+//! each power-of-two octave above that is split into [`SUBBUCKETS`]
+//! linear sub-buckets, so the relative quantization error of any
+//! recorded value — and therefore of any reported percentile — is
+//! bounded by `1/SUBBUCKETS` (~3%). Recording is a handful of relaxed
+//! atomic operations, safe to call concurrently from any thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Linear sub-buckets per power-of-two octave (also the size of the
+/// exact, width-1 range at the bottom). Must stay a power of two.
+pub const SUBBUCKETS: u64 = 32;
+const SUB_BITS: u32 = SUBBUCKETS.trailing_zeros();
+/// Enough buckets to cover the full `u64` range: the top octave has
+/// `msb = 63`, i.e. shift `63 - SUB_BITS`, and indices run to
+/// `(shift + 1) * SUBBUCKETS + SUBBUCKETS - 1`, so the bucket count is
+/// `(shift + 2) * SUBBUCKETS`.
+const N_BUCKETS: usize = (65 - SUB_BITS as usize) * SUBBUCKETS as usize;
+
+/// Bucket index holding `v`.
+fn index_of(v: u64) -> usize {
+    if v < SUBBUCKETS {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = (v >> shift) - SUBBUCKETS;
+        (u64::from(shift + 1) * SUBBUCKETS + sub) as usize
+    }
+}
+
+/// Lower bound and width of bucket `index`.
+fn bounds_of_index(index: usize) -> (u64, u64) {
+    let index = index as u64;
+    if index < SUBBUCKETS {
+        (index, 1)
+    } else {
+        let shift = (index / SUBBUCKETS - 1) as u32;
+        let sub = index % SUBBUCKETS;
+        ((SUBBUCKETS + sub) << shift, 1u64 << shift)
+    }
+}
+
+/// Lower bound and width of the bucket that would hold `v` — the
+/// quantization granularity at that magnitude. Exposed so tests (and the
+/// percentile-parity acceptance check) can assert "within one bucket
+/// width" precisely.
+pub fn bucket_bounds(v: u64) -> (u64, u64) {
+    bounds_of_index(index_of(v))
+}
+
+struct Core {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+/// A concurrent log-linear histogram handle. Clones share the same
+/// underlying buckets (this is what [`crate::MetricsRegistry`] hands
+/// out), so a handle can be hoisted out of a hot loop once and recorded
+/// into lock-free.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<Core>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            core: Arc::new(Core {
+                buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+            }),
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        let c = &self.core;
+        c.buckets[index_of(v)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+        c.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Exact largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.core.max.load(Ordering::Relaxed)
+    }
+
+    /// Exact smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.core.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.core.sum.load(Ordering::Relaxed) as f64 / count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, quantized to its bucket.
+    ///
+    /// Uses the same rank convention as indexing a sorted vector at
+    /// `((len - 1) * q)` truncated, so results stay comparable to naive
+    /// sort-based percentile math to within one bucket width. `q = 1`
+    /// returns the exact maximum.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((count - 1) as f64 * q.clamp(0.0, 1.0)) as u64;
+        if rank >= count - 1 {
+            // The top rank is tracked exactly (like a sorted vector's
+            // last element), not bucket-quantized.
+            return self.max();
+        }
+        let mut seen = 0u64;
+        for (i, bucket) in self.core.buckets.iter().enumerate() {
+            let c = bucket.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen > rank {
+                let (lo, width) = bounds_of_index(i);
+                // The bucket midpoint, clamped into the observed range so
+                // quantization never reports beyond the true extremes.
+                return (lo + width / 2).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// A point-in-time summary (count, mean, min/max, p50/p90/p99).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+        }
+    }
+}
+
+/// A point-in-time histogram summary, as exported.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Mean recorded value.
+    pub mean: f64,
+    /// Exact minimum.
+    pub min: u64,
+    /// Exact maximum.
+    pub max: u64,
+    /// Median (bucket-quantized).
+    pub p50: u64,
+    /// 90th percentile (bucket-quantized).
+    pub p90: u64,
+    /// 99th percentile (bucket-quantized).
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 5, 31] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.percentile(0.5), 2);
+        assert_eq!(h.percentile(1.0), 31);
+    }
+
+    #[test]
+    fn bucket_bounds_contain_value_and_bound_error() {
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 1000, 123_456, u64::MAX / 2] {
+            let (lo, width) = bucket_bounds(v);
+            assert!(
+                lo <= v && v < lo.saturating_add(width),
+                "v={v} lo={lo} w={width}"
+            );
+            if v >= SUBBUCKETS {
+                // Log-linear: width is at most v / SUBBUCKETS * 2.
+                assert!(width <= v / SUBBUCKETS * 2, "v={v} width={width}");
+            } else {
+                assert_eq!(width, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn indices_are_monotone_and_in_range() {
+        let mut prev = 0usize;
+        for exp in 0..64u32 {
+            let v = 1u64 << exp;
+            for probe in [v, v + v / 3, v + v / 2] {
+                let i = index_of(probe);
+                assert!(i < N_BUCKETS);
+                assert!(i >= prev, "index regressed at {probe}");
+                prev = i;
+            }
+        }
+        assert!(index_of(u64::MAX) < N_BUCKETS);
+    }
+
+    #[test]
+    fn percentiles_track_a_known_distribution() {
+        let h = Histogram::new();
+        // 1..=1000 microsecond-ish values in ns scale.
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        let oracle = |q: f64| ((1000.0 - 1.0) * q) as usize;
+        for q in [0.5, 0.9, 0.99] {
+            let est = h.percentile(q);
+            let exact = (oracle(q) as u64 + 1) * 1000;
+            let (_, width) = bucket_bounds(exact);
+            assert!(
+                est.abs_diff(exact) < width,
+                "q={q}: est {est} vs exact {exact} (bucket width {width})"
+            );
+        }
+        assert_eq!(h.percentile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let h = Histogram::new();
+        let h2 = h.clone();
+        h.record(7);
+        h2.record(9);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h2.max(), 9);
+    }
+}

@@ -1,0 +1,99 @@
+//! # obs — self-instrumentation for the DVFS stack
+//!
+//! Hermetic (no external dependencies beyond the in-tree `compat/`
+//! crates) observability for *our own* pipeline: where `telemetry` is
+//! the DCGM stand-in that profiles the synthetic GPU, `obs` watches the
+//! training/prediction/serving code itself.
+//!
+//! Three pieces:
+//!
+//! * [`span!`] / [`span::Span`] — RAII tracing spans with nesting, wall
+//!   clock timing, and a per-thread span stack that aggregates into a
+//!   call-tree summary (`pipeline/train/epoch`);
+//! * [`metrics::MetricsRegistry`] — named counters, gauges, and
+//!   log-linear [`hist::Histogram`]s (p50/p90/p99/max). Lock-cheap: the
+//!   registry mutex is taken only on name registration, all handles are
+//!   shared atomics;
+//! * [`export::MetricsSnapshot`] — human-readable table to stderr and
+//!   machine-readable JSON via the compat `serde_json`, surfaced by the
+//!   CLI's `--metrics[=json|table]` / `--metrics-out <path>` flags.
+//!
+//! Plus [`log!`], a leveled stderr logger filtered by the `DVFS_LOG`
+//! environment variable (`off|error|info|debug`, default `info`).
+//!
+//! ```
+//! let requests = obs::global().counter("server.requests");
+//! let latency = obs::global().histogram("server.latency_ns");
+//! {
+//!     obs::span!("serve");
+//!     requests.inc();
+//!     latency.record(800);
+//! }
+//! obs::log!(Info, "served {} request(s)", requests.get());
+//! let snapshot = obs::MetricsSnapshot::global();
+//! assert!(snapshot.to_json().contains("server.requests"));
+//! ```
+
+pub mod export;
+pub mod hist;
+pub mod log;
+pub mod metrics;
+pub mod span;
+
+pub use export::{attach_json, fmt_ns, MetricsSnapshot};
+pub use hist::{Histogram, HistogramSnapshot};
+pub use log::Level;
+pub use metrics::{global, Counter, Gauge, MetricsRegistry};
+pub use serde::value::Value;
+pub use span::{Span, SpanStat};
+
+/// Opens a tracing span for the rest of the enclosing scope.
+///
+/// ```
+/// fn phase() {
+///     obs::span!("phase");
+///     // ... timed work ...
+/// } // recorded on scope exit
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _obs_span_guard = $crate::span::Span::enter($name);
+    };
+}
+
+/// Logs a leveled line to stderr, subject to the `DVFS_LOG` filter.
+///
+/// The first argument is a bare [`Level`] variant name:
+///
+/// ```
+/// obs::log!(Info, "trained {} epochs", 25);
+/// obs::log!(Debug, "cache key = {:?}", (1, 2));
+/// ```
+#[macro_export]
+macro_rules! log {
+    ($level:ident, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::$level) {
+            $crate::log::write($crate::log::Level::$level, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn doc_example_flow_composes() {
+        let reg = crate::MetricsRegistry::new();
+        let c = reg.counter("requests");
+        let h = reg.histogram("latency");
+        {
+            crate::span!("lib-doc-span");
+            c.inc();
+            h.record(123);
+        }
+        crate::log!(Debug, "composed {} request(s)", c.get());
+        assert_eq!(c.get(), 1);
+        assert_eq!(h.count(), 1);
+        assert!(crate::span::stat("lib-doc-span").is_some());
+    }
+}

@@ -1,0 +1,99 @@
+//! Leveled stderr logging with a `DVFS_LOG` environment filter.
+//!
+//! The stack's progress lines go through [`crate::log!`] so one knob —
+//! `DVFS_LOG=off|error|info|debug` (default `info`) — silences or
+//! expands all of them at once. The filter is parsed once, on first use.
+
+use std::sync::OnceLock;
+
+/// Verbosity levels, ordered from silent to chatty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// No output at all.
+    Off,
+    /// Failures only.
+    Error,
+    /// Progress lines (the default).
+    Info,
+    /// Everything, including per-step detail.
+    Debug,
+}
+
+impl Level {
+    /// Parses a `DVFS_LOG` value (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    /// The tag printed in front of each line.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+static MAX_LEVEL: OnceLock<Level> = OnceLock::new();
+
+/// The active filter: `DVFS_LOG` if set and valid, else `info`.
+pub fn max_level() -> Level {
+    *MAX_LEVEL.get_or_init(|| {
+        std::env::var("DVFS_LOG")
+            .ok()
+            .and_then(|v| Level::parse(&v))
+            .unwrap_or(Level::Info)
+    })
+}
+
+/// Pins the filter before first use, overriding the environment.
+/// Returns false if the filter was already initialized. For embedders
+/// and tests.
+pub fn set_max_level(level: Level) -> bool {
+    MAX_LEVEL.set(level).is_ok()
+}
+
+/// Whether a message at `level` passes the filter.
+pub fn enabled(level: Level) -> bool {
+    level != Level::Off && level <= max_level()
+}
+
+#[doc(hidden)]
+pub fn write(level: Level, args: std::fmt::Arguments<'_>) {
+    eprintln!("[{}] {args}", level.label());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_documented_values() {
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("ERROR"), Some(Level::Error));
+        assert_eq!(Level::parse("Info"), Some(Level::Info));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn levels_order_from_silent_to_chatty() {
+        assert!(Level::Off < Level::Error);
+        assert!(Level::Error < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn off_is_never_enabled() {
+        // Whatever the ambient filter, `Off` messages never print.
+        assert!(!enabled(Level::Off));
+    }
+}

@@ -1,0 +1,244 @@
+//! Named counters, gauges, and histograms behind a registry.
+//!
+//! Registration (name lookup) takes a `parking_lot` mutex; the handles
+//! handed back are `Arc`-shared atomics, so the hot paths — increment,
+//! set, record — are lock-free. Hoist handles out of loops: fetch the
+//! counter/histogram once, then hammer it.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A monotonically-increasing (or bridged-absolute) `u64` metric.
+#[derive(Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a free-standing counter (registry-less, for tests).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value — for bridging counters maintained elsewhere
+    /// (e.g. cache hit/miss statistics published after a run) into the
+    /// registry.
+    pub fn set(&self, n: u64) {
+        self.cell.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` metric (stored as bits in an atomic).
+#[derive(Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl Gauge {
+    /// Creates a free-standing gauge (registry-less, for tests).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// `counter`/`gauge`/`histogram` register on first use and return shared
+/// handles on every call, so any part of the stack can reach the same
+/// metric by name without threading handles through APIs.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, registering it if new.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`, registering it if new.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram named `name`, registering it if new.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histograms
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Point-in-time values of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Drops every registered metric (handles already handed out keep
+    /// working but are no longer reachable by name). For tests.
+    pub fn reset(&self) {
+        self.counters.lock().clear();
+        self.gauges.lock().clear();
+        self.histograms.lock().clear();
+    }
+}
+
+/// Point-in-time values of a registry's metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` for every counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, summary)` for every histogram, name-sorted.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// The process-wide registry the stack's instrumentation reports into.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_alias_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x").get(), 3);
+        // A different name is a different cell.
+        assert_eq!(reg.counter("y").get(), 0);
+    }
+
+    #[test]
+    fn gauges_hold_last_write() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("g");
+        g.set(0.25);
+        g.set(0.75);
+        assert_eq!(reg.gauge("g").get(), 0.75);
+    }
+
+    #[test]
+    fn counter_set_bridges_absolute_values() {
+        let c = Counter::new();
+        c.set(41);
+        c.inc();
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b").inc();
+        reg.counter("a").add(2);
+        reg.gauge("g").set(1.5);
+        reg.histogram("h").record(10);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters, vec![("a".into(), 2), ("b".into(), 1)]);
+        assert_eq!(snap.gauges, vec![("g".into(), 1.5)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 1);
+    }
+
+    #[test]
+    fn concurrent_increments_from_rayon_threads_all_land() {
+        use rayon::prelude::*;
+        let reg = MetricsRegistry::new();
+        let counter = reg.counter("hits");
+        let hist = reg.histogram("lat");
+        (0..10_000u64).into_par_iter().for_each(|i| {
+            counter.inc();
+            hist.record(i % 97 + 1);
+        });
+        assert_eq!(counter.get(), 10_000);
+        assert_eq!(hist.count(), 10_000);
+        assert_eq!(hist.max(), 97);
+    }
+
+    #[test]
+    fn reset_clears_names() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").inc();
+        reg.reset();
+        assert_eq!(reg.counter("c").get(), 0);
+    }
+}

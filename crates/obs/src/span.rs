@@ -1,0 +1,183 @@
+//! RAII tracing spans with nesting and wall-clock timing.
+//!
+//! [`Span::enter`] pushes onto a per-thread span stack; the span's path
+//! is its name prefixed by the enclosing span's path (`"a/b/c"`), so the
+//! aggregate table reads as a call tree. Dropping the span records its
+//! elapsed wall-clock time into a process-wide table of per-path
+//! statistics. The table mutex is only taken on span *exit* — spans are
+//! meant for coarse units of work (an epoch, a pipeline phase, a figure),
+//! not per-request hot paths; those use histograms.
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Aggregate timing of every completed span with one path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// How many spans with this path have completed.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across completions.
+    pub total_ns: u64,
+    /// Longest single completion, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    /// Mean nanoseconds per completion (0 when never completed).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+static TABLE: Mutex<BTreeMap<String, SpanStat>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open tracing span; timing is recorded when it drops.
+///
+/// Prefer the [`crate::span!`] macro, which opens a span for the rest of
+/// the enclosing scope.
+#[derive(Debug)]
+pub struct Span {
+    path: String,
+    start: Instant,
+}
+
+impl Span {
+    /// Opens a span named `name`, nested under the thread's innermost
+    /// open span (if any).
+    pub fn enter(name: &str) -> Self {
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        Span {
+            path,
+            start: Instant::now(),
+        }
+    }
+
+    /// The span's full call-tree path, e.g. `"pipeline/train/epoch"`.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed_ns = self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Defensive: only pop if this really is the innermost span
+            // (a span moved across threads, or dropped out of order,
+            // must not corrupt the stack — its timing still records).
+            if stack.last() == Some(&self.path) {
+                stack.pop();
+            }
+        });
+        let mut table = TABLE.lock();
+        let stat = table.entry(std::mem::take(&mut self.path)).or_default();
+        stat.count += 1;
+        stat.total_ns += elapsed_ns;
+        stat.max_ns = stat.max_ns.max(elapsed_ns);
+    }
+}
+
+/// Aggregate stats of every completed span path, path-sorted (which
+/// groups parents directly above their children).
+pub fn snapshot() -> Vec<(String, SpanStat)> {
+    TABLE.lock().iter().map(|(k, v)| (k.clone(), *v)).collect()
+}
+
+/// The aggregate for one exact path, if any span with it completed.
+pub fn stat(path: &str) -> Option<SpanStat> {
+    TABLE.lock().get(path).copied()
+}
+
+/// Clears the aggregate table. For tests.
+pub fn reset() {
+    TABLE.lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_call_tree_paths() {
+        {
+            let _a = Span::enter("outer-test");
+            assert_eq!(_a.path(), "outer-test");
+            {
+                let b = Span::enter("mid");
+                assert_eq!(b.path(), "outer-test/mid");
+                let c = Span::enter("leaf");
+                assert_eq!(c.path(), "outer-test/mid/leaf");
+            }
+            // Siblings after a closed child nest under the same parent.
+            let d = Span::enter("mid2");
+            assert_eq!(d.path(), "outer-test/mid2");
+        }
+        assert_eq!(stat("outer-test").unwrap().count, 1);
+        assert_eq!(stat("outer-test/mid/leaf").unwrap().count, 1);
+    }
+
+    #[test]
+    fn parent_time_dominates_children_and_timing_is_monotone() {
+        {
+            let _p = Span::enter("mono-parent");
+            for _ in 0..3 {
+                let _c = Span::enter("child");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let parent = stat("mono-parent").unwrap();
+        let child = stat("mono-parent/child").unwrap();
+        assert_eq!(child.count, 3);
+        assert!(child.total_ns > 0, "sleeping spans record nonzero time");
+        assert!(child.max_ns <= child.total_ns);
+        assert!(child.mean_ns() <= child.max_ns as f64);
+        // The parent encloses all three children, so its wall time is at
+        // least the sum of theirs.
+        assert!(
+            parent.total_ns >= child.total_ns,
+            "parent {} < children {}",
+            parent.total_ns,
+            child.total_ns
+        );
+    }
+
+    #[test]
+    fn macro_spans_scope_to_the_enclosing_block() {
+        {
+            crate::span!("macro-span-test");
+            crate::span!("macro-span-inner");
+            // Both guards are alive here; the inner nests under the outer.
+        }
+        assert_eq!(stat("macro-span-test").unwrap().count, 1);
+        assert_eq!(stat("macro-span-test/macro-span-inner").unwrap().count, 1);
+    }
+
+    #[test]
+    fn repeated_spans_aggregate() {
+        for _ in 0..5 {
+            let _s = Span::enter("agg-span-test");
+        }
+        let s = stat("agg-span-test").unwrap();
+        assert_eq!(s.count, 5);
+        assert!(s.total_ns >= s.max_ns);
+    }
+}

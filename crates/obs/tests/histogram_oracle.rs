@@ -1,0 +1,67 @@
+//! Property test: histogram percentiles agree with a sorted-vec oracle
+//! to within one bucket width — the same parity guarantee `dvfs batch`
+//! relies on after replacing its private sort-based percentile math with
+//! the shared histogram type.
+
+use obs::hist::{bucket_bounds, Histogram};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any latency-shaped sample set and any of the reported
+    /// quantiles, the histogram estimate lands in the same bucket as the
+    /// exact sorted-vector answer (identical rank convention), i.e.
+    /// within one bucket width of it.
+    #[test]
+    fn percentiles_match_sorted_vec_oracle(
+        mut values in proptest::collection::vec(1u64..2_000_000, 1..400),
+        q in 0.0..1.0f64,
+    ) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        values.sort_unstable();
+        for q in [q, 0.5, 0.9, 0.99] {
+            let oracle = values[((values.len() - 1) as f64 * q) as usize];
+            let est = hist.percentile(q);
+            let (lo, width) = bucket_bounds(oracle);
+            prop_assert!(
+                est.abs_diff(oracle) < width,
+                "q={}: estimate {} vs oracle {} (bucket [{}, {}))",
+                q, est, oracle, lo, lo + width
+            );
+        }
+    }
+
+    /// The exact extremes are never quantized away.
+    #[test]
+    fn min_max_are_exact(
+        values in proptest::collection::vec(0u64..10_000_000_000, 1..200),
+    ) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        prop_assert_eq!(hist.max(), *values.iter().max().unwrap());
+        prop_assert_eq!(hist.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(hist.percentile(1.0), hist.max());
+        prop_assert_eq!(hist.count(), values.len() as u64);
+    }
+
+    /// Percentile is monotone in the quantile.
+    #[test]
+    fn percentile_is_monotone_in_q(
+        values in proptest::collection::vec(1u64..1_000_000, 1..200),
+        q1 in 0.0..1.0f64,
+        q2 in 0.0..1.0f64,
+    ) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(hist.percentile(lo) <= hist.percentile(hi));
+    }
+}

@@ -13,4 +13,16 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test -q"
 cargo test --workspace --offline -q
 
+echo "==> cargo test -p obs -q"
+cargo test -p obs --offline -q
+
+echo "==> dvfs --metrics smoke (train -> batch -> validate JSON)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo build --release --offline --bin dvfs
+DVFS_LOG=error target/release/dvfs train --stride 8 --out "$tmp/models.json" >/dev/null
+DVFS_LOG=error target/release/dvfs batch --models "$tmp/models.json" \
+    --requests 64 --capacity 4 --metrics=json --metrics-out "$tmp/metrics.json" >/dev/null
+cargo run --release --offline -p obs --example validate_metrics -- "$tmp/metrics.json"
+
 echo "==> all checks passed"

@@ -13,6 +13,11 @@
 //! dvfs apps
 //! ```
 //!
+//! Every command additionally accepts `--metrics[=table|json]` (dump the
+//! process's self-instrumentation — spans, counters, latency histograms —
+//! on exit) and `--metrics-out <path>` (write the JSON export to a file).
+//! Progress lines honor `DVFS_LOG=off|error|info|debug`.
+//!
 //! The tool drives the simulated devices; pointing it at real hardware only
 //! requires a `GpuBackend` implementation backed by NVML/DCGM.
 
@@ -33,6 +38,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = metrics_format(&opts) {
+        eprintln!("error: {e}\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
     let result = match cmd.as_str() {
         "train" => cmd_train(&opts),
         "campaign" => cmd_campaign(&opts),
@@ -47,6 +56,7 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`")),
     };
+    let result = result.and_then(|()| emit_metrics(&opts));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -54,6 +64,38 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// The validated `--metrics` format, if the flag was given.
+fn metrics_format(opts: &HashMap<String, String>) -> Result<Option<&str>, String> {
+    match opts.get("metrics").map(String::as_str) {
+        None => Ok(None),
+        Some(fmt @ ("table" | "json")) => Ok(Some(fmt)),
+        Some(other) => Err(format!(
+            "unknown --metrics format `{other}` (expected table or json)"
+        )),
+    }
+}
+
+/// Exports the self-instrumentation snapshot per `--metrics` /
+/// `--metrics-out` after a successful command.
+fn emit_metrics(opts: &HashMap<String, String>) -> Result<(), String> {
+    let fmt = metrics_format(opts)?;
+    let out = opts.get("metrics-out");
+    if fmt.is_none() && out.is_none() {
+        return Ok(());
+    }
+    let snapshot = obs::MetricsSnapshot::global();
+    match fmt {
+        Some("json") => println!("{}", snapshot.to_json()),
+        Some(_) => eprint!("{}", snapshot.render_table()),
+        None => {}
+    }
+    if let Some(path) = out {
+        std::fs::write(path, snapshot.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        obs::log!(Info, "wrote metrics to {path}");
+    }
+    Ok(())
 }
 
 const USAGE: &str = "\
@@ -81,8 +123,17 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{flag}`"));
         };
-        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
-        out.insert(name.to_string(), value.clone());
+        // `--name=value` is always accepted; `--metrics` alone defaults to
+        // the table format and never consumes the next token (so it can
+        // appear anywhere among the other flags).
+        if let Some((name, value)) = name.split_once('=') {
+            out.insert(name.to_string(), value.to_string());
+        } else if name == "metrics" {
+            out.insert(name.to_string(), "table".to_string());
+        } else {
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            out.insert(name.to_string(), value.clone());
+        }
     }
     Ok(out)
 }
@@ -132,22 +183,66 @@ fn load_models(opts: &HashMap<String, String>) -> Result<PowerTimeModels, String
 fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
     let backend = backend_for(opts)?;
     let stride = stride_for(opts)?;
-    eprintln!(
+    obs::log!(
+        Info,
         "training on {} ({} used DVFS states, stride {stride})...",
         backend.spec().arch.chip_name(),
         backend.grid().num_used()
     );
     let pipeline = TrainedPipeline::train_on(&backend, stride);
-    eprintln!(
+    obs::log!(
+        Info,
         "dataset {} rows; final losses: power {:.5}, time {:.5}",
         pipeline.dataset.len(),
         pipeline.models.power_history.train_loss.last().unwrap(),
         pipeline.models.time_history.train_loss.last().unwrap()
     );
+    for (label, history) in [
+        ("power", &pipeline.models.power_history),
+        ("time", &pipeline.models.time_history),
+    ] {
+        report_history(label, history);
+    }
     let out = opts.get("out").map(String::as_str).unwrap_or("models.json");
     std::fs::write(out, pipeline.models.to_json()).map_err(|e| format!("{out}: {e}"))?;
     println!("wrote {out}");
     Ok(())
+}
+
+/// Prints the best-epoch summary for one model and attaches its full loss
+/// curve to the metrics export (shows up in `--metrics-out` JSON).
+fn report_history(label: &str, history: &gpu_dvfs::nn::train::TrainingHistory) {
+    match history.best_epoch() {
+        Some(best) => println!(
+            "{label}: best epoch {}/{} (val loss {:.5}), trained in {:.1} s",
+            best + 1,
+            history.train_loss.len(),
+            history.val_loss[best],
+            history.train_seconds
+        ),
+        None => println!(
+            "{label}: {} epochs (no validation split), trained in {:.1} s",
+            history.train_loss.len(),
+            history.train_seconds
+        ),
+    }
+    use obs::Value;
+    let curve = |losses: &[f64]| Value::Array(losses.iter().map(|&l| Value::Num(l)).collect());
+    obs::attach_json(
+        &format!("training.{label}"),
+        Value::Object(vec![
+            ("train_loss".into(), curve(&history.train_loss)),
+            ("val_loss".into(), curve(&history.val_loss)),
+            (
+                "best_epoch".into(),
+                match history.best_epoch() {
+                    Some(b) => Value::Num(b as f64),
+                    None => Value::Null,
+                },
+            ),
+            ("train_seconds".into(), Value::Num(history.train_seconds)),
+        ]),
+    );
 }
 
 fn cmd_campaign(opts: &HashMap<String, String>) -> Result<(), String> {
@@ -318,34 +413,38 @@ fn cmd_batch(opts: &HashMap<String, String>) -> Result<(), String> {
             })?,
     };
 
+    obs::span!("batch");
     let spec = backend.spec().clone();
     // The reference pool: default-clock profiling runs, either replayed
     // from a campaign CSV or taken once per built-in evaluation app.
-    let pool: Vec<MetricSample> = match opts.get("input") {
-        Some(path) => {
-            let all = gpu_dvfs::telemetry::csv::read_samples(std::path::Path::new(path))
-                .map_err(|e| format!("{path}: {e}"))?;
-            let total = all.len();
-            let refs: Vec<MetricSample> = all
-                .into_iter()
-                .filter(|s| s.sm_app_clock == spec.max_core_mhz)
-                .collect();
-            if refs.is_empty() {
-                return Err(format!(
-                    "{path}: none of the {total} samples were taken at the default clock \
-                     ({} MHz)",
-                    spec.max_core_mhz
-                ));
+    let pool: Vec<MetricSample> = {
+        obs::span!("pool");
+        match opts.get("input") {
+            Some(path) => {
+                let all = gpu_dvfs::telemetry::csv::read_samples(std::path::Path::new(path))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                let total = all.len();
+                let refs: Vec<MetricSample> = all
+                    .into_iter()
+                    .filter(|s| s.sm_app_clock == spec.max_core_mhz)
+                    .collect();
+                if refs.is_empty() {
+                    return Err(format!(
+                        "{path}: none of the {total} samples were taken at the default clock \
+                         ({} MHz)",
+                        spec.max_core_mhz
+                    ));
+                }
+                refs
             }
-            refs
-        }
-        None => {
-            backend.reset_clock();
-            let profiler = Profiler::new(&backend);
-            gpu_dvfs::kernels::apps::evaluation_apps()
-                .iter()
-                .map(|app| profiler.profile_run(app, 0).sample)
-                .collect()
+            None => {
+                backend.reset_clock();
+                let profiler = Profiler::new(&backend);
+                gpu_dvfs::kernels::apps::evaluation_apps()
+                    .iter()
+                    .map(|app| profiler.profile_run(app, 0).sample)
+                    .collect()
+            }
         }
     };
 
@@ -355,27 +454,33 @@ fn cmd_batch(opts: &HashMap<String, String>) -> Result<(), String> {
     let freqs = backend.grid().used();
     let predictor = Predictor::new(&models, spec.clone());
     let cache = ProfileCache::new(capacity);
+    // Per-request latency (prediction + selection) lands in the shared
+    // registry, so both the report below and `--metrics` read one source.
+    let latency = obs::global().histogram("batch.request_ns");
 
     let wall = Instant::now();
-    let mut results: Vec<(usize, String, f64, f64, f64)> = stream
-        .par_iter()
-        .enumerate()
-        .map(|(i, reference)| {
-            let t0 = Instant::now();
-            let profile = predictor.predict_from_reference_cached(&cache, reference, &freqs);
-            let sel = profile.select(objective, threshold);
-            let micros = t0.elapsed().as_secs_f64() * 1e6;
-            (
-                i,
-                reference.workload.clone(),
-                sel.frequency_mhz,
-                100.0 * profile.energy_saving_at(sel.index),
-                micros,
-            )
-        })
-        .collect();
+    let mut results: Vec<(usize, String, f64, f64)> = {
+        obs::span!("serve");
+        stream
+            .par_iter()
+            .enumerate()
+            .map(|(i, reference)| {
+                let t0 = Instant::now();
+                let profile = predictor.predict_from_reference_cached(&cache, reference, &freqs);
+                let sel = profile.select(objective, threshold);
+                latency.record_duration(t0.elapsed());
+                (
+                    i,
+                    reference.workload.clone(),
+                    sel.frequency_mhz,
+                    100.0 * profile.energy_saving_at(sel.index),
+                )
+            })
+            .collect()
+    };
     let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
     results.sort_by_key(|r| r.0);
+    cache.publish_stats();
 
     println!(
         "{requests} requests over {} apps on {} ({} DVFS states, {} objective)",
@@ -385,10 +490,8 @@ fn cmd_batch(opts: &HashMap<String, String>) -> Result<(), String> {
         objective.name()
     );
     let shown = results.len().min(pool.len());
-    for (_, workload, mhz, saving, micros) in results.iter().take(shown) {
-        println!(
-            "  {workload:<12} -> {mhz:>5.0} MHz  {saving:>5.1}% energy saved  {micros:>9.1} µs"
-        );
+    for (_, workload, mhz, saving) in results.iter().take(shown) {
+        println!("  {workload:<12} -> {mhz:>5.0} MHz  {saving:>5.1}% energy saved");
     }
     if results.len() > shown {
         println!(
@@ -397,15 +500,15 @@ fn cmd_batch(opts: &HashMap<String, String>) -> Result<(), String> {
         );
     }
 
-    let mut lat: Vec<f64> = results.iter().map(|r| r.4).collect();
-    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let p = |q: f64| lat[((lat.len() - 1) as f64 * q) as usize];
-    let mean = lat.iter().sum::<f64>() / lat.len() as f64;
+    let us = |ns: f64| ns / 1e3;
     println!(
-        "latency: mean {mean:.1} µs, p50 {:.1} µs, p95 {:.1} µs, max {:.1} µs; wall {wall_ms:.1} ms",
-        p(0.50),
-        p(0.95),
-        p(1.0)
+        "latency: mean {:.1} µs, p50 {:.1} µs, p95 {:.1} µs, p99 {:.1} µs, max {:.1} µs; \
+         wall {wall_ms:.1} ms",
+        us(latency.mean()),
+        us(latency.percentile(0.50) as f64),
+        us(latency.percentile(0.95) as f64),
+        us(latency.percentile(0.99) as f64),
+        us(latency.max() as f64)
     );
     let stats = cache.stats();
     println!(
@@ -455,6 +558,39 @@ mod tests {
     fn parse_flags_rejects_bare_values_and_missing_values() {
         assert!(parse_flags(&["oops".to_string()]).is_err());
         assert!(parse_flags(&["--arch".to_string()]).is_err());
+    }
+
+    #[test]
+    fn parse_flags_accepts_inline_values_and_bare_metrics() {
+        let args: Vec<String> = ["--metrics=json", "--stride=3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let m = parse_flags(&args).unwrap();
+        assert_eq!(m["metrics"], "json");
+        assert_eq!(m["stride"], "3");
+
+        // Bare `--metrics` defaults to the table and leaves the following
+        // flag intact rather than swallowing it as a value.
+        let args: Vec<String> = ["--metrics", "--requests", "8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let m = parse_flags(&args).unwrap();
+        assert_eq!(m["metrics"], "table");
+        assert_eq!(m["requests"], "8");
+    }
+
+    #[test]
+    fn metrics_format_is_validated() {
+        let mut m = HashMap::new();
+        assert_eq!(metrics_format(&m).unwrap(), None);
+        m.insert("metrics".to_string(), "json".to_string());
+        assert_eq!(metrics_format(&m).unwrap(), Some("json"));
+        m.insert("metrics".to_string(), "table".to_string());
+        assert_eq!(metrics_format(&m).unwrap(), Some("table"));
+        m.insert("metrics".to_string(), "xml".to_string());
+        assert!(metrics_format(&m).is_err());
     }
 
     #[test]

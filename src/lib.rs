@@ -14,6 +14,7 @@
 //! | [`gpu`] (re-export of `gpu_model`) | analytical GA100/GV100 DVFS simulator |
 //! | [`kernels`] | 21 instrumented parallel benchmarks + 6 real-app models |
 //! | [`telemetry`] | DCGM-like launch/control/profile collection framework |
+//! | [`obs`] | self-instrumentation: spans, metrics registry, histograms |
 //! | [`core`] (re-export of `dvfs_core`) | datasets, DNN models, EDP/ED²P selection, experiments |
 //!
 //! ## Quickstart
@@ -45,6 +46,7 @@ pub use featsel;
 pub use gpu_model as gpu;
 pub use kernels;
 pub use nn;
+pub use obs;
 pub use telemetry;
 pub use tensor;
 
