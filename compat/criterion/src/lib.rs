@@ -5,8 +5,18 @@
 //! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
 //! `criterion_main!` macros — over a simple `std::time::Instant`
 //! harness. Each benchmark warms up briefly, then takes `sample_size`
-//! timed samples and prints min / median / max nanoseconds per
+//! timed samples and prints min / median / max / mean nanoseconds per
 //! iteration. No statistical outlier analysis, plots, or baselines.
+//!
+//! Two environment variables extend the harness for scripting:
+//!
+//! - `CRITERION_JSON=<path>` appends one JSON line per benchmark
+//!   (`{"name":...,"mean_ns":...,"min_ns":...,"median_ns":...,"max_ns":...}`)
+//!   so wrappers like `scripts/bench_baseline.sh` can collect numbers
+//!   without scraping the human-readable output.
+//! - `CRITERION_QUICK=1` shrinks warm-up and sample time and caps the
+//!   sample count at 3 — a smoke mode that exercises every bench body
+//!   end to end without producing publishable numbers.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -18,6 +28,29 @@ pub use std::hint::black_box;
 const DEFAULT_SAMPLE_SIZE: usize = 20;
 const WARMUP: Duration = Duration::from_millis(50);
 const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+
+/// True when `CRITERION_QUICK=1`: smoke mode for CI-style plumbing checks.
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn warmup_time() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(2)
+    } else {
+        WARMUP
+    }
+}
+
+fn target_sample_time() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(1)
+    } else {
+        TARGET_SAMPLE_TIME
+    }
+}
 
 /// Times one benchmark routine.
 pub struct Bencher {
@@ -32,13 +65,13 @@ impl Bencher {
         // Warm up and estimate the per-iteration cost.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
-        while warm_start.elapsed() < WARMUP {
+        while warm_start.elapsed() < warmup_time() {
             black_box(routine());
             warm_iters += 1;
         }
         let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
         let iters_per_sample =
-            ((TARGET_SAMPLE_TIME.as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
+            ((target_sample_time().as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
 
         self.samples_ns.clear();
         for _ in 0..self.sample_size {
@@ -56,18 +89,46 @@ impl Bencher {
             println!("{name:<40} (no samples)");
             return;
         }
+        let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
         self.samples_ns
             .sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
         let min = self.samples_ns[0];
         let med = self.samples_ns[self.samples_ns.len() / 2];
         let max = self.samples_ns[self.samples_ns.len() - 1];
         println!(
-            "{name:<40} time: [{} {} {}]",
+            "{name:<40} time: [{} {} {}] mean: {}",
             format_ns(min),
             format_ns(med),
-            format_ns(max)
+            format_ns(max),
+            format_ns(mean)
         );
+        append_json_record(name, mean, min, med, max);
     }
+}
+
+/// Appends a machine-readable record to `$CRITERION_JSON` if set.
+fn append_json_record(name: &str, mean: f64, min: f64, med: f64, max: f64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(f, "{}", json_record_line(name, mean, min, med, max));
+    }
+}
+
+fn json_record_line(name: &str, mean: f64, min: f64, med: f64, max: f64) -> String {
+    format!(
+        "{{\"name\":\"{name}\",\"mean_ns\":{mean:.1},\"min_ns\":{min:.1},\
+         \"median_ns\":{med:.1},\"max_ns\":{max:.1}}}"
+    )
 }
 
 fn format_ns(ns: f64) -> String {
@@ -169,7 +230,26 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Substring filters from the command line (`cargo bench -- <filter>...`),
+/// matching upstream criterion's behaviour of running only benchmarks
+/// whose id contains a filter. Flags like `--bench` are ignored.
+fn name_filters() -> Vec<String> {
+    std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect()
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(name: String, sample_size: usize, mut f: F) {
+    let filters = name_filters();
+    if !filters.is_empty() && !filters.iter().any(|f| name.contains(f.as_str())) {
+        return;
+    }
+    let sample_size = if quick_mode() {
+        sample_size.min(3)
+    } else {
+        sample_size
+    };
     let mut bencher = Bencher {
         samples_ns: Vec::new(),
         sample_size,
@@ -214,5 +294,15 @@ mod tests {
         assert!(format_ns(12_000.0).ends_with("µs"));
         assert!(format_ns(12_000_000.0).ends_with("ms"));
         assert!(format_ns(2.0e9).ends_with(" s"));
+    }
+
+    #[test]
+    fn json_record_is_one_flat_object() {
+        let line = json_record_line("group/bench", 1234.56, 1000.0, 1200.0, 1500.0);
+        assert_eq!(
+            line,
+            "{\"name\":\"group/bench\",\"mean_ns\":1234.6,\"min_ns\":1000.0,\
+             \"median_ns\":1200.0,\"max_ns\":1500.0}"
+        );
     }
 }

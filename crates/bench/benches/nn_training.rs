@@ -1,12 +1,42 @@
 //! Criterion benches for model training and online prediction — the
 //! paper's Section 4.3 claims: ~6.5 s power-model training, ~2.6 s time
 //! model, ~0.2 s prediction across the DVFS space.
+//!
+//! The `nn_training` group is the before/after guard for the
+//! zero-allocation engine: `epoch_reference` times the original
+//! allocating path (preserved verbatim in `nn::reference`), while
+//! `epoch_workspace` times `Trainer::fit` on identical data, topology,
+//! and seeds. Both paths are bitwise-identical in output, so the group
+//! isolates the pure cost of buffer churn.
+//!
+//! Set `BENCH_SMOKE=1` to shrink the heavy model-training workloads so
+//! `scripts/check.sh` can exercise every bench body in seconds.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dvfs_core::dataset::Dataset;
 use dvfs_core::models::{ModelConfig, PowerTimeModels};
 use gpu_model::{DeviceSpec, DvfsGrid, NoiseModel, SignatureBuilder};
+use nn::activation::Activation;
+use nn::network::{Network, NetworkBuilder};
+use nn::reference;
+use nn::train::{TrainConfig, Trainer};
 use std::hint::black_box;
+use tensor::Matrix;
+
+fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Caps an epoch budget in smoke mode so check.sh finishes quickly.
+fn epochs(full: usize) -> usize {
+    if smoke() {
+        full.min(2)
+    } else {
+        full
+    }
+}
 
 fn campaign_dataset() -> (DeviceSpec, Dataset) {
     let spec = DeviceSpec::ga100();
@@ -50,7 +80,10 @@ fn bench_training(c: &mut Criterion) {
         b.iter(|| {
             PowerTimeModels::train_with(
                 black_box(&ds),
-                ModelConfig::paper_power(),
+                ModelConfig {
+                    epochs: epochs(ModelConfig::paper_power().epochs),
+                    ..ModelConfig::paper_power()
+                },
                 // Train only the time model minimally: this bench targets
                 // the power model's 100-epoch cost.
                 ModelConfig {
@@ -68,8 +101,54 @@ fn bench_training(c: &mut Criterion) {
                     epochs: 1,
                     ..ModelConfig::paper_power()
                 },
-                ModelConfig::paper_time(),
+                ModelConfig {
+                    epochs: epochs(ModelConfig::paper_time().epochs),
+                    ..ModelConfig::paper_time()
+                },
             )
+        })
+    });
+    group.finish();
+}
+
+/// The tentpole before/after benchmark: one 5-epoch fit of the paper
+/// topology (3 -> 64 -> 64 -> 64 -> 1, SELU, RMSprop, batch 64) on 512
+/// synthetic rows, via the workspace engine vs the preserved allocating
+/// reference. Output is bitwise-identical between the two.
+fn bench_epoch_cost(c: &mut Criterion) {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+    let x = tensor::init::uniform(512, 3, 0.0, 1.0, &mut rng);
+    let y_vals: Vec<f64> = x
+        .rows_iter()
+        .map(|r| 0.5 * r[0] + r[1] * r[1] - 0.3 * r[2] + 0.1)
+        .collect();
+    let y = Matrix::col_vector(&y_vals);
+    let net: Network = NetworkBuilder::new(3)
+        .hidden(64, Activation::Selu)
+        .hidden(64, Activation::Selu)
+        .hidden(64, Activation::Selu)
+        .output(1, Activation::Linear)
+        .seed(7)
+        .build();
+    // Paper-default config (batch 64, 80/20 split) at a 5-epoch budget:
+    // the per-epoch cost is what the zero-allocation engine targets.
+    let cfg = TrainConfig {
+        epochs: epochs(5),
+        ..TrainConfig::default()
+    };
+
+    let mut group = c.benchmark_group("nn_training");
+    group.sample_size(10);
+    group.bench_function("epoch_workspace", |b| {
+        b.iter(|| {
+            let mut trainer = Trainer::new(net.clone(), cfg);
+            trainer.fit(black_box(&x), black_box(&y)).unwrap()
+        })
+    });
+    group.bench_function("epoch_reference", |b| {
+        b.iter(|| {
+            let mut n = net.clone();
+            reference::fit(&mut n, &cfg, black_box(&x), black_box(&y)).unwrap()
         })
     });
     group.finish();
@@ -92,5 +171,5 @@ fn bench_prediction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_training, bench_prediction);
+criterion_group!(benches, bench_training, bench_epoch_cost, bench_prediction);
 criterion_main!(benches);

@@ -9,7 +9,11 @@ use dvfs_core::dataset::Dataset;
 use dvfs_core::models::PowerTimeModels;
 use dvfs_core::predictor::{PredictedProfile, Predictor};
 use gpu_model::{DeviceSpec, DvfsGrid, MetricSample, NoiseModel, SignatureBuilder};
+use nn::activation::Activation;
+use nn::network::NetworkBuilder;
+use nn::{reference, Workspace};
 use std::hint::black_box;
+use tensor::Matrix;
 
 /// A small but representative training campaign: enough coverage that the
 /// trained networks behave like the real ones, cheap enough that the bench
@@ -112,6 +116,50 @@ fn bench_prediction(c: &mut Criterion) {
     group.finish();
 }
 
+/// Before/after guard for the zero-allocation inference path: a raw
+/// paper-topology network evaluated over a 61-row feature matrix (one
+/// DVFS sweep) through the preserved allocating reference, the
+/// workspace-backed `predict`, a caller-held `predict_into` workspace,
+/// and the single-row `predict_one` vector path. All four produce
+/// bitwise-identical numbers.
+fn bench_nn_forward(c: &mut Criterion) {
+    let net = NetworkBuilder::new(3)
+        .hidden(64, Activation::Selu)
+        .hidden(64, Activation::Selu)
+        .hidden(64, Activation::Selu)
+        .output(1, Activation::Linear)
+        .seed(21)
+        .build();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(13);
+    let x = tensor::init::uniform(61, 3, 0.0, 1.0, &mut rng);
+    let rows: Vec<Vec<f64>> = x.rows_iter().map(|r| r.to_vec()).collect();
+
+    let mut group = c.benchmark_group("nn_forward_61_states");
+    group.bench_function("reference_alloc", |b| {
+        b.iter(|| reference::predict(&net, black_box(&x)))
+    });
+    group.bench_function("workspace_predict", |b| {
+        b.iter(|| net.predict(black_box(&x)))
+    });
+    let mut ws = Workspace::for_network(&net, x.rows());
+    group.bench_function("predict_into", |b| {
+        b.iter(|| {
+            let out: &Matrix = net.predict_into(black_box(&x), &mut ws);
+            out.as_slice()[0]
+        })
+    });
+    group.bench_function("predict_one_x61", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for row in &rows {
+                acc += net.predict_one(black_box(row))[0];
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
 /// Guards the self-instrumentation budget: the cached-hit request path adds
 /// one `Instant` pair plus one histogram record, which must stay well under
 /// 10% of the ~1 µs cached lookup it wraps (i.e. double-digit nanoseconds).
@@ -134,5 +182,10 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_prediction, bench_obs_overhead);
+criterion_group!(
+    benches,
+    bench_prediction,
+    bench_nn_forward,
+    bench_obs_overhead
+);
 criterion_main!(benches);

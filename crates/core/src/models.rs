@@ -125,6 +125,10 @@ impl PowerTimeModels {
     /// Assembles the F x 3 feature matrix for one application (fixed
     /// activities, one row per frequency) and runs a single forward pass
     /// through `network`.
+    ///
+    /// Both the feature matrix and the network intermediates live in
+    /// thread-local buffers reused across calls, so a steady stream of
+    /// sweeps allocates only the returned `Vec` per request.
     fn batch_forward(
         network: &nn::Network,
         spec: &DeviceSpec,
@@ -132,17 +136,24 @@ impl PowerTimeModels {
         dram_active: f64,
         frequencies: &[f64],
     ) -> Vec<f64> {
-        let mut data = Vec::with_capacity(frequencies.len() * NUM_FEATURES);
-        for &mhz in frequencies {
-            data.extend_from_slice(&Dataset::feature_row(
-                fp_active,
-                dram_active,
-                mhz / spec.max_core_mhz,
-            ));
+        thread_local! {
+            static FEATURES: std::cell::RefCell<tensor::Matrix> =
+                std::cell::RefCell::new(tensor::Matrix::zeros(0, 0));
         }
-        let x = tensor::Matrix::from_vec(frequencies.len(), NUM_FEATURES, data)
-            .expect("feature matrix dimensions are consistent by construction");
-        network.predict(&x).into_vec()
+        FEATURES.with(|cell| {
+            let mut x = cell.borrow_mut();
+            x.resize_to(frequencies.len(), NUM_FEATURES);
+            for (r, &mhz) in frequencies.iter().enumerate() {
+                x.row_mut(r).copy_from_slice(&Dataset::feature_row(
+                    fp_active,
+                    dram_active,
+                    mhz / spec.max_core_mhz,
+                ));
+            }
+            nn::Workspace::with_thread_local(network, |ws| {
+                network.predict_into(&x, ws).as_slice().to_vec()
+            })
+        })
     }
 
     /// Predicted power in watts at every frequency in `frequencies`, with

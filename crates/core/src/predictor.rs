@@ -213,6 +213,11 @@ impl<'a> Predictor<'a> {
     /// identical to a sequential [`Predictor::predict_from_reference`]
     /// call.
     ///
+    /// Every worker thread runs its sweeps through a thread-local
+    /// `nn::Workspace` (plus a reused feature matrix), so per-request work
+    /// allocates only the output profile — no per-request network
+    /// intermediates.
+    ///
     /// # Panics
     /// Panics if any reference was not taken at the default clock.
     pub fn predict_many(

@@ -107,30 +107,108 @@ impl Dense {
 
     /// Forward pass without mutating the cache — for inference.
     pub fn infer(&self, input: &Matrix) -> Matrix {
-        let z = self.affine(input);
-        let mut a = z;
-        for r in 0..a.rows() {
-            self.activation.apply_row(a.row_mut(r));
-        }
-        a
+        let mut out = Matrix::zeros(input.rows(), self.out_dim());
+        self.apply_into(input, &mut out);
+        out
     }
 
-    fn affine(&self, input: &Matrix) -> Matrix {
-        let z = matmul::matmul(input, &self.weights).expect("layer/input width mismatch");
-        ops::add_row_broadcast(&z, &self.bias).expect("bias shape verified at construction")
+    /// Workspace forward pass: writes the pre-activation into `pre` and the
+    /// activation into `out`, resizing both (allocation-free within
+    /// capacity). Bias add and activation are fused into a single pass over
+    /// the matmul result.
+    ///
+    /// # Panics
+    /// Panics if `input.cols() != in_dim`.
+    pub(crate) fn forward_into(&self, input: &Matrix, pre: &mut Matrix, out: &mut Matrix) {
+        pre.resize_to(input.rows(), self.out_dim());
+        matmul::matmul_into(input, &self.weights, pre).expect("layer/input width mismatch");
+        out.resize_to(input.rows(), self.out_dim());
+        let b = self.bias.as_slice();
+        if let Activation::Softmax = self.activation {
+            // Softmax is row-wise, not elementwise: finish the affine pass
+            // first, then apply the row transform to a copy.
+            for r in 0..pre.rows() {
+                for (z, &bv) in pre.row_mut(r).iter_mut().zip(b) {
+                    *z += bv;
+                }
+            }
+            out.copy_from(pre);
+            for r in 0..out.rows() {
+                self.activation.apply_row(out.row_mut(r));
+            }
+        } else {
+            for r in 0..pre.rows() {
+                let prow = pre.row_mut(r);
+                let orow = out.row_mut(r);
+                for ((z, o), &bv) in prow.iter_mut().zip(orow.iter_mut()).zip(b) {
+                    *z += bv;
+                    *o = self.activation.apply(*z);
+                }
+            }
+        }
+    }
+
+    /// Inference forward pass into a single reused buffer (no
+    /// pre-activation kept): `out = act(input W + b)`, resizing `out`.
+    ///
+    /// # Panics
+    /// Panics if `input.cols() != in_dim`.
+    pub(crate) fn apply_into(&self, input: &Matrix, out: &mut Matrix) {
+        out.resize_to(input.rows(), self.out_dim());
+        matmul::matmul_into(input, &self.weights, out).expect("layer/input width mismatch");
+        let b = self.bias.as_slice();
+        if let Activation::Softmax = self.activation {
+            for r in 0..out.rows() {
+                let row = out.row_mut(r);
+                for (z, &bv) in row.iter_mut().zip(b) {
+                    *z += bv;
+                }
+                self.activation.apply_row(row);
+            }
+        } else {
+            for r in 0..out.rows() {
+                for (z, &bv) in out.row_mut(r).iter_mut().zip(b) {
+                    *z = self.activation.apply(*z + bv);
+                }
+            }
+        }
+    }
+
+    /// Single-sample inference without any `Matrix` round-trip:
+    /// `out = act(x W + b)` for a feature vector `x`, resizing `out` to
+    /// `out_dim`. Used by `Network::predict_one`.
+    ///
+    /// # Panics
+    /// Panics if `input.len() != in_dim`.
+    pub(crate) fn apply_vec(&self, input: &[f64], out: &mut Vec<f64>) {
+        out.resize(self.out_dim(), 0.0);
+        matmul::vecmat_into(input, &self.weights, out).expect("layer/input width mismatch");
+        let b = self.bias.as_slice();
+        if let Activation::Softmax = self.activation {
+            for (z, &bv) in out.iter_mut().zip(b) {
+                *z += bv;
+            }
+            self.activation.apply_row(out);
+        } else {
+            for (z, &bv) in out.iter_mut().zip(b) {
+                *z = self.activation.apply(*z + bv);
+            }
+        }
     }
 
     fn forward_cached(&mut self, input: &Matrix) -> Matrix {
-        let pre = self.affine(input);
-        let mut out = pre.clone();
-        for r in 0..out.rows() {
-            self.activation.apply_row(out.row_mut(r));
-        }
-        self.cache = Some(ForwardCache {
-            input: input.clone(),
-            pre_activation: pre,
-            output: out.clone(),
+        // Reuse the previous cache's buffers so repeated forward calls at a
+        // stable batch size stop allocating (aside from the returned clone).
+        let mut cache = self.cache.take().unwrap_or_else(|| ForwardCache {
+            input: Matrix::zeros(0, 0),
+            pre_activation: Matrix::zeros(0, 0),
+            output: Matrix::zeros(0, 0),
         });
+        cache.input.resize_to(input.rows(), input.cols());
+        cache.input.copy_from(input);
+        self.forward_into(input, &mut cache.pre_activation, &mut cache.output);
+        let out = cache.output.clone();
+        self.cache = Some(cache);
         out
     }
 
@@ -141,31 +219,22 @@ impl Dense {
     /// # Panics
     /// Panics if called before [`Dense::forward`].
     pub fn backward(&mut self, upstream: &Matrix) -> (LayerGrads, Matrix) {
-        let cache = self.cache.as_ref().expect("backward called before forward");
-        let batch = upstream.rows().max(1);
-
-        // delta = dL/dz, via the activation's backward rule per row.
+        let cache = self.cache.take().expect("backward called before forward");
         let mut delta = Matrix::zeros(upstream.rows(), upstream.cols());
-        for r in 0..upstream.rows() {
-            self.activation.backward_row(
-                cache.pre_activation.row(r),
-                cache.output.row(r),
-                upstream.row(r),
-                delta.row_mut(r),
-            );
-        }
-
-        // dL/dW = x^T delta / batch ; dL/db = column sums of delta / batch.
-        let grad_w = ops::scale(
-            &matmul::matmul(&cache.input.transpose(), &delta).expect("shapes from cache"),
-            1.0 / batch as f64,
+        let mut grad_w = Matrix::zeros(self.in_dim(), self.out_dim());
+        let mut grad_b = Matrix::zeros(1, self.out_dim());
+        let mut downstream = Matrix::zeros(upstream.rows(), self.in_dim());
+        self.backward_into(
+            &cache.input,
+            &cache.pre_activation,
+            &cache.output,
+            upstream,
+            &mut delta,
+            &mut grad_w,
+            &mut grad_b,
+            Some(&mut downstream),
         );
-        let grad_b = ops::scale(&ops::sum_rows(&delta), 1.0 / batch as f64);
-
-        // dL/dx = delta W^T.
-        let downstream =
-            matmul::matmul(&delta, &self.weights.transpose()).expect("shapes from cache");
-
+        self.cache = Some(cache);
         (
             LayerGrads {
                 weights: grad_w,
@@ -173,6 +242,55 @@ impl Dense {
             },
             downstream,
         )
+    }
+
+    /// Workspace backward pass, writing every result into caller-provided
+    /// buffers. `input`, `pre` and `output` are the forward-pass state for
+    /// this layer; `upstream` is `dL/da`. `delta` receives `dL/dz`,
+    /// `grad_w`/`grad_b` the batch-averaged parameter gradients, and `down`
+    /// (when wanted) `dL/dx`. Transpose-free kernels read `input` and the
+    /// weights in stored layout — nothing is materialized.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn backward_into(
+        &self,
+        input: &Matrix,
+        pre: &Matrix,
+        output: &Matrix,
+        upstream: &Matrix,
+        delta: &mut Matrix,
+        grad_w: &mut Matrix,
+        grad_b: &mut Matrix,
+        down: Option<&mut Matrix>,
+    ) {
+        let batch = upstream.rows().max(1);
+
+        // delta = dL/dz, via the activation's backward rule per row.
+        delta.resize_to(upstream.rows(), upstream.cols());
+        for r in 0..upstream.rows() {
+            self.activation.backward_row(
+                pre.row(r),
+                output.row(r),
+                upstream.row(r),
+                delta.row_mut(r),
+            );
+        }
+
+        // dL/dW = x^T delta / batch ; dL/db = column sums of delta / batch.
+        matmul::matmul_at_b_into(input, delta, grad_w).expect("shapes from workspace");
+        ops::scale_in_place(grad_w, 1.0 / batch as f64);
+        ops::sum_rows_into(delta, grad_b).expect("shapes from workspace");
+        ops::scale_in_place(grad_b, 1.0 / batch as f64);
+
+        // dL/dx = delta W^T.
+        if let Some(d) = down {
+            d.resize_to(upstream.rows(), self.in_dim());
+            matmul::matmul_a_bt_into(delta, &self.weights, d).expect("shapes from workspace");
+        }
+    }
+
+    /// True while the layer holds cached forward state.
+    pub fn has_cache(&self) -> bool {
+        self.cache.is_some()
     }
 
     /// Drops the cached forward state (e.g. before serialization).

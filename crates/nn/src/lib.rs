@@ -31,6 +31,20 @@
 //!
 //! Everything is deterministic under an explicit seed; there is no global
 //! RNG anywhere in the training path.
+//!
+//! # Zero-allocation engine
+//!
+//! Training and inference run through reusable [`Workspace`] buffers and
+//! the tensor crate's `_into` kernels: after a short warm-up, a training
+//! step ([`Network::forward_ws`] + [`Network::backward_ws`]) and a batch
+//! prediction ([`Network::predict_into`]) perform **zero heap
+//! allocations** — `tests/zero_alloc.rs` proves it with a counting global
+//! allocator. The classic allocating API (`forward`/`backward`/`predict`)
+//! remains available as thin wrappers over an internally kept workspace,
+//! and is **bitwise-identical** to the workspace path (every kernel
+//! accumulates in the same order); [`reference`] preserves the original
+//! allocating implementation as the oracle the parity proptests compare
+//! against.
 
 pub mod activation;
 pub mod layer;
@@ -38,7 +52,9 @@ pub mod loss;
 pub mod metrics;
 pub mod network;
 pub mod optimizer;
+pub mod reference;
 pub mod train;
+pub mod workspace;
 
 pub use activation::Activation;
 pub use layer::Dense;
@@ -46,3 +62,4 @@ pub use loss::Loss;
 pub use network::{Network, NetworkBuilder};
 pub use optimizer::{Optimizer, OptimizerKind};
 pub use train::{TrainConfig, Trainer, TrainingHistory};
+pub use workspace::Workspace;

@@ -50,6 +50,23 @@ impl Loss {
         Matrix::from_vec(pred.rows(), pred.cols(), data).expect("same shape as pred")
     }
 
+    /// Allocation-free sibling of [`Loss::gradient`]: writes `dL/dpred` into
+    /// `out`, resizing it to `pred`'s shape (no reallocation once `out` has
+    /// capacity). Bitwise-identical element values.
+    pub fn gradient_into(&self, pred: &Matrix, target: &Matrix, out: &mut Matrix) {
+        assert_eq!(pred.shape(), target.shape(), "loss operand shapes differ");
+        let n = pred.len().max(1) as f64;
+        out.resize_to(pred.rows(), pred.cols());
+        for ((o, &p), &t) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(pred.as_slice())
+            .zip(target.as_slice())
+        {
+            *o = self.point_grad(p, t) / n;
+        }
+    }
+
     fn point(&self, p: f64, t: f64) -> f64 {
         let d = p - t;
         match self {
@@ -139,6 +156,19 @@ mod tests {
                     g.as_slice()[i]
                 );
             }
+        }
+    }
+
+    #[test]
+    fn gradient_into_matches_gradient_bitwise() {
+        let t = m(&[0.3, -0.7, 1.5]);
+        let p = m(&[0.5, 0.5, 0.5]);
+        for loss in [Loss::Mse, Loss::Mae, Loss::Huber] {
+            let expect = loss.gradient(&p, &t);
+            let mut out = Matrix::zeros(4, 4); // wrong shape: gradient_into resizes
+            loss.gradient_into(&p, &t, &mut out);
+            assert_eq!(out.shape(), p.shape());
+            assert_eq!(out.as_slice(), expect.as_slice());
         }
     }
 

@@ -4,15 +4,21 @@ use crate::activation::Activation;
 use crate::layer::Dense;
 use crate::loss::Loss;
 use crate::optimizer::Optimizer;
+use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use tensor::Matrix;
 
 /// A feedforward neural network (multi-layer perceptron).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Network {
     layers: Vec<Dense>,
+    /// Workspace backing the allocating `forward`/`backward` wrappers, kept
+    /// across calls so repeated steps stop allocating. Never serialized.
+    #[serde(skip)]
+    scratch: Option<Box<Workspace>>,
 }
 
 impl Network {
@@ -30,12 +36,20 @@ impl Network {
                 w[1].in_dim()
             );
         }
-        Self { layers }
+        Self {
+            layers,
+            scratch: None,
+        }
     }
 
     /// The layers of the network.
     pub fn layers(&self) -> &[Dense] {
         &self.layers
+    }
+
+    /// Mutable layer access for the in-crate reference implementation.
+    pub(crate) fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
     }
 
     /// Input feature count.
@@ -57,32 +71,96 @@ impl Network {
     }
 
     /// Inference forward pass (no caches touched).
+    ///
+    /// Runs through this thread's cached [`Workspace`], so repeated calls
+    /// from the same thread are allocation-free apart from the returned
+    /// output matrix.
     pub fn predict(&self, x: &Matrix) -> Matrix {
-        let mut a = x.clone();
-        for l in &self.layers {
-            a = l.infer(&a);
+        if self.layers.is_empty() {
+            return x.clone();
         }
-        a
+        Workspace::with_thread_local(self, |ws| self.predict_into(x, ws).clone())
+    }
+
+    /// Inference forward pass into a caller-provided workspace, returning a
+    /// borrow of the output buffer. Fully allocation-free once the
+    /// workspace has warmed up. Bitwise-identical to [`Network::predict`].
+    pub fn predict_into<'w>(&self, x: &Matrix, ws: &'w mut Workspace) -> &'w Matrix {
+        ws.ensure(self, x.rows());
+        if self.layers.is_empty() {
+            ws.input.resize_to(x.rows(), x.cols());
+            ws.input.copy_from(x);
+            return &ws.input;
+        }
+        for i in 0..self.layers.len() {
+            let (done, rest) = ws.layers.split_at_mut(i);
+            let cur = &mut rest[0];
+            let input_i: &Matrix = if i == 0 { x } else { &done[i - 1].out };
+            self.layers[i].apply_into(input_i, &mut cur.out);
+        }
+        ws.output()
     }
 
     /// Convenience: predict a single feature vector, returning the outputs.
+    ///
+    /// Skips the row-vector `Matrix` round-trip entirely: the sample flows
+    /// through a pair of thread-local `Vec<f64>` buffers via `vecmat`, so
+    /// the only allocation in steady state is the returned vector.
     pub fn predict_one(&self, features: &[f64]) -> Vec<f64> {
-        self.predict(&Matrix::row_vector(features)).into_vec()
+        if self.layers.is_empty() {
+            return features.to_vec();
+        }
+        thread_local! {
+            static BUFS: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+        }
+        BUFS.with(|cell| {
+            let (a, b) = &mut *cell.borrow_mut();
+            a.clear();
+            a.extend_from_slice(features);
+            for l in &self.layers {
+                l.apply_vec(a, b);
+                std::mem::swap(a, b);
+            }
+            a.clone()
+        })
     }
 
     /// Training forward pass: caches per-layer state for [`Network::backward`].
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let mut a = x.clone();
-        for l in &mut self.layers {
-            a = l.forward(&a);
+        let mut ws = self
+            .scratch
+            .take()
+            .unwrap_or_else(|| Box::new(Workspace::for_network(self, x.rows())));
+        self.forward_ws(x, &mut ws);
+        let out = ws.output().clone();
+        self.scratch = Some(ws);
+        out
+    }
+
+    /// Training forward pass into a caller-provided workspace. The input is
+    /// copied into the workspace and every layer's pre-activation and
+    /// activation are retained for [`Network::backward_ws`]. Allocation-free
+    /// once the workspace has warmed up; bitwise-identical to
+    /// [`Network::forward`].
+    pub fn forward_ws(&self, x: &Matrix, ws: &mut Workspace) {
+        ws.ensure(self, x.rows());
+        ws.input.resize_to(x.rows(), x.cols());
+        ws.input.copy_from(x);
+        for i in 0..self.layers.len() {
+            let (done, rest) = ws.layers.split_at_mut(i);
+            let cur = &mut rest[0];
+            let input_i: &Matrix = if i == 0 { &ws.input } else { &done[i - 1].out };
+            self.layers[i].forward_into(input_i, &mut cur.pre, &mut cur.out);
         }
-        a
     }
 
     /// Runs backprop from `loss` at (`pred`, `target`) and applies one
     /// optimizer step to every parameter tensor. Returns the batch loss.
     ///
     /// Must follow a [`Network::forward`] call on the same batch.
+    ///
+    /// # Panics
+    /// Panics if called before [`Network::forward`].
     pub fn backward(
         &mut self,
         pred: &Matrix,
@@ -90,36 +168,111 @@ impl Network {
         loss: Loss,
         opt: &mut Optimizer,
     ) -> f64 {
+        let mut ws = self.scratch.take().expect("backward called before forward");
         let value = loss.value(pred, target);
-        // Loss::gradient averages over elements; layer backward averages
-        // over rows again. Compensate so the effective gradient is the
-        // gradient of the *mean over elements* exactly once.
-        let mut upstream = loss.gradient(pred, target);
-        let batch = pred.rows().max(1) as f64;
-        for v in upstream.as_mut_slice() {
-            *v *= batch;
-        }
-
-        opt.begin_step();
-        let mut grads_rev = Vec::with_capacity(self.layers.len());
-        for l in self.layers.iter_mut().rev() {
-            let (g, down) = l.backward(&upstream);
-            grads_rev.push(g);
-            upstream = down;
-        }
-        grads_rev.reverse();
-        for (i, (l, g)) in self.layers.iter_mut().zip(&grads_rev).enumerate() {
-            opt.update(2 * i, l.weights_mut(), &g.weights);
-            opt.update(2 * i + 1, l.bias_mut(), &g.bias);
-        }
+        self.seed_loss_gradient(pred, target, loss, &mut ws);
+        self.propagate_and_update(opt, &mut ws);
+        self.scratch = Some(ws);
         value
     }
 
-    /// Clears all cached forward state.
+    /// Workspace backprop: consumes the forward state left in `ws` by
+    /// [`Network::forward_ws`], seeds the loss gradient from the workspace
+    /// output, applies one optimizer step to every parameter, and returns
+    /// the batch loss. Allocation-free once the workspace has warmed up;
+    /// bitwise-identical to [`Network::backward`].
+    pub fn backward_ws(
+        &mut self,
+        target: &Matrix,
+        loss: Loss,
+        opt: &mut Optimizer,
+        ws: &mut Workspace,
+    ) -> f64 {
+        let value = loss.value(ws.output(), target);
+        // Split the borrow: gradient reads the output buffer while writing
+        // the (disjoint) loss-gradient buffer.
+        let Workspace {
+            layers,
+            input,
+            loss_grad,
+            ..
+        } = ws;
+        let pred: &Matrix = layers.last().map_or(&*input, |lw| &lw.out);
+        loss.gradient_into(pred, target, loss_grad);
+        let batch = pred.rows().max(1) as f64;
+        for v in loss_grad.as_mut_slice() {
+            *v *= batch;
+        }
+        self.propagate_and_update(opt, ws);
+        value
+    }
+
+    /// Writes the batch-compensated loss gradient for `pred` into the
+    /// workspace seed buffer.
+    ///
+    /// `Loss::gradient` averages over elements; layer backward averages
+    /// over rows again. Compensate so the effective gradient is the
+    /// gradient of the *mean over elements* exactly once.
+    fn seed_loss_gradient(&self, pred: &Matrix, target: &Matrix, loss: Loss, ws: &mut Workspace) {
+        loss.gradient_into(pred, target, &mut ws.loss_grad);
+        let batch = pred.rows().max(1) as f64;
+        for v in ws.loss_grad.as_mut_slice() {
+            *v *= batch;
+        }
+    }
+
+    /// Backprop from the seeded loss gradient in `ws` and apply one
+    /// optimizer update per parameter tensor. All layer gradients are
+    /// computed (against pre-update weights) before any update is applied,
+    /// matching the original allocating implementation update-for-update.
+    fn propagate_and_update(&mut self, opt: &mut Optimizer, ws: &mut Workspace) {
+        opt.begin_step();
+        let n = self.layers.len();
+        let Workspace {
+            layers: lws,
+            input,
+            loss_grad,
+            ..
+        } = ws;
+        for i in (0..n).rev() {
+            let (left, right) = lws.split_at_mut(i);
+            let (cur, after) = right.split_first_mut().expect("layer workspace exists");
+            let upstream: &Matrix = if i == n - 1 {
+                loss_grad
+            } else {
+                &after[0].down
+            };
+            let input_i: &Matrix = if i == 0 { input } else { &left[i - 1].out };
+            let down = if i == 0 { None } else { Some(&mut cur.down) };
+            self.layers[i].backward_into(
+                input_i,
+                &cur.pre,
+                &cur.out,
+                upstream,
+                &mut cur.delta,
+                &mut cur.grad_w,
+                &mut cur.grad_b,
+                down,
+            );
+        }
+        for (i, (l, lw)) in self.layers.iter_mut().zip(lws.iter()).enumerate() {
+            opt.update(2 * i, l.weights_mut(), &lw.grad_w);
+            opt.update(2 * i + 1, l.bias_mut(), &lw.grad_b);
+        }
+    }
+
+    /// Clears all cached forward state (per-layer caches and the wrapper
+    /// workspace).
     pub fn clear_caches(&mut self) {
         for l in &mut self.layers {
             l.clear_cache();
         }
+        self.scratch = None;
+    }
+
+    /// True while any layer cache or the wrapper workspace is populated.
+    pub fn has_cached_state(&self) -> bool {
+        self.scratch.is_some() || self.layers.iter().any(Dense::has_cache)
     }
 
     /// Serializes the network to a JSON string.

@@ -168,9 +168,11 @@ impl Optimizer {
                 }
             }
             OptimizerKind::RmsProp { lr, rho, eps } => {
-                for i in 0..n {
-                    st.v[i] = rho * st.v[i] + (1.0 - rho) * g[i] * g[i];
-                    p[i] -= lr * g[i] / (st.v[i].sqrt() + eps);
+                // Iterator form so LLVM can vectorize the sqrt/div pair
+                // (both correctly rounded, so SIMD lanes change nothing).
+                for ((vi, pi), &gi) in st.v.iter_mut().zip(p.iter_mut()).zip(g) {
+                    *vi = rho * *vi + (1.0 - rho) * gi * gi;
+                    *pi -= lr * gi / ((*vi).sqrt() + eps);
                 }
             }
             OptimizerKind::Adam {

@@ -1,0 +1,212 @@
+//! Seed-faithful allocating implementations of `predict` and `fit`.
+//!
+//! This module preserves the pre-workspace training and inference paths —
+//! fresh matrices for every intermediate, explicit transposes in backprop,
+//! `select_rows` per mini-batch — exactly as they were before the
+//! zero-allocation engine landed. It exists for two reasons:
+//!
+//! 1. **Correctness oracle.** The workspace path must be *bitwise*
+//!    identical to this one (same accumulation order everywhere); the
+//!    parity proptests in `train.rs` and `network.rs` compare the two
+//!    end to end.
+//! 2. **Benchmark baseline.** The `nn_training` and `prediction` criterion
+//!    groups measure both paths so the speedup stays visible to future PRs.
+//!
+//! Production code should never call into this module.
+
+use crate::loss::Loss;
+use crate::network::Network;
+use crate::train::{TrainConfig, TrainError, TrainingHistory};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tensor::{matmul, ops, Matrix};
+
+/// Allocating inference pass: clone-chains `act(x W + b)` through every
+/// layer, materializing each intermediate.
+pub fn predict(network: &Network, x: &Matrix) -> Matrix {
+    let mut a = x.clone();
+    for l in network.layers() {
+        let z = matmul::matmul(&a, l.weights()).expect("layer/input width mismatch");
+        let mut out =
+            ops::add_row_broadcast(&z, l.bias()).expect("bias shape verified at construction");
+        for r in 0..out.rows() {
+            l.activation().apply_row(out.row_mut(r));
+        }
+        a = out;
+    }
+    a
+}
+
+/// Per-layer forward state captured by the allocating training pass.
+struct LayerState {
+    input: Matrix,
+    pre: Matrix,
+    out: Matrix,
+}
+
+/// Allocating mini-batch training loop, replicating the original
+/// `Trainer::fit` step for step: identical RNG consumption, split, batch
+/// order, optimizer slot ids and early-stopping rule, but with fresh
+/// allocations for every batch and every intermediate.
+pub fn fit(
+    network: &mut Network,
+    config: &TrainConfig,
+    x: &Matrix,
+    y: &Matrix,
+) -> Result<TrainingHistory, TrainError> {
+    if x.rows() != y.rows() {
+        return Err(TrainError::RowMismatch {
+            x_rows: x.rows(),
+            y_rows: y.rows(),
+        });
+    }
+    if x.rows() == 0 {
+        return Err(TrainError::EmptyDataset);
+    }
+    let start = std::time::Instant::now();
+    let mut rng = StdRng::seed_from_u64(config.shuffle_seed);
+
+    let mut indices: Vec<usize> = (0..x.rows()).collect();
+    indices.shuffle(&mut rng);
+    let n_val = ((x.rows() as f64) * config.validation_split).round() as usize;
+    let n_val = n_val.min(x.rows().saturating_sub(1));
+    let (val_idx, train_idx) = indices.split_at(n_val);
+    let x_train = x.select_rows(train_idx);
+    let y_train = y.select_rows(train_idx);
+    let (x_val, y_val) = if n_val > 0 {
+        (Some(x.select_rows(val_idx)), Some(y.select_rows(val_idx)))
+    } else {
+        (None, None)
+    };
+
+    let mut opt = config.optimizer.build();
+    let mut history = TrainingHistory {
+        train_loss: Vec::with_capacity(config.epochs),
+        val_loss: Vec::with_capacity(config.epochs),
+        train_seconds: 0.0,
+    };
+    let batch = config.batch_size.max(1);
+    let mut order: Vec<usize> = (0..x_train.rows()).collect();
+    let mut best_val = f64::INFINITY;
+    let mut since_best = 0usize;
+
+    for _ in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        let mut batches = 0usize;
+        for chunk in order.chunks(batch) {
+            let xb = x_train.select_rows(chunk);
+            let yb = y_train.select_rows(chunk);
+            epoch_loss += step(network, &xb, &yb, config.loss, &mut opt);
+            batches += 1;
+        }
+        history.train_loss.push(epoch_loss / batches.max(1) as f64);
+        if let (Some(xv), Some(yv)) = (&x_val, &y_val) {
+            let pred = predict(network, xv);
+            let val = config.loss.value(&pred, yv);
+            history.val_loss.push(val);
+            if let Some(patience) = config.early_stop_patience {
+                if val < best_val - 1e-12 {
+                    best_val = val;
+                    since_best = 0;
+                } else {
+                    since_best += 1;
+                    if since_best >= patience {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    history.train_seconds = start.elapsed().as_secs_f64();
+    Ok(history)
+}
+
+/// One allocating forward + backward + update step (the original
+/// `Network::forward` / `Network::backward` sequence).
+pub fn step(
+    network: &mut Network,
+    xb: &Matrix,
+    yb: &Matrix,
+    loss: Loss,
+    opt: &mut crate::optimizer::Optimizer,
+) -> f64 {
+    // Forward, capturing per-layer state.
+    let mut states: Vec<LayerState> = Vec::with_capacity(network.layers().len());
+    let mut a = xb.clone();
+    for l in network.layers() {
+        let z = matmul::matmul(&a, l.weights()).expect("layer/input width mismatch");
+        let pre =
+            ops::add_row_broadcast(&z, l.bias()).expect("bias shape verified at construction");
+        let mut out = pre.clone();
+        for r in 0..out.rows() {
+            l.activation().apply_row(out.row_mut(r));
+        }
+        states.push(LayerState {
+            input: a,
+            pre,
+            out: out.clone(),
+        });
+        a = out;
+    }
+    let value = loss.value(&a, yb);
+
+    // Loss gradient with the original batch compensation.
+    let mut upstream = loss.gradient(&a, yb);
+    let batch = a.rows().max(1) as f64;
+    for v in upstream.as_mut_slice() {
+        *v *= batch;
+    }
+
+    // Backward with explicit transposes, gradients before any update.
+    opt.begin_step();
+    let mut grads_rev: Vec<(Matrix, Matrix)> = Vec::with_capacity(states.len());
+    for (l, st) in network.layers().iter().zip(&states).rev() {
+        let b = upstream.rows().max(1);
+        let mut delta = Matrix::zeros(upstream.rows(), upstream.cols());
+        for r in 0..upstream.rows() {
+            l.activation().backward_row(
+                st.pre.row(r),
+                st.out.row(r),
+                upstream.row(r),
+                delta.row_mut(r),
+            );
+        }
+        let grad_w = ops::scale(
+            &matmul::matmul(&st.input.transpose(), &delta).expect("shapes from forward"),
+            1.0 / b as f64,
+        );
+        let grad_b = ops::scale(&ops::sum_rows(&delta), 1.0 / b as f64);
+        upstream = matmul::matmul(&delta, &l.weights().transpose()).expect("shapes from forward");
+        grads_rev.push((grad_w, grad_b));
+    }
+    grads_rev.reverse();
+    for (i, (l, (gw, gb))) in network.layers_mut().iter_mut().zip(&grads_rev).enumerate() {
+        opt.update(2 * i, l.weights_mut(), gw);
+        opt.update(2 * i + 1, l.bias_mut(), gb);
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::network::NetworkBuilder;
+
+    #[test]
+    fn reference_predict_matches_workspace_predict_bitwise() {
+        let net = NetworkBuilder::new(3)
+            .hidden(16, Activation::Selu)
+            .hidden(16, Activation::Tanh)
+            .output(2, Activation::Linear)
+            .seed(42)
+            .build();
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = tensor::init::uniform(37, 3, -2.0, 2.0, &mut rng);
+        let a = predict(&net, &x);
+        let b = net.predict(&x);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

@@ -8,11 +8,12 @@
 use crate::loss::Loss;
 use crate::network::Network;
 use crate::optimizer::OptimizerKind;
+use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use tensor::Matrix;
+use tensor::{ops, Matrix};
 
 /// Training hyperparameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -160,26 +161,36 @@ impl Trainer {
         let mut best_val = f64::INFINITY;
         let mut since_best = 0usize;
 
+        // Persistent step buffers: the batch matrices and the workspace are
+        // sized once and reused for every step, so the epoch loop performs
+        // no heap allocation in steady state (tests/zero_alloc.rs proves
+        // this with a counting allocator).
+        let mut ws = Workspace::for_network(&self.network, batch.min(x_train.rows()));
+        let mut xb = Matrix::zeros(0, 0);
+        let mut yb = Matrix::zeros(0, 0);
+
         for _ in 0..self.config.epochs {
             obs::span!("epoch");
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
             for chunk in order.chunks(batch) {
-                let xb = x_train.select_rows(chunk);
-                let yb = y_train.select_rows(chunk);
-                let pred = self.network.forward(&xb);
+                ops::gather_rows_into(&x_train, chunk, &mut xb);
+                ops::gather_rows_into(&y_train, chunk, &mut yb);
+                self.network.forward_ws(&xb, &mut ws);
                 epoch_loss += self
                     .network
-                    .backward(&pred, &yb, self.config.loss, &mut opt);
+                    .backward_ws(&yb, self.config.loss, &mut opt, &mut ws);
                 batches += 1;
             }
             let mean_loss = epoch_loss / batches.max(1) as f64;
             loss_gauge.set(mean_loss);
             history.train_loss.push(mean_loss);
             if let (Some(xv), Some(yv)) = (&x_val, &y_val) {
-                let pred = self.network.predict(xv);
-                let val = self.config.loss.value(&pred, yv);
+                let val = {
+                    let pred = self.network.predict_into(xv, &mut ws);
+                    self.config.loss.value(pred, yv)
+                };
                 val_gauge.set(val);
                 history.val_loss.push(val);
                 if let Some(patience) = self.config.early_stop_patience {
@@ -381,6 +392,210 @@ mod tests {
         // gauges: the last written loss is finite and positive.
         let loss = obs::global().gauge("train.loss").get();
         assert!(loss.is_finite() && loss > 0.0, "train.loss gauge = {loss}");
+    }
+
+    #[test]
+    fn fit_leaves_no_cached_state_and_serializes_cleanly() {
+        let (x, y) = dataset(120, 12);
+        let mut t = Trainer::new(
+            paper_net(12),
+            TrainConfig {
+                epochs: 3,
+                ..TrainConfig::default()
+            },
+        );
+        t.fit(&x, &y).unwrap();
+        let net = t.into_network();
+        assert!(
+            !net.has_cached_state(),
+            "fit must clear caches on completion"
+        );
+        // A trained network round-trips through JSON without stale forward
+        // state and predicts identically afterwards.
+        let json = net.to_json();
+        let back = Network::from_json(&json).unwrap();
+        assert!(!back.has_cached_state());
+        let probe = Matrix::row_vector(&[0.3, 0.6, 0.9]);
+        assert_eq!(net.predict(&probe), back.predict(&probe));
+    }
+
+    #[test]
+    fn early_stop_triggers_at_the_epoch_the_patience_rule_dictates() {
+        let (x, y) = dataset(300, 13);
+        let patience = 3usize;
+        let mut t = Trainer::new(
+            paper_net(13),
+            TrainConfig {
+                epochs: 200,
+                early_stop_patience: Some(patience),
+                ..TrainConfig::default()
+            },
+        );
+        let h = t.fit(&x, &y).unwrap();
+        let executed = h.val_loss.len();
+        assert!(executed < 200, "expected an early stop, ran {executed}");
+        // Re-derive the stop epoch from the recorded curve with the same
+        // strict-improvement rule (val < best - 1e-12) and check they agree.
+        let mut best = f64::INFINITY;
+        let mut since_best = 0usize;
+        let mut stop_after = None;
+        for (e, &v) in h.val_loss.iter().enumerate() {
+            if v < best - 1e-12 {
+                best = v;
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if since_best >= patience {
+                    stop_after = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            stop_after,
+            Some(executed - 1),
+            "fit stopped at a different epoch than its recorded curve implies"
+        );
+    }
+
+    #[test]
+    fn best_epoch_agrees_with_recorded_val_loss_minimum() {
+        let (x, y) = dataset(250, 14);
+        let mut t = Trainer::new(
+            paper_net(14),
+            TrainConfig {
+                epochs: 40,
+                early_stop_patience: Some(5),
+                ..TrainConfig::default()
+            },
+        );
+        let h = t.fit(&x, &y).unwrap();
+        let manual = h
+            .val_loss
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i);
+        assert_eq!(h.best_epoch(), manual);
+        assert!(h.best_epoch().is_some());
+    }
+
+    #[test]
+    fn patience_without_validation_split_is_deterministically_ignored() {
+        let (x, y) = dataset(100, 15);
+        let cfg = TrainConfig {
+            epochs: 6,
+            validation_split: 0.0,
+            early_stop_patience: Some(1),
+            ..TrainConfig::default()
+        };
+        // Patience needs a validation signal; without one it is ignored and
+        // the full epoch budget runs — identically on every invocation.
+        let mut t1 = Trainer::new(paper_net(15), cfg);
+        let mut t2 = Trainer::new(paper_net(15), cfg);
+        let h1 = t1.fit(&x, &y).unwrap();
+        let h2 = t2.fit(&x, &y).unwrap();
+        assert_eq!(h1.train_loss.len(), 6);
+        assert!(h1.val_loss.is_empty());
+        assert_eq!(h1.train_loss, h2.train_loss);
+    }
+
+    mod parity {
+        use super::*;
+        use crate::reference;
+        use proptest::prelude::*;
+
+        /// The workspace-path `fit` must be *bitwise* identical to the
+        /// original allocating implementation: same loss curves, same final
+        /// weights, same predictions — for any seed, batch size and split.
+        fn assert_fit_parity(cfg: TrainConfig, net_seed: u64, data_seed: u64, rows: usize) {
+            let (x, y) = dataset(rows, data_seed);
+            let base = paper_tiny(net_seed);
+            let mut net_ref = base.clone();
+            let h_ref = reference::fit(&mut net_ref, &cfg, &x, &y).unwrap();
+            let mut t = Trainer::new(base, cfg);
+            let h_ws = t.fit(&x, &y).unwrap();
+            let net_ws = t.into_network();
+
+            assert_eq!(h_ref.train_loss, h_ws.train_loss, "train loss diverged");
+            assert_eq!(h_ref.val_loss, h_ws.val_loss, "val loss diverged");
+            for (lr, lw) in net_ref.layers().iter().zip(net_ws.layers()) {
+                assert_eq!(
+                    lr.weights().as_slice(),
+                    lw.weights().as_slice(),
+                    "weights diverged"
+                );
+                assert_eq!(lr.bias().as_slice(), lw.bias().as_slice(), "bias diverged");
+            }
+            let probe = Matrix::row_vector(&[0.1, 0.5, 0.9]);
+            assert_eq!(
+                reference::predict(&net_ref, &probe).as_slice(),
+                net_ws.predict(&probe).as_slice(),
+                "predictions diverged"
+            );
+        }
+
+        fn paper_tiny(seed: u64) -> Network {
+            NetworkBuilder::new(3)
+                .hidden(16, Activation::Selu)
+                .hidden(16, Activation::Selu)
+                .output(1, Activation::Linear)
+                .seed(seed)
+                .build()
+        }
+
+        #[test]
+        fn fit_matches_reference_with_paper_defaults() {
+            assert_fit_parity(
+                TrainConfig {
+                    epochs: 4,
+                    ..TrainConfig::default()
+                },
+                1,
+                2,
+                200,
+            );
+        }
+
+        #[test]
+        fn fit_matches_reference_with_early_stopping() {
+            assert_fit_parity(
+                TrainConfig {
+                    epochs: 30,
+                    early_stop_patience: Some(2),
+                    ..TrainConfig::default()
+                },
+                3,
+                4,
+                150,
+            );
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+            #[test]
+            fn fit_matches_reference_bitwise(
+                net_seed in 0u64..50,
+                data_seed in 0u64..50,
+                batch_size in 1usize..96,
+                rows in 20usize..160,
+                split_idx in 0usize..3,
+                epochs in 1usize..4,
+            ) {
+                assert_fit_parity(
+                    TrainConfig {
+                        epochs,
+                        batch_size,
+                        validation_split: [0.0, 0.2, 0.5][split_idx],
+                        shuffle_seed: data_seed ^ 0x5eed,
+                        ..TrainConfig::default()
+                    },
+                    net_seed,
+                    data_seed,
+                    rows,
+                );
+            }
+        }
     }
 
     #[test]

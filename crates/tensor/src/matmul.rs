@@ -1,21 +1,34 @@
-//! Matrix multiplication kernels: naive, cache-blocked, and parallel.
+//! Matrix multiplication kernels: naive, register-strip serial, and
+//! parallel.
 //!
-//! The blocked kernel tiles the `k` and `j` loops so the working set of the
-//! inner loops stays in cache; the parallel kernel splits output rows across
-//! the rayon thread pool. Both produce bitwise-identical results to the
-//! naive kernel (same accumulation order within a row), which the property
-//! tests rely on.
+//! The serial kernel accumulates a 16-wide strip of each output row in
+//! registers across the whole shared dimension, so the output is written
+//! once instead of read-modified-written per term; the parallel kernel
+//! splits output rows across the rayon thread pool. Both produce
+//! bitwise-identical results to the naive kernel (same accumulation order
+//! per element), which the property tests rely on.
+//!
+//! Every product also has a `_into` variant that writes into a
+//! caller-provided output buffer instead of allocating — the steady-state
+//! training and inference hot paths use only those. Two transpose-free
+//! kernels, [`matmul_at_b_into`] (`Aᵀ·B`) and [`matmul_a_bt_into`]
+//! (`A·Bᵀ`), read their operands in stored row-major layout so backprop
+//! never materializes a transposed matrix. All kernels accumulate each
+//! output element over the shared dimension in ascending order, so every
+//! entry point is bitwise-identical to the naive oracle.
 
 use crate::error::{ShapeError, TensorResult};
 use crate::matrix::Matrix;
 use rayon::prelude::*;
 
-/// Tile edge (elements) used by the blocked kernels. 64 doubles = 512 B per
-/// row tile, which keeps a `BLOCK x BLOCK` tile comfortably inside L1.
-const BLOCK: usize = 64;
-
 /// Minimum number of output rows before [`matmul`] bothers going parallel.
 const PAR_ROW_THRESHOLD: usize = 64;
+
+/// Minimum multiply-add count before the `_into` kernels go parallel. The
+/// rayon shim spawns scoped threads per call, so parallelism has to
+/// amortize thread startup (tens of microseconds), not just row count —
+/// a 64-row layer matmul is far cheaper serial.
+const PAR_WORK_THRESHOLD: usize = 1 << 23;
 
 /// Computes `a @ b`, choosing the parallel kernel for large outputs and the
 /// blocked serial kernel otherwise.
@@ -47,7 +60,7 @@ pub fn matmul_naive(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
     Ok(out)
 }
 
-/// Cache-blocked serial implementation.
+/// Serial register-strip implementation (kept under its historical name).
 pub fn matmul_blocked(a: &Matrix, b: &Matrix) -> TensorResult<Matrix> {
     check(a, b)?;
     Ok(matmul_blocked_unchecked(a, b))
@@ -67,6 +80,158 @@ pub fn matvec(a: &Matrix, x: &[f64]) -> TensorResult<Vec<f64>> {
     Ok(a.rows_iter()
         .map(|row| row.iter().zip(x).map(|(&p, &q)| p * q).sum())
         .collect())
+}
+
+/// Computes `a @ b` into `out` without allocating. `out` must already have
+/// shape `(a.rows, b.cols)`; its prior contents are overwritten.
+///
+/// Bitwise-identical to [`matmul`] / [`matmul_naive`]: every output element
+/// accumulates over the shared dimension in ascending order starting from
+/// `0.0`. Goes parallel only when the multiply-add count amortizes thread
+/// startup, so training-sized products stay serial and allocation-free.
+pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> TensorResult<()> {
+    check(a, b)?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    if out.shape() != (m, n) {
+        return Err(ShapeError::new("matmul_into(out)", (m, n), out.shape()));
+    }
+    out.as_mut_slice().fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return Ok(());
+    }
+    if m >= PAR_ROW_THRESHOLD && m * k * n >= PAR_WORK_THRESHOLD {
+        let band = (m / rayon::current_num_threads().max(1)).max(1);
+        out.as_mut_slice()
+            .par_chunks_mut(band * n)
+            .enumerate()
+            .for_each(|(chunk_idx, out_chunk)| {
+                let i0 = chunk_idx * band;
+                let rows_here = out_chunk.len() / n;
+                block_rows_into(a, b, out_chunk, i0, rows_here, k, n);
+            });
+    } else {
+        block_rows_into(a, b, out.as_mut_slice(), 0, m, k, n);
+    }
+    Ok(())
+}
+
+/// Computes `Aᵀ @ B` into `out` without materializing the transpose: both
+/// operands are read in their stored row-major layout. `a` is `(r, m)`,
+/// `b` is `(r, n)`, `out` must be `(m, n)`.
+///
+/// The kernel walks `p` (the shared leading dimension) in the outer loop
+/// and accumulates the rank-1 update `a[p]ᵀ · b[p]`, so each output element
+/// sums over `p` in ascending order — bitwise-identical to
+/// `matmul(&a.transpose(), &b)`.
+pub fn matmul_at_b_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> TensorResult<()> {
+    if a.rows() != b.rows() {
+        return Err(ShapeError::new("matmul_at_b", a.shape(), b.shape()));
+    }
+    let (r, m) = a.shape();
+    let n = b.cols();
+    if out.shape() != (m, n) {
+        return Err(ShapeError::new("matmul_at_b(out)", (m, n), out.shape()));
+    }
+    out.as_mut_slice().fill(0.0);
+    if m == 0 || n == 0 || r == 0 {
+        return Ok(());
+    }
+    if m >= PAR_ROW_THRESHOLD && m * r * n >= PAR_WORK_THRESHOLD {
+        let band = (m / rayon::current_num_threads().max(1)).max(1);
+        out.as_mut_slice()
+            .par_chunks_mut(band * n)
+            .enumerate()
+            .for_each(|(chunk_idx, out_chunk)| {
+                let i0 = chunk_idx * band;
+                let rows_here = out_chunk.len() / n;
+                at_b_rows_into(a, b, out_chunk, i0, rows_here, r, n);
+            });
+    } else {
+        at_b_rows_into(a, b, out.as_mut_slice(), 0, m, r, n);
+    }
+    Ok(())
+}
+
+/// Computes `A @ Bᵀ` into `out` without materializing the transpose: both
+/// operands are read in their stored row-major layout. `a` is `(m, k)`,
+/// `b` is `(n, k)`, `out` must be `(m, n)`.
+///
+/// Each output element is the dot product of two stored rows, accumulated
+/// over `k` in ascending order — bitwise-identical to
+/// `matmul(&a, &b.transpose())`.
+pub fn matmul_a_bt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> TensorResult<()> {
+    if a.cols() != b.cols() {
+        return Err(ShapeError::new("matmul_a_bt", a.shape(), b.shape()));
+    }
+    let m = a.rows();
+    let n = b.rows();
+    if out.shape() != (m, n) {
+        return Err(ShapeError::new("matmul_a_bt(out)", (m, n), out.shape()));
+    }
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    let k = a.cols();
+    let ncols = n;
+    if m >= PAR_ROW_THRESHOLD && m * k * n >= PAR_WORK_THRESHOLD {
+        let band = (m / rayon::current_num_threads().max(1)).max(1);
+        out.as_mut_slice()
+            .par_chunks_mut(band * ncols)
+            .enumerate()
+            .for_each(|(chunk_idx, out_chunk)| {
+                let i0 = chunk_idx * band;
+                let rows_here = out_chunk.len() / ncols;
+                a_bt_rows_into(a, b, out_chunk, i0, rows_here, ncols);
+            });
+    } else {
+        a_bt_rows_into(a, b, out.as_mut_slice(), 0, m, ncols);
+    }
+    Ok(())
+}
+
+/// Computes `a @ x` into `out` without allocating; `out.len()` must equal
+/// `a.rows()`. Same per-row accumulation order as [`matvec`].
+pub fn matvec_into(a: &Matrix, x: &[f64], out: &mut [f64]) -> TensorResult<()> {
+    if a.cols() != x.len() {
+        return Err(ShapeError::new("matvec", a.shape(), (x.len(), 1)));
+    }
+    if out.len() != a.rows() {
+        return Err(ShapeError::new(
+            "matvec(out)",
+            (a.rows(), 1),
+            (out.len(), 1),
+        ));
+    }
+    for (o, row) in out.iter_mut().zip(a.rows_iter()) {
+        *o = row.iter().zip(x).map(|(&p, &q)| p * q).sum();
+    }
+    Ok(())
+}
+
+/// Computes the row vector `xᵀ @ a` into `out` without allocating;
+/// `x.len()` must equal `a.rows()` and `out.len()` must equal `a.cols()`.
+///
+/// Accumulates over `a`'s rows in ascending order starting from `0.0`, so
+/// the result is bitwise-identical to `matmul(&Matrix::row_vector(x), &a)`.
+pub fn vecmat_into(x: &[f64], a: &Matrix, out: &mut [f64]) -> TensorResult<()> {
+    if x.len() != a.rows() {
+        return Err(ShapeError::new("vecmat", (1, x.len()), a.shape()));
+    }
+    if out.len() != a.cols() {
+        return Err(ShapeError::new(
+            "vecmat(out)",
+            (1, a.cols()),
+            (1, out.len()),
+        ));
+    }
+    out.fill(0.0);
+    for (&xp, row) in x.iter().zip(a.rows_iter()) {
+        for (o, &v) in out.iter_mut().zip(row) {
+            *o += xp * v;
+        }
+    }
+    Ok(())
 }
 
 fn check(a: &Matrix, b: &Matrix) -> TensorResult<()> {
@@ -104,8 +269,22 @@ fn matmul_parallel_unchecked(a: &Matrix, b: &Matrix) -> Matrix {
     out
 }
 
+/// Width of the register-accumulated output strip used by the serial
+/// kernels: sixteen doubles span four AVX registers (eight SSE2), wide
+/// enough to hide FP-add latency with independent accumulation chains
+/// while still fitting the register file (32 spills, measured). Keeping
+/// the strip in registers across the whole shared dimension removes the
+/// per-element load/store of the output that otherwise bottlenecks the
+/// store port.
+const STRIP: usize = 16;
+
 /// Computes rows `[i0, i0 + rows_here)` of `a @ b` into `out_chunk`
-/// (row-major, `rows_here * n` elements, pre-zeroed).
+/// (row-major, `rows_here * n` elements; fully overwritten).
+///
+/// Each output element starts from `0.0` and accumulates over `p` in
+/// ascending order — the register strip only changes *where* the running
+/// sum lives, not the order of additions, so results are bit-for-bit
+/// equal to the naive kernel.
 fn block_rows_into(
     a: &Matrix,
     b: &Matrix,
@@ -115,23 +294,175 @@ fn block_rows_into(
     k: usize,
     n: usize,
 ) {
-    for pb in (0..k).step_by(BLOCK) {
-        let pend = (pb + BLOCK).min(k);
-        for jb in (0..n).step_by(BLOCK) {
-            let jend = (jb + BLOCK).min(n);
-            for local_i in 0..rows_here {
-                let arow = a.row(i0 + local_i);
-                let orow = &mut out_chunk[local_i * n..(local_i + 1) * n];
-                for (p, &aip) in arow.iter().enumerate().take(pend).skip(pb) {
-                    if aip == 0.0 {
-                        continue;
-                    }
-                    let brow = b.row(p);
-                    for j in jb..jend {
-                        orow[j] += aip * brow[j];
-                    }
+    for local_i in 0..rows_here {
+        let arow = a.row(i0 + local_i);
+        debug_assert_eq!(arow.len(), k);
+        let orow = &mut out_chunk[local_i * n..(local_i + 1) * n];
+        let mut j = 0;
+        while j + STRIP <= n {
+            let mut acc = [0.0f64; STRIP];
+            // No zero-skip: inputs are assumed dense (activations and
+            // weights almost never contain exact zeros), so the branch
+            // would only add a mispredict per element.
+            for (p, &aip) in arow.iter().enumerate() {
+                let brow = &b.row(p)[j..j + STRIP];
+                for (acw, &bv) in acc.iter_mut().zip(brow) {
+                    *acw += aip * bv;
                 }
             }
+            orow[j..j + STRIP].copy_from_slice(&acc);
+            j += STRIP;
+        }
+        for (jj, o) in orow.iter_mut().enumerate().skip(j) {
+            let mut s = 0.0f64;
+            for (p, &aip) in arow.iter().enumerate() {
+                s += aip * b.row(p)[jj];
+            }
+            *o = s;
+        }
+    }
+}
+
+/// Computes rows `[i0, i0 + rows_here)` of `aᵀ @ b` into `out_chunk`
+/// (row-major, `rows_here * n` elements; fully overwritten). `a` is
+/// `(r, m)`, `b` is `(r, n)`; output row `i` of the chunk is column
+/// `i0 + i` of `a` dotted against `b`, accumulated over `p` in ascending
+/// order (register strip as in [`block_rows_into`], same bit-exactness
+/// argument).
+fn at_b_rows_into(
+    a: &Matrix,
+    b: &Matrix,
+    out_chunk: &mut [f64],
+    i0: usize,
+    rows_here: usize,
+    r: usize,
+    n: usize,
+) {
+    for local_i in 0..rows_here {
+        let col = i0 + local_i;
+        let orow = &mut out_chunk[local_i * n..(local_i + 1) * n];
+        let mut j = 0;
+        while j + STRIP <= n {
+            let mut acc = [0.0f64; STRIP];
+            for p in 0..r {
+                let api = a.row(p)[col];
+                let brow = &b.row(p)[j..j + STRIP];
+                for (acw, &bv) in acc.iter_mut().zip(brow) {
+                    *acw += api * bv;
+                }
+            }
+            orow[j..j + STRIP].copy_from_slice(&acc);
+            j += STRIP;
+        }
+        for (jj, o) in orow.iter_mut().enumerate().skip(j) {
+            let mut s = 0.0f64;
+            for p in 0..r {
+                s += a.row(p)[col] * b.row(p)[jj];
+            }
+            *o = s;
+        }
+    }
+}
+
+/// Computes rows `[i0, i0 + rows_here)` of `a @ bᵀ` into `out_chunk`
+/// (row-major, `rows_here * n` elements; fully overwritten). `a` is
+/// `(m, k)`, `b` is `(n, k)`; each output element is a row-row dot
+/// product accumulated over `k` in ascending order.
+///
+/// A 2×4 block of output elements (two `a` rows × four `b` rows) is
+/// computed concurrently: the eight independent accumulation chains hide
+/// the FP-add latency of a single serial dot product, and each loaded
+/// operand value feeds several chains. Each element's own chain still
+/// sums over `k` in ascending order, so the result is bit-for-bit
+/// unchanged.
+fn a_bt_rows_into(
+    a: &Matrix,
+    b: &Matrix,
+    out_chunk: &mut [f64],
+    i0: usize,
+    rows_here: usize,
+    n: usize,
+) {
+    let mut local_i = 0;
+    while local_i + 2 <= rows_here {
+        let arow0 = a.row(i0 + local_i);
+        let arow1 = a.row(i0 + local_i + 1);
+        let k = arow0.len();
+        let (orow0, rest) = out_chunk[local_i * n..(local_i + 2) * n].split_at_mut(n);
+        let orow1 = rest;
+        let mut j = 0;
+        while j + 8 <= n {
+            let b0 = &b.row(j)[..k];
+            let b1 = &b.row(j + 1)[..k];
+            let b2 = &b.row(j + 2)[..k];
+            let b3 = &b.row(j + 3)[..k];
+            let b4 = &b.row(j + 4)[..k];
+            let b5 = &b.row(j + 5)[..k];
+            let b6 = &b.row(j + 6)[..k];
+            let b7 = &b.row(j + 7)[..k];
+            let mut s = [0.0f64; 16];
+            for idx in 0..k {
+                let a0 = arow0[idx];
+                let a1 = arow1[idx];
+                s[0] += a0 * b0[idx];
+                s[1] += a0 * b1[idx];
+                s[2] += a0 * b2[idx];
+                s[3] += a0 * b3[idx];
+                s[4] += a0 * b4[idx];
+                s[5] += a0 * b5[idx];
+                s[6] += a0 * b6[idx];
+                s[7] += a0 * b7[idx];
+                s[8] += a1 * b0[idx];
+                s[9] += a1 * b1[idx];
+                s[10] += a1 * b2[idx];
+                s[11] += a1 * b3[idx];
+                s[12] += a1 * b4[idx];
+                s[13] += a1 * b5[idx];
+                s[14] += a1 * b6[idx];
+                s[15] += a1 * b7[idx];
+            }
+            orow0[j..j + 8].copy_from_slice(&s[..8]);
+            orow1[j..j + 8].copy_from_slice(&s[8..]);
+            j += 8;
+        }
+        for jj in j..n {
+            let brow = &b.row(jj)[..k];
+            let (mut s0, mut s1) = (0.0f64, 0.0f64);
+            for idx in 0..k {
+                s0 += arow0[idx] * brow[idx];
+                s1 += arow1[idx] * brow[idx];
+            }
+            orow0[jj] = s0;
+            orow1[jj] = s1;
+        }
+        local_i += 2;
+    }
+    // Odd trailing row: plain 4-column interleave.
+    if local_i < rows_here {
+        let arow = a.row(i0 + local_i);
+        let k = arow.len();
+        let orow = &mut out_chunk[local_i * n..(local_i + 1) * n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b.row(j)[..k];
+            let b1 = &b.row(j + 1)[..k];
+            let b2 = &b.row(j + 2)[..k];
+            let b3 = &b.row(j + 3)[..k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for (idx, &av) in arow.iter().enumerate() {
+                s0 += av * b0[idx];
+                s1 += av * b1[idx];
+                s2 += av * b2[idx];
+                s3 += av * b3[idx];
+            }
+            orow[j] = s0;
+            orow[j + 1] = s1;
+            orow[j + 2] = s2;
+            orow[j + 3] = s3;
+            j += 4;
+        }
+        for (jj, o) in orow.iter_mut().enumerate().skip(j) {
+            *o = arow.iter().zip(b.row(jj)).map(|(&p, &q)| p * q).sum();
         }
     }
 }
@@ -214,6 +545,55 @@ mod tests {
         assert_eq!(c.shape(), (0, 2));
     }
 
+    #[test]
+    fn matmul_into_matches_matmul_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(m_, k_, n_) in &[(1, 1, 1), (3, 5, 7), (64, 3, 64), (130, 64, 65)] {
+            let a = init::uniform(m_, k_, -1.0, 1.0, &mut rng);
+            let b = init::uniform(k_, n_, -1.0, 1.0, &mut rng);
+            let expect = matmul(&a, &b).unwrap();
+            let mut out = Matrix::full(m_, n_, f64::NAN);
+            matmul_into(&a, &b, &mut out).unwrap();
+            assert_eq!(out.as_slice(), expect.as_slice());
+        }
+    }
+
+    #[test]
+    fn into_kernels_reject_bad_out_shape() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut bad = Matrix::zeros(2, 3);
+        assert!(matmul_into(&a, &b, &mut bad).is_err());
+        let at = Matrix::zeros(3, 2);
+        assert!(matmul_at_b_into(&at, &b, &mut bad).is_err());
+        let bt = Matrix::zeros(4, 3);
+        assert!(matmul_a_bt_into(&a, &bt, &mut bad).is_err());
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = [1.0, 0.5, 2.0];
+        let mut out = [f64::NAN; 2];
+        matvec_into(&a, &x, &mut out).unwrap();
+        assert_eq!(out.to_vec(), matvec(&a, &x).unwrap());
+        assert!(matvec_into(&a, &x, &mut [0.0; 3]).is_err());
+        assert!(matvec_into(&a, &[1.0], &mut out).is_err());
+    }
+
+    #[test]
+    fn vecmat_into_matches_row_vector_matmul() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = init::uniform(5, 4, -1.0, 1.0, &mut rng);
+        let x = [0.3, -1.2, 2.5, 0.0, 7.75];
+        let mut out = [f64::NAN; 4];
+        vecmat_into(&x, &a, &mut out).unwrap();
+        let expect = matmul(&Matrix::row_vector(&x), &a).unwrap();
+        assert_eq!(&out[..], expect.as_slice());
+        assert!(vecmat_into(&x[..3], &a, &mut out).is_err());
+        assert!(vecmat_into(&x, &a, &mut [0.0; 3]).is_err());
+    }
+
     mod props {
         use super::*;
         use proptest::prelude::*;
@@ -251,6 +631,49 @@ mod tests {
                 for (p, q) in lhs.as_slice().iter().zip(rhs.as_slice()) {
                     prop_assert!((p - q).abs() < 1e-8);
                 }
+            }
+
+            #[test]
+            fn at_b_into_equals_naive_oracle(
+                (r_, m_, n_) in (1usize..20, 1usize..20, 1usize..20),
+                seed in 0u64..1000,
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let a = init::uniform(r_, m_, -5.0, 5.0, &mut rng);
+                let b = init::uniform(r_, n_, -5.0, 5.0, &mut rng);
+                let oracle = matmul_naive(&a.transpose(), &b).unwrap();
+                let mut out = Matrix::full(m_, n_, f64::NAN);
+                matmul_at_b_into(&a, &b, &mut out).unwrap();
+                // Bitwise: both accumulate over the shared dim in ascending order.
+                prop_assert_eq!(out.as_slice(), oracle.as_slice());
+            }
+
+            #[test]
+            fn a_bt_into_equals_naive_oracle(
+                (m_, k_, n_) in (1usize..20, 1usize..20, 1usize..20),
+                seed in 0u64..1000,
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let a = init::uniform(m_, k_, -5.0, 5.0, &mut rng);
+                let b = init::uniform(n_, k_, -5.0, 5.0, &mut rng);
+                let oracle = matmul_naive(&a, &b.transpose()).unwrap();
+                let mut out = Matrix::full(m_, n_, f64::NAN);
+                matmul_a_bt_into(&a, &b, &mut out).unwrap();
+                prop_assert_eq!(out.as_slice(), oracle.as_slice());
+            }
+
+            #[test]
+            fn matmul_into_equals_naive_oracle(
+                (m_, k_, n_) in (1usize..20, 1usize..20, 1usize..20),
+                seed in 0u64..1000,
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let a = init::uniform(m_, k_, -5.0, 5.0, &mut rng);
+                let b = init::uniform(k_, n_, -5.0, 5.0, &mut rng);
+                let oracle = matmul_naive(&a, &b).unwrap();
+                let mut out = Matrix::full(m_, n_, f64::NAN);
+                matmul_into(&a, &b, &mut out).unwrap();
+                prop_assert_eq!(out.as_slice(), oracle.as_slice());
             }
 
             #[test]

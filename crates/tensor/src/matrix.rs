@@ -249,6 +249,34 @@ impl Matrix {
     pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
         self.data.chunks_exact(self.cols.max(1))
     }
+
+    /// Copies the contents of `src` into `self` without reallocating.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(
+            self.shape(),
+            src.shape(),
+            "copy_from: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            src.shape()
+        );
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Reshapes the matrix to `rows x cols`, growing the backing storage
+    /// only if the new element count exceeds its capacity. Contents after
+    /// the call are unspecified; callers are expected to overwrite them.
+    ///
+    /// This is the workhorse of buffer reuse: shrinking or same-size
+    /// resizes never touch the allocator, so a buffer sized for the
+    /// largest batch can be reused for every smaller one.
+    pub fn resize_to(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
 }
 
 impl Index<(usize, usize)> for Matrix {
@@ -362,6 +390,41 @@ mod tests {
         let m = Matrix::from_vec(1, 3, vec![1.0, -2.0, 3.0]).unwrap();
         let abs = m.map(f64::abs);
         assert_eq!(abs.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn copy_from_overwrites_in_place() {
+        let src = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut dst = Matrix::full(2, 2, 9.0);
+        let ptr = dst.as_slice().as_ptr();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.as_slice().as_ptr(), ptr);
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_from")]
+    fn copy_from_panics_on_shape_mismatch() {
+        let src = Matrix::zeros(2, 3);
+        let mut dst = Matrix::zeros(3, 2);
+        dst.copy_from(&src);
+    }
+
+    #[test]
+    fn resize_to_reuses_capacity_when_shrinking() {
+        let mut m = Matrix::zeros(8, 4);
+        let ptr = m.as_slice().as_ptr();
+        m.resize_to(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert_eq!(m.as_slice().as_ptr(), ptr, "shrink must not reallocate");
+        m.resize_to(8, 4);
+        assert_eq!(m.shape(), (8, 4));
+        assert_eq!(
+            m.as_slice().as_ptr(),
+            ptr,
+            "regrow within capacity must not reallocate"
+        );
     }
 
     #[test]

@@ -75,6 +75,65 @@ pub fn sum_rows(a: &Matrix) -> Matrix {
     out
 }
 
+/// Adds a `1 x cols` row-vector `bias` to every row of `a` in place.
+/// Allocation-free sibling of [`add_row_broadcast`].
+pub fn add_row_broadcast_into(a: &mut Matrix, bias: &Matrix) -> TensorResult<()> {
+    if bias.rows() != 1 || bias.cols() != a.cols() {
+        return Err(ShapeError::new(
+            "add_row_broadcast",
+            a.shape(),
+            bias.shape(),
+        ));
+    }
+    let b = bias.as_slice();
+    for r in 0..a.rows() {
+        for (x, &bv) in a.row_mut(r).iter_mut().zip(b) {
+            *x += bv;
+        }
+    }
+    Ok(())
+}
+
+/// Multiplies every element of `a` by `s` in place. Bitwise-identical to
+/// [`scale`] (same per-element `x * s`).
+pub fn scale_in_place(a: &mut Matrix, s: f64) {
+    for x in a.as_mut_slice() {
+        *x *= s;
+    }
+}
+
+/// Sums the rows of `a` into `out`, which must be `1 x a.cols()`.
+/// Allocation-free sibling of [`sum_rows`]; accumulates rows top-to-bottom
+/// from `0.0`, so results are bitwise-identical.
+pub fn sum_rows_into(a: &Matrix, out: &mut Matrix) -> TensorResult<()> {
+    if out.rows() != 1 || out.cols() != a.cols() {
+        return Err(ShapeError::new("sum_rows_into", (1, a.cols()), out.shape()));
+    }
+    out.as_mut_slice().fill(0.0);
+    for r in 0..a.rows() {
+        let row = a.row(r);
+        let acc = out.row_mut(0);
+        for (a_c, &r_c) in acc.iter_mut().zip(row) {
+            *a_c += r_c;
+        }
+    }
+    Ok(())
+}
+
+/// Copies the rows of `src` selected by `indices` (in order, duplicates
+/// allowed) into `out`, resizing it to `indices.len() x src.cols()`.
+/// Allocation-free sibling of [`Matrix::select_rows`] once `out` has
+/// capacity for the largest gather.
+///
+/// # Panics
+/// Panics if any index is out of bounds (same contract as `select_rows`).
+pub fn gather_rows_into(src: &Matrix, indices: &[usize], out: &mut Matrix) {
+    out.resize_to(indices.len(), src.cols());
+    for (slot, &i) in indices.iter().enumerate() {
+        out.row_mut(slot).copy_from_slice(src.row(i));
+    }
+}
+
 fn zip_with(
     op: &'static str,
     a: &Matrix,
@@ -163,5 +222,58 @@ mod tests {
     fn sum_rows_collapses() {
         let a = m(3, 2, &[1.0, 10.0, 2.0, 20.0, 3.0, 30.0]);
         assert_eq!(sum_rows(&a).as_slice(), &[6.0, 60.0]);
+    }
+
+    #[test]
+    fn broadcast_into_matches_allocating() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(1, 2, &[10.0, 20.0]);
+        let expect = add_row_broadcast(&a, &b).unwrap();
+        let mut got = a.clone();
+        add_row_broadcast_into(&mut got, &b).unwrap();
+        assert_eq!(got, expect);
+        let mut bad = Matrix::zeros(2, 3);
+        assert!(add_row_broadcast_into(&mut bad, &b).is_err());
+    }
+
+    #[test]
+    fn scale_in_place_matches_scale() {
+        let a = m(1, 3, &[1.5, -2.0, 0.25]);
+        let expect = scale(&a, -3.0);
+        let mut got = a.clone();
+        scale_in_place(&mut got, -3.0);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sum_rows_into_matches_sum_rows() {
+        let a = m(3, 2, &[1.0, 10.0, 2.0, 20.0, 3.0, 30.0]);
+        let mut out = Matrix::full(1, 2, f64::NAN);
+        sum_rows_into(&a, &mut out).unwrap();
+        assert_eq!(out, sum_rows(&a));
+        let mut bad = Matrix::zeros(2, 2);
+        assert!(sum_rows_into(&a, &mut bad).is_err());
+    }
+
+    #[test]
+    fn gather_rows_into_matches_select_rows() {
+        let src = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut out = Matrix::zeros(8, 2); // oversized: gather shrinks it
+        let ptr = out.as_slice().as_ptr();
+        gather_rows_into(&src, &[2, 0, 2], &mut out);
+        assert_eq!(out, src.select_rows(&[2, 0, 2]));
+        assert_eq!(
+            out.as_slice().as_ptr(),
+            ptr,
+            "gather within capacity must not reallocate"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_rows_into_panics_on_oob() {
+        let src = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let mut out = Matrix::zeros(1, 2);
+        gather_rows_into(&src, &[5], &mut out);
     }
 }

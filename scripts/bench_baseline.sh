@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs the nn-facing criterion benches (nn_training + prediction) and
+# collects per-benchmark mean ns/iter into a JSON baseline file.
+#
+# Usage:
+#   scripts/bench_baseline.sh            # full run, writes BENCH_nn.json
+#   BENCH_SMOKE=1 scripts/bench_baseline.sh
+#       quick plumbing check: shrinks workloads (BENCH_SMOKE) and sample
+#       counts (CRITERION_QUICK), writes to a temp file unless BENCH_OUT
+#       is set — smoke numbers are not publishable.
+#   BENCH_OUT=path scripts/bench_baseline.sh   # override output path
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+smoke="${BENCH_SMOKE:-0}"
+if [[ "$smoke" == "1" ]]; then
+    export BENCH_SMOKE=1
+    export CRITERION_QUICK=1
+    out="${BENCH_OUT:-$(mktemp -t bench_nn_smoke.XXXXXX.json)}"
+else
+    out="${BENCH_OUT:-BENCH_nn.json}"
+fi
+
+jsonl="$(mktemp)"
+trap 'rm -f "$jsonl"' EXIT
+export CRITERION_JSON="$jsonl"
+
+echo "==> cargo bench -p bench (nn_training, prediction)"
+cargo bench --offline -p bench --bench nn_training
+cargo bench --offline -p bench --bench prediction
+
+if [[ ! -s "$jsonl" ]]; then
+    echo "error: no benchmark records were written to $jsonl" >&2
+    exit 1
+fi
+
+# Fold the per-benchmark JSONL records into one {"name": mean_ns} object.
+awk '
+BEGIN { print "{"; sep = "" }
+/"name":/ {
+    name = $0; sub(/.*"name":"/, "", name); sub(/".*/, "", name)
+    mean = $0; sub(/.*"mean_ns":/, "", mean); sub(/[,}].*/, "", mean)
+    printf "%s  \"%s\": %s", sep, name, mean
+    sep = ",\n"
+}
+END { print "\n}" }
+' "$jsonl" > "$out"
+
+echo "==> wrote $out"
+cat "$out"

@@ -25,4 +25,8 @@ DVFS_LOG=error target/release/dvfs batch --models "$tmp/models.json" \
     --requests 64 --capacity 4 --metrics=json --metrics-out "$tmp/metrics.json" >/dev/null
 cargo run --release --offline -p obs --example validate_metrics -- "$tmp/metrics.json"
 
+echo "==> bench baseline smoke (BENCH_SMOKE=1)"
+BENCH_SMOKE=1 BENCH_OUT="$tmp/BENCH_nn.json" scripts/bench_baseline.sh >/dev/null
+test -s "$tmp/BENCH_nn.json"
+
 echo "==> all checks passed"
