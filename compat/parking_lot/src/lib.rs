@@ -1,9 +1,10 @@
 //! Hermetic stand-in for the `parking_lot` crate.
 //!
-//! Provides [`Mutex`] with parking_lot's signature — `lock()` returns
-//! the guard directly with no poisoning `Result` — implemented over
-//! `std::sync::Mutex`. A panic while a guard is held does not poison the
-//! lock for later users, matching parking_lot semantics.
+//! Provides [`Mutex`] and [`RwLock`] with parking_lot's signatures —
+//! `lock()`/`read()`/`write()` return the guard directly with no
+//! poisoning `Result` — implemented over their `std::sync` counterparts.
+//! A panic while a guard is held does not poison the lock for later
+//! users, matching parking_lot semantics.
 
 use std::sync::PoisonError;
 
@@ -44,6 +45,51 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A reader-writer lock whose `read()`/`write()` never fail.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared-access guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+
+/// Exclusive-access guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning its value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared access, blocking while a writer holds the lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive access, blocking until all guards are released.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +112,39 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn rwlock_read_write_round_trip() {
+        let l = RwLock::new(3u64);
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!((*r1, *r2), (3, 3));
+        }
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+        assert_eq!(l.into_inner(), 9);
+    }
+
+    #[test]
+    fn rwlock_get_mut_bypasses_locking() {
+        let mut l = RwLock::new(vec![1, 2]);
+        l.get_mut().push(3);
+        assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn panicking_writer_does_not_poison_rwlock() {
+        let l = std::sync::Arc::new(RwLock::new(1u64));
+        let l2 = l.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*l.read(), 1);
+        *l.write() = 2;
+        assert_eq!(*l.read(), 2);
     }
 }

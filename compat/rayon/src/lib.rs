@@ -22,6 +22,30 @@ pub fn current_num_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Runs `oper_a` and `oper_b`, potentially in parallel, and returns both
+/// results. `oper_a` always runs on the calling thread (so thread-local
+/// state — e.g. tracing-span stacks — observed by `oper_a` matches a
+/// sequential call); `oper_b` runs on a scoped worker thread unless the
+/// machine reports a single CPU, in which case both run inline.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(oper_b);
+        let ra = oper_a();
+        (ra, hb.join().expect("rayon compat join worker panicked"))
+    })
+}
+
 /// Runs `f` over `items` on scoped threads, preserving order.
 fn pmap<T: Send, U: Send, F>(items: Vec<T>, f: F) -> Vec<U>
 where
@@ -279,6 +303,20 @@ mod tests {
             .flat_map_iter(|x| (0..x).map(move |y| x * 10 + y))
             .collect();
         assert_eq!(out, vec![10, 20, 21, 30, 31, 32]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = crate::join(|| 6 * 7, || "done".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "done");
+    }
+
+    #[test]
+    fn join_runs_oper_a_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        let (a_thread, _) = crate::join(|| std::thread::current().id(), || ());
+        assert_eq!(a_thread, caller);
     }
 
     #[test]

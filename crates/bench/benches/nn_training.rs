@@ -145,6 +145,17 @@ fn bench_epoch_cost(c: &mut Criterion) {
             trainer.fit(black_box(&x), black_box(&y)).unwrap()
         })
     });
+    // The same fit through the data-parallel engine at 4 explicit worker
+    // threads (8 shards). Output is bitwise identical to the serial run;
+    // the delta is pure engine speedup (or, on boxes with fewer cores,
+    // pure coordination overhead).
+    let par_cfg = TrainConfig { threads: 4, ..cfg };
+    group.bench_function("epoch_parallel", |b| {
+        b.iter(|| {
+            let mut trainer = Trainer::new(net.clone(), par_cfg);
+            trainer.fit(black_box(&x), black_box(&y)).unwrap()
+        })
+    });
     group.bench_function("epoch_reference", |b| {
         b.iter(|| {
             let mut n = net.clone();

@@ -1,13 +1,15 @@
 //! Criterion benches for the pipeline stages around the models: dataset
-//! assembly, KSG mutual information, optimal-frequency selection, and the
-//! simulated measurement sweep.
+//! assembly, KSG mutual information, optimal-frequency selection, the
+//! simulated measurement sweep, and the offline collection sweep (the
+//! campaign's workload × frequency × run profiling fan-out).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dvfs_core::dataset::Dataset;
 use dvfs_core::objective::{select_optimal, Objective};
 use featsel::ksg::KsgOptions;
-use gpu_model::{DeviceSpec, DvfsGrid, NoiseModel, SignatureBuilder};
+use gpu_model::{DeviceSpec, DvfsGrid, NoiseModel, PhasedWorkload, SignatureBuilder};
 use std::hint::black_box;
+use telemetry::{CollectionCampaign, GpuBackend, LaunchConfig, SimulatorBackend};
 
 fn bench_selection(c: &mut Criterion) {
     let freqs: Vec<f64> = (0..61).map(|i| 510.0 + 15.0 * i as f64).collect();
@@ -75,11 +77,48 @@ fn bench_dataset_build(c: &mut Criterion) {
     });
 }
 
+/// The offline phase's data-collection sweep: the paper's 21 training
+/// workloads profiled over the GA100 grid, three runs per point — the
+/// stage the concurrent campaign parallelizes across workloads. Smoke
+/// mode strides the grid to keep check.sh fast.
+fn bench_offline_sweep(c: &mut Criterion) {
+    let smoke = std::env::var("BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let backend = SimulatorBackend::ga100();
+    let spec = backend.spec().clone();
+    let workloads: Vec<PhasedWorkload> = kernels::suite::training_suite()
+        .iter()
+        .map(|k| k.workload(&spec))
+        .collect();
+    let stride = if smoke { 8 } else { 1 };
+    let freqs: Vec<f64> = backend.grid().used().into_iter().step_by(stride).collect();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("offline_sweep", |b| {
+        b.iter(|| {
+            let campaign = CollectionCampaign::new(
+                &backend,
+                LaunchConfig {
+                    frequencies: freqs.clone(),
+                    runs: 3,
+                    output: None,
+                    threads: 0,
+                },
+            );
+            campaign.collect(black_box(&workloads)).unwrap().len()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_selection,
     bench_mi,
     bench_measurement_sweep,
-    bench_dataset_build
+    bench_dataset_build,
+    bench_offline_sweep
 );
 criterion_main!(benches);

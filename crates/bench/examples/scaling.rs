@@ -1,0 +1,77 @@
+//! Parallel-scaling probe for the deterministic data-parallel training
+//! engine: fits the paper topology (3 -> 64 -> 64 -> 64 -> 1, SELU,
+//! RMSprop, batch 64) on 512 synthetic rows at 1/2/4/8 worker threads
+//! and prints min-of-3 wall times plus the speedup over the serial run.
+//! The final networks are asserted bitwise identical across all thread
+//! counts, so whatever the host, only speed may vary — never the model.
+//!
+//! ```bash
+//! cargo run --release -p bench --example scaling
+//! ```
+
+use nn::activation::Activation;
+use nn::network::{Network, NetworkBuilder};
+use nn::train::{TrainConfig, Trainer};
+use tensor::Matrix;
+
+fn main() {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+    let x = tensor::init::uniform(512, 3, 0.0, 1.0, &mut rng);
+    let y_vals: Vec<f64> = x
+        .rows_iter()
+        .map(|r| 0.5 * r[0] + r[1] * r[1] - 0.3 * r[2] + 0.1)
+        .collect();
+    let y = Matrix::col_vector(&y_vals);
+    let net: Network = NetworkBuilder::new(3)
+        .hidden(64, Activation::Selu)
+        .hidden(64, Activation::Selu)
+        .hidden(64, Activation::Selu)
+        .output(1, Activation::Linear)
+        .seed(7)
+        .build();
+    let cfg = TrainConfig {
+        epochs: 5,
+        ..TrainConfig::default()
+    };
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("host cores: {cores}");
+    println!("{:>7}  {:>10}  {:>8}", "threads", "min fit", "speedup");
+
+    let mut baseline = None;
+    let mut reference: Option<Network> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let run_cfg = TrainConfig { threads, ..cfg };
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..3 {
+            let mut trainer = Trainer::new(net.clone(), run_cfg);
+            let t0 = std::time::Instant::now();
+            trainer.fit(&x, &y).expect("synthetic dataset is valid");
+            best = best.min(t0.elapsed().as_secs_f64());
+            last = Some(trainer.into_network());
+        }
+        let fitted = last.expect("at least one attempt ran");
+        match &reference {
+            None => reference = Some(fitted),
+            Some(serial) => {
+                for (ls, lt) in serial.layers().iter().zip(fitted.layers()) {
+                    assert_eq!(
+                        ls.weights().as_slice(),
+                        lt.weights().as_slice(),
+                        "fit at {threads} threads diverged from serial"
+                    );
+                    assert_eq!(ls.bias().as_slice(), lt.bias().as_slice());
+                }
+            }
+        }
+        let base = *baseline.get_or_insert(best);
+        println!(
+            "{:>7}  {:>8.1}ms  {:>7.2}x",
+            threads,
+            best * 1e3,
+            base / best
+        );
+    }
+    println!("networks bitwise identical across all thread counts: yes");
+}

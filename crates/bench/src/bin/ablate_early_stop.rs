@@ -41,6 +41,7 @@ fn main() {
             validation_split: 0.2,
             shuffle_seed: 0xE5,
             early_stop_patience: Some(patience),
+            ..TrainConfig::default()
         };
         let mut trainer = Trainer::new(ModelConfig::paper_power().build_network(), cfg);
         let history = trainer

@@ -59,6 +59,7 @@ fn main() {
                 validation_split: 0.2,
                 shuffle_seed: 7,
                 early_stop_patience: None,
+                ..TrainConfig::default()
             },
         );
         let history = trainer.fit(&x, &y).expect("dataset is valid");

@@ -1,0 +1,95 @@
+//! Guard for the deterministic data-parallel training engine: at 4
+//! worker threads the whole-fit wall time must beat the serial workspace
+//! path by ≥1.8× (min-to-min over several attempts, the same statistic
+//! `BENCH_nn.json` records).
+//!
+//! The guard only engages on hosts with ≥4 available cores — on smaller
+//! boxes (such as single-core CI containers) the parallel engine can
+//! only add coordination overhead, so the test logs and exits. Either
+//! way it asserts the two paths produce bitwise-identical networks, so
+//! the speedup never comes at the price of reproducibility.
+
+use nn::activation::Activation;
+use nn::network::{Network, NetworkBuilder};
+use nn::train::{TrainConfig, Trainer};
+use tensor::Matrix;
+
+fn dataset(n: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let x = tensor::init::uniform(n, 3, 0.0, 1.0, &mut rng);
+    let y_vals: Vec<f64> = x
+        .rows_iter()
+        .map(|r| 0.5 * r[0] + r[1] * r[1] - 0.3 * r[2] + 0.1)
+        .collect();
+    (x, Matrix::col_vector(&y_vals))
+}
+
+fn paper_net() -> Network {
+    NetworkBuilder::new(3)
+        .hidden(64, Activation::Selu)
+        .hidden(64, Activation::Selu)
+        .hidden(64, Activation::Selu)
+        .output(1, Activation::Linear)
+        .seed(7)
+        .build()
+}
+
+/// Minimum fit wall time over `attempts` runs, plus the final network of
+/// the last run (all runs produce identical networks by construction).
+fn min_fit_seconds(
+    net: &Network,
+    cfg: TrainConfig,
+    x: &Matrix,
+    y: &Matrix,
+    attempts: usize,
+) -> (f64, Network) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..attempts {
+        let mut trainer = Trainer::new(net.clone(), cfg);
+        let t0 = std::time::Instant::now();
+        trainer.fit(x, y).unwrap();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(trainer.into_network());
+    }
+    (best, last.expect("at least one attempt"))
+}
+
+#[test]
+fn parallel_fit_speedup_guard() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (x, y) = dataset(512, 11);
+    let net = paper_net();
+    let cfg = TrainConfig {
+        epochs: 5,
+        ..TrainConfig::default()
+    };
+    let serial_cfg = TrainConfig { threads: 1, ..cfg };
+    let parallel_cfg = TrainConfig { threads: 4, ..cfg };
+
+    // Identity always holds, whatever the host looks like.
+    let (t_serial, net_serial) = min_fit_seconds(&net, serial_cfg, &x, &y, 3);
+    let (t_parallel, net_parallel) = min_fit_seconds(&net, parallel_cfg, &x, &y, 3);
+    for (ls, lp) in net_serial.layers().iter().zip(net_parallel.layers()) {
+        assert_eq!(
+            ls.weights().as_slice(),
+            lp.weights().as_slice(),
+            "parallel fit diverged from serial"
+        );
+        assert_eq!(ls.bias().as_slice(), lp.bias().as_slice());
+    }
+
+    if cores < 4 {
+        eprintln!(
+            "parallel_fit_speedup_guard: host has {cores} core(s) < 4 — \
+             speedup assertion skipped (serial {t_serial:.3}s, parallel {t_parallel:.3}s)"
+        );
+        return;
+    }
+    let speedup = t_serial / t_parallel;
+    assert!(
+        speedup >= 1.8,
+        "parallel fit speedup {speedup:.2}x < 1.8x at 4 threads \
+         (serial min {t_serial:.3}s, parallel min {t_parallel:.3}s)"
+    );
+}

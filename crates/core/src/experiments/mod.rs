@@ -27,6 +27,7 @@ pub mod training_fit;
 use crate::pipeline::TrainedPipeline;
 use crate::predictor::{measured_profile, PredictedProfile};
 use gpu_model::PhasedWorkload;
+use rayon::prelude::*;
 use std::collections::BTreeMap;
 use telemetry::{GpuBackend, SimulatorBackend};
 
@@ -70,17 +71,35 @@ impl Lab {
         let apps = kernels::apps::evaluation_apps();
 
         obs::span!("evaluation");
+        // One trained model pair serves every application on both devices:
+        // the two predictors below borrow `pipeline.models` and are reused
+        // across the whole sweep. Applications are independent (the
+        // simulator's pure profiling path touches no device state), so the
+        // four profiles per app are computed in parallel across the rayon
+        // pool; results are keyed by name, making the maps order-free.
         let predictor_ga = pipeline.predictor(ga100.spec().clone());
         let predictor_gv = pipeline.predictor(gv100.spec().clone());
+        let evaluated: Vec<_> = apps
+            .par_iter()
+            .map(|app| {
+                (
+                    app.name.clone(),
+                    measured_profile(&ga100, app),
+                    predictor_ga.predict_online(&ga100, app),
+                    measured_profile(&gv100, app),
+                    predictor_gv.predict_online(&gv100, app),
+                )
+            })
+            .collect();
         let mut measured_ga100 = BTreeMap::new();
         let mut predicted_ga100 = BTreeMap::new();
         let mut measured_gv100 = BTreeMap::new();
         let mut predicted_gv100 = BTreeMap::new();
-        for app in &apps {
-            measured_ga100.insert(app.name.clone(), measured_profile(&ga100, app));
-            predicted_ga100.insert(app.name.clone(), predictor_ga.predict_online(&ga100, app));
-            measured_gv100.insert(app.name.clone(), measured_profile(&gv100, app));
-            predicted_gv100.insert(app.name.clone(), predictor_gv.predict_online(&gv100, app));
+        for (name, m_ga, p_ga, m_gv, p_gv) in evaluated {
+            measured_ga100.insert(name.clone(), m_ga);
+            predicted_ga100.insert(name.clone(), p_ga);
+            measured_gv100.insert(name.clone(), m_gv);
+            predicted_gv100.insert(name, p_gv);
         }
         Self {
             ga100,

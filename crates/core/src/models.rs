@@ -72,6 +72,7 @@ impl ModelConfig {
             validation_split: 0.2,
             shuffle_seed: self.seed ^ 0x5A5A,
             early_stop_patience: None,
+            ..TrainConfig::default()
         }
     }
 }
@@ -100,19 +101,34 @@ impl PowerTimeModels {
     }
 
     /// Trains both models with explicit configurations (ablations).
+    ///
+    /// The two fits are independent, so they run on both sides of a
+    /// `rayon::join`. The power fit stays on the calling thread (its
+    /// spans keep nesting under the caller's open span tree); the time
+    /// fit's spans are grafted under the same parent as `time` so its
+    /// timing survives landing on a helper thread. Each fit is
+    /// internally deterministic for any thread count, so the pair of
+    /// trained networks is bitwise identical to sequential training.
     pub fn train_with(dataset: &Dataset, power_cfg: ModelConfig, time_cfg: ModelConfig) -> Self {
         let yp = tensor::Matrix::col_vector(&dataset.y_power);
         let yt = tensor::Matrix::col_vector(&dataset.y_time);
+        let parent = obs::span::current_path();
 
-        let mut power_trainer = Trainer::new(power_cfg.build_network(), power_cfg.train_config());
-        let power_history = power_trainer
-            .fit(&dataset.x, &yp)
-            .expect("dataset validated upstream");
-
-        let mut time_trainer = Trainer::new(time_cfg.build_network(), time_cfg.train_config());
-        let time_history = time_trainer
-            .fit(&dataset.x, &yt)
-            .expect("dataset validated upstream");
+        let ((power_trainer, power_history), (time_trainer, time_history)) = rayon::join(
+            || {
+                let mut t = Trainer::new(power_cfg.build_network(), power_cfg.train_config());
+                let h = t.fit(&dataset.x, &yp).expect("dataset validated upstream");
+                (t, h)
+            },
+            || {
+                let _graft = parent
+                    .as_deref()
+                    .map(|p| obs::span::Span::enter_under(p, "time"));
+                let mut t = Trainer::new(time_cfg.build_network(), time_cfg.train_config());
+                let h = t.fit(&dataset.x, &yt).expect("dataset validated upstream");
+                (t, h)
+            },
+        );
 
         Self {
             power: power_trainer.into_network(),

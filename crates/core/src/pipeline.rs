@@ -64,21 +64,37 @@ impl TrainedPipeline {
             frequencies: freqs,
             runs: RUNS_PER_POINT,
             output: None,
+            threads: 0,
         };
+        // Each phase publishes its wall time as a gauge so a dashboard
+        // (or `dvfs obs`) can see where an offline run spends its time
+        // without digging through span histograms.
+        let t0 = std::time::Instant::now();
         let samples = {
             obs::span!("campaign");
             CollectionCampaign::new(backend, config)
                 .collect(workloads)
                 .expect("in-memory campaign cannot fail on IO")
         };
+        obs::global()
+            .gauge("pipeline.campaign_s")
+            .set(t0.elapsed().as_secs_f64());
+        let t1 = std::time::Instant::now();
         let dataset = {
             obs::span!("dataset");
             Dataset::from_samples(&spec, &samples).expect("campaign covers the default clock")
         };
+        obs::global()
+            .gauge("pipeline.dataset_s")
+            .set(t1.elapsed().as_secs_f64());
+        let t2 = std::time::Instant::now();
         let models = {
             obs::span!("train");
             PowerTimeModels::train(&dataset)
         };
+        obs::global()
+            .gauge("pipeline.train_s")
+            .set(t2.elapsed().as_secs_f64());
         Self {
             models,
             train_spec: spec,
@@ -171,9 +187,25 @@ mod tests {
             "pipeline/campaign",
             "pipeline/dataset",
             "pipeline/train",
+            // Power fit: inline on the caller, under the open span tree.
             "pipeline/train/fit/epoch",
+            // Time fit: grafted under the same parent by train_with.
+            "pipeline/train/time/fit/epoch",
         ] {
             assert!(obs::span::stat(path).is_some(), "missing span `{path}`");
+        }
+    }
+
+    #[test]
+    fn pipeline_phases_publish_wall_time_gauges() {
+        let (_, _p) = quick_pipeline();
+        for gauge in [
+            "pipeline.campaign_s",
+            "pipeline.dataset_s",
+            "pipeline.train_s",
+        ] {
+            let v = obs::global().gauge(gauge).get();
+            assert!(v > 0.0, "gauge `{gauge}` not published (got {v})");
         }
     }
 

@@ -285,36 +285,67 @@ impl<'a> Predictor<'a> {
 
     /// Full online phase against a backend: profiles `workload` once at the
     /// default clock, then predicts across the backend's used grid.
+    ///
+    /// On backends with a pure profiling path the reference run goes
+    /// through [`GpuBackend::profile_at_clock`] — no device clock state
+    /// is touched, so concurrent online predictions on a shared backend
+    /// cannot race each other (the sample is bitwise identical to the
+    /// apply-then-profile sequence).
     pub fn predict_online<B: GpuBackend + ?Sized>(
         &self,
         backend: &B,
         workload: &PhasedWorkload,
     ) -> PredictedProfile {
-        backend.reset_clock();
-        let profile = Profiler::new(backend).profile_run(workload, 0);
-        self.predict_from_reference(&profile.sample, &backend.grid().used())
+        let reference = match backend.profile_at_clock(workload, self.spec.max_core_mhz, 0) {
+            Some(sample) => sample,
+            None => {
+                backend.reset_clock();
+                Profiler::new(backend).profile_run(workload, 0).sample
+            }
+        };
+        self.predict_from_reference(&reference, &backend.grid().used())
     }
 }
 
 /// Builds the *measured* profile of a workload by sweeping the grid on the
 /// backend (ground truth for evaluation; one run per frequency).
+///
+/// On backends that support concurrent profiling, the per-frequency
+/// sweep fans across the rayon pool via the side-effect-free
+/// [`GpuBackend::profile_at_clock`] path, preserving the ascending
+/// frequency order (results are bitwise identical to the serial
+/// apply-then-profile loop, which remains the hardware fallback).
 pub fn measured_profile<B: GpuBackend + ?Sized>(
     backend: &B,
     workload: &PhasedWorkload,
 ) -> PredictedProfile {
     let freqs = backend.grid().used();
-    let profiler = Profiler::new(backend);
-    let (power_w, time_s) = freqs
-        .iter()
-        .map(|&f| {
-            backend
-                .set_app_clock(f)
-                .expect("used grid frequencies are supported");
-            let p = profiler.profile_run(workload, 0);
-            (p.sample.power_usage, p.sample.exec_time)
-        })
-        .unzip();
-    backend.reset_clock();
+    let (power_w, time_s) = if backend.supports_concurrent_profiling() {
+        let samples: Vec<(f64, f64)> = freqs
+            .par_iter()
+            .map(|&f| {
+                let s = backend
+                    .profile_at_clock(workload, f, 0)
+                    .expect("backend advertised concurrent profiling");
+                (s.power_usage, s.exec_time)
+            })
+            .collect();
+        samples.into_iter().unzip()
+    } else {
+        let profiler = Profiler::new(backend);
+        let swept = freqs
+            .iter()
+            .map(|&f| {
+                backend
+                    .set_app_clock(f)
+                    .expect("used grid frequencies are supported");
+                let p = profiler.profile_run(workload, 0);
+                (p.sample.power_usage, p.sample.exec_time)
+            })
+            .unzip();
+        backend.reset_clock();
+        swept
+    };
     PredictedProfile::new(workload.name.clone(), freqs, power_w, time_s)
 }
 

@@ -263,7 +263,33 @@ impl Dense {
         down: Option<&mut Matrix>,
     ) {
         let batch = upstream.rows().max(1);
+        self.backward_sums_into(input, pre, output, upstream, delta, grad_w, grad_b, down);
+        // Batch-average the raw sums; `down` stays unscaled (the upstream
+        // seed already carries the batch compensation).
+        ops::scale_in_place(grad_w, 1.0 / batch as f64);
+        ops::scale_in_place(grad_b, 1.0 / batch as f64);
+    }
 
+    /// Backward pass leaving the parameter gradients as *raw sums* over
+    /// the rows — no `1/batch` averaging. This is the per-shard kernel of
+    /// the data-parallel engine: every row of a shard contributes its raw
+    /// `x^T delta` / column-sum terms, the shards' sums are combined with
+    /// a fixed pairwise tree, and the engine scales by `1/batch` once at
+    /// the root. All accumulation orders match [`Dense::backward_into`]
+    /// (which is exactly this followed by the two scalings), keeping the
+    /// sharded and full-batch paths bitwise-comparable.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn backward_sums_into(
+        &self,
+        input: &Matrix,
+        pre: &Matrix,
+        output: &Matrix,
+        upstream: &Matrix,
+        delta: &mut Matrix,
+        grad_w: &mut Matrix,
+        grad_b: &mut Matrix,
+        down: Option<&mut Matrix>,
+    ) {
         // delta = dL/dz, via the activation's backward rule per row.
         delta.resize_to(upstream.rows(), upstream.cols());
         for r in 0..upstream.rows() {
@@ -275,11 +301,9 @@ impl Dense {
             );
         }
 
-        // dL/dW = x^T delta / batch ; dL/db = column sums of delta / batch.
+        // Raw dL/dW sum = x^T delta ; raw dL/db sum = column sums of delta.
         matmul::matmul_at_b_into(input, delta, grad_w).expect("shapes from workspace");
-        ops::scale_in_place(grad_w, 1.0 / batch as f64);
         ops::sum_rows_into(delta, grad_b).expect("shapes from workspace");
-        ops::scale_in_place(grad_b, 1.0 / batch as f64);
 
         // dL/dx = delta W^T.
         if let Some(d) = down {

@@ -45,8 +45,19 @@
 //! accumulates in the same order); [`reference`] preserves the original
 //! allocating implementation as the oracle the parity proptests compare
 //! against.
+//!
+//! # Deterministic data parallelism
+//!
+//! [`Trainer::fit`] shards every mini-batch across a fixed number of
+//! logical shards ([`TrainConfig::shards`]) and runs them on
+//! [`TrainConfig::threads`] workers (default: the `DVFS_THREADS`
+//! environment variable, else all cores). Gradients are combined with a
+//! fixed-shape pairwise reduction tree, so the trained network is
+//! **bitwise identical for every thread count** — see [`engine`] for the
+//! full argument and `train.rs`'s proptests for the proof.
 
 pub mod activation;
+pub mod engine;
 pub mod layer;
 pub mod loss;
 pub mod metrics;

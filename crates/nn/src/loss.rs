@@ -67,6 +67,45 @@ impl Loss {
         }
     }
 
+    /// Raw per-element loss sum (no `1/n` normalization) over a shard.
+    ///
+    /// The fixed-shard training engine computes this per shard, combines
+    /// the partials with the pairwise reduction tree, and divides by the
+    /// full batch's element count once at the root — so the batch loss is
+    /// independent of how the batch was sharded. Unlike [`Loss::value`],
+    /// an empty shard is a valid (zero) sum.
+    pub fn total(&self, pred: &Matrix, target: &Matrix) -> f64 {
+        assert_eq!(pred.shape(), target.shape(), "loss operand shapes differ");
+        pred.as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&p, &t)| self.point(p, t))
+            .sum()
+    }
+
+    /// Writes the backprop seed for one *shard* of a batch into `out`:
+    /// `point_grad(p, t) / cols`, where `cols` is the output width.
+    ///
+    /// Combined with the per-row averaging a layer backward pass would
+    /// apply, `point_grad / (rows * cols)` is the gradient of the mean
+    /// over elements — but the shard engine keeps its layer sums *raw*
+    /// and divides by the full batch's row count once after reduction, so
+    /// only the column normalization happens here. A single division per
+    /// element, identical no matter how the batch is sharded.
+    pub fn shard_gradient_into(&self, pred: &Matrix, target: &Matrix, out: &mut Matrix) {
+        assert_eq!(pred.shape(), target.shape(), "loss operand shapes differ");
+        let cols = pred.cols().max(1) as f64;
+        out.resize_to(pred.rows(), pred.cols());
+        for ((o, &p), &t) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(pred.as_slice())
+            .zip(target.as_slice())
+        {
+            *o = self.point_grad(p, t) / cols;
+        }
+    }
+
     fn point(&self, p: f64, t: f64) -> f64 {
         let d = p - t;
         match self {
@@ -176,5 +215,38 @@ mod tests {
     #[should_panic(expected = "shapes differ")]
     fn mismatched_shapes_panic() {
         let _ = Loss::Mse.value(&Matrix::zeros(1, 2), &Matrix::zeros(2, 1));
+    }
+
+    #[test]
+    fn total_is_the_unnormalized_value() {
+        let p = Matrix::from_vec(2, 2, vec![1.0, 3.0, -1.0, 0.5]).unwrap();
+        let t = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.5]).unwrap();
+        for loss in [Loss::Mse, Loss::Mae, Loss::Huber] {
+            let total = loss.total(&p, &t);
+            assert_eq!(total / p.len() as f64, loss.value(&p, &t));
+        }
+        // Empty shards contribute a zero partial (value would panic).
+        assert_eq!(
+            Loss::Mse.total(&Matrix::zeros(0, 2), &Matrix::zeros(0, 2)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn shard_gradient_is_the_full_gradient_times_rows() {
+        // gradient_into divides by rows*cols; shard_gradient_into by cols
+        // only. On a single-shard batch the two must agree after the
+        // engine's deferred 1/rows scaling.
+        let p = Matrix::from_vec(3, 2, vec![1.0, 3.0, -1.0, 0.5, 0.2, -0.7]).unwrap();
+        let t = Matrix::from_vec(3, 2, vec![0.0, 1.0, 1.0, 0.5, -0.2, 0.7]).unwrap();
+        for loss in [Loss::Mse, Loss::Mae, Loss::Huber] {
+            let mut full = Matrix::zeros(0, 0);
+            loss.gradient_into(&p, &t, &mut full);
+            let mut shard = Matrix::zeros(0, 0);
+            loss.shard_gradient_into(&p, &t, &mut shard);
+            for (s, f) in shard.as_slice().iter().zip(full.as_slice()) {
+                assert!((s / p.rows() as f64 - f).abs() < 1e-15);
+            }
+        }
     }
 }

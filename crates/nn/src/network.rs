@@ -261,6 +261,76 @@ impl Network {
         }
     }
 
+    /// Sharded backprop: computes the *raw* (unscaled) parameter-gradient
+    /// sums and loss partial for one shard of a mini-batch, leaving them
+    /// in `ws` without touching any parameter. Must follow a
+    /// [`Network::forward_ws`] call on the same shard and workspace.
+    ///
+    /// This is the per-worker kernel of the deterministic data-parallel
+    /// engine (see [`crate::engine`]): each shard's sums are later folded
+    /// with [`Workspace::combine_grads_from`] along a fixed pairwise tree
+    /// and applied once via [`Network::apply_combined_grads`]. Returns the
+    /// shard's raw loss sum (no normalization). Allocation-free once the
+    /// workspace has warmed up.
+    pub fn shard_grads_ws(&self, target: &Matrix, loss: Loss, ws: &mut Workspace) -> f64 {
+        let n = self.layers.len();
+        let Workspace {
+            layers: lws,
+            input,
+            loss_grad,
+            ..
+        } = ws;
+        let pred: &Matrix = lws.last().map_or(&*input, |lw| &lw.out);
+        let total = loss.total(pred, target);
+        loss.shard_gradient_into(pred, target, loss_grad);
+        for i in (0..n).rev() {
+            let (left, right) = lws.split_at_mut(i);
+            let (cur, after) = right.split_first_mut().expect("layer workspace exists");
+            let upstream: &Matrix = if i == n - 1 {
+                loss_grad
+            } else {
+                &after[0].down
+            };
+            let input_i: &Matrix = if i == 0 { input } else { &left[i - 1].out };
+            let down = if i == 0 { None } else { Some(&mut cur.down) };
+            self.layers[i].backward_sums_into(
+                input_i,
+                &cur.pre,
+                &cur.out,
+                upstream,
+                &mut cur.delta,
+                &mut cur.grad_w,
+                &mut cur.grad_b,
+                down,
+            );
+        }
+        total
+    }
+
+    /// Applies one optimizer step from tree-combined raw gradient sums:
+    /// scales every layer's `grad_w`/`grad_b` in `ws` by `1/batch_rows`
+    /// (the root scaling of the shard reduction — exactly one division
+    /// per element for the whole batch), then updates every parameter
+    /// with the usual slot ids. `ws` is the reduction root produced by
+    /// folding all shard workspaces together.
+    pub fn apply_combined_grads(
+        &mut self,
+        opt: &mut Optimizer,
+        ws: &mut Workspace,
+        batch_rows: usize,
+    ) {
+        let inv = 1.0 / batch_rows.max(1) as f64;
+        for lw in ws.layers.iter_mut() {
+            tensor::ops::scale_in_place(&mut lw.grad_w, inv);
+            tensor::ops::scale_in_place(&mut lw.grad_b, inv);
+        }
+        opt.begin_step();
+        for (i, (l, lw)) in self.layers.iter_mut().zip(ws.layers.iter()).enumerate() {
+            opt.update(2 * i, l.weights_mut(), &lw.grad_w);
+            opt.update(2 * i + 1, l.bias_mut(), &lw.grad_b);
+        }
+    }
+
     /// Clears all cached forward state (per-layer caches and the wrapper
     /// workspace).
     pub fn clear_caches(&mut self) {

@@ -123,6 +123,22 @@ impl Workspace {
         self.layers.last().map_or(&self.input, |lw| &lw.out)
     }
 
+    /// Folds another workspace's parameter-gradient buffers into this
+    /// one: `grad_w += src.grad_w`, `grad_b += src.grad_b` per layer.
+    ///
+    /// One combine step of the fixed-shard gradient reduction (see
+    /// `tensor::reduce::tree_combine` and `crate::engine`): plain
+    /// left-to-right elementwise adds, so the reduction's floating-point
+    /// sequence is a function of the tree shape alone. Both workspaces
+    /// must be built for the same topology.
+    pub fn combine_grads_from(&mut self, src: &Workspace) {
+        debug_assert_eq!(self.topo, src.topo, "combining mismatched workspaces");
+        for (dst, s) in self.layers.iter_mut().zip(&src.layers) {
+            tensor::ops::add_assign(&mut dst.grad_w, &s.grad_w).expect("same topology");
+            tensor::ops::add_assign(&mut dst.grad_b, &s.grad_b).expect("same topology");
+        }
+    }
+
     /// Runs `f` with this thread's cached workspace, creating (or
     /// rebuilding, on topology change) it on first use. Subsequent calls
     /// with the same topology reuse the buffers, so repeated inference from

@@ -70,6 +70,27 @@ impl Span {
         }
     }
 
+    /// Opens a span named `name` nested under an explicit `parent` path
+    /// instead of this thread's innermost open span.
+    ///
+    /// This is how worker threads attribute their time to the call tree
+    /// of the thread that dispatched them: capture [`current_path`] on
+    /// the dispatching thread, then open the worker's span under it. The
+    /// span still lives on the worker's own stack, so any spans the
+    /// worker opens inside nest beneath it as usual.
+    pub fn enter_under(parent: &str, name: &str) -> Self {
+        let path = if parent.is_empty() {
+            name.to_string()
+        } else {
+            format!("{parent}/{name}")
+        };
+        STACK.with(|stack| stack.borrow_mut().push(path.clone()));
+        Span {
+            path,
+            start: Instant::now(),
+        }
+    }
+
     /// The span's full call-tree path, e.g. `"pipeline/train/epoch"`.
     pub fn path(&self) -> &str {
         &self.path
@@ -110,6 +131,13 @@ pub fn stat(path: &str) -> Option<SpanStat> {
 /// Clears the aggregate table. For tests.
 pub fn reset() {
     TABLE.lock().clear();
+}
+
+/// The path of this thread's innermost open span, if any. Capture it
+/// before handing work to another thread and pass it to
+/// [`Span::enter_under`] so the worker's spans join the caller's tree.
+pub fn current_path() -> Option<String> {
+    STACK.with(|stack| stack.borrow().last().cloned())
 }
 
 #[cfg(test)]
@@ -169,6 +197,40 @@ mod tests {
         }
         assert_eq!(stat("macro-span-test").unwrap().count, 1);
         assert_eq!(stat("macro-span-test/macro-span-inner").unwrap().count, 1);
+    }
+
+    #[test]
+    fn current_path_tracks_the_innermost_span() {
+        assert_eq!(current_path(), None);
+        let _a = Span::enter("cp-outer");
+        assert_eq!(current_path().as_deref(), Some("cp-outer"));
+        {
+            let _b = Span::enter("cp-inner");
+            assert_eq!(current_path().as_deref(), Some("cp-outer/cp-inner"));
+        }
+        assert_eq!(current_path().as_deref(), Some("cp-outer"));
+    }
+
+    #[test]
+    fn enter_under_grafts_worker_spans_onto_the_caller_tree() {
+        let parent = {
+            let _p = Span::enter("graft-parent");
+            let path = current_path().unwrap();
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _w = Span::enter_under(&path, "worker");
+                    // Nested spans on the worker chain under the graft.
+                    let inner = Span::enter("inner");
+                    assert_eq!(inner.path(), "graft-parent/worker/inner");
+                })
+                .join()
+                .unwrap();
+            });
+            path
+        };
+        assert_eq!(parent, "graft-parent");
+        assert_eq!(stat("graft-parent/worker").unwrap().count, 1);
+        assert_eq!(stat("graft-parent/worker/inner").unwrap().count, 1);
     }
 
     #[test]

@@ -53,6 +53,31 @@ pub trait GpuBackend: Send + Sync {
     /// Executes `workload` once at the current clock, returning the
     /// aggregate metric sample for run index `run`.
     fn run_profiled(&self, workload: &PhasedWorkload, run: u32) -> MetricSample;
+
+    /// Whether this backend can profile several workloads concurrently
+    /// via [`GpuBackend::profile_at_clock`]. Real hardware serializes on
+    /// the physical device clock, so the default is `false`; the
+    /// simulator's measurements are pure functions of the frequency and
+    /// can run in parallel.
+    fn supports_concurrent_profiling(&self) -> bool {
+        false
+    }
+
+    /// Profiles `workload` at frequency `mhz` **without touching the
+    /// device's applied clock state** — the side-effect-free path that
+    /// concurrent campaigns fan out across threads. `mhz` must be an
+    /// exact grid state. Backends that must serialize real clock changes
+    /// keep the default (`None`), which makes campaigns fall back to the
+    /// serial apply-then-profile loop.
+    fn profile_at_clock(
+        &self,
+        workload: &PhasedWorkload,
+        mhz: f64,
+        run: u32,
+    ) -> Option<MetricSample> {
+        let _ = (workload, mhz, run);
+        None
+    }
 }
 
 /// Simulated GPU device over the `gpu-model` crate.
@@ -116,6 +141,20 @@ impl GpuBackend for SimulatorBackend {
         let mhz = self.app_clock();
         workload.measure(&self.spec, mhz, run, &self.noise)
     }
+
+    fn supports_concurrent_profiling(&self) -> bool {
+        true
+    }
+
+    fn profile_at_clock(
+        &self,
+        workload: &PhasedWorkload,
+        mhz: f64,
+        run: u32,
+    ) -> Option<MetricSample> {
+        debug_assert!(self.grid.is_supported(mhz), "off-grid profile at {mhz}");
+        Some(workload.measure(&self.spec, mhz, run, &self.noise))
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +212,23 @@ mod tests {
         assert_eq!(low.sm_app_clock, 705.0);
         assert!(low.exec_time > high.exec_time);
         assert!(low.power_usage < high.power_usage);
+    }
+
+    #[test]
+    fn profile_at_clock_matches_stateful_path_bitwise() {
+        let b = SimulatorBackend::ga100();
+        let w = workload();
+        assert!(b.supports_concurrent_profiling());
+        for run in 0..3 {
+            b.set_app_clock(705.0).unwrap();
+            let stateful = b.run_profiled(&w, run);
+            let pure = b.profile_at_clock(&w, 705.0, run).unwrap();
+            assert_eq!(stateful, pure);
+        }
+        // The pure path never disturbs the applied clock.
+        b.set_app_clock(1410.0).unwrap();
+        let _ = b.profile_at_clock(&w, 510.0, 0).unwrap();
+        assert_eq!(b.app_clock(), 1410.0);
     }
 
     #[test]

@@ -34,6 +34,23 @@ pub fn axpy(alpha: f64, b: &Matrix, a: &mut Matrix) -> TensorResult<()> {
     Ok(())
 }
 
+/// In-place `a += b` elementwise, shape checked.
+///
+/// The accumulation kernel of the fixed-shard gradient reduction: each
+/// combine step of `crate::reduce::tree_combine` folds one shard's
+/// partial sums into another with exactly this left-to-right elementwise
+/// add, so serial and parallel reductions execute the identical sequence
+/// of floating-point operations.
+pub fn add_assign(a: &mut Matrix, b: &Matrix) -> TensorResult<()> {
+    if a.shape() != b.shape() {
+        return Err(ShapeError::new("add_assign", a.shape(), b.shape()));
+    }
+    for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += y;
+    }
+    Ok(())
+}
+
 /// Dot product of two equal-length slices.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {

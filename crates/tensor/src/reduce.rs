@@ -55,6 +55,33 @@ pub fn argmax(xs: &[f64]) -> Option<usize> {
         .map(|(i, _)| i)
 }
 
+/// Drives a fixed-shape pairwise tree reduction over `n` slots,
+/// accumulating the result into slot 0.
+///
+/// `combine(dst, src)` must fold slot `src` into slot `dst`. The call
+/// sequence depends only on `n` — level by level, stride doubling:
+/// `(0,1) (2,3) (4,5)…`, then `(0,2) (4,6)…`, then `(0,4)…` — so any
+/// executor (a serial loop, worker threads, one combine per task) that
+/// honors the emitted order performs the *identical* sequence of
+/// floating-point additions. This is what makes the data-parallel
+/// gradient reduction bitwise reproducible for every thread count: the
+/// tree's shape is a function of the shard count alone.
+///
+/// Combines within one level are independent (disjoint slot pairs), so a
+/// parallel executor may run a level's combines concurrently; levels must
+/// stay ordered.
+pub fn tree_combine(n: usize, mut combine: impl FnMut(usize, usize)) {
+    let mut step = 1;
+    while step < n {
+        let mut dst = 0;
+        while dst + step < n {
+            combine(dst, dst + step);
+            dst += 2 * step;
+        }
+        step *= 2;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +124,84 @@ mod tests {
         let xs = [5.0; 10];
         assert_eq!(variance(&xs), 0.0);
         assert_eq!(std_dev(&xs), 0.0);
+    }
+
+    /// Recursive specification of the pairwise tree: fold the first half
+    /// and the second half independently, then combine their roots.
+    fn tree_spec(base: usize, n: usize, pairs: &mut Vec<(usize, usize)>) {
+        if n < 2 {
+            return;
+        }
+        let mut half = 1;
+        while half * 2 < n {
+            half *= 2;
+        }
+        tree_spec(base, half, pairs);
+        tree_spec(base + half, n - half, pairs);
+        pairs.push((base, base + half));
+    }
+
+    #[test]
+    fn tree_combine_touches_every_slot_exactly_once_as_src() {
+        for n in 1..=17 {
+            let mut seen_src = vec![false; n];
+            let mut sum_reached_root = vec![false; n];
+            sum_reached_root[0] = true;
+            tree_combine(n, |dst, src| {
+                assert!(dst < src, "tree combines fold right into left");
+                assert!(src < n);
+                assert!(!seen_src[src], "slot {src} consumed twice (n={n})");
+                seen_src[src] = true;
+            });
+            assert_eq!(
+                seen_src.iter().filter(|&&s| s).count(),
+                n.saturating_sub(1),
+                "every non-root slot is folded exactly once (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_combine_matches_recursive_specification() {
+        // The level-order loop must perform the same *set* of combines as
+        // the recursive halving spec, and within any dst slot the same
+        // src order (ascending strides) — i.e. the same reduction tree.
+        for n in 1..=16 {
+            let mut emitted = Vec::new();
+            tree_combine(n, |d, s| emitted.push((d, s)));
+            let mut spec = Vec::new();
+            tree_spec(0, n, &mut spec);
+            let mut a = emitted.clone();
+            let mut b = spec.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "combine set diverged for n={n}");
+            // Per-destination order is ascending in stride in both.
+            for dst in 0..n {
+                let ea: Vec<_> = emitted.iter().filter(|p| p.0 == dst).collect();
+                let eb: Vec<_> = spec.iter().filter(|p| p.0 == dst).collect();
+                assert_eq!(ea, eb, "per-slot fold order diverged for n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_combine_sums_are_deterministic_and_complete() {
+        for n in [1usize, 2, 3, 5, 8, 13] {
+            let mut slots: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0) * 0.1).collect();
+            let expect: f64 = {
+                let mut s = slots.clone();
+                tree_combine(n, |d, src| {
+                    let v = s[src];
+                    s[d] += v;
+                });
+                s[0]
+            };
+            tree_combine(n, |d, src| {
+                let v = slots[src];
+                slots[d] += v;
+            });
+            assert_eq!(slots[0], expect);
+        }
     }
 }

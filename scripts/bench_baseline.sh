@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Runs the nn-facing criterion benches (nn_training + prediction) and
-# collects per-benchmark mean ns/iter into a JSON baseline file.
+# Runs the model-facing criterion benches (nn_training + prediction +
+# pipeline) and collects per-benchmark mean ns/iter into a JSON baseline
+# file.
 #
 # Usage:
 #   scripts/bench_baseline.sh            # full run, writes BENCH_nn.json
@@ -25,9 +26,10 @@ jsonl="$(mktemp)"
 trap 'rm -f "$jsonl"' EXIT
 export CRITERION_JSON="$jsonl"
 
-echo "==> cargo bench -p bench (nn_training, prediction)"
+echo "==> cargo bench -p bench (nn_training, prediction, pipeline)"
 cargo bench --offline -p bench --bench nn_training
 cargo bench --offline -p bench --bench prediction
+cargo bench --offline -p bench --bench pipeline
 
 if [[ ! -s "$jsonl" ]]; then
     echo "error: no benchmark records were written to $jsonl" >&2

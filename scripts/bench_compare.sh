@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: re-runs the criterion baseline suite and
+# compares every benchmark's mean ns/iter against the committed
+# BENCH_nn.json. A benchmark fails the gate when it is slower than
+# baseline by more than the tolerance factor.
+#
+# Usage:
+#   scripts/bench_compare.sh             # full run, compare vs BENCH_nn.json
+#   BENCH_TOLERANCE=1.5 scripts/bench_compare.sh
+#       allow up to 1.5x the baseline mean (default 1.30)
+#   scripts/bench_compare.sh --refresh   # re-measure and overwrite BENCH_nn.json
+#   BENCH_SMOKE=1 scripts/bench_compare.sh
+#       plumbing check only: shrunken workloads, tolerance gate skipped
+#       (smoke numbers are not comparable to the committed full run)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="BENCH_nn.json"
+tolerance="${BENCH_TOLERANCE:-1.30}"
+smoke="${BENCH_SMOKE:-0}"
+
+if [[ "${1:-}" == "--refresh" ]]; then
+    echo "==> refreshing $baseline"
+    BENCH_OUT="$baseline" scripts/bench_baseline.sh
+    exit 0
+fi
+
+if [[ ! -s "$baseline" ]]; then
+    echo "error: $baseline missing — run scripts/bench_compare.sh --refresh first" >&2
+    exit 1
+fi
+
+fresh="$(mktemp -t bench_nn_fresh.XXXXXX.json)"
+trap 'rm -f "$fresh"' EXIT
+BENCH_OUT="$fresh" scripts/bench_baseline.sh
+
+if [[ "$smoke" == "1" ]]; then
+    echo "==> BENCH_SMOKE=1: skipping tolerance gate (smoke numbers are not comparable)"
+    exit 0
+fi
+
+echo "==> comparing against $baseline (tolerance ${tolerance}x)"
+awk -v tol="$tolerance" '
+# Both files are the flat {"name": mean_ns} shape bench_baseline.sh emits.
+/"[^"]+": *[0-9]/ {
+    name = $0; sub(/^[^"]*"/, "", name); sub(/".*/, "", name)
+    mean = $0; sub(/.*: */, "", mean); sub(/[,}].*/, "", mean)
+    if (FNR == NR) { base[name] = mean + 0; next }
+    cur[name] = mean + 0
+}
+END {
+    status = 0
+    for (name in base) {
+        if (!(name in cur)) {
+            printf "MISSING  %-45s (in baseline, not re-measured)\n", name
+            status = 1
+            continue
+        }
+        ratio = cur[name] / base[name]
+        verdict = (ratio > tol) ? "FAIL" : "ok"
+        if (ratio > tol) status = 1
+        printf "%-8s %-45s %12.1f -> %12.1f ns  (%.2fx)\n", \
+            verdict, name, base[name], cur[name], ratio
+    }
+    for (name in cur) if (!(name in base))
+        printf "NEW      %-45s %27.1f ns  (no baseline — refresh to record)\n", name, cur[name]
+    exit status
+}
+' "$baseline" "$fresh"
+
+echo "==> bench regression gate passed"

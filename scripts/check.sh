@@ -10,8 +10,14 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> cargo test -q"
-cargo test --workspace --offline -q
+# The data-parallel training engine and concurrent campaign promise
+# bitwise-identical results for every worker count, so the whole suite
+# runs once pinned serial and once at 4 workers.
+echo "==> cargo test -q (DVFS_THREADS=1)"
+DVFS_THREADS=1 cargo test --workspace --offline -q
+
+echo "==> cargo test -q (DVFS_THREADS=4)"
+DVFS_THREADS=4 cargo test --workspace --offline -q
 
 echo "==> cargo test -p obs -q"
 cargo test -p obs --offline -q
@@ -28,5 +34,7 @@ cargo run --release --offline -p obs --example validate_metrics -- "$tmp/metrics
 echo "==> bench baseline smoke (BENCH_SMOKE=1)"
 BENCH_SMOKE=1 BENCH_OUT="$tmp/BENCH_nn.json" scripts/bench_baseline.sh >/dev/null
 test -s "$tmp/BENCH_nn.json"
+grep -q '"nn_training/epoch_parallel"' "$tmp/BENCH_nn.json"
+grep -q '"pipeline/offline_sweep"' "$tmp/BENCH_nn.json"
 
 echo "==> all checks passed"

@@ -1,8 +1,8 @@
 //! `dvfs` — command-line front end to the GPU-DVFS pipeline.
 //!
 //! ```text
-//! dvfs train    [--arch ga100|gv100] [--stride N] [--out models.json]
-//! dvfs campaign [--arch ga100|gv100] [--stride N] --out samples.csv
+//! dvfs train    [--arch ga100|gv100] [--stride N] [--threads T] [--out models.json]
+//! dvfs campaign [--arch ga100|gv100] [--stride N] [--threads T] --out samples.csv
 //! dvfs predict  --models models.json --app NAME [--arch ga100|gv100]
 //! dvfs select   --models models.json --app NAME [--objective edp|ed2p|energy|time]
 //!               [--threshold PCT] [--arch ga100|gv100]
@@ -15,8 +15,11 @@
 //!
 //! Every command additionally accepts `--metrics[=table|json]` (dump the
 //! process's self-instrumentation — spans, counters, latency histograms —
-//! on exit) and `--metrics-out <path>` (write the JSON export to a file).
-//! Progress lines honor `DVFS_LOG=off|error|info|debug`.
+//! on exit), `--metrics-out <path>` (write the JSON export to a file),
+//! and `--threads T` (worker threads for the parallel training engine and
+//! collection campaign; equivalent to setting `DVFS_THREADS`, `0` = all
+//! cores — results are bitwise identical for every setting). Progress
+//! lines honor `DVFS_LOG=off|error|info|debug`.
 //!
 //! The tool drives the simulated devices; pointing it at real hardware only
 //! requires a `GpuBackend` implementation backed by NVML/DCGM.
@@ -39,6 +42,10 @@ fn main() -> ExitCode {
         }
     };
     if let Err(e) = metrics_format(&opts) {
+        eprintln!("error: {e}\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = apply_threads(&opts) {
         eprintln!("error: {e}\n\n{USAGE}");
         return ExitCode::FAILURE;
     }
@@ -102,8 +109,8 @@ const USAGE: &str = "\
 dvfs — performance-aware energy-efficient GPU frequency selection
 
 USAGE:
-  dvfs train    [--arch ga100|gv100] [--stride N] [--out models.json]
-  dvfs campaign [--arch ga100|gv100] [--stride N] --out samples.csv
+  dvfs train    [--arch ga100|gv100] [--stride N] [--threads T] [--out models.json]
+  dvfs campaign [--arch ga100|gv100] [--stride N] [--threads T] --out samples.csv
   dvfs predict  --models models.json --app NAME [--arch ga100|gv100]
   dvfs select   --models models.json --app NAME [--objective edp|ed2p|energy|time]
                 [--threshold PCT] [--arch ga100|gv100]
@@ -114,7 +121,10 @@ USAGE:
                 [--threshold PCT] [--arch ga100|gv100]
                 serve a stream of prediction+selection requests through
                 the profile cache, reporting latency and hit rates
-  dvfs apps     list the built-in application models";
+  dvfs apps     list the built-in application models
+
+Any command also takes --threads T (parallel worker count, 0 = all
+cores; same as DVFS_THREADS — results are identical for every value).";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -146,6 +156,30 @@ fn backend_for(opts: &HashMap<String, String>) -> Result<SimulatorBackend, Strin
             "unknown --arch `{other}` (expected ga100 or gv100)"
         )),
     }
+}
+
+/// Parses `--threads N`, `0` = auto (all cores). `None` when absent.
+fn threads_for(opts: &HashMap<String, String>) -> Result<Option<usize>, String> {
+    match opts.get("threads") {
+        None => Ok(None),
+        Some(s) => s
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|e| format!("--threads: {e}")),
+    }
+}
+
+/// Publishes `--threads` as the `DVFS_THREADS` environment variable —
+/// the knob every parallel stage (training engine, collection campaign)
+/// resolves its worker count from. A `0` value clears the variable,
+/// restoring auto-detection.
+fn apply_threads(opts: &HashMap<String, String>) -> Result<(), String> {
+    match threads_for(opts)? {
+        None => {}
+        Some(0) => std::env::remove_var("DVFS_THREADS"),
+        Some(n) => std::env::set_var("DVFS_THREADS", n.to_string()),
+    }
+    Ok(())
 }
 
 fn stride_for(opts: &HashMap<String, String>) -> Result<usize, String> {
@@ -258,6 +292,7 @@ fn cmd_campaign(opts: &HashMap<String, String>) -> Result<(), String> {
         frequencies: freqs,
         runs: 3,
         output: Some(out.into()),
+        threads: 0,
     };
     let samples = gpu_dvfs::telemetry::CollectionCampaign::new(&backend, cfg)
         .collect(&workloads)
@@ -611,6 +646,18 @@ mod tests {
         assert!(stride_for(&m).is_err());
         m.insert("stride".to_string(), "abc".to_string());
         assert!(stride_for(&m).is_err());
+    }
+
+    #[test]
+    fn threads_validation() {
+        let mut m = HashMap::new();
+        assert_eq!(threads_for(&m).unwrap(), None);
+        m.insert("threads".to_string(), "4".to_string());
+        assert_eq!(threads_for(&m).unwrap(), Some(4));
+        m.insert("threads".to_string(), "0".to_string());
+        assert_eq!(threads_for(&m).unwrap(), Some(0));
+        m.insert("threads".to_string(), "abc".to_string());
+        assert!(threads_for(&m).is_err());
     }
 
     #[test]
