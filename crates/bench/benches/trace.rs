@@ -1,0 +1,39 @@
+//! Criterion benches for the flight recorder's record path: per-event cost
+//! with tracing enabled (instant / counter / complete forms) and the cost
+//! of the disabled gate (one relaxed atomic load and a branch), which every
+//! instrumented hot path pays even when no trace is requested.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obs::trace;
+use obs::ArgValue;
+use std::hint::black_box;
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    let name = trace::intern("bench.event");
+    let arg = trace::intern("i");
+
+    trace::set_enabled(true);
+    group.bench_function("instant_enabled", |b| {
+        b.iter(|| trace::instant(black_box(name), &[(arg, ArgValue::U64(black_box(7)))]))
+    });
+    group.bench_function("counter_enabled", |b| {
+        b.iter(|| trace::counter(black_box(name), black_box(1.5)))
+    });
+    group.bench_function("complete_enabled", |b| {
+        b.iter(|| {
+            let t0 = trace::now_ns();
+            trace::complete(black_box(name), t0, &[]);
+        })
+    });
+
+    trace::set_enabled(false);
+    group.bench_function("instant_disabled", |b| {
+        b.iter(|| trace::instant(black_box(name), &[(arg, ArgValue::U64(black_box(7)))]))
+    });
+    group.finish();
+    trace::reset();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

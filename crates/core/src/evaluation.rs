@@ -18,15 +18,14 @@ pub struct AccuracyRow {
 }
 
 /// Computes the Table 3 accuracy row from a measured and a predicted
-/// profile over the same frequency grid.
+/// profile over the same frequency grid, and feeds the pairs into the
+/// global model-quality monitors (so every evaluation keeps the rolling
+/// drift statistics fresh).
 ///
 /// # Panics
 /// Panics if the two profiles cover different frequency lists.
 pub fn accuracy_row(measured: &PredictedProfile, predicted: &PredictedProfile) -> AccuracyRow {
-    assert_eq!(
-        measured.frequencies, predicted.frequencies,
-        "profiles must cover the same grid"
-    );
+    record_ground_truth(measured, predicted);
     AccuracyRow {
         application: measured.workload.clone(),
         power_accuracy: metrics::accuracy_from_mape(&predicted.power_w, &measured.power_w),
@@ -35,6 +34,26 @@ pub fn accuracy_row(measured: &PredictedProfile, predicted: &PredictedProfile) -
             &measured.normalized_time(),
         ),
     }
+}
+
+/// Feeds one predicted-vs-measured profile pair into the global
+/// [`obs::quality`] monitors: the `power` monitor sees per-frequency
+/// watts, the `time` monitor sees per-frequency *normalized* times (the
+/// quantity the paper's Figure 8 accuracy is computed on, so the alert
+/// band is directly comparable to its tables). Each monitor keeps a
+/// rolling MAPE/max-APE and fires its drift alert once per crossing of
+/// the 12% band.
+///
+/// # Panics
+/// Panics if the two profiles cover different frequency lists.
+pub fn record_ground_truth(measured: &PredictedProfile, predicted: &PredictedProfile) {
+    assert_eq!(
+        measured.frequencies, predicted.frequencies,
+        "profiles must cover the same grid"
+    );
+    obs::quality::monitor("power").observe_profile(&predicted.power_w, &measured.power_w);
+    obs::quality::monitor("time")
+        .observe_profile(&predicted.normalized_time(), &measured.normalized_time());
 }
 
 /// One application's four optimal frequencies (a Table 4 row).
@@ -190,6 +209,127 @@ mod tests {
         let sel = four_way_selection(&m, &m);
         assert_eq!(sel.m_edp.frequency_mhz, sel.p_edp.frequency_mhz);
         assert!(sel.m_ed2p.frequency_mhz >= sel.m_edp.frequency_mhz);
+    }
+
+    /// Forced drift: perturbing the simulator's measured profile past the
+    /// 12% band fires the monitor's alert exactly once per crossing.
+    #[test]
+    fn forced_drift_fires_alert_once_per_crossing() {
+        use telemetry::SimulatorBackend;
+
+        let backend = SimulatorBackend::ga100();
+        let app = gpu_model::PhasedWorkload::single(
+            gpu_model::SignatureBuilder::new("drift-app")
+                .flops(1e13)
+                .bytes(1e12)
+                .build(),
+        );
+        let truth = crate::predictor::measured_profile(&backend, &app);
+        let n = truth.frequencies.len();
+
+        // A private monitor (window = one grid sweep) keeps this test
+        // independent of the global monitors other tests feed.
+        let registry = obs::MetricsRegistry::new();
+        let monitor = obs::QualityMonitor::with_registry(
+            "drift-power",
+            obs::QualityConfig {
+                window: n,
+                warn_mape: 12.0,
+            },
+            &registry,
+        );
+
+        // Perfect predictions: no alert.
+        assert_eq!(monitor.observe_profile(&truth.power_w, &truth.power_w), 0);
+        assert_eq!(monitor.stat().alerts, 0);
+
+        // 20% uniform power drift — the rolling MAPE crosses the band on
+        // the first drifted pair and stays above: exactly one alert for
+        // the whole sweep.
+        let drifted: Vec<f64> = truth.power_w.iter().map(|&p| 1.2 * p).collect();
+        assert_eq!(monitor.observe_profile(&drifted, &truth.power_w), 1);
+        let s = monitor.stat();
+        assert_eq!(s.alerts, 1);
+        assert!(s.above_band);
+        assert_eq!(registry.counter("quality.drift-power.alerts").get(), 1);
+
+        // Recovery: clean sweeps push the drifted window out and the
+        // rolling MAPE back below the band without firing anything.
+        monitor.observe_profile(&truth.power_w, &truth.power_w);
+        assert!(!monitor.stat().above_band);
+        assert_eq!(monitor.stat().alerts, 1);
+
+        // Second drift episode: exactly one more alert.
+        assert_eq!(monitor.observe_profile(&drifted, &truth.power_w), 1);
+        assert_eq!(monitor.stat().alerts, 2);
+    }
+
+    /// Normalized-time drift needs a frequency-dependent tilt (a uniform
+    /// time scale cancels in `T(f)/T(f_max)`); the monitor sees it.
+    #[test]
+    fn time_drift_must_be_frequency_dependent() {
+        use telemetry::SimulatorBackend;
+
+        let backend = SimulatorBackend::ga100();
+        let app = gpu_model::PhasedWorkload::single(
+            gpu_model::SignatureBuilder::new("tilt-app")
+                .flops(5e12)
+                .bytes(3e12)
+                .build(),
+        );
+        let truth = crate::predictor::measured_profile(&backend, &app);
+        let f_max = *truth.frequencies.last().unwrap();
+
+        let registry = obs::MetricsRegistry::new();
+        let monitor = obs::QualityMonitor::with_registry(
+            "drift-time",
+            obs::QualityConfig {
+                window: truth.frequencies.len(),
+                warn_mape: 12.0,
+            },
+            &registry,
+        );
+
+        // Uniform 2x slowdown: invisible in normalized time.
+        let uniform = PredictedProfile::new(
+            truth.workload.clone(),
+            truth.frequencies.clone(),
+            truth.power_w.clone(),
+            truth.time_s.iter().map(|&t| 2.0 * t).collect(),
+        );
+        monitor.observe_profile(&uniform.normalized_time(), &truth.normalized_time());
+        assert!(monitor.stat().mape < 1e-9, "uniform scaling must cancel");
+
+        // A low-frequency tilt (predictions 50% too slow at the floor,
+        // exact at f_max) does not cancel — the monitor crosses the band
+        // (rolling MAPE settles at ~16% over the GA100 grid).
+        let tilted = PredictedProfile::new(
+            truth.workload.clone(),
+            truth.frequencies.clone(),
+            truth.power_w.clone(),
+            truth
+                .time_s
+                .iter()
+                .zip(&truth.frequencies)
+                .map(|(&t, &f)| t * (1.0 + 0.5 * (1.0 - f / f_max)))
+                .collect(),
+        );
+        let alerts = monitor.observe_profile(&tilted.normalized_time(), &truth.normalized_time());
+        assert_eq!(alerts, 1, "tilted drift fires exactly once");
+        assert!(monitor.stat().above_band);
+    }
+
+    /// `accuracy_row` keeps the *global* power/time monitors fed, so any
+    /// evaluation run refreshes `dvfs monitor`'s statistics.
+    #[test]
+    fn accuracy_row_feeds_global_quality_monitors() {
+        let m = profile("feed-app", 1.0);
+        let power_before = obs::quality::monitor("power").stat().samples;
+        let time_before = obs::quality::monitor("time").stat().samples;
+        let _ = accuracy_row(&m, &m);
+        let grid = m.frequencies.len() as u64;
+        assert!(obs::quality::monitor("power").stat().samples >= power_before + grid);
+        assert!(obs::quality::monitor("time").stat().samples >= time_before + grid);
     }
 
     #[test]

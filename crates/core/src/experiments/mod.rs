@@ -79,16 +79,30 @@ impl Lab {
         // pool; results are keyed by name, making the maps order-free.
         let predictor_ga = pipeline.predictor(ga100.spec().clone());
         let predictor_gv = pipeline.predictor(gv100.spec().clone());
+        // Each per-app evaluation (4 profile sweeps) is one complete
+        // event on the trace timeline, tagged with the app name.
+        let trace_eval = obs::trace::intern("lab.evaluate_app");
+        let trace_arg_app = obs::trace::intern("app");
         let evaluated: Vec<_> = apps
             .par_iter()
             .map(|app| {
-                (
+                let t0 = obs::trace::now_ns();
+                let row = (
                     app.name.clone(),
                     measured_profile(&ga100, app),
                     predictor_ga.predict_online(&ga100, app),
                     measured_profile(&gv100, app),
                     predictor_gv.predict_online(&gv100, app),
-                )
+                );
+                obs::trace::complete(
+                    trace_eval,
+                    t0,
+                    &[(
+                        trace_arg_app,
+                        obs::trace::ArgValue::Str(obs::trace::intern(&app.name)),
+                    )],
+                );
+                row
             })
             .collect();
         let mut measured_ga100 = BTreeMap::new();

@@ -87,6 +87,22 @@ impl TrainedPipeline {
         obs::global()
             .gauge("pipeline.dataset_s")
             .set(t1.elapsed().as_secs_f64());
+        // Timeline marker between the campaign and training phases: how
+        // much data the fit is about to see (the phase spans themselves
+        // land on the trace via the span hook).
+        obs::trace::instant(
+            obs::trace::intern("pipeline.dataset_ready"),
+            &[
+                (
+                    obs::trace::intern("rows"),
+                    obs::trace::ArgValue::U64(dataset.len() as u64),
+                ),
+                (
+                    obs::trace::intern("samples"),
+                    obs::trace::ArgValue::U64(samples.len() as u64),
+                ),
+            ],
+        );
         let t2 = std::time::Instant::now();
         let models = {
             obs::span!("train");

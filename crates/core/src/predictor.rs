@@ -119,6 +119,11 @@ pub struct Predictor<'a> {
     /// path, keeping instrumentation overhead well under the cached-hit
     /// microsecond budget.
     latency: obs::Histogram,
+    /// Interned flight-recorder ids, resolved once here for the same
+    /// reason: the per-request trace event is slot writes only.
+    trace_request: u32,
+    trace_arg_workload: u32,
+    trace_arg_hit: u32,
 }
 
 impl<'a> Predictor<'a> {
@@ -128,6 +133,30 @@ impl<'a> Predictor<'a> {
             models,
             spec,
             latency: obs::global().histogram("predict.request_ns"),
+            trace_request: obs::trace::intern("predict.request"),
+            trace_arg_workload: obs::trace::intern("workload"),
+            trace_arg_hit: obs::trace::intern("hit"),
+        }
+    }
+
+    /// Emits the per-request timeline event: a complete span from
+    /// `t0_ns`, tagged with the workload and — on the cached path —
+    /// whether the profile cache hit.
+    fn trace_request_event(&self, t0_ns: u64, workload: &str, hit: Option<bool>) {
+        if !obs::trace::enabled() {
+            return;
+        }
+        let wl = (
+            self.trace_arg_workload,
+            obs::trace::ArgValue::Str(obs::trace::intern(workload)),
+        );
+        match hit {
+            Some(hit) => obs::trace::complete(
+                self.trace_request,
+                t0_ns,
+                &[wl, (self.trace_arg_hit, obs::trace::ArgValue::Bool(hit))],
+            ),
+            None => obs::trace::complete(self.trace_request, t0_ns, &[wl]),
         }
     }
 
@@ -148,11 +177,13 @@ impl<'a> Predictor<'a> {
             "online phase requires a default-clock reference run"
         );
         let t0 = std::time::Instant::now();
+        let t0_ns = obs::trace::now_ns();
         let fp = reference.fp_active();
         let dram = reference.dram_active;
         let normalized = self.normalized_profile(fp, dram, frequencies);
         let profile = self.anchor_profile(&normalized, reference, frequencies);
         self.latency.record_duration(t0.elapsed());
+        self.trace_request_event(t0_ns, &reference.workload, None);
         profile
     }
 
@@ -250,6 +281,7 @@ impl<'a> Predictor<'a> {
             "online phase requires a default-clock reference run"
         );
         let t0 = std::time::Instant::now();
+        let t0_ns = obs::trace::now_ns();
         let key = cache.key(
             &self.spec,
             reference.fp_active(),
@@ -258,10 +290,14 @@ impl<'a> Predictor<'a> {
         );
         let fp = cache.quantize(reference.fp_active());
         let dram = cache.quantize(reference.dram_active);
-        let normalized =
-            cache.get_or_insert_with(key, || self.normalized_profile(fp, dram, frequencies));
+        let mut missed = false;
+        let normalized = cache.get_or_insert_with(key, || {
+            missed = true;
+            self.normalized_profile(fp, dram, frequencies)
+        });
         let profile = self.anchor_profile(&normalized, reference, frequencies);
         self.latency.record_duration(t0.elapsed());
+        self.trace_request_event(t0_ns, &reference.workload, Some(!missed));
         profile
     }
 
@@ -304,6 +340,18 @@ impl<'a> Predictor<'a> {
             }
         };
         self.predict_from_reference(&reference, &backend.grid().used())
+    }
+
+    /// Feeds a measured ground-truth profile for a prediction this
+    /// predictor made into the global model-quality monitors (rolling
+    /// power/time MAPE, drift alerts — see [`obs::quality`]). Call it
+    /// whenever a predicted workload is later measured across the grid
+    /// (or at any subset of it).
+    ///
+    /// # Panics
+    /// Panics if the two profiles cover different frequency lists.
+    pub fn observe_ground_truth(&self, measured: &PredictedProfile, predicted: &PredictedProfile) {
+        crate::evaluation::record_ground_truth(measured, predicted);
     }
 }
 

@@ -154,6 +154,11 @@ impl Trainer {
         obs::span!("fit");
         let loss_gauge = obs::global().gauge("train.loss");
         let val_gauge = obs::global().gauge("train.val_loss");
+        // Loss curves also land on the flight-recorder timeline as
+        // counter tracks, so a trace shows convergence next to the
+        // epoch spans. Ids are interned once, off the epoch loop.
+        let trace_loss = obs::trace::intern("train.loss");
+        let trace_val = obs::trace::intern("train.val_loss");
         let start = std::time::Instant::now();
         let mut rng = StdRng::seed_from_u64(self.config.shuffle_seed);
 
@@ -244,7 +249,7 @@ impl Trainer {
                 scope.spawn(move || {
                     let _span = parent
                         .as_deref()
-                        .map(|pp| obs::span::Span::enter_under(pp, "worker"));
+                        .map(|pp| obs::span::Span::enter_under(pp, "shard_worker"));
                     while go_rx.recv().is_ok() {
                         shared.run_participant(p);
                         if done_tx.send(()).is_err() {
@@ -281,6 +286,7 @@ impl Trainer {
                 }
                 let mean_loss = epoch_loss / batches.max(1) as f64;
                 loss_gauge.set(mean_loss);
+                obs::trace::counter(trace_loss, mean_loss);
                 history.train_loss.push(mean_loss);
                 if let (Some(xv), Some(yv)) = (&x_val, &y_val) {
                     let val = {
@@ -290,6 +296,7 @@ impl Trainer {
                         self.config.loss.value(pred, yv)
                     };
                     val_gauge.set(val);
+                    obs::trace::counter(trace_val, val);
                     history.val_loss.push(val);
                     if let Some(patience) = self.config.early_stop_patience {
                         if val < best_val - 1e-12 {

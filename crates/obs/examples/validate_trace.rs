@@ -1,0 +1,176 @@
+//! Structurally validates a `--trace-out` Chrome trace-event JSON file.
+//!
+//! Used by `scripts/check.sh` as the smoke gate for
+//! `dvfs train/batch --trace-out <path>`: the file must parse, every
+//! `B` must have a matching `E` on its tid (stack discipline), `ts`
+//! must be monotone per tid, and — optionally — the trace must span at
+//! least `--min-tids N` distinct threads and contain an event whose
+//! name includes each `--require NAME` (e.g. `shard_worker`,
+//! `campaign_worker`).
+//!
+//! ```text
+//! cargo run -p obs --example validate_trace -- trace.json \
+//!     --min-tids 3 --require shard_worker --require campaign_worker
+//! ```
+
+use serde::value::Value;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+struct Options {
+    path: String,
+    min_tids: usize,
+    require: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    let mut min_tids = 1;
+    let mut require = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--min-tids" => {
+                min_tids = args
+                    .next()
+                    .ok_or("--min-tids needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--min-tids: {e}"))?;
+            }
+            "--require" => require.push(args.next().ok_or("--require needs a value")?),
+            other if !other.starts_with("--") && path.is_none() => path = Some(arg),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(Options {
+        path: path.ok_or("usage: validate_trace <trace.json> [--min-tids N] [--require NAME]")?,
+        min_tids,
+        require,
+    })
+}
+
+fn field<'a>(event: &'a Value, key: &str) -> Result<&'a Value, String> {
+    event.get(key).ok_or(format!("event missing `{key}`"))
+}
+
+fn check(parsed: &Value, opts: &Options) -> Result<usize, String> {
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("missing `traceEvents` array")?;
+    if events.is_empty() {
+        return Err("trace contains no events".into());
+    }
+
+    // Per-tid state: open-span stack (B names) and last timestamp.
+    let mut open: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut seen_names: Vec<String> = Vec::new();
+
+    for (i, event) in events.iter().enumerate() {
+        let ph = field(event, "ph")?
+            .as_str()
+            .ok_or(format!("event {i}: `ph` is not a string"))?
+            .to_string();
+        let tid = field(event, "tid")?
+            .as_f64()
+            .ok_or(format!("event {i}: `tid` is not a number"))? as u64;
+        field(event, "pid")?
+            .as_f64()
+            .ok_or(format!("event {i}: `pid` is not a number"))?;
+        let ts = field(event, "ts")?
+            .as_f64()
+            .ok_or(format!("event {i}: `ts` is not a number"))?;
+        let name = field(event, "name")?
+            .as_str()
+            .ok_or(format!("event {i}: `name` is not a string"))?
+            .to_string();
+
+        let prev = last_ts.entry(tid).or_insert(ts);
+        if ts < *prev {
+            return Err(format!(
+                "event {i} (`{name}`): ts {ts} < {prev} — not monotone on tid {tid}"
+            ));
+        }
+        *prev = ts;
+
+        match ph.as_str() {
+            "B" => open.entry(tid).or_default().push(name.clone()),
+            "E" => match open.entry(tid).or_default().pop() {
+                Some(b) if b == name => {}
+                Some(b) => {
+                    return Err(format!(
+                        "event {i}: `E` for `{name}` closes `{b}` on tid {tid}"
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "event {i}: `E` for `{name}` with no open `B` on tid {tid}"
+                    ))
+                }
+            },
+            "X" => {
+                field(event, "dur")?
+                    .as_f64()
+                    .ok_or(format!("event {i} (`{name}`): `X` without numeric `dur`"))?;
+            }
+            "i" | "C" | "s" | "f" => {}
+            other => return Err(format!("event {i} (`{name}`): unknown ph `{other}`")),
+        }
+        seen_names.push(name);
+    }
+
+    for (tid, stack) in &open {
+        if let Some(name) = stack.last() {
+            return Err(format!("tid {tid}: `B` for `{name}` never closed"));
+        }
+    }
+
+    let tids = last_ts.len();
+    if tids < opts.min_tids {
+        return Err(format!(
+            "trace spans {tids} tid(s), need at least {}",
+            opts.min_tids
+        ));
+    }
+    for want in &opts.require {
+        if !seen_names.iter().any(|n| n.contains(want.as_str())) {
+            return Err(format!("no event name contains `{want}`"));
+        }
+    }
+    Ok(events.len())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("validate_trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&opts.path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_trace: {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed: Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("validate_trace: {}: invalid JSON: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&parsed, &opts) {
+        Ok(n) => {
+            println!("validate_trace: {} ok ({n} events)", opts.path);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("validate_trace: {}: {e}", opts.path);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! the DCGM stand-in that profiles the synthetic GPU, `obs` watches the
 //! training/prediction/serving code itself.
 //!
-//! Three pieces:
+//! Five pieces:
 //!
 //! * [`span!`] / [`span::Span`] — RAII tracing spans with nesting, wall
 //!   clock timing, and a per-thread span stack that aggregates into a
@@ -16,10 +16,19 @@
 //!   shared atomics;
 //! * [`export::MetricsSnapshot`] — human-readable table to stderr and
 //!   machine-readable JSON via the compat `serde_json`, surfaced by the
-//!   CLI's `--metrics[=json|table]` / `--metrics-out <path>` flags.
+//!   CLI's `--metrics[=json|table]` / `--metrics-out <path>` flags;
+//! * [`trace`] — the flight recorder: typed timeline events in
+//!   per-thread ring buffers (lock-free, zero steady-state allocation),
+//!   exported as Chrome trace-event / Perfetto JSON by the CLI's
+//!   `--trace-out <path>` flag. Every [`span!`] lands on the timeline
+//!   automatically while tracing is enabled;
+//! * [`quality`] — the model-drift monitor: rolling MAPE / max-APE over
+//!   the last N predicted-vs-observed pairs per model, with an alert
+//!   band that fires once per crossing (counter + `log!(Warn, …)` +
+//!   trace instant). Reported by `dvfs monitor`.
 //!
 //! Plus [`log!`], a leveled stderr logger filtered by the `DVFS_LOG`
-//! environment variable (`off|error|info|debug`, default `info`).
+//! environment variable (`off|error|warn|info|debug`, default `info`).
 //!
 //! ```
 //! let requests = obs::global().counter("server.requests");
@@ -38,14 +47,18 @@ pub mod export;
 pub mod hist;
 pub mod log;
 pub mod metrics;
+pub mod quality;
 pub mod span;
+pub mod trace;
 
 pub use export::{attach_json, fmt_ns, MetricsSnapshot};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use log::Level;
 pub use metrics::{global, Counter, Gauge, MetricsRegistry};
+pub use quality::{QualityConfig, QualityMonitor, QualityStat};
 pub use serde::value::Value;
 pub use span::{Span, SpanStat};
+pub use trace::{ArgValue, EventKind, TraceEvent};
 
 /// Opens a tracing span for the rest of the enclosing scope.
 ///

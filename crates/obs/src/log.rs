@@ -1,7 +1,7 @@
 //! Leveled stderr logging with a `DVFS_LOG` environment filter.
 //!
 //! The stack's progress lines go through [`crate::log!`] so one knob —
-//! `DVFS_LOG=off|error|info|debug` (default `info`) — silences or
+//! `DVFS_LOG=off|error|warn|info|debug` (default `info`) — silences or
 //! expands all of them at once. The filter is parsed once, on first use.
 
 use std::sync::OnceLock;
@@ -13,6 +13,9 @@ pub enum Level {
     Off,
     /// Failures only.
     Error,
+    /// Things that deserve attention but are not failures — model
+    /// drift alerts and friends.
+    Warn,
     /// Progress lines (the default).
     Info,
     /// Everything, including per-step detail.
@@ -25,6 +28,7 @@ impl Level {
         match s.to_ascii_lowercase().as_str() {
             "off" | "none" | "0" => Some(Level::Off),
             "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
             "info" => Some(Level::Info),
             "debug" => Some(Level::Debug),
             _ => None,
@@ -36,6 +40,7 @@ impl Level {
         match self {
             Level::Off => "off",
             Level::Error => "error",
+            Level::Warn => "warn",
             Level::Info => "info",
             Level::Debug => "debug",
         }
@@ -79,6 +84,8 @@ mod tests {
     fn parse_accepts_documented_values() {
         assert_eq!(Level::parse("off"), Some(Level::Off));
         assert_eq!(Level::parse("ERROR"), Some(Level::Error));
+        assert_eq!(Level::parse("warn"), Some(Level::Warn));
+        assert_eq!(Level::parse("Warning"), Some(Level::Warn));
         assert_eq!(Level::parse("Info"), Some(Level::Info));
         assert_eq!(Level::parse("debug"), Some(Level::Debug));
         assert_eq!(Level::parse("verbose"), None);
@@ -87,7 +94,8 @@ mod tests {
     #[test]
     fn levels_order_from_silent_to_chatty() {
         assert!(Level::Off < Level::Error);
-        assert!(Level::Error < Level::Info);
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
         assert!(Level::Info < Level::Debug);
     }
 

@@ -1,0 +1,384 @@
+//! Online model-quality drift monitor.
+//!
+//! The paper sells prediction accuracy (88–98% across its figures); a
+//! deployed frequency selector must notice when that stops being true —
+//! a new workload mix, a driver change, a miscalibrated device. The
+//! [`QualityMonitor`] keeps a rolling window of absolute percentage
+//! errors (APE) over the last `window` predicted-vs-observed pairs and
+//! derives:
+//!
+//! * `quality.<model>.mape` — rolling mean APE (the paper's headline
+//!   metric), exported as a gauge;
+//! * `quality.<model>.max_ape` — worst single error in the window;
+//! * `quality.<model>.samples` — ground-truth pairs ever observed;
+//! * `quality.<model>.alerts` — counted once per *crossing* of the
+//!   alert band: when the rolling MAPE rises strictly above
+//!   `warn_mape` the counter increments, a `log!(Warn, …)` line fires
+//!   and a `quality.alert` trace instant lands on the timeline; the
+//!   monitor then stays silent until the MAPE drops back to or below
+//!   the band and crosses again. Exactly-at-band does not fire.
+//!
+//! The default band is 12% — the worst MAPE the paper reports for its
+//! power/time models (the GV100 power band bottoms out near 88%
+//! accuracy) — so an alert means "worse than anything in the paper's
+//! tables".
+
+use crate::metrics::{Counter, Gauge, MetricsRegistry};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Tuning for one monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityConfig {
+    /// Rolling-window length in predicted-vs-observed pairs.
+    pub window: usize,
+    /// Alert when rolling MAPE rises strictly above this (percent).
+    pub warn_mape: f64,
+}
+
+impl Default for QualityConfig {
+    fn default() -> Self {
+        QualityConfig {
+            window: 256,
+            warn_mape: 12.0,
+        }
+    }
+}
+
+/// A point-in-time view of one monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityStat {
+    /// The monitored model ("power", "time", …).
+    pub model: String,
+    /// The configured window length.
+    pub window: usize,
+    /// Pairs currently in the window.
+    pub filled: usize,
+    /// Pairs ever observed.
+    pub samples: u64,
+    /// Rolling mean absolute percentage error (percent).
+    pub mape: f64,
+    /// Worst single APE in the window (percent).
+    pub max_ape: f64,
+    /// The alert band (percent).
+    pub warn_mape: f64,
+    /// Alert-band crossings so far.
+    pub alerts: u64,
+    /// Whether the rolling MAPE is currently above the band.
+    pub above_band: bool,
+}
+
+struct WindowState {
+    apes: Vec<f64>,
+    next: usize,
+    samples: u64,
+    above: bool,
+}
+
+/// Rolling-window accuracy tracker for one model's predictions.
+pub struct QualityMonitor {
+    model: String,
+    config: QualityConfig,
+    state: Mutex<WindowState>,
+    mape_gauge: Gauge,
+    max_ape_gauge: Gauge,
+    samples_counter: Counter,
+    alerts_counter: Counter,
+    trace_alert: u32,
+    arg_model: u32,
+    arg_mape: u32,
+}
+
+impl QualityMonitor {
+    /// A monitor publishing into `registry` under
+    /// `quality.<model>.{mape,max_ape,samples,alerts}`.
+    pub fn with_registry(model: &str, config: QualityConfig, registry: &MetricsRegistry) -> Self {
+        let window = config.window.max(1);
+        QualityMonitor {
+            model: model.to_string(),
+            config: QualityConfig { window, ..config },
+            state: Mutex::new(WindowState {
+                apes: Vec::with_capacity(window),
+                next: 0,
+                samples: 0,
+                above: false,
+            }),
+            mape_gauge: registry.gauge(&format!("quality.{model}.mape")),
+            max_ape_gauge: registry.gauge(&format!("quality.{model}.max_ape")),
+            samples_counter: registry.counter(&format!("quality.{model}.samples")),
+            alerts_counter: registry.counter(&format!("quality.{model}.alerts")),
+            trace_alert: crate::trace::intern("quality.alert"),
+            arg_model: crate::trace::intern("model"),
+            arg_mape: crate::trace::intern("mape"),
+        }
+    }
+
+    /// A monitor publishing into the process-global registry. Prefer
+    /// [`monitor`] unless you need a private instance (tests do).
+    pub fn new(model: &str, config: QualityConfig) -> Self {
+        Self::with_registry(model, config, crate::global())
+    }
+
+    /// The monitored model name.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Feeds one predicted-vs-observed pair. Pairs whose observed value
+    /// is ~0 are skipped (APE is undefined there). Returns `true` when
+    /// this observation crossed the alert band (rolling MAPE went from
+    /// at-or-below to strictly above `warn_mape`).
+    pub fn observe(&self, predicted: f64, observed: f64) -> bool {
+        if observed.abs() < 1e-12 || !predicted.is_finite() || !observed.is_finite() {
+            return false;
+        }
+        let ape = 100.0 * (predicted - observed).abs() / observed.abs();
+        let mut state = self.state.lock();
+        if state.apes.len() < self.config.window {
+            state.apes.push(ape);
+        } else {
+            let slot = state.next;
+            state.apes[slot] = ape;
+        }
+        state.next = (state.next + 1) % self.config.window;
+        state.samples += 1;
+        let mape = state.apes.iter().sum::<f64>() / state.apes.len() as f64;
+        let max_ape = state.apes.iter().cloned().fold(0.0, f64::max);
+        let crossed = mape > self.config.warn_mape && !state.above;
+        state.above = mape > self.config.warn_mape;
+        let samples = state.samples;
+        drop(state);
+
+        self.mape_gauge.set(mape);
+        self.max_ape_gauge.set(max_ape);
+        self.samples_counter.set(samples);
+        if crossed {
+            self.alerts_counter.inc();
+            crate::log!(
+                Warn,
+                "model `{}` drifted: rolling MAPE {mape:.2}% over last {} sample(s) \
+                 exceeds the {:.1}% band",
+                self.model,
+                samples.min(self.config.window as u64),
+                self.config.warn_mape
+            );
+            crate::trace::instant(
+                self.trace_alert,
+                &[
+                    (
+                        self.arg_model,
+                        crate::trace::ArgValue::Str(crate::trace::intern(&self.model)),
+                    ),
+                    (self.arg_mape, crate::trace::ArgValue::F64(mape)),
+                ],
+            );
+        }
+        crossed
+    }
+
+    /// Feeds a batch of paired `(predicted, observed)` slices (e.g. the
+    /// two profiles over a frequency grid). Returns how many alerts
+    /// fired.
+    pub fn observe_profile(&self, predicted: &[f64], observed: &[f64]) -> u64 {
+        predicted
+            .iter()
+            .zip(observed)
+            .map(|(&p, &o)| u64::from(self.observe(p, o)))
+            .sum()
+    }
+
+    /// The monitor's current rolling statistics.
+    pub fn stat(&self) -> QualityStat {
+        let state = self.state.lock();
+        let (mape, max_ape) = if state.apes.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (
+                state.apes.iter().sum::<f64>() / state.apes.len() as f64,
+                state.apes.iter().cloned().fold(0.0, f64::max),
+            )
+        };
+        QualityStat {
+            model: self.model.clone(),
+            window: self.config.window,
+            filled: state.apes.len(),
+            samples: state.samples,
+            mape,
+            max_ape,
+            warn_mape: self.config.warn_mape,
+            alerts: self.alerts_counter.get(),
+            above_band: state.above,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global monitor registry
+// ---------------------------------------------------------------------------
+
+static MONITORS: Mutex<BTreeMap<String, Arc<QualityMonitor>>> = Mutex::new(BTreeMap::new());
+
+/// The process-global monitor for `model`, created with the default
+/// config ([`QualityConfig::default`]) on first use.
+pub fn monitor(model: &str) -> Arc<QualityMonitor> {
+    monitor_with(model, QualityConfig::default())
+}
+
+/// The process-global monitor for `model`, created with `config` if it
+/// does not exist yet (an existing monitor keeps its original config).
+pub fn monitor_with(model: &str, config: QualityConfig) -> Arc<QualityMonitor> {
+    let mut monitors = MONITORS.lock();
+    if let Some(m) = monitors.get(model) {
+        return Arc::clone(m);
+    }
+    let m = Arc::new(QualityMonitor::new(model, config));
+    monitors.insert(model.to_string(), Arc::clone(&m));
+    m
+}
+
+/// Stats for every global monitor, model-sorted. The `dvfs monitor`
+/// report renders this.
+pub fn snapshot() -> Vec<QualityStat> {
+    MONITORS.lock().values().map(|m| m.stat()).collect()
+}
+
+/// Drops every global monitor (their gauges stay registered). For
+/// tests.
+pub fn reset() {
+    MONITORS.lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn private(model: &str, window: usize, warn: f64) -> (MetricsRegistry, QualityMonitor) {
+        let registry = MetricsRegistry::new();
+        let m = QualityMonitor::with_registry(
+            model,
+            QualityConfig {
+                window,
+                warn_mape: warn,
+            },
+            &registry,
+        );
+        // with_registry clones handles; registry stays alive alongside.
+        (registry, m)
+    }
+
+    /// Hand-computed oracle: rolling MAPE over the last `window` APEs.
+    fn oracle_mape(pairs: &[(f64, f64)], window: usize) -> f64 {
+        let apes: Vec<f64> = pairs
+            .iter()
+            .map(|&(p, o)| 100.0 * (p - o).abs() / o.abs())
+            .collect();
+        let tail = &apes[apes.len().saturating_sub(window)..];
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+
+    #[test]
+    fn rolling_mape_matches_hand_computed_oracle() {
+        let (_reg, m) = private("oracle", 4, 50.0);
+        let pairs = [
+            (110.0, 100.0), // 10%
+            (90.0, 100.0),  // 10%
+            (130.0, 100.0), // 30%
+            (100.0, 100.0), // 0%
+            (150.0, 100.0), // 50% — evicts the first 10%
+            (80.0, 100.0),  // 20% — evicts the second 10%
+        ];
+        for (i, &(p, o)) in pairs.iter().enumerate() {
+            m.observe(p, o);
+            let want = oracle_mape(&pairs[..=i], 4);
+            let got = m.stat().mape;
+            assert!(
+                (got - want).abs() < 1e-9,
+                "after {} pair(s): got {got}, want {want}",
+                i + 1
+            );
+        }
+        let s = m.stat();
+        assert_eq!(s.samples, 6);
+        assert_eq!(s.filled, 4);
+        // Window is [30, 0, 50, 20] after eviction.
+        assert!((s.mape - 25.0).abs() < 1e-9);
+        assert!((s.max_ape - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_eviction_forgets_old_errors() {
+        let (_reg, m) = private("evict", 2, 1000.0);
+        m.observe(200.0, 100.0); // 100%
+        m.observe(100.0, 100.0); // 0%
+        m.observe(100.0, 100.0); // 0% — the 100% error leaves the window
+        let s = m.stat();
+        assert_eq!(s.filled, 2);
+        assert!((s.mape - 0.0).abs() < 1e-12, "mape {}", s.mape);
+    }
+
+    #[test]
+    fn exactly_at_band_does_not_fire() {
+        let (_reg, m) = private("edge", 8, 10.0);
+        // Every pair is exactly 10% off: rolling MAPE == band, never above.
+        for _ in 0..20 {
+            assert!(!m.observe(110.0, 100.0));
+        }
+        let s = m.stat();
+        assert_eq!(s.alerts, 0);
+        assert!(!s.above_band);
+        assert!((s.mape - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alert_fires_once_per_crossing() {
+        let (_reg, m) = private("crossing", 1, 10.0);
+        // Window of 1: rolling MAPE is just the last APE.
+        assert!(m.observe(120.0, 100.0), "first crossing fires");
+        assert!(!m.observe(125.0, 100.0), "still above: no re-fire");
+        assert!(!m.observe(105.0, 100.0), "back below: no fire");
+        assert!(!m.observe(110.0, 100.0), "exactly at band: no fire");
+        assert!(m.observe(130.0, 100.0), "second crossing fires");
+        let s = m.stat();
+        assert_eq!(s.alerts, 2);
+        assert!(s.above_band);
+    }
+
+    #[test]
+    fn near_zero_observations_are_skipped() {
+        let (_reg, m) = private("zero", 4, 10.0);
+        assert!(!m.observe(5.0, 0.0));
+        assert!(!m.observe(f64::NAN, 100.0));
+        assert!(!m.observe(5.0, f64::INFINITY));
+        assert_eq!(m.stat().samples, 0);
+    }
+
+    #[test]
+    fn gauges_and_counters_land_in_the_registry() {
+        let (reg, m) = private("wired", 4, 5.0);
+        m.observe(120.0, 100.0);
+        assert!((reg.gauge("quality.wired.mape").get() - 20.0).abs() < 1e-9);
+        assert!((reg.gauge("quality.wired.max_ape").get() - 20.0).abs() < 1e-9);
+        assert_eq!(reg.counter("quality.wired.samples").get(), 1);
+        assert_eq!(reg.counter("quality.wired.alerts").get(), 1);
+    }
+
+    #[test]
+    fn observe_profile_pairs_grids() {
+        let (_reg, m) = private("grid", 16, 1000.0);
+        let alerts = m.observe_profile(&[110.0, 90.0, 105.0], &[100.0, 100.0, 100.0]);
+        assert_eq!(alerts, 0);
+        let s = m.stat();
+        assert_eq!(s.samples, 3);
+        assert!((s.mape - (10.0 + 10.0 + 5.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_monitors_are_shared_by_name() {
+        let a = monitor("shared-model-test");
+        let b = monitor("shared-model-test");
+        a.observe(110.0, 100.0);
+        assert_eq!(b.stat().samples, a.stat().samples);
+        assert!(snapshot().iter().any(|s| s.model == "shared-model-test"));
+    }
+}

@@ -7,6 +7,11 @@
 //! statistics. The table mutex is only taken on span *exit* — spans are
 //! meant for coarse units of work (an epoch, a pipeline phase, a figure),
 //! not per-request hot paths; those use histograms.
+//!
+//! When the flight recorder is on ([`crate::trace::enabled`]), every
+//! span additionally emits a begin/end pair onto the thread's trace
+//! timeline under its leaf name, so `--trace-out` shows the same call
+//! tree as a Perfetto flame chart for free.
 
 use parking_lot::Mutex;
 use std::cell::RefCell;
@@ -49,12 +54,27 @@ thread_local! {
 pub struct Span {
     path: String,
     start: Instant,
+    /// The interned trace name when this span is also on the flight
+    /// recorder timeline (`u32::MAX` = tracing was off at enter).
+    trace_name: u32,
+}
+
+/// Emits the trace begin event for a span, returning its interned leaf
+/// name (or `u32::MAX` when tracing is off).
+fn trace_begin(name: &str) -> u32 {
+    if !crate::trace::enabled() {
+        return u32::MAX;
+    }
+    let id = crate::trace::intern(name);
+    crate::trace::begin(id);
+    id
 }
 
 impl Span {
     /// Opens a span named `name`, nested under the thread's innermost
     /// open span (if any).
     pub fn enter(name: &str) -> Self {
+        let trace_name = trace_begin(name);
         let path = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             let path = match stack.last() {
@@ -67,6 +87,7 @@ impl Span {
         Span {
             path,
             start: Instant::now(),
+            trace_name,
         }
     }
 
@@ -79,6 +100,7 @@ impl Span {
     /// span still lives on the worker's own stack, so any spans the
     /// worker opens inside nest beneath it as usual.
     pub fn enter_under(parent: &str, name: &str) -> Self {
+        let trace_name = trace_begin(name);
         let path = if parent.is_empty() {
             name.to_string()
         } else {
@@ -88,6 +110,7 @@ impl Span {
         Span {
             path,
             start: Instant::now(),
+            trace_name,
         }
     }
 
@@ -100,6 +123,12 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         let elapsed_ns = self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        // Close the timeline event opened at enter. Only spans that
+        // began while tracing was on emit an end, so B/E stay paired
+        // even when tracing toggles mid-span.
+        if self.trace_name != u32::MAX {
+            crate::trace::end(self.trace_name);
+        }
         STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             // Defensive: only pop if this really is the innermost span
@@ -231,6 +260,31 @@ mod tests {
         assert_eq!(parent, "graft-parent");
         assert_eq!(stat("graft-parent/worker").unwrap().count, 1);
         assert_eq!(stat("graft-parent/worker/inner").unwrap().count, 1);
+    }
+
+    #[test]
+    fn spans_land_on_the_trace_timeline() {
+        let _guard = crate::trace::GLOBAL_TRACE_TESTS.lock();
+        crate::trace::reset();
+        crate::trace::set_enabled(true);
+        {
+            let _s = Span::enter("span-trace-hook");
+            let _inner = Span::enter("span-trace-hook-inner");
+        }
+        crate::trace::set_enabled(false);
+        let (events, _) = crate::trace::drain();
+        let outer = crate::trace::intern("span-trace-hook");
+        let inner = crate::trace::intern("span-trace-hook-inner");
+        let kinds = |id: u32| {
+            events
+                .iter()
+                .filter(|e| e.name == id)
+                .map(|e| e.kind)
+                .collect::<Vec<_>>()
+        };
+        use crate::trace::EventKind::{Begin, End};
+        assert_eq!(kinds(outer), vec![Begin, End]);
+        assert_eq!(kinds(inner), vec![Begin, End]);
     }
 
     #[test]

@@ -150,7 +150,13 @@ impl<'a, B: GpuBackend + ?Sized> CollectionCampaign<'a, B> {
         let threads = worker_threads(self.config.threads)
             .min(workloads.len())
             .max(1);
+        // Each workload's block lands on the flight-recorder timeline as
+        // one complete event tagged with the workload name, so a trace
+        // shows how blocks interleaved across campaign workers.
+        let trace_block = obs::trace::intern("campaign.profile_block");
+        let arg_workload = obs::trace::intern("workload");
         let profile_block = |workload: &PhasedWorkload| -> Vec<MetricSample> {
+            let t0 = obs::trace::now_ns();
             let mut block = Vec::with_capacity(freqs.len() * self.config.runs as usize);
             for &f in freqs {
                 let snapped = self.backend.grid().nearest(f);
@@ -163,6 +169,14 @@ impl<'a, B: GpuBackend + ?Sized> CollectionCampaign<'a, B> {
                     block.push(sample);
                 }
             }
+            obs::trace::complete(
+                trace_block,
+                t0,
+                &[(
+                    arg_workload,
+                    obs::trace::ArgValue::Str(obs::trace::intern(&workload.name)),
+                )],
+            );
             block
         };
 
@@ -171,12 +185,19 @@ impl<'a, B: GpuBackend + ?Sized> CollectionCampaign<'a, B> {
         }
 
         let next = AtomicUsize::new(0);
+        let parent = obs::span::current_path();
         let mut blocks: Vec<(usize, Vec<MetricSample>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let next = &next;
                     let profile_block = &profile_block;
+                    let parent = parent.clone();
                     scope.spawn(move || {
+                        // Graft the worker under the dispatching thread's
+                        // span tree (and the trace timeline).
+                        let _span = parent
+                            .as_deref()
+                            .map(|pp| obs::span::Span::enter_under(pp, "campaign_worker"));
                         let mut mine = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -345,6 +366,26 @@ mod tests {
             .unwrap();
             assert_eq!(base, got, "sample stream diverged at {threads} threads");
         }
+    }
+
+    #[test]
+    fn concurrent_workers_graft_spans_and_trace_blocks() {
+        let b = SimulatorBackend::ga100();
+        let cfg = LaunchConfig {
+            frequencies: vec![510.0, 1410.0],
+            runs: 1,
+            output: None,
+            threads: 2,
+        };
+        {
+            let _root = obs::span::Span::enter("campaign-graft-test");
+            CollectionCampaign::new(&b, cfg)
+                .collect(&workloads())
+                .unwrap();
+        }
+        let stat = obs::span::stat("campaign-graft-test/campaign_worker")
+            .expect("campaign workers graft under the dispatching span");
+        assert_eq!(stat.count, 2);
     }
 
     #[test]

@@ -40,8 +40,25 @@ impl<'a, B: GpuBackend + ?Sized> Profiler<'a, B> {
 
     /// Profiles a single run at the backend's current clock.
     pub fn profile_run(&self, workload: &PhasedWorkload, run: u32) -> RunProfile {
+        let t0 = obs::trace::now_ns();
         let sample = self.backend.run_profiled(workload, run);
         let intervals = (sample.exec_time / self.interval_s).ceil().max(1.0) as u64;
+        if obs::trace::enabled() {
+            obs::trace::complete(
+                obs::trace::intern("profiler.run"),
+                t0,
+                &[
+                    (
+                        obs::trace::intern("workload"),
+                        obs::trace::ArgValue::Str(obs::trace::intern(&sample.workload)),
+                    ),
+                    (
+                        obs::trace::intern("mhz"),
+                        obs::trace::ArgValue::F64(sample.sm_app_clock),
+                    ),
+                ],
+            );
+        }
         RunProfile {
             sample,
             intervals,

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the model-facing criterion benches (nn_training + prediction +
-# pipeline) and collects per-benchmark mean ns/iter into a JSON baseline
-# file.
+# pipeline + trace) and collects per-benchmark mean ns/iter into a JSON
+# baseline file.
 #
 # Usage:
 #   scripts/bench_baseline.sh            # full run, writes BENCH_nn.json
@@ -26,10 +26,11 @@ jsonl="$(mktemp)"
 trap 'rm -f "$jsonl"' EXIT
 export CRITERION_JSON="$jsonl"
 
-echo "==> cargo bench -p bench (nn_training, prediction, pipeline)"
+echo "==> cargo bench -p bench (nn_training, prediction, pipeline, trace)"
 cargo bench --offline -p bench --bench nn_training
 cargo bench --offline -p bench --bench prediction
 cargo bench --offline -p bench --bench pipeline
+cargo bench --offline -p bench --bench trace
 
 if [[ ! -s "$jsonl" ]]; then
     echo "error: no benchmark records were written to $jsonl" >&2

@@ -31,10 +31,26 @@ DVFS_LOG=error target/release/dvfs batch --models "$tmp/models.json" \
     --requests 64 --capacity 4 --metrics=json --metrics-out "$tmp/metrics.json" >/dev/null
 cargo run --release --offline -p obs --example validate_metrics -- "$tmp/metrics.json"
 
+echo "==> dvfs --trace-out smoke (4-thread train + batch -> validate traces)"
+DVFS_LOG=error DVFS_THREADS=4 target/release/dvfs train --stride 8 \
+    --out "$tmp/models.json" --trace-out "$tmp/train_trace.json" >/dev/null
+DVFS_LOG=error DVFS_THREADS=4 target/release/dvfs batch --models "$tmp/models.json" \
+    --requests 64 --capacity 4 --trace-out "$tmp/batch_trace.json" >/dev/null
+cargo run --release --offline -p obs --example validate_trace -- "$tmp/train_trace.json" \
+    --min-tids 3 --require shard_worker --require campaign_worker
+cargo run --release --offline -p obs --example validate_trace -- "$tmp/batch_trace.json" \
+    --require predict.request
+
+echo "==> dvfs monitor smoke (rolling model-quality report)"
+DVFS_LOG=error target/release/dvfs monitor --stride 8 --window 64 > "$tmp/monitor.txt"
+grep -q 'quality\.power\.mape' "$tmp/monitor.txt"
+grep -q 'quality\.time\.mape' "$tmp/monitor.txt"
+
 echo "==> bench baseline smoke (BENCH_SMOKE=1)"
 BENCH_SMOKE=1 BENCH_OUT="$tmp/BENCH_nn.json" scripts/bench_baseline.sh >/dev/null
 test -s "$tmp/BENCH_nn.json"
 grep -q '"nn_training/epoch_parallel"' "$tmp/BENCH_nn.json"
 grep -q '"pipeline/offline_sweep"' "$tmp/BENCH_nn.json"
+grep -q '"trace_overhead/instant_enabled"' "$tmp/BENCH_nn.json"
 
 echo "==> all checks passed"

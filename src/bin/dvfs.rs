@@ -10,16 +10,20 @@
 //! dvfs batch    --models models.json [--requests N] [--capacity C]
 //!               [--input samples.csv] [--objective edp|ed2p|energy|time]
 //!               [--threshold PCT] [--arch ga100|gv100]
+//! dvfs monitor  [--arch ga100|gv100] [--stride N] [--window W]
+//!               [--warn-mape PCT] [--drift PCT]
 //! dvfs apps
 //! ```
 //!
 //! Every command additionally accepts `--metrics[=table|json]` (dump the
 //! process's self-instrumentation — spans, counters, latency histograms —
 //! on exit), `--metrics-out <path>` (write the JSON export to a file),
+//! `--trace-out <path>` (record a flight-recorder trace of the run and
+//! export it as Chrome trace-event JSON, loadable in ui.perfetto.dev),
 //! and `--threads T` (worker threads for the parallel training engine and
 //! collection campaign; equivalent to setting `DVFS_THREADS`, `0` = all
 //! cores — results are bitwise identical for every setting). Progress
-//! lines honor `DVFS_LOG=off|error|info|debug`.
+//! lines honor `DVFS_LOG=off|error|warn|info|debug`.
 //!
 //! The tool drives the simulated devices; pointing it at real hardware only
 //! requires a `GpuBackend` implementation backed by NVML/DCGM.
@@ -49,6 +53,11 @@ fn main() -> ExitCode {
         eprintln!("error: {e}\n\n{USAGE}");
         return ExitCode::FAILURE;
     }
+    // The flight recorder must be armed before the command runs so every
+    // worker thread it spawns records into the per-thread rings.
+    if opts.contains_key("trace-out") {
+        obs::trace::set_enabled(true);
+    }
     let result = match cmd.as_str() {
         "train" => cmd_train(&opts),
         "campaign" => cmd_campaign(&opts),
@@ -56,6 +65,7 @@ fn main() -> ExitCode {
         "select" => cmd_select(&opts),
         "cap" => cmd_cap(&opts),
         "batch" => cmd_batch(&opts),
+        "monitor" => cmd_monitor(&opts),
         "apps" => cmd_apps(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -63,11 +73,16 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`")),
     };
-    let result = result.and_then(|()| emit_metrics(&opts));
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
+    // Export the instrumentation on BOTH paths: a failing run is exactly
+    // when the snapshot and trace matter most. (`and_then` here used to
+    // drop the telemetry whenever the command errored.)
+    let exports = emit_metrics(&opts).and(emit_trace(&opts));
+    match (result, exports) {
+        (Ok(()), Ok(())) => ExitCode::SUCCESS,
+        (result, exports) => {
+            for e in [result.err(), exports.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
             ExitCode::FAILURE
         }
     }
@@ -85,7 +100,7 @@ fn metrics_format(opts: &HashMap<String, String>) -> Result<Option<&str>, String
 }
 
 /// Exports the self-instrumentation snapshot per `--metrics` /
-/// `--metrics-out` after a successful command.
+/// `--metrics-out`. Runs after the command on success *and* failure.
 fn emit_metrics(opts: &HashMap<String, String>) -> Result<(), String> {
     let fmt = metrics_format(opts)?;
     let out = opts.get("metrics-out");
@@ -105,6 +120,24 @@ fn emit_metrics(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Drains the flight recorder into a Chrome trace-event JSON file per
+/// `--trace-out`. Like the metrics export, runs on both exit paths.
+fn emit_trace(opts: &HashMap<String, String>) -> Result<(), String> {
+    let Some(path) = opts.get("trace-out") else {
+        return Ok(());
+    };
+    let stats = obs::trace::write_chrome_trace(std::path::Path::new(path))
+        .map_err(|e| format!("{path}: {e}"))?;
+    obs::log!(
+        Info,
+        "wrote trace to {path} ({} events from {} threads, {} dropped by ring wraparound)",
+        stats.retained,
+        stats.threads,
+        stats.dropped
+    );
+    Ok(())
+}
+
 const USAGE: &str = "\
 dvfs — performance-aware energy-efficient GPU frequency selection
 
@@ -121,10 +154,18 @@ USAGE:
                 [--threshold PCT] [--arch ga100|gv100]
                 serve a stream of prediction+selection requests through
                 the profile cache, reporting latency and hit rates
+  dvfs monitor  [--arch ga100|gv100] [--stride N] [--window W]
+                [--warn-mape PCT] [--drift PCT]
+                train, then replay the evaluation apps through the
+                rolling model-quality monitors and report MAPE drift
+                (--drift injects an artificial prediction error)
   dvfs apps     list the built-in application models
 
 Any command also takes --threads T (parallel worker count, 0 = all
-cores; same as DVFS_THREADS — results are identical for every value).";
+cores; same as DVFS_THREADS — results are identical for every value),
+--metrics[=table|json] / --metrics-out FILE (self-instrumentation
+snapshot), and --trace-out FILE (flight-recorder timeline as Chrome
+trace-event JSON for ui.perfetto.dev).";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -554,6 +595,96 @@ fn cmd_batch(opts: &HashMap<String, String>) -> Result<(), String> {
         stats.evictions,
         cache.len()
     );
+    Ok(())
+}
+
+/// `dvfs monitor` — trains a pipeline, then replays the evaluation apps
+/// through the predictor while feeding every predicted-vs-measured pair
+/// into the rolling model-quality monitors, and prints the drift report.
+///
+/// `--drift PCT` injects an artificial prediction error to exercise the
+/// alert path: power is scaled uniformly by (1 + d) and time by the
+/// frequency-dependent tilt (1 + d·(1 − f/f_max)) — a uniform time error
+/// would cancel in the normalized-time comparison the monitor uses.
+fn cmd_monitor(opts: &HashMap<String, String>) -> Result<(), String> {
+    let backend = backend_for(opts)?;
+    let stride = stride_for(opts)?;
+    let defaults = obs::quality::QualityConfig::default();
+    let window: usize = match opts.get("window") {
+        None => defaults.window,
+        Some(s) => s
+            .parse()
+            .map_err(|e| format!("--window: {e}"))
+            .and_then(|v| {
+                if v == 0 {
+                    Err("--window must be >= 1".to_string())
+                } else {
+                    Ok(v)
+                }
+            })?,
+    };
+    let warn_mape: f64 = match opts.get("warn-mape") {
+        None => defaults.warn_mape,
+        Some(s) => s.parse().map_err(|e| format!("--warn-mape: {e}"))?,
+    };
+    let drift: f64 = match opts.get("drift") {
+        None => 0.0,
+        Some(s) => s
+            .parse::<f64>()
+            .map(|pct| pct / 100.0)
+            .map_err(|e| format!("--drift: {e}"))?,
+    };
+    // Configure both monitors up front so the first observation already
+    // sees the requested window and alert band.
+    let config = obs::quality::QualityConfig { window, warn_mape };
+    obs::quality::reset();
+    for model in ["power", "time"] {
+        obs::quality::monitor_with(model, config);
+    }
+
+    obs::log!(
+        Info,
+        "training on {} (stride {stride}) for the quality monitor...",
+        backend.spec().arch.chip_name()
+    );
+    let pipeline = TrainedPipeline::train_on(&backend, stride);
+    let predictor = pipeline.predictor(backend.spec().clone());
+    let f_max = backend.spec().max_core_mhz;
+    let apps = gpu_dvfs::kernels::apps::evaluation_apps();
+    for app in &apps {
+        let measured = measured_profile(&backend, app);
+        let mut predicted = predictor.predict_online(&backend, app);
+        if drift != 0.0 {
+            for i in 0..predicted.frequencies.len() {
+                let f = predicted.frequencies[i];
+                predicted.power_w[i] *= 1.0 + drift;
+                predicted.time_s[i] *= 1.0 + drift * (1.0 - f / f_max);
+            }
+        }
+        gpu_dvfs::core::evaluation::record_ground_truth(&measured, &predicted);
+    }
+
+    println!(
+        "model-quality monitor: {} apps on {}, window {window}, alert band {warn_mape}%{}",
+        apps.len(),
+        backend.spec().arch.chip_name(),
+        if drift != 0.0 {
+            format!(", injected drift {:.1}%", 100.0 * drift)
+        } else {
+            String::new()
+        }
+    );
+    for stat in obs::quality::snapshot() {
+        println!(
+            "quality.{}.mape {:.2}%  max_ape {:.2}%  samples {}  alerts {}{}",
+            stat.model,
+            stat.mape,
+            stat.max_ape,
+            stat.samples,
+            stat.alerts,
+            if stat.above_band { "  ABOVE BAND" } else { "" }
+        );
+    }
     Ok(())
 }
 

@@ -1,0 +1,94 @@
+//! The `dvfs` CLI must emit its telemetry (metrics snapshot, flight-recorder
+//! trace) on *both* exit paths. A failing run is exactly when the operator
+//! needs the instrumentation, and an early version of `main` dropped it by
+//! chaining the exports behind the command result with `and_then`.
+
+use std::path::Path;
+use std::process::Command;
+
+fn dvfs() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dvfs"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dvfs-cli-telemetry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// A structurally minimal check that `path` holds the expected JSON shape
+/// (full validation lives in the `validate_trace` example and the obs
+/// crate's own tests — here we only care that the export *happened*).
+fn assert_json_with_key(path: &Path, key: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{}: telemetry file not written: {e}", path.display()));
+    assert!(
+        text.contains(key),
+        "{}: expected key `{key}` in export, got: {}",
+        path.display(),
+        &text[..text.len().min(200)]
+    );
+    serde_json::from_str::<serde_json::Value>(&text)
+        .unwrap_or_else(|e| panic!("{}: export is not valid JSON: {e}", path.display()));
+}
+
+#[test]
+fn failing_command_still_exports_metrics_and_trace() {
+    let metrics = tmp("fail_metrics.json");
+    let trace = tmp("fail_trace.json");
+    // `predict` without `--models` fails after flag parsing, once the
+    // instrumentation globals are live.
+    let out = dvfs()
+        .args([
+            "predict",
+            "--app",
+            "lammps",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn dvfs");
+    assert!(
+        !out.status.success(),
+        "predict without --models must exit non-zero"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--models"),
+        "stderr should name the missing flag, got: {stderr}"
+    );
+    assert_json_with_key(&metrics, "counters");
+    assert_json_with_key(&trace, "traceEvents");
+}
+
+#[test]
+fn successful_command_exports_metrics_and_trace() {
+    let metrics = tmp("ok_metrics.json");
+    let trace = tmp("ok_trace.json");
+    let out = dvfs()
+        .args([
+            "apps",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn dvfs");
+    assert!(
+        out.status.success(),
+        "apps failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_json_with_key(&metrics, "counters");
+    assert_json_with_key(&trace, "traceEvents");
+}
+
+#[test]
+fn unknown_command_exits_nonzero_with_usage_error() {
+    let out = dvfs().arg("frobnicate").output().expect("spawn dvfs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
