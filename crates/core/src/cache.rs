@@ -30,6 +30,27 @@ pub struct CacheKey {
     context_hash: u64,
 }
 
+impl CacheKey {
+    /// A stable 64-bit mix of all three key fields, used to pick a shard
+    /// in [`ShardedProfileCache`]. Deliberately *not* `std::hash::Hash`
+    /// (whose `DefaultHasher` output is unspecified across releases):
+    /// shard placement — and therefore per-shard LRU eviction order —
+    /// stays reproducible run to run.
+    pub fn shard_hash(&self) -> u64 {
+        fn mix(h: u64, word: u64) -> u64 {
+            // FNV-1a over the word's bytes.
+            word.to_le_bytes().into_iter().fold(h, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+            })
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h = mix(h, self.fp_bucket as u64);
+        h = mix(h, self.dram_bucket as u64);
+        h = mix(h, self.context_hash);
+        h
+    }
+}
+
 /// The frequency-invariant part of a predicted profile.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NormalizedProfile {
@@ -42,8 +63,17 @@ pub struct NormalizedProfile {
 }
 
 /// Hit/miss/eviction counters, readable at any time.
+///
+/// Every copy handed out by [`ProfileCache::stats`] is snapshotted while
+/// the cache's single state lock is held, so the counters are mutually
+/// consistent: `lookups == hits + misses` always holds, even while other
+/// threads are mid-lookup. (An earlier sketch kept the counters in
+/// independent atomics, which let a reader observe `hits + misses`
+/// disagreeing with the lookup total under concurrent load.)
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Total lookups (always `hits + misses`).
+    pub lookups: u64,
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that had to compute and insert.
@@ -53,13 +83,27 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Fraction of lookups served from the cache (0 when idle).
+    /// Fraction of lookups served from the cache.
+    ///
+    /// Clamped to `0.0` before any lookup — the naive `hits / lookups`
+    /// would be `0/0 = NaN`, which poisons every gauge arithmetic
+    /// downstream (NaN compares false with everything, so an alert on
+    /// `hit_rate < threshold` would silently never fire).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
+        if self.lookups == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Element-wise sum, for aggregating per-shard snapshots.
+    pub fn merge(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups + other.lookups,
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
         }
     }
 }
@@ -170,6 +214,10 @@ impl ProfileCache {
             let mut state = self.state.lock();
             state.tick += 1;
             let tick = state.tick;
+            // `lookups` moves in the same critical section as the
+            // hit/miss counter it classifies, so `stats()` can never
+            // observe `lookups != hits + misses`.
+            state.stats.lookups += 1;
             if let Some(slot) = state.entries.get_mut(&key) {
                 slot.last_used = tick;
                 let value = slot.value.clone();
@@ -214,23 +262,16 @@ impl ProfileCache {
     }
 
     /// Bridges the cache's counters into the global metrics registry:
-    /// `cache.hits` / `cache.misses` / `cache.evictions` counters plus
-    /// `cache.hit_rate` (zero-total guarded by [`CacheStats::hit_rate`]),
+    /// `cache.lookups` / `cache.hits` / `cache.misses` /
+    /// `cache.evictions` counters plus `cache.hit_rate` (zero-total
+    /// guarded by [`CacheStats::hit_rate`]),
     /// `cache.evictions_per_capacity`, `cache.resident`, and
     /// `cache.capacity` gauges. Absolute values are published (the cache
     /// keeps its own counters under its existing lock), so call this
-    /// once per reporting point, e.g. after a batch completes.
+    /// once per reporting point, e.g. after a batch completes. Safe on a
+    /// completely idle cache: every gauge is finite.
     pub fn publish_stats(&self) {
-        let stats = self.stats();
-        let reg = obs::global();
-        reg.counter("cache.hits").set(stats.hits);
-        reg.counter("cache.misses").set(stats.misses);
-        reg.counter("cache.evictions").set(stats.evictions);
-        reg.gauge("cache.hit_rate").set(stats.hit_rate());
-        reg.gauge("cache.evictions_per_capacity")
-            .set(stats.evictions as f64 / self.capacity as f64);
-        reg.gauge("cache.resident").set(self.len() as f64);
-        reg.gauge("cache.capacity").set(self.capacity as f64);
+        publish_cache_stats(&self.stats(), self.len(), self.capacity);
     }
 
     /// Number of cached profiles.
@@ -246,6 +287,191 @@ impl ProfileCache {
     /// Drops all entries (counters are kept).
     pub fn clear(&self) {
         self.state.lock().entries.clear();
+    }
+}
+
+/// Publishes one cache-stats snapshot under the shared `cache.*` metric
+/// names (used by both the flat and the sharded cache, so dashboards see
+/// one set of names regardless of topology).
+fn publish_cache_stats(stats: &CacheStats, resident: usize, capacity: usize) {
+    let reg = obs::global();
+    reg.counter("cache.lookups").set(stats.lookups);
+    reg.counter("cache.hits").set(stats.hits);
+    reg.counter("cache.misses").set(stats.misses);
+    reg.counter("cache.evictions").set(stats.evictions);
+    reg.gauge("cache.hit_rate").set(stats.hit_rate());
+    reg.gauge("cache.evictions_per_capacity")
+        .set(stats.evictions as f64 / capacity.max(1) as f64);
+    reg.gauge("cache.resident").set(resident as f64);
+    reg.gauge("cache.capacity").set(capacity as f64);
+}
+
+/// The lookup surface the online predictor needs from a profile cache.
+///
+/// Implemented by both the flat [`ProfileCache`] and the
+/// [`ShardedProfileCache`], so `Predictor::predict_from_reference_cached`
+/// and friends work unchanged against either topology.
+pub trait CacheHandle: Sync {
+    /// Builds the key for a (device, activities, frequency-grid) request.
+    fn key(
+        &self,
+        spec: &DeviceSpec,
+        fp_active: f64,
+        dram_active: f64,
+        frequencies: &[f64],
+    ) -> CacheKey;
+
+    /// Snaps an activity to the center of its quantization bucket.
+    fn quantize(&self, activity: f64) -> f64;
+
+    /// Returns the cached profile for `key`, computing and inserting on a
+    /// miss.
+    fn get_or_insert_with<F: FnOnce() -> NormalizedProfile>(
+        &self,
+        key: CacheKey,
+        fill: F,
+    ) -> NormalizedProfile;
+}
+
+impl CacheHandle for ProfileCache {
+    fn key(
+        &self,
+        spec: &DeviceSpec,
+        fp_active: f64,
+        dram_active: f64,
+        frequencies: &[f64],
+    ) -> CacheKey {
+        ProfileCache::key(self, spec, fp_active, dram_active, frequencies)
+    }
+
+    fn quantize(&self, activity: f64) -> f64 {
+        ProfileCache::quantize(self, activity)
+    }
+
+    fn get_or_insert_with<F: FnOnce() -> NormalizedProfile>(
+        &self,
+        key: CacheKey,
+        fill: F,
+    ) -> NormalizedProfile {
+        ProfileCache::get_or_insert_with(self, key, fill)
+    }
+}
+
+/// N independent [`ProfileCache`] shards picked by a stable hash of the
+/// quantized cache key.
+///
+/// Each shard has its own lock, so concurrent server workers serving
+/// different applications never contend on a global cache mutex; a
+/// lookup touches exactly one shard. Shard placement is a pure function
+/// of the key ([`CacheKey::shard_hash`]), so a request stream produces
+/// the same residency regardless of which worker serves which request.
+pub struct ShardedProfileCache {
+    shards: Box<[ProfileCache]>,
+}
+
+impl ShardedProfileCache {
+    /// Creates a cache of `shards` shards holding at most `capacity`
+    /// profiles in total (split evenly, rounded up per shard).
+    ///
+    /// # Panics
+    /// Panics if `capacity` or `shards` is zero.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        Self::with_quantum(capacity, shards, ProfileCache::DEFAULT_QUANTUM)
+    }
+
+    /// Creates a sharded cache with an explicit activity quantization
+    /// step (shared by every shard — keys are topology-independent).
+    ///
+    /// # Panics
+    /// Panics if `capacity` or `shards` is zero, or `quantum` is not
+    /// positive.
+    pub fn with_quantum(capacity: usize, shards: usize, quantum: f64) -> Self {
+        assert!(shards > 0, "cache shard count must be positive");
+        assert!(capacity > 0, "cache capacity must be positive");
+        let per_shard = capacity.div_ceil(shards);
+        Self {
+            shards: (0..shards)
+                .map(|_| ProfileCache::with_quantum(per_shard, quantum))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: CacheKey) -> &ProfileCache {
+        &self.shards[(key.shard_hash() % self.shards.len() as u64) as usize]
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity across shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.capacity).sum()
+    }
+
+    /// Number of cached profiles across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether no shard holds a profile.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Aggregated counters.
+    ///
+    /// Each per-shard snapshot is taken under that shard's lock, so it is
+    /// internally consistent (`lookups == hits + misses`); the sums
+    /// therefore preserve the invariant even though the shards are read
+    /// at slightly different instants.
+    pub fn stats(&self) -> CacheStats {
+        self.shards
+            .iter()
+            .fold(CacheStats::default(), |acc, s| acc.merge(&s.stats()))
+    }
+
+    /// Publishes the aggregated counters under the same `cache.*` names
+    /// as [`ProfileCache::publish_stats`], plus a `cache.shards` gauge.
+    pub fn publish_stats(&self) {
+        publish_cache_stats(&self.stats(), self.len(), self.capacity());
+        obs::global()
+            .gauge("cache.shards")
+            .set(self.shards.len() as f64);
+    }
+
+    /// Drops all entries in every shard (counters are kept).
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.clear();
+        }
+    }
+}
+
+impl CacheHandle for ShardedProfileCache {
+    fn key(
+        &self,
+        spec: &DeviceSpec,
+        fp_active: f64,
+        dram_active: f64,
+        frequencies: &[f64],
+    ) -> CacheKey {
+        // Keys are quantization + fingerprint only, identical across
+        // shards; shard 0 stands in for all of them.
+        self.shards[0].key(spec, fp_active, dram_active, frequencies)
+    }
+
+    fn quantize(&self, activity: f64) -> f64 {
+        self.shards[0].quantize(activity)
+    }
+
+    fn get_or_insert_with<F: FnOnce() -> NormalizedProfile>(
+        &self,
+        key: CacheKey,
+        fill: F,
+    ) -> NormalizedProfile {
+        self.shard(key).get_or_insert_with(key, fill)
     }
 }
 
@@ -276,7 +502,23 @@ mod tests {
         assert_eq!(a, b);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.lookups, 2);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn hit_rate_is_zero_not_nan_before_any_lookup() {
+        // Regression: `hits / lookups` on an idle cache is 0/0; the
+        // accessor must clamp it to 0.0 — a NaN here silently disables
+        // every downstream `hit_rate < x` comparison.
+        let idle = ProfileCache::new(4).stats();
+        assert_eq!(idle.hit_rate(), 0.0);
+        assert!(!idle.hit_rate().is_nan());
+        let sharded = ShardedProfileCache::new(8, 4);
+        assert_eq!(sharded.stats().hit_rate(), 0.0);
+        // And publishing from the idle caches keeps every gauge finite.
+        sharded.publish_stats();
+        assert!(obs::global().gauge("cache.hit_rate").get().is_finite());
     }
 
     #[test]
@@ -361,6 +603,7 @@ mod tests {
         }
         cache.publish_stats();
         let reg = obs::global();
+        assert_eq!(reg.counter("cache.lookups").get(), 5);
         assert_eq!(reg.counter("cache.hits").get(), 2);
         assert_eq!(reg.counter("cache.misses").get(), 3);
         assert_eq!(reg.counter("cache.evictions").get(), 1);
@@ -368,5 +611,93 @@ mod tests {
         assert_eq!(reg.gauge("cache.evictions_per_capacity").get(), 0.5);
         assert_eq!(reg.gauge("cache.resident").get(), 2.0);
         assert_eq!(reg.gauge("cache.capacity").get(), 2.0);
+    }
+
+    #[test]
+    fn sharded_cache_spreads_keys_and_serves_like_flat() {
+        let sharded = ShardedProfileCache::new(64, 8);
+        assert_eq!(sharded.num_shards(), 8);
+        assert_eq!(sharded.capacity(), 64);
+        let s = spec();
+        let grid = [510.0, 1410.0];
+        // Many distinct keys: placement must use more than one shard, and
+        // every key must round-trip its own value.
+        for i in 0..32 {
+            let fp = i as f64 / 32.0;
+            let k = CacheHandle::key(&sharded, &s, fp, 1.0 - fp, &grid);
+            let v = sharded.get_or_insert_with(k, || profile(fp));
+            assert_eq!(v.power_w[0], fp);
+            let again = sharded.get_or_insert_with(k, || profile(-1.0));
+            assert_eq!(again.power_w[0], fp, "hit must not recompute");
+        }
+        let touched = (0..sharded.num_shards())
+            .filter(|&i| !sharded.shards[i].is_empty())
+            .count();
+        assert!(touched > 1, "all 32 keys landed in one shard");
+        let stats = sharded.stats();
+        assert_eq!((stats.hits, stats.misses), (32, 32));
+        assert_eq!(stats.lookups, 64);
+        assert_eq!(sharded.len(), 32);
+        // Shard placement is a pure function of the key.
+        let k = CacheHandle::key(&sharded, &s, 0.25, 0.75, &grid);
+        assert!(std::ptr::eq(sharded.shard(k), sharded.shard(k)));
+    }
+
+    #[test]
+    fn concurrent_stats_snapshots_stay_consistent() {
+        // The satellite bug this guards: counters read non-atomically
+        // relative to each other let `hits + misses` disagree with
+        // `lookups` while writers are mid-lookup. Hammer a sharded cache
+        // from several threads while a sampler thread asserts the
+        // invariant on every snapshot it takes.
+        let cache = std::sync::Arc::new(ShardedProfileCache::new(32, 4));
+        let s = spec();
+        let grid = [510.0, 960.0, 1410.0];
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = std::sync::Arc::clone(&cache);
+                let sref = &s;
+                let gref = &grid;
+                scope.spawn(move || {
+                    for i in 0..2_000u64 {
+                        // 64 distinct keys over a 32-entry cache: steady
+                        // mix of hits, misses, and evictions.
+                        let fp = ((i * 7 + t * 13) % 64) as f64 / 64.0;
+                        let k = CacheHandle::key(&*cache, sref, fp, fp, gref);
+                        let _ = cache.get_or_insert_with(k, || profile(fp));
+                    }
+                });
+            }
+            let sampler = {
+                let cache = std::sync::Arc::clone(&cache);
+                let stop = std::sync::Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut samples = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let st = cache.stats();
+                        assert_eq!(
+                            st.lookups,
+                            st.hits + st.misses,
+                            "torn stats snapshot: {st:?}"
+                        );
+                        assert!(!st.hit_rate().is_nan());
+                        samples += 1;
+                    }
+                    samples
+                })
+            };
+            // Scope drops worker handles first; signal the sampler once
+            // the workers are done by joining them explicitly.
+            // (Workers were moved into the scope — spawn order above —
+            // so just wait for the writers via a final barrier lookup.)
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            let samples = sampler.join().expect("sampler panicked");
+            assert!(samples > 0, "sampler never ran");
+        });
+        let end = cache.stats();
+        assert_eq!(end.lookups, 4 * 2_000);
+        assert_eq!(end.lookups, end.hits + end.misses);
     }
 }

@@ -36,11 +36,14 @@ pub mod models;
 pub mod objective;
 pub mod pipeline;
 pub mod predictor;
+pub mod serve;
+pub mod snapshot;
 
-pub use cache::{CacheStats, ProfileCache};
+pub use cache::{CacheHandle, CacheStats, ProfileCache, ShardedProfileCache};
 pub use capping::{plan_under_cap, CapPlan};
 pub use dataset::Dataset;
 pub use models::PowerTimeModels;
 pub use objective::{select_optimal, Objective};
 pub use pipeline::TrainedPipeline;
 pub use predictor::PredictedProfile;
+pub use snapshot::{ModelSnapshot, ModelStore, SnapshotMeta};

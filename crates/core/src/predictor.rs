@@ -6,7 +6,7 @@
 //! energy follows as `E(f) = P(f) * T(f)` (Equation 8), and the objective
 //! function selects the optimal frequency.
 
-use crate::cache::{NormalizedProfile, ProfileCache};
+use crate::cache::{CacheHandle, NormalizedProfile};
 use crate::models::PowerTimeModels;
 use crate::objective::{select_optimal, Objective, Selection};
 use gpu_model::{DeviceSpec, MetricSample, PhasedWorkload};
@@ -263,16 +263,18 @@ impl<'a> Predictor<'a> {
     }
 
     /// Like [`Predictor::predict_from_reference`], but consults `cache`
-    /// first. On a hit the two forward passes are skipped entirely and
-    /// only the per-request time anchor is recomputed. On a miss the
-    /// profile is predicted from the *quantized* activities (so the
-    /// cached entry is independent of request order) and inserted.
+    /// first (either a flat [`crate::cache::ProfileCache`] or a
+    /// [`crate::cache::ShardedProfileCache`] — anything implementing
+    /// [`CacheHandle`]). On a hit the two forward passes are skipped
+    /// entirely and only the per-request time anchor is recomputed. On a
+    /// miss the profile is predicted from the *quantized* activities (so
+    /// the cached entry is independent of request order) and inserted.
     ///
     /// # Panics
     /// Panics if the reference sample was not taken at the default clock.
-    pub fn predict_from_reference_cached(
+    pub fn predict_from_reference_cached<C: CacheHandle>(
         &self,
-        cache: &ProfileCache,
+        cache: &C,
         reference: &MetricSample,
         frequencies: &[f64],
     ) -> PredictedProfile {
@@ -307,14 +309,36 @@ impl<'a> Predictor<'a> {
     ///
     /// # Panics
     /// Panics if any reference was not taken at the default clock.
-    pub fn predict_many_cached(
+    pub fn predict_many_cached<C: CacheHandle>(
         &self,
-        cache: &ProfileCache,
+        cache: &C,
         references: &[MetricSample],
         frequencies: &[f64],
     ) -> Vec<PredictedProfile> {
         references
             .par_iter()
+            .map(|reference| self.predict_from_reference_cached(cache, reference, frequencies))
+            .collect()
+    }
+
+    /// The serve-loop variant of [`Predictor::predict_many_cached`]: the
+    /// same cached per-request path over a coalesced batch, but run
+    /// sequentially on the calling thread.
+    ///
+    /// The `dvfs serve` daemon is thread-per-core — each worker already
+    /// owns its core, and the compat `rayon`'s `par_iter` spawns scoped
+    /// OS threads per call, which would cost more than the cached
+    /// predictions it parallelizes. Results are bitwise identical to
+    /// [`Predictor::predict_many_cached`] for the same cache state
+    /// (both reduce to per-request `predict_from_reference_cached`).
+    pub fn predict_batch_cached<C: CacheHandle>(
+        &self,
+        cache: &C,
+        references: &[MetricSample],
+        frequencies: &[f64],
+    ) -> Vec<PredictedProfile> {
+        references
+            .iter()
             .map(|reference| self.predict_from_reference_cached(cache, reference, frequencies))
             .collect()
     }
@@ -400,6 +424,7 @@ pub fn measured_profile<B: GpuBackend + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::ProfileCache;
     use crate::dataset::Dataset;
     use gpu_model::{NoiseModel, SignatureBuilder};
     use telemetry::SimulatorBackend;

@@ -1,0 +1,224 @@
+//! Length-prefixed framing for the serve wire protocol.
+//!
+//! Every frame is a 4-byte big-endian payload length followed by that
+//! many bytes of UTF-8 JSON. The reader is incremental: it accumulates
+//! bytes across short reads (and read timeouts, which the server uses to
+//! stay responsive to shutdown), hands back at most one frame per poll,
+//! and never blocks longer than the underlying stream's own timeout.
+//! Pipelined frames queue up in the internal buffer and drain one per
+//! call without touching the socket again.
+
+use std::io::{self, Read, Write};
+
+/// Frames larger than this are rejected before any allocation of the
+/// payload — a garbage or hostile length prefix must not OOM the server.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the stream. `clean` is false if it closed
+    /// mid-frame (a truncated frame).
+    Closed {
+        /// True when the stream ended exactly on a frame boundary.
+        clean: bool,
+    },
+    /// The length prefix announced a payload above the configured limit.
+    TooLarge {
+        /// The announced payload length.
+        announced: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// Any other I/O failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed { clean: true } => write!(f, "peer closed the connection"),
+            FrameError::Closed { clean: false } => {
+                write!(f, "peer closed the connection mid-frame (truncated frame)")
+            }
+            FrameError::TooLarge { announced, max } => {
+                write!(f, "frame of {announced} bytes exceeds the {max}-byte limit")
+            }
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Incremental frame reader: owns the partial-read buffer for one stream.
+#[derive(Default)]
+pub struct FrameReader {
+    pending: Vec<u8>,
+}
+
+impl FrameReader {
+    /// Creates an empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tries to pull one complete frame out of `pending` without I/O.
+    fn take_buffered(&mut self, max_frame: usize) -> Result<Option<Vec<u8>>, FrameError> {
+        if self.pending.len() < 4 {
+            return Ok(None);
+        }
+        let announced = u32::from_be_bytes([
+            self.pending[0],
+            self.pending[1],
+            self.pending[2],
+            self.pending[3],
+        ]) as usize;
+        if announced > max_frame {
+            return Err(FrameError::TooLarge {
+                announced,
+                max: max_frame,
+            });
+        }
+        if self.pending.len() < 4 + announced {
+            return Ok(None);
+        }
+        let mut frame = self.pending.split_off(4 + announced);
+        std::mem::swap(&mut frame, &mut self.pending);
+        frame.drain(..4);
+        Ok(Some(frame))
+    }
+
+    /// Polls for the next frame. Returns `Ok(None)` when no complete
+    /// frame is available yet (short read or read timeout) — the caller
+    /// decides whether to retry or to act on a shutdown flag first.
+    pub fn poll_frame<R: Read>(
+        &mut self,
+        stream: &mut R,
+        max_frame: usize,
+    ) -> Result<Option<Vec<u8>>, FrameError> {
+        // Drain pipelined frames before touching the socket again.
+        if let Some(frame) = self.take_buffered(max_frame)? {
+            return Ok(Some(frame));
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => Err(FrameError::Closed {
+                clean: self.pending.is_empty(),
+            }),
+            Ok(n) => {
+                self.pending.extend_from_slice(&chunk[..n]);
+                self.take_buffered(max_frame)
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(None),
+            Err(e) => Err(FrameError::Io(e)),
+        }
+    }
+
+    /// Blocking convenience: polls until a frame arrives or the stream
+    /// fails. Used by clients (loadgen, tests); the server uses
+    /// [`FrameReader::poll_frame`] so it can interleave shutdown checks.
+    pub fn read_frame<R: Read>(
+        &mut self,
+        stream: &mut R,
+        max_frame: usize,
+    ) -> Result<Vec<u8>, FrameError> {
+        loop {
+            if let Some(frame) = self.poll_frame(stream, max_frame)? {
+                return Ok(frame);
+            }
+        }
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame<W: Write>(stream: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame payload exceeds u32"))?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_including_pipelined() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"{\"a\":1}").unwrap();
+        write_frame(&mut wire, b"second").unwrap();
+        let mut reader = FrameReader::new();
+        let mut cursor = Cursor::new(wire);
+        assert_eq!(
+            reader.read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(),
+            b"{\"a\":1}"
+        );
+        // The second frame was already buffered; no further read needed.
+        assert_eq!(
+            reader.take_buffered(DEFAULT_MAX_FRAME).unwrap().unwrap(),
+            b"second"
+        );
+    }
+
+    #[test]
+    fn truncated_frame_reports_unclean_close() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello world").unwrap();
+        wire.truncate(wire.len() - 3);
+        let mut reader = FrameReader::new();
+        let mut cursor = Cursor::new(wire);
+        match reader.read_frame(&mut cursor, DEFAULT_MAX_FRAME) {
+            Err(FrameError::Closed { clean: false }) => {}
+            other => panic!("expected unclean close, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_eof_between_frames() {
+        let mut reader = FrameReader::new();
+        let mut cursor = Cursor::new(Vec::new());
+        match reader.read_frame(&mut cursor, DEFAULT_MAX_FRAME) {
+            Err(FrameError::Closed { clean: true }) => {}
+            other => panic!("expected clean close, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        // 256 MiB announced against a 1 MiB cap: must fail from the
+        // header alone, with no payload bytes present.
+        let wire = (256u32 << 20).to_be_bytes().to_vec();
+        let mut reader = FrameReader::new();
+        let mut cursor = Cursor::new(wire);
+        match reader.read_frame(&mut cursor, DEFAULT_MAX_FRAME) {
+            Err(FrameError::TooLarge { announced, max }) => {
+                assert_eq!(announced, 256 << 20);
+                assert_eq!(max, DEFAULT_MAX_FRAME);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery_reassembles() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"slow").unwrap();
+        let mut reader = FrameReader::new();
+        let mut got = None;
+        for byte in wire {
+            let mut one = Cursor::new(vec![byte]);
+            if let Some(frame) = reader.poll_frame(&mut one, DEFAULT_MAX_FRAME).unwrap() {
+                got = Some(frame);
+            }
+        }
+        assert_eq!(got.as_deref(), Some(b"slow".as_slice()));
+    }
+}

@@ -1,0 +1,272 @@
+//! Load generator for the serve daemon.
+//!
+//! Drives a live server over TCP with a configurable number of
+//! connections, a zipf-skewed key population (so the profile cache sees
+//! a realistic hot set), and either **closed-loop** pacing (each
+//! connection issues its next request the moment the previous reply
+//! lands — measures peak sustainable throughput) or **open-loop**
+//! pacing (requests are launched on a fixed schedule regardless of
+//! replies — measures latency at a target arrival rate, including
+//! coordinated-omission-free queueing delay).
+//!
+//! Round-trip latencies land in the shared `loadgen.rtt_ns` histogram in
+//! the global registry; the report's p50/p90/p99 read back out of that
+//! same histogram, so the numbers in a `--metrics-out` export and the
+//! summary always agree.
+
+use super::protocol::Request;
+use super::server::Client;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Request pacing discipline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pacing {
+    /// Back-to-back: next request when the previous reply arrives.
+    Closed,
+    /// Fixed schedule at this many requests/second across all
+    /// connections; a slow server makes requests queue, not disappear.
+    Open {
+        /// Aggregate arrival rate, requests per second.
+        rate_hz: f64,
+    },
+}
+
+/// Load-generator tunables.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent connections (one thread each).
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: u64,
+    /// Closed- or open-loop pacing.
+    pub pacing: Pacing,
+    /// Distinct workload keys in the population.
+    pub keys: usize,
+    /// Zipf skew exponent (0 = uniform; ~1 = classic web skew).
+    pub zipf_s: f64,
+    /// Every Nth request is a `select` instead of a `predict`
+    /// (0 = predicts only).
+    pub select_every: u64,
+    /// RNG seed (per-connection streams derive from it).
+    pub seed: u64,
+    /// Send a `shutdown` frame after the run (smoke tests).
+    pub shutdown_after: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: String::new(),
+            connections: 4,
+            requests: 10_000,
+            pacing: Pacing::Closed,
+            keys: 64,
+            zipf_s: 1.0,
+            select_every: 8,
+            seed: 42,
+            shutdown_after: false,
+        }
+    }
+}
+
+/// What a run produced. All latency figures come from the shared
+/// `loadgen.rtt_ns` histogram (microseconds here, nanoseconds there).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadgenReport {
+    /// Requests that received an `ok` reply.
+    pub ok: f64,
+    /// Requests answered with an error reply.
+    pub errors: f64,
+    /// Wall-clock duration of the run, seconds.
+    pub elapsed_s: f64,
+    /// Throughput, requests per second.
+    pub qps: f64,
+    /// Median round trip, microseconds.
+    pub p50_us: f64,
+    /// 90th percentile round trip, microseconds.
+    pub p90_us: f64,
+    /// 99th percentile round trip, microseconds.
+    pub p99_us: f64,
+    /// Slowest round trip, microseconds.
+    pub max_us: f64,
+}
+
+/// The zipf(s) key sampler: precomputed CDF + binary search, so
+/// per-request sampling is O(log keys) with no floating-point pow.
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the CDF over ranks `1..=keys` with weight `1 / rank^s`.
+    pub fn new(keys: usize, s: f64) -> Self {
+        assert!(keys > 0, "zipf needs at least one key");
+        let mut cdf: Vec<f64> = Vec::with_capacity(keys);
+        let mut total = 0.0;
+        for rank in 1..=keys {
+            total += (rank as f64).powf(-s);
+            cdf.push(total);
+        }
+        for w in &mut cdf {
+            *w /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Maps a uniform draw in `[0, 1)` to a key index (0-based rank).
+    pub fn sample(&self, u: f64) -> usize {
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// The synthetic per-key request features: deterministic low-discrepancy
+/// scrambles of the key index, so distinct keys map to distinct cache
+/// buckets and reruns hit the same population.
+pub fn key_features(key: usize) -> (f64, f64, f64) {
+    let frac = |x: f64| x - x.floor();
+    let fp = 0.03 + 0.93 * frac((key as f64 + 1.0) * 0.618_033_988_749_894_9);
+    let dram = 0.03 + 0.93 * frac((key as f64 + 1.0) * 0.754_877_666_246_693);
+    let exec = 0.5 + 9.5 * frac((key as f64 + 1.0) * 0.554_958_132_087_371_1);
+    (fp, dram, exec)
+}
+
+fn request_for(key: usize, seq: u64, select_every: u64) -> Request {
+    let (fp, dram, exec) = key_features(key);
+    let workload = format!("wl-{key}");
+    if select_every > 0 && seq % select_every == select_every - 1 {
+        Request::select(&workload, fp, dram, exec, "edp", Some(0.05))
+    } else {
+        Request::predict(&workload, fp, dram, exec)
+    }
+}
+
+/// Runs the configured load and reports. Transport failures abort the
+/// run with the I/O error; protocol-level errors only bump `errors`.
+pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let conns = config.connections.max(1);
+    let zipf = ZipfSampler::new(config.keys.max(1), config.zipf_s);
+    let ok = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let rtt = obs::global().histogram("loadgen.rtt_ns");
+    let rtt_count_before = rtt.count();
+    let started = Instant::now();
+    std::thread::scope(|scope| -> io::Result<()> {
+        let mut threads = Vec::with_capacity(conns);
+        for conn in 0..conns {
+            // Split `requests` as evenly as possible across connections.
+            let share = config.requests / conns as u64
+                + u64::from((conn as u64) < config.requests % conns as u64);
+            let zipf = &zipf;
+            let ok = &ok;
+            let errors = &errors;
+            let rtt = &rtt;
+            threads.push(scope.spawn(move || -> io::Result<()> {
+                let mut client = Client::connect(&config.addr)?;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(
+                    config
+                        .seed
+                        .wrapping_add(conn as u64)
+                        .wrapping_mul(0x9E37_79B9),
+                );
+                let interarrival = match config.pacing {
+                    Pacing::Closed => None,
+                    Pacing::Open { rate_hz } => {
+                        Some(Duration::from_secs_f64(conns as f64 / rate_hz.max(1e-9)))
+                    }
+                };
+                let t0 = Instant::now();
+                for seq in 0..share {
+                    if let Some(gap) = interarrival {
+                        // Open loop: launch at the scheduled instant;
+                        // never skip a slot because the server was slow.
+                        let due = t0 + gap.mul_f64(seq as f64);
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                    }
+                    let key = zipf.sample(rng.random::<f64>());
+                    let req = request_for(key, seq, config.select_every);
+                    let sent = Instant::now();
+                    let resp = client
+                        .call(&req)
+                        .map_err(|e| io::Error::new(io::ErrorKind::BrokenPipe, e.to_string()))?;
+                    rtt.record_duration(sent.elapsed());
+                    if resp.ok {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Ok(())
+            }));
+        }
+        for t in threads {
+            t.join().expect("loadgen thread panicked")?;
+        }
+        Ok(())
+    })?;
+    let elapsed = started.elapsed().as_secs_f64();
+    if config.shutdown_after {
+        let mut client = Client::connect(&config.addr)?;
+        let _ = client.call(&Request::shutdown());
+    }
+    let sent = rtt.count().saturating_sub(rtt_count_before);
+    Ok(LoadgenReport {
+        ok: ok.load(Ordering::Relaxed) as f64,
+        errors: errors.load(Ordering::Relaxed) as f64,
+        elapsed_s: elapsed,
+        qps: sent as f64 / elapsed.max(1e-9),
+        p50_us: rtt.percentile(0.50) as f64 / 1e3,
+        p90_us: rtt.percentile(0.90) as f64 / 1e3,
+        p99_us: rtt.percentile(0.99) as f64 / 1e3,
+        max_us: rtt.max() as f64 / 1e3,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_cdf_is_normalized_and_skewed() {
+        let z = ZipfSampler::new(100, 1.0);
+        assert!((z.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+        // Rank 1 should dominate under s=1: it alone carries
+        // 1/H(100) ≈ 19% of the mass.
+        assert!(z.cdf[0] > 0.15);
+        // Sampling the extremes maps into range.
+        assert_eq!(z.sample(0.0), 0);
+        assert_eq!(z.sample(0.999_999_9), 99);
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for i in 0..10 {
+            let u = (i as f64 + 0.5) / 10.0;
+            assert_eq!(z.sample(u), i);
+        }
+    }
+
+    #[test]
+    fn key_features_are_valid_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for key in 0..512 {
+            let (fp, dram, exec) = key_features(key);
+            assert!((0.0..=1.0).contains(&fp));
+            assert!((0.0..=1.0).contains(&dram));
+            assert!(exec > 0.0);
+            // Distinct keys land in distinct 1e-3 cache buckets.
+            assert!(
+                seen.insert(((fp * 1e3) as u64, (dram * 1e3) as u64)),
+                "key {key} collided"
+            );
+        }
+    }
+}

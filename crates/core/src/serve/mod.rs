@@ -1,0 +1,30 @@
+//! `dvfs serve` — the online phase as a long-lived daemon.
+//!
+//! The paper's deployment story is a controller: profile a workload once
+//! at the default clock, predict its power/time profile across the DVFS
+//! grid, pick a frequency. This module packages that loop as a hermetic,
+//! std-only TCP service:
+//!
+//! * [`framing`] — 4-byte big-endian length prefix + JSON payload, with
+//!   an incremental reader that survives short reads and rejects
+//!   oversized frames before allocating;
+//! * [`protocol`] — the request/response structs
+//!   (`predict`/`select`/`version`/`stats`/`reload`/`shutdown`);
+//! * [`server`] — thread-per-core [`server::Server`]: handler threads
+//!   coalesce requests into a shared queue, worker threads batch them
+//!   through the cached predictor against a
+//!   [`crate::cache::ShardedProfileCache`], and every response names the
+//!   [`crate::snapshot::ModelSnapshot`] version that produced it;
+//! * [`loadgen`] — open-/closed-loop zipf load generator reporting
+//!   throughput and p50/p90/p99 from the shared `loadgen.rtt_ns`
+//!   histogram.
+
+pub mod framing;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use framing::{write_frame, FrameError, FrameReader, DEFAULT_MAX_FRAME};
+pub use loadgen::{LoadgenConfig, LoadgenReport, Pacing, ZipfSampler};
+pub use protocol::{CacheStatsReply, Request, Response};
+pub use server::{Client, ServeConfig, Server};

@@ -1,0 +1,235 @@
+//! The serve wire protocol: one JSON request object per frame, one JSON
+//! response object per frame.
+//!
+//! The compat `serde_derive` requires every named field to be present on
+//! deserialize (there is no `#[serde(default)]`), so both sides always
+//! send the full struct and use `null` for fields a command does not
+//! need. [`Request`] constructors fill the boilerplate.
+//!
+//! Commands:
+//!
+//! | `cmd`      | inputs                                              | reply payload |
+//! |------------|-----------------------------------------------------|---------------|
+//! | `ping`     | —                                                   | `ok`, `version` |
+//! | `version`  | —                                                   | current snapshot version + label |
+//! | `predict`  | `workload`, `fp_active`, `dram_active`, `exec_time` | full [`PredictedProfile`] |
+//! | `select`   | predict inputs + `objective`, optional `threshold`  | profile + [`Selection`] |
+//! | `stats`    | —                                                   | cache counters |
+//! | `reload`   | `path` (models JSON)                                | newly published version |
+//! | `shutdown` | —                                                   | `ok`, then the server drains and exits |
+
+use crate::objective::Selection;
+use crate::predictor::PredictedProfile;
+use serde::{Deserialize, Serialize};
+
+/// One request frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Command discriminator (see the module table).
+    pub cmd: String,
+    /// Workload name (predict/select).
+    pub workload: Option<String>,
+    /// Combined FP pipe activity in `[0, 1]` from the default-clock
+    /// profiling run (predict/select).
+    pub fp_active: Option<f64>,
+    /// DRAM activity in `[0, 1]` from the default-clock run
+    /// (predict/select).
+    pub dram_active: Option<f64>,
+    /// Execution time in seconds at the default clock (predict/select).
+    pub exec_time: Option<f64>,
+    /// Objective name: `edp`, `ed2p`, `energy`, `time` (select).
+    pub objective: Option<String>,
+    /// Performance-degradation threshold, fractional (select).
+    pub threshold: Option<f64>,
+    /// Models JSON path (reload).
+    pub path: Option<String>,
+}
+
+impl Request {
+    fn blank(cmd: &str) -> Self {
+        Self {
+            cmd: cmd.to_string(),
+            workload: None,
+            fp_active: None,
+            dram_active: None,
+            exec_time: None,
+            objective: None,
+            threshold: None,
+            path: None,
+        }
+    }
+
+    /// A `ping` request.
+    pub fn ping() -> Self {
+        Self::blank("ping")
+    }
+
+    /// A `version` request.
+    pub fn version() -> Self {
+        Self::blank("version")
+    }
+
+    /// A `stats` request.
+    pub fn stats() -> Self {
+        Self::blank("stats")
+    }
+
+    /// A `shutdown` request.
+    pub fn shutdown() -> Self {
+        Self::blank("shutdown")
+    }
+
+    /// A `reload` request for the models JSON at `path`.
+    pub fn reload(path: &str) -> Self {
+        let mut r = Self::blank("reload");
+        r.path = Some(path.to_string());
+        r
+    }
+
+    /// A `predict` request from a default-clock profiling run.
+    pub fn predict(workload: &str, fp_active: f64, dram_active: f64, exec_time: f64) -> Self {
+        let mut r = Self::blank("predict");
+        r.workload = Some(workload.to_string());
+        r.fp_active = Some(fp_active);
+        r.dram_active = Some(dram_active);
+        r.exec_time = Some(exec_time);
+        r
+    }
+
+    /// A `select` request: predict plus frequency selection.
+    pub fn select(
+        workload: &str,
+        fp_active: f64,
+        dram_active: f64,
+        exec_time: f64,
+        objective: &str,
+        threshold: Option<f64>,
+    ) -> Self {
+        let mut r = Self::predict(workload, fp_active, dram_active, exec_time);
+        r.cmd = "select".to_string();
+        r.objective = Some(objective.to_string());
+        r.threshold = threshold;
+        r
+    }
+}
+
+/// Cache counters on the wire (`stats` reply). Mirrors
+/// [`crate::cache::CacheStats`] plus occupancy, as plain fields — the
+/// internal struct stays wire-independent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheStatsReply {
+    /// Total lookups.
+    pub lookups: f64,
+    /// Lookups served from cache.
+    pub hits: f64,
+    /// Lookups that computed and inserted.
+    pub misses: f64,
+    /// Capacity evictions.
+    pub evictions: f64,
+    /// Hit fraction (0.0 on an idle cache, never NaN).
+    pub hit_rate: f64,
+    /// Resident entries across all shards.
+    pub resident: f64,
+    /// Number of independent shards.
+    pub shards: f64,
+}
+
+/// One response frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// True unless the request failed; then `error` says why.
+    pub ok: bool,
+    /// Human-readable failure reason (`ok == false` only).
+    pub error: Option<String>,
+    /// Version of the [`crate::snapshot::ModelSnapshot`] that served the
+    /// request (0 for replies that never touched the models, e.g. a
+    /// protocol error).
+    pub version: f64,
+    /// Snapshot provenance label (`version` command only).
+    pub label: Option<String>,
+    /// The predicted profile (predict/select).
+    pub profile: Option<PredictedProfile>,
+    /// The frequency selection (select).
+    pub selection: Option<Selection>,
+    /// Cache counters (`stats` command only).
+    pub stats: Option<CacheStatsReply>,
+}
+
+impl Response {
+    /// A minimal success reply carrying only the snapshot version.
+    pub fn ok(version: u64) -> Self {
+        Self {
+            ok: true,
+            error: None,
+            version: version as f64,
+            label: None,
+            profile: None,
+            selection: None,
+            stats: None,
+        }
+    }
+
+    /// A failure reply. Protocol-level failures carry version 0.
+    pub fn err(version: u64, message: impl Into<String>) -> Self {
+        let mut r = Self::ok(version);
+        r.ok = false;
+        r.error = Some(message.into());
+        r
+    }
+}
+
+/// Parses an objective name from the wire (same names the CLI accepts).
+pub fn parse_objective(name: &str) -> Result<crate::objective::Objective, String> {
+    use crate::objective::Objective;
+    match name {
+        "edp" => Ok(Objective::Edp),
+        "ed2p" => Ok(Objective::Ed2p),
+        "energy" => Ok(Objective::EnergyOnly),
+        "time" => Ok(Objective::TimeOnly),
+        other => Err(format!(
+            "unknown objective `{other}` (expected edp|ed2p|energy|time)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_json() {
+        let req = Request::select("lammps", 0.62, 0.31, 12.5, "edp", Some(0.05));
+        let json = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, back);
+        // None fields serialize as null and come back as None.
+        assert!(json.contains("\"path\":null"));
+    }
+
+    #[test]
+    fn response_floats_round_trip_bitwise() {
+        let profile = PredictedProfile::new(
+            "w".into(),
+            vec![705.0, 1410.0],
+            vec![213.4567890123, 400.0000000001],
+            vec![1.618_033_988_749_895, 1.0],
+        );
+        let mut resp = Response::ok(3);
+        resp.profile = Some(profile.clone());
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        let got = back.profile.unwrap();
+        for (a, b) in profile.energy_j.iter().zip(&got.energy_j) {
+            assert_eq!(a.to_bits(), b.to_bits(), "energy must survive the wire");
+        }
+        for (a, b) in profile.time_s.iter().zip(&got.time_s) {
+            assert_eq!(a.to_bits(), b.to_bits(), "time must survive the wire");
+        }
+    }
+
+    #[test]
+    fn unknown_objective_is_a_clean_error() {
+        assert!(parse_objective("edp").is_ok());
+        assert!(parse_objective("frobnicate").is_err());
+    }
+}

@@ -1,0 +1,554 @@
+//! The thread-per-core prediction server.
+//!
+//! Topology: one **acceptor** thread (non-blocking accept loop), one
+//! **handler** thread per connection (framing + protocol + control
+//! commands), and `workers` **worker** threads that drain a shared job
+//! queue and run the cached batch-prediction path. Handlers enqueue
+//! `predict`/`select` jobs and block on a per-job reply channel; workers
+//! pop up to `max_batch` jobs at a time, so concurrent requests from
+//! different connections coalesce into one
+//! [`Predictor::predict_batch_cached`] call naturally under load.
+//!
+//! Each worker binds a [`Predictor`] to the current [`ModelSnapshot`]
+//! and rebinds when [`ModelStore::current_version`] moves — a snapshot
+//! swap never blocks a reader and never stalls the queue; a batch popped
+//! concurrently with a publish is served by the version that was current
+//! at dequeue (the response carries that version id).
+//!
+//! The profile cache is a [`ShardedProfileCache`]: requests touch only
+//! the shard their quantized key hashes to, so worker threads serving
+//! disjoint keys never contend on a cache lock.
+
+use super::framing::{write_frame, FrameError, FrameReader};
+use super::protocol::{parse_objective, CacheStatsReply, Request, Response};
+use crate::cache::ShardedProfileCache;
+use crate::models::PowerTimeModels;
+use crate::predictor::Predictor;
+use crate::snapshot::{ModelSnapshot, ModelStore, SnapshotMeta};
+use gpu_model::{DvfsGrid, MetricSample};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long blocking waits (queue pops, socket reads) last before
+/// re-checking the stop flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Server tunables. `Default` is sized for tests and smoke runs; the CLI
+/// scales `workers`/`cache_shards` to the machine.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker (prediction) threads.
+    pub workers: usize,
+    /// Total cached profiles across all shards.
+    pub cache_capacity: usize,
+    /// Independent cache shards (keys spread by hash).
+    pub cache_shards: usize,
+    /// Max jobs coalesced into one prediction batch.
+    pub max_batch: usize,
+    /// Max accepted frame payload, bytes.
+    pub max_frame: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            cache_capacity: 4096,
+            cache_shards: 4,
+            max_batch: 32,
+            max_frame: super::framing::DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// One queued prediction request plus everything needed to answer it.
+struct Job {
+    req: Request,
+    t0: Instant,
+    t0_ns: u64,
+    reply: mpsc::Sender<Response>,
+}
+
+/// The handler→worker queue: a mutex'd deque plus a condvar (the compat
+/// `parking_lot` has no condvar, so this is `std::sync`).
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
+impl Queue {
+    fn push(&self, job: Job) {
+        self.jobs.lock().unwrap().push_back(job);
+        self.ready.notify_one();
+    }
+
+    /// Pops up to `max_batch` jobs. Returns an empty batch on wait
+    /// timeout (caller re-checks stop/version) — after stop is set the
+    /// queue keeps draining until empty, so every accepted job is
+    /// answered.
+    fn pop_batch(&self, max_batch: usize) -> Vec<Job> {
+        let mut jobs = self.jobs.lock().unwrap();
+        if jobs.is_empty() {
+            let (guard, _) = self.ready.wait_timeout(jobs, POLL).unwrap();
+            jobs = guard;
+        }
+        let n = jobs.len().min(max_batch);
+        jobs.drain(..n).collect()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.jobs.lock().unwrap().is_empty()
+    }
+}
+
+/// Shared server state.
+struct Shared {
+    store: Arc<ModelStore>,
+    cache: ShardedProfileCache,
+    queue: Queue,
+    stop: AtomicBool,
+    max_frame: usize,
+}
+
+/// A running `dvfs serve` instance.
+///
+/// Start with [`Server::start`], stop with [`Server::shutdown`] (or a
+/// `shutdown` frame from any client), reap with [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and spawns the acceptor and worker threads.
+    pub fn start(config: ServeConfig, store: Arc<ModelStore>) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            store,
+            cache: ShardedProfileCache::new(config.cache_capacity, config.cache_shards),
+            queue: Queue {
+                jobs: Mutex::new(VecDeque::new()),
+                ready: Condvar::new(),
+            },
+            stop: AtomicBool::new(false),
+            max_frame: config.max_frame,
+        });
+        let handlers = Arc::new(Mutex::new(Vec::new()));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let max_batch = config.max_batch.max(1);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, max_batch))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("serve-acceptor".to_string())
+                .spawn(move || accept_loop(listener, &shared, &handlers))
+                .expect("spawn serve acceptor")
+        };
+        obs::log!(Info, "serve: listening on {local_addr}");
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+            handlers,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// True once a shutdown (API call, `shutdown` frame) was requested.
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// Requests shutdown: stops accepting, lets workers drain the queue.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.queue.ready.notify_all();
+    }
+
+    /// A consistent snapshot of the shared cache's counters.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Waits for every thread to exit (call [`Server::shutdown`] first,
+    /// or send a `shutdown` frame). Publishes the final cache gauges so
+    /// a `--metrics-out` export taken after join reflects the run.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock().unwrap());
+        for h in handlers {
+            let _ = h.join();
+        }
+        self.shared.cache.publish_stats();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let connections = obs::global().counter("serve.connections");
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                connections.inc();
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || handle_connection(stream, &shared))
+                    .expect("spawn serve handler");
+                handlers.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                obs::log!(Warn, "serve: accept failed: {e}");
+                std::thread::sleep(POLL);
+            }
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut reader = FrameReader::new();
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        match reader.poll_frame(&mut stream, shared.max_frame) {
+            Ok(None) => {}
+            Ok(Some(bytes)) => {
+                if !dispatch(&bytes, &mut stream, shared) {
+                    return;
+                }
+            }
+            Err(FrameError::TooLarge { announced, max }) => {
+                // The stream is desynced past an oversized frame; reply
+                // with the reason, then drop the connection.
+                let resp = Response::err(0, format!("frame of {announced} bytes exceeds {max}"));
+                let _ = send(&mut stream, &resp);
+                return;
+            }
+            Err(FrameError::Closed { .. }) | Err(FrameError::Io(_)) => return,
+        }
+    }
+}
+
+fn send(stream: &mut TcpStream, resp: &Response) -> bool {
+    let payload = serde_json::to_string(resp).expect("response serializes");
+    write_frame(stream, payload.as_bytes()).is_ok()
+}
+
+/// Handles one decoded frame; returns false when the connection should
+/// close.
+fn dispatch(bytes: &[u8], stream: &mut TcpStream, shared: &Arc<Shared>) -> bool {
+    // Garbage bytes inside a well-formed frame leave the stream synced,
+    // so both decode failures answer with an error and keep serving.
+    let text = match std::str::from_utf8(bytes) {
+        Ok(text) => text,
+        Err(e) => {
+            return send(stream, &Response::err(0, format!("bad request: {e}")));
+        }
+    };
+    let req: Request = match serde_json::from_str(text) {
+        Ok(req) => req,
+        Err(e) => {
+            return send(stream, &Response::err(0, format!("bad request: {e}")));
+        }
+    };
+    match req.cmd.as_str() {
+        "predict" | "select" => {
+            if let Err(reason) = validate(&req) {
+                return send(stream, &Response::err(0, reason));
+            }
+            let (tx, rx) = mpsc::channel();
+            shared.queue.push(Job {
+                req,
+                t0: Instant::now(),
+                t0_ns: obs::trace::now_ns(),
+                reply: tx,
+            });
+            // Workers drain the queue even after stop, so the reply
+            // normally arrives; the timeout covers a worker that died.
+            match rx.recv_timeout(Duration::from_secs(10)) {
+                Ok(resp) => send(stream, &resp),
+                Err(_) => send(stream, &Response::err(0, "server shutting down")),
+            }
+        }
+        "ping" => send(stream, &Response::ok(shared.store.current_version())),
+        "version" => {
+            let snap = shared.store.load();
+            let mut resp = Response::ok(snap.version);
+            resp.label = Some(snap.meta.label.clone());
+            send(stream, &resp)
+        }
+        "stats" => {
+            let stats = shared.cache.stats();
+            let mut resp = Response::ok(shared.store.current_version());
+            resp.stats = Some(CacheStatsReply {
+                lookups: stats.lookups as f64,
+                hits: stats.hits as f64,
+                misses: stats.misses as f64,
+                evictions: stats.evictions as f64,
+                hit_rate: stats.hit_rate(),
+                resident: shared.cache.len() as f64,
+                shards: shared.cache.num_shards() as f64,
+            });
+            send(stream, &resp)
+        }
+        "reload" => send(stream, &reload(&req, shared)),
+        "shutdown" => {
+            let _ = send(stream, &Response::ok(shared.store.current_version()));
+            shared.stop.store(true, Ordering::Release);
+            shared.queue.ready.notify_all();
+            false
+        }
+        other => send(
+            stream,
+            &Response::err(0, format!("unknown command `{other}`")),
+        ),
+    }
+}
+
+fn validate(req: &Request) -> Result<(), String> {
+    let need = |name: &str, v: Option<f64>| -> Result<f64, String> {
+        match v {
+            Some(v) if v.is_finite() => Ok(v),
+            Some(_) => Err(format!("`{name}` must be finite")),
+            None => Err(format!("`{}` requires `{name}`", req.cmd)),
+        }
+    };
+    if req.workload.is_none() {
+        return Err(format!("`{}` requires `workload`", req.cmd));
+    }
+    let fp = need("fp_active", req.fp_active)?;
+    let dram = need("dram_active", req.dram_active)?;
+    let exec = need("exec_time", req.exec_time)?;
+    if !(0.0..=1.0).contains(&fp) || !(0.0..=1.0).contains(&dram) {
+        return Err("activities must lie in [0, 1]".to_string());
+    }
+    if exec <= 0.0 {
+        return Err("`exec_time` must be positive".to_string());
+    }
+    if req.cmd == "select" {
+        let name = req
+            .objective
+            .as_deref()
+            .ok_or_else(|| "`select` requires `objective`".to_string())?;
+        parse_objective(name)?;
+        if let Some(th) = req.threshold {
+            if !th.is_finite() || th < 0.0 {
+                return Err("`threshold` must be a non-negative fraction".to_string());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn reload(req: &Request, shared: &Arc<Shared>) -> Response {
+    let path = match req.path.as_deref() {
+        Some(p) => p,
+        None => return Response::err(0, "`reload` requires `path`"),
+    };
+    let json = match std::fs::read_to_string(path) {
+        Ok(json) => json,
+        Err(e) => return Response::err(0, format!("read {path}: {e}")),
+    };
+    let models = match PowerTimeModels::from_json(&json) {
+        Ok(models) => models,
+        Err(e) => return Response::err(0, format!("parse {path}: {e}")),
+    };
+    let spec = shared.store.load().spec.clone();
+    let version = shared.store.publish(ModelSnapshot::new(
+        models,
+        spec,
+        SnapshotMeta {
+            label: path.to_string(),
+            dataset_rows: 0,
+            train_seconds: 0.0,
+        },
+    ));
+    obs::log!(
+        Info,
+        "serve: reloaded models from {path} as version {version}"
+    );
+    Response::ok(version)
+}
+
+/// Builds the default-clock reference sample a wire request stands for.
+/// Only the fields the online phase reads are populated (workload,
+/// activities, clock, exec time); the rest are zero.
+fn reference_from(req: &Request, max_core_mhz: f64) -> MetricSample {
+    MetricSample {
+        workload: req.workload.clone().unwrap_or_default(),
+        run: 0,
+        fp64_active: req.fp_active.unwrap_or(0.0),
+        fp32_active: 0.0,
+        sm_app_clock: max_core_mhz,
+        dram_active: req.dram_active.unwrap_or(0.0),
+        gr_engine_active: 0.0,
+        gpu_utilization: 0.0,
+        power_usage: 0.0,
+        sm_active: 0.0,
+        sm_occupancy: 0.0,
+        pcie_tx_bytes: 0.0,
+        pcie_rx_bytes: 0.0,
+        exec_time: req.exec_time.unwrap_or(0.0),
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, max_batch: usize) {
+    let reg = obs::global();
+    let requests = reg.counter("serve.requests");
+    let batches = reg.counter("serve.batches");
+    let latency = reg.histogram("serve.request_ns");
+    let batch_len = reg.histogram("serve.batch_len");
+    let trace_request = obs::trace::intern("serve.request");
+    let trace_workload = obs::trace::intern("workload");
+    let trace_version = obs::trace::intern("version");
+    'rebind: loop {
+        // Bind a predictor to the current snapshot; the Arc keeps it
+        // alive (and bitwise stable) even if a publish lands mid-batch.
+        let snap = shared.store.load();
+        let predictor = Predictor::new(&snap.models, snap.spec.clone());
+        let freqs = DvfsGrid::for_spec(&snap.spec).used();
+        loop {
+            let batch = shared.queue.pop_batch(max_batch);
+            if batch.is_empty() {
+                if shared.stop.load(Ordering::Acquire) && shared.queue.is_empty() {
+                    return;
+                }
+                if shared.store.current_version() != snap.version {
+                    continue 'rebind;
+                }
+                continue;
+            }
+            batches.inc();
+            batch_len.record(batch.len() as u64);
+            let refs: Vec<MetricSample> = batch
+                .iter()
+                .map(|job| reference_from(&job.req, snap.spec.max_core_mhz))
+                .collect();
+            let profiles = predictor.predict_batch_cached(&shared.cache, &refs, &freqs);
+            for (job, profile) in batch.into_iter().zip(profiles) {
+                let mut resp = Response::ok(snap.version);
+                if job.req.cmd == "select" {
+                    let objective = parse_objective(job.req.objective.as_deref().unwrap_or(""))
+                        .expect("validated at dispatch");
+                    resp.selection = Some(profile.select(objective, job.req.threshold));
+                }
+                resp.profile = Some(profile);
+                requests.inc();
+                latency.record_duration(job.t0.elapsed());
+                if obs::trace::enabled() {
+                    let workload = job.req.workload.as_deref().unwrap_or("?");
+                    obs::trace::complete(
+                        trace_request,
+                        job.t0_ns,
+                        &[
+                            (
+                                trace_workload,
+                                obs::trace::ArgValue::Str(obs::trace::intern(workload)),
+                            ),
+                            (trace_version, obs::trace::ArgValue::U64(snap.version)),
+                        ],
+                    );
+                }
+                // A dropped receiver (handler gone) is fine; the work
+                // still warmed the cache.
+                let _ = job.reply.send(resp);
+            }
+            if shared.store.current_version() != snap.version {
+                continue 'rebind;
+            }
+        }
+    }
+}
+
+/// A blocking protocol client (loadgen, tests, CLI helpers).
+pub struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            reader: FrameReader::new(),
+            max_frame: super::framing::DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, FrameError> {
+        let payload = serde_json::to_string(req).expect("request serializes");
+        write_frame(&mut self.stream, payload.as_bytes()).map_err(FrameError::Io)?;
+        self.read_response()
+    }
+
+    /// Sends raw bytes as one frame (protocol-abuse tests).
+    pub fn send_raw(&mut self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.stream, payload)
+    }
+
+    /// Reads one response frame (pairs with [`Client::send_raw`]).
+    pub fn read_response(&mut self) -> Result<Response, FrameError> {
+        let frame = self.reader.read_frame(&mut self.stream, self.max_frame)?;
+        let text = std::str::from_utf8(&frame)
+            .map_err(|e| FrameError::Io(io::Error::new(io::ErrorKind::InvalidData, e)))?;
+        serde_json::from_str(text).map_err(|e| {
+            FrameError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad response: {e}"),
+            ))
+        })
+    }
+
+    /// The underlying stream (tests poke at it to truncate frames).
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}

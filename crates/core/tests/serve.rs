@@ -1,0 +1,409 @@
+//! End-to-end tests for `dvfs serve`: wire protocol robustness, bitwise
+//! parity between served and in-process predictions, and hot model
+//! swaps under live traffic.
+
+use dvfs_core::cache::ProfileCache;
+use dvfs_core::dataset::Dataset;
+use dvfs_core::models::PowerTimeModels;
+use dvfs_core::predictor::Predictor;
+use dvfs_core::serve::{Client, Request, ServeConfig, Server};
+use dvfs_core::snapshot::{ModelSnapshot, ModelStore, SnapshotMeta};
+use gpu_model::{DeviceSpec, DvfsGrid, MetricSample, NoiseModel, SignatureBuilder};
+use std::io::Write;
+use std::sync::{Arc, OnceLock};
+
+/// Train once per test binary: every test shares the same weights, so
+/// served-vs-in-process comparisons stay apples to apples.
+fn shared_models() -> &'static PowerTimeModels {
+    static MODELS: OnceLock<PowerTimeModels> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let spec = DeviceSpec::ga100();
+        let nm = NoiseModel::default_bench();
+        let sigs = [
+            SignatureBuilder::new("c").flops(2e13).bytes(2e11).build(),
+            SignatureBuilder::new("m").flops(2e11).bytes(2e13).build(),
+            SignatureBuilder::new("x").flops(8e12).bytes(3e12).build(),
+        ];
+        let grid = DvfsGrid::for_spec(&spec);
+        let mut samples = Vec::new();
+        for sig in &sigs {
+            for &f in grid.used().iter().step_by(6) {
+                samples.push(gpu_model::sample::measure(&spec, sig, f, 0, &nm));
+            }
+            samples.push(gpu_model::sample::measure(
+                &spec,
+                sig,
+                spec.max_core_mhz,
+                0,
+                &nm,
+            ));
+        }
+        PowerTimeModels::train(&Dataset::from_samples(&spec, &samples).unwrap())
+    })
+}
+
+fn start_server() -> (Server, Arc<ModelStore>) {
+    let spec = DeviceSpec::ga100();
+    let snapshot = ModelSnapshot::new(
+        shared_models().clone(),
+        spec,
+        SnapshotMeta {
+            label: "test".into(),
+            dataset_rows: 0,
+            train_seconds: 0.0,
+        },
+    );
+    let store = Arc::new(ModelStore::new(snapshot));
+    let server = Server::start(ServeConfig::default(), Arc::clone(&store)).expect("bind");
+    (server, store)
+}
+
+fn stop(server: Server, addr: &str) {
+    // A shutdown frame (not just the API) so the drain path is exercised.
+    if let Ok(mut c) = Client::connect(addr) {
+        let _ = c.call(&Request::shutdown());
+    }
+    server.shutdown();
+    server.join();
+}
+
+/// The reference sample a wire request stands for (mirrors the server's
+/// own mapping — fp activity in the fp64 slot, default clock).
+fn reference_like_server(
+    spec: &DeviceSpec,
+    workload: &str,
+    fp: f64,
+    dram: f64,
+    exec: f64,
+) -> MetricSample {
+    MetricSample {
+        workload: workload.to_string(),
+        run: 0,
+        fp64_active: fp,
+        fp32_active: 0.0,
+        sm_app_clock: spec.max_core_mhz,
+        dram_active: dram,
+        gr_engine_active: 0.0,
+        gpu_utilization: 0.0,
+        power_usage: 0.0,
+        sm_active: 0.0,
+        sm_occupancy: 0.0,
+        pcie_tx_bytes: 0.0,
+        pcie_rx_bytes: 0.0,
+        exec_time: exec,
+    }
+}
+
+#[test]
+fn served_predict_is_bitwise_identical_to_in_process() {
+    let (server, _store) = start_server();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let resp = client
+        .call(&Request::predict("parity", 0.62, 0.31, 12.5))
+        .unwrap();
+    assert!(resp.ok, "predict failed: {:?}", resp.error);
+    assert_eq!(resp.version, 1.0);
+    let served = resp.profile.expect("predict returns a profile");
+
+    // The same snapshot version, driven through the same cached batch
+    // path in-process. serde_json's float_roundtrip mode means the trip
+    // over the wire must not perturb a single bit.
+    let spec = DeviceSpec::ga100();
+    let predictor = Predictor::new(shared_models(), spec.clone());
+    let freqs = DvfsGrid::for_spec(&spec).used();
+    let reference = reference_like_server(&spec, "parity", 0.62, 0.31, 12.5);
+    let local = predictor.predict_batch_cached(&ProfileCache::new(8), &[reference], &freqs);
+    assert_eq!(local.len(), 1);
+    assert_eq!(served.frequencies, local[0].frequencies);
+    for (a, b) in served.power_w.iter().zip(&local[0].power_w) {
+        assert_eq!(a.to_bits(), b.to_bits(), "power must match bitwise");
+    }
+    for (a, b) in served.time_s.iter().zip(&local[0].time_s) {
+        assert_eq!(a.to_bits(), b.to_bits(), "time must match bitwise");
+    }
+    for (a, b) in served.energy_j.iter().zip(&local[0].energy_j) {
+        assert_eq!(a.to_bits(), b.to_bits(), "energy must match bitwise");
+    }
+
+    // select returns the same selection the profile computes locally.
+    let resp = client
+        .call(&Request::select(
+            "parity",
+            0.62,
+            0.31,
+            12.5,
+            "edp",
+            Some(0.05),
+        ))
+        .unwrap();
+    assert!(resp.ok);
+    let selection = resp.selection.expect("select returns a selection");
+    let local_sel = local[0].select(dvfs_core::objective::Objective::Edp, Some(0.05));
+    assert_eq!(selection, local_sel);
+
+    stop(server, &addr);
+}
+
+#[test]
+fn garbage_json_gets_an_error_reply_and_the_connection_survives() {
+    let (server, _store) = start_server();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    client.send_raw(b"this is not json {{{").unwrap();
+    let resp = client.read_response().unwrap();
+    assert!(!resp.ok);
+    assert!(resp.error.unwrap().contains("bad request"));
+
+    // Valid JSON of the wrong shape is also an error, not a panic.
+    client.send_raw(b"{\"unexpected\":true}").unwrap();
+    let resp = client.read_response().unwrap();
+    assert!(!resp.ok);
+
+    // The stream stayed framed: a real request on the same connection
+    // still succeeds.
+    let resp = client.call(&Request::ping()).unwrap();
+    assert!(resp.ok);
+
+    // Semantic errors: missing fields, out-of-range activities, bad
+    // objective names.
+    let resp = client.call(&Request::predict("w", 1.5, 0.2, 1.0)).unwrap();
+    assert!(!resp.ok, "fp_active > 1 must be rejected");
+    let resp = client
+        .call(&Request::select("w", 0.5, 0.2, 1.0, "frobnicate", None))
+        .unwrap();
+    assert!(!resp.ok, "unknown objective must be rejected");
+    let resp = client.call(&Request::ping()).unwrap();
+    assert!(resp.ok, "connection survives semantic errors");
+
+    stop(server, &addr);
+}
+
+#[test]
+fn oversized_frame_is_rejected_with_a_reason() {
+    let (server, _store) = start_server();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Announce a payload far beyond the limit; send no payload bytes.
+    let announced: u32 = 64 << 20;
+    client
+        .stream_mut()
+        .write_all(&announced.to_be_bytes())
+        .unwrap();
+    let resp = client.read_response().unwrap();
+    assert!(!resp.ok);
+    assert!(
+        resp.error.as_deref().unwrap_or("").contains("exceeds"),
+        "error should name the limit: {:?}",
+        resp.error
+    );
+
+    // The server dropped that desynced connection, but keeps serving
+    // new ones.
+    let mut fresh = Client::connect(&addr).unwrap();
+    assert!(fresh.call(&Request::ping()).unwrap().ok);
+
+    stop(server, &addr);
+}
+
+#[test]
+fn truncated_frame_does_not_wedge_the_server() {
+    let (server, _store) = start_server();
+    let addr = server.local_addr().to_string();
+
+    {
+        let mut client = Client::connect(&addr).unwrap();
+        // A frame header promising 100 bytes, followed by only 3, then a
+        // write-side close: the handler sees an unclean EOF and bails.
+        client
+            .stream_mut()
+            .write_all(&100u32.to_be_bytes())
+            .unwrap();
+        client.stream_mut().write_all(b"abc").unwrap();
+        client
+            .stream_mut()
+            .shutdown(std::net::Shutdown::Write)
+            .unwrap();
+    }
+
+    let mut fresh = Client::connect(&addr).unwrap();
+    assert!(fresh.call(&Request::ping()).unwrap().ok);
+
+    stop(server, &addr);
+}
+
+#[test]
+fn control_commands_report_version_and_cache_stats() {
+    let (server, _store) = start_server();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let resp = client.call(&Request::version()).unwrap();
+    assert!(resp.ok);
+    assert_eq!(resp.version, 1.0);
+    assert_eq!(resp.label.as_deref(), Some("test"));
+
+    // Two predicts for the same key: one miss, one hit.
+    for _ in 0..2 {
+        assert!(
+            client
+                .call(&Request::predict("s", 0.4, 0.4, 2.0))
+                .unwrap()
+                .ok
+        );
+    }
+    let resp = client.call(&Request::stats()).unwrap();
+    let stats = resp.stats.expect("stats reply");
+    assert_eq!(stats.lookups, stats.hits + stats.misses);
+    assert!(stats.lookups >= 2.0);
+    assert!(stats.hit_rate >= 0.0 && stats.hit_rate.is_finite());
+    assert!(stats.shards >= 1.0);
+
+    let resp = client.call(&Request::ping()).unwrap();
+    assert!(resp.ok);
+
+    let mut req = Request::ping();
+    req.cmd = "frobnicate".into();
+    let resp = client.call(&req).unwrap();
+    assert!(!resp.ok);
+    assert!(resp.error.unwrap().contains("unknown command"));
+
+    stop(server, &addr);
+}
+
+#[test]
+fn hot_swap_is_picked_up_without_stalling_in_flight_traffic() {
+    let (server, store) = start_server();
+    let addr = server.local_addr().to_string();
+
+    // Baseline response at version 1.
+    let mut probe = Client::connect(&addr).unwrap();
+    let before = probe
+        .call(&Request::predict("swap", 0.55, 0.25, 3.0))
+        .unwrap();
+    assert_eq!(before.version, 1.0);
+
+    // Hammer the server from two connections while snapshots are
+    // published underneath them. Every request must succeed, versions
+    // must never move backwards, and no request may stall: the workers
+    // rebind between batches, readers never take a publisher's lock.
+    let stop_flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let observed_max = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let addr2 = addr.clone();
+    let hammers: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr2.clone();
+            let stop_flag = Arc::clone(&stop_flag);
+            let observed_max = Arc::clone(&observed_max);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let mut last = 0u64;
+                let mut served = 0u64;
+                while !stop_flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    let resp = client
+                        .call(&Request::predict("swap", 0.55, 0.25, 3.0))
+                        .unwrap();
+                    assert!(resp.ok, "in-flight request failed during swap");
+                    let version = resp.version as u64;
+                    assert!(version >= last, "served version went backwards");
+                    last = version;
+                    served += 1;
+                    observed_max.fetch_max(version, std::sync::atomic::Ordering::Relaxed);
+                }
+                served
+            })
+        })
+        .collect();
+
+    // Publish the *same weights* as new versions: the version id must
+    // advance while the numerical answers stay bitwise identical.
+    let snap = store.load();
+    for _ in 0..3 {
+        store.publish(ModelSnapshot::new(
+            snap.models.clone(),
+            snap.spec.clone(),
+            SnapshotMeta {
+                label: "swap".into(),
+                dataset_rows: 0,
+                train_seconds: 0.0,
+            },
+        ));
+        std::thread::sleep(std::time::Duration::from_millis(120));
+    }
+
+    // Traffic must observe a post-swap version without being told to
+    // pause — that's the "picked up by in-flight traffic" criterion.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while observed_max.load(std::sync::atomic::Ordering::Relaxed) < 4
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    stop_flag.store(true, std::sync::atomic::Ordering::Relaxed);
+    let total: u64 = hammers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total > 0);
+    assert!(
+        observed_max.load(std::sync::atomic::Ordering::Relaxed) >= 4,
+        "hot swap was never observed by live traffic"
+    );
+
+    // Same weights, new version: bitwise-identical numbers.
+    let after = probe
+        .call(&Request::predict("swap", 0.55, 0.25, 3.0))
+        .unwrap();
+    assert_eq!(after.version, 4.0);
+    let (b, a) = (before.profile.unwrap(), after.profile.unwrap());
+    for (x, y) in b.power_w.iter().zip(&a.power_w) {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "power changed across identical swap"
+        );
+    }
+    for (x, y) in b.time_s.iter().zip(&a.time_s) {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "time changed across identical swap"
+        );
+    }
+
+    stop(server, &addr);
+}
+
+#[test]
+fn shutdown_frame_drains_queued_requests() {
+    let (server, _store) = start_server();
+    let addr = server.local_addr().to_string();
+
+    // Queue work from several connections, then shut down; every
+    // request must still get an answer (workers drain before exiting).
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let mut answered = 0;
+                for k in 0..25 {
+                    let wl = format!("drain-{i}-{k}");
+                    let resp = client
+                        .call(&Request::predict(&wl, 0.2 + 0.001 * k as f64, 0.3, 1.0))
+                        .unwrap();
+                    assert!(resp.ok);
+                    answered += 1;
+                }
+                answered
+            })
+        })
+        .collect();
+    let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, 100);
+
+    let mut client = Client::connect(&addr).unwrap();
+    let resp = client.call(&Request::shutdown()).unwrap();
+    assert!(resp.ok);
+    server.join();
+}

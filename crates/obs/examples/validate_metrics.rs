@@ -7,12 +7,17 @@
 //!
 //! ```text
 //! cargo run -p obs --example validate_metrics -- metrics.json
+//! cargo run -p obs --example validate_metrics -- metrics.json --hist serve.request_ns
 //! ```
+//!
+//! `--hist NAME` overrides which request-latency histogram must be
+//! present and non-empty (default `batch.request_ns`); `dvfs serve`
+//! exports its latencies as `serve.request_ns`.
 
 use serde::value::Value;
 use std::process::ExitCode;
 
-fn check(parsed: &Value) -> Result<(), String> {
+fn check(parsed: &Value, hist_name: &str) -> Result<(), String> {
     let counters = parsed.get("counters").ok_or("missing `counters` section")?;
     for key in ["cache.hits", "cache.misses", "cache.evictions"] {
         counters
@@ -29,8 +34,8 @@ fn check(parsed: &Value) -> Result<(), String> {
     }
     let hist = parsed
         .get("histograms")
-        .and_then(|h| h.get("batch.request_ns"))
-        .ok_or("missing histogram `batch.request_ns`")?;
+        .and_then(|h| h.get(hist_name))
+        .ok_or(format!("missing histogram `{hist_name}`"))?;
     for key in ["count", "p50", "p90", "p99", "max"] {
         hist.get(key)
             .and_then(Value::as_f64)
@@ -50,8 +55,25 @@ fn check(parsed: &Value) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: validate_metrics <metrics.json>");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut hist_name = "batch.request_ns".to_string();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--hist" {
+            match it.next() {
+                Some(name) => hist_name = name,
+                None => {
+                    eprintln!("validate_metrics: --hist needs a value");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            path = Some(arg);
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: validate_metrics <metrics.json> [--hist NAME]");
         return ExitCode::FAILURE;
     };
     let text = match std::fs::read_to_string(&path) {
@@ -68,7 +90,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match check(&parsed) {
+    match check(&parsed, &hist_name) {
         Ok(()) => {
             println!("validate_metrics: {path} ok");
             ExitCode::SUCCESS

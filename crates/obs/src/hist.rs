@@ -154,8 +154,17 @@ impl Histogram {
         let rank = ((count - 1) as f64 * q.clamp(0.0, 1.0)) as u64;
         if rank >= count - 1 {
             // The top rank is tracked exactly (like a sorted vector's
-            // last element), not bucket-quantized.
+            // last element), not bucket-quantized. This covers the
+            // single-sample-in-a-high-bucket case: p99 of one recorded
+            // value is that value, not its bucket's lower edge.
             return self.max();
+        }
+        if rank == 0 {
+            // Symmetric fix at the bottom: the lowest rank is the exact
+            // tracked minimum, not the midpoint of the minimum's bucket
+            // (which can sit above the recorded value). With two samples
+            // this makes both reachable ranks exact.
+            return self.min();
         }
         let mut seen = 0u64;
         for (i, bucket) in self.core.buckets.iter().enumerate() {
@@ -274,6 +283,34 @@ mod tests {
             );
         }
         assert_eq!(h.percentile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn single_sample_in_a_high_bucket_is_reported_exactly() {
+        // 1_234_567 lands in a wide log-linear bucket whose lower edge
+        // is thousands below the value; every percentile of a
+        // single-sample histogram must still be the recorded value.
+        let h = Histogram::new();
+        h.record(1_234_567);
+        let (lo, width) = bucket_bounds(1_234_567);
+        assert!(width > 1 && lo < 1_234_567, "value must not sit on an edge");
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 1_234_567, "q={q}");
+        }
+    }
+
+    #[test]
+    fn two_samples_report_exact_extremes() {
+        let h = Histogram::new();
+        h.record(1_000_003);
+        h.record(2_000_003);
+        // The sorted-vector rank convention truncates `(len-1)*q`, so
+        // any q < 1 is rank 0 here — the exact min; q = 1 is the exact
+        // max. Neither is bucket-quantized.
+        assert_eq!(h.percentile(0.0), 1_000_003);
+        assert_eq!(h.percentile(0.5), 1_000_003);
+        assert_eq!(h.percentile(0.99), 1_000_003);
+        assert_eq!(h.percentile(1.0), 2_000_003);
     }
 
     #[test]

@@ -50,6 +50,34 @@ proptest! {
         prop_assert_eq!(hist.count(), values.len() as u64);
     }
 
+    /// Degenerate populations: with one or two samples every reachable
+    /// rank is an exact extreme, so the histogram must agree with the
+    /// sorted-vector oracle *exactly* — no bucket quantization allowed.
+    /// (Regression: p99 of a single sample in a wide top bucket used to
+    /// be at the mercy of bucket edges; both extremes now short-circuit
+    /// to the tracked min/max.)
+    #[test]
+    fn one_and_two_sample_percentiles_are_exact(
+        mut values in proptest::collection::vec(1u64..u64::MAX / 2, 1..3),
+        q in 0.0..1.0f64,
+    ) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.0, q, 0.5, 0.99, 1.0] {
+            let oracle = values[((values.len() - 1) as f64 * q) as usize];
+            prop_assert_eq!(
+                hist.percentile(q),
+                oracle,
+                "q={}: {} sample(s) must be exact",
+                q,
+                values.len()
+            );
+        }
+    }
+
     /// Percentile is monotone in the quantile.
     #[test]
     fn percentile_is_monotone_in_q(

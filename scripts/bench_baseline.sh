@@ -37,7 +37,45 @@ if [[ ! -s "$jsonl" ]]; then
     exit 1
 fi
 
-# Fold the per-benchmark JSONL records into one {"name": mean_ns} object.
+# End-to-end serving throughput: a real `dvfs serve` daemon on an
+# ephemeral port, hammered closed-loop by `dvfs loadgen`. The full run
+# pushes 1M requests so the p99 comes from a well-populated histogram;
+# the smoke run only proves the plumbing.
+if [[ "$smoke" == "1" ]]; then
+    serve_reqs=2000
+else
+    serve_reqs=1000000
+fi
+echo "==> dvfs serve throughput ($serve_reqs requests, closed loop)"
+cargo build --release --offline --bin dvfs
+servedir="$(mktemp -d)"
+trap 'rm -f "$jsonl"; rm -rf "$servedir"' EXIT
+DVFS_LOG=error target/release/dvfs train --stride 8 --out "$servedir/models.json" >/dev/null
+DVFS_LOG=error target/release/dvfs serve --models "$servedir/models.json" \
+    > "$servedir/serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 100); do
+    addr="$(sed -n 's/^listening on //p' "$servedir/serve.log" | head -n 1)"
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+    echo "error: dvfs serve never printed its address" >&2
+    exit 1
+fi
+report="$(target/release/dvfs loadgen --addr "$addr" \
+    --requests "$serve_reqs" --connections 8 --shutdown --json)"
+wait "$serve_pid"
+serve_qps="$(printf '%s' "$report" | sed -n 's/.*"qps":\([0-9.eE+-]*\).*/\1/p')"
+serve_p99="$(printf '%s' "$report" | sed -n 's/.*"p99_us":\([0-9.eE+-]*\).*/\1/p')"
+if [[ -z "$serve_qps" || -z "$serve_p99" ]]; then
+    echo "error: loadgen report missing qps/p99: $report" >&2
+    exit 1
+fi
+
+# Fold the per-benchmark JSONL records into one {"name": mean_ns} object,
+# then splice in the serving numbers (qps and p99 µs, not ns/iter).
 awk '
 BEGIN { print "{"; sep = "" }
 /"name":/ {
@@ -46,8 +84,8 @@ BEGIN { print "{"; sep = "" }
     printf "%s  \"%s\": %s", sep, name, mean
     sep = ",\n"
 }
-END { print "\n}" }
 ' "$jsonl" > "$out"
+printf ',\n  "serve_qps": %s,\n  "serve_p99_us": %s\n}\n' "$serve_qps" "$serve_p99" >> "$out"
 
 echo "==> wrote $out"
 cat "$out"

@@ -46,11 +46,32 @@ DVFS_LOG=error target/release/dvfs monitor --stride 8 --window 64 > "$tmp/monito
 grep -q 'quality\.power\.mape' "$tmp/monitor.txt"
 grep -q 'quality\.time\.mape' "$tmp/monitor.txt"
 
+echo "==> dvfs serve smoke (ephemeral port -> loadgen -> validate telemetry)"
+DVFS_LOG=error target/release/dvfs serve --models "$tmp/models.json" \
+    --metrics-out "$tmp/serve_metrics.json" --trace-out "$tmp/serve_trace.json" \
+    > "$tmp/serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 100); do
+    addr="$(sed -n 's/^listening on //p' "$tmp/serve.log" | head -n 1)"
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+test -n "$addr"
+DVFS_LOG=error target/release/dvfs loadgen --addr "$addr" \
+    --requests 400 --connections 4 --shutdown >/dev/null
+wait "$serve_pid"
+cargo run --release --offline -p obs --example validate_metrics -- \
+    "$tmp/serve_metrics.json" --hist serve.request_ns
+cargo run --release --offline -p obs --example validate_trace -- \
+    "$tmp/serve_trace.json" --require serve.request
+
 echo "==> bench baseline smoke (BENCH_SMOKE=1)"
 BENCH_SMOKE=1 BENCH_OUT="$tmp/BENCH_nn.json" scripts/bench_baseline.sh >/dev/null
 test -s "$tmp/BENCH_nn.json"
 grep -q '"nn_training/epoch_parallel"' "$tmp/BENCH_nn.json"
 grep -q '"pipeline/offline_sweep"' "$tmp/BENCH_nn.json"
 grep -q '"trace_overhead/instant_enabled"' "$tmp/BENCH_nn.json"
+grep -q '"serve_qps"' "$tmp/BENCH_nn.json"
 
 echo "==> all checks passed"

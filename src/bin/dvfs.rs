@@ -12,6 +12,11 @@
 //!               [--threshold PCT] [--arch ga100|gv100]
 //! dvfs monitor  [--arch ga100|gv100] [--stride N] [--window W]
 //!               [--warn-mape PCT] [--drift PCT]
+//! dvfs serve    --models models.json [--addr HOST:PORT] [--workers N]
+//!               [--capacity C] [--shards S] [--max-batch B] [--arch ga100|gv100]
+//! dvfs loadgen  --addr HOST:PORT [--requests N] [--connections C]
+//!               [--mode closed|open] [--rate R] [--keys K] [--zipf S]
+//!               [--select-every N] [--seed S] [--json] [--shutdown]
 //! dvfs apps
 //! ```
 //!
@@ -32,26 +37,65 @@ use gpu_dvfs::prelude::*;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+/// Exit code for usage / validation errors (bad flag, unknown command,
+/// out-of-range value): the invocation itself was wrong.
+const EXIT_USAGE: u8 = 2;
+/// Exit code for I/O and configuration errors (unreadable models file,
+/// bind failure, unwritable output): the invocation was fine, the
+/// environment wasn't. Distinct codes let wrappers retry the right one.
+const EXIT_IO: u8 = 3;
+
+/// A CLI failure, classified for the exit code.
+enum CliError {
+    /// The command line was invalid (exit 2).
+    Usage(String),
+    /// The environment failed us: file, socket, config (exit 3).
+    Io(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => EXIT_USAGE,
+            CliError::Io(_) => EXIT_IO,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Io(m) => m,
+        }
+    }
+}
+
+// Bare `String` errors come from flag parsing and validation helpers —
+// they classify as usage errors; I/O sites wrap explicitly.
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Usage(message)
+    }
+}
+
+fn usage_exit(message: &str) -> ExitCode {
+    eprintln!("error: {message}\n\n{USAGE}");
+    ExitCode::from(EXIT_USAGE)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     };
     let opts = match parse_flags(rest) {
         Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return usage_exit(&e),
     };
     if let Err(e) = metrics_format(&opts) {
-        eprintln!("error: {e}\n\n{USAGE}");
-        return ExitCode::FAILURE;
+        return usage_exit(&e);
     }
     if let Err(e) = apply_threads(&opts) {
-        eprintln!("error: {e}\n\n{USAGE}");
-        return ExitCode::FAILURE;
+        return usage_exit(&e);
     }
     // The flight recorder must be armed before the command runs so every
     // worker thread it spawns records into the per-thread rings.
@@ -66,25 +110,79 @@ fn main() -> ExitCode {
         "cap" => cmd_cap(&opts),
         "batch" => cmd_batch(&opts),
         "monitor" => cmd_monitor(&opts),
+        "serve" => cmd_serve(&opts),
+        "loadgen" => cmd_loadgen(&opts),
         "apps" => cmd_apps(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     };
     // Export the instrumentation on BOTH paths: a failing run is exactly
     // when the snapshot and trace matter most. (`and_then` here used to
-    // drop the telemetry whenever the command errored.)
+    // drop the telemetry whenever the command errored.) This includes the
+    // signal-triggered `serve` shutdown, which returns here like any
+    // other completed command.
     let exports = emit_metrics(&opts).and(emit_trace(&opts));
     match (result, exports) {
         (Ok(()), Ok(())) => ExitCode::SUCCESS,
         (result, exports) => {
+            // The command's classification wins over a late export error.
+            let code = result
+                .as_ref()
+                .err()
+                .or(exports.as_ref().err())
+                .map(CliError::exit_code)
+                .unwrap_or(1);
             for e in [result.err(), exports.err()].into_iter().flatten() {
-                eprintln!("error: {e}");
+                eprintln!("error: {}", e.message());
             }
-            ExitCode::FAILURE
+            ExitCode::from(code)
         }
+    }
+}
+
+/// SIGINT/SIGTERM latch for `dvfs serve`: the handler only flips an
+/// atomic; the serve loop polls it and runs the ordinary drain + export
+/// path. No `libc` crate — std already links the platform libc, so the
+/// two-argument `signal(2)` binding below is all that's needed.
+#[cfg(unix)]
+mod interrupt {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn latch(_signum: i32) {
+        // Async-signal-safe: a relaxed-or-stronger atomic store only.
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: `signal` is the POSIX libc entry point and `latch` is
+        // async-signal-safe (single atomic store, no allocation/locks).
+        unsafe {
+            signal(SIGINT, latch);
+            signal(SIGTERM, latch);
+        }
+    }
+
+    pub fn triggered() -> bool {
+        TRIGGERED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod interrupt {
+    pub fn install() {}
+
+    pub fn triggered() -> bool {
+        false
     }
 }
 
@@ -101,7 +199,7 @@ fn metrics_format(opts: &HashMap<String, String>) -> Result<Option<&str>, String
 
 /// Exports the self-instrumentation snapshot per `--metrics` /
 /// `--metrics-out`. Runs after the command on success *and* failure.
-fn emit_metrics(opts: &HashMap<String, String>) -> Result<(), String> {
+fn emit_metrics(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let fmt = metrics_format(opts)?;
     let out = opts.get("metrics-out");
     if fmt.is_none() && out.is_none() {
@@ -114,7 +212,8 @@ fn emit_metrics(opts: &HashMap<String, String>) -> Result<(), String> {
         None => {}
     }
     if let Some(path) = out {
-        std::fs::write(path, snapshot.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        std::fs::write(path, snapshot.to_json())
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
         obs::log!(Info, "wrote metrics to {path}");
     }
     Ok(())
@@ -122,12 +221,12 @@ fn emit_metrics(opts: &HashMap<String, String>) -> Result<(), String> {
 
 /// Drains the flight recorder into a Chrome trace-event JSON file per
 /// `--trace-out`. Like the metrics export, runs on both exit paths.
-fn emit_trace(opts: &HashMap<String, String>) -> Result<(), String> {
+fn emit_trace(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let Some(path) = opts.get("trace-out") else {
         return Ok(());
     };
     let stats = obs::trace::write_chrome_trace(std::path::Path::new(path))
-        .map_err(|e| format!("{path}: {e}"))?;
+        .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
     obs::log!(
         Info,
         "wrote trace to {path} ({} events from {} threads, {} dropped by ring wraparound)",
@@ -159,7 +258,22 @@ USAGE:
                 train, then replay the evaluation apps through the
                 rolling model-quality monitors and report MAPE drift
                 (--drift injects an artificial prediction error)
+  dvfs serve    --models models.json [--addr HOST:PORT] [--workers N]
+                [--capacity C] [--shards S] [--max-batch B]
+                [--arch ga100|gv100]
+                long-lived prediction daemon: length-prefixed JSON
+                frames (predict/select/version/stats/reload/shutdown),
+                snapshot-versioned hot model swaps, sharded profile
+                cache; stops cleanly on ctrl-c or a shutdown frame
+  dvfs loadgen  --addr HOST:PORT [--requests N] [--connections C]
+                [--mode closed|open] [--rate R] [--keys K] [--zipf S]
+                [--select-every N] [--seed S] [--json] [--shutdown]
+                drive a running server with zipf-skewed keys and report
+                throughput + rtt percentiles (--shutdown stops the
+                server afterwards)
   dvfs apps     list the built-in application models
+
+Exit codes: 0 ok, 2 usage/validation error, 3 I/O or config error.
 
 Any command also takes --threads T (parallel worker count, 0 = all
 cores; same as DVFS_THREADS — results are identical for every value),
@@ -174,13 +288,15 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{flag}`"));
         };
-        // `--name=value` is always accepted; `--metrics` alone defaults to
-        // the table format and never consumes the next token (so it can
-        // appear anywhere among the other flags).
+        // `--name=value` is always accepted; the boolean-ish flags below
+        // get a default when bare and never consume the next token (so
+        // they can appear anywhere among the other flags).
         if let Some((name, value)) = name.split_once('=') {
             out.insert(name.to_string(), value.to_string());
         } else if name == "metrics" {
             out.insert(name.to_string(), "table".to_string());
+        } else if name == "json" || name == "shutdown" {
+            out.insert(name.to_string(), "1".to_string());
         } else {
             let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             out.insert(name.to_string(), value.clone());
@@ -247,15 +363,15 @@ fn app_for(opts: &HashMap<String, String>) -> Result<PhasedWorkload, String> {
         .ok_or_else(|| format!("unknown app `{name}` — run `dvfs apps` to list them"))
 }
 
-fn load_models(opts: &HashMap<String, String>) -> Result<PowerTimeModels, String> {
+fn load_models(opts: &HashMap<String, String>) -> Result<PowerTimeModels, CliError> {
     let path = opts
         .get("models")
-        .ok_or("--models models.json is required")?;
-    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    PowerTimeModels::from_json(&json).map_err(|e| format!("{path}: {e}"))
+        .ok_or_else(|| CliError::Usage("--models models.json is required".into()))?;
+    let json = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    PowerTimeModels::from_json(&json).map_err(|e| CliError::Io(format!("{path}: {e}")))
 }
 
-fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_train(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let backend = backend_for(opts)?;
     let stride = stride_for(opts)?;
     obs::log!(
@@ -279,7 +395,8 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
         report_history(label, history);
     }
     let out = opts.get("out").map(String::as_str).unwrap_or("models.json");
-    std::fs::write(out, pipeline.models.to_json()).map_err(|e| format!("{out}: {e}"))?;
+    std::fs::write(out, pipeline.models.to_json())
+        .map_err(|e| CliError::Io(format!("{out}: {e}")))?;
     println!("wrote {out}");
     Ok(())
 }
@@ -320,10 +437,12 @@ fn report_history(label: &str, history: &gpu_dvfs::nn::train::TrainingHistory) {
     );
 }
 
-fn cmd_campaign(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_campaign(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let backend = backend_for(opts)?;
     let stride = stride_for(opts)?;
-    let out = opts.get("out").ok_or("--out samples.csv is required")?;
+    let out = opts
+        .get("out")
+        .ok_or_else(|| CliError::Usage("--out samples.csv is required".into()))?;
     let workloads: Vec<PhasedWorkload> = gpu_dvfs::kernels::suite::training_suite()
         .iter()
         .map(|k| k.workload(backend.spec()))
@@ -337,12 +456,12 @@ fn cmd_campaign(opts: &HashMap<String, String>) -> Result<(), String> {
     };
     let samples = gpu_dvfs::telemetry::CollectionCampaign::new(&backend, cfg)
         .collect(&workloads)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Io(e.to_string()))?;
     println!("collected {} samples -> {out}", samples.len());
     Ok(())
 }
 
-fn cmd_predict(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_predict(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let backend = backend_for(opts)?;
     let models = load_models(opts)?;
     let app = app_for(opts)?;
@@ -378,7 +497,7 @@ fn threshold_for(opts: &HashMap<String, String>) -> Result<Option<f64>, String> 
         .map_err(|e| format!("--threshold: {e}"))
 }
 
-fn cmd_select(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_select(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let backend = backend_for(opts)?;
     let models = load_models(opts)?;
     let app = app_for(opts)?;
@@ -412,12 +531,12 @@ fn cmd_select(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_cap(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_cap(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let backend = backend_for(opts)?;
     let models = load_models(opts)?;
     let cap: f64 = opts
         .get("watts")
-        .ok_or("--watts W is required")?
+        .ok_or_else(|| CliError::Usage("--watts W is required".into()))?
         .parse()
         .map_err(|e| format!("--watts: {e}"))?;
     let predictor = Predictor::new(&models, backend.spec().clone());
@@ -452,7 +571,7 @@ fn cmd_cap(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_batch(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_batch(opts: &HashMap<String, String>) -> Result<(), CliError> {
     use gpu_dvfs::gpu::MetricSample;
     use gpu_dvfs::telemetry::Profiler;
     use rayon::prelude::*;
@@ -498,18 +617,18 @@ fn cmd_batch(opts: &HashMap<String, String>) -> Result<(), String> {
         match opts.get("input") {
             Some(path) => {
                 let all = gpu_dvfs::telemetry::csv::read_samples(std::path::Path::new(path))
-                    .map_err(|e| format!("{path}: {e}"))?;
+                    .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
                 let total = all.len();
                 let refs: Vec<MetricSample> = all
                     .into_iter()
                     .filter(|s| s.sm_app_clock == spec.max_core_mhz)
                     .collect();
                 if refs.is_empty() {
-                    return Err(format!(
+                    return Err(CliError::Io(format!(
                         "{path}: none of the {total} samples were taken at the default clock \
                          ({} MHz)",
                         spec.max_core_mhz
-                    ));
+                    )));
                 }
                 refs
             }
@@ -606,7 +725,7 @@ fn cmd_batch(opts: &HashMap<String, String>) -> Result<(), String> {
 /// alert path: power is scaled uniformly by (1 + d) and time by the
 /// frequency-dependent tilt (1 + d·(1 − f/f_max)) — a uniform time error
 /// would cancel in the normalized-time comparison the monitor uses.
-fn cmd_monitor(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_monitor(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let backend = backend_for(opts)?;
     let stride = stride_for(opts)?;
     let defaults = obs::quality::QualityConfig::default();
@@ -688,7 +807,174 @@ fn cmd_monitor(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_apps() -> Result<(), String> {
+/// Parses an optional positive-integer flag with a default.
+fn usize_flag(
+    opts: &HashMap<String, String>,
+    name: &str,
+    default: usize,
+    min: usize,
+) -> Result<usize, String> {
+    match opts.get(name) {
+        None => Ok(default),
+        Some(s) => s
+            .parse::<usize>()
+            .map_err(|e| format!("--{name}: {e}"))
+            .and_then(|v| {
+                if v < min {
+                    Err(format!("--{name} must be >= {min}"))
+                } else {
+                    Ok(v)
+                }
+            }),
+    }
+}
+
+/// `dvfs serve` — the online phase as a long-lived daemon. Loads the
+/// trained models into a versioned [`ModelStore`] snapshot, binds the
+/// thread-per-core server, prints `listening on ADDR` (so scripts can
+/// discover an ephemeral port), and runs until a `shutdown` frame or
+/// SIGINT/SIGTERM — both paths drain the request queue and fall through
+/// to the ordinary `--metrics-out`/`--trace-out` exports in `main`.
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    // Whole-daemon span: covers bind through drained shutdown, so the
+    // exported metrics carry at least one span timing (like `batch`).
+    obs::span!("serve");
+    let backend = backend_for(opts)?;
+    let models = load_models(opts)?;
+    let workers = match usize_flag(opts, "workers", 0, 0)? {
+        0 => std::thread::available_parallelism().map_or(2, usize::from),
+        n => n,
+    };
+    let config = ServeConfig {
+        addr: opts
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        workers,
+        cache_capacity: usize_flag(opts, "capacity", 4096, 1)?,
+        cache_shards: usize_flag(opts, "shards", workers.next_power_of_two(), 1)?,
+        max_batch: usize_flag(opts, "max-batch", 32, 1)?,
+        max_frame: gpu_dvfs::core::serve::DEFAULT_MAX_FRAME,
+    };
+    let label = opts.get("models").cloned().unwrap_or_default();
+    let store = std::sync::Arc::new(ModelStore::new(ModelSnapshot::new(
+        models,
+        backend.spec().clone(),
+        SnapshotMeta {
+            label,
+            dataset_rows: 0,
+            train_seconds: 0.0,
+        },
+    )));
+    let server = Server::start(config, store).map_err(|e| CliError::Io(format!("serve: {e}")))?;
+    // Port discovery line — tests and check.sh read it from stdout.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    interrupt::install();
+    while !interrupt::triggered() && !server.is_stopped() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    if interrupt::triggered() {
+        obs::log!(Info, "serve: interrupt received, draining");
+    }
+    server.shutdown();
+    let stats = {
+        // Join drains the queue and publishes the final cache gauges.
+        server.join();
+        obs::global()
+    };
+    let served = stats.counter("serve.requests").get();
+    let latency = stats.histogram("serve.request_ns");
+    let us = |ns: u64| ns as f64 / 1e3;
+    println!(
+        "served {served} request(s); latency p50 {:.1} µs, p90 {:.1} µs, p99 {:.1} µs, \
+         max {:.1} µs",
+        us(latency.percentile(0.50)),
+        us(latency.percentile(0.90)),
+        us(latency.percentile(0.99)),
+        us(latency.max())
+    );
+    Ok(())
+}
+
+/// `dvfs loadgen` — drives a running `dvfs serve` instance and reports
+/// throughput + latency percentiles from the shared `loadgen.rtt_ns`
+/// histogram.
+fn cmd_loadgen(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let addr = opts
+        .get("addr")
+        .ok_or_else(|| CliError::Usage("--addr HOST:PORT is required".into()))?
+        .clone();
+    let pacing = match opts.get("mode").map(String::as_str).unwrap_or("closed") {
+        "closed" => Pacing::Closed,
+        "open" => {
+            let rate_hz: f64 = opts
+                .get("rate")
+                .ok_or_else(|| CliError::Usage("--mode open requires --rate REQS_PER_SEC".into()))?
+                .parse()
+                .map_err(|e| format!("--rate: {e}"))?;
+            if !(rate_hz.is_finite() && rate_hz > 0.0) {
+                return Err(CliError::Usage("--rate must be positive".into()));
+            }
+            Pacing::Open { rate_hz }
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --mode `{other}` (expected closed or open)"
+            )))
+        }
+    };
+    let zipf_s: f64 = match opts.get("zipf") {
+        None => 1.0,
+        Some(s) => s.parse().map_err(|e| format!("--zipf: {e}"))?,
+    };
+    if !(0.0..=10.0).contains(&zipf_s) {
+        return Err(CliError::Usage("--zipf must lie in [0, 10]".into()));
+    }
+    let requests: u64 = match opts.get("requests") {
+        None => 10_000,
+        Some(s) => s.parse().map_err(|e| format!("--requests: {e}"))?,
+    };
+    let config = LoadgenConfig {
+        addr,
+        connections: usize_flag(opts, "connections", 4, 1)?,
+        requests,
+        pacing,
+        keys: usize_flag(opts, "keys", 64, 1)?,
+        zipf_s,
+        select_every: match opts.get("select-every") {
+            None => 8,
+            Some(s) => s.parse().map_err(|e| format!("--select-every: {e}"))?,
+        },
+        seed: match opts.get("seed") {
+            None => 42,
+            Some(s) => s.parse().map_err(|e| format!("--seed: {e}"))?,
+        },
+        shutdown_after: opts.contains_key("shutdown"),
+    };
+    let report = gpu_dvfs::core::serve::loadgen::run(&config)
+        .map_err(|e| CliError::Io(format!("loadgen: {e}")))?;
+    if opts.contains_key("json") {
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("report serializes")
+        );
+    } else {
+        println!(
+            "{} ok / {} errors in {:.2} s -> {:.0} req/s",
+            report.ok, report.errors, report.elapsed_s, report.qps
+        );
+        println!(
+            "rtt: p50 {:.1} µs, p90 {:.1} µs, p99 {:.1} µs, max {:.1} µs",
+            report.p50_us, report.p90_us, report.p99_us, report.max_us
+        );
+    }
+    Ok(())
+}
+
+fn cmd_apps() -> Result<(), CliError> {
     println!("built-in application models (paper Table 2, evaluation set):");
     let spec = DeviceSpec::ga100();
     for app in gpu_dvfs::kernels::apps::evaluation_apps() {

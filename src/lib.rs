@@ -52,12 +52,14 @@ pub use tensor;
 
 /// The most common imports for downstream users.
 pub mod prelude {
-    pub use dvfs_core::cache::{CacheStats, ProfileCache};
+    pub use dvfs_core::cache::{CacheHandle, CacheStats, ProfileCache, ShardedProfileCache};
     pub use dvfs_core::dataset::Dataset;
     pub use dvfs_core::models::PowerTimeModels;
     pub use dvfs_core::objective::{select_optimal, Objective};
     pub use dvfs_core::pipeline::TrainedPipeline;
     pub use dvfs_core::predictor::{measured_profile, PredictedProfile, Predictor};
+    pub use dvfs_core::serve::{LoadgenConfig, Pacing, ServeConfig, Server};
+    pub use dvfs_core::snapshot::{ModelSnapshot, ModelStore, SnapshotMeta};
     pub use gpu_model::{
         ArchKind, DeviceSpec, DvfsGrid, NoiseModel, PhasedWorkload, WorkloadSignature,
     };

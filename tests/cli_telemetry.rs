@@ -2,9 +2,19 @@
 //! trace) on *both* exit paths. A failing run is exactly when the operator
 //! needs the instrumentation, and an early version of `main` dropped it by
 //! chaining the exports behind the command result with `and_then`.
+//!
+//! Also pins the exit-code contract (0 ok, 2 usage/validation, 3 I/O or
+//! config) and the `dvfs serve` clean-shutdown path: a shutdown frame must
+//! drain in-flight requests and still land the telemetry exports.
 
+use std::io::BufRead;
 use std::path::Path;
 use std::process::Command;
+
+/// Exit code for usage / validation errors (bad flags, unknown commands).
+const EXIT_USAGE: i32 = 2;
+/// Exit code for I/O and config errors (unreadable files, failed binds).
+const EXIT_IO: i32 = 3;
 
 fn dvfs() -> Command {
     Command::new(env!("CARGO_BIN_EXE_dvfs"))
@@ -89,6 +99,158 @@ fn successful_command_exports_metrics_and_trace() {
 #[test]
 fn unknown_command_exits_nonzero_with_usage_error() {
     let out = dvfs().arg("frobnicate").output().expect("spawn dvfs");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(EXIT_USAGE));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn exit_codes_distinguish_usage_from_io() {
+    // Missing required flag: the operator typed the command wrong — usage.
+    let out = dvfs()
+        .args(["predict", "--app", "lammps"])
+        .output()
+        .expect("spawn dvfs");
+    assert_eq!(
+        out.status.code(),
+        Some(EXIT_USAGE),
+        "missing --models is a usage error: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The flag is right but the file isn't there — I/O, so a retry loop
+    // or wrapper script can tell the two apart.
+    let out = dvfs()
+        .args([
+            "predict",
+            "--app",
+            "lammps",
+            "--models",
+            "/nonexistent/m.json",
+        ])
+        .output()
+        .expect("spawn dvfs");
+    assert_eq!(
+        out.status.code(),
+        Some(EXIT_IO),
+        "unreadable models file is an I/O error: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // loadgen against a port nobody listens on: connect failure is I/O.
+    let out = dvfs()
+        .args(["loadgen", "--addr", "127.0.0.1:1", "--requests", "1"])
+        .output()
+        .expect("spawn dvfs");
+    assert_eq!(
+        out.status.code(),
+        Some(EXIT_IO),
+        "connection-refused is an I/O error: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // loadgen without --addr never touches the network — usage.
+    let out = dvfs().arg("loadgen").output().expect("spawn dvfs");
+    assert_eq!(out.status.code(), Some(EXIT_USAGE));
+}
+
+/// Trains a deliberately tiny model pair in-process and writes it where
+/// `dvfs serve --models` can load it — debug-mode `dvfs train` would
+/// dominate the test's runtime.
+fn write_tiny_models(path: &Path) {
+    use gpu_dvfs::gpu::{DeviceSpec, DvfsGrid, NoiseModel, SignatureBuilder};
+    use gpu_dvfs::prelude::{Dataset, PowerTimeModels};
+
+    let spec = DeviceSpec::ga100();
+    let nm = NoiseModel::default_bench();
+    let sigs = [
+        SignatureBuilder::new("c").flops(2e13).bytes(2e11).build(),
+        SignatureBuilder::new("m").flops(2e11).bytes(2e13).build(),
+    ];
+    let grid = DvfsGrid::for_spec(&spec);
+    let mut samples = Vec::new();
+    for sig in &sigs {
+        for &f in grid.used().iter().step_by(8) {
+            samples.push(gpu_dvfs::gpu::sample::measure(&spec, sig, f, 0, &nm));
+        }
+        samples.push(gpu_dvfs::gpu::sample::measure(
+            &spec,
+            sig,
+            spec.max_core_mhz,
+            0,
+            &nm,
+        ));
+    }
+    let models = PowerTimeModels::train(&Dataset::from_samples(&spec, &samples).unwrap());
+    std::fs::write(path, models.to_json()).unwrap();
+}
+
+#[test]
+fn serve_shutdown_frame_drains_requests_and_exports_telemetry() {
+    use gpu_dvfs::core::serve::{Client, Request};
+
+    let models = tmp("serve_models.json");
+    let metrics = tmp("serve_metrics.json");
+    let trace = tmp("serve_trace.json");
+    write_tiny_models(&models);
+
+    let mut child = dvfs()
+        .args([
+            "serve",
+            "--models",
+            models.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn dvfs serve");
+
+    // The daemon prints `listening on ADDR` once bound — the ephemeral
+    // port discovery contract scripts rely on.
+    let mut stdout = std::io::BufReader::new(child.stdout.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(
+            stdout.read_line(&mut line).unwrap(),
+            0,
+            "serve exited before printing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest.to_string();
+        }
+    };
+
+    let mut client = Client::connect(&addr).expect("connect");
+    for i in 0..16 {
+        let fp = 0.1 + 0.05 * f64::from(i);
+        let resp = client
+            .call(&Request::predict("smoke", fp.min(0.95), 0.3, 2.5e-3))
+            .expect("predict round-trip");
+        assert!(resp.ok, "predict failed: {:?}", resp.error);
+        assert!(resp.profile.is_some());
+    }
+    let resp = client.call(&Request::shutdown()).expect("shutdown ack");
+    assert!(resp.ok);
+
+    let status = child.wait().expect("wait for serve");
+    assert_eq!(
+        status.code(),
+        Some(0),
+        "serve must exit cleanly after a shutdown frame"
+    );
+
+    // Telemetry drained on the way out: the metrics snapshot carries the
+    // served-latency histogram and the trace the per-request events.
+    assert_json_with_key(&metrics, "serve.request_ns");
+    assert_json_with_key(&trace, "serve.request");
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let served = parsed
+        .get("counters")
+        .and_then(|c| c.get("serve.requests"))
+        .and_then(serde_json::Value::as_f64)
+        .expect("serve.requests counter exported");
+    assert!(served >= 16.0, "all requests counted, got {served}");
 }
