@@ -1,0 +1,72 @@
+//! Criterion benches for the observability plane: the per-tick cost of
+//! the time-series sampler (registry snapshot + ring push), windowed
+//! stat derivation (rates + histogram-delta percentiles), a full
+//! Prometheus text render, and the strict parse of that output. These
+//! bound what a live `dvfs serve` pays per `DVFS_TS_INTERVAL` and per
+//! scrape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obs::timeseries::TimeSeries;
+use obs::{prom, MetricsRegistry};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn loaded_registry() -> MetricsRegistry {
+    let reg = MetricsRegistry::new();
+    for i in 0..24 {
+        reg.counter(&format!("serve.counter_{i}")).set(i * 1000 + 7);
+    }
+    for i in 0..12 {
+        reg.gauge(&format!("serve.gauge_{i}")).set(i as f64 * 0.37);
+    }
+    for name in [
+        "serve.request_ns",
+        "serve.batch_len",
+        "loadgen.rtt_ns",
+        "cache.probe_ns",
+        "obs.ts_sample_ns",
+    ] {
+        let h = reg.histogram(name);
+        for k in 0..512u64 {
+            h.record(k * k * 37 + 100);
+        }
+    }
+    reg
+}
+
+fn bench_obs_plane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_plane");
+    let reg = loaded_registry();
+
+    let series = TimeSeries::new(128);
+    series.sample(&reg);
+    group.bench_function("sampler_tick", |b| b.iter(|| series.sample(&reg)));
+
+    // Pre-fill a ring so window derivation walks a realistic span.
+    let filled = TimeSeries::new(128);
+    for _ in 0..64 {
+        filled.sample(&reg);
+    }
+    group.bench_function("window_stats", |b| {
+        b.iter(|| {
+            let w = filled.window(Duration::from_secs(3600)).expect("window");
+            black_box(w.rate("serve.counter_0"));
+            black_box(w.ratio("serve.counter_1", "serve.counter_2"));
+            if let Some(d) = w.hist_delta("serve.request_ns") {
+                black_box(d.percentile(0.50));
+                black_box(d.percentile(0.99));
+            }
+        })
+    });
+
+    group.bench_function("prom_render", |b| b.iter(|| black_box(prom::render(&reg))));
+
+    let text = prom::render(&reg);
+    group.bench_function("prom_parse", |b| {
+        b.iter(|| prom::parse(black_box(&text)).expect("render output parses"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_plane);
+criterion_main!(benches);

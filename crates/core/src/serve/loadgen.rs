@@ -9,10 +9,13 @@
 //! replies — measures latency at a target arrival rate, including
 //! coordinated-omission-free queueing delay).
 //!
-//! Round-trip latencies land in the shared `loadgen.rtt_ns` histogram in
-//! the global registry; the report's p50/p90/p99 read back out of that
-//! same histogram, so the numbers in a `--metrics-out` export and the
-//! summary always agree.
+//! Round-trip latencies of **ok** replies land in the shared
+//! `loadgen.rtt_ns` histogram in the global registry; the report's
+//! p50/p90/p99 read back out of that same histogram, so the numbers in
+//! a `--metrics-out` export and the summary always agree. Error replies
+//! are accounted separately — `loadgen.errors` counter and the
+//! `loadgen.error_rtt_ns` histogram — so a misbehaving server can't
+//! skew the latency percentiles with fast error turnarounds.
 
 use super::protocol::Request;
 use super::server::Client;
@@ -153,8 +156,11 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
     let zipf = ZipfSampler::new(config.keys.max(1), config.zipf_s);
     let ok = AtomicU64::new(0);
     let errors = AtomicU64::new(0);
-    let rtt = obs::global().histogram("loadgen.rtt_ns");
-    let rtt_count_before = rtt.count();
+    let reg = obs::global();
+    let rtt = reg.histogram("loadgen.rtt_ns");
+    let error_rtt = reg.histogram("loadgen.error_rtt_ns");
+    let ok_counter = reg.counter("loadgen.ok");
+    let errors_counter = reg.counter("loadgen.errors");
     let started = Instant::now();
     std::thread::scope(|scope| -> io::Result<()> {
         let mut threads = Vec::with_capacity(conns);
@@ -166,6 +172,7 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
             let ok = &ok;
             let errors = &errors;
             let rtt = &rtt;
+            let error_rtt = &error_rtt;
             threads.push(scope.spawn(move || -> io::Result<()> {
                 let mut client = Client::connect(&config.addr)?;
                 let mut rng = rand::rngs::StdRng::seed_from_u64(
@@ -196,10 +203,11 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
                     let resp = client
                         .call(&req)
                         .map_err(|e| io::Error::new(io::ErrorKind::BrokenPipe, e.to_string()))?;
-                    rtt.record_duration(sent.elapsed());
                     if resp.ok {
+                        rtt.record_duration(sent.elapsed());
                         ok.fetch_add(1, Ordering::Relaxed);
                     } else {
+                        error_rtt.record_duration(sent.elapsed());
                         errors.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -216,12 +224,14 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
         let mut client = Client::connect(&config.addr)?;
         let _ = client.call(&Request::shutdown());
     }
-    let sent = rtt.count().saturating_sub(rtt_count_before);
+    let (ok, errors) = (ok.load(Ordering::Relaxed), errors.load(Ordering::Relaxed));
+    ok_counter.add(ok);
+    errors_counter.add(errors);
     Ok(LoadgenReport {
-        ok: ok.load(Ordering::Relaxed) as f64,
-        errors: errors.load(Ordering::Relaxed) as f64,
+        ok: ok as f64,
+        errors: errors as f64,
         elapsed_s: elapsed,
-        qps: sent as f64 / elapsed.max(1e-9),
+        qps: (ok + errors) as f64 / elapsed.max(1e-9),
         p50_us: rtt.percentile(0.50) as f64 / 1e3,
         p90_us: rtt.percentile(0.90) as f64 / 1e3,
         p99_us: rtt.percentile(0.99) as f64 / 1e3,

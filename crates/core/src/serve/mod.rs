@@ -17,14 +17,26 @@
 //!   [`crate::snapshot::ModelSnapshot`] version that produced it;
 //! * [`loadgen`] — open-/closed-loop zipf load generator reporting
 //!   throughput and p50/p90/p99 from the shared `loadgen.rtt_ns`
-//!   histogram.
+//!   histogram;
+//! * [`telemetry`] — the HTTP side-port serving Prometheus text
+//!   exposition (`/metrics`) and liveness (`/healthz`), plus the
+//!   one-shot [`telemetry::http_get`] client behind `dvfs scrape` and
+//!   `dvfs top`.
+//!
+//! The observability plane rides on the same process: a background
+//! sampler feeds an [`obs::TimeSeries`] of registry snapshots, an
+//! [`obs::SloEngine`] turns its windows into burn rates and
+//! edge-triggered alerts, and both the `stats` frame and the scrape
+//! surfaces report from that shared view.
 
 pub mod framing;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 
 pub use framing::{write_frame, FrameError, FrameReader, DEFAULT_MAX_FRAME};
 pub use loadgen::{LoadgenConfig, LoadgenReport, Pacing, ZipfSampler};
-pub use protocol::{CacheStatsReply, Request, Response};
-pub use server::{Client, ServeConfig, Server};
+pub use protocol::{CacheStatsReply, QualityReply, Request, Response, ServerStatsReply, SloReply};
+pub use server::{default_slos, Client, ServeConfig, Server};
+pub use telemetry::http_get;

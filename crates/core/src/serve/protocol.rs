@@ -14,9 +14,14 @@
 //! | `version`  | —                                                   | current snapshot version + label |
 //! | `predict`  | `workload`, `fp_active`, `dram_active`, `exec_time` | full [`PredictedProfile`] |
 //! | `select`   | predict inputs + `objective`, optional `threshold`  | profile + [`Selection`] |
-//! | `stats`    | —                                                   | cache counters |
+//! | `stats`    | —                                                   | cache counters + [`ServerStatsReply`] (uptime, build, windowed rates, SLO/quality state) |
+//! | `scrape`   | —                                                   | Prometheus text exposition in `text` |
 //! | `reload`   | `path` (models JSON)                                | newly published version |
 //! | `shutdown` | —                                                   | `ok`, then the server drains and exits |
+//!
+//! The full `stats` reply schema is pinned by a snapshot test below —
+//! dashboards (`dvfs top`) and scripts parse it, so adding a field is
+//! fine but renaming or removing one must be deliberate.
 
 use crate::objective::Selection;
 use crate::predictor::PredictedProfile;
@@ -72,6 +77,12 @@ impl Request {
     /// A `stats` request.
     pub fn stats() -> Self {
         Self::blank("stats")
+    }
+
+    /// A `scrape` request (Prometheus text exposition over the
+    /// protocol port — the HTTP telemetry port serves the same body).
+    pub fn scrape() -> Self {
+        Self::blank("scrape")
     }
 
     /// A `shutdown` request.
@@ -134,6 +145,69 @@ pub struct CacheStatsReply {
     pub shards: f64,
 }
 
+/// One objective's burn-rate state on the wire (`stats` reply).
+/// Mirrors [`obs::slo::SloStatus`] with wire-friendly field types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloReply {
+    /// Objective name (`latency_p99`, `availability`, …).
+    pub name: String,
+    /// Required good fraction, e.g. 0.99.
+    pub target: f64,
+    /// Burn rate over the fast window (0 with no data).
+    pub burn_fast: f64,
+    /// Burn rate over the slow window (0 with no data).
+    pub burn_slow: f64,
+    /// Whether both windows currently exceed the burn threshold.
+    pub firing: bool,
+    /// Rising-edge alerts since start.
+    pub alerts: f64,
+}
+
+/// One model-quality monitor's state on the wire (`stats` reply).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityReply {
+    /// Monitored model name (`power`, `time`).
+    pub model: String,
+    /// Rolling MAPE over the monitor window, percent.
+    pub mape: f64,
+    /// Worst single APE in the window, percent.
+    pub max_ape: f64,
+    /// Ground-truth pairs observed so far.
+    pub samples: f64,
+    /// Alert-band crossings so far.
+    pub alerts: f64,
+    /// Whether the rolling MAPE currently sits above the band.
+    pub above_band: bool,
+}
+
+/// Server-level state on the wire (`stats` reply): identity, uptime,
+/// and rolling-window rates from the observability plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerStatsReply {
+    /// Seconds since the server started.
+    pub uptime_s: f64,
+    /// Crate version baked in at build time.
+    pub build_version: String,
+    /// Git revision baked in at build time (`unknown` outside CI).
+    pub build_git: String,
+    /// The rolling window the rates below cover, seconds (0 until the
+    /// sampler has two ticks).
+    pub window_s: f64,
+    /// Requests per second over the window.
+    pub qps: f64,
+    /// Median request latency over the window, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request latency over the window, microseconds.
+    pub p99_us: f64,
+    /// Cache hit fraction over the window (0 on no traffic).
+    pub hit_rate: f64,
+    /// Per-objective burn-rate state.
+    pub slo: Vec<SloReply>,
+    /// Per-model drift-monitor state (empty unless the server observes
+    /// ground truth).
+    pub quality: Vec<QualityReply>,
+}
+
 /// One response frame.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Response {
@@ -153,6 +227,10 @@ pub struct Response {
     pub selection: Option<Selection>,
     /// Cache counters (`stats` command only).
     pub stats: Option<CacheStatsReply>,
+    /// Server identity, uptime, and windowed rates (`stats` only).
+    pub server: Option<ServerStatsReply>,
+    /// Prometheus text exposition (`scrape` only).
+    pub text: Option<String>,
 }
 
 impl Response {
@@ -166,6 +244,8 @@ impl Response {
             profile: None,
             selection: None,
             stats: None,
+            server: None,
+            text: None,
         }
     }
 
@@ -231,5 +311,125 @@ mod tests {
     fn unknown_objective_is_a_clean_error() {
         assert!(parse_objective("edp").is_ok());
         assert!(parse_objective("frobnicate").is_err());
+    }
+
+    /// Collects every dotted key path in a JSON tree; array elements
+    /// contribute their paths under `[]` (one representative element is
+    /// enough — the schema is homogeneous).
+    fn key_paths(value: &serde_json::Value, prefix: &str, out: &mut Vec<String>) {
+        match value {
+            serde_json::Value::Object(entries) => {
+                for (k, v) in entries {
+                    let path = if prefix.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{prefix}.{k}")
+                    };
+                    out.push(path.clone());
+                    key_paths(v, &path, out);
+                }
+            }
+            serde_json::Value::Array(items) => {
+                if let Some(first) = items.first() {
+                    key_paths(first, &format!("{prefix}[]"), out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Pins the full `stats`-frame schema. `dvfs top` and shell smoke
+    /// scripts parse these exact paths; a rename or removal here is a
+    /// breaking dashboard change and must update this list consciously.
+    #[test]
+    fn stats_frame_schema_is_pinned() {
+        let mut resp = Response::ok(3);
+        resp.stats = Some(CacheStatsReply {
+            lookups: 10.0,
+            hits: 8.0,
+            misses: 2.0,
+            evictions: 0.0,
+            hit_rate: 0.8,
+            resident: 2.0,
+            shards: 4.0,
+        });
+        resp.server = Some(ServerStatsReply {
+            uptime_s: 12.5,
+            build_version: "0.1.0".to_string(),
+            build_git: "unknown".to_string(),
+            window_s: 10.0,
+            qps: 1000.0,
+            p50_us: 120.0,
+            p99_us: 900.0,
+            hit_rate: 0.8,
+            slo: vec![SloReply {
+                name: "latency_p99".to_string(),
+                target: 0.99,
+                burn_fast: 0.1,
+                burn_slow: 0.05,
+                firing: false,
+                alerts: 0.0,
+            }],
+            quality: vec![QualityReply {
+                model: "power".to_string(),
+                mape: 3.0,
+                max_ape: 9.0,
+                samples: 100.0,
+                alerts: 0.0,
+                above_band: false,
+            }],
+        });
+        let json = serde_json::to_string(&resp).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let mut paths = Vec::new();
+        key_paths(&value, "", &mut paths);
+        paths.sort();
+        let expected = [
+            "error",
+            "label",
+            "ok",
+            "profile",
+            "selection",
+            "server",
+            "server.build_git",
+            "server.build_version",
+            "server.hit_rate",
+            "server.p50_us",
+            "server.p99_us",
+            "server.qps",
+            "server.quality",
+            "server.quality[].above_band",
+            "server.quality[].alerts",
+            "server.quality[].mape",
+            "server.quality[].max_ape",
+            "server.quality[].model",
+            "server.quality[].samples",
+            "server.slo",
+            "server.slo[].alerts",
+            "server.slo[].burn_fast",
+            "server.slo[].burn_slow",
+            "server.slo[].firing",
+            "server.slo[].name",
+            "server.slo[].target",
+            "server.uptime_s",
+            "server.window_s",
+            "stats",
+            "stats.evictions",
+            "stats.hit_rate",
+            "stats.hits",
+            "stats.lookups",
+            "stats.misses",
+            "stats.resident",
+            "stats.shards",
+            "text",
+            "version",
+        ];
+        assert_eq!(
+            paths, expected,
+            "stats-frame schema changed — update dashboards (dvfs top, check.sh) first"
+        );
+        // And the extended reply round-trips.
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
     }
 }

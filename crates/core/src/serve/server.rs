@@ -20,16 +20,21 @@
 //! disjoint keys never contend on a cache lock.
 
 use super::framing::{write_frame, FrameError, FrameReader};
-use super::protocol::{parse_objective, CacheStatsReply, Request, Response};
+use super::protocol::{
+    parse_objective, CacheStatsReply, QualityReply, Request, Response, ServerStatsReply, SloReply,
+};
+use super::telemetry;
 use crate::cache::ShardedProfileCache;
 use crate::models::PowerTimeModels;
 use crate::predictor::Predictor;
 use crate::snapshot::{ModelSnapshot, ModelStore, SnapshotMeta};
 use gpu_model::{DvfsGrid, MetricSample};
+use obs::slo::{SloEngine, SloSpec};
+use obs::timeseries::{Sampler, TimeSeries};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -55,6 +60,20 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Max accepted frame payload, bytes.
     pub max_frame: usize,
+    /// Bind address for the HTTP telemetry side-port (`None` disables
+    /// the responder; the protocol-level `scrape` frame always works).
+    pub telemetry_addr: Option<String>,
+    /// Time-series sampler interval (`None` = `DVFS_TS_INTERVAL` env,
+    /// default 1s).
+    pub ts_interval: Option<Duration>,
+    /// Retained time-series ticks (bounds how far back SLO windows can
+    /// actually see).
+    pub ts_capacity: usize,
+    /// Rolling window the `stats` frame and `serve.window.*` gauges
+    /// report over.
+    pub stats_window: Duration,
+    /// Declared objectives the burn-rate engine evaluates each tick.
+    pub slos: Vec<SloSpec>,
 }
 
 impl Default for ServeConfig {
@@ -66,8 +85,25 @@ impl Default for ServeConfig {
             cache_shards: 4,
             max_batch: 32,
             max_frame: super::framing::DEFAULT_MAX_FRAME,
+            telemetry_addr: None,
+            ts_interval: None,
+            ts_capacity: 1024,
+            stats_window: Duration::from_secs(10),
+            slos: default_slos(),
         }
     }
+}
+
+/// The stock serve objectives: p99 latency under 500µs at 99%,
+/// availability (non-error replies) at 99.9%, and the power model's
+/// rolling MAPE inside the paper's 12% band. Standard 5m/1h windows,
+/// burn threshold 1.0; `dvfs serve --slo-*` flags override.
+pub fn default_slos() -> Vec<SloSpec> {
+    vec![
+        SloSpec::latency("latency_p99", "serve.request_ns", 500_000, 0.99),
+        SloSpec::error_ratio("availability", "serve.requests", "serve.errors", 0.999),
+        SloSpec::gauge_below("quality_mape", "quality.power.mape", 12.0, 0.999),
+    ]
 }
 
 /// One queued prediction request plus everything needed to answer it.
@@ -75,6 +111,10 @@ struct Job {
     req: Request,
     t0: Instant,
     t0_ns: u64,
+    /// Process-unique request id: the flow id tying the handler's
+    /// `serve.recv` slice to the worker's `serve.request` slice on the
+    /// trace timeline.
+    req_id: u64,
     reply: mpsc::Sender<Response>,
 }
 
@@ -117,6 +157,40 @@ struct Shared {
     queue: Queue,
     stop: AtomicBool,
     max_frame: usize,
+    started: Instant,
+    /// Rolling metric snapshots the sampler thread feeds; everything
+    /// windowed (stats frame, `serve.window.*` gauges, SLO burn rates)
+    /// reads from here.
+    series: Arc<TimeSeries>,
+    slo: SloEngine,
+    stats_window: Duration,
+    next_req_id: AtomicU64,
+    errors: obs::Counter,
+}
+
+impl Shared {
+    /// Refreshes every derived gauge in the registry: cache counters
+    /// (which only move on publish), uptime, the rolling-window view,
+    /// and the SLO burn rates. The sampler calls this before each tick
+    /// so scrapes and exports always see live values.
+    fn publish_live(&self) {
+        self.cache.publish_stats();
+        let reg = obs::global();
+        reg.gauge("serve.uptime_s")
+            .set(self.started.elapsed().as_secs_f64());
+        if let Some(w) = self.series.window(self.stats_window) {
+            reg.gauge("serve.window.qps").set(w.rate("serve.requests"));
+            reg.gauge("serve.window.hit_rate")
+                .set(w.ratio("cache.hits", "cache.misses"));
+            if let Some(d) = w.hist_delta("serve.request_ns") {
+                reg.gauge("serve.window.p50_us")
+                    .set(d.percentile(0.50) as f64 / 1_000.0);
+                reg.gauge("serve.window.p99_us")
+                    .set(d.percentile(0.99) as f64 / 1_000.0);
+            }
+        }
+        self.slo.evaluate(&self.series);
+    }
 }
 
 /// A running `dvfs serve` instance.
@@ -129,6 +203,9 @@ pub struct Server {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    sampler: Option<Sampler>,
+    telemetry: Option<JoinHandle<()>>,
+    telemetry_addr: Option<SocketAddr>,
 }
 
 impl Server {
@@ -137,6 +214,7 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let reg = obs::global();
         let shared = Arc::new(Shared {
             store,
             cache: ShardedProfileCache::new(config.cache_capacity, config.cache_shards),
@@ -146,6 +224,12 @@ impl Server {
             },
             stop: AtomicBool::new(false),
             max_frame: config.max_frame,
+            started: Instant::now(),
+            series: Arc::new(TimeSeries::new(config.ts_capacity)),
+            slo: SloEngine::with_registry(config.slos.clone(), reg),
+            stats_window: config.stats_window,
+            next_req_id: AtomicU64::new(0),
+            errors: reg.counter("serve.errors"),
         });
         let handlers = Arc::new(Mutex::new(Vec::new()));
         let workers = (0..config.workers.max(1))
@@ -166,6 +250,47 @@ impl Server {
                 .spawn(move || accept_loop(listener, &shared, &handlers))
                 .expect("spawn serve acceptor")
         };
+        // The sampler periodically captures a registry snapshot into the
+        // time series; its pre-hook republishes the derived gauges so
+        // each tick (and anything reading the registry) is fresh.
+        let sampler = {
+            let series = Arc::clone(&shared.series);
+            let live = Arc::clone(&shared);
+            let interval = config
+                .ts_interval
+                .unwrap_or_else(obs::timeseries::interval_from_env);
+            Some(Sampler::start(series, interval, move || {
+                live.publish_live()
+            }))
+        };
+        let (telemetry, telemetry_addr) = match config.telemetry_addr.as_deref() {
+            Some(addr) => {
+                let tl = TcpListener::bind(addr)?;
+                let taddr = tl.local_addr()?;
+                let scrape_shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("serve-telemetry".to_string())
+                    .spawn(move || {
+                        let stop_shared = Arc::clone(&scrape_shared);
+                        telemetry::telemetry_loop(
+                            tl,
+                            move || stop_shared.stop.load(Ordering::Acquire),
+                            move |path| match path {
+                                "/metrics" => {
+                                    scrape_shared.publish_live();
+                                    Some((obs::prom::CONTENT_TYPE.to_string(), render_exposition()))
+                                }
+                                "/healthz" => Some(("text/plain".to_string(), "ok\n".to_string())),
+                                _ => None,
+                            },
+                        );
+                    })
+                    .expect("spawn serve telemetry");
+                obs::log!(Info, "serve: telemetry on {taddr}");
+                (Some(handle), Some(taddr))
+            }
+            None => (None, None),
+        };
         obs::log!(Info, "serve: listening on {local_addr}");
         Ok(Server {
             shared,
@@ -173,12 +298,20 @@ impl Server {
             acceptor: Some(acceptor),
             workers,
             handlers,
+            sampler,
+            telemetry,
+            telemetry_addr,
         })
     }
 
     /// The bound address (resolves the ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound HTTP telemetry address, when `telemetry_addr` was set.
+    pub fn telemetry_addr(&self) -> Option<SocketAddr> {
+        self.telemetry_addr
     }
 
     /// True once a shutdown (API call, `shutdown` frame) was requested.
@@ -198,8 +331,8 @@ impl Server {
     }
 
     /// Waits for every thread to exit (call [`Server::shutdown`] first,
-    /// or send a `shutdown` frame). Publishes the final cache gauges so
-    /// a `--metrics-out` export taken after join reflects the run.
+    /// or send a `shutdown` frame). Republishes the derived gauges so a
+    /// `--metrics-out` export taken after join reflects the run.
     pub fn join(mut self) {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
@@ -211,8 +344,30 @@ impl Server {
         for h in handlers {
             let _ = h.join();
         }
-        self.shared.cache.publish_stats();
+        if let Some(sampler) = self.sampler.take() {
+            sampler.stop();
+        }
+        if let Some(telemetry) = self.telemetry.take() {
+            let _ = telemetry.join();
+        }
+        self.shared.publish_live();
     }
+}
+
+/// The exposition document a scrape (HTTP or `scrape` frame) returns:
+/// the global registry plus the build-info pseudo-metric.
+fn render_exposition() -> String {
+    obs::prom::render_with(
+        obs::global(),
+        &[(
+            "dvfs_build_info",
+            "dvfs build metadata",
+            &[
+                ("version", telemetry::BUILD_VERSION),
+                ("git", telemetry::BUILD_GIT),
+            ],
+        )],
+    )
 }
 
 fn accept_loop(
@@ -278,39 +433,56 @@ fn send(stream: &mut TcpStream, resp: &Response) -> bool {
 }
 
 /// Handles one decoded frame; returns false when the connection should
-/// close.
+/// close. Every non-ok reply bumps `serve.errors`, which feeds the
+/// availability SLO.
 fn dispatch(bytes: &[u8], stream: &mut TcpStream, shared: &Arc<Shared>) -> bool {
+    let send_counted = |stream: &mut TcpStream, resp: &Response| -> bool {
+        if !resp.ok {
+            shared.errors.inc();
+        }
+        send(stream, resp)
+    };
     // Garbage bytes inside a well-formed frame leave the stream synced,
     // so both decode failures answer with an error and keep serving.
     let text = match std::str::from_utf8(bytes) {
         Ok(text) => text,
         Err(e) => {
-            return send(stream, &Response::err(0, format!("bad request: {e}")));
+            return send_counted(stream, &Response::err(0, format!("bad request: {e}")));
         }
     };
     let req: Request = match serde_json::from_str(text) {
         Ok(req) => req,
         Err(e) => {
-            return send(stream, &Response::err(0, format!("bad request: {e}")));
+            return send_counted(stream, &Response::err(0, format!("bad request: {e}")));
         }
     };
     match req.cmd.as_str() {
         "predict" | "select" => {
             if let Err(reason) = validate(&req) {
-                return send(stream, &Response::err(0, reason));
+                return send_counted(stream, &Response::err(0, reason));
             }
             let (tx, rx) = mpsc::channel();
+            let t0_ns = obs::trace::now_ns();
+            let req_id = shared.next_req_id.fetch_add(1, Ordering::Relaxed) + 1;
             shared.queue.push(Job {
                 req,
                 t0: Instant::now(),
-                t0_ns: obs::trace::now_ns(),
+                t0_ns,
+                req_id,
                 reply: tx,
             });
+            if obs::trace::enabled() {
+                // Flow start before closing the recv slice, so its
+                // timestamp falls inside the slice and Perfetto draws
+                // the arrow from here to the worker's request span.
+                obs::trace::flow_start(obs::trace::intern("serve.req"), req_id);
+                obs::trace::complete(obs::trace::intern("serve.recv"), t0_ns, &[]);
+            }
             // Workers drain the queue even after stop, so the reply
             // normally arrives; the timeout covers a worker that died.
             match rx.recv_timeout(Duration::from_secs(10)) {
-                Ok(resp) => send(stream, &resp),
-                Err(_) => send(stream, &Response::err(0, "server shutting down")),
+                Ok(resp) => send_counted(stream, &resp),
+                Err(_) => send_counted(stream, &Response::err(0, "server shutting down")),
             }
         }
         "ping" => send(stream, &Response::ok(shared.store.current_version())),
@@ -332,19 +504,86 @@ fn dispatch(bytes: &[u8], stream: &mut TcpStream, shared: &Arc<Shared>) -> bool 
                 resident: shared.cache.len() as f64,
                 shards: shared.cache.num_shards() as f64,
             });
+            resp.server = Some(server_stats(shared));
             send(stream, &resp)
         }
-        "reload" => send(stream, &reload(&req, shared)),
+        "scrape" => {
+            shared.publish_live();
+            let mut resp = Response::ok(shared.store.current_version());
+            resp.text = Some(render_exposition());
+            send(stream, &resp)
+        }
+        "reload" => send_counted(stream, &reload(&req, shared)),
         "shutdown" => {
             let _ = send(stream, &Response::ok(shared.store.current_version()));
             shared.stop.store(true, Ordering::Release);
             shared.queue.ready.notify_all();
             false
         }
-        other => send(
+        other => send_counted(
             stream,
             &Response::err(0, format!("unknown command `{other}`")),
         ),
+    }
+}
+
+/// Builds the `server` section of the stats frame: uptime, build info,
+/// the rolling-window view, and the current SLO + quality states.
+fn server_stats(shared: &Arc<Shared>) -> ServerStatsReply {
+    shared.publish_live();
+    let window = shared.series.window(shared.stats_window);
+    let (qps, hit_rate) = window
+        .as_ref()
+        .map(|w| {
+            (
+                w.rate("serve.requests"),
+                w.ratio("cache.hits", "cache.misses"),
+            )
+        })
+        .unwrap_or((0.0, 0.0));
+    let (p50_us, p99_us) = window
+        .as_ref()
+        .and_then(|w| w.hist_delta("serve.request_ns"))
+        .map(|d| {
+            (
+                d.percentile(0.50) as f64 / 1_000.0,
+                d.percentile(0.99) as f64 / 1_000.0,
+            )
+        })
+        .unwrap_or((0.0, 0.0));
+    ServerStatsReply {
+        uptime_s: shared.started.elapsed().as_secs_f64(),
+        build_version: telemetry::BUILD_VERSION.to_string(),
+        build_git: telemetry::BUILD_GIT.to_string(),
+        window_s: shared.stats_window.as_secs_f64(),
+        qps,
+        p50_us,
+        p99_us,
+        hit_rate,
+        slo: shared
+            .slo
+            .status()
+            .into_iter()
+            .map(|s| SloReply {
+                name: s.name,
+                target: s.target,
+                burn_fast: s.burn_fast,
+                burn_slow: s.burn_slow,
+                firing: s.firing,
+                alerts: s.alerts as f64,
+            })
+            .collect(),
+        quality: obs::quality::snapshot()
+            .into_iter()
+            .map(|q| QualityReply {
+                model: q.model,
+                mape: q.mape,
+                max_ape: q.max_ape,
+                samples: q.samples as f64,
+                alerts: q.alerts as f64,
+                above_band: q.above_band,
+            })
+            .collect(),
     }
 }
 
@@ -442,6 +681,7 @@ fn worker_loop(shared: &Arc<Shared>, max_batch: usize) {
     let latency = reg.histogram("serve.request_ns");
     let batch_len = reg.histogram("serve.batch_len");
     let trace_request = obs::trace::intern("serve.request");
+    let trace_flow = obs::trace::intern("serve.req");
     let trace_workload = obs::trace::intern("workload");
     let trace_version = obs::trace::intern("version");
     'rebind: loop {
@@ -480,6 +720,10 @@ fn worker_loop(shared: &Arc<Shared>, max_batch: usize) {
                 latency.record_duration(job.t0.elapsed());
                 if obs::trace::enabled() {
                     let workload = job.req.workload.as_deref().unwrap_or("?");
+                    // Flow end inside the request span (emitted just
+                    // before the span closes) — the arrow head lands on
+                    // the worker slice.
+                    obs::trace::flow_end(trace_flow, job.req_id);
                     obs::trace::complete(
                         trace_request,
                         job.t0_ns,

@@ -11,6 +11,7 @@ use dvfs_core::snapshot::{ModelSnapshot, ModelStore, SnapshotMeta};
 use gpu_model::{DeviceSpec, DvfsGrid, MetricSample, NoiseModel, SignatureBuilder};
 use std::io::Write;
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// Train once per test binary: every test shares the same weights, so
 /// served-vs-in-process comparisons stay apples to apples.
@@ -43,6 +44,10 @@ fn shared_models() -> &'static PowerTimeModels {
 }
 
 fn start_server() -> (Server, Arc<ModelStore>) {
+    start_server_with(ServeConfig::default())
+}
+
+fn start_server_with(config: ServeConfig) -> (Server, Arc<ModelStore>) {
     let spec = DeviceSpec::ga100();
     let snapshot = ModelSnapshot::new(
         shared_models().clone(),
@@ -54,7 +59,7 @@ fn start_server() -> (Server, Arc<ModelStore>) {
         },
     );
     let store = Arc::new(ModelStore::new(snapshot));
-    let server = Server::start(ServeConfig::default(), Arc::clone(&store)).expect("bind");
+    let server = Server::start(config, Arc::clone(&store)).expect("bind");
     (server, store)
 }
 
@@ -406,4 +411,219 @@ fn shutdown_frame_drains_queued_requests() {
     let resp = client.call(&Request::shutdown()).unwrap();
     assert!(resp.ok);
     server.join();
+}
+
+#[test]
+fn scrape_frame_returns_live_exposition() {
+    let (server, _store) = start_server();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    for k in 0..3 {
+        let resp = client
+            .call(&Request::predict(&format!("scrape-{k}"), 0.4, 0.4, 2.0))
+            .unwrap();
+        assert!(resp.ok);
+    }
+    let resp = client.call(&Request::scrape()).unwrap();
+    assert!(resp.ok, "scrape failed: {:?}", resp.error);
+    let text = resp.text.expect("scrape returns exposition text");
+    let parsed = obs::prom::parse(&text).expect("exposition must parse strictly");
+    // Counters are process-global, so >= what this test alone produced.
+    assert!(
+        parsed.counters.get("serve_requests").copied().unwrap_or(0) >= 3,
+        "serve_requests missing or too small"
+    );
+    assert!(
+        parsed.histograms.contains_key("serve_request_ns"),
+        "latency histogram missing from exposition"
+    );
+    assert!(
+        parsed.infos.contains_key("dvfs_build_info"),
+        "build info metric missing"
+    );
+    // The scrape republished derived gauges before rendering.
+    assert!(
+        parsed.gauges.contains_key("serve_uptime_s"),
+        "uptime gauge missing"
+    );
+
+    stop(server, &addr);
+}
+
+#[test]
+fn telemetry_port_serves_metrics_and_health_over_http() {
+    let (server, _store) = start_server_with(ServeConfig {
+        telemetry_addr: Some("127.0.0.1:0".to_string()),
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+    let taddr = server
+        .telemetry_addr()
+        .expect("telemetry port was requested")
+        .to_string();
+
+    let mut client = Client::connect(&addr).unwrap();
+    assert!(
+        client
+            .call(&Request::predict("http", 0.3, 0.5, 1.5))
+            .unwrap()
+            .ok
+    );
+
+    let (status, body) = dvfs_core::serve::http_get(&taddr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    let parsed = obs::prom::parse(&body).expect("HTTP exposition must parse");
+    assert!(parsed.counters.get("serve_requests").copied().unwrap_or(0) >= 1);
+    assert!(parsed.infos.contains_key("dvfs_build_info"));
+
+    let (status, body) = dvfs_core::serve::http_get(&taddr, "/healthz").unwrap();
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    let (status, _) = dvfs_core::serve::http_get(&taddr, "/nope").unwrap();
+    assert_eq!(status, 404);
+
+    stop(server, &addr);
+}
+
+#[test]
+fn stats_frame_reports_uptime_build_window_and_slo_status() {
+    let (server, _store) = start_server_with(ServeConfig {
+        ts_interval: Some(Duration::from_millis(25)),
+        stats_window: Duration::from_secs(5),
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    for k in 0..5 {
+        assert!(
+            client
+                .call(&Request::predict(&format!("sf-{k}"), 0.2, 0.6, 1.0))
+                .unwrap()
+                .ok
+        );
+    }
+    // Let the sampler take at least two ticks so the window exists.
+    std::thread::sleep(Duration::from_millis(120));
+
+    let resp = client.call(&Request::stats()).unwrap();
+    assert!(resp.ok);
+    let server_stats = resp.server.expect("stats frame has a server section");
+    assert!(server_stats.uptime_s > 0.0);
+    assert!(!server_stats.build_version.is_empty());
+    assert!(!server_stats.build_git.is_empty());
+    assert_eq!(server_stats.window_s, 5.0);
+    assert!(server_stats.qps >= 0.0 && server_stats.qps.is_finite());
+    assert!((0.0..=1.0).contains(&server_stats.hit_rate));
+    assert!(server_stats.p99_us >= server_stats.p50_us);
+    let names: Vec<&str> = server_stats.slo.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["latency_p99", "availability", "quality_mape"]);
+    for slo in &server_stats.slo {
+        assert!(slo.target > 0.0 && slo.target < 1.0);
+        assert!(slo.burn_fast >= 0.0 && slo.burn_slow >= 0.0);
+    }
+
+    stop(server, &addr);
+}
+
+#[test]
+fn impossible_latency_slo_fires_exactly_once_under_sustained_load() {
+    use obs::SloSpec;
+    // A 1ns p99 objective no real request can meet, on short windows so
+    // the burn shows up fast. The spec name is unique to this test, so
+    // the global `slo.itest_tight.alerts` counter belongs to it alone.
+    let (server, _store) = start_server_with(ServeConfig {
+        ts_interval: Some(Duration::from_millis(25)),
+        slos: vec![SloSpec::latency("itest_tight", "serve.request_ns", 1, 0.99)
+            .with_windows(Duration::from_millis(500), Duration::from_secs(1))],
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Sustained load; poll the stats frame until the alert lands.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    let mut alerts = 0.0;
+    while std::time::Instant::now() < deadline {
+        for k in 0..10 {
+            assert!(
+                client
+                    .call(&Request::predict(&format!("slo-{k}"), 0.5, 0.3, 2.0))
+                    .unwrap()
+                    .ok
+            );
+        }
+        let resp = client.call(&Request::stats()).unwrap();
+        let tight = resp
+            .server
+            .expect("server section")
+            .slo
+            .into_iter()
+            .find(|s| s.name == "itest_tight")
+            .expect("configured SLO is reported");
+        alerts = tight.alerts;
+        if alerts >= 1.0 {
+            assert!(tight.firing, "alerted SLO must be firing under load");
+            assert!(tight.burn_fast > 1.0, "burn must exceed threshold");
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert_eq!(alerts, 1.0, "edge-triggered alert must fire exactly once");
+
+    // More overload traffic must not re-fire the alert: the edge only
+    // triggers on a clear→firing transition.
+    for k in 0..20 {
+        assert!(
+            client
+                .call(&Request::predict(&format!("slo2-{k}"), 0.5, 0.3, 2.0))
+                .unwrap()
+                .ok
+        );
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    let resp = client.call(&Request::stats()).unwrap();
+    let tight = resp
+        .server
+        .unwrap()
+        .slo
+        .into_iter()
+        .find(|s| s.name == "itest_tight")
+        .unwrap();
+    assert_eq!(tight.alerts, 1.0, "still-firing SLO must not re-alert");
+
+    stop(server, &addr);
+}
+
+#[test]
+fn predict_emits_a_matching_flow_pair() {
+    obs::trace::set_enabled(true);
+    let (server, _store) = start_server();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let resp = client
+        .call(&Request::predict("flow", 0.45, 0.35, 3.0))
+        .unwrap();
+    assert!(resp.ok);
+    obs::trace::set_enabled(false);
+
+    let (events, _stats) = obs::trace::drain();
+    let flow_name = obs::trace::intern("serve.req");
+    let starts: Vec<u64> = events
+        .iter()
+        .filter(|e| e.kind == obs::EventKind::FlowStart && e.name == flow_name)
+        .map(|e| e.value)
+        .collect();
+    let ends: Vec<u64> = events
+        .iter()
+        .filter(|e| e.kind == obs::EventKind::FlowEnd && e.name == flow_name)
+        .map(|e| e.value)
+        .collect();
+    assert!(!starts.is_empty(), "no serve.req flow starts recorded");
+    assert!(
+        starts.iter().any(|id| ends.contains(id)),
+        "no flow id has both a start ({starts:?}) and an end ({ends:?})"
+    );
+
+    stop(server, &addr);
 }

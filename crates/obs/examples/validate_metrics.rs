@@ -8,16 +8,67 @@
 //! ```text
 //! cargo run -p obs --example validate_metrics -- metrics.json
 //! cargo run -p obs --example validate_metrics -- metrics.json --hist serve.request_ns
+//! cargo run -p obs --example validate_metrics -- metrics.json \
+//!     --gauge serve.window.qps=0..1e6 --gauge cache.hit_rate=0..1
 //! ```
 //!
 //! `--hist NAME` overrides which request-latency histogram must be
 //! present and non-empty (default `batch.request_ns`); `dvfs serve`
-//! exports its latencies as `serve.request_ns`.
+//! exports its latencies as `serve.request_ns`. Each repeatable
+//! `--gauge NAME=MIN..MAX` asserts that the named gauge exists and its
+//! value lies in the inclusive range.
 
 use serde::value::Value;
 use std::process::ExitCode;
 
-fn check(parsed: &Value, hist_name: &str) -> Result<(), String> {
+/// One `--gauge NAME=MIN..MAX` range assertion.
+struct GaugeRange {
+    name: String,
+    min: f64,
+    max: f64,
+}
+
+impl GaugeRange {
+    /// Parses `NAME=MIN..MAX` (both bounds any `f64` literal).
+    fn parse(spec: &str) -> Result<GaugeRange, String> {
+        let (name, range) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("`{spec}`: expected NAME=MIN..MAX"))?;
+        let (lo, hi) = range
+            .split_once("..")
+            .ok_or_else(|| format!("`{spec}`: expected NAME=MIN..MAX"))?;
+        let min: f64 = lo
+            .parse()
+            .map_err(|e| format!("`{spec}`: bad minimum: {e}"))?;
+        let max: f64 = hi
+            .parse()
+            .map_err(|e| format!("`{spec}`: bad maximum: {e}"))?;
+        if name.is_empty() || min > max {
+            return Err(format!("`{spec}`: empty name or inverted range"));
+        }
+        Ok(GaugeRange {
+            name: name.to_string(),
+            min,
+            max,
+        })
+    }
+
+    fn check(&self, gauges: &Value) -> Result<(), String> {
+        let v = gauges
+            .get(&self.name)
+            .and_then(Value::as_f64)
+            .ok_or(format!("missing gauge `{}`", self.name))?;
+        if v < self.min || v > self.max {
+            return Err(format!(
+                "gauge `{}` = {v} outside [{}, {}]",
+                self.name, self.min, self.max
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn check(parsed: &Value, hist_name: &str, gauge_ranges: &[GaugeRange]) -> Result<(), String> {
     let counters = parsed.get("counters").ok_or("missing `counters` section")?;
     for key in ["cache.hits", "cache.misses", "cache.evictions"] {
         counters
@@ -51,6 +102,9 @@ fn check(parsed: &Value, hist_name: &str) -> Result<(), String> {
     if spans.is_empty() {
         return Err("no span timings recorded".into());
     }
+    for range in gauge_ranges {
+        range.check(gauges)?;
+    }
     Ok(())
 }
 
@@ -58,6 +112,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path = None;
     let mut hist_name = "batch.request_ns".to_string();
+    let mut gauge_ranges = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         if arg == "--hist" {
@@ -68,12 +123,29 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+        } else if arg == "--gauge" {
+            let spec = match it.next() {
+                Some(spec) => spec,
+                None => {
+                    eprintln!("validate_metrics: --gauge needs NAME=MIN..MAX");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match GaugeRange::parse(&spec) {
+                Ok(range) => gauge_ranges.push(range),
+                Err(e) => {
+                    eprintln!("validate_metrics: --gauge {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else {
             path = Some(arg);
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: validate_metrics <metrics.json> [--hist NAME]");
+        eprintln!(
+            "usage: validate_metrics <metrics.json> [--hist NAME] [--gauge NAME=MIN..MAX]..."
+        );
         return ExitCode::FAILURE;
     };
     let text = match std::fs::read_to_string(&path) {
@@ -90,7 +162,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match check(&parsed, &hist_name) {
+    match check(&parsed, &hist_name, &gauge_ranges) {
         Ok(()) => {
             println!("validate_metrics: {path} ok");
             ExitCode::SUCCESS

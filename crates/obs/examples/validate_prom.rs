@@ -1,0 +1,71 @@
+//! Strictly validates a Prometheus text-exposition document (as served
+//! by `dvfs serve --telemetry-port` and fetched by `dvfs scrape`).
+//!
+//! Used by `scripts/check.sh` as the smoke gate for the scrape surface:
+//! the document must pass [`obs::prom::parse`] (legal names, TYPE
+//! headers, cumulative bucket monotonicity, `+Inf` == `_count`), and —
+//! optionally — contain each `--require NAME` as a counter, gauge,
+//! histogram, or info metric.
+//!
+//! ```text
+//! cargo run -p obs --example validate_prom -- exposition.txt \
+//!     --require serve_requests --require dvfs_build_info
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut require = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--require" {
+            match it.next() {
+                Some(name) => require.push(name),
+                None => {
+                    eprintln!("validate_prom: --require needs a value");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            path = Some(arg);
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: validate_prom <exposition.txt> [--require NAME]...");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_prom: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match obs::prom::parse(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("validate_prom: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for name in &require {
+        let found = parsed.counters.contains_key(name)
+            || parsed.gauges.contains_key(name)
+            || parsed.histograms.contains_key(name)
+            || parsed.infos.contains_key(name);
+        if !found {
+            eprintln!("validate_prom: {path}: no metric named `{name}`");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "validate_prom: {path} ok ({} counters, {} gauges, {} histograms, {} infos)",
+        parsed.counters.len(),
+        parsed.gauges.len(),
+        parsed.histograms.len(),
+        parsed.infos.len()
+    );
+    ExitCode::SUCCESS
+}

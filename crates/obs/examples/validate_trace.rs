@@ -3,14 +3,17 @@
 //! Used by `scripts/check.sh` as the smoke gate for
 //! `dvfs train/batch --trace-out <path>`: the file must parse, every
 //! `B` must have a matching `E` on its tid (stack discipline), `ts`
-//! must be monotone per tid, and — optionally — the trace must span at
-//! least `--min-tids N` distinct threads and contain an event whose
-//! name includes each `--require NAME` (e.g. `shard_worker`,
-//! `campaign_worker`).
+//! must be monotone per tid, every flow event (`s`/`f`) must carry a
+//! numeric `id`, and — optionally — the trace must span at least
+//! `--min-tids N` distinct threads, contain an event whose name
+//! includes each `--require NAME` (e.g. `shard_worker`,
+//! `campaign_worker`), and contain, for each `--require-flow NAME`, at
+//! least one flow id with both a start and an end under that name (the
+//! pair Perfetto draws as an arrow).
 //!
 //! ```text
 //! cargo run -p obs --example validate_trace -- trace.json \
-//!     --min-tids 3 --require shard_worker --require campaign_worker
+//!     --min-tids 3 --require shard_worker --require-flow serve.req
 //! ```
 
 use serde::value::Value;
@@ -21,6 +24,7 @@ struct Options {
     path: String,
     min_tids: usize,
     require: Vec<String>,
+    require_flow: Vec<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -28,6 +32,7 @@ fn parse_args() -> Result<Options, String> {
     let mut path = None;
     let mut min_tids = 1;
     let mut require = Vec::new();
+    let mut require_flow = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--min-tids" => {
@@ -38,14 +43,21 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--min-tids: {e}"))?;
             }
             "--require" => require.push(args.next().ok_or("--require needs a value")?),
+            "--require-flow" => {
+                require_flow.push(args.next().ok_or("--require-flow needs a value")?)
+            }
             other if !other.starts_with("--") && path.is_none() => path = Some(arg),
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
     Ok(Options {
-        path: path.ok_or("usage: validate_trace <trace.json> [--min-tids N] [--require NAME]")?,
+        path: path.ok_or(
+            "usage: validate_trace <trace.json> [--min-tids N] [--require NAME] \
+             [--require-flow NAME]",
+        )?,
         min_tids,
         require,
+        require_flow,
     })
 }
 
@@ -66,6 +78,9 @@ fn check(parsed: &Value, opts: &Options) -> Result<usize, String> {
     let mut open: BTreeMap<u64, Vec<String>> = BTreeMap::new();
     let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
     let mut seen_names: Vec<String> = Vec::new();
+    // Flow accounting: ids seen starting/ending per flow name.
+    let mut flow_starts: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    let mut flow_ends: BTreeMap<String, Vec<u64>> = BTreeMap::new();
 
     for (i, event) in events.iter().enumerate() {
         let ph = field(event, "ph")?
@@ -114,7 +129,18 @@ fn check(parsed: &Value, opts: &Options) -> Result<usize, String> {
                     .as_f64()
                     .ok_or(format!("event {i} (`{name}`): `X` without numeric `dur`"))?;
             }
-            "i" | "C" | "s" | "f" => {}
+            "s" | "f" => {
+                let id = field(event, "id")?
+                    .as_f64()
+                    .ok_or(format!("event {i} (`{name}`): flow without numeric `id`"))?
+                    as u64;
+                if ph == "s" {
+                    flow_starts.entry(name.clone()).or_default().push(id);
+                } else {
+                    flow_ends.entry(name.clone()).or_default().push(id);
+                }
+            }
+            "i" | "C" => {}
             other => return Err(format!("event {i} (`{name}`): unknown ph `{other}`")),
         }
         seen_names.push(name);
@@ -136,6 +162,18 @@ fn check(parsed: &Value, opts: &Options) -> Result<usize, String> {
     for want in &opts.require {
         if !seen_names.iter().any(|n| n.contains(want.as_str())) {
             return Err(format!("no event name contains `{want}`"));
+        }
+    }
+    for want in &opts.require_flow {
+        let starts = flow_starts.get(want).map(Vec::as_slice).unwrap_or(&[]);
+        let ends = flow_ends.get(want).map(Vec::as_slice).unwrap_or(&[]);
+        if !starts.iter().any(|id| ends.contains(id)) {
+            return Err(format!(
+                "no flow id under `{want}` has both a start and an end \
+                 ({} starts, {} ends)",
+                starts.len(),
+                ends.len()
+            ));
         }
     }
     Ok(events.len())

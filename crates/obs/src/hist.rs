@@ -34,8 +34,12 @@ fn index_of(v: u64) -> usize {
     }
 }
 
-/// Lower bound and width of bucket `index`.
-fn bounds_of_index(index: usize) -> (u64, u64) {
+/// Lower bound and width of bucket `index`. The bucket covers the
+/// half-open value range `[lo, lo + width)`; since recorded values are
+/// integers, its inclusive upper edge is `lo + width - 1`. Public so the
+/// Prometheus exporter and the time-series snapshot-delta percentile
+/// math can reconstruct value ranges from sparse bucket indices.
+pub fn bounds_of_index(index: usize) -> (u64, u64) {
     let index = index as u64;
     if index < SUBBUCKETS {
         (index, 1)
@@ -128,6 +132,28 @@ impl Histogram {
         } else {
             self.core.min.load(Ordering::Relaxed)
         }
+    }
+
+    /// Sum of all recorded values (saturating in the same way recording
+    /// is: the per-record `fetch_add` wraps only past `u64::MAX` total).
+    pub fn sum(&self) -> u64 {
+        self.core.sum.load(Ordering::Relaxed)
+    }
+
+    /// The non-empty buckets as `(bucket_index, count)` pairs, index
+    /// ascending. Pair with [`bounds_of_index`] to recover value ranges.
+    /// This is the raw (non-cumulative) per-bucket count — callers that
+    /// need Prometheus-style cumulative buckets accumulate as they walk.
+    pub fn sparse_buckets(&self) -> Vec<(usize, u64)> {
+        self.core
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c != 0).then_some((i, c))
+            })
+            .collect()
     }
 
     /// Mean of recorded values (0 when empty).
@@ -321,6 +347,32 @@ mod tests {
         assert_eq!(h.max(), 0);
         assert_eq!(h.min(), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn sparse_buckets_cover_every_recorded_value() {
+        let h = Histogram::new();
+        let values = [3u64, 3, 40, 1000, 123_456];
+        for v in values {
+            h.record(v);
+        }
+        let sparse = h.sparse_buckets();
+        let total: u64 = sparse.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, values.len() as u64);
+        assert_eq!(h.sum(), values.iter().sum::<u64>());
+        // Indices ascend and each bucket's range contains at least one
+        // recorded value.
+        let mut prev = None;
+        for &(i, _) in &sparse {
+            assert!(prev.is_none_or(|p| i > p), "indices must ascend");
+            prev = Some(i);
+            let (lo, width) = bounds_of_index(i);
+            assert!(
+                values.iter().any(|&v| v >= lo && v < lo + width),
+                "bucket {i} [{lo}, {}) matches no recorded value",
+                lo + width
+            );
+        }
     }
 
     #[test]

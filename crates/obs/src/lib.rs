@@ -25,7 +25,17 @@
 //! * [`quality`] — the model-drift monitor: rolling MAPE / max-APE over
 //!   the last N predicted-vs-observed pairs per model, with an alert
 //!   band that fires once per crossing (counter + `log!(Warn, …)` +
-//!   trace instant). Reported by `dvfs monitor`.
+//!   trace instant). Reported by `dvfs monitor`;
+//! * [`prom`] — Prometheus text exposition (0.0.4) of a registry, with
+//!   log-linear histograms exported as cumulative
+//!   `_bucket`/`_sum`/`_count` series, plus a strict validating parser;
+//! * [`timeseries`] — a fixed-capacity ring of periodic registry
+//!   snapshots (background [`timeseries::Sampler`], `DVFS_TS_INTERVAL`)
+//!   answering windowed queries — rates, ratios, per-window percentiles
+//!   — via snapshot deltas;
+//! * [`slo`] — declarative objectives (latency threshold, error ratio,
+//!   gauge band) with fast/slow multi-window burn-rate alerting,
+//!   edge-triggered like the quality monitor.
 //!
 //! Plus [`log!`], a leveled stderr logger filtered by the `DVFS_LOG`
 //! environment variable (`off|error|warn|info|debug`, default `info`).
@@ -47,8 +57,11 @@ pub mod export;
 pub mod hist;
 pub mod log;
 pub mod metrics;
+pub mod prom;
 pub mod quality;
+pub mod slo;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 pub use export::{attach_json, fmt_ns, MetricsSnapshot};
@@ -57,7 +70,9 @@ pub use log::Level;
 pub use metrics::{global, Counter, Gauge, MetricsRegistry};
 pub use quality::{QualityConfig, QualityMonitor, QualityStat};
 pub use serde::value::Value;
+pub use slo::{SloEngine, SloKind, SloSpec, SloStatus};
 pub use span::{Span, SpanStat};
+pub use timeseries::{HistDelta, Sampler, TimeSeries, Window};
 pub use trace::{ArgValue, EventKind, TraceEvent};
 
 /// Opens a tracing span for the rest of the enclosing scope.

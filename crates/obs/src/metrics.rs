@@ -122,6 +122,18 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// Shared handles to every registered histogram, name-sorted. For
+    /// exporters that need bucket-level detail (Prometheus exposition,
+    /// time-series sampling) rather than the percentile summary a
+    /// [`RegistrySnapshot`] carries.
+    pub fn histogram_entries(&self) -> Vec<(String, Histogram)> {
+        self.histograms
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
     /// Point-in-time values of every registered metric, sorted by name.
     pub fn snapshot(&self) -> RegistrySnapshot {
         RegistrySnapshot {

@@ -1,0 +1,464 @@
+//! Prometheus text exposition (format version 0.0.4) for a
+//! [`MetricsRegistry`], plus a strict parser used by tests and the
+//! `validate_prom` example to verify scrape output.
+//!
+//! Counters and gauges render as single samples; log-linear
+//! [`Histogram`]s render in the native Prometheus histogram shape:
+//! cumulative `_bucket{le="..."}` series over the non-empty buckets
+//! (each `le` is the bucket's inclusive integer upper edge), a
+//! `+Inf` bucket equal to the total count, `_sum`, and `_count`.
+//!
+//! Registry names use dots (`serve.request_ns`); Prometheus names must
+//! match `[a-zA-Z_:][a-zA-Z0-9_:]*`, so [`sanitize_name`] maps every
+//! illegal character to `_`. HELP text and label values are escaped per
+//! the exposition spec (`\\`, `\n`, and `\"` in label values).
+
+use crate::hist::{bounds_of_index, Histogram};
+use crate::metrics::MetricsRegistry;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The `Content-Type` a scrape endpoint should declare for this output.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Maps a registry metric name onto the Prometheus name charset:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`. Dots (our namespace separator) and any
+/// other illegal character become `_`; a leading digit gains a `_`
+/// prefix. Empty names become `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+            out.push(ch);
+            continue;
+        }
+        let ok = ch.is_ascii_alphanumeric() || ch == '_' || ch == ':';
+        out.push(if ok { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a HELP line per the exposition format: backslash and
+/// newline only.
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslash, double-quote, newline.
+fn escape_label_value(text: &str) -> String {
+    text.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Incremental builder for one exposition document. The registry-level
+/// [`render`] drives this; servers append process-level extras (e.g. a
+/// `build_info` metric with version labels) through the same builder so
+/// everything shares the escaping rules.
+#[derive(Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Appends a counter sample. `source` names the registry metric the
+    /// sample came from (shown in HELP).
+    pub fn counter(&mut self, name: &str, source: &str, value: u64) {
+        let name = sanitize_name(name);
+        self.header(&name, &format!("dvfs counter `{source}`"), "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Appends a gauge sample. Non-finite values render as Prometheus
+    /// `NaN`/`+Inf`/`-Inf` literals.
+    pub fn gauge(&mut self, name: &str, source: &str, value: f64) {
+        let name = sanitize_name(name);
+        self.header(&name, &format!("dvfs gauge `{source}`"), "gauge");
+        let _ = writeln!(self.out, "{name} {}", fmt_f64(value));
+    }
+
+    /// Appends an info-style gauge: constant value 1 with identifying
+    /// labels (the `build_info` idiom).
+    pub fn info(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) {
+        let name = sanitize_name(name);
+        self.header(&name, help, "gauge");
+        let rendered: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{}=\"{}\"", sanitize_name(k), escape_label_value(v)))
+            .collect();
+        let _ = writeln!(self.out, "{name}{{{}}} 1", rendered.join(","));
+    }
+
+    /// Appends a full histogram: cumulative buckets over the non-empty
+    /// log-linear buckets, `+Inf`, `_sum`, `_count`.
+    pub fn histogram(&mut self, name: &str, source: &str, hist: &Histogram) {
+        let name = sanitize_name(name);
+        self.header(&name, &format!("dvfs histogram `{source}`"), "histogram");
+        let mut cumulative = 0u64;
+        for (index, count) in hist.sparse_buckets() {
+            cumulative += count;
+            let (lo, width) = bounds_of_index(index);
+            // Recorded values are integers, so the inclusive upper edge
+            // `lo + width - 1` is an exact `le` boundary.
+            let le = lo + (width - 1);
+            let _ = writeln!(self.out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let count = hist.count();
+        let _ = writeln!(self.out, "{name}_bucket{{le=\"+Inf\"}} {count}");
+        let _ = writeln!(self.out, "{name}_sum {}", hist.sum());
+        let _ = writeln!(self.out, "{name}_count {count}");
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders every metric in `registry` as one exposition document:
+/// counters, gauges, then histograms, each name-sorted.
+pub fn render(registry: &MetricsRegistry) -> String {
+    render_with(registry, &[])
+}
+
+/// An info-style metric to append to a rendered document: name, help
+/// text, and the constant `(key, value)` label pairs carrying the
+/// actual information (e.g. `build_info{version="...", git="..."}`).
+pub type InfoMetric<'a> = (&'a str, &'a str, &'a [(&'a str, &'a str)]);
+
+/// [`render`] plus appended info-style metrics, e.g. `build_info`.
+pub fn render_with(registry: &MetricsRegistry, infos: &[InfoMetric]) -> String {
+    let snap = registry.snapshot();
+    let mut doc = PromText::new();
+    for (name, value) in &snap.counters {
+        doc.counter(name, name, *value);
+    }
+    for (name, value) in &snap.gauges {
+        doc.gauge(name, name, *value);
+    }
+    for (name, hist) in registry.histogram_entries() {
+        doc.histogram(&name, &name, &hist);
+    }
+    for (name, help, labels) in infos {
+        doc.info(name, help, labels);
+    }
+    doc.finish()
+}
+
+/// One parsed histogram from an exposition document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedHistogram {
+    /// Cumulative `(le, count)` pairs in document order, excluding
+    /// `+Inf`.
+    pub buckets: Vec<(f64, u64)>,
+    /// The `+Inf` bucket value.
+    pub inf: u64,
+    /// The `_sum` sample.
+    pub sum: f64,
+    /// The `_count` sample.
+    pub count: u64,
+}
+
+/// A parsed exposition document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedProm {
+    /// Counter samples by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge samples by name (label-less only; labeled gauges such as
+    /// info metrics land in `infos`).
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by base name.
+    pub histograms: BTreeMap<String, ParsedHistogram>,
+    /// Labeled single-sample metrics (e.g. `build_info`): name → raw
+    /// label block text.
+    pub infos: BTreeMap<String, String>,
+}
+
+/// Parses and validates an exposition document produced by [`render`].
+///
+/// Strict on the invariants scrapers rely on: every sample must follow a
+/// `# TYPE` declaration for its base name, names must match the legal
+/// charset, histogram buckets must be cumulative (non-decreasing) with
+/// `+Inf == _count`, and values must parse. Returns the first violation
+/// as `Err`.
+pub fn parse(text: &str) -> Result<ParsedProm, String> {
+    let mut out = ParsedProm::default();
+    // Base metric name -> declared type.
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| Err(format!("line {}: {msg}", lineno + 1));
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                return err("malformed TYPE line".into());
+            };
+            if !is_legal_name(name) {
+                return err(format!("illegal metric name `{name}`"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return err(format!("duplicate TYPE for `{name}`"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = match line.rfind(' ') {
+            Some(i) => (&line[..i], line[i + 1..].trim()),
+            None => return err("sample line without value".into()),
+        };
+        let (name, labels) = match name_part.find('{') {
+            Some(i) => {
+                let Some(close) = name_part.rfind('}') else {
+                    return err("unclosed label block".into());
+                };
+                (&name_part[..i], Some(&name_part[i + 1..close]))
+            }
+            None => (name_part, None),
+        };
+        if !is_legal_name(name) {
+            return err(format!("illegal metric name `{name}`"));
+        }
+        // Histogram series names carry a suffix; resolve the base name
+        // the TYPE declaration used.
+        let (base, suffix) = split_histogram_suffix(name, &types);
+        let Some(kind) = types.get(base) else {
+            return err(format!("sample `{name}` without TYPE declaration"));
+        };
+        match (kind.as_str(), suffix) {
+            ("counter", None) => {
+                let v = parse_u64(value_part).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                out.counters.insert(name.to_string(), v);
+            }
+            ("gauge", None) => {
+                if let Some(labels) = labels {
+                    out.infos.insert(name.to_string(), labels.to_string());
+                } else {
+                    let v =
+                        parse_f64(value_part).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                    out.gauges.insert(name.to_string(), v);
+                }
+            }
+            ("histogram", Some(suffix)) => {
+                let h = out.histograms.entry(base.to_string()).or_default();
+                match suffix {
+                    "_bucket" => {
+                        let Some(labels) = labels else {
+                            return err("histogram bucket without le label".into());
+                        };
+                        let Some(le_raw) = labels
+                            .strip_prefix("le=\"")
+                            .and_then(|r| r.strip_suffix('"'))
+                        else {
+                            return err(format!("malformed bucket labels `{labels}`"));
+                        };
+                        let v = parse_u64(value_part)
+                            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                        if le_raw == "+Inf" {
+                            h.inf = v;
+                        } else {
+                            let le = parse_f64(le_raw)
+                                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                            if let Some(&(prev_le, prev_v)) = h.buckets.last() {
+                                if le <= prev_le {
+                                    return err(format!(
+                                        "bucket le {le} not increasing after {prev_le}"
+                                    ));
+                                }
+                                if v < prev_v {
+                                    return err(format!(
+                                        "bucket count {v} decreased after {prev_v} (must be cumulative)"
+                                    ));
+                                }
+                            }
+                            h.buckets.push((le, v));
+                        }
+                    }
+                    "_sum" => {
+                        h.sum = parse_f64(value_part)
+                            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                    }
+                    "_count" => {
+                        h.count = parse_u64(value_part)
+                            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                    }
+                    other => return err(format!("unknown histogram suffix `{other}`")),
+                }
+            }
+            (kind, _) => {
+                return err(format!("sample `{name}` does not fit TYPE {kind}"));
+            }
+        }
+    }
+    // Cross-series invariants.
+    for (name, h) in &out.histograms {
+        if h.inf != h.count {
+            return Err(format!(
+                "histogram `{name}`: +Inf bucket {} != _count {}",
+                h.inf, h.count
+            ));
+        }
+        if let Some(&(_, last)) = h.buckets.last() {
+            if last > h.count {
+                return Err(format!(
+                    "histogram `{name}`: last bucket {last} exceeds _count {}",
+                    h.count
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn is_legal_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// If `name` ends in a histogram suffix and the stripped base has a
+/// `histogram` TYPE declaration, returns `(base, Some(suffix))`.
+fn split_histogram_suffix<'a>(
+    name: &'a str,
+    types: &BTreeMap<String, String>,
+) -> (&'a str, Option<&'static str>) {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).is_some_and(|k| k == "histogram") {
+                return (base, Some(suffix));
+            }
+        }
+    }
+    (name, None)
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|_| format!("bad u64 `{s}`"))
+}
+
+fn parse_f64(s: &str) -> Result<f64, String> {
+    match s {
+        "NaN" => Ok(f64::NAN),
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        _ => s.parse::<f64>().map_err(|_| format!("bad f64 `{s}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(sanitize_name("serve.request_ns"), "serve_request_ns");
+        assert_eq!(sanitize_name("quality.power.mape"), "quality_power_mape");
+        assert_eq!(sanitize_name("99th"), "_99th");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name(""), "_");
+        assert!(is_legal_name(&sanitize_name("7.weird-name!")));
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let reg = MetricsRegistry::new();
+        reg.counter("serve.requests").add(42);
+        reg.gauge("cache.hit_rate").set(0.875);
+        let h = reg.histogram("serve.request_ns");
+        for v in [100u64, 1000, 1000, 50_000] {
+            h.record(v);
+        }
+        let text = render(&reg);
+        let parsed = parse(&text).expect("render output must parse");
+        assert_eq!(parsed.counters["serve_requests"], 42);
+        assert_eq!(parsed.gauges["cache_hit_rate"], 0.875);
+        let ph = &parsed.histograms["serve_request_ns"];
+        assert_eq!(ph.count, 4);
+        assert_eq!(ph.inf, 4);
+        assert_eq!(ph.sum, 52_100.0);
+        assert_eq!(ph.buckets.last().unwrap().1, 4);
+    }
+
+    #[test]
+    fn info_metric_escapes_label_values() {
+        let mut doc = PromText::new();
+        doc.info(
+            "dvfs_build_info",
+            "build metadata",
+            &[("version", "0.1.0"), ("note", "a\"b\\c\nd")],
+        );
+        let text = doc.finish();
+        assert!(text.contains(r#"note="a\"b\\c\nd""#), "got: {text}");
+        let parsed = parse(&text).unwrap();
+        assert!(parsed.infos.contains_key("dvfs_build_info"));
+    }
+
+    #[test]
+    fn help_lines_escape_newlines_and_backslashes() {
+        let mut doc = PromText::new();
+        doc.counter("weird", "a\\b\nc", 1);
+        let text = doc.finish();
+        assert!(text.contains("# HELP weird dvfs counter `a\\\\b\\nc`"));
+        assert!(parse(&text).is_ok());
+    }
+
+    #[test]
+    fn parser_rejects_broken_documents() {
+        // Sample without TYPE.
+        assert!(parse("orphan 1\n").is_err());
+        // Non-cumulative buckets.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n";
+        assert!(parse(bad).unwrap_err().contains("cumulative"));
+        // +Inf disagreeing with _count.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n";
+        assert!(parse(bad).unwrap_err().contains("+Inf"));
+        // Illegal name in a sample.
+        assert!(parse("# TYPE ok counter\nbad-name 1\n").is_err());
+    }
+
+    #[test]
+    fn empty_histogram_still_renders_complete_series() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("empty.hist");
+        let text = render(&reg);
+        let parsed = parse(&text).unwrap();
+        let h = &parsed.histograms["empty_hist"];
+        assert_eq!(h.count, 0);
+        assert_eq!(h.inf, 0);
+        assert!(h.buckets.is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the Prometheus text exposition: whatever a
+//! registry holds, `prom::render` must produce a document that the
+//! strict parser accepts, whose counter/gauge samples equal the
+//! registry values, and whose histogram bucket series are cumulative
+//! and consistent with the histogram oracle (`count`, `sum`, bucket
+//! boundaries).
+
+use obs::hist::bucket_bounds;
+use obs::{prom, MetricsRegistry};
+use proptest::prelude::*;
+
+/// Separators to splice into generated metric names — the index prefix
+/// keeps sanitized names unique, the separator exercises sanitization
+/// (dots are the house style; the rest are hostile).
+const SEPARATORS: [&str; 6] = [".", "..", "-", " ", "/", "🦀"];
+
+fn metric_name(index: usize, salt: usize) -> String {
+    format!("m{index}{}v", SEPARATORS[(index + salt) % SEPARATORS.len()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Counters and gauges survive the render→parse round trip exactly
+    /// (gauges bit-exact through `{v}` float formatting, which is
+    /// shortest-round-trip in Rust).
+    #[test]
+    fn scrape_output_parses_back_to_registry_values(
+        counters in proptest::collection::vec(0u64..u64::MAX / 2, 0..8),
+        gauges in proptest::collection::vec(-1e12f64..1e12, 0..8),
+        salt in 0usize..SEPARATORS.len(),
+    ) {
+        let reg = MetricsRegistry::new();
+        for (i, v) in counters.iter().enumerate() {
+            reg.counter(&metric_name(i, salt)).set(*v);
+        }
+        for (i, v) in gauges.iter().enumerate() {
+            // Offset the index space so gauges never collide with
+            // counters post-sanitization.
+            reg.gauge(&metric_name(i + 100, salt)).set(*v);
+        }
+        let text = prom::render(&reg);
+        let parsed = prom::parse(&text)
+            .unwrap_or_else(|e| panic!("render output rejected: {e}\n{text}"));
+        prop_assert_eq!(parsed.counters.len(), counters.len());
+        prop_assert_eq!(parsed.gauges.len(), gauges.len());
+        for (i, v) in counters.iter().enumerate() {
+            let s = prom::sanitize_name(&metric_name(i, salt));
+            prop_assert_eq!(parsed.counters.get(&s), Some(v), "counter {}", s);
+        }
+        for (i, v) in gauges.iter().enumerate() {
+            let s = prom::sanitize_name(&metric_name(i + 100, salt));
+            prop_assert_eq!(parsed.gauges.get(&s).copied(), Some(*v), "gauge {}", s);
+        }
+    }
+
+    /// Histogram exposition invariants against the hist oracle: buckets
+    /// strictly increasing in `le` with non-decreasing cumulative
+    /// counts (the parser enforces both), final cumulative == `+Inf` ==
+    /// `_count` == records, `_sum` equal to the sum of recorded values,
+    /// and the cumulative count at each value's own bucket edge equal
+    /// to an exact oracle count.
+    #[test]
+    fn histogram_buckets_are_cumulative_and_match_the_oracle(
+        values in proptest::collection::vec(0u64..5_000_000, 1..300),
+    ) {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("t.lat_ns");
+        for &v in &values {
+            h.record(v);
+        }
+        let text = prom::render(&reg);
+        let parsed = prom::parse(&text).unwrap_or_else(|e| panic!("rejected: {e}"));
+        let hist = &parsed.histograms["t_lat_ns"];
+        prop_assert_eq!(hist.count, values.len() as u64);
+        prop_assert_eq!(hist.inf, values.len() as u64);
+        prop_assert_eq!(hist.sum, values.iter().sum::<u64>() as f64);
+        let last = hist.buckets.last().expect("non-empty histogram has buckets");
+        prop_assert_eq!(last.1, values.len() as u64, "last bucket must be total");
+        for &v in &values {
+            let (lo, width) = bucket_bounds(v);
+            let edge = (lo + width - 1) as f64;
+            let at_edge = hist
+                .buckets
+                .iter()
+                .find(|&&(le, _)| le == edge)
+                .map(|&(_, c)| c);
+            // Exact cumulative oracle: how many recorded values fall in
+            // buckets whose inclusive upper edge is <= this value's.
+            let oracle = values
+                .iter()
+                .filter(|&&x| {
+                    let (xlo, xw) = bucket_bounds(x);
+                    xlo + xw <= lo + width
+                })
+                .count() as u64;
+            prop_assert_eq!(at_edge, Some(oracle), "cumulative at le {} for value {}", edge, v);
+        }
+    }
+
+    /// Sanitized names are always legal exposition names, and
+    /// sanitization is idempotent — for arbitrary printable-ASCII
+    /// input.
+    #[test]
+    fn sanitize_always_produces_legal_names(
+        bytes in proptest::collection::vec(0x20u8..0x7f, 0..24),
+    ) {
+        let name = String::from_utf8(bytes).unwrap();
+        let s = prom::sanitize_name(&name);
+        let doc = format!("# TYPE {s} counter\n{s} 1\n");
+        let parsed = prom::parse(&doc);
+        prop_assert!(
+            parsed.is_ok(),
+            "sanitized `{}` -> `{}` rejected: {:?}",
+            name,
+            s,
+            parsed.err()
+        );
+        prop_assert_eq!(prom::sanitize_name(&s), s.clone(), "sanitize must be idempotent");
+    }
+}

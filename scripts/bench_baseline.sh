@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Runs the model-facing criterion benches (nn_training + prediction +
-# pipeline + trace) and collects per-benchmark mean ns/iter into a JSON
-# baseline file.
+# pipeline + trace + obs_plane) and collects per-benchmark mean ns/iter
+# into a JSON baseline file, then measures end-to-end serving throughput
+# twice — once bare and once with the full telemetry plane (sampler,
+# SLO engine, scrape endpoint) enabled — so the observability overhead
+# stays visible and bounded.
 #
 # Usage:
 #   scripts/bench_baseline.sh            # full run, writes BENCH_nn.json
@@ -26,11 +29,12 @@ jsonl="$(mktemp)"
 trap 'rm -f "$jsonl"' EXIT
 export CRITERION_JSON="$jsonl"
 
-echo "==> cargo bench -p bench (nn_training, prediction, pipeline, trace)"
+echo "==> cargo bench -p bench (nn_training, prediction, pipeline, trace, obs_plane)"
 cargo bench --offline -p bench --bench nn_training
 cargo bench --offline -p bench --bench prediction
 cargo bench --offline -p bench --bench pipeline
 cargo bench --offline -p bench --bench trace
+cargo bench --offline -p bench --bench obs_plane
 
 if [[ ! -s "$jsonl" ]]; then
     echo "error: no benchmark records were written to $jsonl" >&2
@@ -74,6 +78,51 @@ if [[ -z "$serve_qps" || -z "$serve_p99" ]]; then
     exit 1
 fi
 
+# Same workload with the telemetry plane fully on: a 200 ms sampler
+# tick, the stock SLO set, and a scraper polling /metrics throughout.
+# The full run enforces that the plane costs < 5% of request p99.
+echo "==> dvfs serve throughput with telemetry plane enabled ($serve_reqs requests)"
+DVFS_LOG=error DVFS_TS_INTERVAL=0.2 target/release/dvfs serve \
+    --models "$servedir/models.json" --telemetry-port 0 \
+    > "$servedir/serve_telemetry.log" &
+serve_pid=$!
+addr=""
+taddr=""
+for _ in $(seq 100); do
+    addr="$(sed -n 's/^listening on //p' "$servedir/serve_telemetry.log" | head -n 1)"
+    taddr="$(sed -n 's/^telemetry on //p' "$servedir/serve_telemetry.log" | head -n 1)"
+    [[ -n "$addr" && -n "$taddr" ]] && break
+    sleep 0.1
+done
+if [[ -z "$addr" || -z "$taddr" ]]; then
+    echo "error: telemetry-enabled dvfs serve never printed its addresses" >&2
+    exit 1
+fi
+(
+    while target/release/dvfs scrape --addr "$taddr" >/dev/null 2>&1; do
+        sleep 0.5
+    done
+) &
+scrape_pid=$!
+report_t="$(target/release/dvfs loadgen --addr "$addr" \
+    --requests "$serve_reqs" --connections 8 --shutdown --json)"
+wait "$serve_pid"
+wait "$scrape_pid" || true
+serve_p99_t="$(printf '%s' "$report_t" | sed -n 's/.*"p99_us":\([0-9.eE+-]*\).*/\1/p')"
+if [[ -z "$serve_p99_t" ]]; then
+    echo "error: telemetry-enabled loadgen report missing p99: $report_t" >&2
+    exit 1
+fi
+if [[ "$smoke" != "1" ]]; then
+    awk -v base="$serve_p99" -v tel="$serve_p99_t" 'BEGIN {
+        if (tel > base * 1.05) {
+            printf "error: telemetry-enabled serve p99 %.1f us regresses >5%% " \
+                   "over bare p99 %.1f us\n", tel, base > "/dev/stderr"
+            exit 1
+        }
+    }'
+fi
+
 # Fold the per-benchmark JSONL records into one {"name": mean_ns} object,
 # then splice in the serving numbers (qps and p99 µs, not ns/iter).
 awk '
@@ -85,7 +134,8 @@ BEGIN { print "{"; sep = "" }
     sep = ",\n"
 }
 ' "$jsonl" > "$out"
-printf ',\n  "serve_qps": %s,\n  "serve_p99_us": %s\n}\n' "$serve_qps" "$serve_p99" >> "$out"
+printf ',\n  "serve_qps": %s,\n  "serve_p99_us": %s,\n  "serve_p99_telemetry_us": %s\n}\n' \
+    "$serve_qps" "$serve_p99" "$serve_p99_t" >> "$out"
 
 echo "==> wrote $out"
 cat "$out"

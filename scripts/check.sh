@@ -66,12 +66,73 @@ cargo run --release --offline -p obs --example validate_metrics -- \
 cargo run --release --offline -p obs --example validate_trace -- \
     "$tmp/serve_trace.json" --require serve.request
 
+echo "==> dvfs serve observability smoke (scrape mid-load, burn alert, top, flows)"
+# An impossible latency objective (p99 <= 1 ns) over tight 1 s / 2 s
+# burn windows, sampled every 200 ms: any sustained traffic must trip
+# the burn-rate alert, and — because the alert is edge-triggered and the
+# burn never clears under load — trip it exactly once.
+DVFS_LOG=warn DVFS_TS_INTERVAL=0.2 target/release/dvfs serve --models "$tmp/models.json" \
+    --telemetry-port 0 --slo-p99-us 0.001 --slo-fast-s 1 --slo-slow-s 2 \
+    --metrics-out "$tmp/obs_metrics.json" --trace-out "$tmp/obs_trace.json" \
+    > "$tmp/obs_serve.log" &
+obs_pid=$!
+addr=""
+taddr=""
+for _ in $(seq 100); do
+    addr="$(sed -n 's/^listening on //p' "$tmp/obs_serve.log" | head -n 1)"
+    taddr="$(sed -n 's/^telemetry on //p' "$tmp/obs_serve.log" | head -n 1)"
+    [[ -n "$addr" && -n "$taddr" ]] && break
+    sleep 0.1
+done
+test -n "$addr"
+test -n "$taddr"
+DVFS_LOG=error target/release/dvfs loadgen --addr "$addr" \
+    --mode open --rate 200 --requests 600 --connections 2 >/dev/null &
+load_pid=$!
+alerted=0
+for _ in $(seq 40); do
+    target/release/dvfs scrape --addr "$taddr" > "$tmp/exposition.txt"
+    if grep -qx 'slo_latency_p99_alerts 1' "$tmp/exposition.txt"; then
+        alerted=1
+        break
+    fi
+    sleep 0.25
+done
+test "$alerted" = 1
+cargo run --release --offline -p obs --example validate_prom -- "$tmp/exposition.txt" \
+    --require serve_requests --require serve_request_ns --require dvfs_build_info \
+    --require slo_latency_p99_burn_fast --require serve_uptime_s
+target/release/dvfs top --addr "$addr" --once --json > "$tmp/top.json"
+grep -q '"qps"' "$tmp/top.json"
+grep -q '"p99_us"' "$tmp/top.json"
+grep -q '"hit_rate"' "$tmp/top.json"
+grep -q '"latency_p99"' "$tmp/top.json"
+target/release/dvfs top --addr "$addr" --once > "$tmp/top.txt"
+grep -q 'dvfs top' "$tmp/top.txt"
+grep -q 'latency_p99' "$tmp/top.txt"
+wait "$load_pid"
+# Edge-triggered: with the load drained and no new traffic, a second
+# scrape must still report exactly one alert.
+target/release/dvfs scrape --addr "$taddr" > "$tmp/exposition2.txt"
+grep -qx 'slo_latency_p99_alerts 1' "$tmp/exposition2.txt"
+DVFS_LOG=error target/release/dvfs loadgen --addr "$addr" \
+    --requests 8 --connections 1 --shutdown >/dev/null
+wait "$obs_pid"
+cargo run --release --offline -p obs --example validate_trace -- \
+    "$tmp/obs_trace.json" --require serve.request --require-flow serve.req
+cargo run --release --offline -p obs --example validate_metrics -- \
+    "$tmp/obs_metrics.json" --hist serve.request_ns \
+    --gauge cache.hit_rate=0..1 --gauge serve.uptime_s=0..1e9 \
+    --gauge serve.window.qps=0..1e9 --gauge slo.latency_p99.burn_fast=0..1e12
+
 echo "==> bench baseline smoke (BENCH_SMOKE=1)"
 BENCH_SMOKE=1 BENCH_OUT="$tmp/BENCH_nn.json" scripts/bench_baseline.sh >/dev/null
 test -s "$tmp/BENCH_nn.json"
 grep -q '"nn_training/epoch_parallel"' "$tmp/BENCH_nn.json"
 grep -q '"pipeline/offline_sweep"' "$tmp/BENCH_nn.json"
 grep -q '"trace_overhead/instant_enabled"' "$tmp/BENCH_nn.json"
+grep -q '"obs_plane/sampler_tick"' "$tmp/BENCH_nn.json"
 grep -q '"serve_qps"' "$tmp/BENCH_nn.json"
+grep -q '"serve_p99_telemetry_us"' "$tmp/BENCH_nn.json"
 
 echo "==> all checks passed"

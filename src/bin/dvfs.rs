@@ -14,9 +14,13 @@
 //!               [--warn-mape PCT] [--drift PCT]
 //! dvfs serve    --models models.json [--addr HOST:PORT] [--workers N]
 //!               [--capacity C] [--shards S] [--max-batch B] [--arch ga100|gv100]
+//!               [--telemetry-port P] [--slo-p99-us US] [--slo-fast-s S]
+//!               [--slo-slow-s S] [--slo-burn X]
 //! dvfs loadgen  --addr HOST:PORT [--requests N] [--connections C]
 //!               [--mode closed|open] [--rate R] [--keys K] [--zipf S]
 //!               [--select-every N] [--seed S] [--json] [--shutdown]
+//! dvfs top      --addr HOST:PORT [--interval S] [--once] [--json]
+//! dvfs scrape   --addr HOST:PORT [--path /metrics]
 //! dvfs apps
 //! ```
 //!
@@ -112,6 +116,8 @@ fn main() -> ExitCode {
         "monitor" => cmd_monitor(&opts),
         "serve" => cmd_serve(&opts),
         "loadgen" => cmd_loadgen(&opts),
+        "top" => cmd_top(&opts),
+        "scrape" => cmd_scrape(&opts),
         "apps" => cmd_apps(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -260,17 +266,34 @@ USAGE:
                 (--drift injects an artificial prediction error)
   dvfs serve    --models models.json [--addr HOST:PORT] [--workers N]
                 [--capacity C] [--shards S] [--max-batch B]
-                [--arch ga100|gv100]
+                [--arch ga100|gv100] [--telemetry-port P]
+                [--slo-p99-us US] [--slo-fast-s S] [--slo-slow-s S]
+                [--slo-burn X]
                 long-lived prediction daemon: length-prefixed JSON
-                frames (predict/select/version/stats/reload/shutdown),
-                snapshot-versioned hot model swaps, sharded profile
-                cache; stops cleanly on ctrl-c or a shutdown frame
+                frames (predict/select/version/stats/scrape/reload/
+                shutdown), snapshot-versioned hot model swaps, sharded
+                profile cache; stops cleanly on ctrl-c or a shutdown
+                frame. --telemetry-port serves Prometheus text on
+                http://127.0.0.1:P/metrics (0 = ephemeral, address
+                printed as `telemetry on ADDR`); the --slo-* flags
+                tune the burn-rate alert engine (p99 objective in µs,
+                fast/slow windows in seconds, burn threshold)
   dvfs loadgen  --addr HOST:PORT [--requests N] [--connections C]
                 [--mode closed|open] [--rate R] [--keys K] [--zipf S]
                 [--select-every N] [--seed S] [--json] [--shutdown]
                 drive a running server with zipf-skewed keys and report
-                throughput + rtt percentiles (--shutdown stops the
-                server afterwards)
+                throughput + rtt percentiles; error replies are counted
+                (and their rtt recorded) separately (--shutdown stops
+                the server afterwards)
+  dvfs top      --addr HOST:PORT [--interval S] [--once] [--json]
+                live dashboard over a running server's stats frame:
+                rolling qps + latency percentiles, cache hit rate,
+                uptime/build/snapshot version, SLO burn + alert state,
+                model quality (--once prints one sample and exits;
+                --json emits the raw stats frame for scripting)
+  dvfs scrape   --addr HOST:PORT [--path /metrics]
+                fetch one document from a server's --telemetry-port
+                (the Prometheus exposition) and print it to stdout
   dvfs apps     list the built-in application models
 
 Exit codes: 0 ok, 2 usage/validation error, 3 I/O or config error.
@@ -295,7 +318,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             out.insert(name.to_string(), value.to_string());
         } else if name == "metrics" {
             out.insert(name.to_string(), "table".to_string());
-        } else if name == "json" || name == "shutdown" {
+        } else if name == "json" || name == "shutdown" || name == "once" {
             out.insert(name.to_string(), "1".to_string());
         } else {
             let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
@@ -829,6 +852,43 @@ fn usize_flag(
     }
 }
 
+/// Parses an optional positive-float flag with a default.
+fn f64_flag(opts: &HashMap<String, String>, name: &str, default: f64) -> Result<f64, String> {
+    match opts.get(name) {
+        None => Ok(default),
+        Some(s) => s
+            .parse::<f64>()
+            .map_err(|e| format!("--{name}: {e}"))
+            .and_then(|v| {
+                if v.is_finite() && v > 0.0 {
+                    Ok(v)
+                } else {
+                    Err(format!("--{name} must be positive"))
+                }
+            }),
+    }
+}
+
+/// Builds the serve SLO set from the `--slo-*` flags: the same three
+/// stock objectives as [`gpu_dvfs::core::serve::default_slos`], with
+/// the latency threshold and the shared windows/burn threshold
+/// overridden.
+fn slos_for(opts: &HashMap<String, String>) -> Result<Vec<obs::SloSpec>, String> {
+    let p99_us = f64_flag(opts, "slo-p99-us", 500.0)?;
+    let fast = std::time::Duration::from_secs_f64(f64_flag(opts, "slo-fast-s", 300.0)?);
+    let slow = std::time::Duration::from_secs_f64(f64_flag(opts, "slo-slow-s", 3600.0)?);
+    let burn = f64_flag(opts, "slo-burn", 1.0)?;
+    let threshold_ns = (p99_us * 1e3).round().max(1.0) as u64;
+    Ok(vec![
+        obs::SloSpec::latency("latency_p99", "serve.request_ns", threshold_ns, 0.99),
+        obs::SloSpec::error_ratio("availability", "serve.requests", "serve.errors", 0.999),
+        obs::SloSpec::gauge_below("quality_mape", "quality.power.mape", 12.0, 0.999),
+    ]
+    .into_iter()
+    .map(|s| s.with_windows(fast, slow).with_burn_threshold(burn))
+    .collect())
+}
+
 /// `dvfs serve` — the online phase as a long-lived daemon. Loads the
 /// trained models into a versioned [`ModelStore`] snapshot, binds the
 /// thread-per-core server, prints `listening on ADDR` (so scripts can
@@ -855,6 +915,16 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
         cache_shards: usize_flag(opts, "shards", workers.next_power_of_two(), 1)?,
         max_batch: usize_flag(opts, "max-batch", 32, 1)?,
         max_frame: gpu_dvfs::core::serve::DEFAULT_MAX_FRAME,
+        telemetry_addr: opts
+            .get("telemetry-port")
+            .map(|p| {
+                p.parse::<u16>()
+                    .map(|port| format!("127.0.0.1:{port}"))
+                    .map_err(|e| format!("--telemetry-port: {e}"))
+            })
+            .transpose()?,
+        slos: slos_for(opts)?,
+        ..ServeConfig::default()
     };
     let label = opts.get("models").cloned().unwrap_or_default();
     let store = std::sync::Arc::new(ModelStore::new(ModelSnapshot::new(
@@ -867,8 +937,11 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
         },
     )));
     let server = Server::start(config, store).map_err(|e| CliError::Io(format!("serve: {e}")))?;
-    // Port discovery line — tests and check.sh read it from stdout.
+    // Port discovery lines — tests and check.sh read them from stdout.
     println!("listening on {}", server.local_addr());
+    if let Some(taddr) = server.telemetry_addr() {
+        println!("telemetry on {taddr}");
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 
@@ -972,6 +1045,147 @@ fn cmd_loadgen(opts: &HashMap<String, String>) -> Result<(), CliError> {
         );
     }
     Ok(())
+}
+
+/// `dvfs scrape` — one-shot HTTP GET against a server's telemetry port;
+/// prints the body (the Prometheus exposition for `/metrics`) verbatim.
+fn cmd_scrape(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let addr = opts
+        .get("addr")
+        .ok_or_else(|| CliError::Usage("--addr HOST:PORT is required".into()))?;
+    let path = opts.get("path").map(String::as_str).unwrap_or("/metrics");
+    let (status, body) = gpu_dvfs::core::serve::http_get(addr, path)
+        .map_err(|e| CliError::Io(format!("scrape {addr}{path}: {e}")))?;
+    if status != 200 {
+        return Err(CliError::Io(format!(
+            "scrape {addr}{path}: HTTP {status}\n{body}"
+        )));
+    }
+    print!("{body}");
+    Ok(())
+}
+
+/// `dvfs top` — terminal dashboard over a running server's `stats`
+/// frame. Polls every `--interval` seconds with a full-screen redraw;
+/// `--once` prints a single sample, `--json` emits the raw frame.
+fn cmd_top(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    use gpu_dvfs::core::serve::{Client, Request};
+
+    let addr = opts
+        .get("addr")
+        .ok_or_else(|| CliError::Usage("--addr HOST:PORT is required".into()))?;
+    let once = opts.contains_key("once");
+    let json = opts.contains_key("json");
+    let interval = std::time::Duration::from_secs_f64(f64_flag(opts, "interval", 2.0)?);
+
+    interrupt::install();
+    let mut client =
+        Client::connect(addr).map_err(|e| CliError::Io(format!("top: connect {addr}: {e}")))?;
+    loop {
+        let resp = client
+            .call(&Request::stats())
+            .map_err(|e| CliError::Io(format!("top: {addr}: {e}")))?;
+        if !resp.ok {
+            return Err(CliError::Io(format!(
+                "top: server error: {}",
+                resp.error.as_deref().unwrap_or("unknown")
+            )));
+        }
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string(&resp).expect("stats frame serializes")
+            );
+        } else {
+            if !once {
+                // Full-screen redraw: clear + home, like watch(1).
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", render_top(addr, &resp));
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        if once {
+            return Ok(());
+        }
+        let wake = std::time::Instant::now() + interval;
+        while std::time::Instant::now() < wake {
+            if interrupt::triggered() {
+                println!();
+                return Ok(());
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    }
+}
+
+/// Formats one dashboard screen from a stats frame.
+fn render_top(addr: &str, resp: &gpu_dvfs::core::serve::Response) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "dvfs top — {addr}    snapshot v{:.0}", resp.version);
+    if let Some(s) = &resp.server {
+        let _ = writeln!(
+            out,
+            "uptime {:.1} s    build {} ({})",
+            s.uptime_s, s.build_version, s.build_git
+        );
+        let _ = writeln!(
+            out,
+            "window {:.0} s: {:.1} req/s    p50 {:.1} µs    p99 {:.1} µs    hit rate {:.1}%",
+            s.window_s,
+            s.qps,
+            s.p50_us,
+            s.p99_us,
+            100.0 * s.hit_rate
+        );
+        if !s.slo.is_empty() {
+            let _ = writeln!(out, "slo:");
+            for slo in &s.slo {
+                let _ = writeln!(
+                    out,
+                    "  {:<14} target {:>7.3}%  burn {:>6.2}/{:<6.2} {}  alerts {:.0}",
+                    slo.name,
+                    100.0 * slo.target,
+                    slo.burn_fast,
+                    slo.burn_slow,
+                    if slo.firing { "FIRING" } else { "ok    " },
+                    slo.alerts
+                );
+            }
+        }
+        if !s.quality.is_empty() {
+            let _ = writeln!(out, "quality:");
+            for q in &s.quality {
+                let _ = writeln!(
+                    out,
+                    "  {:<8} mape {:>6.2}%  max {:>6.2}%  samples {:.0}  alerts {:.0}{}",
+                    q.model,
+                    q.mape,
+                    q.max_ape,
+                    q.samples,
+                    q.alerts,
+                    if q.above_band { "  ABOVE BAND" } else { "" }
+                );
+            }
+        }
+    }
+    if let Some(c) = &resp.stats {
+        let _ = writeln!(
+            out,
+            "cache: {:.0} lookups ({:.0} hits / {:.0} misses, {:.1}% lifetime), \
+             {:.0} evictions, {:.0} resident across {:.0} shards",
+            c.lookups,
+            c.hits,
+            c.misses,
+            100.0 * c.hit_rate,
+            c.evictions,
+            c.resident,
+            c.shards
+        );
+    }
+    out
 }
 
 fn cmd_apps() -> Result<(), CliError> {

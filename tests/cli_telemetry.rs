@@ -254,3 +254,146 @@ fn serve_shutdown_frame_drains_requests_and_exports_telemetry() {
         .expect("serve.requests counter exported");
     assert!(served >= 16.0, "all requests counted, got {served}");
 }
+
+/// The observability plane end to end through the CLI: serve with a
+/// telemetry port, scrape it over HTTP, and read the dashboard via
+/// `dvfs top --once` in both JSON and plain-text form.
+#[test]
+fn serve_telemetry_port_scrape_and_top_work_end_to_end() {
+    use gpu_dvfs::core::serve::{Client, Request};
+
+    let models = tmp("obs_models.json");
+    write_tiny_models(&models);
+
+    let mut child = dvfs()
+        .args([
+            "serve",
+            "--models",
+            models.to_str().unwrap(),
+            "--telemetry-port",
+            "0",
+        ])
+        // Fast sampler ticks so the rolling window fills quickly.
+        .env("DVFS_TS_INTERVAL", "0.05")
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn dvfs serve");
+
+    let mut stdout = std::io::BufReader::new(child.stdout.take().unwrap());
+    let (mut addr, mut taddr) = (None, None);
+    while addr.is_none() || taddr.is_none() {
+        let mut line = String::new();
+        assert_ne!(
+            stdout.read_line(&mut line).unwrap(),
+            0,
+            "serve exited before printing its addresses"
+        );
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            addr = Some(rest.to_string());
+        } else if let Some(rest) = line.trim().strip_prefix("telemetry on ") {
+            taddr = Some(rest.to_string());
+        }
+    }
+    let (addr, taddr) = (addr.unwrap(), taddr.unwrap());
+
+    let mut client = Client::connect(&addr).expect("connect");
+    for i in 0..24 {
+        let fp = (0.05 + 0.03 * f64::from(i)).min(0.95);
+        assert!(
+            client
+                .call(&Request::predict("obs", fp, 0.4, 2.0))
+                .unwrap()
+                .ok
+        );
+    }
+    // Two sampler ticks so the window has a base and a tip.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    // `dvfs scrape` fetches a parseable Prometheus document.
+    let out = dvfs()
+        .args(["scrape", "--addr", &taddr])
+        .output()
+        .expect("spawn dvfs scrape");
+    assert!(
+        out.status.success(),
+        "scrape failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let exposition = String::from_utf8(out.stdout).unwrap();
+    let parsed = obs::prom::parse(&exposition)
+        .unwrap_or_else(|e| panic!("scraped exposition rejected: {e}"));
+    assert!(parsed.counters.get("serve_requests").copied().unwrap_or(0) >= 24);
+    assert!(parsed.histograms.contains_key("serve_request_ns"));
+    assert!(parsed.infos.contains_key("dvfs_build_info"));
+    // The three stock SLOs export burn gauges and alert counters.
+    for slo in ["latency_p99", "availability", "quality_mape"] {
+        assert!(
+            parsed.gauges.contains_key(&format!("slo_{slo}_burn_fast")),
+            "missing burn gauge for {slo}"
+        );
+        assert!(
+            parsed.counters.contains_key(&format!("slo_{slo}_alerts")),
+            "missing alert counter for {slo}"
+        );
+    }
+
+    // A bad path is a clean I/O error, not a hang or a panic.
+    let out = dvfs()
+        .args(["scrape", "--addr", &taddr, "--path", "/nope"])
+        .output()
+        .expect("spawn dvfs scrape");
+    assert_eq!(out.status.code(), Some(EXIT_IO));
+
+    // `dvfs top --once --json` emits the full stats frame for scripts.
+    let out = dvfs()
+        .args(["top", "--addr", &addr, "--once", "--json"])
+        .output()
+        .expect("spawn dvfs top");
+    assert!(
+        out.status.success(),
+        "top failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let frame: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).expect("top --json parses");
+    let server = frame.get("server").expect("server section");
+    for key in [
+        "uptime_s",
+        "qps",
+        "p50_us",
+        "p99_us",
+        "hit_rate",
+        "build_version",
+    ] {
+        assert!(server.get(key).is_some(), "top --json missing server.{key}");
+    }
+    assert!(frame.get("version").and_then(serde_json::Value::as_f64) == Some(1.0));
+    let slos = server
+        .get("slo")
+        .and_then(serde_json::Value::as_array)
+        .unwrap();
+    assert_eq!(slos.len(), 3);
+    // The window saw real traffic through the fast sampler ticks.
+    assert!(
+        server
+            .get("qps")
+            .and_then(serde_json::Value::as_f64)
+            .unwrap()
+            >= 0.0
+    );
+
+    // Plain-text `--once` renders the dashboard headline.
+    let out = dvfs()
+        .args(["top", "--addr", &addr, "--once"])
+        .output()
+        .expect("spawn dvfs top");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("dvfs top"), "missing headline: {text}");
+    assert!(text.contains("hit rate"), "missing window line: {text}");
+    assert!(text.contains("latency_p99"), "missing SLO table: {text}");
+
+    let resp = client.call(&Request::shutdown()).expect("shutdown ack");
+    assert!(resp.ok);
+    assert_eq!(child.wait().expect("wait").code(), Some(0));
+}
