@@ -157,6 +157,34 @@ fn bench_nn_forward(c: &mut Criterion) {
             acc
         })
     });
+    // The batch-fused engines: one packed GEMM per layer over all 61
+    // rows, f32 lanes (engine_f32) or bf16-truncated weights with f32
+    // accumulation (engine_bf16) — the serving fast path.
+    let engine_f32 = nn::InferenceEngine::compile(&net, nn::Precision::F32);
+    let engine_bf16 = nn::InferenceEngine::compile(&net, nn::Precision::Bf16);
+    let mut out = Vec::new();
+    group.bench_function("engine_f32", |b| {
+        b.iter(|| {
+            engine_f32.predict_into(black_box(&x), &mut out);
+            out[0]
+        })
+    });
+    group.bench_function("engine_bf16", |b| {
+        b.iter(|| {
+            engine_bf16.predict_into(black_box(&x), &mut out);
+            out[0]
+        })
+    });
+    group.bench_function("engine_one_x61", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for row in &rows {
+                engine_f32.predict_one_into(black_box(row), &mut out);
+                acc += out[0];
+            }
+            acc
+        })
+    });
     group.finish();
 }
 

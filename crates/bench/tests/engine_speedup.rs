@@ -1,0 +1,103 @@
+//! Guard for the batch-fused inference engine: the packed f32 engine's
+//! full 61-state sweep must beat the f64 workspace `predict_into` path
+//! by ≥2× (min-to-min over several attempts, the same statistic
+//! `BENCH_nn.json` records).
+//!
+//! Timing ratios are only meaningful with optimizations on, so the
+//! guard logs and exits under a debug build (`cargo test -q` tier-1
+//! runs); `scripts/check.sh` runs it in release. Either way it asserts
+//! the f64 engine mode reproduces the workspace path bitwise, so the
+//! speedup never comes at the price of correctness.
+
+use nn::activation::Activation;
+use nn::network::{Network, NetworkBuilder};
+use nn::{InferenceEngine, Precision, Workspace};
+use tensor::Matrix;
+
+fn paper_net() -> Network {
+    NetworkBuilder::new(3)
+        .hidden(64, Activation::Selu)
+        .hidden(64, Activation::Selu)
+        .hidden(64, Activation::Selu)
+        .output(1, Activation::Linear)
+        .seed(21)
+        .build()
+}
+
+fn sweep_input() -> Matrix {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(13);
+    tensor::init::uniform(61, 3, 0.0, 1.0, &mut rng)
+}
+
+/// Minimum wall time of `iters` runs of `f`, over `attempts` attempts.
+fn min_seconds(mut f: impl FnMut(), iters: usize, attempts: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..attempts {
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+#[test]
+fn fused_f32_sweep_beats_workspace_predict_into_2x() {
+    let net = paper_net();
+    let x = sweep_input();
+
+    // Correctness leg, valid in any build: the f64 engine is the
+    // workspace path (bitwise), and the f32 engine tracks it closely.
+    let mut ws = Workspace::for_network(&net, x.rows());
+    let reference = net.predict_into(&x, &mut ws).as_slice().to_vec();
+    let engine_f64 = InferenceEngine::compile(&net, Precision::F64);
+    let engine_f32 = InferenceEngine::compile(&net, Precision::F32);
+    let mut out = Vec::new();
+    engine_f64.predict_into(&x, &mut out);
+    assert_eq!(out, reference, "f64 engine diverged from workspace path");
+    engine_f32.predict_into(&x, &mut out);
+    for (got, want) in out.iter().zip(&reference) {
+        assert!(
+            (got - want).abs() <= 1e-4 + 1e-4 * want.abs(),
+            "f32 engine outside documented bound: {got} vs {want}"
+        );
+    }
+
+    if cfg!(debug_assertions) {
+        eprintln!("engine_speedup: debug build, timing guard skipped");
+        return;
+    }
+
+    const ITERS: usize = 200;
+    const ATTEMPTS: usize = 5;
+    let t_workspace = min_seconds(
+        || {
+            let y = net.predict_into(&x, &mut ws);
+            std::hint::black_box(y.as_slice()[0]);
+        },
+        ITERS,
+        ATTEMPTS,
+    );
+    let t_engine = min_seconds(
+        || {
+            engine_f32.predict_into(&x, &mut out);
+            std::hint::black_box(out[0]);
+        },
+        ITERS,
+        ATTEMPTS,
+    );
+    let speedup = t_workspace / t_engine;
+    eprintln!(
+        "engine_speedup: workspace {:.1} µs, fused f32 {:.1} µs ({speedup:.2}x)",
+        t_workspace * 1e6,
+        t_engine * 1e6
+    );
+    assert!(
+        speedup >= 2.0,
+        "fused f32 sweep must be ≥2× faster than predict_into \
+         (workspace {:.1} µs, engine {:.1} µs, {speedup:.2}x)",
+        t_workspace * 1e6,
+        t_engine * 1e6
+    );
+}

@@ -3,7 +3,8 @@
 use crate::dataset::{Dataset, NUM_FEATURES};
 use gpu_model::DeviceSpec;
 use nn::{
-    Activation, Loss, Network, NetworkBuilder, OptimizerKind, TrainConfig, Trainer, TrainingHistory,
+    Activation, InferenceEngine, Loss, Network, NetworkBuilder, OptimizerKind, Precision,
+    TrainConfig, Trainer, TrainingHistory,
 };
 use serde::{Deserialize, Serialize};
 
@@ -239,6 +240,120 @@ impl PowerTimeModels {
     }
 }
 
+/// The compiled inference-engine pair for the serving hot path: both
+/// trained networks frozen into [`nn::InferenceEngine`]s at a chosen
+/// [`Precision`].
+///
+/// Mirrors the [`PowerTimeModels`] prediction API (same feature
+/// assembly, same output clamping) but runs every sweep through the
+/// packed batch-fused kernels — one fused GEMM per layer over all
+/// frequencies instead of per-state matvecs. In [`Precision::F64`] mode
+/// the outputs are **bitwise identical** to the corresponding
+/// `PowerTimeModels` methods; the reduced-precision modes carry the
+/// documented error bounds from [`nn::infer`] and are gated behind the
+/// quality monitor before a snapshot may serve them (see
+/// `crate::snapshot`).
+#[derive(Debug, Clone)]
+pub struct PredictEngines {
+    power: InferenceEngine,
+    time: InferenceEngine,
+}
+
+impl PredictEngines {
+    /// Compiles both networks once (weight conversion + panel packing
+    /// happen here, never per request).
+    pub fn compile(models: &PowerTimeModels, precision: Precision) -> Self {
+        Self {
+            power: InferenceEngine::compile(&models.power, precision),
+            time: InferenceEngine::compile(&models.time, precision),
+        }
+    }
+
+    /// The numeric mode both engines were compiled for.
+    pub fn precision(&self) -> Precision {
+        self.power.precision()
+    }
+
+    /// Assembles the F x 3 feature matrix (thread-local, reused across
+    /// calls) and runs one batched engine pass — the engine-side twin of
+    /// `PowerTimeModels::batch_forward`.
+    fn batch_forward(
+        engine: &InferenceEngine,
+        spec: &DeviceSpec,
+        fp_active: f64,
+        dram_active: f64,
+        frequencies: &[f64],
+    ) -> Vec<f64> {
+        thread_local! {
+            static FEATURES: std::cell::RefCell<tensor::Matrix> =
+                std::cell::RefCell::new(tensor::Matrix::zeros(0, 0));
+        }
+        FEATURES.with(|cell| {
+            let mut x = cell.borrow_mut();
+            x.resize_to(frequencies.len(), NUM_FEATURES);
+            for (r, &mhz) in frequencies.iter().enumerate() {
+                x.row_mut(r).copy_from_slice(&Dataset::feature_row(
+                    fp_active,
+                    dram_active,
+                    mhz / spec.max_core_mhz,
+                ));
+            }
+            let mut out = Vec::with_capacity(frequencies.len());
+            engine.predict_into(&x, &mut out);
+            out
+        })
+    }
+
+    /// Predicted power in watts at every frequency, one fused engine
+    /// pass for the whole sweep.
+    pub fn predict_power_w_batch(
+        &self,
+        spec: &DeviceSpec,
+        fp_active: f64,
+        dram_active: f64,
+        frequencies: &[f64],
+    ) -> Vec<f64> {
+        let mut out = Self::batch_forward(&self.power, spec, fp_active, dram_active, frequencies);
+        for v in &mut out {
+            *v = (*v * spec.tdp_w).max(0.0);
+        }
+        out
+    }
+
+    /// Predicted normalized times `T(f)/T(f_max)` at every frequency.
+    pub fn predict_time_ratio_batch(
+        &self,
+        spec: &DeviceSpec,
+        fp_active: f64,
+        dram_active: f64,
+        frequencies: &[f64],
+    ) -> Vec<f64> {
+        let mut out = Self::batch_forward(&self.time, spec, fp_active, dram_active, frequencies);
+        for v in &mut out {
+            *v = v.max(0.0);
+        }
+        out
+    }
+
+    /// Single-frequency time ratio through the engine's `rows = 1` path:
+    /// no `Matrix` assembly, no per-call workspace resizing — and
+    /// bitwise-identical to the corresponding row of a batched call in
+    /// every precision mode (per-row accumulation chains are independent
+    /// of the batch blocking).
+    pub fn predict_time_ratio(
+        &self,
+        spec: &DeviceSpec,
+        fp_active: f64,
+        dram_active: f64,
+        mhz: f64,
+    ) -> f64 {
+        let features = Dataset::feature_row(fp_active, dram_active, mhz / spec.max_core_mhz);
+        let mut out = Vec::with_capacity(1);
+        self.time.predict_one_into(&features, &mut out);
+        out[0].max(0.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,6 +520,61 @@ mod tests {
                     prop_assert_eq!(batch_p[i].to_bits(), p.to_bits());
                     prop_assert_eq!(batch_t[i].to_bits(), t.to_bits());
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn f64_engines_match_models_bitwise() {
+        let spec = DeviceSpec::ga100();
+        let ds = small_dataset(&spec);
+        let models = PowerTimeModels::train(&ds);
+        let engines = PredictEngines::compile(&models, Precision::F64);
+        let freqs: Vec<f64> = (0..61).map(|i| 510.0 + 15.0 * i as f64).collect();
+        let (fp, dram) = (0.62, 0.31);
+        assert_eq!(
+            engines.predict_power_w_batch(&spec, fp, dram, &freqs),
+            models.predict_power_w_batch(&spec, fp, dram, &freqs)
+        );
+        assert_eq!(
+            engines.predict_time_ratio_batch(&spec, fp, dram, &freqs),
+            models.predict_time_ratio_batch(&spec, fp, dram, &freqs)
+        );
+        assert_eq!(
+            engines
+                .predict_time_ratio(&spec, fp, dram, 1005.0)
+                .to_bits(),
+            models.predict_time_ratio(&spec, fp, dram, 1005.0).to_bits()
+        );
+    }
+
+    #[test]
+    fn reduced_precision_engines_stay_near_f64() {
+        let spec = DeviceSpec::ga100();
+        let ds = small_dataset(&spec);
+        let models = PowerTimeModels::train(&ds);
+        let freqs: Vec<f64> = (0..61).map(|i| 510.0 + 15.0 * i as f64).collect();
+        // Normalized-output tolerances: power fractions and time ratios
+        // live in O(1) units, so the nn-level bounds apply directly
+        // (power is additionally scaled by TDP below).
+        for (precision, rtol) in [(Precision::F32, 1e-3), (Precision::Bf16, 5e-2)] {
+            let engines = PredictEngines::compile(&models, precision);
+            assert_eq!(engines.precision(), precision);
+            let want_t = models.predict_time_ratio_batch(&spec, 0.7, 0.4, &freqs);
+            let got_t = engines.predict_time_ratio_batch(&spec, 0.7, 0.4, &freqs);
+            for (g, w) in got_t.iter().zip(&want_t) {
+                assert!(
+                    (g - w).abs() <= rtol + rtol * w.abs(),
+                    "{precision}: time ratio {g} vs {w}"
+                );
+            }
+            let want_p = models.predict_power_w_batch(&spec, 0.7, 0.4, &freqs);
+            let got_p = engines.predict_power_w_batch(&spec, 0.7, 0.4, &freqs);
+            for (g, w) in got_p.iter().zip(&want_p) {
+                assert!(
+                    (g - w).abs() <= rtol * spec.tdp_w + rtol * w.abs(),
+                    "{precision}: power {g} vs {w}"
+                );
             }
         }
     }

@@ -7,7 +7,7 @@
 //! function selects the optimal frequency.
 
 use crate::cache::{CacheHandle, NormalizedProfile};
-use crate::models::PowerTimeModels;
+use crate::models::{PowerTimeModels, PredictEngines};
 use crate::objective::{select_optimal, Objective, Selection};
 use gpu_model::{DeviceSpec, MetricSample, PhasedWorkload};
 use rayon::prelude::*;
@@ -112,6 +112,13 @@ impl PredictedProfile {
 /// The online predictor: trained models bound to a device spec.
 pub struct Predictor<'a> {
     models: &'a PowerTimeModels,
+    /// Batch-fused inference engines (packed f32/bf16 kernels). When
+    /// bound — the serve path binds its snapshot's engines — every sweep
+    /// runs through [`PredictEngines`] instead of the training-path
+    /// forward; in [`nn::Precision::F64`] mode that is bitwise identical
+    /// to `models`, in reduced-precision modes it is the quality-gated
+    /// fast path.
+    engines: Option<&'a PredictEngines>,
     spec: DeviceSpec,
     /// Request-latency histogram (`predict.request_ns` in the global
     /// registry). The handle is fetched once here so the per-request
@@ -131,11 +138,27 @@ impl<'a> Predictor<'a> {
     pub fn new(models: &'a PowerTimeModels, spec: DeviceSpec) -> Self {
         Self {
             models,
+            engines: None,
             spec,
             latency: obs::global().histogram("predict.request_ns"),
             trace_request: obs::trace::intern("predict.request"),
             trace_arg_workload: obs::trace::intern("workload"),
             trace_arg_hit: obs::trace::intern("hit"),
+        }
+    }
+
+    /// Creates a predictor that routes every sweep through the packed
+    /// batch-fused `engines` (the serve hot path binds its snapshot's
+    /// engines here). `models` remains the source of truth for anything
+    /// outside the forward pass.
+    pub fn with_engines(
+        models: &'a PowerTimeModels,
+        engines: &'a PredictEngines,
+        spec: DeviceSpec,
+    ) -> Self {
+        Self {
+            engines: Some(engines),
+            ..Self::new(models, spec)
         }
     }
 
@@ -198,6 +221,28 @@ impl<'a> Predictor<'a> {
         dram_active: f64,
         frequencies: &[f64],
     ) -> NormalizedProfile {
+        if let Some(engines) = self.engines {
+            return NormalizedProfile {
+                power_w: engines.predict_power_w_batch(
+                    &self.spec,
+                    fp_active,
+                    dram_active,
+                    frequencies,
+                ),
+                time_ratio: engines.predict_time_ratio_batch(
+                    &self.spec,
+                    fp_active,
+                    dram_active,
+                    frequencies,
+                ),
+                ratio_at_max: engines.predict_time_ratio(
+                    &self.spec,
+                    fp_active,
+                    dram_active,
+                    self.spec.max_core_mhz,
+                ),
+            };
+        }
         NormalizedProfile {
             power_w: self.models.predict_power_w_batch(
                 &self.spec,
@@ -578,6 +623,45 @@ mod tests {
         }
         // And a second fan-out is deterministic.
         assert_eq!(fanned, predictor.predict_many(&refs, &freqs));
+    }
+
+    #[test]
+    fn engine_bound_predictor_is_bitwise_identical_in_f64_mode() {
+        let backend = SimulatorBackend::ga100();
+        let spec = backend.spec().clone();
+        let models = trained_models(&spec);
+        let engines = PredictEngines::compile(&models, nn::Precision::F64);
+        let plain = Predictor::new(&models, spec.clone());
+        let fused = Predictor::with_engines(&models, &engines, spec.clone());
+        let freqs = backend.grid().used();
+        let reference = reference_for(&spec, "app", 1.5e13, 1.0e12);
+        // PartialEq on the profile compares every f64 exactly.
+        assert_eq!(
+            plain.predict_from_reference(&reference, &freqs),
+            fused.predict_from_reference(&reference, &freqs)
+        );
+    }
+
+    #[test]
+    fn engine_bound_predictor_stays_close_in_reduced_precision() {
+        let backend = SimulatorBackend::ga100();
+        let spec = backend.spec().clone();
+        let models = trained_models(&spec);
+        let plain = Predictor::new(&models, spec.clone());
+        let freqs = backend.grid().used();
+        let reference = reference_for(&spec, "app", 1.5e13, 1.0e12);
+        let exact = plain.predict_from_reference(&reference, &freqs);
+        for (precision, rtol) in [(nn::Precision::F32, 1e-3), (nn::Precision::Bf16, 5e-2)] {
+            let engines = PredictEngines::compile(&models, precision);
+            let fused = Predictor::with_engines(&models, &engines, spec.clone());
+            let got = fused.predict_from_reference(&reference, &freqs);
+            for i in 0..freqs.len() {
+                let dp = (got.power_w[i] - exact.power_w[i]).abs() / exact.power_w[i].max(1e-9);
+                let dt = (got.time_s[i] - exact.time_s[i]).abs() / exact.time_s[i].max(1e-9);
+                assert!(dp < rtol, "{precision:?} power drifted {dp:.2e} at row {i}");
+                assert!(dt < rtol, "{precision:?} time drifted {dt:.2e} at row {i}");
+            }
+        }
     }
 
     #[test]

@@ -190,6 +190,9 @@ pub struct ServerStatsReply {
     pub build_version: String,
     /// Git revision baked in at build time (`unknown` outside CI).
     pub build_git: String,
+    /// Precision the live snapshot actually serves (`f64`/`f32`/`bf16`)
+    /// — post-veto, so it can differ from `--precision`.
+    pub precision: String,
     /// The rolling window the rates below cover, seconds (0 until the
     /// sampler has two ticks).
     pub window_s: f64,
@@ -357,6 +360,7 @@ mod tests {
             uptime_s: 12.5,
             build_version: "0.1.0".to_string(),
             build_git: "unknown".to_string(),
+            precision: "f64".to_string(),
             window_s: 10.0,
             qps: 1000.0,
             p50_us: 120.0,
@@ -396,6 +400,7 @@ mod tests {
             "server.hit_rate",
             "server.p50_us",
             "server.p99_us",
+            "server.precision",
             "server.qps",
             "server.quality",
             "server.quality[].above_band",

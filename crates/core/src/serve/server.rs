@@ -29,6 +29,7 @@ use crate::models::PowerTimeModels;
 use crate::predictor::Predictor;
 use crate::snapshot::{ModelSnapshot, ModelStore, SnapshotMeta};
 use gpu_model::{DvfsGrid, MetricSample};
+use nn::Precision;
 use obs::slo::{SloEngine, SloSpec};
 use obs::timeseries::{Sampler, TimeSeries};
 use std::collections::VecDeque;
@@ -74,6 +75,11 @@ pub struct ServeConfig {
     pub stats_window: Duration,
     /// Declared objectives the burn-rate engine evaluates each tick.
     pub slos: Vec<SloSpec>,
+    /// Precision requested for reloaded snapshots (`dvfs serve
+    /// --precision`). Reduced-precision candidates still pass through the
+    /// snapshot accuracy gate, so the *active* precision (exposed in
+    /// `stats` and scrapes) may fall back to f64.
+    pub precision: Precision,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +96,7 @@ impl Default for ServeConfig {
             ts_capacity: 1024,
             stats_window: Duration::from_secs(10),
             slos: default_slos(),
+            precision: Precision::F64,
         }
     }
 }
@@ -166,6 +173,9 @@ struct Shared {
     stats_window: Duration,
     next_req_id: AtomicU64,
     errors: obs::Counter,
+    /// The precision `reload` requests for fresh snapshots (the gate may
+    /// still veto it down to f64 per snapshot).
+    precision: Precision,
 }
 
 impl Shared {
@@ -230,6 +240,7 @@ impl Server {
             stats_window: config.stats_window,
             next_req_id: AtomicU64::new(0),
             errors: reg.counter("serve.errors"),
+            precision: config.precision,
         });
         let handlers = Arc::new(Mutex::new(Vec::new()));
         let workers = (0..config.workers.max(1))
@@ -278,7 +289,10 @@ impl Server {
                             move |path| match path {
                                 "/metrics" => {
                                     scrape_shared.publish_live();
-                                    Some((obs::prom::CONTENT_TYPE.to_string(), render_exposition()))
+                                    Some((
+                                        obs::prom::CONTENT_TYPE.to_string(),
+                                        render_exposition(&scrape_shared),
+                                    ))
                                 }
                                 "/healthz" => Some(("text/plain".to_string(), "ok\n".to_string())),
                                 _ => None,
@@ -355,8 +369,10 @@ impl Server {
 }
 
 /// The exposition document a scrape (HTTP or `scrape` frame) returns:
-/// the global registry plus the build-info pseudo-metric.
-fn render_exposition() -> String {
+/// the global registry plus the build-info pseudo-metric, labeled with
+/// the precision the live snapshot actually serves (post-veto).
+fn render_exposition(shared: &Shared) -> String {
+    let precision = shared.store.load().precision();
     obs::prom::render_with(
         obs::global(),
         &[(
@@ -365,6 +381,7 @@ fn render_exposition() -> String {
             &[
                 ("version", telemetry::BUILD_VERSION),
                 ("git", telemetry::BUILD_GIT),
+                ("precision", precision.name()),
             ],
         )],
     )
@@ -510,7 +527,7 @@ fn dispatch(bytes: &[u8], stream: &mut TcpStream, shared: &Arc<Shared>) -> bool 
         "scrape" => {
             shared.publish_live();
             let mut resp = Response::ok(shared.store.current_version());
-            resp.text = Some(render_exposition());
+            resp.text = Some(render_exposition(shared));
             send(stream, &resp)
         }
         "reload" => send_counted(stream, &reload(&req, shared)),
@@ -555,6 +572,7 @@ fn server_stats(shared: &Arc<Shared>) -> ServerStatsReply {
         uptime_s: shared.started.elapsed().as_secs_f64(),
         build_version: telemetry::BUILD_VERSION.to_string(),
         build_git: telemetry::BUILD_GIT.to_string(),
+        precision: shared.store.load().precision().name().to_string(),
         window_s: shared.stats_window.as_secs_f64(),
         qps,
         p50_us,
@@ -636,7 +654,7 @@ fn reload(req: &Request, shared: &Arc<Shared>) -> Response {
         Err(e) => return Response::err(0, format!("parse {path}: {e}")),
     };
     let spec = shared.store.load().spec.clone();
-    let version = shared.store.publish(ModelSnapshot::new(
+    let version = shared.store.publish(ModelSnapshot::with_precision(
         models,
         spec,
         SnapshotMeta {
@@ -644,6 +662,7 @@ fn reload(req: &Request, shared: &Arc<Shared>) -> Response {
             dataset_rows: 0,
             train_seconds: 0.0,
         },
+        shared.precision,
     ));
     obs::log!(
         Info,
@@ -688,7 +707,9 @@ fn worker_loop(shared: &Arc<Shared>, max_batch: usize) {
         // Bind a predictor to the current snapshot; the Arc keeps it
         // alive (and bitwise stable) even if a publish lands mid-batch.
         let snap = shared.store.load();
-        let predictor = Predictor::new(&snap.models, snap.spec.clone());
+        // Every sweep runs on the snapshot's packed batch-fused engines
+        // (f64 mode is bitwise-identical to the training-path forward).
+        let predictor = Predictor::with_engines(&snap.models, &snap.engines, snap.spec.clone());
         let freqs = DvfsGrid::for_spec(&snap.spec).used();
         loop {
             let batch = shared.queue.pop_batch(max_batch);

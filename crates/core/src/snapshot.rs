@@ -18,8 +18,10 @@
 //! across a hot swap (and what a shadow-evaluation/rollback story can
 //! build on).
 
-use crate::models::PowerTimeModels;
-use gpu_model::DeviceSpec;
+use crate::models::{PowerTimeModels, PredictEngines};
+use gpu_model::{DeviceSpec, DvfsGrid};
+use nn::Precision;
+use obs::quality::QualityConfig;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,22 +52,128 @@ pub struct ModelSnapshot {
     pub version: u64,
     /// The trained power + time networks.
     pub models: PowerTimeModels,
+    /// The batch-fused inference engines the serving hot path runs on:
+    /// weights packed once here, at snapshot build time, so hot-swap
+    /// stays wait-free and workers never pack per request.
+    pub engines: PredictEngines,
     /// The device the snapshot serves predictions for.
     pub spec: DeviceSpec,
     /// Provenance.
     pub meta: SnapshotMeta,
 }
 
+/// Activity probe points for the reduced-precision gate: a 5x5 grid of
+/// `(fp_active, dram_active)` pairs spanning the feature space, each
+/// swept across the device's full DVFS grid.
+const GATE_ACTIVITIES: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+/// The accuracy band reduced precision must stay inside: the paper's
+/// models are 88–98% accurate, so a candidate whose rolling MAPE vs the
+/// f64 reference exceeds 12% would push serving outside everything the
+/// paper reports.
+const GATE_WARN_MAPE: f64 = 12.0;
+
 impl ModelSnapshot {
-    /// Wraps trained models for publication.
+    /// Wraps trained models for publication, serving at full f64
+    /// precision (bitwise-identical to the training forward pass).
     pub fn new(models: PowerTimeModels, spec: DeviceSpec, meta: SnapshotMeta) -> Self {
+        Self::with_precision(models, spec, meta, Precision::F64)
+    }
+
+    /// Wraps trained models for publication at a requested precision,
+    /// with the quality monitor as the gate: a reduced-precision
+    /// candidate is probed against the f64 reference over the activity
+    /// grid x the device's DVFS grid, and **vetoed** — falling back to
+    /// f64 with a logged warning — if its rolling MAPE leaves the
+    /// paper's 88–98% accuracy band. The probe feeds the global
+    /// `quality.precision_power` / `quality.precision_time` monitors, so
+    /// the decision is visible in `stats`, scrapes, and exports.
+    pub fn with_precision(
+        models: PowerTimeModels,
+        spec: DeviceSpec,
+        meta: SnapshotMeta,
+        precision: Precision,
+    ) -> Self {
+        Self::with_precision_gated(models, spec, meta, precision, GATE_WARN_MAPE)
+    }
+
+    /// [`ModelSnapshot::with_precision`] with an explicit veto band —
+    /// the seam the veto-path tests drive (a negative band rejects every
+    /// reduced-precision candidate, since rolling MAPE is non-negative).
+    fn with_precision_gated(
+        models: PowerTimeModels,
+        spec: DeviceSpec,
+        meta: SnapshotMeta,
+        precision: Precision,
+        band: f64,
+    ) -> Self {
+        let engines = match gate_engines(&models, &spec, precision, band) {
+            Ok(engines) => engines,
+            Err(veto) => {
+                obs::global().counter("snapshot.precision_veto").inc();
+                obs::log!(
+                    Warn,
+                    "snapshot: {} engines vetoed ({veto}); serving f64 instead",
+                    precision.name()
+                );
+                PredictEngines::compile(&models, Precision::F64)
+            }
+        };
         Self {
             version: 0,
             models,
+            engines,
             spec,
             meta,
         }
     }
+
+    /// The precision the snapshot actually serves (after any veto).
+    pub fn precision(&self) -> Precision {
+        self.engines.precision()
+    }
+}
+
+/// Compiles engines at `precision` and, for reduced-precision modes,
+/// runs the accuracy gate. Returns the veto reason on failure.
+fn gate_engines(
+    models: &PowerTimeModels,
+    spec: &DeviceSpec,
+    precision: Precision,
+    band: f64,
+) -> Result<PredictEngines, String> {
+    let engines = PredictEngines::compile(models, precision);
+    if precision == Precision::F64 {
+        // f64 engines are bitwise-identical to the reference by
+        // construction; probing them would only dilute the monitors.
+        return Ok(engines);
+    }
+    let freqs = DvfsGrid::for_spec(spec).used();
+    let samples = GATE_ACTIVITIES.len() * GATE_ACTIVITIES.len() * freqs.len();
+    let config = QualityConfig {
+        window: samples,
+        warn_mape: GATE_WARN_MAPE,
+    };
+    let power_mon = obs::quality::monitor_with("precision_power", config);
+    let time_mon = obs::quality::monitor_with("precision_time", config);
+    for &fp in &GATE_ACTIVITIES {
+        for &dram in &GATE_ACTIVITIES {
+            let ref_p = models.predict_power_w_batch(spec, fp, dram, &freqs);
+            let ref_t = models.predict_time_ratio_batch(spec, fp, dram, &freqs);
+            let got_p = engines.predict_power_w_batch(spec, fp, dram, &freqs);
+            let got_t = engines.predict_time_ratio_batch(spec, fp, dram, &freqs);
+            power_mon.observe_profile(&got_p, &ref_p);
+            time_mon.observe_profile(&got_t, &ref_t);
+        }
+    }
+    let (p, t) = (power_mon.stat(), time_mon.stat());
+    if p.mape > band || t.mape > band {
+        return Err(format!(
+            "rolling MAPE vs f64 reference: power {:.2}%, time {:.2}% (band {band}%)",
+            p.mape, t.mape
+        ));
+    }
+    Ok(engines)
 }
 
 /// How many slots the store cycles through. A reader is only ever
@@ -115,11 +223,15 @@ impl ModelStore {
         // distinct ids and `fetch_max` lets them complete in any order.
         let gen = self.next_version.fetch_add(1, Ordering::AcqRel) + 1;
         snapshot.version = gen;
+        let precision = snapshot.precision();
         let arc = Arc::new(snapshot);
         *self.slots[(gen % SLOTS as u64) as usize].lock() = Some(arc);
         self.generation.fetch_max(gen, Ordering::AcqRel);
         obs::global().counter("snapshot.published").inc();
         obs::global().gauge("snapshot.version").set(gen as f64);
+        obs::global()
+            .gauge("snapshot.precision")
+            .set(precision.code() as f64);
         gen
     }
 
@@ -193,6 +305,54 @@ mod tests {
                 train_seconds: 0.0,
             },
         )
+    }
+
+    #[test]
+    fn reduced_precision_passes_the_gate_on_real_models() {
+        let spec = DeviceSpec::ga100();
+        let models = tiny_models(&spec, 8);
+        for precision in [Precision::F32, Precision::Bf16] {
+            let snap = ModelSnapshot::with_precision(
+                models.clone(),
+                spec.clone(),
+                SnapshotMeta::default(),
+                precision,
+            );
+            // Well-trained paper-topology networks sit far inside the
+            // band in both reduced modes, so the gate must promote.
+            assert_eq!(snap.precision(), precision);
+        }
+        // The gate fed the precision monitors; their MAPE must be in band.
+        for stat in obs::quality::snapshot() {
+            if stat.model.starts_with("precision_") {
+                assert!(stat.mape <= 12.0, "{}: {:.2}%", stat.model, stat.mape);
+            }
+        }
+    }
+
+    #[test]
+    fn gate_vetoes_a_candidate_outside_the_band() {
+        // Drive the gate through the band seam: a band below zero rejects
+        // every candidate (rolling MAPE is non-negative), exercising the
+        // full veto path — probe, reject, log, fall back to f64.
+        let spec = DeviceSpec::ga100();
+        let models = tiny_models(&spec, 8);
+        let snap = ModelSnapshot::with_precision_gated(
+            models,
+            spec,
+            SnapshotMeta::default(),
+            Precision::Bf16,
+            -1.0,
+        );
+        assert_eq!(snap.precision(), Precision::F64);
+    }
+
+    #[test]
+    fn f64_snapshot_skips_the_gate_and_serves_f64() {
+        let spec = DeviceSpec::ga100();
+        let snap = snapshot("v1", 8);
+        assert_eq!(snap.precision(), Precision::F64);
+        let _ = spec;
     }
 
     #[test]

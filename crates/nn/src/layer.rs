@@ -151,13 +151,22 @@ impl Dense {
     /// Inference forward pass into a single reused buffer (no
     /// pre-activation kept): `out = act(input W + b)`, resizing `out`.
     ///
+    /// For elementwise activations the whole layer runs through the fused
+    /// `matmul_bias_map_into` kernel — bias add and activation happen as
+    /// the register accumulators spill, so `out` is written exactly once
+    /// instead of being re-read by a second bias/activation pass. This is
+    /// bitwise-identical to the unfused sequence (same accumulation order,
+    /// bias still added after the full sum).
+    ///
     /// # Panics
     /// Panics if `input.cols() != in_dim`.
     pub(crate) fn apply_into(&self, input: &Matrix, out: &mut Matrix) {
         out.resize_to(input.rows(), self.out_dim());
-        matmul::matmul_into(input, &self.weights, out).expect("layer/input width mismatch");
         let b = self.bias.as_slice();
         if let Activation::Softmax = self.activation {
+            // Softmax is row-wise, not elementwise: affine pass first,
+            // then the row transform.
+            matmul::matmul_into(input, &self.weights, out).expect("layer/input width mismatch");
             for r in 0..out.rows() {
                 let row = out.row_mut(r);
                 for (z, &bv) in row.iter_mut().zip(b) {
@@ -166,11 +175,9 @@ impl Dense {
                 self.activation.apply_row(row);
             }
         } else {
-            for r in 0..out.rows() {
-                for (z, &bv) in out.row_mut(r).iter_mut().zip(b) {
-                    *z = self.activation.apply(*z + bv);
-                }
-            }
+            let act = self.activation;
+            matmul::matmul_bias_map_into(input, &self.weights, b, out, move |z| act.apply(z))
+                .expect("layer/input width mismatch");
         }
     }
 
@@ -182,17 +189,19 @@ impl Dense {
     /// Panics if `input.len() != in_dim`.
     pub(crate) fn apply_vec(&self, input: &[f64], out: &mut Vec<f64>) {
         out.resize(self.out_dim(), 0.0);
-        matmul::vecmat_into(input, &self.weights, out).expect("layer/input width mismatch");
         let b = self.bias.as_slice();
         if let Activation::Softmax = self.activation {
+            matmul::vecmat_into(input, &self.weights, out).expect("layer/input width mismatch");
             for (z, &bv) in out.iter_mut().zip(b) {
                 *z += bv;
             }
             self.activation.apply_row(out);
         } else {
-            for (z, &bv) in out.iter_mut().zip(b) {
-                *z = self.activation.apply(*z + bv);
-            }
+            // Fused strip kernel: the affine result never round-trips
+            // through memory. Bitwise-identical to the unfused sequence.
+            let act = self.activation;
+            matmul::vecmat_bias_map_into(input, &self.weights, b, out, move |z| act.apply(z))
+                .expect("layer/input width mismatch");
         }
     }
 

@@ -58,6 +58,7 @@
 
 pub mod activation;
 pub mod engine;
+pub mod infer;
 pub mod layer;
 pub mod loss;
 pub mod metrics;
@@ -68,6 +69,7 @@ pub mod train;
 pub mod workspace;
 
 pub use activation::Activation;
+pub use infer::{InferenceEngine, Precision};
 pub use layer::Dense;
 pub use loss::Loss;
 pub use network::{Network, NetworkBuilder};

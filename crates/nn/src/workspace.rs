@@ -48,6 +48,11 @@ pub struct Workspace {
     /// `(in_dim, out_dim)` per layer — the topology the buffers were built
     /// for. A mismatch on `ensure` triggers a rebuild.
     topo: Vec<(usize, usize)>,
+    /// Row count the batch-sized buffers are currently shaped for. Lets
+    /// [`Workspace::ensure`] return immediately on the steady-state path
+    /// (same topology, same batch) instead of re-deriving every layer
+    /// shape and re-resizing every buffer per call.
+    rows: usize,
     pub(crate) layers: Vec<LayerWs>,
     /// Copy of the current batch input, `(batch x in_dim)`.
     pub(crate) input: Matrix,
@@ -62,6 +67,7 @@ impl Workspace {
     pub fn for_network(net: &Network, batch: usize) -> Self {
         let mut ws = Self {
             topo: Vec::new(),
+            rows: 0,
             layers: Vec::new(),
             input: Matrix::zeros(batch, net.in_dim()),
             loss_grad: Matrix::zeros(batch, net.out_dim()),
@@ -73,7 +79,9 @@ impl Workspace {
     /// Makes the workspace match `net`'s topology with row capacity for
     /// `rows`. Rebuilds from scratch on a topology change; otherwise only
     /// adjusts the row dimension of the batch-sized buffers (allocation-free
-    /// within existing capacity).
+    /// within existing capacity). When both the topology and the batch size
+    /// match the previous call — the steady state of every inference and
+    /// training loop — this is a two-comparison early return.
     pub fn ensure(&mut self, net: &Network, rows: usize) {
         let matches = self.topo.len() == net.layers().len()
             && self
@@ -85,6 +93,10 @@ impl Workspace {
             self.rebuild(net, rows);
             return;
         }
+        if rows == self.rows {
+            return;
+        }
+        self.rows = rows;
         for lw in &mut self.layers {
             let out_dim = lw.grad_w.cols();
             let in_dim = lw.grad_w.rows();
@@ -96,6 +108,7 @@ impl Workspace {
     }
 
     fn rebuild(&mut self, net: &Network, rows: usize) {
+        self.rows = rows;
         self.topo = net
             .layers()
             .iter()

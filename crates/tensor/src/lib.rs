@@ -21,11 +21,17 @@
 //! these make steady-state training and inference loops allocation-free.
 //!
 //! The neural-network crate (`nn`) and the multi-learner baselines
-//! (`baselines`) are built on top of these primitives. Everything is `f64`:
-//! the datasets in this project are small (tens of thousands of rows), so
-//! numerical robustness is worth more than the memory savings of `f32`.
+//! (`baselines`) are built on top of these primitives. Training is `f64`
+//! throughout: the datasets in this project are small (tens of thousands
+//! of rows), so numerical robustness is worth more than the memory
+//! savings of `f32`. The one exception is inference: [`f32x8`] provides
+//! explicitly 8-lane-wide f32 kernels (packed/interleaved weight panels,
+//! a fused GEMM + bias + activation pass, optional bf16-style storage)
+//! for the latency-critical prediction hot path, with a documented error
+//! bound instead of the bitwise contract.
 
 pub mod error;
+pub mod f32x8;
 pub mod init;
 pub mod matmul;
 pub mod matrix;

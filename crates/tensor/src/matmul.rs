@@ -209,6 +209,132 @@ pub fn matvec_into(a: &Matrix, x: &[f64], out: &mut [f64]) -> TensorResult<()> {
     Ok(())
 }
 
+/// Computes `out = f(a @ b + bias)` in a single pass, broadcasting the
+/// length-`n` `bias` row and applying the elementwise map `f` while the
+/// register-strip accumulators spill — the output is written exactly
+/// once and never re-read. This is the fused affine+activation kernel
+/// behind `Dense::apply_into`.
+///
+/// Bitwise-identical to `matmul_into` followed by a separate
+/// `out[i][j] = f(out[i][j] + bias[j])` pass: the accumulation order per
+/// element is unchanged and the bias add still happens after the full
+/// sum, only the intermediate store/reload disappears. Parallelizes over
+/// row bands with the same thresholds as [`matmul_into`].
+pub fn matmul_bias_map_into<F>(
+    a: &Matrix,
+    b: &Matrix,
+    bias: &[f64],
+    out: &mut Matrix,
+    f: F,
+) -> TensorResult<()>
+where
+    F: Fn(f64) -> f64 + Copy + Sync,
+{
+    check(a, b)?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    if out.shape() != (m, n) {
+        return Err(ShapeError::new(
+            "matmul_bias_map_into(out)",
+            (m, n),
+            out.shape(),
+        ));
+    }
+    if bias.len() != n {
+        return Err(ShapeError::new(
+            "matmul_bias_map_into(bias)",
+            (1, n),
+            (1, bias.len()),
+        ));
+    }
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    if k == 0 {
+        for r in 0..m {
+            for (o, &bv) in out.row_mut(r).iter_mut().zip(bias) {
+                *o = f(bv);
+            }
+        }
+        return Ok(());
+    }
+    if m >= PAR_ROW_THRESHOLD && m * k * n >= PAR_WORK_THRESHOLD {
+        let band = (m / rayon::current_num_threads().max(1)).max(1);
+        out.as_mut_slice()
+            .par_chunks_mut(band * n)
+            .enumerate()
+            .for_each(|(chunk_idx, out_chunk)| {
+                let i0 = chunk_idx * band;
+                let rows_here = out_chunk.len() / n;
+                block_rows_bias_map_into(a, b, bias, out_chunk, i0, rows_here, k, n, f);
+            });
+    } else {
+        block_rows_bias_map_into(a, b, bias, out.as_mut_slice(), 0, m, k, n, f);
+    }
+    Ok(())
+}
+
+/// Computes the single-row fused affine `out = f(xᵀ @ a + bias)` without
+/// allocating — the batched kernel of [`matmul_bias_map_into`] restricted
+/// to one row, used by the single-sample inference path.
+///
+/// Unlike [`vecmat_into`] (rank-1 updates that read-modify-write `out`
+/// per shared-dim step), this strips the output into register
+/// accumulators and writes each element once; each element still sums
+/// over `a`'s rows in ascending order, so the affine part is
+/// bitwise-identical to `vecmat_into` + a separate bias/map pass.
+pub fn vecmat_bias_map_into<F>(
+    x: &[f64],
+    a: &Matrix,
+    bias: &[f64],
+    out: &mut [f64],
+    f: F,
+) -> TensorResult<()>
+where
+    F: Fn(f64) -> f64,
+{
+    if x.len() != a.rows() {
+        return Err(ShapeError::new("vecmat_bias_map", (1, x.len()), a.shape()));
+    }
+    let n = a.cols();
+    if out.len() != n {
+        return Err(ShapeError::new(
+            "vecmat_bias_map(out)",
+            (1, n),
+            (1, out.len()),
+        ));
+    }
+    if bias.len() != n {
+        return Err(ShapeError::new(
+            "vecmat_bias_map(bias)",
+            (1, n),
+            (1, bias.len()),
+        ));
+    }
+    let mut j = 0;
+    while j + STRIP <= n {
+        let mut acc = [0.0f64; STRIP];
+        for (&xp, row) in x.iter().zip(a.rows_iter()) {
+            let arow = &row[j..j + STRIP];
+            for (acw, &v) in acc.iter_mut().zip(arow) {
+                *acw += xp * v;
+            }
+        }
+        for (i, &s) in acc.iter().enumerate() {
+            out[j + i] = f(s + bias[j + i]);
+        }
+        j += STRIP;
+    }
+    for (jj, o) in out.iter_mut().enumerate().skip(j) {
+        let mut s = 0.0f64;
+        for (&xp, row) in x.iter().zip(a.rows_iter()) {
+            s += xp * row[jj];
+        }
+        *o = f(s + bias[jj]);
+    }
+    Ok(())
+}
+
 /// Computes the row vector `xᵀ @ a` into `out` without allocating;
 /// `x.len()` must equal `a.rows()` and `out.len()` must equal `a.cols()`.
 ///
@@ -319,6 +445,52 @@ fn block_rows_into(
                 s += aip * b.row(p)[jj];
             }
             *o = s;
+        }
+    }
+}
+
+/// Fused sibling of [`block_rows_into`]: computes rows
+/// `[i0, i0 + rows_here)` of `f(a @ b + bias)` into `out_chunk`. The
+/// strip accumulators are identical; `bias[j]` is added and `f` applied
+/// as each element spills, so the chunk is written exactly once.
+#[allow(clippy::too_many_arguments)]
+fn block_rows_bias_map_into<F>(
+    a: &Matrix,
+    b: &Matrix,
+    bias: &[f64],
+    out_chunk: &mut [f64],
+    i0: usize,
+    rows_here: usize,
+    k: usize,
+    n: usize,
+    f: F,
+) where
+    F: Fn(f64) -> f64,
+{
+    for local_i in 0..rows_here {
+        let arow = a.row(i0 + local_i);
+        debug_assert_eq!(arow.len(), k);
+        let orow = &mut out_chunk[local_i * n..(local_i + 1) * n];
+        let mut j = 0;
+        while j + STRIP <= n {
+            let mut acc = [0.0f64; STRIP];
+            for (p, &aip) in arow.iter().enumerate() {
+                let brow = &b.row(p)[j..j + STRIP];
+                for (acw, &bv) in acc.iter_mut().zip(brow) {
+                    *acw += aip * bv;
+                }
+            }
+            for (i, &s) in acc.iter().enumerate() {
+                orow[j + i] = f(s + bias[j + i]);
+            }
+            j += STRIP;
+        }
+        for (jj, o) in orow.iter_mut().enumerate().skip(j) {
+            let mut s = 0.0f64;
+            for (p, &aip) in arow.iter().enumerate() {
+                s += aip * b.row(p)[jj];
+            }
+            *o = f(s + bias[jj]);
         }
     }
 }
@@ -592,6 +764,67 @@ mod tests {
         assert_eq!(&out[..], expect.as_slice());
         assert!(vecmat_into(&x[..3], &a, &mut out).is_err());
         assert!(vecmat_into(&x, &a, &mut [0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn matmul_bias_map_into_matches_unfused_bitwise() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for &(m_, k_, n_) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (61, 3, 64),
+            (61, 64, 64),
+            (130, 64, 65),
+        ] {
+            let a = init::uniform(m_, k_, -1.0, 1.0, &mut rng);
+            let b = init::uniform(k_, n_, -1.0, 1.0, &mut rng);
+            let bias: Vec<f64> = (0..n_).map(|j| 0.01 * j as f64 - 0.2).collect();
+            let act = |z: f64| if z > 0.0 { z } else { 0.5 * (z.exp() - 1.0) };
+            let mut expect = Matrix::full(m_, n_, f64::NAN);
+            matmul_into(&a, &b, &mut expect).unwrap();
+            for r in 0..m_ {
+                for (o, &bv) in expect.row_mut(r).iter_mut().zip(&bias) {
+                    *o = act(*o + bv);
+                }
+            }
+            let mut fused = Matrix::full(m_, n_, f64::NAN);
+            matmul_bias_map_into(&a, &b, &bias, &mut fused, act).unwrap();
+            assert_eq!(fused.as_slice(), expect.as_slice(), "({m_},{k_},{n_})");
+        }
+    }
+
+    #[test]
+    fn matmul_bias_map_into_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut bad = Matrix::zeros(2, 3);
+        assert!(matmul_bias_map_into(&a, &b, &[0.0; 4], &mut bad, |z| z).is_err());
+        let mut ok = Matrix::zeros(2, 4);
+        assert!(matmul_bias_map_into(&a, &b, &[0.0; 3], &mut ok, |z| z).is_err());
+        assert!(matmul_bias_map_into(&a, &b, &[0.0; 4], &mut ok, |z| z).is_ok());
+    }
+
+    #[test]
+    fn vecmat_bias_map_into_matches_unfused_bitwise() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for &(k_, n_) in &[(1, 1), (5, 4), (3, 64), (64, 64), (64, 1), (7, 19)] {
+            let a = init::uniform(k_, n_, -1.0, 1.0, &mut rng);
+            let x: Vec<f64> = (0..k_).map(|i| 0.3 * i as f64 - 1.0).collect();
+            let bias: Vec<f64> = (0..n_).map(|j| 0.05 * j as f64).collect();
+            let act = |z: f64| z.tanh();
+            let mut expect = vec![f64::NAN; n_];
+            vecmat_into(&x, &a, &mut expect).unwrap();
+            for (o, &bv) in expect.iter_mut().zip(&bias) {
+                *o = act(*o + bv);
+            }
+            let mut fused = vec![f64::NAN; n_];
+            vecmat_bias_map_into(&x, &a, &bias, &mut fused, act).unwrap();
+            assert_eq!(fused, expect, "({k_},{n_})");
+        }
+        let a = Matrix::zeros(2, 3);
+        assert!(vecmat_bias_map_into(&[0.0; 3], &a, &[0.0; 3], &mut [0.0; 3], |z| z).is_err());
+        assert!(vecmat_bias_map_into(&[0.0; 2], &a, &[0.0; 2], &mut [0.0; 3], |z| z).is_err());
+        assert!(vecmat_bias_map_into(&[0.0; 2], &a, &[0.0; 3], &mut [0.0; 2], |z| z).is_err());
     }
 
     mod props {

@@ -1,13 +1,13 @@
 #!/usr/bin/env bash
 # Benchmark regression gate: re-runs the criterion baseline suite and
-# compares every benchmark's mean ns/iter against the committed
+# compares every benchmark's median ns/iter against the committed
 # BENCH_nn.json. A benchmark fails the gate when it is slower than
 # baseline by more than the tolerance factor.
 #
 # Usage:
 #   scripts/bench_compare.sh             # full run, compare vs BENCH_nn.json
 #   BENCH_TOLERANCE=1.5 scripts/bench_compare.sh
-#       allow up to 1.5x the baseline mean (default 1.30)
+#       allow up to 1.5x the baseline median (default 1.30)
 #   scripts/bench_compare.sh --refresh   # re-measure and overwrite BENCH_nn.json
 #   BENCH_SMOKE=1 scripts/bench_compare.sh
 #       plumbing check only: shrunken workloads, tolerance gate skipped
@@ -41,12 +41,12 @@ fi
 
 echo "==> comparing against $baseline (tolerance ${tolerance}x)"
 awk -v tol="$tolerance" '
-# Both files are the flat {"name": mean_ns} shape bench_baseline.sh emits.
+# Both files are the flat {"name": median_ns} shape bench_baseline.sh emits.
 /"[^"]+": *[0-9]/ {
     name = $0; sub(/^[^"]*"/, "", name); sub(/".*/, "", name)
-    mean = $0; sub(/.*: */, "", mean); sub(/[,}].*/, "", mean)
-    if (FNR == NR) { base[name] = mean + 0; next }
-    cur[name] = mean + 0
+    med = $0; sub(/.*: */, "", med); sub(/[,}].*/, "", med)
+    if (FNR == NR) { base[name] = med + 0; next }
+    cur[name] = med + 0
 }
 END {
     status = 0

@@ -125,6 +125,45 @@ cargo run --release --offline -p obs --example validate_metrics -- \
     --gauge cache.hit_rate=0..1 --gauge serve.uptime_s=0..1e9 \
     --gauge serve.window.qps=0..1e9 --gauge slo.latency_p99.burn_fast=0..1e12
 
+echo "==> dvfs serve --precision bf16 smoke (gate, exposition label, stats, accuracy band)"
+# The reduced-precision path end to end: the snapshot gate must admit
+# bf16 on real trained models (rolling MAPE vs the f64 reference inside
+# the 88–98% accuracy band, i.e. MAPE <= 12%), the exposition and stats
+# frame must advertise the active precision, and the gate's probe gauges
+# must land in the metrics dump inside the band.
+DVFS_LOG=error target/release/dvfs serve --models "$tmp/models.json" \
+    --precision bf16 --telemetry-port 0 \
+    --metrics-out "$tmp/bf16_metrics.json" > "$tmp/bf16_serve.log" &
+bf16_pid=$!
+addr=""
+taddr=""
+for _ in $(seq 100); do
+    addr="$(sed -n 's/^listening on //p' "$tmp/bf16_serve.log" | head -n 1)"
+    taddr="$(sed -n 's/^telemetry on //p' "$tmp/bf16_serve.log" | head -n 1)"
+    [[ -n "$addr" && -n "$taddr" ]] && break
+    sleep 0.1
+done
+test -n "$addr"
+test -n "$taddr"
+DVFS_LOG=error target/release/dvfs loadgen --addr "$addr" \
+    --requests 200 --connections 2 >/dev/null
+target/release/dvfs scrape --addr "$taddr" > "$tmp/bf16_exposition.txt"
+grep -q 'precision="bf16"' "$tmp/bf16_exposition.txt"
+target/release/dvfs top --addr "$addr" --once --json > "$tmp/bf16_top.json"
+grep -q '"precision":"bf16"' "$tmp/bf16_top.json"
+DVFS_LOG=error target/release/dvfs loadgen --addr "$addr" \
+    --requests 8 --connections 1 --shutdown >/dev/null
+wait "$bf16_pid"
+cargo run --release --offline -p obs --example validate_metrics -- \
+    "$tmp/bf16_metrics.json" --hist serve.request_ns \
+    --gauge quality.precision_power.mape=0..12 \
+    --gauge quality.precision_time.mape=0..12
+
+echo "==> batch-fused engine speedup guard (release)"
+# `cargo test -q` above runs this file in a debug build where the timing
+# leg self-skips; the release run enforces the >=2x fused-f32 bound.
+cargo test --release --offline -p bench --test engine_speedup -q
+
 echo "==> bench baseline smoke (BENCH_SMOKE=1)"
 BENCH_SMOKE=1 BENCH_OUT="$tmp/BENCH_nn.json" scripts/bench_baseline.sh >/dev/null
 test -s "$tmp/BENCH_nn.json"
@@ -134,5 +173,7 @@ grep -q '"trace_overhead/instant_enabled"' "$tmp/BENCH_nn.json"
 grep -q '"obs_plane/sampler_tick"' "$tmp/BENCH_nn.json"
 grep -q '"serve_qps"' "$tmp/BENCH_nn.json"
 grep -q '"serve_p99_telemetry_us"' "$tmp/BENCH_nn.json"
+grep -q '"nn_forward_61_states/engine_f32"' "$tmp/BENCH_nn.json"
+grep -q '"nn_forward_61_states/engine_bf16"' "$tmp/BENCH_nn.json"
 
 echo "==> all checks passed"

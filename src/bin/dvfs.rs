@@ -14,8 +14,8 @@
 //!               [--warn-mape PCT] [--drift PCT]
 //! dvfs serve    --models models.json [--addr HOST:PORT] [--workers N]
 //!               [--capacity C] [--shards S] [--max-batch B] [--arch ga100|gv100]
-//!               [--telemetry-port P] [--slo-p99-us US] [--slo-fast-s S]
-//!               [--slo-slow-s S] [--slo-burn X]
+//!               [--precision f64|f32|bf16] [--telemetry-port P]
+//!               [--slo-p99-us US] [--slo-fast-s S] [--slo-slow-s S] [--slo-burn X]
 //! dvfs loadgen  --addr HOST:PORT [--requests N] [--connections C]
 //!               [--mode closed|open] [--rate R] [--keys K] [--zipf S]
 //!               [--select-every N] [--seed S] [--json] [--shutdown]
@@ -266,14 +266,19 @@ USAGE:
                 (--drift injects an artificial prediction error)
   dvfs serve    --models models.json [--addr HOST:PORT] [--workers N]
                 [--capacity C] [--shards S] [--max-batch B]
-                [--arch ga100|gv100] [--telemetry-port P]
-                [--slo-p99-us US] [--slo-fast-s S] [--slo-slow-s S]
-                [--slo-burn X]
+                [--arch ga100|gv100] [--precision f64|f32|bf16]
+                [--telemetry-port P] [--slo-p99-us US] [--slo-fast-s S]
+                [--slo-slow-s S] [--slo-burn X]
                 long-lived prediction daemon: length-prefixed JSON
                 frames (predict/select/version/stats/scrape/reload/
                 shutdown), snapshot-versioned hot model swaps, sharded
                 profile cache; stops cleanly on ctrl-c or a shutdown
-                frame. --telemetry-port serves Prometheus text on
+                frame. --precision serves the packed batch-fused
+                engines in reduced precision, gated by the quality
+                monitor (a candidate whose MAPE vs the f64 reference
+                leaves the paper's 12% band is vetoed back to f64; the
+                active precision shows in stats/scrape).
+                --telemetry-port serves Prometheus text on
                 http://127.0.0.1:P/metrics (0 = ephemeral, address
                 printed as `telemetry on ADDR`); the --slo-* flags
                 tune the burn-rate alert engine (p99 objective in µs,
@@ -905,6 +910,12 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
         0 => std::thread::available_parallelism().map_or(2, usize::from),
         n => n,
     };
+    let precision = match opts.get("precision") {
+        Some(p) => nn::Precision::parse(p).ok_or_else(|| {
+            CliError::Usage(format!("--precision `{p}` (expected f64, f32, or bf16)"))
+        })?,
+        None => nn::Precision::F64,
+    };
     let config = ServeConfig {
         addr: opts
             .get("addr")
@@ -924,10 +935,11 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
             })
             .transpose()?,
         slos: slos_for(opts)?,
+        precision,
         ..ServeConfig::default()
     };
     let label = opts.get("models").cloned().unwrap_or_default();
-    let store = std::sync::Arc::new(ModelStore::new(ModelSnapshot::new(
+    let store = std::sync::Arc::new(ModelStore::new(ModelSnapshot::with_precision(
         models,
         backend.spec().clone(),
         SnapshotMeta {
@@ -935,6 +947,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
             dataset_rows: 0,
             train_seconds: 0.0,
         },
+        precision,
     )));
     let server = Server::start(config, store).map_err(|e| CliError::Io(format!("serve: {e}")))?;
     // Port discovery lines — tests and check.sh read them from stdout.
@@ -1128,8 +1141,8 @@ fn render_top(addr: &str, resp: &gpu_dvfs::core::serve::Response) -> String {
     if let Some(s) = &resp.server {
         let _ = writeln!(
             out,
-            "uptime {:.1} s    build {} ({})",
-            s.uptime_s, s.build_version, s.build_git
+            "uptime {:.1} s    build {} ({})    precision {}",
+            s.uptime_s, s.build_version, s.build_git, s.precision
         );
         let _ = writeln!(
             out,
