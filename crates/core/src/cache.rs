@@ -261,6 +261,18 @@ impl ProfileCache {
         self.state.lock().stats
     }
 
+    /// Accounts `n` lookups answered by a layer *in front of* this cache
+    /// (the serve workers keep a per-snapshot serialized-reply cache
+    /// whose hits never reach the shards). Booked as `n` lookups + `n`
+    /// hits in one critical section, so the `lookups == hits + misses`
+    /// invariant and the published hit rate stay truthful about the
+    /// request stream as a whole.
+    pub fn record_front_hits(&self, n: u64) {
+        let mut state = self.state.lock();
+        state.stats.lookups += n;
+        state.stats.hits += n;
+    }
+
     /// Bridges the cache's counters into the global metrics registry:
     /// `cache.lookups` / `cache.hits` / `cache.misses` /
     /// `cache.evictions` counters plus `cache.hit_rate` (zero-total
@@ -446,6 +458,13 @@ impl ShardedProfileCache {
         for s in self.shards.iter() {
             s.clear();
         }
+    }
+
+    /// Accounts `n` front-layer hits (see
+    /// [`ProfileCache::record_front_hits`]); booked on shard 0 so the
+    /// single-shard invariant carries over to the aggregate.
+    pub fn record_front_hits(&self, n: u64) {
+        self.shards[0].record_front_hits(n);
     }
 }
 

@@ -1,0 +1,276 @@
+//! Sharded handler→worker dispatch with work stealing.
+//!
+//! The previous serving queue was one `Mutex<VecDeque<Job>>` plus a
+//! `Condvar`: every handler and every worker serialized on the same lock
+//! and every push took the condvar's wait-queue lock, so at saturation
+//! the queue itself showed up ahead of the prediction work. This
+//! dispatcher gives each worker its own mutex'd deque; handlers push a
+//! whole connection burst to one shard (round-robin across bursts), the
+//! owning worker drains its shard in batches, and an idle worker steals
+//! a batch from the busiest sibling instead of sleeping. Two workers
+//! only ever contend when one of them is otherwise idle.
+//!
+//! Parking uses a separate `Mutex<()>`/`Condvar` pair plus an atomic
+//! pending count, ordered to make lost wakeups impossible: a pusher
+//! increments `pending`, then passes through the sleep mutex *before*
+//! notifying — so a worker that observed `pending == 0` under that mutex
+//! is guaranteed to be inside `wait_timeout` (or re-checking) when the
+//! notify lands. Waits still time out at a coarse poll interval so
+//! workers re-check stop/version flags even on an idle server.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+struct Shard<T> {
+    jobs: Mutex<VecDeque<T>>,
+}
+
+/// A fixed set of per-worker job shards with batched push/pop and work
+/// stealing. `T` is the job type; the dispatcher never inspects it.
+pub struct Dispatcher<T> {
+    shards: Box<[Shard<T>]>,
+    /// Jobs pushed but not yet popped, across all shards. Maintained
+    /// push-side before wakeup and pop-side after removal, so a worker
+    /// that sees 0 under the sleep mutex can safely park.
+    pending: AtomicUsize,
+    /// Round-robin cursor: each pushed burst lands wholly in one shard
+    /// (keeping it poppable as one batch), successive bursts spread out.
+    cursor: AtomicUsize,
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+impl<T> Dispatcher<T> {
+    /// Creates a dispatcher with one shard per worker.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "dispatcher needs at least one shard");
+        Self {
+            shards: (0..workers)
+                .map(|_| Shard {
+                    jobs: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            pending: AtomicUsize::new(0),
+            cursor: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Number of shards (== workers).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Jobs currently queued (pushed, not yet popped).
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// Whether no job is queued. A job already popped by a worker is the
+    /// worker's responsibility — drain loops pair this with per-worker
+    /// completion of the batch in hand.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Pushes one job (see [`Dispatcher::push_batch`]).
+    pub fn push(&self, job: T) {
+        self.push_batch(std::iter::once(job));
+    }
+
+    /// Pushes a burst of jobs into the next round-robin shard as one
+    /// unit, so the popping worker can coalesce the whole burst into one
+    /// prediction batch. Wakes one parked worker per burst (every job in
+    /// the burst goes to the same worker anyway).
+    pub fn push_batch(&self, jobs: impl IntoIterator<Item = T>) {
+        let shard = &self.shards[self.cursor.fetch_add(1, Ordering::Relaxed) % self.shards.len()];
+        let mut n = 0;
+        {
+            let mut queue = shard.jobs.lock().unwrap();
+            for job in jobs {
+                queue.push_back(job);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return;
+        }
+        self.pending.fetch_add(n, Ordering::Release);
+        // Pass through the sleep mutex so any worker that read
+        // `pending == 0` has since reached `wait_timeout`.
+        drop(self.sleep.lock().unwrap());
+        self.wake.notify_one();
+    }
+
+    /// Wakes every parked worker (shutdown, snapshot publish).
+    pub fn wake_all(&self) {
+        drop(self.sleep.lock().unwrap());
+        self.wake.notify_all();
+    }
+
+    /// Pops up to `max` jobs into `out` (cleared first): from the
+    /// worker's own shard if it has any, otherwise stolen from the
+    /// fullest sibling reachable without blocking. Returns with `out`
+    /// empty after parking for at most `park` without work — callers
+    /// re-check stop/rebind conditions then.
+    pub fn pop_batch_into(&self, worker: usize, max: usize, park: Duration, out: &mut Vec<T>) {
+        out.clear();
+        let own = &self.shards[worker % self.shards.len()];
+        {
+            let mut queue = own.jobs.lock().unwrap();
+            let n = queue.len().min(max);
+            out.extend(queue.drain(..n));
+        }
+        if out.is_empty() && self.shards.len() > 1 {
+            self.steal_into(worker, max, out);
+        }
+        if !out.is_empty() {
+            self.pending.fetch_sub(out.len(), Ordering::Release);
+            return;
+        }
+        // Park until a push passes through the sleep mutex or the poll
+        // interval elapses. Checking `pending` under the mutex closes the
+        // race with a push that landed between the drains above and here.
+        let guard = self.sleep.lock().unwrap();
+        if self.pending.load(Ordering::Acquire) == 0 {
+            let _ = self.wake.wait_timeout(guard, park).unwrap();
+        }
+    }
+
+    /// Steals up to `max` jobs from the fullest sibling shard, skipping
+    /// any shard whose lock is currently held (a busy owner) — stealing
+    /// must never add contention to a worker that is making progress.
+    fn steal_into(&self, worker: usize, max: usize, out: &mut Vec<T>) {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i == worker % self.shards.len() {
+                continue;
+            }
+            if let Ok(queue) = shard.jobs.try_lock() {
+                let len = queue.len();
+                if len > 0 && best.map(|(_, l)| len > l).unwrap_or(true) {
+                    best = Some((i, len));
+                }
+            }
+        }
+        if let Some((victim, _)) = best {
+            if let Ok(mut queue) = self.shards[victim].jobs.try_lock() {
+                let n = queue.len().min(max);
+                out.extend(queue.drain(..n));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    const PARK: Duration = Duration::from_millis(5);
+
+    #[test]
+    fn bursts_stay_whole_and_round_robin_across_shards() {
+        let d: Dispatcher<u32> = Dispatcher::new(2);
+        d.push_batch([1, 2, 3]);
+        d.push_batch([4, 5]);
+        assert_eq!(d.pending(), 5);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        d.pop_batch_into(0, 16, PARK, &mut a);
+        d.pop_batch_into(1, 16, PARK, &mut b);
+        // Each burst arrived intact in its own shard.
+        assert_eq!(a, vec![1, 2, 3]);
+        assert_eq!(b, vec![4, 5]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn pop_respects_max_batch() {
+        let d: Dispatcher<u32> = Dispatcher::new(1);
+        d.push_batch(0..10);
+        let mut out = Vec::new();
+        d.pop_batch_into(0, 4, PARK, &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(d.pending(), 6);
+        d.pop_batch_into(0, 100, PARK, &mut out);
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn idle_worker_steals_from_a_loaded_sibling() {
+        let d: Dispatcher<u32> = Dispatcher::new(4);
+        // All bursts land in shard 0's round-robin turns 0 and 4.
+        d.push_batch([7, 8]);
+        let mut out = Vec::new();
+        // Worker 2's own shard is empty; it must steal the burst.
+        d.pop_batch_into(2, 16, PARK, &mut out);
+        assert_eq!(out, vec![7, 8]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn empty_pop_parks_then_returns_empty() {
+        let d: Dispatcher<u32> = Dispatcher::new(1);
+        let mut out = vec![99];
+        let t0 = std::time::Instant::now();
+        d.pop_batch_into(0, 16, Duration::from_millis(20), &mut out);
+        assert!(out.is_empty(), "pop must clear the output vec");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(10),
+            "must have parked"
+        );
+    }
+
+    #[test]
+    fn concurrent_push_pop_loses_no_jobs() {
+        let workers = 3;
+        let per_pusher = 5_000u64;
+        let pushers = 4;
+        let d: Arc<Dispatcher<u64>> = Arc::new(Dispatcher::new(workers));
+        let popped = Arc::new(AtomicU64::new(0));
+        let sum = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for p in 0..pushers {
+                let d = Arc::clone(&d);
+                scope.spawn(move || {
+                    let mut next = p * per_pusher;
+                    while next < (p + 1) * per_pusher {
+                        let burst = (next % 7) + 1;
+                        let end = ((p + 1) * per_pusher).min(next + burst);
+                        d.push_batch(next..end);
+                        next = end;
+                    }
+                });
+            }
+            let total = pushers * per_pusher;
+            for w in 0..workers {
+                let d = Arc::clone(&d);
+                let popped = Arc::clone(&popped);
+                let sum = Arc::clone(&sum);
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    while popped.load(Ordering::Acquire) < total {
+                        d.pop_batch_into(w, 32, Duration::from_millis(1), &mut out);
+                        if !out.is_empty() {
+                            sum.fetch_add(out.iter().sum::<u64>(), Ordering::Relaxed);
+                            popped.fetch_add(out.len() as u64, Ordering::Release);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(popped.load(Ordering::Acquire), pushers * per_pusher);
+        // Every job arrived exactly once: the sum over 0..N is exact.
+        let n = pushers * per_pusher;
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+        assert!(d.is_empty());
+    }
+}

@@ -16,11 +16,21 @@
 //! are accounted separately — `loadgen.errors` counter and the
 //! `loadgen.error_rtt_ns` histogram — so a misbehaving server can't
 //! skew the latency percentiles with fast error turnarounds.
+//!
+//! The hot loop allocates nothing per request: every key's `predict`
+//! and `select` frames are serialized **once** up front and replayed as
+//! raw bytes, and replies are checked with the serde-free
+//! [`fast::scan_reply`] scanner (full parse only as a fallback). With
+//! `pipeline > 1` each connection keeps that many requests in flight —
+//! closed-loop connections send whole bursts in one vectored write and
+//! verify the replies come back **in request order** (the server's
+//! pipelining contract), keyed by the workload echo in each response.
 
-use super::protocol::Request;
+use super::protocol::{fast, Request, Response};
 use super::server::Client;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -58,6 +68,10 @@ pub struct LoadgenConfig {
     pub select_every: u64,
     /// RNG seed (per-connection streams derive from it).
     pub seed: u64,
+    /// Requests each connection keeps in flight (1 = classic
+    /// request/response; >1 exercises the server's pipelined burst
+    /// path and asserts in-order replies).
+    pub pipeline: usize,
     /// Send a `shutdown` frame after the run (smoke tests).
     pub shutdown_after: bool,
 }
@@ -73,6 +87,7 @@ impl Default for LoadgenConfig {
             zipf_s: 1.0,
             select_every: 8,
             seed: 42,
+            pipeline: 1,
             shutdown_after: false,
         }
     }
@@ -139,13 +154,104 @@ pub fn key_features(key: usize) -> (f64, f64, f64) {
     (fp, dram, exec)
 }
 
-fn request_for(key: usize, seq: u64, select_every: u64) -> Request {
-    let (fp, dram, exec) = key_features(key);
-    let workload = format!("wl-{key}");
-    if select_every > 0 && seq % select_every == select_every - 1 {
-        Request::select(&workload, fp, dram, exec, "edp", Some(0.05))
-    } else {
-        Request::predict(&workload, fp, dram, exec)
+/// Every key's wire frames, serialized once before the clock starts:
+/// the hot loop replays these bytes instead of re-serializing the same
+/// request shapes millions of times.
+struct FrameTable {
+    /// Per key: the `predict` frame and the `select` frame.
+    frames: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Per key: the workload name its replies must echo.
+    workloads: Vec<String>,
+}
+
+impl FrameTable {
+    fn build(keys: usize) -> Self {
+        let mut frames = Vec::with_capacity(keys);
+        let mut workloads = Vec::with_capacity(keys);
+        for key in 0..keys {
+            let (fp, dram, exec) = key_features(key);
+            let workload = format!("wl-{key}");
+            let predict = serde_json::to_string(&Request::predict(&workload, fp, dram, exec))
+                .expect("request serializes")
+                .into_bytes();
+            let select = serde_json::to_string(&Request::select(
+                &workload,
+                fp,
+                dram,
+                exec,
+                "edp",
+                Some(0.05),
+            ))
+            .expect("request serializes")
+            .into_bytes();
+            frames.push((predict, select));
+            workloads.push(workload);
+        }
+        Self { frames, workloads }
+    }
+
+    fn bytes(&self, key: usize, seq: u64, select_every: u64) -> &[u8] {
+        let (predict, select) = &self.frames[key];
+        if select_every > 0 && seq % select_every == select_every - 1 {
+            select
+        } else {
+            predict
+        }
+    }
+}
+
+/// Shared per-connection accounting handles.
+struct Recorder<'a> {
+    ok: &'a AtomicU64,
+    errors: &'a AtomicU64,
+    rtt: &'a obs::Histogram,
+    error_rtt: &'a obs::Histogram,
+}
+
+impl Recorder<'_> {
+    /// Reads one reply off `client`, checks it answers the request for
+    /// `key` (the in-order contract: a pipelined server must reply in
+    /// request order, which the workload echo makes observable), and
+    /// books the round trip against `sent`.
+    fn take_reply(
+        &self,
+        client: &mut Client,
+        table: &FrameTable,
+        key: usize,
+        sent: Instant,
+    ) -> io::Result<()> {
+        let frame = client
+            .read_frame_raw()
+            .map_err(|e| io::Error::new(io::ErrorKind::BrokenPipe, e.to_string()))?;
+        let (ok, workload) = match fast::scan_reply(&frame) {
+            Some((ok, workload)) => (ok, workload.map(str::to_string)),
+            None => {
+                // Non-canonical reply (shouldn't happen for predicts);
+                // fall back to the full parser before judging it.
+                let text = std::str::from_utf8(&frame)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                let resp: Response = serde_json::from_str(text)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                (resp.ok, resp.profile.map(|p| p.workload))
+            }
+        };
+        if ok {
+            let expected = &table.workloads[key];
+            if workload.as_deref() != Some(expected.as_str()) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "out-of-order response: expected workload `{expected}`, got {workload:?}"
+                    ),
+                ));
+            }
+            self.rtt.record_duration(sent.elapsed());
+            self.ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.error_rtt.record_duration(sent.elapsed());
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
     }
 }
 
@@ -154,6 +260,7 @@ fn request_for(key: usize, seq: u64, select_every: u64) -> Request {
 pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
     let conns = config.connections.max(1);
     let zipf = ZipfSampler::new(config.keys.max(1), config.zipf_s);
+    let table = FrameTable::build(config.keys.max(1));
     let ok = AtomicU64::new(0);
     let errors = AtomicU64::new(0);
     let reg = obs::global();
@@ -169,10 +276,13 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
             let share = config.requests / conns as u64
                 + u64::from((conn as u64) < config.requests % conns as u64);
             let zipf = &zipf;
-            let ok = &ok;
-            let errors = &errors;
-            let rtt = &rtt;
-            let error_rtt = &error_rtt;
+            let table = &table;
+            let recorder = Recorder {
+                ok: &ok,
+                errors: &errors,
+                rtt: &rtt,
+                error_rtt: &error_rtt,
+            };
             threads.push(scope.spawn(move || -> io::Result<()> {
                 let mut client = Client::connect(&config.addr)?;
                 let mut rng = rand::rngs::StdRng::seed_from_u64(
@@ -181,34 +291,61 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
                         .wrapping_add(conn as u64)
                         .wrapping_mul(0x9E37_79B9),
                 );
-                let interarrival = match config.pacing {
-                    Pacing::Closed => None,
-                    Pacing::Open { rate_hz } => {
-                        Some(Duration::from_secs_f64(conns as f64 / rate_hz.max(1e-9)))
-                    }
-                };
-                let t0 = Instant::now();
-                for seq in 0..share {
-                    if let Some(gap) = interarrival {
-                        // Open loop: launch at the scheduled instant;
-                        // never skip a slot because the server was slow.
-                        let due = t0 + gap.mul_f64(seq as f64);
-                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
-                            std::thread::sleep(wait);
+                let depth = config.pipeline.max(1);
+                match config.pacing {
+                    Pacing::Closed => {
+                        // Closed loop: send a whole burst in one
+                        // vectored write, then read its replies back in
+                        // order — the wire shape the server's burst
+                        // batching is built for.
+                        let mut seq = 0u64;
+                        let mut burst: Vec<usize> = Vec::with_capacity(depth);
+                        while seq < share {
+                            burst.clear();
+                            while burst.len() < depth && seq + (burst.len() as u64) < share {
+                                burst.push(zipf.sample(rng.random::<f64>()));
+                            }
+                            let frames: Vec<&[u8]> = burst
+                                .iter()
+                                .enumerate()
+                                .map(|(i, &key)| {
+                                    table.bytes(key, seq + i as u64, config.select_every)
+                                })
+                                .collect();
+                            let sent = Instant::now();
+                            client.send_frames(&frames)?;
+                            for &key in &burst {
+                                recorder.take_reply(&mut client, table, key, sent)?;
+                            }
+                            seq += burst.len() as u64;
                         }
                     }
-                    let key = zipf.sample(rng.random::<f64>());
-                    let req = request_for(key, seq, config.select_every);
-                    let sent = Instant::now();
-                    let resp = client
-                        .call(&req)
-                        .map_err(|e| io::Error::new(io::ErrorKind::BrokenPipe, e.to_string()))?;
-                    if resp.ok {
-                        rtt.record_duration(sent.elapsed());
-                        ok.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        error_rtt.record_duration(sent.elapsed());
-                        errors.fetch_add(1, Ordering::Relaxed);
+                    Pacing::Open { rate_hz } => {
+                        // Open loop: launch on the fixed schedule;
+                        // never skip a slot because the server was
+                        // slow. Up to `depth` requests ride in flight
+                        // before a launch has to wait on a reply.
+                        let gap = Duration::from_secs_f64(conns as f64 / rate_hz.max(1e-9));
+                        let t0 = Instant::now();
+                        let mut pending: VecDeque<(Instant, usize)> =
+                            VecDeque::with_capacity(depth);
+                        for seq in 0..share {
+                            while pending.len() >= depth {
+                                let (sent, key) = pending.pop_front().unwrap();
+                                recorder.take_reply(&mut client, table, key, sent)?;
+                            }
+                            let due = t0 + gap.mul_f64(seq as f64);
+                            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                                std::thread::sleep(wait);
+                            }
+                            let key = zipf.sample(rng.random::<f64>());
+                            let sent = Instant::now();
+                            client.send_frames(&[table.bytes(key, seq, config.select_every)])?;
+                            pending.push_back((sent, key));
+                        }
+                        while let Some((sent, key)) = pending.pop_front() {
+                            recorder.take_reply(&mut client, table, key, sent)?;
+                        }
                     }
                 }
                 Ok(())

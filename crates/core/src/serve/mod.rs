@@ -10,11 +10,19 @@
 //!   oversized frames before allocating;
 //! * [`protocol`] — the request/response structs
 //!   (`predict`/`select`/`version`/`stats`/`reload`/`shutdown`);
+//! * [`dispatch`] — sharded per-worker job queues with work stealing
+//!   (one shard per worker, whole pipelined bursts land on one shard so
+//!   they stay coalescible into one prediction batch);
+//! * [`reply`] — pooled, generation-guarded reply slots replacing the
+//!   per-request `mpsc::channel()` (workers swap serialization buffers
+//!   into slots; steady state allocates nothing per request);
 //! * [`server`] — thread-per-core [`server::Server`]: handler threads
-//!   coalesce requests into a shared queue, worker threads batch them
-//!   through the cached predictor against a
-//!   [`crate::cache::ShardedProfileCache`], and every response names the
-//!   [`crate::snapshot::ModelSnapshot`] version that produced it;
+//!   drain every frame a socket read buffered, dispatch the burst as one
+//!   batch, worker threads answer it through the cached predictor
+//!   against a [`crate::cache::ShardedProfileCache`] (plus a per-worker
+//!   serialized-fragment cache), replies leave in one vectored write,
+//!   and every response names the [`crate::snapshot::ModelSnapshot`]
+//!   version that produced it;
 //! * [`loadgen`] — open-/closed-loop zipf load generator reporting
 //!   throughput and p50/p90/p99 from the shared `loadgen.rtt_ns`
 //!   histogram;
@@ -29,14 +37,18 @@
 //! edge-triggered alerts, and both the `stats` frame and the scrape
 //! surfaces report from that shared view.
 
+pub mod dispatch;
 pub mod framing;
 pub mod loadgen;
 pub mod protocol;
+pub mod reply;
 pub mod server;
 pub mod telemetry;
 
-pub use framing::{write_frame, FrameError, FrameReader, DEFAULT_MAX_FRAME};
+pub use dispatch::Dispatcher;
+pub use framing::{write_frame, write_frames_vectored, FrameError, FrameReader, DEFAULT_MAX_FRAME};
 pub use loadgen::{LoadgenConfig, LoadgenReport, Pacing, ZipfSampler};
 pub use protocol::{CacheStatsReply, QualityReply, Request, Response, ServerStatsReply, SloReply};
+pub use reply::ReplyTable;
 pub use server::{default_slos, Client, ServeConfig, Server};
 pub use telemetry::http_get;

@@ -261,6 +261,373 @@ impl Response {
     }
 }
 
+/// Serde-free fast paths for the two hot frame shapes.
+///
+/// The compat `serde_json` builds a boxed [`serde::value::Value`] tree on
+/// both serialize and parse; at ~4.4 KB per predict response that tree —
+/// not the model math — dominated the serving profile. This module
+/// renders and parses the hot shapes directly against byte buffers,
+/// **byte-for-byte identical** to the serde output (pinned by tests
+/// below): same field order (declaration order), same float rendering
+/// (shortest-roundtrip `{}`, non-finite as `null`), same string escapes.
+///
+/// Both directions are strict: the parser returns `None` on *any*
+/// deviation from the canonical shape (missing/duplicate/unknown key,
+/// escape sequences, malformed numbers) and the caller falls back to the
+/// serde path — so error semantics, including exact error-message text,
+/// never change. The serializer refuses (returns `false`) any response
+/// carrying fields outside the hot shapes (`label`/`stats`/`server`/
+/// `text`), which the caller serializes via serde instead.
+pub mod fast {
+    use super::{Request, Response};
+    use crate::objective::Selection;
+    use crate::predictor::PredictedProfile;
+
+    /// Writes one f64 exactly as the compat `serde_json` does: `null`
+    /// for non-finite values, shortest-roundtrip `{}` otherwise.
+    pub fn write_f64(out: &mut Vec<u8>, v: f64) {
+        if !v.is_finite() {
+            out.extend_from_slice(b"null");
+        } else {
+            use std::io::Write;
+            write!(out, "{v}").expect("write to Vec");
+        }
+    }
+
+    /// Writes a JSON string with the compat escape rules (`"` `\` `\n`
+    /// `\r` `\t` escaped by name, other control chars as `\u00xx`).
+    pub fn write_json_str(out: &mut Vec<u8>, s: &str) {
+        out.push(b'"');
+        for c in s.chars() {
+            match c {
+                '"' => out.extend_from_slice(b"\\\""),
+                '\\' => out.extend_from_slice(b"\\\\"),
+                '\n' => out.extend_from_slice(b"\\n"),
+                '\r' => out.extend_from_slice(b"\\r"),
+                '\t' => out.extend_from_slice(b"\\t"),
+                c if (c as u32) < 0x20 => {
+                    use std::io::Write;
+                    write!(out, "\\u{:04x}", c as u32).expect("write to Vec");
+                }
+                c => {
+                    let mut utf8 = [0u8; 4];
+                    out.extend_from_slice(c.encode_utf8(&mut utf8).as_bytes());
+                }
+            }
+        }
+        out.push(b'"');
+    }
+
+    fn write_f64_array(out: &mut Vec<u8>, xs: &[f64]) {
+        out.push(b'[');
+        for (i, &x) in xs.iter().enumerate() {
+            if i > 0 {
+                out.push(b',');
+            }
+            write_f64(out, x);
+        }
+        out.push(b']');
+    }
+
+    /// The workload-independent tail of a serialized profile object:
+    /// everything from the comma after the workload string through the
+    /// profile's closing brace. The serve workers cache exactly these
+    /// bytes per (quantized activities, exec-time) key.
+    pub fn write_profile_tail(out: &mut Vec<u8>, profile: &PredictedProfile) {
+        out.extend_from_slice(b",\"frequencies\":");
+        write_f64_array(out, &profile.frequencies);
+        out.extend_from_slice(b",\"power_w\":");
+        write_f64_array(out, &profile.power_w);
+        out.extend_from_slice(b",\"time_s\":");
+        write_f64_array(out, &profile.time_s);
+        out.extend_from_slice(b",\"energy_j\":");
+        write_f64_array(out, &profile.energy_j);
+        out.push(b'}');
+    }
+
+    /// Writes a full profile object (workload + tail).
+    pub fn write_profile(out: &mut Vec<u8>, profile: &PredictedProfile) {
+        out.extend_from_slice(b"{\"workload\":");
+        write_json_str(out, &profile.workload);
+        write_profile_tail(out, profile);
+    }
+
+    /// Writes a selection object.
+    pub fn write_selection(out: &mut Vec<u8>, sel: &Selection) {
+        out.extend_from_slice(b"{\"frequency_mhz\":");
+        write_f64(out, sel.frequency_mhz);
+        out.extend_from_slice(b",\"index\":");
+        write_f64(out, sel.index as f64);
+        out.extend_from_slice(b",\"score\":");
+        write_f64(out, sel.score);
+        out.extend_from_slice(b",\"perf_degradation\":");
+        write_f64(out, sel.perf_degradation);
+        out.extend_from_slice(b",\"threshold_applied\":");
+        out.extend_from_slice(if sel.threshold_applied {
+            b"true"
+        } else {
+            b"false"
+        });
+        out.push(b'}');
+    }
+
+    /// The fixed bytes between a predict/select response's start and its
+    /// version number.
+    pub const RESPONSE_OK_HEAD: &[u8] = b"{\"ok\":true,\"error\":null,\"version\":";
+    /// The fixed bytes between the version and the profile's workload
+    /// string in a predict/select response.
+    pub const RESPONSE_PROFILE_HEAD: &[u8] = b",\"label\":null,\"profile\":{\"workload\":";
+    /// The bytes between the profile object and the selection value.
+    pub const RESPONSE_SELECTION_HEAD: &[u8] = b",\"selection\":";
+    /// The fixed trailing bytes of every hot-shape response.
+    pub const RESPONSE_TAIL: &[u8] = b",\"stats\":null,\"server\":null,\"text\":null}";
+
+    /// Serializes `resp` into `out` (appending), byte-identical to
+    /// `serde_json::to_string(resp)`. Returns `false` without writing
+    /// when `resp` carries fields outside the hot shapes — the caller
+    /// must then use the serde path.
+    pub fn write_response(out: &mut Vec<u8>, resp: &Response) -> bool {
+        if resp.label.is_some()
+            || resp.stats.is_some()
+            || resp.server.is_some()
+            || resp.text.is_some()
+        {
+            return false;
+        }
+        out.extend_from_slice(b"{\"ok\":");
+        out.extend_from_slice(if resp.ok { b"true" } else { b"false" });
+        out.extend_from_slice(b",\"error\":");
+        match &resp.error {
+            Some(e) => write_json_str(out, e),
+            None => out.extend_from_slice(b"null"),
+        }
+        out.extend_from_slice(b",\"version\":");
+        write_f64(out, resp.version);
+        out.extend_from_slice(b",\"label\":null,\"profile\":");
+        match &resp.profile {
+            Some(p) => write_profile(out, p),
+            None => out.extend_from_slice(b"null"),
+        }
+        out.extend_from_slice(b",\"selection\":");
+        match &resp.selection {
+            Some(s) => write_selection(out, s),
+            None => out.extend_from_slice(b"null"),
+        }
+        out.extend_from_slice(RESPONSE_TAIL);
+        true
+    }
+
+    // ------------------------------------------------------- request parse
+
+    /// One parsed field value: request fields are strings, numbers, or
+    /// null only.
+    enum Field<'a> {
+        Str(&'a str),
+        Num(f64),
+        Null,
+    }
+
+    struct Scan<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Scan<'a> {
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn eat(&mut self, byte: u8) -> Option<()> {
+            if self.bytes.get(self.pos) == Some(&byte) {
+                self.pos += 1;
+                Some(())
+            } else {
+                None
+            }
+        }
+
+        /// A string with no escapes: `"` through the next `"`. Any
+        /// backslash or control byte aborts (the serde fallback handles
+        /// escapes with identical semantics).
+        fn string(&mut self) -> Option<&'a str> {
+            self.eat(b'"')?;
+            let start = self.pos;
+            loop {
+                match self.bytes.get(self.pos)? {
+                    b'"' => break,
+                    b'\\' => return None,
+                    b if *b < 0x20 => return None,
+                    _ => self.pos += 1,
+                }
+            }
+            let s = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+            self.pos += 1;
+            Some(s)
+        }
+
+        /// A number, consuming the same charset the compat parser does
+        /// and delegating to `str::parse` like it does — identical
+        /// accepted grammar, identical bits.
+        fn number(&mut self) -> Option<f64> {
+            let start = self.pos;
+            while matches!(
+                self.bytes.get(self.pos),
+                Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            ) {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()?
+                .parse()
+                .ok()
+        }
+
+        fn literal(&mut self, lit: &[u8]) -> Option<()> {
+            if self.bytes[self.pos..].starts_with(lit) {
+                self.pos += lit.len();
+                Some(())
+            } else {
+                None
+            }
+        }
+
+        fn value(&mut self) -> Option<Field<'a>> {
+            match self.bytes.get(self.pos)? {
+                b'"' => self.string().map(Field::Str),
+                b'n' => {
+                    self.literal(b"null")?;
+                    Some(Field::Null)
+                }
+                b'0'..=b'9' | b'-' | b'+' | b'.' => self.number().map(Field::Num),
+                _ => None,
+            }
+        }
+    }
+
+    fn opt_str(field: Option<Field<'_>>) -> Option<Option<String>> {
+        match field {
+            Some(Field::Str(s)) => Some(Some(s.to_string())),
+            Some(Field::Null) => Some(None),
+            _ => None,
+        }
+    }
+
+    fn opt_num(field: Option<Field<'_>>) -> Option<Option<f64>> {
+        match field {
+            Some(Field::Num(n)) => Some(Some(n)),
+            Some(Field::Null) => Some(None),
+            _ => None,
+        }
+    }
+
+    /// Parses the canonical request shape without building a value tree.
+    /// Returns `None` on any deviation — unknown or duplicate keys,
+    /// escaped strings, trailing bytes, a missing field — and the caller
+    /// falls back to the serde parser, whose behavior (including error
+    /// text) is authoritative.
+    pub fn parse_request(bytes: &[u8]) -> Option<Request> {
+        const KEYS: [&str; 8] = [
+            "cmd",
+            "workload",
+            "fp_active",
+            "dram_active",
+            "exec_time",
+            "objective",
+            "threshold",
+            "path",
+        ];
+        let mut scan = Scan { bytes, pos: 0 };
+        scan.skip_ws();
+        scan.eat(b'{')?;
+        let mut fields: [Option<Field<'_>>; 8] = std::array::from_fn(|_| None);
+        let mut first = true;
+        loop {
+            scan.skip_ws();
+            if scan.eat(b'}').is_some() {
+                break;
+            }
+            if !first {
+                scan.eat(b',')?;
+                scan.skip_ws();
+            }
+            first = false;
+            let key = scan.string()?;
+            let slot = KEYS.iter().position(|&k| k == key)?;
+            if fields[slot].is_some() {
+                return None;
+            }
+            scan.skip_ws();
+            scan.eat(b':')?;
+            scan.skip_ws();
+            fields[slot] = Some(scan.value()?);
+        }
+        scan.skip_ws();
+        if scan.pos != bytes.len() {
+            return None;
+        }
+        // The compat derive requires every field present; a missing one
+        // must flow through serde to produce its exact error message.
+        if fields.iter().any(Option::is_none) {
+            return None;
+        }
+        let [cmd, workload, fp, dram, exec, objective, threshold, path] = fields;
+        let cmd = match cmd {
+            Some(Field::Str(s)) => s.to_string(),
+            _ => return None,
+        };
+        Some(Request {
+            cmd,
+            workload: opt_str(workload)?,
+            fp_active: opt_num(fp)?,
+            dram_active: opt_num(dram)?,
+            exec_time: opt_num(exec)?,
+            objective: opt_str(objective)?,
+            threshold: opt_num(threshold)?,
+            path: opt_str(path)?,
+        })
+    }
+
+    /// Shallow response scan for the load generator: extracts the `ok`
+    /// flag and (for ok replies) the profile's workload without parsing
+    /// the float arrays. Relies on the canonical serialization (both the
+    /// serde and fast serializers emit it); returns `None` on anything
+    /// else so the caller can fall back to a full parse.
+    pub fn scan_reply(bytes: &[u8]) -> Option<(bool, Option<&str>)> {
+        let ok = if bytes.starts_with(b"{\"ok\":true,") {
+            true
+        } else if bytes.starts_with(b"{\"ok\":false,") {
+            false
+        } else {
+            return None;
+        };
+        if !bytes.ends_with(RESPONSE_TAIL) {
+            return None;
+        }
+        const MARKER: &[u8] = b",\"profile\":{\"workload\":\"";
+        let at = bytes
+            .windows(MARKER.len())
+            .position(|w| w == MARKER)
+            .map(|p| p + MARKER.len());
+        let workload = match at {
+            None => None,
+            Some(start) => {
+                let mut end = start;
+                loop {
+                    match bytes.get(end)? {
+                        b'"' => break,
+                        b'\\' => return None,
+                        _ => end += 1,
+                    }
+                }
+                Some(std::str::from_utf8(&bytes[start..end]).ok()?)
+            }
+        };
+        Some((ok, workload))
+    }
+}
+
 /// Parses an objective name from the wire (same names the CLI accepts).
 pub fn parse_objective(name: &str) -> Result<crate::objective::Objective, String> {
     use crate::objective::Objective;
@@ -314,6 +681,177 @@ mod tests {
     fn unknown_objective_is_a_clean_error() {
         assert!(parse_objective("edp").is_ok());
         assert!(parse_objective("frobnicate").is_err());
+    }
+
+    /// The contract the serving fast path rests on: for every hot-shape
+    /// response, `fast::write_response` emits the *identical bytes* the
+    /// serde path would. Any divergence would silently break the
+    /// bitwise-parity guarantee between served and in-process profiles.
+    #[test]
+    fn fast_response_serialization_is_byte_identical_to_serde() {
+        let profile = PredictedProfile::new(
+            "weird \"name\"\twith\\escapes\nand™unicode".into(),
+            vec![705.0, 960.5, 1410.0],
+            vec![213.4567890123, 0.1 + 0.2, 400.0000000001],
+            vec![1.618_033_988_749_895, 1.25, 1.0],
+        );
+        let selection = profile.select(crate::objective::Objective::Edp, Some(0.05));
+        let mut predict = Response::ok(12);
+        predict.profile = Some(profile.clone());
+        let mut select = Response::ok(9_007_199_254);
+        select.profile = Some(profile.clone());
+        select.selection = Some(selection);
+        let mut nonfinite = Response::ok(1);
+        nonfinite.profile = Some(PredictedProfile {
+            workload: "w".into(),
+            frequencies: vec![705.0, 1410.0],
+            power_w: vec![f64::NAN, f64::INFINITY],
+            time_s: vec![-0.0, 1e-308],
+            energy_j: vec![2.5e17, f64::NEG_INFINITY],
+        });
+        let cases = vec![
+            Response::ok(3),
+            Response::err(0, "bad request: missing field Request.cmd"),
+            Response::err(7, "weird\u{1}control\u{1f}chars"),
+            predict,
+            select,
+            nonfinite,
+        ];
+        for resp in &cases {
+            let mut got = Vec::new();
+            assert!(fast::write_response(&mut got, resp), "hot shape refused");
+            let want = serde_json::to_string(resp).unwrap();
+            assert_eq!(
+                String::from_utf8(got).unwrap(),
+                want,
+                "fast bytes diverge from serde for {resp:?}"
+            );
+        }
+        // Shapes outside the hot set must be refused, not mis-rendered.
+        let mut stats = Response::ok(1);
+        stats.label = Some("trained".into());
+        let mut out = Vec::new();
+        assert!(!fast::write_response(&mut out, &stats));
+        assert!(out.is_empty(), "refusal must not write");
+    }
+
+    /// The composable pieces (prefix constants + tail fragment) assemble
+    /// to the same bytes as the whole-response writer — this is the
+    /// exact recipe the serve workers use with their fragment cache.
+    #[test]
+    fn fast_fragment_composition_matches_whole_response() {
+        let profile = PredictedProfile::new(
+            "wl-7".into(),
+            vec![705.0, 1410.0],
+            vec![213.45, 400.0],
+            vec![1.5, 1.0],
+        );
+        let selection = profile.select(crate::objective::Objective::Ed2p, None);
+        for sel in [None, Some(selection)] {
+            let mut resp = Response::ok(42);
+            resp.profile = Some(profile.clone());
+            resp.selection = sel.clone();
+            let mut whole = Vec::new();
+            assert!(fast::write_response(&mut whole, &resp));
+            // Composed: head + version + profile head + workload + cached
+            // tail + selection + fixed tail.
+            let mut tail = Vec::new();
+            fast::write_profile_tail(&mut tail, &profile);
+            let mut composed = Vec::new();
+            composed.extend_from_slice(fast::RESPONSE_OK_HEAD);
+            fast::write_f64(&mut composed, 42.0);
+            composed.extend_from_slice(fast::RESPONSE_PROFILE_HEAD);
+            fast::write_json_str(&mut composed, &profile.workload);
+            // write_json_str wraps in quotes; the profile head ends at
+            // the key's colon, so drop nothing — but the head constant
+            // ends *before* the opening quote.
+            composed.extend_from_slice(&tail);
+            composed.extend_from_slice(fast::RESPONSE_SELECTION_HEAD);
+            match &sel {
+                Some(s) => fast::write_selection(&mut composed, s),
+                None => composed.extend_from_slice(b"null"),
+            }
+            composed.extend_from_slice(fast::RESPONSE_TAIL);
+            assert_eq!(composed, whole);
+        }
+    }
+
+    /// Round trip: whatever the canonical client serializer emits, the
+    /// fast parser accepts and decodes identically to serde.
+    #[test]
+    fn fast_request_parse_matches_serde_on_canonical_frames() {
+        let cases = [
+            Request::ping(),
+            Request::version(),
+            Request::stats(),
+            Request::scrape(),
+            Request::shutdown(),
+            Request::reload("/tmp/models.json"),
+            Request::predict("wl-3", 0.62, 0.31, 12.5),
+            Request::select("wl-9", 1e-3, 0.999, 0.5, "edp", Some(0.05)),
+            Request::select("wl-0", 0.0, 1.0, 9.75, "time", None),
+        ];
+        for req in &cases {
+            let json = serde_json::to_string(req).unwrap();
+            let got = fast::parse_request(json.as_bytes())
+                .unwrap_or_else(|| panic!("fast parser refused canonical frame {json}"));
+            assert_eq!(&got, req);
+            // Whitespace-padded variants parse identically too.
+            let spaced = json.replace(":", " : ").replace(",", " ,\n");
+            let got = fast::parse_request(spaced.as_bytes()).expect("spaced frame");
+            assert_eq!(&got, req);
+        }
+    }
+
+    /// Every deviation from the canonical shape must make the fast
+    /// parser abstain (return `None`) rather than guess — the serde
+    /// fallback owns those frames and their exact error messages.
+    #[test]
+    fn fast_request_parse_abstains_on_any_deviation() {
+        let deviant: [&[u8]; 10] = [
+            b"{\"cmd\":\"ping\"}",                     // missing fields
+            b"not json at all",
+            b"[1,2,3]",
+            b"{\"cmd\":\"ping\",\"cmd\":\"ping\"}",    // duplicate key
+            b"{\"cmd\":\"pi\\u006eg\",\"workload\":null,\"fp_active\":null,\"dram_active\":null,\"exec_time\":null,\"objective\":null,\"threshold\":null,\"path\":null}", // escape
+            b"{\"cmd\":\"ping\",\"workload\":null,\"fp_active\":null,\"dram_active\":null,\"exec_time\":null,\"objective\":null,\"threshold\":null,\"path\":null,\"extra\":1}", // unknown key
+            b"{\"cmd\":null,\"workload\":null,\"fp_active\":null,\"dram_active\":null,\"exec_time\":null,\"objective\":null,\"threshold\":null,\"path\":null}", // cmd not a string
+            b"{\"cmd\":\"predict\",\"workload\":\"w\",\"fp_active\":true,\"dram_active\":0.3,\"exec_time\":1.0,\"objective\":null,\"threshold\":null,\"path\":null}", // bool where number
+            b"{\"cmd\":\"ping\",\"workload\":null,\"fp_active\":null,\"dram_active\":null,\"exec_time\":null,\"objective\":null,\"threshold\":null,\"path\":null} trailing", // trailing bytes
+            b"{\"cmd\":\"predict\",\"workload\":\"w\",\"fp_active\":1.2.3,\"dram_active\":0.3,\"exec_time\":1.0,\"objective\":null,\"threshold\":null,\"path\":null}", // bad number
+        ];
+        for frame in deviant {
+            assert!(
+                fast::parse_request(frame).is_none(),
+                "fast parser must abstain on {:?}",
+                String::from_utf8_lossy(frame)
+            );
+        }
+    }
+
+    #[test]
+    fn scan_reply_extracts_ok_and_workload_from_canonical_responses() {
+        let profile = PredictedProfile::new(
+            "wl-11".into(),
+            vec![705.0, 1410.0],
+            vec![200.0, 400.0],
+            vec![1.5, 1.0],
+        );
+        let mut ok_resp = Response::ok(2);
+        ok_resp.profile = Some(profile);
+        let ok_bytes = serde_json::to_string(&ok_resp).unwrap();
+        assert_eq!(
+            fast::scan_reply(ok_bytes.as_bytes()),
+            Some((true, Some("wl-11")))
+        );
+        let err_bytes = serde_json::to_string(&Response::err(0, "nope")).unwrap();
+        assert_eq!(fast::scan_reply(err_bytes.as_bytes()), Some((false, None)));
+        // A stats frame (label/server populated) is not the hot shape.
+        let mut stats = Response::ok(1);
+        stats.text = Some("exposition".into());
+        let stats_bytes = serde_json::to_string(&stats).unwrap();
+        assert_eq!(fast::scan_reply(stats_bytes.as_bytes()), None);
+        assert_eq!(fast::scan_reply(b"garbage"), None);
     }
 
     /// Collects every dotted key path in a JSON tree; array elements

@@ -2,48 +2,83 @@
 //!
 //! Topology: one **acceptor** thread (non-blocking accept loop), one
 //! **handler** thread per connection (framing + protocol + control
-//! commands), and `workers` **worker** threads that drain a shared job
-//! queue and run the cached batch-prediction path. Handlers enqueue
-//! `predict`/`select` jobs and block on a per-job reply channel; workers
-//! pop up to `max_batch` jobs at a time, so concurrent requests from
-//! different connections coalesce into one
-//! [`Predictor::predict_batch_cached`] call naturally under load.
+//! commands), and `workers` **worker** threads that drain a sharded
+//! job [`Dispatcher`] and run the cached batch-prediction path.
+//!
+//! The request path is built around four hot-path structures:
+//!
+//! * **Sharded dispatch** ([`super::dispatch`]) — each worker owns a
+//!   queue shard; a handler pushes a whole pipelined burst to one shard
+//!   (round-robin across bursts) and an idle worker steals from a loaded
+//!   sibling, so handlers and workers only contend when someone is
+//!   otherwise idle.
+//! * **Pooled replies** ([`super::reply`]) — one generation-guarded
+//!   [`ReplyTable`] per connection replaces the per-request
+//!   `mpsc::channel()`; workers *swap* their serialization buffer into
+//!   the request's slot and take the old buffer back as scratch, so the
+//!   steady state allocates nothing per request.
+//! * **Zero-copy framing** ([`super::framing`]) — the handler drains
+//!   every frame buffered by one socket read (pipelining) and coalesces
+//!   consecutive `predict`/`select` frames into **one** dispatch batch;
+//!   all their replies leave in a single vectored write, length
+//!   prefixes and payloads as separate iovecs.
+//! * **Serde-free hot shapes** ([`super::protocol::fast`]) — predict
+//!   frames parse and responses render without the boxed JSON value
+//!   tree, byte-identical to the serde path (pinned by tests); each
+//!   worker additionally caches the serialized, workload-independent
+//!   profile fragment per (quantized activities, exec time) so a hot
+//!   key's response is a few memcpys.
 //!
 //! Each worker binds a [`Predictor`] to the current [`ModelSnapshot`]
-//! and rebinds when [`ModelStore::current_version`] moves — a snapshot
-//! swap never blocks a reader and never stalls the queue; a batch popped
+//! and rebinds (dropping its per-snapshot fragment cache) when
+//! [`ModelStore::changed_since`] reports a publish — a snapshot swap
+//! never blocks a reader and never stalls the queues; a batch popped
 //! concurrently with a publish is served by the version that was current
 //! at dequeue (the response carries that version id).
 //!
 //! The profile cache is a [`ShardedProfileCache`]: requests touch only
-//! the shard their quantized key hashes to, so worker threads serving
-//! disjoint keys never contend on a cache lock.
+//! the shard their quantized key hashes to, and worker-local fragment
+//! hits are booked into the same counters
+//! ([`ShardedProfileCache::record_front_hits`]) so `lookups == hits +
+//! misses` stays true for the request stream as a whole.
 
-use super::framing::{write_frame, FrameError, FrameReader};
+use super::dispatch::Dispatcher;
+use super::framing::{write_frame, write_frames_vectored, Fill, FrameError, FrameReader};
 use super::protocol::{
-    parse_objective, CacheStatsReply, QualityReply, Request, Response, ServerStatsReply, SloReply,
+    fast, parse_objective, CacheStatsReply, QualityReply, Request, Response, ServerStatsReply,
+    SloReply,
 };
+use super::reply::ReplyTable;
 use super::telemetry;
-use crate::cache::ShardedProfileCache;
+use crate::cache::{CacheHandle, CacheKey, ShardedProfileCache};
 use crate::models::PowerTimeModels;
-use crate::predictor::Predictor;
+use crate::objective::select_optimal;
+use crate::predictor::{PredictedProfile, Predictor};
 use crate::snapshot::{ModelSnapshot, ModelStore, SnapshotMeta};
 use gpu_model::{DvfsGrid, MetricSample};
 use nn::Precision;
 use obs::slo::{SloEngine, SloSpec};
 use obs::timeseries::{Sampler, TimeSeries};
-use std::collections::VecDeque;
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// How long blocking waits (queue pops, socket reads) last before
+/// How long blocking waits (queue parks, socket reads) last before
 /// re-checking the stop flag.
 const POLL: Duration = Duration::from_millis(25);
+
+/// How long a handler waits for the worker pool to answer a dispatched
+/// batch before failing the requests (covers a crashed worker).
+const REPLY_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Max entries in each worker's serialized-fragment cache before it is
+/// reset wholesale (a cheap epoch clear beats per-entry LRU bookkeeping
+/// at this size; the cache also clears on every snapshot rebind).
+const FRAGMENT_CACHE_MAX: usize = 8192;
 
 /// Server tunables. `Default` is sized for tests and smoke runs; the CLI
 /// scales `workers`/`cache_shards` to the machine.
@@ -113,7 +148,8 @@ pub fn default_slos() -> Vec<SloSpec> {
     ]
 }
 
-/// One queued prediction request plus everything needed to answer it.
+/// One queued prediction request plus everything needed to answer it
+/// into its connection's reply slot.
 struct Job {
     req: Request,
     t0: Instant,
@@ -122,46 +158,19 @@ struct Job {
     /// `serve.recv` slice to the worker's `serve.request` slice on the
     /// trace timeline.
     req_id: u64,
-    reply: mpsc::Sender<Response>,
-}
-
-/// The handler→worker queue: a mutex'd deque plus a condvar (the compat
-/// `parking_lot` has no condvar, so this is `std::sync`).
-struct Queue {
-    jobs: Mutex<VecDeque<Job>>,
-    ready: Condvar,
-}
-
-impl Queue {
-    fn push(&self, job: Job) {
-        self.jobs.lock().unwrap().push_back(job);
-        self.ready.notify_one();
-    }
-
-    /// Pops up to `max_batch` jobs. Returns an empty batch on wait
-    /// timeout (caller re-checks stop/version) — after stop is set the
-    /// queue keeps draining until empty, so every accepted job is
-    /// answered.
-    fn pop_batch(&self, max_batch: usize) -> Vec<Job> {
-        let mut jobs = self.jobs.lock().unwrap();
-        if jobs.is_empty() {
-            let (guard, _) = self.ready.wait_timeout(jobs, POLL).unwrap();
-            jobs = guard;
-        }
-        let n = jobs.len().min(max_batch);
-        jobs.drain(..n).collect()
-    }
-
-    fn is_empty(&self) -> bool {
-        self.jobs.lock().unwrap().is_empty()
-    }
+    /// The connection's reply table plus the slot coordinates the worker
+    /// fills. The generation guard makes a timed-out batch's late fills
+    /// harmless.
+    reply: Arc<ReplyTable>,
+    generation: u64,
+    index: usize,
 }
 
 /// Shared server state.
 struct Shared {
     store: Arc<ModelStore>,
     cache: ShardedProfileCache,
-    queue: Queue,
+    dispatch: Dispatcher<Job>,
     stop: AtomicBool,
     max_frame: usize,
     started: Instant,
@@ -173,6 +182,9 @@ struct Shared {
     stats_window: Duration,
     next_req_id: AtomicU64,
     errors: obs::Counter,
+    /// Responses that failed to serialize and were degraded to an error
+    /// frame instead of panicking the handler.
+    serialize_errors: obs::Counter,
     /// The precision `reload` requests for fresh snapshots (the gate may
     /// still veto it down to f64 per snapshot).
     precision: Precision,
@@ -225,13 +237,11 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let reg = obs::global();
+        let worker_count = config.workers.max(1);
         let shared = Arc::new(Shared {
             store,
             cache: ShardedProfileCache::new(config.cache_capacity, config.cache_shards),
-            queue: Queue {
-                jobs: Mutex::new(VecDeque::new()),
-                ready: Condvar::new(),
-            },
+            dispatch: Dispatcher::new(worker_count),
             stop: AtomicBool::new(false),
             max_frame: config.max_frame,
             started: Instant::now(),
@@ -240,16 +250,17 @@ impl Server {
             stats_window: config.stats_window,
             next_req_id: AtomicU64::new(0),
             errors: reg.counter("serve.errors"),
+            serialize_errors: reg.counter("serve.serialize_errors"),
             precision: config.precision,
         });
         let handlers = Arc::new(Mutex::new(Vec::new()));
-        let workers = (0..config.workers.max(1))
+        let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let max_batch = config.max_batch.max(1);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, max_batch))
+                    .spawn(move || worker_loop(&shared, i, max_batch))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -333,10 +344,10 @@ impl Server {
         self.shared.stop.load(Ordering::Acquire)
     }
 
-    /// Requests shutdown: stops accepting, lets workers drain the queue.
+    /// Requests shutdown: stops accepting, lets workers drain the shards.
     pub fn shutdown(&self) {
         self.shared.stop.store(true, Ordering::Release);
-        self.shared.queue.ready.notify_all();
+        self.shared.dispatch.wake_all();
     }
 
     /// A consistent snapshot of the shared cache's counters.
@@ -417,77 +428,171 @@ fn accept_loop(
     }
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+/// What one decoded frame asks of the connection handler. Consecutive
+/// `Predict` actions coalesce into one dispatch batch; anything else is
+/// answered inline (after flushing the batch, to keep replies in request
+/// order).
+enum Action {
+    /// A validated `predict`/`select` bound for the worker pool.
+    Predict(Request),
+    /// A control command answered on the handler thread.
+    Control(Request),
+    /// An immediate reply (decode or validation failure). Boxed so the
+    /// hot `Predict` variant isn't padded out to `Response`'s size.
+    Reply(Box<Response>),
+    /// Placeholder left behind once an action is moved out for
+    /// processing (never observed by the scan: indices only advance).
+    Taken,
+}
+
+/// Per-connection handler: drains every frame each socket read buffered,
+/// batches the prediction run, and answers in request order.
+struct Connection<'a> {
+    stream: TcpStream,
+    shared: &'a Arc<Shared>,
+    reader: FrameReader,
+    /// This connection's reply slots (shared with the worker pool).
+    table: Arc<ReplyTable>,
+    /// Decoded-but-unprocessed frames from the current read burst.
+    actions: Vec<Action>,
+    /// Jobs staged for the next dispatch (reused between bursts).
+    jobs: Vec<Job>,
+    /// Reply buffers collected from the table (reused between bursts).
+    replies: Vec<Vec<u8>>,
+    /// Scratch for handler-side (control/error) responses.
+    scratch: Vec<u8>,
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL));
-    let mut reader = FrameReader::new();
-    loop {
-        if shared.stop.load(Ordering::Acquire) {
-            return;
-        }
-        match reader.poll_frame(&mut stream, shared.max_frame) {
-            Ok(None) => {}
-            Ok(Some(bytes)) => {
-                if !dispatch(&bytes, &mut stream, shared) {
-                    return;
-                }
-            }
-            Err(FrameError::TooLarge { announced, max }) => {
-                // The stream is desynced past an oversized frame; reply
-                // with the reason, then drop the connection.
-                let resp = Response::err(0, format!("frame of {announced} bytes exceeds {max}"));
-                let _ = send(&mut stream, &resp);
+    let mut conn = Connection {
+        stream,
+        shared,
+        reader: FrameReader::new(),
+        table: Arc::new(ReplyTable::new()),
+        actions: Vec::new(),
+        jobs: Vec::new(),
+        replies: Vec::new(),
+        scratch: Vec::new(),
+    };
+    conn.run();
+}
+
+impl Connection<'_> {
+    fn run(&mut self) {
+        loop {
+            if self.shared.stop.load(Ordering::Acquire) {
                 return;
             }
-            Err(FrameError::Closed { .. }) | Err(FrameError::Io(_)) => return,
+            match self.reader.fill(&mut self.stream) {
+                Ok(Fill::Idle) => continue,
+                Ok(Fill::Read(_)) => {}
+                Err(_) => return,
+            }
+            // Decode every frame this read completed — that's the whole
+            // pipelined burst — then process it as one unit.
+            let mut oversized = None;
+            loop {
+                match self.reader.next_frame(self.shared.max_frame) {
+                    Ok(Some(frame)) => {
+                        let action = classify(frame);
+                        self.actions.push(action);
+                    }
+                    Ok(None) => break,
+                    Err(FrameError::TooLarge { announced, max }) => {
+                        // The stream is desynced past the oversized
+                        // frame; answer what came before it, then reply
+                        // with the reason and drop the connection.
+                        oversized = Some(Response::err(
+                            0,
+                            format!("frame of {announced} bytes exceeds {max}"),
+                        ));
+                        break;
+                    }
+                    Err(_) => unreachable!("next_frame only fails on size"),
+                }
+            }
+            if !self.process_burst() {
+                return;
+            }
+            if let Some(resp) = oversized {
+                self.shared.errors.inc();
+                let _ = self.respond(&resp);
+                return;
+            }
         }
     }
-}
 
-fn send(stream: &mut TcpStream, resp: &Response) -> bool {
-    let payload = serde_json::to_string(resp).expect("response serializes");
-    write_frame(stream, payload.as_bytes()).is_ok()
-}
-
-/// Handles one decoded frame; returns false when the connection should
-/// close. Every non-ok reply bumps `serve.errors`, which feeds the
-/// availability SLO.
-fn dispatch(bytes: &[u8], stream: &mut TcpStream, shared: &Arc<Shared>) -> bool {
-    let send_counted = |stream: &mut TcpStream, resp: &Response| -> bool {
-        if !resp.ok {
-            shared.errors.inc();
-        }
-        send(stream, resp)
-    };
-    // Garbage bytes inside a well-formed frame leave the stream synced,
-    // so both decode failures answer with an error and keep serving.
-    let text = match std::str::from_utf8(bytes) {
-        Ok(text) => text,
-        Err(e) => {
-            return send_counted(stream, &Response::err(0, format!("bad request: {e}")));
-        }
-    };
-    let req: Request = match serde_json::from_str(text) {
-        Ok(req) => req,
-        Err(e) => {
-            return send_counted(stream, &Response::err(0, format!("bad request: {e}")));
-        }
-    };
-    match req.cmd.as_str() {
-        "predict" | "select" => {
-            if let Err(reason) = validate(&req) {
-                return send_counted(stream, &Response::err(0, reason));
+    /// Processes the decoded burst in order. Returns false when the
+    /// connection must close (shutdown or a dead socket).
+    fn process_burst(&mut self) -> bool {
+        let mut i = 0;
+        while i < self.actions.len() {
+            match &self.actions[i] {
+                Action::Predict(_) => {
+                    let end = i + self.actions[i..]
+                        .iter()
+                        .take_while(|a| matches!(a, Action::Predict(_)))
+                        .count();
+                    if !self.flush_predicts(i, end) {
+                        self.actions.clear();
+                        return false;
+                    }
+                    i = end;
+                }
+                Action::Reply(_) => {
+                    let Action::Reply(resp) =
+                        std::mem::replace(&mut self.actions[i], Action::Taken)
+                    else {
+                        unreachable!()
+                    };
+                    if !resp.ok {
+                        self.shared.errors.inc();
+                    }
+                    if !self.respond(&resp) {
+                        self.actions.clear();
+                        return false;
+                    }
+                    i += 1;
+                }
+                Action::Control(_) => {
+                    let Action::Control(req) =
+                        std::mem::replace(&mut self.actions[i], Action::Taken)
+                    else {
+                        unreachable!()
+                    };
+                    if !self.control(&req) {
+                        self.actions.clear();
+                        return false;
+                    }
+                    i += 1;
+                }
+                Action::Taken => unreachable!("scan never revisits a taken slot"),
             }
-            let (tx, rx) = mpsc::channel();
-            let t0_ns = obs::trace::now_ns();
-            let req_id = shared.next_req_id.fetch_add(1, Ordering::Relaxed) + 1;
-            shared.queue.push(Job {
-                req,
-                t0: Instant::now(),
-                t0_ns,
-                req_id,
-                reply: tx,
-            });
+        }
+        self.actions.clear();
+        true
+    }
+
+    /// Dispatches `actions[start..end]` (all `Predict`) as one batch and
+    /// writes every reply in one vectored write. Returns false when the
+    /// socket died.
+    fn flush_predicts(&mut self, start: usize, end: usize) -> bool {
+        let n = end - start;
+        let generation = self.table.begin(n);
+        let t0 = Instant::now();
+        let t0_ns = obs::trace::now_ns();
+        let first_id = self
+            .shared
+            .next_req_id
+            .fetch_add(n as u64, Ordering::Relaxed)
+            + 1;
+        for (index, action) in self.actions[start..end].iter_mut().enumerate() {
+            let Action::Predict(req) = std::mem::replace(action, Action::Taken) else {
+                unreachable!("flush_predicts covers a Predict run")
+            };
+            let req_id = first_id + index as u64;
             if obs::trace::enabled() {
                 // Flow start before closing the recv slice, so its
                 // timestamp falls inside the slice and Perfetto draws
@@ -495,52 +600,147 @@ fn dispatch(bytes: &[u8], stream: &mut TcpStream, shared: &Arc<Shared>) -> bool 
                 obs::trace::flow_start(obs::trace::intern("serve.req"), req_id);
                 obs::trace::complete(obs::trace::intern("serve.recv"), t0_ns, &[]);
             }
-            // Workers drain the queue even after stop, so the reply
-            // normally arrives; the timeout covers a worker that died.
-            match rx.recv_timeout(Duration::from_secs(10)) {
-                Ok(resp) => send_counted(stream, &resp),
-                Err(_) => send_counted(stream, &Response::err(0, "server shutting down")),
+            self.jobs.push(Job {
+                req,
+                t0,
+                t0_ns,
+                req_id,
+                reply: Arc::clone(&self.table),
+                generation,
+                index,
+            });
+        }
+        self.shared.dispatch.push_batch(self.jobs.drain(..));
+        // Workers drain the shards even after stop, so the replies
+        // normally arrive; the timeout covers a worker that died.
+        if self
+            .table
+            .wait_collect(generation, &mut self.replies, REPLY_TIMEOUT)
+        {
+            let spans: Vec<&[u8]> = self.replies[..n].iter().map(Vec::as_slice).collect();
+            write_frames_vectored(&mut self.stream, &spans).is_ok()
+        } else {
+            let resp = Response::err(0, "server shutting down");
+            for _ in 0..n {
+                self.shared.errors.inc();
+                if !self.respond(&resp) {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+
+    /// Handles one control command inline. Returns false when the
+    /// connection should close.
+    fn control(&mut self, req: &Request) -> bool {
+        let shared = self.shared;
+        match req.cmd.as_str() {
+            "ping" => {
+                let resp = Response::ok(shared.store.current_version());
+                self.respond(&resp)
+            }
+            "version" => {
+                let snap = shared.store.load();
+                let mut resp = Response::ok(snap.version);
+                resp.label = Some(snap.meta.label.clone());
+                self.respond(&resp)
+            }
+            "stats" => {
+                let stats = shared.cache.stats();
+                let mut resp = Response::ok(shared.store.current_version());
+                resp.stats = Some(CacheStatsReply {
+                    lookups: stats.lookups as f64,
+                    hits: stats.hits as f64,
+                    misses: stats.misses as f64,
+                    evictions: stats.evictions as f64,
+                    hit_rate: stats.hit_rate(),
+                    resident: shared.cache.len() as f64,
+                    shards: shared.cache.num_shards() as f64,
+                });
+                resp.server = Some(server_stats(shared));
+                self.respond(&resp)
+            }
+            "scrape" => {
+                shared.publish_live();
+                let mut resp = Response::ok(shared.store.current_version());
+                resp.text = Some(render_exposition(shared));
+                self.respond(&resp)
+            }
+            "reload" => {
+                let resp = reload(req, shared);
+                if !resp.ok {
+                    shared.errors.inc();
+                }
+                self.respond(&resp)
+            }
+            "shutdown" => {
+                let resp = Response::ok(shared.store.current_version());
+                let _ = self.respond(&resp);
+                shared.stop.store(true, Ordering::Release);
+                shared.dispatch.wake_all();
+                false
+            }
+            other => {
+                shared.errors.inc();
+                let resp = Response::err(0, format!("unknown command `{other}`"));
+                self.respond(&resp)
             }
         }
-        "ping" => send(stream, &Response::ok(shared.store.current_version())),
-        "version" => {
-            let snap = shared.store.load();
-            let mut resp = Response::ok(snap.version);
-            resp.label = Some(snap.meta.label.clone());
-            send(stream, &resp)
+    }
+
+    /// Writes one handler-side response frame. Hot shapes render through
+    /// the serde-free writer; anything else falls back to serde — and a
+    /// response that fails even that is **degraded to an error frame**
+    /// (never a panic: the server documents that malformed input and
+    /// internal serialization trouble cannot take it down).
+    fn respond(&mut self, resp: &Response) -> bool {
+        self.scratch.clear();
+        if !fast::write_response(&mut self.scratch, resp) {
+            match serde_json::to_string(resp) {
+                Ok(json) => self.scratch.extend_from_slice(json.as_bytes()),
+                Err(e) => {
+                    self.shared.serialize_errors.inc();
+                    obs::log!(Warn, "serve: response failed to serialize: {e}");
+                    let fallback =
+                        Response::err(0, format!("internal error: response serialization: {e}"));
+                    let wrote = fast::write_response(&mut self.scratch, &fallback);
+                    debug_assert!(wrote, "error shape is always fast-serializable");
+                }
+            }
         }
-        "stats" => {
-            let stats = shared.cache.stats();
-            let mut resp = Response::ok(shared.store.current_version());
-            resp.stats = Some(CacheStatsReply {
-                lookups: stats.lookups as f64,
-                hits: stats.hits as f64,
-                misses: stats.misses as f64,
-                evictions: stats.evictions as f64,
-                hit_rate: stats.hit_rate(),
-                resident: shared.cache.len() as f64,
-                shards: shared.cache.num_shards() as f64,
-            });
-            resp.server = Some(server_stats(shared));
-            send(stream, &resp)
+        write_frame(&mut self.stream, &self.scratch).is_ok()
+    }
+}
+
+/// Decodes one frame into an [`Action`]: the serde-free parser handles
+/// the canonical shape; everything else (escapes, missing fields,
+/// garbage) goes through the serde path so error semantics — including
+/// exact error text — match the previous implementation.
+fn classify(frame: &[u8]) -> Action {
+    let req = match fast::parse_request(frame) {
+        Some(req) => req,
+        None => {
+            let text = match std::str::from_utf8(frame) {
+                Ok(text) => text,
+                Err(e) => {
+                    return Action::Reply(Box::new(Response::err(0, format!("bad request: {e}"))))
+                }
+            };
+            match serde_json::from_str::<Request>(text) {
+                Ok(req) => req,
+                Err(e) => {
+                    return Action::Reply(Box::new(Response::err(0, format!("bad request: {e}"))))
+                }
+            }
         }
-        "scrape" => {
-            shared.publish_live();
-            let mut resp = Response::ok(shared.store.current_version());
-            resp.text = Some(render_exposition(shared));
-            send(stream, &resp)
-        }
-        "reload" => send_counted(stream, &reload(&req, shared)),
-        "shutdown" => {
-            let _ = send(stream, &Response::ok(shared.store.current_version()));
-            shared.stop.store(true, Ordering::Release);
-            shared.queue.ready.notify_all();
-            false
-        }
-        other => send_counted(
-            stream,
-            &Response::err(0, format!("unknown command `{other}`")),
-        ),
+    };
+    match req.cmd.as_str() {
+        "predict" | "select" => match validate(&req) {
+            Ok(()) => Action::Predict(req),
+            Err(reason) => Action::Reply(Box::new(Response::err(0, reason))),
+        },
+        _ => Action::Control(req),
     }
 }
 
@@ -668,6 +868,9 @@ fn reload(req: &Request, shared: &Arc<Shared>) -> Response {
         Info,
         "serve: reloaded models from {path} as version {version}"
     );
+    // A publish invalidates every worker's per-snapshot fragment cache;
+    // wake parked workers so an idle server rebinds promptly too.
+    shared.dispatch.wake_all();
     Response::ok(version)
 }
 
@@ -693,16 +896,50 @@ fn reference_from(req: &Request, max_core_mhz: f64) -> MetricSample {
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>, max_batch: usize) {
+/// One worker's cached serialized profile: the numeric response fragment
+/// plus the vectors `select` needs. Both are pure functions of the
+/// quantized cache key and the exact exec-time bits (the workload string
+/// only names the profile — it never enters the math), so the entry is
+/// shared across workloads that quantize alike.
+struct Fragment {
+    profile: PredictedProfile,
+    tail: Vec<u8>,
+}
+
+/// Interned trace/metric handles the worker hot loop records through.
+struct WorkerStats {
+    requests: obs::Counter,
+    batches: obs::Counter,
+    latency: obs::Histogram,
+    predict_latency: obs::Histogram,
+    batch_len: obs::Histogram,
+    trace_request: u32,
+    trace_predict: u32,
+    trace_flow: u32,
+    trace_workload: u32,
+    trace_version: u32,
+    trace_hit: u32,
+}
+
+fn worker_loop(shared: &Arc<Shared>, worker: usize, max_batch: usize) {
     let reg = obs::global();
-    let requests = reg.counter("serve.requests");
-    let batches = reg.counter("serve.batches");
-    let latency = reg.histogram("serve.request_ns");
-    let batch_len = reg.histogram("serve.batch_len");
-    let trace_request = obs::trace::intern("serve.request");
-    let trace_flow = obs::trace::intern("serve.req");
-    let trace_workload = obs::trace::intern("workload");
-    let trace_version = obs::trace::intern("version");
+    let stats = WorkerStats {
+        requests: reg.counter("serve.requests"),
+        batches: reg.counter("serve.batches"),
+        latency: reg.histogram("serve.request_ns"),
+        predict_latency: reg.histogram("predict.request_ns"),
+        batch_len: reg.histogram("serve.batch_len"),
+        trace_request: obs::trace::intern("serve.request"),
+        trace_predict: obs::trace::intern("predict.request"),
+        trace_flow: obs::trace::intern("serve.req"),
+        trace_workload: obs::trace::intern("workload"),
+        trace_version: obs::trace::intern("version"),
+        trace_hit: obs::trace::intern("hit"),
+    };
+    let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
+    let mut scratch: Vec<u8> = Vec::with_capacity(8 * 1024);
+    let mut miss_refs: Vec<MetricSample> = Vec::new();
+    let mut miss_idx: Vec<usize> = Vec::new();
     'rebind: loop {
         // Bind a predictor to the current snapshot; the Arc keeps it
         // alive (and bitwise stable) even if a publish lands mid-batch.
@@ -711,61 +948,192 @@ fn worker_loop(shared: &Arc<Shared>, max_batch: usize) {
         // (f64 mode is bitwise-identical to the training-path forward).
         let predictor = Predictor::with_engines(&snap.models, &snap.engines, snap.spec.clone());
         let freqs = DvfsGrid::for_spec(&snap.spec).used();
+        // The fixed response prefix for this snapshot: everything up to
+        // the profile's workload string, version already rendered.
+        let mut prefix: Vec<u8> = Vec::new();
+        prefix.extend_from_slice(fast::RESPONSE_OK_HEAD);
+        fast::write_f64(&mut prefix, snap.version as f64);
+        prefix.extend_from_slice(fast::RESPONSE_PROFILE_HEAD);
+        // Serialized-fragment cache, valid exactly as long as this
+        // binding: a publish changes the models (and the version in the
+        // prefix), so rebinding drops it wholesale.
+        let mut fragments: HashMap<(CacheKey, u64), Fragment> = HashMap::new();
         loop {
-            let batch = shared.queue.pop_batch(max_batch);
+            shared
+                .dispatch
+                .pop_batch_into(worker, max_batch, POLL, &mut batch);
             if batch.is_empty() {
-                if shared.stop.load(Ordering::Acquire) && shared.queue.is_empty() {
+                if shared.stop.load(Ordering::Acquire) && shared.dispatch.is_empty() {
                     return;
                 }
-                if shared.store.current_version() != snap.version {
+                if shared.store.changed_since(snap.version) {
                     continue 'rebind;
                 }
                 continue;
             }
-            batches.inc();
-            batch_len.record(batch.len() as u64);
-            let refs: Vec<MetricSample> = batch
-                .iter()
-                .map(|job| reference_from(&job.req, snap.spec.max_core_mhz))
-                .collect();
-            let profiles = predictor.predict_batch_cached(&shared.cache, &refs, &freqs);
-            for (job, profile) in batch.into_iter().zip(profiles) {
-                let mut resp = Response::ok(snap.version);
-                if job.req.cmd == "select" {
-                    let objective = parse_objective(job.req.objective.as_deref().unwrap_or(""))
-                        .expect("validated at dispatch");
-                    resp.selection = Some(profile.select(objective, job.req.threshold));
+            stats.batches.inc();
+            stats.batch_len.record(batch.len() as u64);
+            // Pass 1: answer fragment-cache hits immediately; stage the
+            // misses for one coalesced predict_batch_cached call.
+            miss_refs.clear();
+            miss_idx.clear();
+            let mut front_hits = 0u64;
+            for (i, job) in batch.iter().enumerate() {
+                let key = fragment_key(&shared.cache, &snap.spec, &job.req, &freqs);
+                if let Some(fragment) = fragments.get(&key) {
+                    front_hits += 1;
+                    respond_job(
+                        &stats,
+                        job,
+                        &prefix,
+                        fragment,
+                        snap.version,
+                        true,
+                        &mut scratch,
+                    );
+                } else {
+                    miss_refs.push(reference_from(&job.req, snap.spec.max_core_mhz));
+                    miss_idx.push(i);
                 }
-                resp.profile = Some(profile);
-                requests.inc();
-                latency.record_duration(job.t0.elapsed());
-                if obs::trace::enabled() {
-                    let workload = job.req.workload.as_deref().unwrap_or("?");
-                    // Flow end inside the request span (emitted just
-                    // before the span closes) — the arrow head lands on
-                    // the worker slice.
-                    obs::trace::flow_end(trace_flow, job.req_id);
-                    obs::trace::complete(
-                        trace_request,
-                        job.t0_ns,
-                        &[
-                            (
-                                trace_workload,
-                                obs::trace::ArgValue::Str(obs::trace::intern(workload)),
-                            ),
-                            (trace_version, obs::trace::ArgValue::U64(snap.version)),
-                        ],
+            }
+            if front_hits > 0 {
+                shared.cache.record_front_hits(front_hits);
+            }
+            if !miss_refs.is_empty() {
+                let profiles = predictor.predict_batch_cached(&shared.cache, &miss_refs, &freqs);
+                for (&i, profile) in miss_idx.iter().zip(profiles) {
+                    let job = &batch[i];
+                    let key = fragment_key(&shared.cache, &snap.spec, &job.req, &freqs);
+                    let mut tail = Vec::new();
+                    fast::write_profile_tail(&mut tail, &profile);
+                    // Epoch reset at capacity: cheaper than LRU chains
+                    // for a cache this small, and misses just recompute.
+                    if fragments.len() >= FRAGMENT_CACHE_MAX {
+                        fragments.clear();
+                    }
+                    let fragment = fragments.entry(key).or_insert(Fragment { profile, tail });
+                    respond_job(
+                        &stats,
+                        job,
+                        &prefix,
+                        fragment,
+                        snap.version,
+                        false,
+                        &mut scratch,
                     );
                 }
-                // A dropped receiver (handler gone) is fine; the work
-                // still warmed the cache.
-                let _ = job.reply.send(resp);
             }
-            if shared.store.current_version() != snap.version {
+            batch.clear();
+            if shared.store.changed_since(snap.version) {
                 continue 'rebind;
             }
         }
     }
+}
+
+/// The fragment-cache key: the L2 cache key (quantized activities +
+/// device/grid fingerprint) extended with the exact exec-time bits that
+/// anchor absolute times. Everything in a predict/select response except
+/// the workload name is a pure function of this pair and the snapshot.
+fn fragment_key(
+    cache: &ShardedProfileCache,
+    spec: &gpu_model::DeviceSpec,
+    req: &Request,
+    freqs: &[f64],
+) -> (CacheKey, u64) {
+    (
+        cache.key(
+            spec,
+            req.fp_active.unwrap_or(0.0),
+            req.dram_active.unwrap_or(0.0),
+            freqs,
+        ),
+        req.exec_time.unwrap_or(0.0).to_bits(),
+    )
+}
+
+/// Composes one job's response from the cached fragment and fills the
+/// connection's reply slot. Byte-identical to serde-serializing the
+/// equivalent [`Response`] (pinned by protocol tests); `select` re-runs
+/// the objective on the cached vectors, which is deterministic in its
+/// inputs, so hits and misses answer bitwise alike.
+fn respond_job(
+    stats: &WorkerStats,
+    job: &Job,
+    prefix: &[u8],
+    fragment: &Fragment,
+    version: u64,
+    hit: bool,
+    scratch: &mut Vec<u8>,
+) {
+    let predict_t0 = Instant::now();
+    let predict_t0_ns = obs::trace::now_ns();
+    let selection = if job.req.cmd == "select" {
+        let objective = parse_objective(job.req.objective.as_deref().unwrap_or(""))
+            .expect("validated at dispatch");
+        Some(select_optimal(
+            &fragment.profile.frequencies,
+            &fragment.profile.energy_j,
+            &fragment.profile.time_s,
+            objective,
+            job.req.threshold,
+        ))
+    } else {
+        None
+    };
+    scratch.clear();
+    scratch.extend_from_slice(prefix);
+    fast::write_json_str(scratch, job.req.workload.as_deref().unwrap_or(""));
+    scratch.extend_from_slice(&fragment.tail);
+    scratch.extend_from_slice(fast::RESPONSE_SELECTION_HEAD);
+    match &selection {
+        Some(s) => fast::write_selection(scratch, s),
+        None => scratch.extend_from_slice(b"null"),
+    }
+    scratch.extend_from_slice(fast::RESPONSE_TAIL);
+    let workload = job.req.workload.as_deref().unwrap_or("?");
+    // Fragment hits answer without entering the predictor, so mirror the
+    // predictor's own per-request surface here (latency histogram +
+    // `predict.request` span with `hit=true`): predict accounting stays
+    // 1:1 with requests no matter which cache layer answered. Misses
+    // already recorded theirs inside `predict_batch_cached`.
+    if hit {
+        stats.predict_latency.record_duration(predict_t0.elapsed());
+        if obs::trace::enabled() {
+            obs::trace::complete(
+                stats.trace_predict,
+                predict_t0_ns,
+                &[
+                    (
+                        stats.trace_workload,
+                        obs::trace::ArgValue::Str(obs::trace::intern(workload)),
+                    ),
+                    (stats.trace_hit, obs::trace::ArgValue::Bool(true)),
+                ],
+            );
+        }
+    }
+    stats.requests.inc();
+    stats.latency.record_duration(job.t0.elapsed());
+    if obs::trace::enabled() {
+        // Flow end inside the request span (emitted just before the
+        // span closes) — the arrow head lands on the worker slice.
+        obs::trace::flow_end(stats.trace_flow, job.req_id);
+        obs::trace::complete(
+            stats.trace_request,
+            job.t0_ns,
+            &[
+                (
+                    stats.trace_workload,
+                    obs::trace::ArgValue::Str(obs::trace::intern(workload)),
+                ),
+                (stats.trace_version, obs::trace::ArgValue::U64(version)),
+            ],
+        );
+    }
+    // A closed generation (handler timed out / moved on) is fine; the
+    // work still warmed the caches.
+    let _ = job.reply.fill(job.generation, job.index, scratch);
 }
 
 /// A blocking protocol client (loadgen, tests, CLI helpers).
@@ -799,9 +1167,15 @@ impl Client {
         write_frame(&mut self.stream, payload)
     }
 
+    /// Sends several payloads as one pipelined burst: every frame in a
+    /// single vectored write (the server answers them in order).
+    pub fn send_frames(&mut self, payloads: &[&[u8]]) -> io::Result<()> {
+        write_frames_vectored(&mut self.stream, payloads)
+    }
+
     /// Reads one response frame (pairs with [`Client::send_raw`]).
     pub fn read_response(&mut self) -> Result<Response, FrameError> {
-        let frame = self.reader.read_frame(&mut self.stream, self.max_frame)?;
+        let frame = self.read_frame_raw()?;
         let text = std::str::from_utf8(&frame)
             .map_err(|e| FrameError::Io(io::Error::new(io::ErrorKind::InvalidData, e)))?;
         serde_json::from_str(text).map_err(|e| {
@@ -810,6 +1184,12 @@ impl Client {
                 format!("bad response: {e}"),
             ))
         })
+    }
+
+    /// Reads one raw response frame without parsing it (the load
+    /// generator scans these bytes instead of building a value tree).
+    pub fn read_frame_raw(&mut self) -> Result<Vec<u8>, FrameError> {
+        self.reader.read_frame(&mut self.stream, self.max_frame)
     }
 
     /// The underlying stream (tests poke at it to truncate frames).

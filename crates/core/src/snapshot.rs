@@ -261,6 +261,14 @@ impl ModelStore {
     pub fn current_version(&self) -> u64 {
         self.generation.load(Ordering::Acquire)
     }
+
+    /// Whether a publish has landed since `version` was current: the
+    /// serve workers call this once per batch to decide when to rebind
+    /// their predictor (and drop their per-snapshot serialized-reply
+    /// cache) — one atomic load, no slot lock.
+    pub fn changed_since(&self, version: u64) -> bool {
+        self.current_version() != version
+    }
 }
 
 #[cfg(test)]

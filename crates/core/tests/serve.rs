@@ -596,6 +596,301 @@ fn impossible_latency_slo_fires_exactly_once_under_sustained_load() {
 }
 
 #[test]
+fn pipelined_burst_gets_in_order_bitwise_identical_responses() {
+    let (server, _store) = start_server();
+    let addr = server.local_addr().to_string();
+
+    // Reference answers, one call at a time on a separate connection.
+    let mut oracle = Client::connect(&addr).unwrap();
+    let keys: Vec<(String, f64, f64, f64)> = (0..12)
+        .map(|k| {
+            (
+                format!("pipe-{k}"),
+                0.15 + 0.05 * k as f64 % 0.9,
+                0.2 + 0.04 * k as f64 % 0.9,
+                1.0 + k as f64,
+            )
+        })
+        .collect();
+    let mut expected = Vec::new();
+    for (wl, fp, dram, exec) in &keys {
+        let resp = oracle
+            .call(&Request::predict(wl, *fp, *dram, *exec))
+            .unwrap();
+        assert!(resp.ok);
+        expected.push(resp.profile.unwrap());
+    }
+
+    // The same requests as one pipelined burst: a single vectored write
+    // carrying every frame, then the replies read back in order. A mixed
+    // burst (a control frame in the middle) must also stay ordered.
+    let mut client = Client::connect(&addr).unwrap();
+    let mut payloads: Vec<Vec<u8>> = keys
+        .iter()
+        .map(|(wl, fp, dram, exec)| {
+            serde_json::to_string(&Request::predict(wl, *fp, *dram, *exec))
+                .unwrap()
+                .into_bytes()
+        })
+        .collect();
+    payloads.insert(
+        6,
+        serde_json::to_string(&Request::ping())
+            .unwrap()
+            .into_bytes(),
+    );
+    let frames: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+    client.send_frames(&frames).unwrap();
+    for (i, _) in payloads.iter().enumerate() {
+        let resp = client.read_response().unwrap();
+        assert!(resp.ok, "pipelined frame {i} failed: {:?}", resp.error);
+        if i == 6 {
+            assert!(
+                resp.profile.is_none(),
+                "ping reply must not carry a profile"
+            );
+            continue;
+        }
+        let key = if i < 6 { i } else { i - 1 };
+        let profile = resp.profile.expect("predict reply carries a profile");
+        assert_eq!(
+            profile.workload, keys[key].0,
+            "reply {i} answered the wrong request (ordering violated)"
+        );
+        for (a, b) in profile.power_w.iter().zip(&expected[key].power_w) {
+            assert_eq!(a.to_bits(), b.to_bits(), "pipelined power differs");
+        }
+        for (a, b) in profile.time_s.iter().zip(&expected[key].time_s) {
+            assert_eq!(a.to_bits(), b.to_bits(), "pipelined time differs");
+        }
+        for (a, b) in profile.energy_j.iter().zip(&expected[key].energy_j) {
+            assert_eq!(a.to_bits(), b.to_bits(), "pipelined energy differs");
+        }
+    }
+
+    stop(server, &addr);
+}
+
+#[test]
+fn mixed_valid_and_malformed_traffic_leaves_the_server_consistent() {
+    let (server, _store) = start_server();
+    let addr = server.local_addr().to_string();
+
+    // Several connections at once, each interleaving pipelined valid
+    // bursts with protocol abuse: garbage JSON, wrong shapes, a
+    // truncated frame, an oversized announcement. Whatever a connection
+    // does, the dispatcher shards must come out drained and the cache
+    // counters consistent.
+    let handles: Vec<_> = (0..6)
+        .map(|conn: usize| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                match conn % 3 {
+                    // Valid pipelined traffic, with a garbage frame in
+                    // the middle of every burst.
+                    0 => {
+                        for round in 0..10 {
+                            let a = serde_json::to_string(&Request::predict(
+                                &format!("fz-{conn}-{round}"),
+                                0.3,
+                                0.4,
+                                2.0,
+                            ))
+                            .unwrap();
+                            let b = serde_json::to_string(&Request::select(
+                                &format!("fz-{conn}-{round}"),
+                                0.3,
+                                0.4,
+                                2.0,
+                                "edp",
+                                None,
+                            ))
+                            .unwrap();
+                            client
+                                .send_frames(&[a.as_bytes(), b"{\"nope\":1}", b.as_bytes()])
+                                .unwrap();
+                            assert!(client.read_response().unwrap().ok);
+                            assert!(!client.read_response().unwrap().ok);
+                            assert!(client.read_response().unwrap().ok);
+                        }
+                    }
+                    // Garbage and semantic errors only.
+                    1 => {
+                        for _ in 0..10 {
+                            client.send_raw(b"not json at all").unwrap();
+                            assert!(!client.read_response().unwrap().ok);
+                            let resp = client
+                                .call(&Request::predict("fz-bad", 7.0, 0.4, 2.0))
+                                .unwrap();
+                            assert!(!resp.ok, "out-of-range activity must be rejected");
+                        }
+                    }
+                    // A few valid requests, then die mid-frame.
+                    _ => {
+                        for k in 0..5 {
+                            assert!(
+                                client
+                                    .call(&Request::predict(
+                                        &format!("fz-trunc-{conn}-{k}"),
+                                        0.5,
+                                        0.2,
+                                        1.5
+                                    ))
+                                    .unwrap()
+                                    .ok
+                            );
+                        }
+                        client.stream_mut().write_all(&64u32.to_be_bytes()).unwrap();
+                        client.stream_mut().write_all(b"only-par").unwrap();
+                        client
+                            .stream_mut()
+                            .shutdown(std::net::Shutdown::Write)
+                            .unwrap();
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // One more connection abuses the length prefix itself.
+    {
+        let mut client = Client::connect(&addr).unwrap();
+        client
+            .stream_mut()
+            .write_all(&(64u32 << 20).to_be_bytes())
+            .unwrap();
+        assert!(!client.read_response().unwrap().ok);
+    }
+
+    // No stuck jobs: a fresh request answers promptly (well inside the
+    // reply timeout), meaning no shard holds an orphaned burst.
+    let t0 = std::time::Instant::now();
+    let mut fresh = Client::connect(&addr).unwrap();
+    assert!(
+        fresh
+            .call(&Request::predict("fz-after", 0.6, 0.6, 2.0))
+            .unwrap()
+            .ok
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "post-fuzz request stalled: a shard kept a stuck job"
+    );
+
+    // Cache accounting survived the abuse: every lookup is classified.
+    let stats = server.cache_stats();
+    assert_eq!(
+        stats.lookups,
+        stats.hits + stats.misses,
+        "cache counters drifted under mixed traffic"
+    );
+    assert!(stats.lookups > 0);
+
+    stop(server, &addr);
+}
+
+#[test]
+fn hot_swap_under_pipelined_load_keeps_responses_bitwise_stable() {
+    let (server, store) = start_server();
+    let addr = server.local_addr().to_string();
+
+    // Baseline profile at version 1.
+    let mut probe = Client::connect(&addr).unwrap();
+    let before = probe
+        .call(&Request::predict("pswap", 0.52, 0.28, 4.0))
+        .unwrap();
+    assert_eq!(before.version, 1.0);
+    let baseline = before.profile.unwrap();
+
+    // Pipelined hammers: bursts of 4 identical predicts per vectored
+    // write, replies checked for order, bitwise stability, and version
+    // monotonicity while identical-weight snapshots publish underneath.
+    let stop_flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let observed_max = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let hammers: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            let stop_flag = Arc::clone(&stop_flag);
+            let observed_max = Arc::clone(&observed_max);
+            let baseline = baseline.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let frame = serde_json::to_string(&Request::predict("pswap", 0.52, 0.28, 4.0))
+                    .unwrap()
+                    .into_bytes();
+                let mut last = 0u64;
+                let mut served = 0u64;
+                while !stop_flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    client
+                        .send_frames(&[&frame, &frame, &frame, &frame])
+                        .unwrap();
+                    for _ in 0..4 {
+                        let resp = client.read_response().unwrap();
+                        assert!(resp.ok, "pipelined request failed during swap");
+                        let version = resp.version as u64;
+                        assert!(version >= last, "served version went backwards");
+                        last = version;
+                        let profile = resp.profile.expect("predict reply has a profile");
+                        assert_eq!(profile.workload, "pswap");
+                        for (a, b) in profile.power_w.iter().zip(&baseline.power_w) {
+                            assert_eq!(
+                                a.to_bits(),
+                                b.to_bits(),
+                                "power drifted across identical-weight swap"
+                            );
+                        }
+                        for (a, b) in profile.time_s.iter().zip(&baseline.time_s) {
+                            assert_eq!(
+                                a.to_bits(),
+                                b.to_bits(),
+                                "time drifted across identical-weight swap"
+                            );
+                        }
+                        served += 1;
+                    }
+                    observed_max.fetch_max(last, std::sync::atomic::Ordering::Relaxed);
+                }
+                served
+            })
+        })
+        .collect();
+
+    let snap = store.load();
+    for _ in 0..3 {
+        store.publish(ModelSnapshot::new(
+            snap.models.clone(),
+            snap.spec.clone(),
+            SnapshotMeta {
+                label: "pswap".into(),
+                dataset_rows: 0,
+                train_seconds: 0.0,
+            },
+        ));
+        std::thread::sleep(std::time::Duration::from_millis(120));
+    }
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while observed_max.load(std::sync::atomic::Ordering::Relaxed) < 4
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    stop_flag.store(true, std::sync::atomic::Ordering::Relaxed);
+    let total: u64 = hammers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total > 0);
+    assert!(
+        observed_max.load(std::sync::atomic::Ordering::Relaxed) >= 4,
+        "hot swap was never observed by pipelined traffic"
+    );
+
+    stop(server, &addr);
+}
+
+#[test]
 fn predict_emits_a_matching_flow_pair() {
     obs::trace::set_enabled(true);
     let (server, _store) = start_server();

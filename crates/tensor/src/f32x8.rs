@@ -484,7 +484,13 @@ mod tests {
         let t = bf16_truncate(v);
         assert_eq!(t, 1.0);
         // Relative error bounded by 2^-7 (truncation) across magnitudes.
-        for &v in &[3.14159f32, -0.001234, 6.02e23, -2.7e-12, 1.9999999] {
+        for &v in &[
+            std::f32::consts::PI,
+            -0.001234,
+            6.02e23,
+            -2.7e-12,
+            1.9999999,
+        ] {
             let t = bf16_truncate(v);
             assert!(((t - v) / v).abs() <= 2.0f32.powi(-7));
         }

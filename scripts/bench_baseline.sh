@@ -46,9 +46,11 @@ if [[ ! -s "$jsonl" ]]; then
 fi
 
 # End-to-end serving throughput: a real `dvfs serve` daemon on an
-# ephemeral port, hammered closed-loop by `dvfs loadgen`. The full run
-# pushes 1M requests so the p99 comes from a well-populated histogram;
-# the smoke run only proves the plumbing.
+# ephemeral port, hammered closed-loop by `dvfs loadgen` with pipelined
+# connections (depth 4 — the wire shape the server's burst batching is
+# built for; the loadgen aborts if replies ever come back out of
+# order). The full run pushes 1M requests so the p99 comes from a
+# well-populated histogram; the smoke run only proves the plumbing.
 if [[ "$smoke" == "1" ]]; then
     serve_reqs=2000
 else
@@ -73,7 +75,7 @@ if [[ -z "$addr" ]]; then
     exit 1
 fi
 report="$(target/release/dvfs loadgen --addr "$addr" \
-    --requests "$serve_reqs" --connections 8 --shutdown --json)"
+    --requests "$serve_reqs" --connections 8 --pipeline 4 --shutdown --json)"
 wait "$serve_pid"
 serve_qps="$(printf '%s' "$report" | sed -n 's/.*"qps":\([0-9.eE+-]*\).*/\1/p')"
 serve_p99="$(printf '%s' "$report" | sed -n 's/.*"p99_us":\([0-9.eE+-]*\).*/\1/p')"
@@ -116,7 +118,7 @@ fi
 ) &
 scrape_pid=$!
 report_t="$(target/release/dvfs loadgen --addr "$addr" \
-    --requests "$serve_reqs" --connections 8 --shutdown --json)"
+    --requests "$serve_reqs" --connections 8 --pipeline 4 --shutdown --json)"
 wait "$serve_pid"
 wait "$scrape_pid" || true
 serve_p99_t="$(printf '%s' "$report_t" | sed -n 's/.*"p99_us":\([0-9.eE+-]*\).*/\1/p')"

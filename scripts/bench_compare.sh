@@ -56,7 +56,12 @@ END {
             status = 1
             continue
         }
-        ratio = cur[name] / base[name]
+        # serve_qps is a throughput (higher is better); everything else
+        # is a duration where higher is worse.
+        if (name == "serve_qps")
+            ratio = base[name] / cur[name]
+        else
+            ratio = cur[name] / base[name]
         verdict = (ratio > tol) ? "FAIL" : "ok"
         if (ratio > tol) status = 1
         printf "%-8s %-45s %12.1f -> %12.1f ns  (%.2fx)\n", \
@@ -67,5 +72,40 @@ END {
     exit status
 }
 ' "$baseline" "$fresh"
+
+# Absolute serving gates on top of the relative one: the committed
+# baseline must keep clearing the PR-9 targets (3x the pre-sharded
+# 11 127 req/s, p99 under 600 µs). SERVE_BUDGET_SCALE relaxes both on
+# slow hosts (floor divided, ceiling multiplied), the same escape hatch
+# TRACE_BUDGET_SCALE provides for the trace-overhead guard.
+serve_scale="${SERVE_BUDGET_SCALE:-1}"
+awk -v scale="$serve_scale" '
+/"serve_qps":/    { qps = $0; sub(/.*: */, "", qps); sub(/[,}].*/, "", qps) }
+/"serve_p99_us":/ { p99 = $0; sub(/.*: */, "", p99); sub(/[,}].*/, "", p99) }
+END {
+    floor = 33382 / scale
+    ceiling = 600 * scale
+    if (qps == "" || p99 == "") {
+        print "error: fresh baseline is missing serve_qps/serve_p99_us" > "/dev/stderr"
+        exit 1
+    }
+    status = 0
+    if (qps + 0 < floor) {
+        printf "FAIL     serve_qps %.0f req/s below floor %.0f " \
+               "(set SERVE_BUDGET_SCALE to relax)\n", qps, floor
+        status = 1
+    } else {
+        printf "ok       serve_qps %.0f req/s (floor %.0f)\n", qps, floor
+    }
+    if (p99 + 0 > ceiling) {
+        printf "FAIL     serve_p99_us %.0f us above ceiling %.0f " \
+               "(set SERVE_BUDGET_SCALE to relax)\n", p99, ceiling
+        status = 1
+    } else {
+        printf "ok       serve_p99_us %.0f us (ceiling %.0f)\n", p99, ceiling
+    }
+    exit status
+}
+' "$fresh"
 
 echo "==> bench regression gate passed"

@@ -66,6 +66,28 @@ cargo run --release --offline -p obs --example validate_metrics -- \
 cargo run --release --offline -p obs --example validate_trace -- \
     "$tmp/serve_trace.json" --require serve.request
 
+echo "==> dvfs serve pipelined smoke (depth-4 bursts, in-order replies)"
+# --pipeline 4 sends whole bursts in one vectored write and makes the
+# loadgen abort (non-zero exit) if any reply comes back out of request
+# order, so this smoke asserts the server's pipelining contract
+# end-to-end; the trace must still carry one serve.request per request.
+DVFS_LOG=error target/release/dvfs serve --models "$tmp/models.json" \
+    --trace-out "$tmp/serve_pipe_trace.json" \
+    > "$tmp/serve_pipe.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 100); do
+    addr="$(sed -n 's/^listening on //p' "$tmp/serve_pipe.log" | head -n 1)"
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+test -n "$addr"
+DVFS_LOG=error target/release/dvfs loadgen --addr "$addr" \
+    --requests 400 --connections 4 --pipeline 4 --shutdown >/dev/null
+wait "$serve_pid"
+cargo run --release --offline -p obs --example validate_trace -- \
+    "$tmp/serve_pipe_trace.json" --require serve.request
+
 echo "==> dvfs serve observability smoke (scrape mid-load, burn alert, top, flows)"
 # An impossible latency objective (p99 <= 1 ns) over tight 1 s / 2 s
 # burn windows, sampled every 200 ms: any sustained traffic must trip

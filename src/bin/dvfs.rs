@@ -18,7 +18,8 @@
 //!               [--slo-p99-us US] [--slo-fast-s S] [--slo-slow-s S] [--slo-burn X]
 //! dvfs loadgen  --addr HOST:PORT [--requests N] [--connections C]
 //!               [--mode closed|open] [--rate R] [--keys K] [--zipf S]
-//!               [--select-every N] [--seed S] [--json] [--shutdown]
+//!               [--select-every N] [--seed S] [--pipeline D] [--json]
+//!               [--shutdown]
 //! dvfs top      --addr HOST:PORT [--interval S] [--once] [--json]
 //! dvfs scrape   --addr HOST:PORT [--path /metrics]
 //! dvfs apps
@@ -285,7 +286,8 @@ USAGE:
                 fast/slow windows in seconds, burn threshold)
   dvfs loadgen  --addr HOST:PORT [--requests N] [--connections C]
                 [--mode closed|open] [--rate R] [--keys K] [--zipf S]
-                [--select-every N] [--seed S] [--json] [--shutdown]
+                [--select-every N] [--seed S] [--pipeline D] [--json]
+                [--shutdown]
                 drive a running server with zipf-skewed keys and report
                 throughput + rtt percentiles; error replies are counted
                 (and their rtt recorded) separately (--shutdown stops
@@ -1030,6 +1032,7 @@ fn cmd_loadgen(opts: &HashMap<String, String>) -> Result<(), CliError> {
         pacing,
         keys: usize_flag(opts, "keys", 64, 1)?,
         zipf_s,
+        pipeline: usize_flag(opts, "pipeline", 1, 1)?,
         select_every: match opts.get("select-every") {
             None => 8,
             Some(s) => s.parse().map_err(|e| format!("--select-every: {e}"))?,
