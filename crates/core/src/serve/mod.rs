@@ -29,7 +29,11 @@
 //! * [`telemetry`] — the HTTP side-port serving Prometheus text
 //!   exposition (`/metrics`) and liveness (`/healthz`), plus the
 //!   one-shot [`telemetry::http_get`] client behind `dvfs scrape` and
-//!   `dvfs top`.
+//!   `dvfs top`;
+//! * [`journal`] — the per-decision audit payload written through
+//!   [`obs::journal`] when `--journal-dir` is set, the energy-savings
+//!   ledger it feeds, and the deterministic [`journal::replay`] engine
+//!   behind `dvfs replay`.
 //!
 //! The observability plane rides on the same process: a background
 //! sampler feeds an [`obs::TimeSeries`] of registry snapshots, an
@@ -39,6 +43,7 @@
 
 pub mod dispatch;
 pub mod framing;
+pub mod journal;
 pub mod loadgen;
 pub mod protocol;
 pub mod reply;
@@ -47,6 +52,7 @@ pub mod telemetry;
 
 pub use dispatch::Dispatcher;
 pub use framing::{write_frame, write_frames_vectored, FrameError, FrameReader, DEFAULT_MAX_FRAME};
+pub use journal::{DecisionRecord, EnergyLedger, ReplayReport};
 pub use loadgen::{LoadgenConfig, LoadgenReport, Pacing, ZipfSampler};
 pub use protocol::{CacheStatsReply, QualityReply, Request, Response, ServerStatsReply, SloReply};
 pub use reply::ReplyTable;

@@ -180,6 +180,22 @@ pub struct QualityReply {
     pub above_band: bool,
 }
 
+/// Energy-accounting state on the wire (`stats` reply): the ledger's
+/// running totals plus the journal's durability counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReply {
+    /// Predicted joules saved vs the max-clock baseline since start.
+    pub predicted_joules_saved: f64,
+    /// `select` decisions booked since start.
+    pub decisions: f64,
+    /// Predicted watts saved over the rolling window.
+    pub window_watts_saved: f64,
+    /// Decision records made durable since start (0 with no journal).
+    pub journal_appended: f64,
+    /// Decision records dropped by full rings since start.
+    pub journal_dropped: f64,
+}
+
 /// Server-level state on the wire (`stats` reply): identity, uptime,
 /// and rolling-window rates from the observability plane.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -209,6 +225,8 @@ pub struct ServerStatsReply {
     /// Per-model drift-monitor state (empty unless the server observes
     /// ground truth).
     pub quality: Vec<QualityReply>,
+    /// Energy-savings accounting and journal durability counters.
+    pub energy: EnergyReply,
 }
 
 /// One response frame.
@@ -920,6 +938,13 @@ mod tests {
                 alerts: 0.0,
                 above_band: false,
             }],
+            energy: EnergyReply {
+                predicted_joules_saved: 42.5,
+                decisions: 17.0,
+                window_watts_saved: 1.5,
+                journal_appended: 17.0,
+                journal_dropped: 0.0,
+            },
         });
         let json = serde_json::to_string(&resp).unwrap();
         let value: serde_json::Value = serde_json::from_str(&json).unwrap();
@@ -935,6 +960,12 @@ mod tests {
             "server",
             "server.build_git",
             "server.build_version",
+            "server.energy",
+            "server.energy.decisions",
+            "server.energy.journal_appended",
+            "server.energy.journal_dropped",
+            "server.energy.predicted_joules_saved",
+            "server.energy.window_watts_saved",
             "server.hit_rate",
             "server.p50_us",
             "server.p99_us",

@@ -115,6 +115,10 @@ pub struct ServeConfig {
     /// snapshot accuracy gate, so the *active* precision (exposed in
     /// `stats` and scrapes) may fall back to f64.
     pub precision: Precision,
+    /// Decision-journal configuration (`dvfs serve --journal-dir`).
+    /// `None` disables the journal; the energy ledger and its gauges
+    /// stay live either way.
+    pub journal: Option<obs::journal::JournalConfig>,
 }
 
 impl Default for ServeConfig {
@@ -132,6 +136,7 @@ impl Default for ServeConfig {
             stats_window: Duration::from_secs(10),
             slos: default_slos(),
             precision: Precision::F64,
+            journal: None,
         }
     }
 }
@@ -188,6 +193,9 @@ struct Shared {
     /// The precision `reload` requests for fresh snapshots (the gate may
     /// still veto it down to f64 per snapshot).
     precision: Precision,
+    /// Predicted-savings accounting; every `select` decision books its
+    /// joules-vs-max-clock here whether or not the journal is enabled.
+    ledger: super::journal::EnergyLedger,
 }
 
 impl Shared {
@@ -200,10 +208,16 @@ impl Shared {
         let reg = obs::global();
         reg.gauge("serve.uptime_s")
             .set(self.started.elapsed().as_secs_f64());
+        reg.gauge("energy.predicted_joules_saved")
+            .set(self.ledger.total_joules());
         if let Some(w) = self.series.window(self.stats_window) {
             reg.gauge("serve.window.qps").set(w.rate("serve.requests"));
             reg.gauge("serve.window.hit_rate")
                 .set(w.ratio("cache.hits", "cache.misses"));
+            // The ledger counter is millijoules; its window rate is
+            // mJ/s, i.e. milliwatts of predicted savings.
+            reg.gauge("serve.window.watts_saved")
+                .set(w.rate("energy.predicted_joules_saved_mj") / 1e3);
             if let Some(d) = w.hist_delta("serve.request_ns") {
                 reg.gauge("serve.window.p50_us")
                     .set(d.percentile(0.50) as f64 / 1_000.0);
@@ -228,6 +242,9 @@ pub struct Server {
     sampler: Option<Sampler>,
     telemetry: Option<JoinHandle<()>>,
     telemetry_addr: Option<SocketAddr>,
+    /// The decision journal's writer thread; stopped (final drain +
+    /// flush) after the workers join so every served decision lands.
+    journal: Option<obs::journal::JournalWriter>,
 }
 
 impl Server {
@@ -252,15 +269,32 @@ impl Server {
             errors: reg.counter("serve.errors"),
             serialize_errors: reg.counter("serve.serialize_errors"),
             precision: config.precision,
+            ledger: super::journal::EnergyLedger::new(),
         });
+        let journal = match config.journal.clone() {
+            Some(journal_config) => {
+                let writer = obs::journal::JournalWriter::open(journal_config)?;
+                obs::log!(
+                    Info,
+                    "serve: journal in {} ({} record(s) recovered)",
+                    writer.dir().display(),
+                    writer.recovered().records
+                );
+                Some(writer)
+            }
+            None => None,
+        };
         let handlers = Arc::new(Mutex::new(Vec::new()));
         let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let max_batch = config.max_batch.max(1);
+                // Each worker gets its own bounded ring so producers
+                // never contend with each other, only with the drain.
+                let producer = journal.as_ref().map(|j| j.producer());
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, i, max_batch))
+                    .spawn(move || worker_loop(&shared, i, max_batch, producer))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -326,6 +360,7 @@ impl Server {
             sampler,
             telemetry,
             telemetry_addr,
+            journal,
         })
     }
 
@@ -374,6 +409,11 @@ impl Server {
         }
         if let Some(telemetry) = self.telemetry.take() {
             let _ = telemetry.join();
+        }
+        // Workers are gone, so the rings are quiescent: one final drain
+        // makes every decision durable before the process can exit.
+        if let Some(journal) = self.journal.take() {
+            journal.stop();
         }
         self.shared.publish_live();
     }
@@ -802,6 +842,16 @@ fn server_stats(shared: &Arc<Shared>) -> ServerStatsReply {
                 above_band: q.above_band,
             })
             .collect(),
+        energy: super::protocol::EnergyReply {
+            predicted_joules_saved: shared.ledger.total_joules(),
+            decisions: shared.ledger.decisions() as f64,
+            window_watts_saved: window
+                .as_ref()
+                .map(|w| w.rate("energy.predicted_joules_saved_mj") / 1e3)
+                .unwrap_or(0.0),
+            journal_appended: obs::global().counter("journal.appended").get() as f64,
+            journal_dropped: obs::global().counter("journal.dropped").get() as f64,
+        },
     }
 }
 
@@ -876,8 +926,10 @@ fn reload(req: &Request, shared: &Arc<Shared>) -> Response {
 
 /// Builds the default-clock reference sample a wire request stands for.
 /// Only the fields the online phase reads are populated (workload,
-/// activities, clock, exec time); the rest are zero.
-fn reference_from(req: &Request, max_core_mhz: f64) -> MetricSample {
+/// activities, clock, exec time); the rest are zero. Shared with
+/// [`super::journal::replay`] so the replayed reference is bit-identical
+/// to the served one.
+pub(crate) fn reference_from(req: &Request, max_core_mhz: f64) -> MetricSample {
     MetricSample {
         workload: req.workload.clone().unwrap_or_default(),
         run: 0,
@@ -904,6 +956,9 @@ fn reference_from(req: &Request, max_core_mhz: f64) -> MetricSample {
 struct Fragment {
     profile: PredictedProfile,
     tail: Vec<u8>,
+    /// FNV-1a digest of the predicted curves, computed once on insert
+    /// so journaled fragment hits don't re-hash the profile.
+    digest: u64,
 }
 
 /// Interned trace/metric handles the worker hot loop records through.
@@ -921,7 +976,23 @@ struct WorkerStats {
     trace_hit: u32,
 }
 
-fn worker_loop(shared: &Arc<Shared>, worker: usize, max_batch: usize) {
+/// Everything [`respond_job`] needs beyond the job itself, bound once
+/// per snapshot rebind (the prefix and version change with the
+/// snapshot; the ledger and journal producer outlive it).
+struct ResponderCtx<'a> {
+    stats: &'a WorkerStats,
+    prefix: &'a [u8],
+    version: u64,
+    ledger: &'a super::journal::EnergyLedger,
+    journal: Option<&'a obs::journal::JournalProducer>,
+}
+
+fn worker_loop(
+    shared: &Arc<Shared>,
+    worker: usize,
+    max_batch: usize,
+    journal: Option<obs::journal::JournalProducer>,
+) {
     let reg = obs::global();
     let stats = WorkerStats {
         requests: reg.counter("serve.requests"),
@@ -938,6 +1009,7 @@ fn worker_loop(shared: &Arc<Shared>, worker: usize, max_batch: usize) {
     };
     let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
     let mut scratch: Vec<u8> = Vec::with_capacity(8 * 1024);
+    let mut jbuf: Vec<u8> = Vec::with_capacity(256);
     let mut miss_refs: Vec<MetricSample> = Vec::new();
     let mut miss_idx: Vec<usize> = Vec::new();
     'rebind: loop {
@@ -958,6 +1030,13 @@ fn worker_loop(shared: &Arc<Shared>, worker: usize, max_batch: usize) {
         // binding: a publish changes the models (and the version in the
         // prefix), so rebinding drops it wholesale.
         let mut fragments: HashMap<(CacheKey, u64), Fragment> = HashMap::new();
+        let ctx = ResponderCtx {
+            stats: &stats,
+            prefix: &prefix,
+            version: snap.version,
+            ledger: &shared.ledger,
+            journal: journal.as_ref(),
+        };
         loop {
             shared
                 .dispatch
@@ -982,15 +1061,7 @@ fn worker_loop(shared: &Arc<Shared>, worker: usize, max_batch: usize) {
                 let key = fragment_key(&shared.cache, &snap.spec, &job.req, &freqs);
                 if let Some(fragment) = fragments.get(&key) {
                     front_hits += 1;
-                    respond_job(
-                        &stats,
-                        job,
-                        &prefix,
-                        fragment,
-                        snap.version,
-                        true,
-                        &mut scratch,
-                    );
+                    respond_job(&ctx, job, fragment, &key, true, &mut scratch, &mut jbuf);
                 } else {
                     miss_refs.push(reference_from(&job.req, snap.spec.max_core_mhz));
                     miss_idx.push(i);
@@ -1006,21 +1077,18 @@ fn worker_loop(shared: &Arc<Shared>, worker: usize, max_batch: usize) {
                     let key = fragment_key(&shared.cache, &snap.spec, &job.req, &freqs);
                     let mut tail = Vec::new();
                     fast::write_profile_tail(&mut tail, &profile);
+                    let digest = super::journal::profile_digest(&profile);
                     // Epoch reset at capacity: cheaper than LRU chains
                     // for a cache this small, and misses just recompute.
                     if fragments.len() >= FRAGMENT_CACHE_MAX {
                         fragments.clear();
                     }
-                    let fragment = fragments.entry(key).or_insert(Fragment { profile, tail });
-                    respond_job(
-                        &stats,
-                        job,
-                        &prefix,
-                        fragment,
-                        snap.version,
-                        false,
-                        &mut scratch,
-                    );
+                    let fragment = fragments.entry(key).or_insert(Fragment {
+                        profile,
+                        tail,
+                        digest,
+                    });
+                    respond_job(&ctx, job, fragment, &key, false, &mut scratch, &mut jbuf);
                 }
             }
             batch.clear();
@@ -1057,15 +1125,23 @@ fn fragment_key(
 /// equivalent [`Response`] (pinned by protocol tests); `select` re-runs
 /// the objective on the cached vectors, which is deterministic in its
 /// inputs, so hits and misses answer bitwise alike.
+///
+/// This is also where the audit trail forks off: every `select` books
+/// its predicted saving into the energy ledger, and with the journal
+/// enabled the full [`super::journal::DecisionRecord`] is encoded into
+/// `jbuf` and handed to this worker's bounded ring — a full ring drops
+/// (`journal.dropped`), it never blocks the reply.
 fn respond_job(
-    stats: &WorkerStats,
+    ctx: &ResponderCtx<'_>,
     job: &Job,
-    prefix: &[u8],
     fragment: &Fragment,
-    version: u64,
+    key: &(CacheKey, u64),
     hit: bool,
     scratch: &mut Vec<u8>,
+    jbuf: &mut Vec<u8>,
 ) {
+    let stats = ctx.stats;
+    let version = ctx.version;
     let predict_t0 = Instant::now();
     let predict_t0_ns = obs::trace::now_ns();
     let selection = if job.req.cmd == "select" {
@@ -1081,8 +1157,46 @@ fn respond_job(
     } else {
         None
     };
+    let profile = &fragment.profile;
+    let max_idx = profile.max_freq_index();
+    if let Some(s) = &selection {
+        ctx.ledger
+            .record(profile.energy_j[max_idx] - profile.energy_j[s.index]);
+    }
+    if let Some(producer) = ctx.journal {
+        let (chosen, decided_idx) = match &selection {
+            Some(s) => (
+                Some(super::journal::ChosenClock {
+                    index: s.index as u32,
+                    frequency_mhz: s.frequency_mhz,
+                }),
+                s.index,
+            ),
+            None => (None, max_idx),
+        };
+        super::journal::DecisionView {
+            version,
+            req_id: job.req_id,
+            select: selection.is_some(),
+            hit,
+            workload: job.req.workload.as_deref().unwrap_or(""),
+            fp_active: job.req.fp_active.unwrap_or(0.0),
+            dram_active: job.req.dram_active.unwrap_or(0.0),
+            exec_time: job.req.exec_time.unwrap_or(0.0),
+            objective: job.req.objective.as_deref(),
+            threshold: job.req.threshold,
+            cache_key: key.0.shard_hash(),
+            profile_digest: fragment.digest,
+            chosen,
+            predicted_time_s: profile.time_s[decided_idx],
+            predicted_energy_j: profile.energy_j[decided_idx],
+            baseline_energy_j: profile.energy_j[max_idx],
+        }
+        .encode(jbuf);
+        producer.append_buf(jbuf);
+    }
     scratch.clear();
-    scratch.extend_from_slice(prefix);
+    scratch.extend_from_slice(ctx.prefix);
     fast::write_json_str(scratch, job.req.workload.as_deref().unwrap_or(""));
     scratch.extend_from_slice(&fragment.tail);
     scratch.extend_from_slice(fast::RESPONSE_SELECTION_HEAD);

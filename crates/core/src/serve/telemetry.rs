@@ -2,13 +2,15 @@
 //! serving Prometheus text exposition so any standard scraper can poll
 //! a live `dvfs serve` without speaking the framed protocol.
 //!
-//! Scope is scrape-shaped on purpose: `GET` only, one request per
-//! connection (`Connection: close`), bounded header size, no keep-alive
-//! and no chunking. Routes:
+//! Scope is scrape-shaped on purpose: `GET`/`HEAD` only, one request
+//! per connection (`Connection: close`), bounded header size, no
+//! keep-alive and no chunking. Routes:
 //!
 //! * `GET /metrics` — the exposition document (see [`obs::prom`]);
 //! * `GET /healthz` — `ok` (liveness for probes);
-//! * anything else — 404.
+//! * `HEAD` on either — same status and `Content-Length`, no body
+//!   (probes that only want liveness skip the exposition payload);
+//! * anything else — 404 (unknown path) or 405 (other methods).
 //!
 //! [`http_get`] is the matching one-shot client used by `dvfs scrape`,
 //! tests, and the check.sh smoke.
@@ -79,14 +81,18 @@ where
     let request_line = head.lines().next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    if method != "GET" {
-        return respond(&mut stream, 405, "text/plain", "method not allowed\n");
+    if method != "GET" && method != "HEAD" {
+        return respond(&mut stream, 405, "text/plain", "method not allowed\n", true);
     }
+    // HEAD gets the exact head a GET would produce (status,
+    // Content-Type, Content-Length for the full body) with the body
+    // itself withheld, per RFC 9110 §9.3.2.
+    let send_body = method == "GET";
     // Strip any query string — scrapers may append one.
     let path = path.split('?').next().unwrap_or(path);
     match body_for(path) {
-        Some((content_type, body)) => respond(&mut stream, 200, &content_type, &body),
-        None => respond(&mut stream, 404, "text/plain", "not found\n"),
+        Some((content_type, body)) => respond(&mut stream, 200, &content_type, &body, send_body),
+        None => respond(&mut stream, 404, "text/plain", "not found\n", send_body),
     }
 }
 
@@ -110,7 +116,13 @@ fn read_head(stream: &mut TcpStream) -> io::Result<String> {
     String::from_utf8(head).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
-fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) -> io::Result<()> {
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    send_body: bool,
+) -> io::Result<()> {
     let reason = match status {
         200 => "OK",
         404 => "Not Found",
@@ -123,7 +135,9 @@ fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) 
         body.len()
     );
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    if send_body {
+        stream.write_all(body.as_bytes())?;
+    }
     stream.flush()
 }
 
@@ -192,6 +206,47 @@ mod tests {
         assert_eq!(status, 200);
         let (status, _) = http_get(&addr, "/nope").unwrap();
         assert_eq!(status, 404);
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    /// Raw one-shot request with an arbitrary method; returns the full
+    /// response (head + any body) as a string.
+    fn raw_request(addr: &str, method: &str, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("{method} {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        raw
+    }
+
+    fn content_length(raw: &str) -> usize {
+        raw.lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length header present")
+            .trim()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn head_mirrors_get_headers_without_body() {
+        let (addr, stop, handle) = spawn_responder();
+        for (path, get_body) in [("/metrics", "m_total 1\n"), ("/healthz", "ok\n")] {
+            let raw = raw_request(&addr, "HEAD", path);
+            assert!(raw.starts_with("HTTP/1.1 200"), "got: {raw}");
+            assert_eq!(content_length(&raw), get_body.len(), "path {path}");
+            let body = raw.split("\r\n\r\n").nth(1).unwrap_or("");
+            assert!(body.is_empty(), "HEAD {path} must carry no body: {body:?}");
+        }
+        // Unknown paths still 404 — with the 404 Content-Length and no
+        // body.
+        let raw = raw_request(&addr, "HEAD", "/nope");
+        assert!(raw.starts_with("HTTP/1.1 404"), "got: {raw}");
+        assert_eq!(content_length(&raw), "not found\n".len());
+        assert_eq!(raw.split("\r\n\r\n").nth(1).unwrap_or(""), "");
         stop.store(true, Ordering::Relaxed);
         handle.join().unwrap();
     }

@@ -1,0 +1,179 @@
+//! End-to-end decision-journal test: a server under pipelined load —
+//! with a hot snapshot swap mid-run — journals every decision, and
+//! [`dvfs_core::serve::journal::replay`] reproduces all of them bitwise
+//! against a snapshot with the same weights.
+
+use dvfs_core::dataset::Dataset;
+use dvfs_core::models::PowerTimeModels;
+use dvfs_core::serve::journal::replay;
+use dvfs_core::serve::loadgen;
+use dvfs_core::serve::{LoadgenConfig, Pacing, ServeConfig, Server};
+use dvfs_core::snapshot::{ModelSnapshot, ModelStore, SnapshotMeta};
+use gpu_model::{DeviceSpec, DvfsGrid, NoiseModel, SignatureBuilder};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Small-but-real trained weights (same recipe as the serve tests).
+fn trained_models() -> PowerTimeModels {
+    let spec = DeviceSpec::ga100();
+    let nm = NoiseModel::default_bench();
+    let sigs = [
+        SignatureBuilder::new("c").flops(2e13).bytes(2e11).build(),
+        SignatureBuilder::new("m").flops(2e11).bytes(2e13).build(),
+        SignatureBuilder::new("x").flops(8e12).bytes(3e12).build(),
+    ];
+    let grid = DvfsGrid::for_spec(&spec);
+    let mut samples = Vec::new();
+    for sig in &sigs {
+        for &f in grid.used().iter().step_by(6) {
+            samples.push(gpu_model::sample::measure(&spec, sig, f, 0, &nm));
+        }
+        samples.push(gpu_model::sample::measure(
+            &spec,
+            sig,
+            spec.max_core_mhz,
+            0,
+            &nm,
+        ));
+    }
+    PowerTimeModels::train(&Dataset::from_samples(&spec, &samples).unwrap())
+}
+
+fn snapshot_from(models: PowerTimeModels, label: &str) -> ModelSnapshot {
+    ModelSnapshot::new(
+        models,
+        DeviceSpec::ga100(),
+        SnapshotMeta {
+            label: label.into(),
+            dataset_rows: 0,
+            train_seconds: 0.0,
+        },
+    )
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dvfs-replay-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn loadgen_config(addr: String, requests: u64, seed: u64, shutdown: bool) -> LoadgenConfig {
+    LoadgenConfig {
+        addr,
+        connections: 8,
+        requests,
+        pacing: Pacing::Closed,
+        keys: 48,
+        zipf_s: 1.0,
+        pipeline: 4,
+        select_every: 4,
+        seed,
+        shutdown_after: shutdown,
+    }
+}
+
+#[test]
+fn replay_reproduces_journaled_decisions_bitwise_across_hot_swap() {
+    let dir = scratch_dir("parity");
+    let models = trained_models();
+    let store = Arc::new(ModelStore::new(snapshot_from(models.clone(), "v1")));
+    let config = ServeConfig {
+        journal: Some(obs::journal::JournalConfig::new(dir.clone())),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config, Arc::clone(&store)).expect("bind");
+    let addr = server.local_addr().to_string();
+
+    // First leg: pipelined load (8 connections x depth 4) against v1.
+    let half = if cfg!(debug_assertions) { 600 } else { 2_000 };
+    let report = loadgen::run(&loadgen_config(addr.clone(), half, 7, false)).expect("leg 1");
+    assert_eq!(report.errors, 0.0, "leg 1 errors");
+
+    // Hot swap: same weights republished as v2 — decisions must stay
+    // identical, so the swap is invisible to replay but visible in the
+    // journal's version column.
+    store.publish(snapshot_from(models.clone(), "v2"));
+
+    // Second leg against v2, then a drained shutdown (the journal
+    // writer flushes its final batch on join).
+    let report = loadgen::run(&loadgen_config(addr.clone(), half, 11, true)).expect("leg 2");
+    assert_eq!(report.errors, 0.0, "leg 2 errors");
+    server.join();
+
+    let records = obs::journal::read_records(&dir).expect("read journal");
+    assert_eq!(
+        records.len() as u64,
+        2 * half,
+        "every served decision must be journaled"
+    );
+
+    let replay_snapshot = snapshot_from(models, "replay");
+    let report = replay(&records, &replay_snapshot);
+    assert_eq!(report.records, 2 * half);
+    assert_eq!(report.undecodable, 0);
+    assert!(report.decisions > 0, "the mix must include selects");
+    assert_eq!(
+        report.divergent,
+        0,
+        "replay must be bitwise-identical; first: {:?}",
+        report.divergences.first()
+    );
+    assert_eq!(report.energy_mape, 0.0);
+    assert_eq!(report.time_mape, 0.0);
+    assert_eq!(
+        report.versions,
+        vec![1, 2],
+        "both snapshot versions must appear in the journal"
+    );
+    assert_eq!(report.recorded_joules_saved, report.replayed_joules_saved);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn replay_flags_divergence_under_different_weights() {
+    let dir = scratch_dir("drift");
+    let models = trained_models();
+    let store = Arc::new(ModelStore::new(snapshot_from(models, "v1")));
+    let config = ServeConfig {
+        journal: Some(obs::journal::JournalConfig::new(dir.clone())),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config, Arc::clone(&store)).expect("bind");
+    let addr = server.local_addr().to_string();
+    let report = loadgen::run(&loadgen_config(addr, 200, 3, true)).expect("loadgen");
+    assert_eq!(report.errors, 0.0);
+    server.join();
+
+    // Retrain from a different sample mix: replaying the journal under
+    // these weights measures drift instead of proving parity.
+    let spec = DeviceSpec::ga100();
+    let nm = NoiseModel::default_bench();
+    let sig = SignatureBuilder::new("other")
+        .flops(5e12)
+        .bytes(6e12)
+        .build();
+    let grid = DvfsGrid::for_spec(&spec);
+    let samples: Vec<_> = grid
+        .used()
+        .iter()
+        .step_by(4)
+        .map(|&f| gpu_model::sample::measure(&spec, &sig, f, 0, &nm))
+        .collect();
+    let other = PowerTimeModels::train(&Dataset::from_samples(&spec, &samples).unwrap());
+
+    let records = obs::journal::read_records(&dir).expect("read journal");
+    let report = replay(&records, &snapshot_from(other, "other"));
+    assert_eq!(report.records, 200);
+    assert!(
+        report.divergent > 0,
+        "different weights must surface as divergences"
+    );
+    assert!(
+        report.energy_mape > 0.0,
+        "drift must show up as a non-zero MAPE"
+    );
+    assert!(!report.divergences.is_empty());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

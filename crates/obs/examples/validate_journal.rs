@@ -1,0 +1,177 @@
+//! Validates a `dvfs journal --export` JSONL file with the compat JSON
+//! parser.
+//!
+//! Used by `scripts/check.sh` as the smoke gate for the decision
+//! journal: every line must parse as one JSON object with `crc_ok`
+//! true, sequence numbers must be strictly increasing, timestamps must
+//! be non-decreasing (the journal writer assigns them in durability
+//! order), and — when a `--metrics metrics.json` export from the same
+//! serve run is given — the line count must equal the server's
+//! `serve.requests` counter, proving no decision was dropped.
+//!
+//! ```text
+//! cargo run -p obs --example validate_journal -- journal.jsonl
+//! cargo run -p obs --example validate_journal -- journal.jsonl --metrics metrics.json
+//! cargo run -p obs --example validate_journal -- journal.jsonl --expect 400
+//! ```
+
+use serde::value::Value;
+use std::process::ExitCode;
+
+/// Fields every export line must carry, with a coarse type check.
+const REQUIRED: &[&str] = &[
+    "seq",
+    "ts_ns",
+    "version",
+    "req_id",
+    "cmd",
+    "workload",
+    "fp_active",
+    "dram_active",
+    "exec_time",
+    "cache_key",
+    "profile_digest",
+    "predicted_time_s",
+    "predicted_energy_j",
+    "baseline_energy_j",
+    "joules_saved",
+    "crc_ok",
+];
+
+fn check_lines(text: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    let mut last_seq: Option<f64> = None;
+    let mut last_ts: Option<f64> = None;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value =
+            serde_json::from_str(line).map_err(|e| format!("line {n}: invalid JSON: {e}"))?;
+        for key in REQUIRED {
+            v.get(key).ok_or(format!("line {n}: missing `{key}`"))?;
+        }
+        if v.get("crc_ok").and_then(Value::as_bool) != Some(true) {
+            return Err(format!("line {n}: crc_ok is not true"));
+        }
+        let cmd = v.get("cmd").and_then(Value::as_str).unwrap_or("");
+        if cmd != "predict" && cmd != "select" {
+            return Err(format!("line {n}: unknown cmd `{cmd}`"));
+        }
+        // Select lines must name their objective and chosen clock.
+        if cmd == "select"
+            && (v.get("objective").and_then(Value::as_str).is_none()
+                || v.get("chosen_mhz").and_then(Value::as_f64).is_none())
+        {
+            return Err(format!("line {n}: select without objective/chosen_mhz"));
+        }
+        let seq = v
+            .get("seq")
+            .and_then(Value::as_f64)
+            .ok_or(format!("line {n}: non-numeric seq"))?;
+        if let Some(prev) = last_seq {
+            if seq <= prev {
+                return Err(format!("line {n}: seq {seq} not above previous {prev}"));
+            }
+        }
+        last_seq = Some(seq);
+        let ts = v
+            .get("ts_ns")
+            .and_then(Value::as_f64)
+            .ok_or(format!("line {n}: non-numeric ts_ns"))?;
+        if let Some(prev) = last_ts {
+            if ts < prev {
+                return Err(format!("line {n}: ts_ns {ts} went backwards from {prev}"));
+            }
+        }
+        last_ts = Some(ts);
+        count += 1;
+    }
+    if count == 0 {
+        return Err("no journal lines to validate".into());
+    }
+    Ok(count)
+}
+
+/// Reads `serve.requests` from a `--metrics-out` JSON export.
+fn served_requests(path: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let parsed: Value = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    parsed
+        .get("counters")
+        .and_then(|c| c.get("serve.requests"))
+        .and_then(Value::as_f64)
+        .ok_or(format!("{path}: missing counter `serve.requests`"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut metrics_path = None;
+    let mut expect: Option<usize> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--metrics" {
+            match it.next() {
+                Some(p) => metrics_path = Some(p),
+                None => {
+                    eprintln!("validate_journal: --metrics needs a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if arg == "--expect" {
+            match it.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => expect = Some(n),
+                _ => {
+                    eprintln!("validate_journal: --expect needs a count");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            path = Some(arg);
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: validate_journal <journal.jsonl> [--metrics metrics.json] [--expect N]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_journal: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let count = match check_lines(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("validate_journal: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(metrics) = metrics_path {
+        match served_requests(&metrics) {
+            Ok(served) if served == count as f64 => {}
+            Ok(served) => {
+                eprintln!(
+                    "validate_journal: {path}: {count} journal line(s) but \
+                     serve.requests = {served} — decisions were dropped"
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("validate_journal: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(n) = expect {
+        if count != n {
+            eprintln!("validate_journal: {path}: expected {n} line(s), found {count}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("validate_journal: {path} ok ({count} decision(s))");
+    ExitCode::SUCCESS
+}

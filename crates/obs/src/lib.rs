@@ -35,7 +35,12 @@
 //!   — via snapshot deltas;
 //! * [`slo`] — declarative objectives (latency threshold, error ratio,
 //!   gauge band) with fast/slow multi-window burn-rate alerting,
-//!   edge-triggered like the quality monitor.
+//!   edge-triggered like the quality monitor;
+//! * [`journal`] — the decision journal: an append-only segmented
+//!   binary log (length prefix + CRC32 per record, size-based rotation
+//!   under a disk budget, torn-tail truncation on open) fed by bounded
+//!   per-producer rings drained by one writer thread — producers never
+//!   block, a full ring drops and counts `journal.dropped`.
 //!
 //! Plus [`log!`], a leveled stderr logger filtered by the `DVFS_LOG`
 //! environment variable (`off|error|warn|info|debug`, default `info`).
@@ -55,6 +60,7 @@
 
 pub mod export;
 pub mod hist;
+pub mod journal;
 pub mod log;
 pub mod metrics;
 pub mod prom;
@@ -66,6 +72,7 @@ pub mod trace;
 
 pub use export::{attach_json, fmt_ns, MetricsSnapshot};
 pub use hist::{Histogram, HistogramSnapshot};
+pub use journal::{JournalConfig, JournalProducer, JournalRecord, JournalWriter};
 pub use log::Level;
 pub use metrics::{global, Counter, Gauge, MetricsRegistry};
 pub use quality::{QualityConfig, QualityMonitor, QualityStat};

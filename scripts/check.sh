@@ -181,6 +181,34 @@ cargo run --release --offline -p obs --example validate_metrics -- \
     --gauge quality.precision_power.mape=0..12 \
     --gauge quality.precision_time.mape=0..12
 
+echo "==> dvfs journal + replay smoke (serve --journal-dir -> export -> validate -> replay)"
+# A journaled serve run under pipelined load, then the full audit loop:
+# export to JSONL, validate every line (CRC, monotone seq/ts, line
+# count == serve.requests so nothing was dropped), and deterministically
+# replay the journal against the same weights expecting zero divergent
+# decisions.
+DVFS_LOG=error target/release/dvfs serve --models "$tmp/models.json" \
+    --journal-dir "$tmp/journal" --metrics-out "$tmp/journal_metrics.json" \
+    > "$tmp/journal_serve.log" &
+journal_pid=$!
+addr=""
+for _ in $(seq 100); do
+    addr="$(sed -n 's/^listening on //p' "$tmp/journal_serve.log" | head -n 1)"
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+test -n "$addr"
+DVFS_LOG=error target/release/dvfs loadgen --addr "$addr" \
+    --requests 400 --connections 4 --pipeline 4 --shutdown >/dev/null
+wait "$journal_pid"
+DVFS_LOG=error target/release/dvfs journal --dir "$tmp/journal" --export \
+    > "$tmp/journal.jsonl"
+cargo run --release --offline -p obs --example validate_journal -- \
+    "$tmp/journal.jsonl" --metrics "$tmp/journal_metrics.json" --expect 400
+DVFS_LOG=error target/release/dvfs replay --dir "$tmp/journal" \
+    --models "$tmp/models.json" > "$tmp/replay.txt"
+grep -q 'divergent: 0 of 400' "$tmp/replay.txt"
+
 echo "==> batch-fused engine speedup guard (release)"
 # `cargo test -q` above runs this file in a debug build where the timing
 # leg self-skips; the release run enforces the >=2x fused-f32 bound.
@@ -195,6 +223,8 @@ grep -q '"trace_overhead/instant_enabled"' "$tmp/BENCH_nn.json"
 grep -q '"obs_plane/sampler_tick"' "$tmp/BENCH_nn.json"
 grep -q '"serve_qps"' "$tmp/BENCH_nn.json"
 grep -q '"serve_p99_telemetry_us"' "$tmp/BENCH_nn.json"
+grep -q '"serve_qps_journal"' "$tmp/BENCH_nn.json"
+grep -q '"serve_p99_journal_us"' "$tmp/BENCH_nn.json"
 grep -q '"nn_forward_61_states/engine_f32"' "$tmp/BENCH_nn.json"
 grep -q '"nn_forward_61_states/engine_bf16"' "$tmp/BENCH_nn.json"
 

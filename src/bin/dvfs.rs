@@ -16,12 +16,17 @@
 //!               [--capacity C] [--shards S] [--max-batch B] [--arch ga100|gv100]
 //!               [--precision f64|f32|bf16] [--telemetry-port P]
 //!               [--slo-p99-us US] [--slo-fast-s S] [--slo-slow-s S] [--slo-burn X]
+//!               [--journal-dir DIR] [--journal-segment-kb KB] [--journal-budget-kb KB]
 //! dvfs loadgen  --addr HOST:PORT [--requests N] [--connections C]
 //!               [--mode closed|open] [--rate R] [--keys K] [--zipf S]
 //!               [--select-every N] [--seed S] [--pipeline D] [--json]
 //!               [--shutdown]
 //! dvfs top      --addr HOST:PORT [--interval S] [--once] [--json]
 //! dvfs scrape   --addr HOST:PORT [--path /metrics]
+//! dvfs journal  --dir DIR [--export] [--tail N] [--workload NAME]
+//!               [--cmd predict|select] [--version V] [--limit N]
+//! dvfs replay   --dir DIR --models models.json [--arch ga100|gv100]
+//!               [--limit N] [--json]
 //! dvfs apps
 //! ```
 //!
@@ -119,6 +124,8 @@ fn main() -> ExitCode {
         "loadgen" => cmd_loadgen(&opts),
         "top" => cmd_top(&opts),
         "scrape" => cmd_scrape(&opts),
+        "journal" => cmd_journal(&opts),
+        "replay" => cmd_replay(&opts),
         "apps" => cmd_apps(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -269,7 +276,8 @@ USAGE:
                 [--capacity C] [--shards S] [--max-batch B]
                 [--arch ga100|gv100] [--precision f64|f32|bf16]
                 [--telemetry-port P] [--slo-p99-us US] [--slo-fast-s S]
-                [--slo-slow-s S] [--slo-burn X]
+                [--slo-slow-s S] [--slo-burn X] [--journal-dir DIR]
+                [--journal-segment-kb KB] [--journal-budget-kb KB]
                 long-lived prediction daemon: length-prefixed JSON
                 frames (predict/select/version/stats/scrape/reload/
                 shutdown), snapshot-versioned hot model swaps, sharded
@@ -283,7 +291,12 @@ USAGE:
                 http://127.0.0.1:P/metrics (0 = ephemeral, address
                 printed as `telemetry on ADDR`); the --slo-* flags
                 tune the burn-rate alert engine (p99 objective in µs,
-                fast/slow windows in seconds, burn threshold)
+                fast/slow windows in seconds, burn threshold).
+                --journal-dir enables the durable decision journal:
+                every served decision is appended off the hot path to a
+                CRC-protected segmented log rotated under a disk budget
+                (--journal-segment-kb, --journal-budget-kb), feeding the
+                energy-savings ledger in stats/scrape/top
   dvfs loadgen  --addr HOST:PORT [--requests N] [--connections C]
                 [--mode closed|open] [--rate R] [--keys K] [--zipf S]
                 [--select-every N] [--seed S] [--pipeline D] [--json]
@@ -301,6 +314,18 @@ USAGE:
   dvfs scrape   --addr HOST:PORT [--path /metrics]
                 fetch one document from a server's --telemetry-port
                 (the Prometheus exposition) and print it to stdout
+  dvfs journal  --dir DIR [--export] [--tail N] [--workload NAME]
+                [--cmd predict|select] [--version V] [--limit N]
+                inspect a decision journal: the default summary reports
+                segments, record counts, versions, and predicted energy
+                saved; --export emits one JSON line per decision (after
+                the filters), --tail N exports only the last N
+  dvfs replay   --dir DIR --models models.json [--arch ga100|gv100]
+                [--limit N] [--json]
+                re-run a journal's decisions through a model snapshot
+                and verify each against the recorded outcome bit for
+                bit; reports divergences and recorded-vs-replayed MAPE,
+                exits 3 if any decision diverged
   dvfs apps     list the built-in application models
 
 Exit codes: 0 ok, 2 usage/validation error, 3 I/O or config error.
@@ -325,7 +350,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             out.insert(name.to_string(), value.to_string());
         } else if name == "metrics" {
             out.insert(name.to_string(), "table".to_string());
-        } else if name == "json" || name == "shutdown" || name == "once" {
+        } else if name == "json" || name == "shutdown" || name == "once" || name == "export" {
             out.insert(name.to_string(), "1".to_string());
         } else {
             let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
@@ -938,6 +963,15 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
             .transpose()?,
         slos: slos_for(opts)?,
         precision,
+        journal: opts
+            .get("journal-dir")
+            .map(|dir| -> Result<obs::journal::JournalConfig, String> {
+                let mut jc = obs::journal::JournalConfig::new(std::path::PathBuf::from(dir));
+                jc.segment_bytes = usize_flag(opts, "journal-segment-kb", 4096, 1)? as u64 * 1024;
+                jc.max_total_bytes = usize_flag(opts, "journal-budget-kb", 65536, 1)? as u64 * 1024;
+                Ok(jc)
+            })
+            .transpose()?,
         ..ServeConfig::default()
     };
     let label = opts.get("models").cloned().unwrap_or_default();
@@ -1187,6 +1221,19 @@ fn render_top(addr: &str, resp: &gpu_dvfs::core::serve::Response) -> String {
             }
         }
     }
+    if let Some(s) = &resp.server {
+        let e = &s.energy;
+        let _ = writeln!(
+            out,
+            "energy: {:.1} J predicted saved over {:.0} decision(s)    \
+             window {:.3} W saved    journal {:.0} appended / {:.0} dropped",
+            e.predicted_joules_saved,
+            e.decisions,
+            e.window_watts_saved,
+            e.journal_appended,
+            e.journal_dropped
+        );
+    }
     if let Some(c) = &resp.stats {
         let _ = writeln!(
             out,
@@ -1202,6 +1249,217 @@ fn render_top(addr: &str, resp: &gpu_dvfs::core::serve::Response) -> String {
         );
     }
     out
+}
+
+/// `dvfs journal` — offline inspection of a decision journal. The
+/// default summary reads the segment chain (CRC-validating every
+/// record) and aggregates the decoded decisions; `--export` (and
+/// `--tail N`) emit one JSON line per decision for scripting, after the
+/// `--workload`/`--cmd`/`--version` filters.
+fn cmd_journal(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    use gpu_dvfs::core::serve::DecisionRecord;
+
+    let dir = opts
+        .get("dir")
+        .ok_or_else(|| CliError::Usage("--dir DIR is required".into()))?;
+    let path = std::path::Path::new(dir);
+    let cmd_filter = match opts.get("cmd").map(String::as_str) {
+        None => None,
+        Some("select") => Some(true),
+        Some("predict") => Some(false),
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown --cmd `{other}` (expected predict or select)"
+            )))
+        }
+    };
+    let version_filter: Option<u64> = opts
+        .get("version")
+        .map(|s| s.parse().map_err(|e| format!("--version: {e}")))
+        .transpose()?;
+    let limit: Option<usize> = opts
+        .get("limit")
+        .map(|s| s.parse().map_err(|e| format!("--limit: {e}")))
+        .transpose()?;
+    let tail: Option<usize> = opts
+        .get("tail")
+        .map(|s| s.parse().map_err(|e| format!("--tail: {e}")))
+        .transpose()?;
+    let workload_filter = opts.get("workload");
+    let export = opts.contains_key("export") || tail.is_some();
+
+    let scan = obs::journal::scan_dir(path).map_err(|e| CliError::Io(format!("{dir}: {e}")))?;
+    let records =
+        obs::journal::read_records(path).map_err(|e| CliError::Io(format!("{dir}: {e}")))?;
+    let mut undecodable = 0u64;
+    let mut decisions: Vec<(u64, u64, DecisionRecord)> = Vec::new();
+    for r in &records {
+        match DecisionRecord::decode(&r.body) {
+            Some(d) => decisions.push((r.seq, r.ts_ns, d)),
+            None => undecodable += 1,
+        }
+    }
+    decisions.retain(|(_, _, d)| {
+        if let Some(w) = workload_filter {
+            if d.workload != *w {
+                return false;
+            }
+        }
+        if let Some(s) = cmd_filter {
+            if d.select != s {
+                return false;
+            }
+        }
+        if let Some(v) = version_filter {
+            if d.version != v {
+                return false;
+            }
+        }
+        true
+    });
+    if let Some(n) = tail {
+        if decisions.len() > n {
+            decisions.drain(..decisions.len() - n);
+        }
+    }
+    if let Some(n) = limit {
+        decisions.truncate(n);
+    }
+
+    if export {
+        use std::io::Write as _;
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for (seq, ts_ns, d) in &decisions {
+            if let Err(e) = writeln!(out, "{}", d.export_line(*seq, *ts_ns)) {
+                // A downstream `head`/`jq` closing the pipe early is a
+                // normal way to consume the export, not an error.
+                if e.kind() == std::io::ErrorKind::BrokenPipe {
+                    return Ok(());
+                }
+                return Err(CliError::Io(format!("stdout: {e}")));
+            }
+        }
+        return Ok(());
+    }
+
+    let selects = decisions.iter().filter(|(_, _, d)| d.select).count();
+    let joules: f64 = decisions.iter().map(|(_, _, d)| d.joules_saved()).sum();
+    let mut versions: Vec<u64> = decisions.iter().map(|(_, _, d)| d.version).collect();
+    versions.sort_unstable();
+    versions.dedup();
+    println!(
+        "journal in {dir}: {} segment(s), {} record(s), {} valid bytes ({} torn), last seq {}",
+        scan.segments, scan.records, scan.valid_bytes, scan.torn_bytes, scan.last_seq
+    );
+    println!(
+        "decisions: {} decoded ({selects} select / {} predict, {undecodable} undecodable)",
+        decisions.len(),
+        decisions.len() - selects
+    );
+    println!(
+        "versions: {}",
+        if versions.is_empty() {
+            "none".to_string()
+        } else {
+            versions
+                .iter()
+                .map(|v| format!("v{v}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    );
+    println!("predicted energy saved: {joules:.1} J over {selects} select decision(s)");
+    if let (Some((_, first, _)), Some((_, last, _))) = (decisions.first(), decisions.last()) {
+        println!(
+            "span: {:.3} s of serving",
+            last.saturating_sub(*first) as f64 / 1e9
+        );
+    }
+    Ok(())
+}
+
+/// `dvfs replay` — deterministic replay of a decision journal through a
+/// model snapshot. With the weights the journal was served from, every
+/// decision must reproduce bitwise; any divergence exits 3 after
+/// printing the first few mismatches and the recorded-vs-replayed MAPE
+/// (the drift signal when the weights differ on purpose).
+fn cmd_replay(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let dir = opts
+        .get("dir")
+        .ok_or_else(|| CliError::Usage("--dir DIR is required".into()))?;
+    let backend = backend_for(opts)?;
+    let models = load_models(opts)?;
+    let limit: Option<usize> = opts
+        .get("limit")
+        .map(|s| s.parse().map_err(|e| format!("--limit: {e}")))
+        .transpose()?;
+    let mut records = obs::journal::read_records(std::path::Path::new(dir))
+        .map_err(|e| CliError::Io(format!("{dir}: {e}")))?;
+    if let Some(n) = limit {
+        records.truncate(n);
+    }
+    let snapshot = ModelSnapshot::new(
+        models,
+        backend.spec().clone(),
+        SnapshotMeta {
+            label: opts.get("models").cloned().unwrap_or_default(),
+            dataset_rows: 0,
+            train_seconds: 0.0,
+        },
+    );
+    let report = gpu_dvfs::core::serve::journal::replay(&records, &snapshot);
+    let versions = report
+        .versions
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    if opts.contains_key("json") {
+        println!(
+            "{{\"records\":{},\"undecodable\":{},\"decisions\":{},\"divergent\":{},\
+             \"energy_mape\":{},\"time_mape\":{},\"recorded_joules_saved\":{},\
+             \"replayed_joules_saved\":{},\"versions\":[{versions}]}}",
+            report.records,
+            report.undecodable,
+            report.decisions,
+            report.divergent,
+            report.energy_mape,
+            report.time_mape,
+            report.recorded_joules_saved,
+            report.replayed_joules_saved,
+        );
+    } else {
+        println!(
+            "replayed {} record(s) ({} select decision(s), {} undecodable) from {dir}",
+            report.records, report.decisions, report.undecodable
+        );
+        println!(
+            "journal versions [{versions}] vs snapshot v{}",
+            snapshot.version
+        );
+        println!(
+            "divergent: {} of {}; recorded-vs-replayed MAPE: energy {:.4}%, time {:.4}%",
+            report.divergent, report.records, report.energy_mape, report.time_mape
+        );
+        println!(
+            "predicted joules saved: recorded {:.1} J, replayed {:.1} J",
+            report.recorded_joules_saved, report.replayed_joules_saved
+        );
+        for d in &report.divergences {
+            println!(
+                "  seq {} {}: {} recorded {} replayed {}",
+                d.seq, d.workload, d.field, d.recorded, d.replayed
+            );
+        }
+    }
+    if report.divergent > 0 {
+        return Err(CliError::Io(format!(
+            "replay: {} divergent decision(s)",
+            report.divergent
+        )));
+    }
+    Ok(())
 }
 
 fn cmd_apps() -> Result<(), CliError> {
